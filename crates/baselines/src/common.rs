@@ -1,0 +1,202 @@
+//! Shared infrastructure for baseline methods: the method trait, the fit
+//! context, and a generic AdamW training loop.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use logsynergy::data::{PreparedSystem, SeqSample};
+use logsynergy_nn::graph::{Graph, ParamStore, Var};
+use logsynergy_nn::optim::AdamW;
+use logsynergy_nn::Tensor;
+
+/// Everything a method may train on. Which slice each method actually uses
+/// follows §IV-A2 (unsupervised: target normal; semi/weak: partial labels;
+/// supervised single-system: target train; cross-system: sources + target).
+pub struct FitContext<'a> {
+    /// Prepared source systems (raw-template embeddings — the baselines do
+    /// not get LEI, mirroring the paper where LEI is LogSynergy's own
+    /// contribution).
+    pub sources: &'a [&'a PreparedSystem],
+    /// Prepared target system.
+    pub target: &'a PreparedSystem,
+    /// Sequences taken per source system (spread over the stream).
+    pub n_source: usize,
+    /// Target training slice size (continuous head).
+    pub n_target: usize,
+    /// Window length.
+    pub max_len: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Seed for method-internal randomness.
+    pub seed: u64,
+}
+
+impl<'a> FitContext<'a> {
+    /// The target's continuous training slice.
+    pub fn target_train(&self) -> Vec<SeqSample> {
+        self.target.head(self.n_target)
+    }
+
+    /// Each source's spread training slice.
+    pub fn source_train(&self) -> Vec<(usize, Vec<SeqSample>)> {
+        self.sources.iter().enumerate().map(|(k, s)| (k, s.spread(self.n_source))).collect()
+    }
+}
+
+/// A log anomaly detection method under the shared evaluation harness.
+pub trait Method {
+    /// Display name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+    /// Trains the method on its §IV-A2 data slice.
+    fn fit(&mut self, ctx: &FitContext<'_>);
+    /// Anomaly scores in `[0, 1]` for target sequences (threshold 0.5).
+    fn score(&self, samples: &[SeqSample], target: &PreparedSystem) -> Vec<f32>;
+
+    /// Binary decisions at 0.5 (the paper's shared threshold, §IV-A3).
+    fn detect(&self, samples: &[SeqSample], target: &PreparedSystem) -> Vec<bool> {
+        self.score(samples, target).into_iter().map(|s| s > 0.5).collect()
+    }
+}
+
+/// Flattens samples into per-sample `[T * D]` rows using `embeddings`.
+pub fn rows(samples: &[SeqSample], embeddings: &[Vec<f32>], t: usize, d: usize) -> Vec<Vec<f32>> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut row = vec![0.0f32; t * d];
+            for (step, &e) in s.events.iter().take(t).enumerate() {
+                row[step * d..(step + 1) * d].copy_from_slice(&embeddings[e as usize]);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Builds a `[B, T, D]` input tensor from row-major flattened samples.
+pub fn batch_tensor(rows: &[Vec<f32>], idx: &[usize], t: usize, d: usize) -> Tensor {
+    let b = idx.len();
+    let mut x = vec![0.0f32; b * t * d];
+    for (r, &i) in idx.iter().enumerate() {
+        x[r * t * d..(r + 1) * t * d].copy_from_slice(&rows[i]);
+    }
+    Tensor::new(x, &[b, t, d])
+}
+
+/// Generic AdamW mini-batch loop. `step` builds the scalar loss for a batch
+/// of indices; the loop backprops, clips, and steps. Returns the mean loss
+/// of the final epoch.
+pub fn adamw_epochs(
+    store: &mut ParamStore,
+    n: usize,
+    epochs: usize,
+    batch: usize,
+    lr: f32,
+    seed: u64,
+    mut step: impl FnMut(&Graph, &ParamStore, &[usize], &mut StdRng) -> Var,
+) -> f32 {
+    assert!(n > 0, "empty training data");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = AdamW::new(store, lr);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut last = 0.0;
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        let mut sum = 0.0;
+        let mut count = 0;
+        for chunk in order.chunks(batch) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let g = Graph::new();
+            let loss = step(&g, store, chunk, &mut rng);
+            sum += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            g.write_grads(store);
+            store.clip_grad_norm(5.0);
+            opt.step(store);
+        }
+        last = sum / count.max(1) as f32;
+    }
+    last
+}
+
+/// Mean event-embedding of a sequence (used by clustering-style methods).
+pub fn mean_embedding(s: &SeqSample, embeddings: &[Vec<f32>], d: usize) -> Vec<f32> {
+    let mut acc = vec![0.0f32; d];
+    if s.events.is_empty() {
+        return acc;
+    }
+    for &e in &s.events {
+        for (a, v) in acc.iter_mut().zip(&embeddings[e as usize]) {
+            *a += v;
+        }
+    }
+    let n = s.events.len() as f32;
+    acc.iter_mut().for_each(|a| *a /= n);
+    acc
+}
+
+/// Euclidean distance.
+pub fn dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Logistic squashing of a margin to a `[0,1]` score; `margin > 0` means
+/// anomalous, and `sharpness` controls how hard the decision is.
+pub fn margin_to_score(margin: f32, sharpness: f32) -> f32 {
+    1.0 / (1.0 + (-sharpness * margin).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy_nn::{loss, ops};
+
+    #[test]
+    fn rows_flatten_and_pad() {
+        let emb = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let s = SeqSample { events: vec![1], label: false };
+        let r = rows(&[s], &emb, 3, 2);
+        assert_eq!(r[0], vec![3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn adamw_epochs_fits_linear_probe() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[2, 1]));
+        // y = x0 (first feature), 32 samples
+        let data: Vec<Vec<f32>> =
+            (0..32).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.5]).collect();
+        let labels: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let last = adamw_epochs(&mut store, 32, 40, 8, 0.05, 1, |g, store, idx, _| {
+            let b = idx.len();
+            let mut x = vec![0.0; b * 2];
+            let mut y = Vec::with_capacity(b);
+            for (r, &i) in idx.iter().enumerate() {
+                x[r * 2..(r + 1) * 2].copy_from_slice(&data[i]);
+                y.push(labels[i]);
+            }
+            let xv = g.input(Tensor::new(x, &[b, 2]));
+            let wv = g.bind(store, w);
+            let logits = ops::reshape(g, ops::matmul(g, xv, wv), &[b]);
+            loss::bce_with_logits(g, logits, &y)
+        });
+        assert!(last < 0.3, "final loss {last}");
+    }
+
+    #[test]
+    fn margin_scores_bracket_half() {
+        assert!(margin_to_score(1.0, 4.0) > 0.5);
+        assert!(margin_to_score(-1.0, 4.0) < 0.5);
+        assert_eq!(margin_to_score(0.0, 4.0), 0.5);
+    }
+
+    #[test]
+    fn mean_embedding_averages() {
+        let emb = vec![vec![1.0, 0.0], vec![3.0, 2.0]];
+        let s = SeqSample { events: vec![0, 1], label: false };
+        assert_eq!(mean_embedding(&s, &emb, 2), vec![2.0, 1.0]);
+    }
+}

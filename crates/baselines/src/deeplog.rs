@@ -1,0 +1,215 @@
+//! DeepLog (Du et al., CCS 2017): unsupervised next-event prediction with
+//! an LSTM over event-id sequences; a log is anomalous when the observed
+//! next event is outside the model's top-k predictions.
+//!
+//! Per §IV-A2 it trains on **all normal sequences of the target's training
+//! slice** — which, for a new system, is far too little to cover the
+//! normal behavior space, producing the paper's characteristic
+//! low-precision / high-recall profile.
+
+use logsynergy::data::{PreparedSystem, SeqSample};
+use logsynergy_nn::graph::{Graph, ParamId, ParamStore};
+use logsynergy_nn::layers::{Linear, Lstm};
+use logsynergy_nn::{loss, ops};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{adamw_epochs, FitContext, Method};
+
+/// DeepLog baseline.
+pub struct DeepLog {
+    store: ParamStore,
+    table: Option<ParamId>,
+    lstm: Option<Lstm>,
+    head: Option<Linear>,
+    vocab: usize,
+    /// History length fed to the LSTM.
+    history: usize,
+    /// Top-k tolerance (paper configuration: 9).
+    pub top_k: usize,
+    emb_dim: usize,
+    hidden: usize,
+    epochs: usize,
+}
+
+impl Default for DeepLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeepLog {
+    /// DeepLog with the paper's configuration scaled for CPU (two LSTM
+    /// layers in the paper; one here, 64 hidden units, top-k 9).
+    pub fn new() -> Self {
+        DeepLog {
+            store: ParamStore::new(),
+            table: None,
+            lstm: None,
+            head: None,
+            vocab: 0,
+            history: 6,
+            top_k: 9,
+            emb_dim: 16,
+            hidden: 64,
+            epochs: 8,
+        }
+    }
+
+    /// (history ids padded with `vocab` sentinel, next id) pairs.
+    fn pairs(&self, seqs: &[SeqSample]) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in seqs {
+            for i in 2..s.events.len() {
+                let lo = i.saturating_sub(self.history);
+                let mut h: Vec<usize> = s.events[lo..i].iter().map(|&e| e as usize).collect();
+                while h.len() < self.history {
+                    h.insert(0, self.vocab); // pad sentinel
+                }
+                xs.push(h);
+                ys.push(s.events[i] as usize);
+            }
+        }
+        (xs, ys)
+    }
+
+    fn forward_logits(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        histories: &[Vec<usize>],
+    ) -> logsynergy_nn::Var {
+        let (table, lstm, head) =
+            (self.table.unwrap(), self.lstm.as_ref().unwrap(), self.head.as_ref().unwrap());
+        let b = histories.len();
+        let flat: Vec<usize> = histories.iter().flatten().copied().collect();
+        let tb = g.bind(store, table);
+        let emb = ops::embedding(g, tb, &flat); // [b*h, emb]
+        let x = ops::reshape(g, emb, &[b, self.history, self.emb_dim]);
+        let (_, h) = lstm.forward(g, store, x);
+        head.forward(g, store, h) // [b, vocab]
+    }
+}
+
+impl Method for DeepLog {
+    fn name(&self) -> &'static str {
+        "DeepLog"
+    }
+
+    fn fit(&mut self, ctx: &FitContext<'_>) {
+        self.vocab = ctx.target.event_embeddings.len();
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        let mut store = ParamStore::new();
+        let table = store.add(
+            "deeplog.table",
+            logsynergy_nn::init::embedding_init(&mut rng, self.vocab + 1, self.emb_dim),
+        );
+        let lstm = Lstm::new(&mut store, &mut rng, "deeplog.lstm", self.emb_dim, self.hidden);
+        let head = Linear::new(&mut store, &mut rng, "deeplog.head", self.hidden, self.vocab);
+        self.table = Some(table);
+        self.lstm = Some(lstm);
+        self.head = Some(head);
+        self.store = store;
+
+        let normal: Vec<SeqSample> =
+            ctx.target_train().into_iter().filter(|s| !s.label).collect();
+        let (xs, ys) = self.pairs(&normal);
+        if xs.is_empty() {
+            return;
+        }
+        // Split borrows: move store out during training.
+        let mut store = std::mem::take(&mut self.store);
+        let this = &*self;
+        adamw_epochs(&mut store, xs.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
+            let hs: Vec<Vec<usize>> = idx.iter().map(|&i| xs[i].clone()).collect();
+            let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
+            let logits = this.forward_logits(g, st, &hs);
+            loss::cross_entropy(g, logits, &targets)
+        });
+        self.store = store;
+    }
+
+    fn score(&self, samples: &[SeqSample], _target: &PreparedSystem) -> Vec<f32> {
+        if self.table.is_none() || self.vocab == 0 {
+            return vec![0.0; samples.len()];
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        for s in samples {
+            let (xs, ys) = self.pairs(std::slice::from_ref(s));
+            if xs.is_empty() {
+                out.push(0.0);
+                continue;
+            }
+            let g = Graph::inference();
+            let logits = self.forward_logits(&g, &self.store, &xs);
+            let v = g.value(logits);
+            let mut misses = 0usize;
+            for (row, &want) in v.data().chunks_exact(self.vocab).zip(&ys) {
+                let mut idx: Vec<usize> = (0..self.vocab).collect();
+                idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+                if !idx[..self.top_k.min(self.vocab)].contains(&want) {
+                    misses += 1;
+                }
+            }
+            out.push(crate::common::margin_to_score(misses as f32 - 0.5, 4.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared(vocab: usize) -> PreparedSystem {
+        PreparedSystem {
+            system: logsynergy_loggen::SystemId::SystemB,
+            sequences: vec![],
+            event_embeddings: vec![vec![0.0; 8]; vocab],
+            event_texts: vec![String::new(); vocab],
+            templates: vec![String::new(); vocab],
+            review_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn learns_deterministic_cycle_and_flags_deviations() {
+        // Normal behavior: strict cycle 0,1,2,0,1,2,...  Anomaly: a 3.
+        let normal: Vec<SeqSample> = (0..40)
+            .map(|i| SeqSample {
+                events: (0..8).map(|j| ((i + j) % 3) as u32).collect(),
+                label: false,
+            })
+            .collect();
+        let mut prep = prepared(4);
+        prep.sequences = normal;
+        let mut dl = DeepLog::new();
+        dl.top_k = 1;
+        let binding = [];
+        let ctx = FitContext {
+            sources: &binding,
+            target: &prep,
+            n_source: 0,
+            n_target: 40,
+            max_len: 8,
+            embed_dim: 8,
+            seed: 1,
+        };
+        dl.fit(&ctx);
+
+        let ok = SeqSample { events: vec![0, 1, 2, 0, 1, 2, 0, 1], label: false };
+        let bad = SeqSample { events: vec![0, 1, 2, 3, 1, 2, 0, 1], label: true };
+        let scores = dl.score(&[ok, bad], &prep);
+        assert!(scores[0] < 0.5, "cycle should be predicted: {scores:?}");
+        assert!(scores[1] > 0.5, "deviation should be flagged: {scores:?}");
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let dl = DeepLog::new();
+        let prep = prepared(2);
+        let s = SeqSample { events: vec![0, 1, 0], label: false };
+        assert_eq!(dl.score(&[s], &prep), vec![0.0]);
+    }
+}

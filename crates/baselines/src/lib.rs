@@ -1,0 +1,44 @@
+//! # logsynergy-baselines
+//!
+//! The nine baseline methods of the paper's evaluation (Tables IV/V),
+//! implemented from scratch on the [`logsynergy_nn`] substrate behind the
+//! shared [`common::Method`] trait:
+//!
+//! | Category | Methods |
+//! |---|---|
+//! | Unsupervised single-system | [`DeepLog`], [`LogAnomaly`] |
+//! | Semi-supervised | [`PLELog`] |
+//! | Weakly-supervised | [`SpikeLog`] |
+//! | Supervised single-system | [`NeuralLog`], [`LogRobust`] |
+//! | Pre-trained | [`PreLog`] |
+//! | Unsupervised cross-system | [`LogTAD`] |
+//! | Supervised cross-system | [`LogTransfer`], [`MetaLog`] |
+//!
+//! Baselines consume raw-template embeddings — LEI is LogSynergy's own
+//! contribution and is not granted to competitors, mirroring the paper.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod deeplog;
+pub mod loganomaly;
+pub mod logrobust;
+pub mod logtad;
+pub mod logtransfer;
+pub mod metalog;
+pub mod neurallog;
+pub mod plelog;
+pub mod prelog;
+pub mod spikelog;
+
+pub use common::{FitContext, Method};
+pub use deeplog::DeepLog;
+pub use loganomaly::LogAnomaly;
+pub use logrobust::LogRobust;
+pub use logtad::LogTAD;
+pub use logtransfer::LogTransfer;
+pub use metalog::MetaLog;
+pub use neurallog::NeuralLog;
+pub use plelog::PLELog;
+pub use prelog::PreLog;
+pub use spikelog::SpikeLog;

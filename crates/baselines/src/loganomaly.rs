@@ -1,0 +1,212 @@
+//! LogAnomaly (Meng et al., IJCAI 2019): unsupervised next-event
+//! prediction like DeepLog, augmented with semantic (template2vec-style)
+//! inputs and a quantitative count-vector branch.
+
+use logsynergy::data::{PreparedSystem, SeqSample};
+use logsynergy_nn::graph::{Graph, ParamStore};
+use logsynergy_nn::layers::{Linear, Lstm};
+use logsynergy_nn::{loss, ops, Tensor};
+
+use rand::SeedableRng;
+
+use crate::common::{adamw_epochs, FitContext, Method};
+
+/// LogAnomaly baseline.
+pub struct LogAnomaly {
+    store: ParamStore,
+    lstm: Option<Lstm>,
+    head: Option<Linear>,
+    count_proj: Option<Linear>,
+    vocab: usize,
+    history: usize,
+    /// Top-k tolerance (paper configuration: 9).
+    pub top_k: usize,
+    embed_dim: usize,
+    hidden: usize,
+    epochs: usize,
+    /// Semantic embeddings of the target's templates, captured at fit time.
+    embeddings: Vec<Vec<f32>>,
+}
+
+impl Default for LogAnomaly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogAnomaly {
+    /// LogAnomaly with CPU-scale configuration.
+    pub fn new() -> Self {
+        LogAnomaly {
+            store: ParamStore::new(),
+            lstm: None,
+            head: None,
+            count_proj: None,
+            vocab: 0,
+            history: 6,
+            top_k: 9,
+            embed_dim: 0,
+            hidden: 64,
+            epochs: 8,
+            embeddings: vec![],
+        }
+    }
+
+    fn pairs(&self, seqs: &[SeqSample]) -> (Vec<Vec<u32>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in seqs {
+            for i in 2..s.events.len() {
+                let lo = i.saturating_sub(self.history);
+                xs.push(s.events[lo..i].to_vec());
+                ys.push(s.events[i] as usize);
+            }
+        }
+        (xs, ys)
+    }
+
+    /// Builds the semantic input `[b, history, d]` (zero-padded in front)
+    /// and the count vector `[b, vocab]`.
+    fn inputs(&self, histories: &[Vec<u32>]) -> (Tensor, Tensor) {
+        let b = histories.len();
+        let d = self.embed_dim;
+        let mut x = vec![0.0f32; b * self.history * d];
+        let mut counts = vec![0.0f32; b * self.vocab];
+        for (r, h) in histories.iter().enumerate() {
+            let pad = self.history - h.len();
+            for (j, &e) in h.iter().enumerate() {
+                x[(r * self.history + pad + j) * d..(r * self.history + pad + j + 1) * d]
+                    .copy_from_slice(&self.embeddings[e as usize]);
+                counts[r * self.vocab + e as usize] += 1.0;
+            }
+        }
+        (Tensor::new(x, &[b, self.history, d]), Tensor::new(counts, &[b, self.vocab]))
+    }
+
+    fn forward_logits(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        histories: &[Vec<u32>],
+    ) -> logsynergy_nn::Var {
+        let (lstm, head, cproj) =
+            (self.lstm.as_ref().unwrap(), self.head.as_ref().unwrap(), self.count_proj.as_ref().unwrap());
+        let (x, c) = self.inputs(histories);
+        let xv = g.input(x);
+        let cv = g.input(c);
+        let (_, h) = lstm.forward(g, store, xv);
+        let cfeat = ops::tanh(g, cproj.forward(g, store, cv));
+        let joint = ops::concat_last(g, &[h, cfeat]);
+        head.forward(g, store, joint)
+    }
+}
+
+impl Method for LogAnomaly {
+    fn name(&self) -> &'static str {
+        "LogAnomaly"
+    }
+
+    fn fit(&mut self, ctx: &FitContext<'_>) {
+        self.vocab = ctx.target.event_embeddings.len();
+        self.embed_dim = ctx.embed_dim;
+        self.embeddings = ctx.target.event_embeddings.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, "la.lstm", self.embed_dim, self.hidden);
+        let count_proj = Linear::new(&mut store, &mut rng, "la.count", self.vocab, 32);
+        let head = Linear::new(&mut store, &mut rng, "la.head", self.hidden + 32, self.vocab);
+        self.lstm = Some(lstm);
+        self.count_proj = Some(count_proj);
+        self.head = Some(head);
+
+        let normal: Vec<SeqSample> =
+            ctx.target_train().into_iter().filter(|s| !s.label).collect();
+        let (xs, ys) = self.pairs(&normal);
+        if xs.is_empty() {
+            self.store = store;
+            return;
+        }
+        let this = &*self;
+        adamw_epochs(&mut store, xs.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
+            let hs: Vec<Vec<u32>> = idx.iter().map(|&i| xs[i].clone()).collect();
+            let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
+            let logits = this.forward_logits(g, st, &hs);
+            loss::cross_entropy(g, logits, &targets)
+        });
+        self.store = store;
+    }
+
+    fn score(&self, samples: &[SeqSample], _target: &PreparedSystem) -> Vec<f32> {
+        if self.lstm.is_none() || self.vocab == 0 {
+            return vec![0.0; samples.len()];
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        for s in samples {
+            let (xs, ys) = self.pairs(std::slice::from_ref(s));
+            if xs.is_empty() {
+                out.push(0.0);
+                continue;
+            }
+            let g = Graph::inference();
+            let logits = self.forward_logits(&g, &self.store, &xs);
+            let v = g.value(logits);
+            let mut misses = 0usize;
+            for (row, &want) in v.data().chunks_exact(self.vocab).zip(&ys) {
+                let mut idx: Vec<usize> = (0..self.vocab).collect();
+                idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+                if !idx[..self.top_k.min(self.vocab)].contains(&want) {
+                    misses += 1;
+                }
+            }
+            out.push(crate::common::margin_to_score(misses as f32 - 0.5, 4.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_cycle_with_semantic_inputs() {
+        let emb: Vec<Vec<f32>> = (0..4)
+            .map(|i| {
+                let mut v = vec![0.0; 8];
+                v[i] = 1.0;
+                v
+            })
+            .collect();
+        let normal: Vec<SeqSample> = (0..40)
+            .map(|i| SeqSample {
+                events: (0..8).map(|j| ((i + j) % 3) as u32).collect(),
+                label: false,
+            })
+            .collect();
+        let prep = PreparedSystem {
+            system: logsynergy_loggen::SystemId::SystemB,
+            sequences: normal,
+            event_embeddings: emb,
+            event_texts: vec![String::new(); 4],
+            templates: vec![String::new(); 4],
+            review_stats: Default::default(),
+        };
+        let mut la = LogAnomaly::new();
+        la.top_k = 1;
+        let binding = [];
+        let ctx = FitContext {
+            sources: &binding,
+            target: &prep,
+            n_source: 0,
+            n_target: 40,
+            max_len: 8,
+            embed_dim: 8,
+            seed: 2,
+        };
+        la.fit(&ctx);
+        let ok = SeqSample { events: vec![0, 1, 2, 0, 1, 2, 0, 1], label: false };
+        let bad = SeqSample { events: vec![0, 1, 2, 3, 1, 2, 0, 1], label: true };
+        let s = la.score(&[ok, bad], &prep);
+        assert!(s[0] < 0.5 && s[1] > 0.5, "{s:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! PLELog (Yang et al., ICSE 2021): semi-supervised detection via
+//! probabilistic label estimation. It knows 50% of the *normal* training
+//! sequences (labeled normal) and treats the rest as unlabeled; clustering
+//! over sequence embeddings assigns probabilistic pseudo-labels, and an
+//! attention-GRU classifier trains on them.
+
+use logsynergy::data::{PreparedSystem, SeqSample};
+use logsynergy_nn::graph::{Graph, ParamStore};
+use logsynergy_nn::layers::{Gru, Linear};
+use logsynergy_nn::{loss, ops};
+use rand::SeedableRng;
+
+use crate::common::{
+    adamw_epochs, batch_tensor, dist, margin_to_score, mean_embedding, rows, FitContext, Method,
+};
+
+/// PLELog baseline.
+pub struct PLELog {
+    store: ParamStore,
+    gru: Option<Gru>,
+    head: Option<Linear>,
+    max_len: usize,
+    embed_dim: usize,
+    hidden: usize,
+    epochs: usize,
+    /// Normal-cluster centroid from the label-estimation stage.
+    centroid: Vec<f32>,
+    /// Distance scale from the labeled-normal spread.
+    dist_scale: f32,
+}
+
+impl Default for PLELog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PLELog {
+    /// PLELog with the paper's single-GRU-layer configuration (100 hidden
+    /// units there; 64 here).
+    pub fn new() -> Self {
+        PLELog {
+            store: ParamStore::new(),
+            gru: None,
+            head: None,
+            max_len: 10,
+            embed_dim: 0,
+            hidden: 64,
+            epochs: 8,
+            centroid: vec![],
+            dist_scale: 1.0,
+        }
+    }
+
+    fn logits(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: logsynergy_nn::Var,
+    ) -> logsynergy_nn::Var {
+        let (gru, head) = (self.gru.as_ref().unwrap(), self.head.as_ref().unwrap());
+        let (_, h) = gru.forward(g, store, x);
+        let l = head.forward(g, store, h);
+        let b = g.shape_of(l)[0];
+        ops::reshape(g, l, &[b])
+    }
+}
+
+impl Method for PLELog {
+    fn name(&self) -> &'static str {
+        "PLELog"
+    }
+
+    fn fit(&mut self, ctx: &FitContext<'_>) {
+        self.embed_dim = ctx.embed_dim;
+        self.max_len = ctx.max_len;
+        let train = ctx.target_train();
+        let emb = &ctx.target.event_embeddings;
+
+        // Label knowledge: 50% of the normal samples are known-normal,
+        // everything else is unlabeled (paper §IV-A2).
+        let normal_idx: Vec<usize> =
+            train.iter().enumerate().filter(|(_, s)| !s.label).map(|(i, _)| i).collect();
+        let labeled: Vec<usize> = normal_idx.iter().step_by(2).copied().collect();
+        if labeled.is_empty() {
+            return;
+        }
+
+        // Probabilistic label estimation: distance to the known-normal
+        // centroid, calibrated against the labeled-normal distance spread.
+        let means: Vec<Vec<f32>> =
+            train.iter().map(|s| mean_embedding(s, emb, self.embed_dim)).collect();
+        let mut centroid = vec![0.0f32; self.embed_dim];
+        for &i in &labeled {
+            for (c, v) in centroid.iter_mut().zip(&means[i]) {
+                *c += v;
+            }
+        }
+        centroid.iter_mut().for_each(|c| *c /= labeled.len() as f32);
+        let mut ref_d: Vec<f32> = labeled.iter().map(|&i| dist(&means[i], &centroid)).collect();
+        ref_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q80 = ref_d[((ref_d.len() as f32 * 0.80) as usize).min(ref_d.len() - 1)].max(1e-6);
+
+        // Soft pseudo-labels: known normals 0; unlabeled get a probability
+        // from how far outside the normal cluster they sit. With so little
+        // labeled data the cluster is tight, so *any* unfamiliar pattern —
+        // anomalous or merely unseen-normal — gets a high pseudo-label.
+        // That is exactly the paper's PLELog failure mode on new systems:
+        // high recall, low precision.
+        let labeled_set: std::collections::HashSet<usize> = labeled.iter().copied().collect();
+        let pseudo: Vec<f32> = (0..train.len())
+            .map(|i| {
+                if labeled_set.contains(&i) {
+                    0.0
+                } else {
+                    let d = dist(&means[i], &centroid);
+                    margin_to_score(d / q80 - 1.0, 8.0)
+                }
+            })
+            .collect();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let mut store = ParamStore::new();
+        self.gru = Some(Gru::new(&mut store, &mut rng, "ple.gru", self.embed_dim, self.hidden));
+        self.head = Some(Linear::new(&mut store, &mut rng, "ple.head", self.hidden, 1));
+
+        self.centroid = centroid;
+        self.dist_scale = q80;
+
+        let xrows = rows(&train, emb, self.max_len, self.embed_dim);
+        let this = &*self;
+        adamw_epochs(&mut store, train.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
+            let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
+            let targets: Vec<f32> = idx.iter().map(|&i| pseudo[i]).collect();
+            let logits = this.logits(g, st, x);
+            loss::bce_with_logits(g, logits, &targets)
+        });
+        self.store = store;
+    }
+
+    fn score(&self, samples: &[SeqSample], target: &PreparedSystem) -> Vec<f32> {
+        if self.gru.is_none() {
+            return vec![0.0; samples.len()];
+        }
+        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let mut out = Vec::with_capacity(samples.len());
+        for chunk in idx.chunks(256) {
+            let g = Graph::inference();
+            let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
+            let logits = self.logits(&g, &self.store, x);
+            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+        }
+        // Probabilistic label estimation applied online as well: a sequence
+        // far from the known-normal cluster scores high even if the
+        // classifier never saw anything like it during training. This is
+        // what floods PLELog with false positives on a new system (the
+        // paper's low-precision / high-recall profile).
+        for (o, s) in out.iter_mut().zip(samples) {
+            let d = dist(
+                &mean_embedding(s, &target.event_embeddings, self.embed_dim),
+                &self.centroid,
+            );
+            let est = margin_to_score(d / self.dist_scale - 1.0, 8.0);
+            if est > *o {
+                *o = est;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_sequences_far_from_normal_cluster() {
+        // Normal sequences use template 0; anomalies template 1 with an
+        // orthogonal embedding.
+        let emb = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
+        let mut sequences: Vec<SeqSample> = (0..60)
+            .map(|_| SeqSample { events: vec![0; 6], label: false })
+            .collect();
+        for i in [10usize, 30, 50] {
+            sequences[i] = SeqSample { events: vec![1; 6], label: true };
+        }
+        let prep = PreparedSystem {
+            system: logsynergy_loggen::SystemId::SystemB,
+            sequences,
+            event_embeddings: emb,
+            event_texts: vec![String::new(); 2],
+            templates: vec![String::new(); 2],
+            review_stats: Default::default(),
+        };
+        let mut m = PLELog::new();
+        let binding = [];
+        let ctx = FitContext {
+            sources: &binding,
+            target: &prep,
+            n_source: 0,
+            n_target: 60,
+            max_len: 6,
+            embed_dim: 4,
+            seed: 3,
+        };
+        m.fit(&ctx);
+        let ok = SeqSample { events: vec![0; 6], label: false };
+        let bad = SeqSample { events: vec![1; 6], label: true };
+        let s = m.score(&[ok, bad], &prep);
+        assert!(s[1] > s[0], "anomalous farther from cluster: {s:?}");
+        assert!(s[1] > 0.5, "{s:?}");
+    }
+}

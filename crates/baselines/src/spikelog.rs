@@ -1,0 +1,172 @@
+//! SpikeLog (Qi et al., TKDE 2023): weakly-supervised detection with a
+//! potential-assisted spiking neural network. Per §IV-A2 it knows 98% of
+//! the anomalous training sequences; the remaining unlabeled data is
+//! treated as normal during training.
+
+use logsynergy::data::{PreparedSystem, SeqSample};
+use logsynergy_nn::graph::{Graph, ParamStore};
+use logsynergy_nn::layers::{LifLayer, Linear};
+use logsynergy_nn::{loss, ops};
+use rand::SeedableRng;
+
+use crate::common::{adamw_epochs, batch_tensor, rows, FitContext, Method};
+
+/// SpikeLog baseline.
+pub struct SpikeLog {
+    store: ParamStore,
+    lif: Option<LifLayer>,
+    head: Option<Linear>,
+    max_len: usize,
+    embed_dim: usize,
+    hidden: usize,
+    epochs: usize,
+}
+
+impl Default for SpikeLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpikeLog {
+    /// SpikeLog with a single 64-neuron LIF layer (paper: 128).
+    pub fn new() -> Self {
+        SpikeLog {
+            store: ParamStore::new(),
+            lif: None,
+            head: None,
+            max_len: 10,
+            embed_dim: 0,
+            hidden: 64,
+            epochs: 10,
+        }
+    }
+
+    fn logits(&self, g: &Graph, store: &ParamStore, x: logsynergy_nn::Var) -> logsynergy_nn::Var {
+        let (lif, head) = (self.lif.as_ref().unwrap(), self.head.as_ref().unwrap());
+        let (_, rate) = lif.forward(g, store, x);
+        let l = head.forward(g, store, rate);
+        let b = g.shape_of(l)[0];
+        ops::reshape(g, l, &[b])
+    }
+}
+
+impl Method for SpikeLog {
+    fn name(&self) -> &'static str {
+        "SpikeLog"
+    }
+
+    fn fit(&mut self, ctx: &FitContext<'_>) {
+        self.embed_dim = ctx.embed_dim;
+        self.max_len = ctx.max_len;
+        let train = ctx.target_train();
+        let emb = &ctx.target.event_embeddings;
+
+        // Weak supervision: 98% of anomalies keep their labels; everything
+        // else (including the hidden 2%) trains as normal.
+        let mut labels: Vec<f32> = Vec::with_capacity(train.len());
+        let mut seen_anomalies = 0usize;
+        let total_anomalies = train.iter().filter(|s| s.label).count();
+        let keep = ((total_anomalies as f32) * 0.98).floor() as usize;
+        for s in &train {
+            if s.label && seen_anomalies < keep {
+                seen_anomalies += 1;
+                labels.push(1.0);
+            } else {
+                labels.push(0.0);
+            }
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        let mut store = ParamStore::new();
+        self.lif = Some(LifLayer::new(&mut store, &mut rng, "spike.lif", self.embed_dim, self.hidden));
+        self.head = Some(Linear::new(&mut store, &mut rng, "spike.head", self.hidden, 1));
+
+        if train.is_empty() {
+            self.store = store;
+            return;
+        }
+        let xrows = rows(&train, emb, self.max_len, self.embed_dim);
+        // Potential-assisted weak supervision copes with extreme class
+        // imbalance; model that by oversampling the labeled anomalies so
+        // they make up roughly a quarter of the training stream.
+        let mut sample_idx: Vec<usize> = (0..train.len()).collect();
+        let pos: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0.5)
+            .map(|(i, _)| i)
+            .collect();
+        if !pos.is_empty() {
+            let want = train.len() / 3;
+            while sample_idx.len() - train.len() < want {
+                sample_idx.extend_from_slice(&pos);
+            }
+        }
+        let this = &*self;
+        adamw_epochs(&mut store, sample_idx.len(), this.epochs, 64, 5e-3, ctx.seed, |g, st, idx, _| {
+            let real: Vec<usize> = idx.iter().map(|&i| sample_idx[i]).collect();
+            let x = g.input(batch_tensor(&xrows, &real, this.max_len, this.embed_dim));
+            let targets: Vec<f32> = real.iter().map(|&i| labels[i]).collect();
+            let logits = this.logits(g, st, x);
+            loss::bce_with_logits(g, logits, &targets)
+        });
+        self.store = store;
+    }
+
+    fn score(&self, samples: &[SeqSample], target: &PreparedSystem) -> Vec<f32> {
+        if self.lif.is_none() {
+            return vec![0.0; samples.len()];
+        }
+        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let mut out = Vec::with_capacity(samples.len());
+        for chunk in idx.chunks(256) {
+            let g = Graph::inference();
+            let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
+            let logits = self.logits(&g, &self.store, x);
+            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_classes_with_spiking_features() {
+        let emb = vec![vec![2.0, 0.0, 0.0, 0.0], vec![0.0, 2.0, 0.0, 0.0]];
+        let sequences: Vec<SeqSample> = (0..80)
+            .map(|i| {
+                let anom = i % 4 == 0;
+                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+            })
+            .collect();
+        let prep = PreparedSystem {
+            system: logsynergy_loggen::SystemId::SystemC,
+            sequences,
+            event_embeddings: emb,
+            event_texts: vec![String::new(); 2],
+            templates: vec![String::new(); 2],
+            review_stats: Default::default(),
+        };
+        let mut m = SpikeLog::new();
+        let binding = [];
+        let ctx = FitContext {
+            sources: &binding,
+            target: &prep,
+            n_source: 0,
+            n_target: 80,
+            max_len: 6,
+            embed_dim: 4,
+            seed: 4,
+        };
+        m.fit(&ctx);
+        let ok = SeqSample { events: vec![0; 6], label: false };
+        let bad = SeqSample { events: vec![1; 6], label: true };
+        let s = m.score(&[ok, bad], &prep);
+        assert!(s[1] > s[0], "{s:?}");
+    }
+}

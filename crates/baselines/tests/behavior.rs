@@ -1,0 +1,102 @@
+//! Behavioral tests for the baselines on *generated* corpora (not toy
+//! fixtures): each method must exhibit its §IV-B profile on a real
+//! target, independent of the full evaluation harness.
+
+use logsynergy::data::{prepare_system, EventTextMode, PreparedSystem};
+use logsynergy_baselines::{DeepLog, FitContext, LogRobust, LogTAD, Method, PLELog};
+use logsynergy_embed::HashedEmbedder;
+use logsynergy_loggen::datasets;
+use logsynergy_logparse::WindowConfig;
+
+const DIM: usize = 32;
+const N_TARGET: usize = 200;
+
+fn prepare(spec: logsynergy_loggen::DatasetSpec, scale: f64) -> PreparedSystem {
+    let ds = spec.generate_with(scale, 4.0);
+    let embedder = HashedEmbedder::new(DIM, 0xE1B);
+    prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default())
+}
+
+fn target_and_sources() -> (PreparedSystem, Vec<PreparedSystem>) {
+    let target = prepare(datasets::thunderbird(), 0.012);
+    let sources = vec![prepare(datasets::bgl(), 0.006), prepare(datasets::spirit(), 0.002)];
+    (target, sources)
+}
+
+fn prf(method: &dyn Method, target: &PreparedSystem) -> (f64, f64) {
+    let (_, test) = target.split(N_TARGET, 1000);
+    let pred = method.detect(&test, target);
+    let (mut tp, mut fp, mut fn_) = (0.0, 0.0, 0.0);
+    for (p, s) in pred.iter().zip(&test) {
+        match (*p, s.label) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fn_ += 1.0,
+            _ => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    (precision, recall)
+}
+
+fn ctx<'a>(
+    sources: &'a [&'a PreparedSystem],
+    target: &'a PreparedSystem,
+) -> FitContext<'a> {
+    FitContext {
+        sources,
+        target,
+        n_source: 700,
+        n_target: N_TARGET,
+        max_len: 10,
+        embed_dim: DIM,
+        seed: 11,
+    }
+}
+
+#[test]
+fn deeplog_floods_with_false_positives_on_a_new_system() {
+    let (target, _) = target_and_sources();
+    let mut m = DeepLog::new();
+    let binding: [&PreparedSystem; 0] = [];
+    m.fit(&ctx(&binding, &target));
+    let (precision, recall) = prf(&m, &target);
+    assert!(recall > 0.8, "DeepLog recall should be high: {recall}");
+    assert!(precision < 0.5, "DeepLog precision should collapse: {precision}");
+}
+
+#[test]
+fn plelog_flags_unfamiliar_patterns() {
+    let (target, _) = target_and_sources();
+    let mut m = PLELog::new();
+    let binding: [&PreparedSystem; 0] = [];
+    m.fit(&ctx(&binding, &target));
+    let (precision, recall) = prf(&m, &target);
+    assert!(recall > 0.4, "PLELog recall: {recall}");
+    assert!(precision < 0.9, "PLELog precision should suffer on new systems: {precision}");
+}
+
+#[test]
+fn logrobust_is_limited_by_the_target_slice() {
+    let (target, _) = target_and_sources();
+    let mut m = LogRobust::new();
+    let binding: [&PreparedSystem; 0] = [];
+    m.fit(&ctx(&binding, &target));
+    let (_, recall) = prf(&m, &target);
+    // Most anomaly kinds never appear in the target's training slice, so a
+    // supervised single-system method cannot reach full recall.
+    assert!(recall < 0.95, "LogRobust should miss unseen anomaly kinds: {recall}");
+}
+
+#[test]
+fn logtad_scores_are_monotone_in_center_distance() {
+    let (target, sources) = target_and_sources();
+    let src_refs: Vec<&PreparedSystem> = sources.iter().collect();
+    let mut m = LogTAD::new();
+    m.fit(&ctx(&src_refs, &target));
+    let (_, test) = target.split(N_TARGET, 500);
+    let scores = m.score(&test, &target);
+    assert_eq!(scores.len(), test.len());
+    assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+}

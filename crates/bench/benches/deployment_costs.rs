@@ -1,0 +1,78 @@
+//! §VI-B regenerator: deployment cost numbers — LEI generation + review
+//! effort per dataset (§VI-B2: "less than a minute", "a few hundred
+//! templates", review "within ten minutes") and offline training time
+//! (§VI-B3: "approximately 10 minutes" on a V100 at paper scale).
+
+use logsynergy::api::Pipeline;
+use logsynergy_bench::write_result;
+use logsynergy_eval::{prepare, ExperimentConfig};
+use logsynergy_loggen::{datasets, SystemId};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct LeiCost {
+    dataset: String,
+    templates: usize,
+    interpret_secs: f64,
+    review_regenerated: usize,
+    review_repaired: usize,
+    consistency_regens: usize,
+}
+
+#[derive(Serialize)]
+struct TrainCost {
+    target: String,
+    train_sequences: usize,
+    parameters: usize,
+    train_secs: f64,
+}
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+
+    println!("== LEI generation + review cost per dataset ==");
+    let mut lei_costs = Vec::new();
+    for sys in SystemId::ALL {
+        let t0 = Instant::now();
+        let d = prepare(sys, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let c = LeiCost {
+            dataset: sys.name().into(),
+            templates: d.lei.templates.len(),
+            interpret_secs: secs,
+            review_regenerated: d.lei.review_stats.regenerated,
+            review_repaired: d.lei.review_stats.repaired,
+            consistency_regens: d.lei.review_stats.consistency_regens,
+        };
+        println!(
+            "{:<12} {:>4} templates  prep {:>5.1}s  format-regens {}  repairs {}  consistency {}",
+            c.dataset, c.templates, c.interpret_secs, c.review_regenerated, c.review_repaired,
+            c.consistency_regens
+        );
+        assert!(c.templates < 500, "a few hundred templates at most (paper §VI-B2)");
+        lei_costs.push(c);
+    }
+
+    println!("\n== offline training time (scaled; paper: ~10 min at full scale) ==");
+    let mut p = Pipeline::scaled();
+    p.train_config.epochs = cfg.epochs;
+    p.train_config.n_source = cfg.n_source;
+    p.train_config.n_target = cfg.n_target;
+    let src1 = p.prepare(&datasets::system_a().generate_with(cfg.scale_for(SystemId::SystemA), 4.0));
+    let src2 = p.prepare(&datasets::system_c().generate_with(cfg.scale_for(SystemId::SystemC), 4.0));
+    let tgt = p.prepare(&datasets::system_b().generate_with(cfg.scale_for(SystemId::SystemB), 4.0));
+    let t0 = Instant::now();
+    let (model, _) = p.fit(&[&src1, &src2], &tgt);
+    let train = TrainCost {
+        target: "System B".into(),
+        train_sequences: cfg.n_source * 2 + cfg.n_target,
+        parameters: model.num_parameters(),
+        train_secs: t0.elapsed().as_secs_f64(),
+    };
+    println!(
+        "{}: {} sequences, {} parameters, {:.1}s",
+        train.target, train.train_sequences, train.parameters, train.train_secs
+    );
+    write_result("deployment_costs", &(lei_costs, train));
+}

@@ -1,0 +1,42 @@
+//! Fig. 4 regenerator: F1 sweeps over λ_MI (4a), n_s (4b), and n_t (4c).
+//!
+//! The paper sweeps λ_MI ∈ {0.001, 0.01, 0.05, 0.1, 0.5}, n_s ∈ 10k..80k,
+//! n_t ∈ 1k..8k. The scaled harness keeps the grid shapes with sample
+//! counts proportional to the CPU-scale n_s/n_t defaults.
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_eval::experiments::{fig4a, fig4b, fig4c};
+use logsynergy_eval::report::render_sweep;
+use logsynergy_eval::ExperimentConfig;
+use logsynergy_loggen::SystemId;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+    // All six targets for the λ sweep (the paper's Fig. 4a plots all six);
+    // quick mode trims to two targets per sweep.
+    let all: Vec<SystemId> = SystemId::ALL.to_vec();
+    let trimmed = vec![SystemId::Thunderbird, SystemId::SystemB];
+    let (targets_a, targets_bc) = if quick_mode() {
+        (trimmed.clone(), trimmed)
+    } else {
+        (all.clone(), vec![SystemId::Bgl, SystemId::Thunderbird, SystemId::SystemB])
+    };
+
+    let t0 = Instant::now();
+    let a = fig4a(&targets_a, &cfg);
+    println!("{}", render_sweep("Fig. 4a: F1 vs lambda_MI", &a));
+
+    // n_s sweep: 8 points like the paper's 10k..80k grid, scaled.
+    let ns: Vec<usize> = (1..=8).map(|i| i * cfg.n_source / 5).collect();
+    let b = fig4b(&targets_bc, &ns, &cfg);
+    println!("{}", render_sweep("Fig. 4b: F1 vs n_s", &b));
+
+    // n_t sweep: 8 points like the paper's 1k..8k grid, scaled.
+    let nt: Vec<usize> = (1..=8).map(|i| i * cfg.n_target / 5).collect();
+    let c = fig4c(&targets_bc, &nt, &cfg);
+    println!("{}", render_sweep("Fig. 4c: F1 vs n_t", &c));
+
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("fig4_hyperparams", &(a, b, c));
+}

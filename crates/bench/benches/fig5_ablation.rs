@@ -1,0 +1,23 @@
+//! Fig. 5 regenerator: ablation of LEI, SUFE, and transfer learning on
+//! all six targets.
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_eval::experiments::fig5;
+use logsynergy_eval::report::render_ablation;
+use logsynergy_eval::ExperimentConfig;
+use logsynergy_loggen::SystemId;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+    let targets: Vec<SystemId> = if quick_mode() {
+        vec![SystemId::Thunderbird, SystemId::SystemB]
+    } else {
+        SystemId::ALL.to_vec()
+    };
+    let t0 = Instant::now();
+    let results = fig5(&targets, &cfg);
+    println!("{}", render_ablation(&results));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("fig5_ablation", &results);
+}

@@ -1,0 +1,17 @@
+//! Fig. 6 regenerator: the four cross-group transfers of §V (Lesson
+//! Learned) — rich→simple succeeds, simple→rich does not.
+
+use logsynergy_bench::write_result;
+use logsynergy_eval::experiments::fig6;
+use logsynergy_eval::report::render_transfers;
+use logsynergy_eval::ExperimentConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+    let t0 = Instant::now();
+    let results = fig6(&cfg);
+    println!("{}", render_transfers(&results));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("fig6_lessons", &results);
+}

@@ -1,0 +1,16 @@
+//! Fig. 8 regenerator: the System A / System C false-positive case study.
+
+use logsynergy_bench::write_result;
+use logsynergy_eval::experiments::fig8_case_study;
+use logsynergy_eval::report::render_case_study;
+use logsynergy_eval::ExperimentConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig { logs_per_dataset: 8_000, ..ExperimentConfig::quick() };
+    let t0 = Instant::now();
+    let cs = fig8_case_study(&cfg);
+    println!("{}", render_case_study(&cs));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("fig8_case_study", &cs);
+}

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks for the performance-critical substrate:
+//! Drain parsing, sentence embedding, a LogSynergy training step, and
+//! online detector scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use logsynergy::config::{ModelConfig, TrainConfig};
+use logsynergy::model::LogSynergyModel;
+use logsynergy::trainer::{build_training_set, train, TrainOptions};
+use logsynergy::Detector;
+use logsynergy_embed::HashedEmbedder;
+use logsynergy_eval::{prepare, ExperimentConfig};
+use logsynergy_loggen::{datasets, SystemId};
+use logsynergy_logparse::Drain;
+
+fn bench_drain(c: &mut Criterion) {
+    let ds = datasets::system_b().generate(0.005);
+    let messages: Vec<String> = ds.messages().map(|m| m.to_string()).collect();
+    let mut g = c.benchmark_group("drain");
+    g.throughput(Throughput::Elements(messages.len() as u64));
+    g.bench_function(BenchmarkId::new("parse_stream", messages.len()), |b| {
+        b.iter(|| {
+            let mut d = Drain::with_defaults();
+            for m in &messages {
+                std::hint::black_box(d.parse(m));
+            }
+            d.num_templates()
+        })
+    });
+    g.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let embedder = HashedEmbedder::new(64, 1);
+    let text = "network connection interrupted due to loss of signal";
+    c.bench_function("embed_sentence_64d", |b| {
+        b.iter(|| std::hint::black_box(embedder.embed(std::hint::black_box(text))))
+    });
+}
+
+fn toy_sets() -> (logsynergy::PreparedSystem, logsynergy::PreparedSystem) {
+    let cfg = ExperimentConfig {
+        logs_per_dataset: 4_000,
+        ..ExperimentConfig::quick()
+    };
+    let src = prepare(SystemId::SystemC, &cfg);
+    let tgt = prepare(SystemId::SystemB, &cfg);
+    (src.lei, tgt.lei)
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let (src, tgt) = toy_sets();
+    let mut mcfg = ModelConfig::scaled(2);
+    mcfg.embed_dim = 64;
+    let mut tcfg = TrainConfig::scaled();
+    tcfg.epochs = 1;
+    tcfg.n_source = 256;
+    tcfg.n_target = 64;
+    tcfg.batch_size = 64;
+    let set = build_training_set(&[&src], &tgt, tcfg.n_source, tcfg.n_target, 10, 64);
+    c.bench_function("logsynergy_train_epoch_320x10x64", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
+            train(&mut model, &set, &tcfg, TrainOptions::default());
+            model.num_parameters()
+        })
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let (src, tgt) = toy_sets();
+    let mut mcfg = ModelConfig::scaled(2);
+    mcfg.embed_dim = 64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let model = LogSynergyModel::new(mcfg, &mut rng);
+    let _ = src;
+    let samples = tgt.head(256);
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("score_256_windows", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Detector::new(&model).scores(&samples, &tgt.event_embeddings),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_drain, bench_embedding, bench_train_epoch, bench_detector
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table III regenerator: dataset statistics at the experiment scale,
+//! printed next to the paper's full-scale numbers.
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_eval::experiments::table3;
+use logsynergy_eval::report::render_table3;
+use logsynergy_eval::ExperimentConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = if quick_mode() {
+        ExperimentConfig { logs_per_dataset: 4_000, ..ExperimentConfig::quick() }
+    } else {
+        ExperimentConfig::default()
+    };
+    let t0 = Instant::now();
+    let rows = table3(&cfg);
+    println!("{}", render_table3(&rows));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("table3_datasets", &rows);
+}

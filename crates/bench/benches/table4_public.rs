@@ -1,0 +1,17 @@
+//! Table IV regenerator: all eleven methods on the public group
+//! (BGL / Spirit / Thunderbird as targets).
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_eval::experiments::table4;
+use logsynergy_eval::report::render_group_table;
+use logsynergy_eval::ExperimentConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = if quick_mode() { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let t0 = Instant::now();
+    let results = table4(&cfg);
+    println!("{}", render_group_table("Table IV: public datasets", &results));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("table4_public", &results);
+}

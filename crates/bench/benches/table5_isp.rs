@@ -1,0 +1,17 @@
+//! Table V regenerator: all eleven methods on the ISP group
+//! (Systems A / B / C as targets).
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_eval::experiments::table5;
+use logsynergy_eval::report::render_group_table;
+use logsynergy_eval::ExperimentConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = if quick_mode() { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let t0 = Instant::now();
+    let results = table5(&cfg);
+    println!("{}", render_group_table("Table V: ISP datasets", &results));
+    println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
+    write_result("table5_isp", &results);
+}

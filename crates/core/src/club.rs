@@ -1,0 +1,225 @@
+//! CLUB — Contrastive Log-ratio Upper Bound of mutual information
+//! (Cheng et al., ICML 2020), the MI estimator SUFE minimizes (Eq. 3).
+//!
+//! CLUB fits a variational net `q(F_s | F_u) = N(mu(F_u), diag(var(F_u)))`
+//! by maximum likelihood, then upper-bounds `I(F_u; F_s)` by the contrast
+//! between positive-pair and shuffled-pair log-likelihoods. Training
+//! alternates two roles inside one step:
+//!
+//! 1. the estimator nets learn on *detached* features
+//!    ([`Club::learning_loss`]);
+//! 2. the feature extractor receives the MI bound's gradient through
+//!    *frozen* estimator nets ([`Club::mi_upper_bound`]).
+
+use rand::Rng;
+
+use logsynergy_nn::graph::{Graph, ParamId, ParamStore, Var};
+use logsynergy_nn::init::xavier_uniform;
+use logsynergy_nn::ops;
+use logsynergy_nn::Tensor;
+
+/// The CLUB estimator's variational network: two small MLPs predicting the
+/// mean and log-variance of `F_s` given `F_u`.
+pub struct Club {
+    // mu net: in -> hidden -> out
+    mu_w1: ParamId,
+    mu_b1: ParamId,
+    mu_w2: ParamId,
+    mu_b2: ParamId,
+    // logvar net
+    lv_w1: ParamId,
+    lv_b1: ParamId,
+    lv_w2: ParamId,
+    lv_b2: ParamId,
+    out_dim: usize,
+}
+
+fn bindp(g: &Graph, store: &ParamStore, id: ParamId, frozen: bool) -> Var {
+    if frozen {
+        g.input(store.value(id).clone())
+    } else {
+        g.bind(store, id)
+    }
+}
+
+impl Club {
+    /// Registers the estimator's parameters: predicts `out_dim`-dim `F_s`
+    /// from `in_dim`-dim `F_u` through a `hidden`-wide layer.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+    ) -> Self {
+        let lin = |n: &str, i: usize, o: usize, store: &mut ParamStore, rng: &mut R| {
+            (
+                store.add(format!("{name}.{n}.w"), xavier_uniform(rng, i, o)),
+                store.add(format!("{name}.{n}.b"), Tensor::zeros(&[o])),
+            )
+        };
+        let (mu_w1, mu_b1) = lin("mu1", in_dim, hidden, store, rng);
+        let (mu_w2, mu_b2) = lin("mu2", hidden, out_dim, store, rng);
+        let (lv_w1, lv_b1) = lin("lv1", in_dim, hidden, store, rng);
+        let (lv_w2, lv_b2) = lin("lv2", hidden, out_dim, store, rng);
+        Club { mu_w1, mu_b1, mu_w2, mu_b2, lv_w1, lv_b1, lv_w2, lv_b2, out_dim }
+    }
+
+    /// Runs the variational nets; `frozen` controls whether gradients reach
+    /// the estimator parameters.
+    fn mu_logvar(&self, g: &Graph, store: &ParamStore, x: Var, frozen: bool) -> (Var, Var) {
+        let h_mu = {
+            let w = bindp(g, store, self.mu_w1, frozen);
+            let b = bindp(g, store, self.mu_b1, frozen);
+            ops::relu(g, ops::add(g, ops::matmul(g, x, w), b))
+        };
+        let mu = {
+            let w = bindp(g, store, self.mu_w2, frozen);
+            let b = bindp(g, store, self.mu_b2, frozen);
+            ops::add(g, ops::matmul(g, h_mu, w), b)
+        };
+        let h_lv = {
+            let w = bindp(g, store, self.lv_w1, frozen);
+            let b = bindp(g, store, self.lv_b1, frozen);
+            ops::relu(g, ops::add(g, ops::matmul(g, x, w), b))
+        };
+        let lv = {
+            let w = bindp(g, store, self.lv_w2, frozen);
+            let b = bindp(g, store, self.lv_b2, frozen);
+            // tanh keeps log-variance in [-1, 1] for numerical stability.
+            ops::tanh(g, ops::add(g, ops::matmul(g, h_lv, w), b))
+        };
+        (mu, lv)
+    }
+
+    /// Mean per-sample Gaussian log-likelihood `log q(y | x)` (up to the
+    /// constant term), shape scalar.
+    fn mean_loglik(&self, g: &Graph, store: &ParamStore, x: Var, y: Var, frozen: bool) -> Var {
+        let (mu, lv) = self.mu_logvar(g, store, x, frozen);
+        let diff = ops::sub(g, y, mu);
+        let sq = ops::square(g, diff);
+        let inv_var = ops::exp(g, ops::neg(g, lv));
+        let quad = ops::mul(g, sq, inv_var);
+        let per_dim = ops::add(g, quad, lv); // (y-mu)^2/var + logvar
+        let nll_like = ops::mean_all(g, per_dim);
+        ops::scale(g, nll_like, -0.5)
+    }
+
+    /// Estimator-training loss: negative log-likelihood of positive pairs,
+    /// computed on *detached* features so only the CLUB nets learn from it.
+    pub fn learning_loss(&self, g: &Graph, store: &ParamStore, fu: Var, fs: Var) -> Var {
+        let fu_d = ops::detach(g, fu);
+        let fs_d = ops::detach(g, fs);
+        let ll = self.mean_loglik(g, store, fu_d, fs_d, false);
+        ops::neg(g, ll)
+    }
+
+    /// The CLUB MI upper bound with *frozen* estimator nets; gradients flow
+    /// only into the features, which is what SUFE minimizes (Eq. 3).
+    /// Negatives are formed by rolling `fs` one row (a derangement for
+    /// batch size ≥ 2).
+    pub fn mi_upper_bound(&self, g: &Graph, store: &ParamStore, fu: Var, fs: Var) -> Var {
+        let shape = g.shape_of(fs);
+        let b = shape[0];
+        let pos = self.mean_loglik(g, store, fu, fs, true);
+        if b < 2 {
+            return pos; // degenerate batch: no negatives available
+        }
+        // Roll rows by one: y_i paired with x_{i-1}.
+        let first = ops::slice_rows(g, fs, 0, 1);
+        let rest = ops::slice_rows(g, fs, 1, b - 1);
+        let rolled = ops::concat_rows(g, &[rest, first]);
+        let neg = self.mean_loglik(g, store, fu, rolled, true);
+        ops::sub(g, pos, neg)
+    }
+
+    /// Output (F_s) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy_nn::optim::AdamW;
+    use rand::SeedableRng;
+
+    fn store_with_club(in_dim: usize, out_dim: usize) -> (ParamStore, Club) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let mut store = ParamStore::new();
+        let club = Club::new(&mut store, &mut rng, "club", in_dim, 16, out_dim);
+        (store, club)
+    }
+
+    #[test]
+    fn learning_loss_trains_only_club_params() {
+        let (mut store, club) = store_with_club(4, 4);
+        let g = Graph::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let fu = g.leaf(Tensor::randn(&mut rng, &[8, 4], 1.0));
+        let fs = g.leaf(Tensor::randn(&mut rng, &[8, 4], 1.0));
+        let loss = club.learning_loss(&g, &store, fu, fs);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        assert!(store.grad_norm() > 0.0, "club params should receive gradients");
+        assert!(g.grad(fu).is_none(), "features must be detached in learning loss");
+        assert!(g.grad(fs).is_none());
+    }
+
+    #[test]
+    fn mi_bound_gradients_reach_features_not_club() {
+        let (mut store, club) = store_with_club(4, 4);
+        let g = Graph::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let fu = g.leaf(Tensor::randn(&mut rng, &[8, 4], 1.0));
+        let fs = g.leaf(Tensor::randn(&mut rng, &[8, 4], 1.0));
+        let mi = club.mi_upper_bound(&g, &store, fu, fs);
+        g.backward(mi);
+        g.write_grads(&mut store);
+        assert_eq!(store.grad_norm(), 0.0, "club params are frozen in the MI bound");
+        assert!(g.grad(fu).is_some());
+        assert!(g.grad(fs).is_some());
+    }
+
+    #[test]
+    fn trained_club_separates_dependent_from_independent() {
+        // Train the estimator on y = x (max dependence); the bound on
+        // dependent pairs must exceed the bound on independent pairs.
+        let (mut store, club) = store_with_club(3, 3);
+        let mut opt = AdamW::new(&store, 1e-2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let x = Tensor::randn(&mut rng, &[64, 3], 1.0);
+        for _ in 0..150 {
+            let g = Graph::new();
+            let fu = g.input(x.clone());
+            let fs = g.input(x.clone());
+            let loss = club.learning_loss(&g, &store, fu, fs);
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store);
+        }
+        let g = Graph::inference();
+        let fu = g.input(x.clone());
+        let fs_dep = g.input(x.clone());
+        let fs_ind = g.input(Tensor::randn(&mut rng, &[64, 3], 1.0));
+        let mi_dep = g.value(club.mi_upper_bound(&g, &store, fu, fs_dep)).item();
+        let mi_ind = g.value(club.mi_upper_bound(&g, &store, fu, fs_ind)).item();
+        assert!(
+            mi_dep > mi_ind + 0.1,
+            "dependent MI bound {mi_dep} should exceed independent {mi_ind}"
+        );
+        assert!(mi_dep > 0.0);
+    }
+
+    #[test]
+    fn single_row_batch_degrades_gracefully() {
+        let (store, club) = store_with_club(2, 2);
+        let g = Graph::new();
+        let fu = g.input(Tensor::ones(&[1, 2]));
+        let fs = g.input(Tensor::ones(&[1, 2]));
+        let mi = club.mi_upper_bound(&g, &store, fu, fs);
+        assert!(g.value(mi).item().is_finite());
+    }
+}

@@ -1,0 +1,186 @@
+//! Configuration for the LogSynergy model and trainer.
+
+use serde::{Deserialize, Serialize};
+
+/// Network architecture configuration (paper §IV-A4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Event-embedding dimension fed into the model.
+    pub embed_dim: usize,
+    /// Transformer model width (must be even: it splits into
+    /// system-unified and system-specific halves of `d_model / 2` each,
+    /// matching the paper's equal-dimension constraint in §III-D2).
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width inside encoder blocks.
+    pub ff: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Maximum sequence (window) length.
+    pub max_len: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+    /// Hidden width of the classifier/CLUB/domain MLPs.
+    pub head_hidden: usize,
+    /// Number of systems participating in training (source + target), i.e.
+    /// `K` of the system-classification loss Eq. (1).
+    pub num_systems: usize,
+}
+
+impl ModelConfig {
+    /// The paper's configuration (§IV-A4): 6 encoder layers, 12 heads,
+    /// FFN 2048, 768-dim embeddings. Heavy on CPU — used for documentation
+    /// and scale benches, not the default experiments.
+    pub fn paper(num_systems: usize) -> Self {
+        ModelConfig {
+            embed_dim: 768,
+            d_model: 768,
+            heads: 12,
+            ff: 2048,
+            layers: 6,
+            max_len: 10,
+            dropout: 0.1,
+            head_hidden: 256,
+            num_systems,
+        }
+    }
+
+    /// CPU-scale configuration used by the default experiments; preserves
+    /// every architectural element at reduced width.
+    pub fn scaled(num_systems: usize) -> Self {
+        ModelConfig {
+            embed_dim: 64,
+            d_model: 64,
+            heads: 4,
+            ff: 128,
+            layers: 2,
+            max_len: 10,
+            dropout: 0.1,
+            head_hidden: 64,
+            num_systems,
+        }
+    }
+
+    /// Width of each disentangled feature half.
+    pub fn half_dim(&self) -> usize {
+        self.d_model / 2
+    }
+
+    /// Panics if the configuration is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.d_model % 2 == 0, "d_model must be even to split F_u/F_s");
+        assert!(self.d_model % self.heads == 0, "heads must divide d_model");
+        assert!(self.num_systems >= 2, "need at least one source and one target system");
+        assert!(self.max_len > 0 && self.embed_dim > 0);
+    }
+}
+
+/// Training configuration (paper §IV-A4 defaults, scaled variant for CPU).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Weight of the mutual-information loss, λ_MI of Eq. (5).
+    pub lambda_mi: f32,
+    /// Weight of the domain-adaptation loss, λ_DA of Eq. (5).
+    pub lambda_da: f32,
+    /// GRL strength (adversarial reversal factor).
+    pub grl_lambda: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Sequences per *source* system (n_s).
+    pub n_source: usize,
+    /// Sequences from the target system (n_t).
+    pub n_target: usize,
+    /// RNG seed for shuffling/dropout/init.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Paper values: lr 1e-4, 10 epochs, batch 1024, λ = 0.01,
+    /// n_s = 50 000, n_t = 5 000.
+    pub fn paper() -> Self {
+        TrainConfig {
+            lr: 1e-4,
+            epochs: 10,
+            batch_size: 1024,
+            lambda_mi: 0.01,
+            lambda_da: 0.01,
+            grl_lambda: 1.0,
+            grad_clip: 5.0,
+            n_source: 50_000,
+            n_target: 5_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// CPU-scale defaults keeping the paper's ratios (n_s : n_t = 10 : 1).
+    pub fn scaled() -> Self {
+        TrainConfig {
+            lr: 1e-3,
+            epochs: 6,
+            batch_size: 128,
+            lambda_mi: 0.01,
+            lambda_da: 0.01,
+            grl_lambda: 1.0,
+            grad_clip: 5.0,
+            n_source: 2_000,
+            n_target: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_4a4() {
+        let m = ModelConfig::paper(3);
+        assert_eq!(m.layers, 6);
+        assert_eq!(m.heads, 12);
+        assert_eq!(m.ff, 2048);
+        let t = TrainConfig::paper();
+        assert_eq!(t.epochs, 10);
+        assert_eq!(t.batch_size, 1024);
+        assert!((t.lr - 1e-4).abs() < 1e-9);
+        assert!((t.lambda_mi - 0.01).abs() < 1e-9);
+        assert!((t.lambda_da - 0.01).abs() < 1e-9);
+        assert_eq!(t.n_source, 50_000);
+        assert_eq!(t.n_target, 5_000);
+    }
+
+    #[test]
+    fn scaled_keeps_source_target_ratio() {
+        let t = TrainConfig::scaled();
+        assert_eq!(t.n_source / t.n_target, 10);
+    }
+
+    #[test]
+    fn validate_rejects_odd_d_model() {
+        let mut m = ModelConfig::scaled(3);
+        m.d_model = 65;
+        let r = std::panic::catch_unwind(move || m.validate());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn half_dim_splits_evenly() {
+        let m = ModelConfig::scaled(3);
+        assert_eq!(m.half_dim() * 2, m.d_model);
+    }
+
+    #[test]
+    fn configs_serialize_roundtrip() {
+        let m = ModelConfig::scaled(4);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: ModelConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.d_model, m.d_model);
+    }
+}

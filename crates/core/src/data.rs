@@ -1,0 +1,226 @@
+//! The data pipeline: raw logs → Drain events → windows → event texts
+//! (LEI interpretations or raw templates) → embeddings (paper §III-B/C).
+
+use logsynergy_embed::HashedEmbedder;
+use logsynergy_lei::{interpret_with_review, LeiConfig, LlmInterpreter, ReviewPolicy, ReviewStats};
+use logsynergy_loggen::{LogDataset, SystemId};
+use logsynergy_logparse::{windows, Drain, DrainConfig, WindowConfig};
+use logsynergy_nn::Tensor;
+
+/// One windowed training/evaluation sample.
+#[derive(Clone, Debug)]
+pub struct SeqSample {
+    /// Event (template) ids inside the window, in log order.
+    pub events: Vec<u32>,
+    /// Sequence-level anomaly label.
+    pub label: bool,
+}
+
+/// How event ids are turned into text before embedding.
+#[derive(Clone, Debug)]
+pub enum EventTextMode {
+    /// Full LogSynergy: LEI interpretations (with the given LLM config),
+    /// reviewed per §VI-B2.
+    Interpreted(LeiConfig),
+    /// Ablation "w/o LEI": embed the raw template text directly.
+    RawTemplate,
+}
+
+/// A system's fully prepared data: sequences plus per-template embeddings.
+pub struct PreparedSystem {
+    /// Which system this is.
+    pub system: SystemId,
+    /// All windowed sequences in stream order.
+    pub sequences: Vec<SeqSample>,
+    /// Template id → embedding vector.
+    pub event_embeddings: Vec<Vec<f32>>,
+    /// Template id → text that was embedded (interpretation or template).
+    pub event_texts: Vec<String>,
+    /// Template id → raw Drain template text.
+    pub templates: Vec<String>,
+    /// Operator review statistics from LEI (zeroes in raw mode).
+    pub review_stats: ReviewStats,
+}
+
+impl PreparedSystem {
+    /// Continuous (non-shuffled) split, per §IV-A1: the first `n_train`
+    /// sequences train, the rest test. `max_test` caps the test set for
+    /// CPU-budget runs (0 = no cap).
+    pub fn split(&self, n_train: usize, max_test: usize) -> (Vec<SeqSample>, Vec<SeqSample>) {
+        let n_train = n_train.min(self.sequences.len());
+        let train = self.sequences[..n_train].to_vec();
+        let mut test = self.sequences[n_train..].to_vec();
+        if max_test > 0 && test.len() > max_test {
+            test.truncate(max_test);
+        }
+        (train, test)
+    }
+
+    /// First `n` sequences (used for the target's continuous training
+    /// slice).
+    pub fn head(&self, n: usize) -> Vec<SeqSample> {
+        self.sequences[..n.min(self.sequences.len())].to_vec()
+    }
+
+    /// `n` sequences spread evenly across the whole stream — the source
+    /// systems' selection. Sources are *mature* systems whose full history
+    /// is available; the §IV-A1 continuous-split leakage concern applies to
+    /// the target system only.
+    pub fn spread(&self, n: usize) -> Vec<SeqSample> {
+        let len = self.sequences.len();
+        if n >= len {
+            return self.sequences.clone();
+        }
+        (0..n).map(|i| self.sequences[i * len / n].clone()).collect()
+    }
+
+    /// Number of anomalous sequences.
+    pub fn num_anomalous(&self) -> usize {
+        self.sequences.iter().filter(|s| s.label).count()
+    }
+}
+
+/// Prepares a system end-to-end: parse, window, interpret, embed.
+pub fn prepare_system(
+    dataset: &LogDataset,
+    mode: &EventTextMode,
+    embedder: &HashedEmbedder,
+    window: WindowConfig,
+) -> PreparedSystem {
+    let mut drain = Drain::new(DrainConfig::default());
+    let events = drain.parse_all(dataset.messages());
+    let labels = dataset.labels();
+    let seqs = windows(&events, &labels, window);
+    let sequences = seqs
+        .into_iter()
+        .map(|s| SeqSample { events: s.events.iter().map(|e| e.0).collect(), label: s.anomalous })
+        .collect();
+
+    let templates: Vec<String> = drain.templates().iter().map(|t| t.text()).collect();
+    let (event_texts, review_stats) = match mode {
+        EventTextMode::Interpreted(cfg) => {
+            let lei = LlmInterpreter::new(cfg.clone());
+            let policy = ReviewPolicy::default();
+            let (interps, stats) = interpret_with_review(&lei, dataset.system, &templates, &policy);
+            (interps.into_iter().map(|i| i.text).collect(), stats)
+        }
+        EventTextMode::RawTemplate => (templates.clone(), ReviewStats::default()),
+    };
+    let event_embeddings = event_texts.iter().map(|t| embedder.embed(t)).collect();
+
+    PreparedSystem {
+        system: dataset.system,
+        sequences,
+        event_embeddings,
+        event_texts,
+        templates,
+        review_stats,
+    }
+}
+
+/// Builds a `[B, T, D]` feature tensor for a batch of samples, looking up
+/// each event's embedding and zero-padding/truncating to `max_len`.
+pub fn batch_features(
+    samples: &[&SeqSample],
+    embeddings: &[Vec<f32>],
+    max_len: usize,
+    dim: usize,
+) -> Tensor {
+    let b = samples.len();
+    let mut data = vec![0.0f32; b * max_len * dim];
+    for (i, s) in samples.iter().enumerate() {
+        for (t, &e) in s.events.iter().take(max_len).enumerate() {
+            let emb = &embeddings[e as usize];
+            debug_assert_eq!(emb.len(), dim);
+            data[(i * max_len + t) * dim..(i * max_len + t + 1) * dim].copy_from_slice(emb);
+        }
+    }
+    Tensor::new(data, &[b, max_len, dim])
+}
+
+/// Anomaly labels of a batch as `f32`.
+pub fn batch_labels(samples: &[&SeqSample]) -> Vec<f32> {
+    samples.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy_loggen::datasets;
+
+    fn tiny() -> LogDataset {
+        datasets::system_b().generate(0.0008)
+    }
+
+    #[test]
+    fn prepare_interprets_and_embeds_every_template() {
+        let ds = tiny();
+        let embedder = HashedEmbedder::new(32, 1);
+        let prep = prepare_system(
+            &ds,
+            &EventTextMode::Interpreted(LeiConfig::default()),
+            &embedder,
+            WindowConfig::default(),
+        );
+        assert!(!prep.sequences.is_empty());
+        assert_eq!(prep.event_embeddings.len(), prep.templates.len());
+        assert_eq!(prep.event_texts.len(), prep.templates.len());
+        assert!(prep.templates.len() < 100, "few hundred templates at most (paper §VI-B2)");
+        // Every sequence's events must index into the template table.
+        for s in &prep.sequences {
+            for &e in &s.events {
+                assert!((e as usize) < prep.templates.len());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_mode_embeds_templates_verbatim() {
+        let ds = tiny();
+        let embedder = HashedEmbedder::new(32, 1);
+        let prep =
+            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        assert_eq!(prep.event_texts, prep.templates);
+        assert_eq!(prep.review_stats, ReviewStats::default());
+    }
+
+    #[test]
+    fn lei_and_raw_modes_differ_in_texts() {
+        let ds = tiny();
+        let embedder = HashedEmbedder::new(32, 1);
+        let a = prepare_system(
+            &ds,
+            &EventTextMode::Interpreted(LeiConfig::default()),
+            &embedder,
+            WindowConfig::default(),
+        );
+        let b =
+            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        assert_ne!(a.event_texts, b.event_texts);
+    }
+
+    #[test]
+    fn split_is_continuous_and_disjoint() {
+        let ds = tiny();
+        let embedder = HashedEmbedder::new(16, 1);
+        let prep =
+            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        let (train, test) = prep.split(10, 5);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 5);
+        assert_eq!(train[0].events, prep.sequences[0].events);
+        assert_eq!(test[0].events, prep.sequences[10].events);
+    }
+
+    #[test]
+    fn batch_features_shapes_and_padding() {
+        let emb = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let s1 = SeqSample { events: vec![0, 1], label: false };
+        let s2 = SeqSample { events: vec![1], label: true };
+        let x = batch_features(&[&s1, &s2], &emb, 3, 2);
+        assert_eq!(x.shape(), &[2, 3, 2]);
+        assert_eq!(&x.data()[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&x.data()[4..6], &[0.0, 0.0]); // padded step
+        assert_eq!(batch_labels(&[&s1, &s2]), vec![0.0, 1.0]);
+    }
+}

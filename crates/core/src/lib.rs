@@ -1,0 +1,64 @@
+//! # logsynergy
+//!
+//! A from-scratch Rust implementation of **LogSynergy** (ICDE 2025):
+//! transfer-learning log anomaly detection for new software systems, built
+//! on two ideas —
+//!
+//! - **LEI** (LLM-based Event Interpretation): standardize log syntax
+//!   across systems by interpreting each log event with an LLM
+//!   ([`logsynergy_lei`]);
+//! - **SUFE** (System-Unified Feature Extraction): disentangle
+//!   system-specific from system-unified features with a system
+//!   classifier, an anomaly classifier, and a CLUB mutual-information
+//!   upper bound ([`club`]), plus DAAN adversarial domain adaptation with
+//!   a gradient-reversal layer ([`model`]).
+//!
+//! The crate exposes the full offline-training / online-detection loop of
+//! the paper's Fig. 1 on top of the [`logsynergy_nn`] autograd substrate.
+//!
+//! ## Paper ↔ code map
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Eq. (1) `L_system` | [`logsynergy_nn::loss::cross_entropy`] on [`model::LogSynergyModel::system_logits`] |
+//! | Eq. (2) `L_anomaly` | [`logsynergy_nn::loss::bce_with_logits`] on [`model::LogSynergyModel::anomaly_logits`] |
+//! | Eq. (3) `L_MI` (CLUB) | [`club::Club::mi_upper_bound`] (+ the estimator's [`club::Club::learning_loss`]) |
+//! | Eq. (4) `L_DA` (DAAN + GRL) | [`model::LogSynergyModel::da_losses`] with ω mixing in [`trainer::train`] |
+//! | Eq. (5) total loss | assembled per batch in [`trainer::train`] |
+//! | §III-B pre-processing | [`data::prepare_system`] (Drain + windows) |
+//! | §III-C LEI + embedding | [`data::EventTextMode::Interpreted`] via [`logsynergy_lei`] / [`logsynergy_embed`] |
+//! | §III-E online detection | [`detector::Detector`] at [`detector::THRESHOLD`] |
+//! | §IV-A4 configuration | [`config::ModelConfig::paper`], [`config::TrainConfig::paper`] |
+//!
+//! ```no_run
+//! use logsynergy::api::Pipeline;
+//! use logsynergy::detector::Detector;
+//! use logsynergy_loggen::datasets;
+//!
+//! let pipeline = Pipeline::scaled();
+//! let src_a = pipeline.prepare(&datasets::bgl().generate(0.01));
+//! let src_b = pipeline.prepare(&datasets::spirit().generate(0.004));
+//! let target = pipeline.prepare(&datasets::system_b().generate(0.01));
+//! let (model, _history) = pipeline.fit(&[&src_a, &src_b], &target);
+//! let (_train, test) = target.split(200, 1000);
+//! let detections = Detector::new(&model).detect(&test, &target.event_embeddings);
+//! println!("{} anomalies flagged", detections.iter().filter(|&&d| d).count());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod club;
+pub mod config;
+pub mod data;
+pub mod detector;
+pub mod model;
+pub mod persist;
+pub mod trainer;
+
+pub use api::Pipeline;
+pub use config::{ModelConfig, TrainConfig};
+pub use data::{batch_features, batch_labels, prepare_system, EventTextMode, PreparedSystem, SeqSample};
+pub use detector::{AnomalyReport, Detector, THRESHOLD};
+pub use model::{Features, LogSynergyModel};
+pub use trainer::{build_training_set, train, DaMode, EpochStats, TrainOptions, TrainingSet};

@@ -1,0 +1,299 @@
+//! The LogSynergy network (paper §III-D1, Fig. 3): feature extractor `F`
+//! (Transformer encoder), anomaly classifier `C_anomaly`, system classifier
+//! `C_system`, mutual-information module `MI` (CLUB), and domain-adaptation
+//! module `DA` (DAAN with a gradient-reversal layer).
+
+use rand::Rng;
+
+use logsynergy_nn::graph::{Graph, ParamStore, Var};
+use logsynergy_nn::layers::{Activation, Linear, Mlp, TransformerEncoder};
+use logsynergy_nn::ops;
+
+use crate::club::Club;
+use crate::config::ModelConfig;
+
+/// The full trainable model. Only `F` (extractor) and `C_anomaly` are used
+/// online; the remaining modules exist to shape training (§III-D1).
+pub struct LogSynergyModel {
+    /// All parameters (extractor, heads, CLUB, domain classifiers).
+    pub store: ParamStore,
+    config: ModelConfig,
+    input_proj: Linear,
+    encoder: TransformerEncoder,
+    c_anomaly: Mlp,
+    c_system: Mlp,
+    club: Club,
+    d_global: Mlp,
+    d_cond_normal: Mlp,
+    d_cond_anomaly: Mlp,
+}
+
+/// The two disentangled feature halves of a batch.
+#[derive(Copy, Clone)]
+pub struct Features {
+    /// System-unified features `F_u(x)` — drive anomaly detection.
+    pub unified: Var,
+    /// System-specific features `F_s(x)` — drive system classification.
+    pub specific: Var,
+}
+
+/// The domain-adaptation module's two loss components (DAAN's global and
+/// class-conditional alignment; the trainer mixes them with the dynamic
+/// factor ω).
+pub struct DaLosses {
+    /// Marginal (global) domain-classifier loss.
+    pub global: Var,
+    /// Mean of the class-conditional domain-classifier losses.
+    pub conditional: Var,
+}
+
+impl LogSynergyModel {
+    /// Builds a fresh model.
+    pub fn new<R: Rng>(config: ModelConfig, rng: &mut R) -> Self {
+        config.validate();
+        let mut store = ParamStore::new();
+        let half = config.half_dim();
+        let input_proj =
+            Linear::new(&mut store, rng, "input_proj", config.embed_dim, config.d_model);
+        let encoder = TransformerEncoder::new(
+            &mut store,
+            rng,
+            "encoder",
+            config.d_model,
+            config.heads,
+            config.ff,
+            config.layers,
+            config.max_len,
+            config.dropout,
+        );
+        let c_anomaly = Mlp::new(
+            &mut store,
+            rng,
+            "c_anomaly",
+            &[half, config.head_hidden, 1],
+            Activation::Relu,
+        );
+        let c_system = Mlp::new(
+            &mut store,
+            rng,
+            "c_system",
+            &[half, config.head_hidden, config.num_systems],
+            Activation::Relu,
+        );
+        let club = Club::new(&mut store, rng, "club", half, config.head_hidden, half);
+        let d_global =
+            Mlp::new(&mut store, rng, "d_global", &[half, config.head_hidden, 1], Activation::Relu);
+        let d_cond_normal = Mlp::new(
+            &mut store,
+            rng,
+            "d_cond_normal",
+            &[half, config.head_hidden, 1],
+            Activation::Relu,
+        );
+        let d_cond_anomaly = Mlp::new(
+            &mut store,
+            rng,
+            "d_cond_anomaly",
+            &[half, config.head_hidden, 1],
+            Activation::Relu,
+        );
+        LogSynergyModel {
+            store,
+            config,
+            input_proj,
+            encoder,
+            c_anomaly,
+            c_system,
+            club,
+            d_global,
+            d_cond_normal,
+            d_cond_anomaly,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The CLUB estimator (exposed for the trainer's estimator step).
+    pub fn club(&self) -> &Club {
+        &self.club
+    }
+
+    /// Extracts and disentangles features from a `[B, T, embed_dim]` batch:
+    /// projection → Transformer encoder → mean pooling → split into the
+    /// equal-width `F_u` / `F_s` halves (§III-D2).
+    pub fn features<R: Rng + ?Sized>(&self, g: &Graph, x: Var, rng: &mut R) -> Features {
+        let h = self.input_proj.forward(g, &self.store, x);
+        let pooled = self.encoder.encode_pooled(g, &self.store, h, rng);
+        let half = self.config.half_dim();
+        Features {
+            unified: ops::slice_last(g, pooled, 0, half),
+            specific: ops::slice_last(g, pooled, half, half),
+        }
+    }
+
+    /// Anomaly logits `[B]` from system-unified features (Eq. 2's input).
+    pub fn anomaly_logits(&self, g: &Graph, f: Features) -> Var {
+        let logits = self.c_anomaly.forward(g, &self.store, f.unified);
+        let b = g.shape_of(logits)[0];
+        ops::reshape(g, logits, &[b])
+    }
+
+    /// System logits `[B, K]` from system-specific features (Eq. 1's input).
+    pub fn system_logits(&self, g: &Graph, f: Features) -> Var {
+        self.c_system.forward(g, &self.store, f.specific)
+    }
+
+    /// CLUB MI upper bound between the two halves (Eq. 3).
+    pub fn mi_loss(&self, g: &Graph, f: Features) -> Var {
+        self.club.mi_upper_bound(g, &self.store, f.unified, f.specific)
+    }
+
+    /// CLUB estimator training loss (detached features).
+    pub fn club_learning_loss(&self, g: &Graph, f: Features) -> Var {
+        self.club.learning_loss(g, &self.store, f.unified, f.specific)
+    }
+
+    /// DAAN losses (Eq. 4): domain classifiers on GRL-reversed unified
+    /// features. `domain_labels` are 0 = source, 1 = target. Conditional
+    /// alignment soft-weights samples by the (detached) predicted anomaly
+    /// probability, following DAAN's class-conditional subnetworks.
+    pub fn da_losses(
+        &self,
+        g: &Graph,
+        f: Features,
+        anomaly_logits: Var,
+        domain_labels: &[f32],
+        grl_lambda: f32,
+    ) -> DaLosses {
+        let rev = ops::grl(g, f.unified, grl_lambda);
+        let b = g.shape_of(rev)[0];
+
+        let glob_logits = self.d_global.forward(g, &self.store, rev);
+        let glob_flat = ops::reshape(g, glob_logits, &[b]);
+        let global = logsynergy_nn::loss::bce_with_logits(g, glob_flat, domain_labels);
+
+        // Class weights: p(anomaly) detached, reshaped to [B, 1].
+        let p = ops::sigmoid(g, ops::detach(g, anomaly_logits));
+        let p_col = ops::reshape(g, p, &[b, 1]);
+        let one_minus = ops::add_scalar(g, ops::neg(g, p_col), 1.0);
+
+        let weighted_norm = ops::mul(g, rev, one_minus);
+        let weighted_anom = ops::mul(g, rev, p_col);
+        let ln = {
+            let l = self.d_cond_normal.forward(g, &self.store, weighted_norm);
+            let l = ops::reshape(g, l, &[b]);
+            logsynergy_nn::loss::bce_with_logits(g, l, domain_labels)
+        };
+        let la = {
+            let l = self.d_cond_anomaly.forward(g, &self.store, weighted_anom);
+            let l = ops::reshape(g, l, &[b]);
+            logsynergy_nn::loss::bce_with_logits(g, l, domain_labels)
+        };
+        let cond_sum = ops::add(g, ln, la);
+        let conditional = ops::scale(g, cond_sum, 0.5);
+        DaLosses { global, conditional }
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy_nn::Tensor;
+    use rand::SeedableRng;
+
+    fn model() -> LogSynergyModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let mut cfg = ModelConfig::scaled(3);
+        cfg.embed_dim = 16;
+        cfg.d_model = 16;
+        cfg.heads = 2;
+        cfg.ff = 32;
+        cfg.layers = 1;
+        cfg.head_hidden = 16;
+        LogSynergyModel::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn features_split_into_equal_halves() {
+        let m = model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(82);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[4, 10, 16], 1.0));
+        let f = m.features(&g, x, &mut rng);
+        assert_eq!(g.shape_of(f.unified), vec![4, 8]);
+        assert_eq!(g.shape_of(f.specific), vec![4, 8]);
+    }
+
+    #[test]
+    fn heads_produce_expected_shapes() {
+        let m = model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[5, 10, 16], 1.0));
+        let f = m.features(&g, x, &mut rng);
+        assert_eq!(g.shape_of(m.anomaly_logits(&g, f)), vec![5]);
+        assert_eq!(g.shape_of(m.system_logits(&g, f)), vec![5, 3]);
+    }
+
+    #[test]
+    fn da_gradient_is_adversarial_on_extractor() {
+        // The GRL means: a step that *reduces* the domain classifier's loss
+        // must push the extractor toward *increasing* it. We check that
+        // gradients flow to both the domain head and the encoder.
+        let m = model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(84);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[4, 10, 16], 1.0));
+        let f = m.features(&g, x, &mut rng);
+        let logits = m.anomaly_logits(&g, f);
+        let da = m.da_losses(&g, f, logits, &[0.0, 0.0, 1.0, 1.0], 1.0);
+        let total = ops::add(&g, da.global, da.conditional);
+        g.backward(total);
+        let mut store = m.store;
+        g.write_grads(&mut store);
+        let grads_by_prefix = |p: &str| {
+            store
+                .ids()
+                .filter(|&id| store.name(id).starts_with(p))
+                .map(|id| store.grad(id).norm())
+                .sum::<f32>()
+        };
+        assert!(grads_by_prefix("d_global") > 0.0);
+        assert!(grads_by_prefix("encoder") > 0.0, "GRL must pass gradient into the extractor");
+        assert!(grads_by_prefix("c_anomaly") == 0.0, "detached class weights must not train C_anomaly");
+    }
+
+    #[test]
+    fn mi_loss_is_finite_and_backpropagates_to_encoder() {
+        let m = model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(85);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[4, 10, 16], 1.0));
+        let f = m.features(&g, x, &mut rng);
+        let mi = m.mi_loss(&g, f);
+        assert!(g.value(mi).item().is_finite());
+        g.backward(mi);
+        let mut store = m.store;
+        g.write_grads(&mut store);
+        let enc: f32 = store
+            .ids()
+            .filter(|&id| store.name(id).starts_with("encoder"))
+            .map(|id| store.grad(id).norm())
+            .sum();
+        assert!(enc > 0.0);
+    }
+
+    #[test]
+    fn parameter_count_is_reported() {
+        let m = model();
+        assert!(m.num_parameters() > 1000);
+    }
+}

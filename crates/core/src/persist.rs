@@ -1,0 +1,162 @@
+//! Model persistence: save a trained LogSynergy model to disk and load it
+//! back for online serving (the offline → online handoff of Fig. 1/7).
+//!
+//! Format: a single JSON document holding the [`ModelConfig`] and every
+//! named parameter tensor. Loading rebuilds the architecture from the
+//! config (construction is deterministic in structure — parameter *names*
+//! identify tensors, so initialization randomness is irrelevant) and
+//! overwrites the freshly initialized values by name.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use logsynergy_nn::Tensor;
+
+use crate::config::ModelConfig;
+use crate::model::LogSynergyModel;
+
+/// On-disk representation.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    config: ModelConfig,
+    params: HashMap<String, SavedTensor>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedTensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Serializes a model to JSON bytes.
+pub fn to_bytes(model: &LogSynergyModel) -> Vec<u8> {
+    let params = model
+        .store
+        .ids()
+        .map(|id| {
+            let t = model.store.value(id);
+            (
+                model.store.name(id).to_string(),
+                SavedTensor { shape: t.shape().to_vec(), data: t.data().to_vec() },
+            )
+        })
+        .collect();
+    let saved =
+        SavedModel { format_version: FORMAT_VERSION, config: model.config().clone(), params };
+    serde_json::to_vec(&saved).expect("model serialization cannot fail")
+}
+
+/// Deserializes a model from JSON bytes.
+pub fn from_bytes(bytes: &[u8]) -> io::Result<LogSynergyModel> {
+    let saved: SavedModel = serde_json::from_slice(bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if saved.format_version != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported model format version {}", saved.format_version),
+        ));
+    }
+    // Rebuild the architecture; the RNG only affects initial values, which
+    // are overwritten below.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = LogSynergyModel::new(saved.config, &mut rng);
+    let ids: Vec<_> = model.store.ids().collect();
+    for id in ids {
+        let name = model.store.name(id).to_string();
+        let st = saved.params.get(&name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("missing parameter {name}"))
+        })?;
+        let current_shape = model.store.value(id).shape().to_vec();
+        if st.shape != current_shape {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {name}: shape {:?} != expected {:?}", st.shape, current_shape),
+            ));
+        }
+        *model.store.value_mut(id) = Tensor::new(st.data.clone(), &st.shape);
+    }
+    Ok(model)
+}
+
+/// Saves a model to `path`.
+pub fn save(model: &LogSynergyModel, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_bytes(model))
+}
+
+/// Loads a model from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<LogSynergyModel> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::data::SeqSample;
+
+    fn tiny_model() -> LogSynergyModel {
+        let mut cfg = ModelConfig::scaled(2);
+        cfg.embed_dim = 8;
+        cfg.d_model = 8;
+        cfg.heads = 2;
+        cfg.ff = 16;
+        cfg.layers = 1;
+        cfg.head_hidden = 8;
+        cfg.max_len = 4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        LogSynergyModel::new(cfg, &mut rng)
+    }
+
+    fn embeddings() -> Vec<Vec<f32>> {
+        vec![vec![1.0, 0., 0., 0., 0., 0., 0., 0.], vec![0., 1.0, 0., 0., 0., 0., 0., 0.]]
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores_exactly() {
+        let model = tiny_model();
+        let samples: Vec<SeqSample> =
+            (0..6).map(|i| SeqSample { events: vec![i % 2; 4], label: false }).collect();
+        let before = Detector::new(&model).scores(&samples, &embeddings());
+        let bytes = to_bytes(&model);
+        let loaded = from_bytes(&bytes).unwrap();
+        let after = Detector::new(&loaded).scores(&samples, &embeddings());
+        assert_eq!(before, after, "loaded model must score identically");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir().join("logsynergy_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save(&model, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        assert!(from_bytes(b"not json").is_err());
+        let model = tiny_model();
+        let mut bytes = to_bytes(&model);
+        // Truncate to break the document.
+        bytes.truncate(bytes.len() / 2);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let model = tiny_model();
+        let json = String::from_utf8(to_bytes(&model)).unwrap();
+        let bumped = json.replacen("\"format_version\":1", "\"format_version\":99", 1);
+        assert!(from_bytes(bumped.as_bytes()).is_err());
+    }
+}

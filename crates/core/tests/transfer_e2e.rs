@@ -1,0 +1,67 @@
+//! End-to-end transfer check: LogSynergy trained on two source systems
+//! plus a sliver of the target must detect target anomalies well, and
+//! removing LEI must hurt. This is the repository's load-bearing smoke
+//! test for the Table IV/V and Fig. 5 experiment shapes.
+
+use logsynergy::api::Pipeline;
+use logsynergy::data::EventTextMode;
+use logsynergy::detector::Detector;
+use logsynergy_loggen::datasets;
+
+fn f1(pred: &[bool], truth: &[bool]) -> (f64, f64, f64) {
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fndp = 0.0;
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fndp += 1.0,
+            _ => {}
+        }
+    }
+    let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let rec = if tp + fndp > 0.0 { tp / (tp + fndp) } else { 0.0 };
+    let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+    (prec, rec, f1)
+}
+
+fn run(mode: EventTextMode) -> (f64, f64, f64) {
+    let mut p = Pipeline::scaled();
+    p.text_mode = mode;
+    p.train_config.epochs = 5;
+    p.train_config.n_source = 1200;
+    p.train_config.n_target = 300;
+    p.train_config.batch_size = 128;
+
+    // Thunderbird as target: its anomalies are fully covered by BGL+Spirit.
+    let src1 = p.prepare(&datasets::bgl().generate_with(0.006, 2.0));
+    let src2 = p.prepare(&datasets::spirit().generate_with(0.002, 6.0));
+    let tgt = p.prepare(&datasets::thunderbird().generate_with(0.012, 3.0));
+
+    let (model, _) = p.fit(&[&src1, &src2], &tgt);
+    let (_, test) = tgt.split(p.train_config.n_target, 1500);
+    let truth: Vec<bool> = test.iter().map(|s| s.label).collect();
+    assert!(truth.iter().filter(|&&t| t).count() >= 10, "test set needs anomalies");
+    let pred = Detector::new(&model).detect(&test, &tgt.event_embeddings);
+    f1(&pred, &truth)
+}
+
+#[test]
+fn transfer_with_lei_achieves_high_f1() {
+    let (prec, rec, f1) = run(EventTextMode::Interpreted(Default::default()));
+    assert!(
+        f1 > 0.8,
+        "full LogSynergy should transfer well: P={prec:.3} R={rec:.3} F1={f1:.3}"
+    );
+}
+
+#[test]
+fn removing_lei_degrades_f1() {
+    let (_, _, with_lei) = run(EventTextMode::Interpreted(Default::default()));
+    let (p, r, without) = run(EventTextMode::RawTemplate);
+    assert!(
+        without < with_lei,
+        "w/o LEI (P={p:.3} R={r:.3} F1={without:.3}) should underperform full ({with_lei:.3})"
+    );
+}

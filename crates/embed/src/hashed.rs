@@ -1,0 +1,152 @@
+//! Deterministic hashed-gaussian sentence embeddings — the stand-in for
+//! the paper's pre-trained encoder (DistilBERT; §III-C "Event Embedding").
+//!
+//! The paper explicitly treats the pre-trained embedding model as an
+//! interchangeable component. What LogSynergy needs from it is a fixed
+//! function `text -> R^d` where token overlap ⇒ vector proximity. Hashed
+//! embeddings provide exactly that: each vocabulary token gets a frozen
+//! Gaussian vector derived from its hash, and a sentence embeds as the
+//! L2-normalized mean of its token vectors.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tokenizer::tokenize;
+
+/// A frozen "pre-trained" sentence embedder.
+pub struct HashedEmbedder {
+    dim: usize,
+    seed: u64,
+    cache: RefCell<HashMap<String, Vec<f32>>>,
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl HashedEmbedder {
+    /// Creates an embedder of dimension `dim` with a fixed seed (the
+    /// "pre-training"): the same (seed, dim) always yields the same
+    /// embedding function.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0);
+        HashedEmbedder { dim, seed, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn token_vector(&self, token: &str) -> Vec<f32> {
+        if let Some(v) = self.cache.borrow().get(token) {
+            return v.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fnv64(token));
+        let t = logsynergy_nn::Tensor::randn(&mut rng, &[self.dim], 1.0);
+        let v = t.into_data();
+        self.cache.borrow_mut().insert(token.to_string(), v.clone());
+        v
+    }
+
+    /// Embeds a sentence: mean of token vectors, L2-normalized.
+    /// Empty/unknown text embeds to the zero vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let tokens = tokenize(text);
+        let mut acc = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        for t in &tokens {
+            let v = self.token_vector(t);
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+        }
+        let n = tokens.len() as f32;
+        acc.iter_mut().for_each(|a| *a /= n);
+        let norm = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            acc.iter_mut().for_each(|a| *a /= norm);
+        }
+        acc
+    }
+
+    /// Embeds many sentences into a row-major `[n, dim]` buffer.
+    pub fn embed_batch<'a>(&self, texts: impl IntoIterator<Item = &'a str>) -> Vec<Vec<f32>> {
+        texts.into_iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashedEmbedder::new(32, 1).embed("network connection interrupted");
+        let b = HashedEmbedder::new(32, 1).embed("network connection interrupted");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_unit_norm() {
+        let e = HashedEmbedder::new(64, 2);
+        let v = e.embed("disk device failed");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shared_tokens_increase_similarity() {
+        let e = HashedEmbedder::new(64, 3);
+        let base = e.embed("network connection interrupted due to loss of signal");
+        let close = e.embed("network connection interrupted");
+        let far = e.embed("garbage collection cycle completed");
+        assert!(cosine(&base, &close) > cosine(&base, &far) + 0.2);
+    }
+
+    #[test]
+    fn disjoint_vocabulary_is_near_orthogonal() {
+        let e = HashedEmbedder::new(128, 4);
+        let a = e.embed("alpha beta gamma delta");
+        let b = e.embed("epsilon zeta eta theta");
+        assert!(cosine(&a, &b).abs() < 0.3);
+    }
+
+    #[test]
+    fn identical_meaning_identical_vector() {
+        // LEI's payoff: same interpretation text = same embedding exactly.
+        let e = HashedEmbedder::new(64, 5);
+        let a = e.embed("network connection interrupted due to loss of signal");
+        let b = e.embed("network connection interrupted due to loss of signal");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        let e = HashedEmbedder::new(16, 6);
+        assert_eq!(e.embed("1234 5678"), vec![0.0; 16]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # logsynergy-embed
+//!
+//! Event-embedding substrate (paper §III-C "Event Embedding"): a frozen,
+//! deterministic sentence embedder standing in for the paper's pre-trained
+//! DistilBERT, plus the tokenizer and vocabulary utilities the baselines
+//! share. The paper treats the embedding model as interchangeable; what
+//! matters is that token overlap maps to vector proximity, which the
+//! hashed-gaussian construction guarantees.
+//!
+//! ```
+//! use logsynergy_embed::{cosine, HashedEmbedder};
+//!
+//! let embedder = HashedEmbedder::new(64, 42);
+//! let a = embedder.embed("network connection interrupted");
+//! let b = embedder.embed("network connection dropped");
+//! let c = embedder.embed("garbage collection cycle completed");
+//! assert!(cosine(&a, &b) > cosine(&a, &c), "token overlap => proximity");
+//! assert_eq!(a, embedder.embed("network connection interrupted"), "frozen");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hashed;
+pub mod tokenizer;
+
+pub use hashed::{cosine, HashedEmbedder};
+pub use tokenizer::{tokenize, Vocab};

@@ -1,0 +1,88 @@
+//! Lightweight text tokenization for embedding.
+
+/// Splits text into lowercase alphanumeric tokens; punctuation separates
+/// tokens and pure-digit tokens are dropped (they are parameters, not
+/// semantics).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|t| !t.is_empty())
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// A growable token → id vocabulary (used by event-index models such as
+/// DeepLog).
+#[derive(Default, Clone, Debug)]
+pub struct Vocab {
+    map: std::collections::HashMap<String, usize>,
+    tokens: Vec<String>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id of `token`, inserting it if new.
+    pub fn get_or_insert(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.map.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Id of `token` if known.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.map.get(token).copied()
+    }
+
+    /// Token for an id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no tokens are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowers_and_splits() {
+        assert_eq!(
+            tokenize("Network Interface DOWN, due-to Los!"),
+            vec!["network", "interface", "down", "due", "to", "los"]
+        );
+    }
+
+    #[test]
+    fn tokenize_drops_pure_numbers_keeps_mixed() {
+        assert_eq!(tokenize("error 404 at 0x1f"), vec!["error", "at", "0x1f"]);
+    }
+
+    #[test]
+    fn vocab_assigns_stable_ids() {
+        let mut v = Vocab::new();
+        let a = v.get_or_insert("alpha");
+        let b = v.get_or_insert("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.get_or_insert("alpha"), a);
+        assert_eq!(v.get("beta"), Some(b));
+        assert_eq!(v.token(a), "alpha");
+        assert_eq!(v.len(), 2);
+    }
+}

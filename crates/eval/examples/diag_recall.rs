@@ -1,0 +1,120 @@
+//! Developer diagnostic: which anomaly concepts does LogSynergy miss on a
+//! target, and what do the missed windows look like?
+
+use std::collections::HashMap;
+
+use logsynergy::detector::Detector;
+use logsynergy::model::LogSynergyModel;
+use logsynergy::trainer::{build_training_set, train, TrainOptions};
+use logsynergy_eval::experiments::sources_of;
+use logsynergy_eval::{prepare_group, ExperimentConfig, SystemData};
+use logsynergy_loggen::{ontology, SystemId};
+use rand::SeedableRng;
+
+fn main() {
+    let target: SystemId = match std::env::args().nth(1).as_deref() {
+        Some("bgl") => SystemId::Bgl,
+        Some("spirit") => SystemId::Spirit,
+        Some("a") => SystemId::SystemA,
+        Some("b") => SystemId::SystemB,
+        Some("c") => SystemId::SystemC,
+        _ => SystemId::Thunderbird,
+    };
+    let cfg = ExperimentConfig::quick();
+    let mut systems = sources_of(target);
+    systems.push(target);
+    let data = prepare_group(&systems, &cfg);
+    let n = data.len();
+    let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+    let tgt = &data[n - 1];
+
+    let src_views: Vec<_> = sources.iter().map(|d| &d.lei).collect();
+    let mcfg = cfg.model_config(3);
+    let tcfg = cfg.train_config();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
+    let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
+    let set = build_training_set(&src_views, &tgt.lei, tcfg.n_source, tcfg.n_target, 10, cfg.embed_dim);
+    let anom_train = set.y.iter().filter(|&&y| y > 0.5).count();
+    println!("train: {} samples, {} anomalous", set.y.len(), anom_train);
+    let hist = train(&mut model, &set, &tcfg, TrainOptions::default());
+    for (e, h) in hist.iter().enumerate() {
+        println!("epoch {e}: total {:.4} anom {:.4} sys {:.4} mi {:.4} da {:.4} omega {:.2}",
+            h.total, h.loss_anomaly, h.loss_system, h.loss_mi, h.loss_da, h.omega);
+    }
+
+    let (_, test) = tgt.lei.split(cfg.n_target, cfg.max_test);
+    let scores = Detector::new(&model).scores(&test, &tgt.lei.event_embeddings);
+
+    // Anomalous interpretation texts from the ontology.
+    let anomaly_interps: HashMap<String, &'static str> = ontology()
+        .iter()
+        .filter(|c| c.anomalous)
+        .map(|c| (c.interpretation.to_string(), c.name))
+        .collect();
+
+    let mut missed: HashMap<&'static str, usize> = HashMap::new();
+    let mut caught: HashMap<&'static str, usize> = HashMap::new();
+    for (s, score) in test.iter().zip(&scores) {
+        if !s.label {
+            continue;
+        }
+        let mut names: Vec<&'static str> = s
+            .events
+            .iter()
+            .filter_map(|&e| anomaly_interps.get(&tgt.lei.event_texts[e as usize]).copied())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let bucket = if *score > 0.5 { &mut caught } else { &mut missed };
+        for nm in names {
+            *bucket.entry(nm).or_default() += 1;
+        }
+        if names_empty_fallback(&s.events, &tgt.lei.event_texts, &anomaly_interps) {
+            *bucket.entry("(no-anomaly-interp-in-window)").or_default() += 1;
+        }
+    }
+    println!("\ncaught: {caught:?}");
+    println!("missed: {missed:?}");
+
+    // Score distribution per anomaly concept on the test set.
+    let mut by_concept: HashMap<&'static str, Vec<f32>> = HashMap::new();
+    for (s, score) in test.iter().zip(&scores) {
+        if !s.label {
+            continue;
+        }
+        for &e in &s.events {
+            if let Some(&nm) = anomaly_interps.get(&tgt.lei.event_texts[e as usize]) {
+                by_concept.entry(nm).or_default().push(*score);
+            }
+        }
+    }
+    for (nm, v) in &by_concept {
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let min = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        println!("test {nm}: n={} mean={:.3} min={:.3}", v.len(), mean, min);
+    }
+
+    // Training-set anomaly concept histogram (which concepts did the model see?).
+    let mut train_hist: HashMap<&'static str, usize> = HashMap::new();
+    for (k, src) in sources.iter().enumerate() {
+        let picked = src.lei.spread(tcfg.n_source);
+        for s in &picked {
+            if !s.label { continue; }
+            for &e in &s.events {
+                if let Some(&nm) = anomaly_interps.get(&src.lei.event_texts[e as usize]) {
+                    *train_hist.entry(nm).or_default() += 1;
+                }
+            }
+        }
+        println!("source {k} done");
+    }
+    println!("train anomaly events: {train_hist:?}");
+}
+
+fn names_empty_fallback(
+    events: &[u32],
+    texts: &[String],
+    interps: &HashMap<String, &'static str>,
+) -> bool {
+    !events.iter().any(|&e| interps.contains_key(&texts[e as usize]))
+}

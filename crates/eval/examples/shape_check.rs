@@ -1,0 +1,33 @@
+//! Developer utility: quick shape check of the method battery on one
+//! target. Not part of the paper's example set (see the workspace
+//! `examples/` directory for those).
+
+use logsynergy_eval::experiments::sources_of;
+use logsynergy_eval::{prepare_group, run_method, ExperimentConfig, MethodKind, SystemData};
+use logsynergy_loggen::SystemId;
+
+fn main() {
+    let target: SystemId = match std::env::args().nth(1).as_deref() {
+        Some("bgl") => SystemId::Bgl,
+        Some("spirit") => SystemId::Spirit,
+        Some("a") => SystemId::SystemA,
+        Some("b") => SystemId::SystemB,
+        Some("c") => SystemId::SystemC,
+        _ => SystemId::Thunderbird,
+    };
+    let cfg = ExperimentConfig::quick();
+    let mut systems = sources_of(target);
+    systems.push(target);
+    let data = prepare_group(&systems, &cfg);
+    let n = data.len();
+    let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+    println!("target: {}", target.name());
+    for kind in MethodKind::TABLE_METHODS {
+        let r = run_method(kind, &sources, &data[n - 1], &cfg);
+        println!(
+            "{:<22} P {:>6.2}  R {:>6.2}  F1 {:>6.2}   ({:.1}s, {} test / {} anom)",
+            r.method, r.prf.precision, r.prf.recall, r.prf.f1, r.train_secs, r.n_test,
+            r.n_test_anomalies
+        );
+    }
+}

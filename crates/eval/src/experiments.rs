@@ -1,0 +1,415 @@
+//! Runners that regenerate every table and figure of the paper's
+//! evaluation (§IV, §V). Each returns a serializable result that
+//! [`crate::report`] renders as text in the paper's layout.
+
+use serde::{Deserialize, Serialize};
+
+use logsynergy_embed::cosine;
+use logsynergy_loggen::{datasets, SystemId};
+
+use crate::methods::{run_method, MethodKind, MethodResult};
+use crate::setup::{prepare, prepare_group, ExperimentConfig, SystemData};
+
+/// The group a system belongs to (public vs ISP), per §IV-A1.
+pub fn group_of(system: SystemId) -> [SystemId; 3] {
+    match system {
+        SystemId::Bgl | SystemId::Spirit | SystemId::Thunderbird => datasets::public_group(),
+        _ => datasets::isp_group(),
+    }
+}
+
+/// The two source systems for a target (the rest of its group).
+pub fn sources_of(target: SystemId) -> Vec<SystemId> {
+    group_of(target).iter().copied().filter(|&s| s != target).collect()
+}
+
+// --------------------------------------------------------------------------
+// Table III — dataset statistics
+// --------------------------------------------------------------------------
+
+/// One Table III row: paper-scale numbers next to generated numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Paper: number of log lines.
+    pub paper_logs: usize,
+    /// Paper: number of log sequences.
+    pub paper_sequences: usize,
+    /// Paper: number of anomalous sequences.
+    pub paper_anomalies: usize,
+    /// Generated log lines (at the experiment scale).
+    pub gen_logs: usize,
+    /// Generated sequences.
+    pub gen_sequences: usize,
+    /// Generated anomalous sequences.
+    pub gen_anomalies: usize,
+}
+
+/// Regenerates Table III at the experiment scale.
+pub fn table3(cfg: &ExperimentConfig) -> Vec<Table3Row> {
+    SystemId::ALL
+        .iter()
+        .map(|&sys| {
+            let spec = datasets::spec_for(sys);
+            let d = prepare(sys, cfg);
+            Table3Row {
+                dataset: sys.name().to_string(),
+                paper_logs: spec.n_logs,
+                paper_sequences: spec.n_logs / 5, // window step 5
+                paper_anomalies: spec.target_anomalous_sequences,
+                gen_logs: d.n_logs,
+                gen_sequences: d.raw.sequences.len(),
+                gen_anomalies: d.raw.num_anomalous(),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Tables IV & V — overall performance
+// --------------------------------------------------------------------------
+
+/// Results for one target system (a column block of Table IV/V).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TargetResults {
+    /// Target dataset name.
+    pub target: String,
+    /// One row per method, in paper order.
+    pub rows: Vec<MethodResult>,
+}
+
+/// Runs the full method battery for every target in a group.
+pub fn run_group_table(
+    group: [SystemId; 3],
+    methods: &[MethodKind],
+    cfg: &ExperimentConfig,
+) -> Vec<TargetResults> {
+    let data = prepare_group(&group, cfg);
+    group
+        .iter()
+        .enumerate()
+        .map(|(ti, &target)| {
+            let sources: Vec<&SystemData> =
+                data.iter().enumerate().filter(|(i, _)| *i != ti).map(|(_, d)| d).collect();
+            let rows = methods
+                .iter()
+                .map(|&m| run_method(m, &sources, &data[ti], cfg))
+                .collect();
+            TargetResults { target: target.name().to_string(), rows }
+        })
+        .collect()
+}
+
+/// Table IV: the public group (BGL / Spirit / Thunderbird as targets).
+pub fn table4(cfg: &ExperimentConfig) -> Vec<TargetResults> {
+    run_group_table(datasets::public_group(), &MethodKind::TABLE_METHODS, cfg)
+}
+
+/// Table V: the ISP group (Systems A / B / C as targets).
+pub fn table5(cfg: &ExperimentConfig) -> Vec<TargetResults> {
+    run_group_table(datasets::isp_group(), &MethodKind::TABLE_METHODS, cfg)
+}
+
+// --------------------------------------------------------------------------
+// Fig. 4 — hyper-parameter sweeps
+// --------------------------------------------------------------------------
+
+/// One sweep point: parameter value → F1 per target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// (target name, F1 %) pairs.
+    pub f1_by_target: Vec<(String, f64)>,
+}
+
+fn sweep<F: Fn(&mut ExperimentConfig, f64)>(
+    targets: &[SystemId],
+    values: &[f64],
+    base: &ExperimentConfig,
+    apply: F,
+) -> Vec<SweepPoint> {
+    // Prepare each target's group once per target (reused across values).
+    let prepared: Vec<(SystemId, Vec<SystemData>)> = targets
+        .iter()
+        .map(|&t| {
+            let mut systems = sources_of(t);
+            systems.push(t);
+            (t, prepare_group(&systems, base))
+        })
+        .collect();
+    values
+        .iter()
+        .map(|&v| {
+            let f1_by_target = prepared
+                .iter()
+                .map(|(t, data)| {
+                    let mut cfg = base.clone();
+                    apply(&mut cfg, v);
+                    let n = data.len();
+                    let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+                    let r = run_method(MethodKind::LogSynergy, &sources, &data[n - 1], &cfg);
+                    (t.name().to_string(), r.prf.f1)
+                })
+                .collect();
+            SweepPoint { value: v, f1_by_target }
+        })
+        .collect()
+}
+
+/// Fig. 4a: F1 vs λ_MI over the paper's grid {0.001, 0.01, 0.05, 0.1, 0.5}.
+pub fn fig4a(targets: &[SystemId], cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    sweep(targets, &[0.001, 0.01, 0.05, 0.1, 0.5], cfg, |c, v| c.lambda_mi = v as f32)
+}
+
+/// Fig. 4b: F1 vs n_s. The paper sweeps 10k..80k; values here are
+/// fractions of the configured n_source grid.
+pub fn fig4b(targets: &[SystemId], values: &[usize], cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    let vals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sweep(targets, &vals, cfg, |c, v| c.n_source = v as usize)
+}
+
+/// Fig. 4c: F1 vs n_t (paper sweeps 1k..8k). The test region is pinned at
+/// the grid maximum so every sweep point is evaluated on the same
+/// held-out windows (otherwise small n_t would be scored on the easy
+/// early-stream region).
+pub fn fig4c(targets: &[SystemId], values: &[usize], cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    let vals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let pin = values.iter().copied().max().unwrap_or(cfg.n_target);
+    sweep(targets, &vals, cfg, move |c, v| {
+        c.n_target = v as usize;
+        c.test_from = pin;
+    })
+}
+
+// --------------------------------------------------------------------------
+// Fig. 5 — ablation study
+// --------------------------------------------------------------------------
+
+/// Ablation rows for one target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Target dataset name.
+    pub target: String,
+    /// Full LogSynergy.
+    pub full: MethodResult,
+    /// w/o LEI.
+    pub no_lei: MethodResult,
+    /// w/o SUFE.
+    pub no_sufe: MethodResult,
+    /// Direct application of NeuralLog (source-trained).
+    pub neurallog_direct: MethodResult,
+}
+
+/// Fig. 5: ablation across the requested targets.
+pub fn fig5(targets: &[SystemId], cfg: &ExperimentConfig) -> Vec<AblationResult> {
+    targets
+        .iter()
+        .map(|&t| {
+            let mut systems = sources_of(t);
+            systems.push(t);
+            let data = prepare_group(&systems, cfg);
+            let n = data.len();
+            let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+            let target = &data[n - 1];
+            AblationResult {
+                target: t.name().to_string(),
+                full: run_method(MethodKind::LogSynergy, &sources, target, cfg),
+                no_lei: run_method(MethodKind::LogSynergyNoLei, &sources, target, cfg),
+                no_sufe: run_method(MethodKind::LogSynergyNoSufe, &sources, target, cfg),
+                neurallog_direct: run_method(MethodKind::NeuralLogDirect, &sources, target, cfg),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Fig. 6 — cross-group transfer (Lesson Learned)
+// --------------------------------------------------------------------------
+
+/// One cross-group transfer result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransferResult {
+    /// Source system.
+    pub source: String,
+    /// Target system.
+    pub target: String,
+    /// LogSynergy's result on the target.
+    pub result: MethodResult,
+}
+
+/// Fig. 6: the four single-source cross-group transfers of §V —
+/// BGL→System B, Spirit→System C, System B→BGL, System C→Spirit.
+pub fn fig6(cfg: &ExperimentConfig) -> Vec<TransferResult> {
+    let pairs = [
+        (SystemId::Bgl, SystemId::SystemB),
+        (SystemId::Spirit, SystemId::SystemC),
+        (SystemId::SystemB, SystemId::Bgl),
+        (SystemId::SystemC, SystemId::Spirit),
+    ];
+    // One source system instead of the usual two: double n_s so the total
+    // source-sample budget matches the group experiments.
+    let mut cfg = cfg.clone();
+    cfg.n_source *= 2;
+    pairs
+        .iter()
+        .map(|&(src, tgt)| {
+            let data = prepare_group(&[src, tgt], &cfg);
+            let sources: Vec<&SystemData> = vec![&data[0]];
+            let result = run_method(MethodKind::LogSynergy, &sources, &data[1], &cfg);
+            TransferResult {
+                source: src.name().to_string(),
+                target: tgt.name().to_string(),
+                result,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Fig. 8 — case study
+// --------------------------------------------------------------------------
+
+/// The Fig. 8 case study: a *normal* target log event whose raw
+/// word-level representation is misleadingly similar to an *anomalous*
+/// source event (the mechanism behind LogTransfer's false positive), and
+/// how LEI interpretations dissolve that similarity by keeping only the
+/// essential event meaning.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseStudy {
+    /// Raw template of the normal System A event.
+    pub target_templates: Vec<String>,
+    /// Raw template of the similar-looking anomalous System C event.
+    pub source_templates: Vec<String>,
+    /// LEI interpretation of the target event.
+    pub target_interpretations: Vec<String>,
+    /// LEI interpretation of the source event.
+    pub source_interpretations: Vec<String>,
+    /// Cosine similarity of the two events under raw embeddings.
+    pub raw_similarity: f32,
+    /// Cosine similarity under LEI-interpreted embeddings.
+    pub lei_similarity: f32,
+    /// Misleadingness under raw embeddings: similarity to the anomalous
+    /// source event minus similarity to the nearest *normal* source event.
+    /// Positive = the normal target event looks more like a source anomaly
+    /// than like any source normal (LogTransfer's false-positive trigger).
+    pub raw_margin: f32,
+    /// The same margin under LEI interpretations. Negative = the nearest
+    /// source neighbor is now a normal event; the false positive dissolves.
+    pub lei_margin: f32,
+}
+
+/// Fig. 8: finds the *normal* System A event whose raw representation is
+/// most similar to an *anomalous* System C event (the two systems share
+/// much vocabulary), then shows LEI interpretations reduce the similarity.
+pub fn fig8_case_study(cfg: &ExperimentConfig) -> CaseStudy {
+    let data = prepare_group(&[SystemId::SystemC, SystemId::SystemA], cfg);
+    let (src, tgt) = (&data[0], &data[1]);
+
+    // Anomalous source events = templates whose interpretation matches an
+    // anomalous concept; normal target events = the rest.
+    let anomaly_texts: std::collections::HashSet<&'static str> =
+        logsynergy_loggen::ontology().iter().filter(|c| c.anomalous).map(|c| c.interpretation).collect();
+    let src_anom: Vec<usize> = (0..src.lei.event_texts.len())
+        .filter(|&i| anomaly_texts.contains(src.lei.event_texts[i].as_str()))
+        .collect();
+    let tgt_norm: Vec<usize> = (0..tgt.lei.event_texts.len())
+        .filter(|&i| !anomaly_texts.contains(tgt.lei.event_texts[i].as_str()))
+        .collect();
+    assert!(!src_anom.is_empty() && !tgt_norm.is_empty());
+
+    let src_norm: Vec<usize> = (0..src.lei.event_texts.len())
+        .filter(|&i| !anomaly_texts.contains(src.lei.event_texts[i].as_str()))
+        .collect();
+    // Misleadingness margin of pairing target event `t` with anomalous
+    // source event `s`: how much closer `t` sits to the anomaly than to
+    // any *normal* source event, under the given embedding table.
+    let margin = |t: usize,
+                  s: usize,
+                  t_table: &[Vec<f32>],
+                  s_table: &[Vec<f32>]| {
+        let to_anom = cosine(&t_table[t], &s_table[s]);
+        let to_best_normal = src_norm
+            .iter()
+            .map(|&n| cosine(&t_table[t], &s_table[n]))
+            .fold(f32::NEG_INFINITY, f32::max);
+        to_anom - to_best_normal
+    };
+
+    // The case: the (normal target, anomalous source) pair with the most
+    // misleading raw representation.
+    let mut best = (tgt_norm[0], src_anom[0], f32::NEG_INFINITY);
+    for &t in &tgt_norm {
+        for &s in &src_anom {
+            let m = margin(t, s, &tgt.raw.event_embeddings, &src.raw.event_embeddings);
+            if m > best.2 {
+                best = (t, s, m);
+            }
+        }
+    }
+    let (ti, sj, raw_margin) = best;
+    let lei_margin = margin(ti, sj, &tgt.lei.event_embeddings, &src.lei.event_embeddings);
+    CaseStudy {
+        target_templates: vec![tgt.raw.templates[ti].clone()],
+        source_templates: vec![src.raw.templates[sj].clone()],
+        target_interpretations: vec![tgt.lei.event_texts[ti].clone()],
+        source_interpretations: vec![src.lei.event_texts[sj].clone()],
+        raw_similarity: cosine(&tgt.raw.event_embeddings[ti], &src.raw.event_embeddings[sj]),
+        lei_similarity: cosine(&tgt.lei.event_embeddings[ti], &src.lei.event_embeddings[sj]),
+        raw_margin,
+        lei_margin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_the_six_systems() {
+        for sys in SystemId::ALL {
+            let g = group_of(sys);
+            assert!(g.contains(&sys));
+            assert_eq!(sources_of(sys).len(), 2);
+            assert!(!sources_of(sys).contains(&sys));
+        }
+    }
+
+    #[test]
+    fn table3_reports_all_six_datasets() {
+        let cfg = ExperimentConfig {
+            logs_per_dataset: 2_500,
+            ..ExperimentConfig::quick()
+        };
+        let rows = table3(&cfg);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].dataset, "BGL");
+        assert_eq!(rows[0].paper_logs, 1_356_817);
+        assert_eq!(rows[0].paper_anomalies, 29_092);
+        for r in &rows {
+            assert!(r.gen_sequences > 0);
+            assert!(r.gen_anomalies > 0, "{}: no anomalies generated", r.dataset);
+        }
+    }
+
+    #[test]
+    fn fig8_case_study_shows_similarity_reduction() {
+        let cfg = ExperimentConfig {
+            logs_per_dataset: 4_000,
+            ..ExperimentConfig::quick()
+        };
+        let cs = fig8_case_study(&cfg);
+        assert!(
+            cs.raw_margin > 0.0,
+            "a misleading raw pair must exist (margin {})",
+            cs.raw_margin
+        );
+        assert!(
+            cs.lei_margin < 0.0,
+            "under LEI the nearest source neighbor must be normal (margin {})",
+            cs.lei_margin
+        );
+        assert!(!cs.target_interpretations.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Uniform runner for every method in the paper's tables, including
+//! LogSynergy and its ablation variants.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use logsynergy::detector::Detector;
+use logsynergy::model::LogSynergyModel;
+use logsynergy::trainer::{build_training_set, train, TrainOptions};
+use logsynergy::PreparedSystem;
+use logsynergy_baselines as bl;
+use logsynergy_baselines::{FitContext, Method};
+use rand::SeedableRng;
+
+use crate::metrics::Prf;
+use crate::setup::{ExperimentConfig, SystemData};
+
+/// Every method the evaluation can run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// DeepLog (unsupervised).
+    DeepLog,
+    /// LogAnomaly (unsupervised).
+    LogAnomaly,
+    /// PLELog (semi-supervised).
+    PLELog,
+    /// SpikeLog (weakly-supervised).
+    SpikeLog,
+    /// NeuralLog (supervised).
+    NeuralLog,
+    /// LogRobust (supervised).
+    LogRobust,
+    /// PreLog (pre-trained).
+    PreLog,
+    /// LogTAD (unsupervised cross-system).
+    LogTAD,
+    /// LogTransfer (supervised cross-system).
+    LogTransfer,
+    /// MetaLog (supervised cross-system).
+    MetaLog,
+    /// LogSynergy (this paper).
+    LogSynergy,
+    /// Ablation: LogSynergy without LEI (raw templates).
+    LogSynergyNoLei,
+    /// Ablation: LogSynergy without SUFE (domain adaptation only).
+    LogSynergyNoSufe,
+    /// Ablation: NeuralLog trained on sources only, applied directly.
+    NeuralLogDirect,
+}
+
+impl MethodKind {
+    /// The eleven methods of Tables IV/V, in the paper's row order.
+    pub const TABLE_METHODS: [MethodKind; 11] = [
+        MethodKind::DeepLog,
+        MethodKind::LogAnomaly,
+        MethodKind::PLELog,
+        MethodKind::SpikeLog,
+        MethodKind::NeuralLog,
+        MethodKind::LogRobust,
+        MethodKind::PreLog,
+        MethodKind::LogTAD,
+        MethodKind::LogTransfer,
+        MethodKind::MetaLog,
+        MethodKind::LogSynergy,
+    ];
+
+    /// Display name (paper row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::DeepLog => "DeepLog",
+            MethodKind::LogAnomaly => "LogAnomaly",
+            MethodKind::PLELog => "PLELog",
+            MethodKind::SpikeLog => "SpikeLog",
+            MethodKind::NeuralLog => "NeuralLog",
+            MethodKind::LogRobust => "LogRobust",
+            MethodKind::PreLog => "PreLog",
+            MethodKind::LogTAD => "LogTAD",
+            MethodKind::LogTransfer => "LogTransfer",
+            MethodKind::MetaLog => "MetaLog",
+            MethodKind::LogSynergy => "LogSynergy",
+            MethodKind::LogSynergyNoLei => "LogSynergy w/o LEI",
+            MethodKind::LogSynergyNoSufe => "LogSynergy w/o SUFE",
+            MethodKind::NeuralLogDirect => "NeuralLog (direct)",
+        }
+    }
+
+    /// The paper's "Type" column.
+    pub fn category(self) -> &'static str {
+        match self {
+            MethodKind::DeepLog | MethodKind::LogAnomaly => "Unsupervised",
+            MethodKind::PLELog => "Semi-supervised",
+            MethodKind::SpikeLog => "Weakly-supervised",
+            MethodKind::NeuralLog | MethodKind::LogRobust | MethodKind::NeuralLogDirect => {
+                "Supervised"
+            }
+            MethodKind::PreLog => "Pre-trained",
+            MethodKind::LogTAD => "Unsupervised Cross-System",
+            MethodKind::LogTransfer
+            | MethodKind::MetaLog
+            | MethodKind::LogSynergy
+            | MethodKind::LogSynergyNoLei
+            | MethodKind::LogSynergyNoSufe => "Supervised Cross-System",
+        }
+    }
+}
+
+/// One method's result on one target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method name.
+    pub method: String,
+    /// Type column.
+    pub category: String,
+    /// Metrics (percent).
+    pub prf: Prf,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+    /// Test-set size.
+    pub n_test: usize,
+    /// Anomalies in the test set.
+    pub n_test_anomalies: usize,
+}
+
+fn test_split(p: &PreparedSystem, cfg: &ExperimentConfig) -> (Vec<logsynergy::SeqSample>, Vec<bool>) {
+    let (_, test) = p.split(cfg.test_start(), cfg.max_test);
+    let truth = test.iter().map(|s| s.label).collect();
+    (test, truth)
+}
+
+/// Trains and evaluates a LogSynergy variant.
+fn run_logsynergy(
+    sources: &[&PreparedSystem],
+    target: &PreparedSystem,
+    cfg: &ExperimentConfig,
+    options: TrainOptions,
+) -> (Vec<bool>, f64, usize, usize) {
+    let mcfg = cfg.model_config(sources.len() + 1);
+    let tcfg = cfg.train_config();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
+    let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
+    let set = build_training_set(sources, target, tcfg.n_source, tcfg.n_target, mcfg.max_len, mcfg.embed_dim);
+    let t0 = Instant::now();
+    train(&mut model, &set, &tcfg, options);
+    let secs = t0.elapsed().as_secs_f64();
+    let (test, truth) = test_split(target, cfg);
+    let pred = Detector::new(&model).detect(&test, &target.event_embeddings);
+    let n_anom = truth.iter().filter(|&&t| t).count();
+    (pred, secs, test.len(), n_anom)
+}
+
+/// Runs a LogSynergy variant with explicit [`TrainOptions`] (used by the
+/// design-ablation benches, e.g. DAAN vs MMD vs no adaptation).
+pub fn run_logsynergy_custom(
+    sources: &[&SystemData],
+    target: &SystemData,
+    cfg: &ExperimentConfig,
+    options: TrainOptions,
+    use_lei: bool,
+) -> MethodResult {
+    let src_views: Vec<&PreparedSystem> =
+        sources.iter().map(|d| if use_lei { &d.lei } else { &d.raw }).collect();
+    let tgt_view: &PreparedSystem = if use_lei { &target.lei } else { &target.raw };
+    let (pred, secs, n_test, n_anom) = run_logsynergy(&src_views, tgt_view, cfg, options);
+    let (_, truth) = test_split(tgt_view, cfg);
+    MethodResult {
+        method: format!("LogSynergy ({options:?})"),
+        category: "Supervised Cross-System".to_string(),
+        prf: Prf::evaluate(&pred, &truth),
+        train_secs: secs,
+        n_test,
+        n_test_anomalies: n_anom,
+    }
+}
+
+/// Runs one method end-to-end on one target.
+pub fn run_method(
+    kind: MethodKind,
+    sources: &[&SystemData],
+    target: &SystemData,
+    cfg: &ExperimentConfig,
+) -> MethodResult {
+    let (pred, secs, n_test, n_anom, truth): (Vec<bool>, f64, usize, usize, Vec<bool>) = match kind
+    {
+        MethodKind::LogSynergy | MethodKind::LogSynergyNoSufe | MethodKind::LogSynergyNoLei => {
+            let use_lei = kind != MethodKind::LogSynergyNoLei;
+            let src_views: Vec<&PreparedSystem> =
+                sources.iter().map(|d| if use_lei { &d.lei } else { &d.raw }).collect();
+            let tgt_view: &PreparedSystem = if use_lei { &target.lei } else { &target.raw };
+            let options = TrainOptions {
+                use_sufe: kind != MethodKind::LogSynergyNoSufe,
+                da: logsynergy::trainer::DaMode::Daan,
+            };
+            let (pred, secs, n_test, n_anom) = run_logsynergy(&src_views, tgt_view, cfg, options);
+            let (_, truth) = test_split(tgt_view, cfg);
+            (pred, secs, n_test, n_anom, truth)
+        }
+        _ => {
+            let src_views: Vec<&PreparedSystem> = sources.iter().map(|d| &d.raw).collect();
+            let ctx = FitContext {
+                sources: &src_views,
+                target: &target.raw,
+                n_source: cfg.n_source,
+                n_target: cfg.n_target,
+                max_len: 10,
+                embed_dim: cfg.embed_dim,
+                seed: cfg.seed,
+            };
+            let mut method: Box<dyn Method> = match kind {
+                MethodKind::DeepLog => Box::new(bl::DeepLog::new()),
+                MethodKind::LogAnomaly => Box::new(bl::LogAnomaly::new()),
+                MethodKind::PLELog => Box::new(bl::PLELog::new()),
+                MethodKind::SpikeLog => Box::new(bl::SpikeLog::new()),
+                MethodKind::NeuralLog => Box::new(bl::NeuralLog::new()),
+                MethodKind::NeuralLogDirect => Box::new(bl::NeuralLog::direct_source_only()),
+                MethodKind::LogRobust => Box::new(bl::LogRobust::new()),
+                MethodKind::PreLog => Box::new(bl::PreLog::new()),
+                MethodKind::LogTAD => Box::new(bl::LogTAD::new()),
+                MethodKind::LogTransfer => Box::new(bl::LogTransfer::new()),
+                MethodKind::MetaLog => Box::new(bl::MetaLog::new()),
+                _ => unreachable!(),
+            };
+            let t0 = Instant::now();
+            method.fit(&ctx);
+            let secs = t0.elapsed().as_secs_f64();
+            let (test, truth) = test_split(&target.raw, cfg);
+            let pred = method.detect(&test, &target.raw);
+            let n_anom = truth.iter().filter(|&&t| t).count();
+            (pred, secs, test.len(), n_anom, truth)
+        }
+    };
+    MethodResult {
+        method: kind.name().to_string(),
+        category: kind.category().to_string(),
+        prf: Prf::evaluate(&pred, &truth),
+        train_secs: secs,
+        n_test,
+        n_test_anomalies: n_anom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_methods_are_eleven_in_paper_order() {
+        assert_eq!(MethodKind::TABLE_METHODS.len(), 11);
+        assert_eq!(MethodKind::TABLE_METHODS[0].name(), "DeepLog");
+        assert_eq!(MethodKind::TABLE_METHODS[10].name(), "LogSynergy");
+    }
+
+    #[test]
+    fn categories_match_paper_types() {
+        assert_eq!(MethodKind::LogSynergy.category(), "Supervised Cross-System");
+        assert_eq!(MethodKind::LogTAD.category(), "Unsupervised Cross-System");
+        assert_eq!(MethodKind::PreLog.category(), "Pre-trained");
+    }
+}

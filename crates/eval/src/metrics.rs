@@ -1,0 +1,237 @@
+//! Evaluation metrics (paper §IV-A3): precision, recall, F1.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    pub fn from_predictions(pred: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// `TP / (TP + FP)`; 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 0 when no actual positives.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total samples tallied.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// P/R/F1 triple in percent, as the paper's tables print them.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    /// Precision (%).
+    pub precision: f64,
+    /// Recall (%).
+    pub recall: f64,
+    /// F1-score (%).
+    pub f1: f64,
+}
+
+impl From<Confusion> for Prf {
+    fn from(c: Confusion) -> Self {
+        Prf { precision: c.precision() * 100.0, recall: c.recall() * 100.0, f1: c.f1() * 100.0 }
+    }
+}
+
+impl Prf {
+    /// Convenience constructor from predictions.
+    pub fn evaluate(pred: &[bool], truth: &[bool]) -> Self {
+        Confusion::from_predictions(pred, truth).into()
+    }
+}
+
+/// A point on the precision-recall curve.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold.
+    pub threshold: f64,
+    /// Precision in [0, 1].
+    pub precision: f64,
+    /// Recall in [0, 1].
+    pub recall: f64,
+    /// F1 in [0, 1].
+    pub f1: f64,
+}
+
+/// Sweeps decision thresholds over raw scores, returning one point per
+/// distinct score (descending). The paper fixes the threshold at 0.5; this
+/// utility quantifies how sensitive a method is to that choice.
+pub fn pr_curve(scores: &[f32], truth: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), truth.len(), "scores/truth length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = truth.iter().filter(|&&t| t).count() as f64;
+    let mut out = Vec::new();
+    let mut tp = 0.0f64;
+    let mut fp = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let thr = scores[order[i]];
+        // Consume the whole tie group at this score.
+        while i < order.len() && scores[order[i]] == thr {
+            if truth[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if total_pos > 0.0 { tp / total_pos } else { 0.0 };
+        let f1 =
+            if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+        out.push(PrPoint { threshold: thr as f64, precision, recall, f1 });
+    }
+    out
+}
+
+/// The threshold maximizing F1 on a PR curve (ties broken toward the
+/// higher threshold), with its point. Returns `None` for empty input.
+pub fn best_f1(curve: &[PrPoint]) -> Option<PrPoint> {
+    curve
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            a.f1.partial_cmp(&b.f1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal))
+        })
+}
+
+/// Average precision (area under the PR curve by the step rule).
+pub fn average_precision(scores: &[f32], truth: &[bool]) -> f64 {
+    let curve = pr_curve(scores, truth);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let p = Prf::evaluate(&[true, false, true], &[true, false, true]);
+        assert_eq!(p.precision, 100.0);
+        assert_eq!(p.recall, 100.0);
+        assert_eq!(p.f1, 100.0);
+    }
+
+    #[test]
+    fn all_positive_prediction_has_full_recall() {
+        let p = Prf::evaluate(&[true; 10], &[true, false, false, false, false, true, false, false, false, false]);
+        assert_eq!(p.recall, 100.0);
+        assert!((p.precision - 20.0).abs() < 1e-9);
+        let f1 = 2.0 * 0.2 * 1.0 / 1.2 * 100.0;
+        assert!((p.f1 - f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_predictions_is_zero() {
+        let p = Prf::evaluate(&[false; 4], &[true, false, true, false]);
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.recall, 0.0);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::from_predictions(&[true, true, false, false], &[true, false, true, false]);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn pr_curve_on_separable_scores() {
+        // Scores perfectly rank the positives first.
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let truth = [true, true, false, false];
+        let curve = pr_curve(&scores, &truth);
+        assert_eq!(curve.len(), 4);
+        // At the second threshold both positives are captured cleanly.
+        assert!((curve[1].precision - 1.0).abs() < 1e-12);
+        assert!((curve[1].recall - 1.0).abs() < 1e-12);
+        let best = best_f1(&curve).unwrap();
+        assert!((best.f1 - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_handles_ties_as_one_group() {
+        let scores = [0.5, 0.5, 0.5];
+        let truth = [true, false, true];
+        let curve = pr_curve(&scores, &truth);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve[0].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_of_random_scores_matches_base_rate_order() {
+        // Inverted ranking: AP must be below the perfect 1.0.
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let truth = [true, true, false, false];
+        assert!(average_precision(&scores, &truth) < 0.8);
+    }
+
+    #[test]
+    fn best_f1_empty_is_none() {
+        assert!(best_f1(&[]).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Text rendering of experiment results in the paper's table layouts,
+//! plus JSON persistence.
+
+use std::fmt::Write as _;
+
+use crate::experiments::{AblationResult, CaseStudy, SweepPoint, Table3Row, TargetResults, TransferResult};
+
+/// Renders Table III.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>12} {:>14} {:>12} | {:>9} {:>10} {:>10}",
+        "Dataset", "paper logs", "paper seqs", "paper anom", "gen logs", "gen seqs", "gen anom"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>12} {:>14} {:>12} | {:>9} {:>10} {:>10}",
+            r.dataset,
+            r.paper_logs,
+            r.paper_sequences,
+            r.paper_anomalies,
+            r.gen_logs,
+            r.gen_sequences,
+            r.gen_anomalies
+        );
+    }
+    s
+}
+
+/// Renders a Table IV/V block (all methods × one group's targets).
+pub fn render_group_table(title: &str, results: &[TargetResults]) -> String {
+    let mut s = format!("== {title} ==\n");
+    let _ = write!(s, "{:<22} {:<26}", "Method", "Type");
+    for t in results {
+        let _ = write!(s, " | {:^23}", t.target);
+    }
+    s.push('\n');
+    let _ = write!(s, "{:<22} {:<26}", "", "");
+    for _ in results {
+        let _ = write!(s, " | {:>7} {:>7} {:>7}", "P(%)", "R(%)", "F1(%)");
+    }
+    s.push('\n');
+    let n_methods = results.first().map(|t| t.rows.len()).unwrap_or(0);
+    for m in 0..n_methods {
+        let first = &results[0].rows[m];
+        let _ = write!(s, "{:<22} {:<26}", first.method, first.category);
+        for t in results {
+            let p = &t.rows[m].prf;
+            let _ = write!(s, " | {:>7.2} {:>7.2} {:>7.2}", p.precision, p.recall, p.f1);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders a Fig. 4 sweep as a value × target F1 matrix.
+pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
+    let mut s = format!("== {title} ==\n");
+    if points.is_empty() {
+        return s;
+    }
+    let _ = write!(s, "{:>10}", "value");
+    for (name, _) in &points[0].f1_by_target {
+        let _ = write!(s, " {:>12}", name);
+    }
+    s.push('\n');
+    for p in points {
+        let _ = write!(s, "{:>10}", format_value(p.value));
+        for (_, f1) in &p.f1_by_target {
+            let _ = write!(s, " {:>12.2}", f1);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the Fig. 5 ablation block.
+pub fn render_ablation(results: &[AblationResult]) -> String {
+    let mut s = String::from("== Fig. 5: Ablation (F1 %) ==\n");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>12} {:>12} {:>12} {:>18}",
+        "Target", "LogSynergy", "w/o LEI", "w/o SUFE", "NeuralLog direct"
+    );
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>18.2}",
+            r.target, r.full.prf.f1, r.no_lei.prf.f1, r.no_sufe.prf.f1, r.neurallog_direct.prf.f1
+        );
+    }
+    s
+}
+
+/// Renders the Fig. 6 transfer block.
+pub fn render_transfers(results: &[TransferResult]) -> String {
+    let mut s = String::from("== Fig. 6: cross-group transfer ==\n");
+    let _ = writeln!(s, "{:<12} -> {:<12} {:>8} {:>8} {:>8}", "Source", "Target", "P(%)", "R(%)", "F1(%)");
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{:<12} -> {:<12} {:>8.2} {:>8.2} {:>8.2}",
+            r.source, r.target, r.result.prf.precision, r.result.prf.recall, r.result.prf.f1
+        );
+    }
+    s
+}
+
+/// Renders the Fig. 8 case study.
+pub fn render_case_study(cs: &CaseStudy) -> String {
+    let mut s = String::from("== Fig. 8: case study ==\n");
+    let _ = writeln!(s, "raw-representation similarity: {:.3} (margin over nearest normal: {:+.3})", cs.raw_similarity, cs.raw_margin);
+    let _ = writeln!(s, "LEI-interpretation similarity: {:.3} (margin over nearest normal: {:+.3})", cs.lei_similarity, cs.lei_margin);
+    let _ = writeln!(s, "\n-- normal System A event (raw) --");
+    for t in cs.target_templates.iter().take(5) {
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "-- anomalous System C event (raw) --");
+    for t in cs.source_templates.iter().take(5) {
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "-- System A interpretations --");
+    for t in cs.target_interpretations.iter().take(5) {
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "-- System C interpretations --");
+    for t in cs.source_interpretations.iter().take(5) {
+        let _ = writeln!(s, "  {t}");
+    }
+    s
+}
+
+/// Serializes any result to pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Prf;
+    use crate::methods::MethodResult;
+
+    fn mr(name: &str, f1: f64) -> MethodResult {
+        MethodResult {
+            method: name.into(),
+            category: "Supervised".into(),
+            prf: Prf { precision: f1, recall: f1, f1 },
+            train_secs: 1.0,
+            n_test: 10,
+            n_test_anomalies: 2,
+        }
+    }
+
+    #[test]
+    fn group_table_renders_all_methods_and_targets() {
+        let results = vec![
+            TargetResults { target: "BGL".into(), rows: vec![mr("DeepLog", 19.4), mr("LogSynergy", 83.4)] },
+            TargetResults { target: "Spirit".into(), rows: vec![mr("DeepLog", 2.0), mr("LogSynergy", 90.6)] },
+        ];
+        let out = render_group_table("Table IV", &results);
+        assert!(out.contains("BGL"));
+        assert!(out.contains("Spirit"));
+        assert!(out.contains("LogSynergy"));
+        assert!(out.contains("83.40"));
+    }
+
+    #[test]
+    fn sweep_renders_matrix() {
+        let points = vec![SweepPoint {
+            value: 0.01,
+            f1_by_target: vec![("BGL".into(), 83.0), ("Spirit".into(), 90.0)],
+        }];
+        let out = render_sweep("Fig 4a", &points);
+        assert!(out.contains("0.01"));
+        assert!(out.contains("90.00"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = mr("X", 50.0);
+        let j = to_json(&r);
+        let back: MethodResult = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.method, "X");
+    }
+}

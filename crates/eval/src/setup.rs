@@ -1,0 +1,195 @@
+//! Experiment setup: configuration, dataset preparation, and per-system
+//! data bundles (raw + LEI-interpreted views of the same stream).
+
+use serde::{Deserialize, Serialize};
+
+use logsynergy::config::{ModelConfig, TrainConfig};
+use logsynergy::data::{prepare_system, EventTextMode, PreparedSystem};
+use logsynergy_embed::HashedEmbedder;
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::{datasets, LogDataset, SystemId};
+use logsynergy_logparse::WindowConfig;
+
+/// Experiment-wide knobs. Defaults are the CPU-scale setting; the paper's
+/// full-scale numbers live in [`ModelConfig::paper`] / [`TrainConfig::paper`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Log lines generated per dataset (each dataset's Table III count is
+    /// scaled down to roughly this size, equalizing compute per system).
+    pub logs_per_dataset: usize,
+    /// Anomaly-burst density multiplier for scaled runs (see
+    /// `DatasetSpec::generate_with`).
+    pub anomaly_boost: f64,
+    /// Sequences per source system (n_s).
+    pub n_source: usize,
+    /// Target training slice (n_t).
+    pub n_target: usize,
+    /// Cap on test sequences (0 = all).
+    pub max_test: usize,
+    /// Test region starts at this sequence index (0 = right after the
+    /// training slice, i.e. at `n_target`). Sweeps that vary `n_target`
+    /// pin this to the grid maximum so every point is evaluated on the
+    /// same held-out region.
+    #[serde(default)]
+    pub test_from: usize,
+    /// Embedding dimension of the frozen embedder.
+    pub embed_dim: usize,
+    /// Training epochs for LogSynergy.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// λ_MI (Eq. 5).
+    pub lambda_mi: f32,
+    /// λ_DA (Eq. 5).
+    pub lambda_da: f32,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            logs_per_dataset: 30_000,
+            anomaly_boost: 3.0,
+            n_source: 2_000,
+            n_target: 500,
+            max_test: 2_500,
+            embed_dim: 64,
+            epochs: 5,
+            batch_size: 128,
+            lambda_mi: 0.01,
+            lambda_da: 0.01,
+            test_from: 0,
+            seed: 0xE7A1,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A faster configuration for smoke tests and hyper-parameter sweeps.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            logs_per_dataset: 12_000,
+            n_source: 900,
+            n_target: 250,
+            max_test: 1_200,
+            epochs: 8,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Per-dataset generation scale that lands near `logs_per_dataset`.
+    pub fn scale_for(&self, system: SystemId) -> f64 {
+        let spec = datasets::spec_for(system);
+        (self.logs_per_dataset as f64 / spec.n_logs as f64).min(1.0)
+    }
+
+    /// Generates the (scaled, boosted) dataset for a system.
+    pub fn generate(&self, system: SystemId) -> LogDataset {
+        datasets::spec_for(system).generate_with(self.scale_for(system), self.anomaly_boost)
+    }
+
+    /// The frozen embedder shared by every method.
+    pub fn embedder(&self) -> HashedEmbedder {
+        HashedEmbedder::new(self.embed_dim, 0xE1B)
+    }
+
+    /// LogSynergy model configuration for `k` participating systems.
+    pub fn model_config(&self, num_systems: usize) -> ModelConfig {
+        let mut m = ModelConfig::scaled(num_systems);
+        m.embed_dim = self.embed_dim;
+        m
+    }
+
+    /// Index where the held-out test region starts.
+    pub fn test_start(&self) -> usize {
+        self.test_from.max(self.n_target)
+    }
+
+    /// LogSynergy training configuration.
+    pub fn train_config(&self) -> TrainConfig {
+        let mut t = TrainConfig::scaled();
+        t.epochs = self.epochs;
+        t.batch_size = self.batch_size;
+        t.n_source = self.n_source;
+        t.n_target = self.n_target;
+        t.lambda_mi = self.lambda_mi;
+        t.lambda_da = self.lambda_da;
+        t.seed = self.seed;
+        t
+    }
+}
+
+/// One system's prepared data in both text modes over the *same* stream:
+/// identical sequences/labels, different event texts and embeddings.
+pub struct SystemData {
+    /// System id.
+    pub system: SystemId,
+    /// Raw-template view (what baselines consume).
+    pub raw: PreparedSystem,
+    /// LEI-interpreted view (what LogSynergy consumes).
+    pub lei: PreparedSystem,
+    /// Generated log-line count.
+    pub n_logs: usize,
+    /// Anomalous log-line count.
+    pub n_anomalous_logs: usize,
+}
+
+/// Prepares one system under both text modes.
+pub fn prepare(system: SystemId, cfg: &ExperimentConfig) -> SystemData {
+    let ds = cfg.generate(system);
+    let embedder = cfg.embedder();
+    let window = WindowConfig::default();
+    let raw = prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, window);
+    let lei = prepare_system(
+        &ds,
+        &EventTextMode::Interpreted(LeiConfig::default()),
+        &embedder,
+        window,
+    );
+    SystemData {
+        system,
+        n_logs: ds.records.len(),
+        n_anomalous_logs: ds.records.iter().filter(|r| r.anomalous).count(),
+        raw,
+        lei,
+    }
+}
+
+/// Prepares a full group of systems.
+pub fn prepare_group(systems: &[SystemId], cfg: &ExperimentConfig) -> Vec<SystemData> {
+    systems.iter().map(|&s| prepare(s, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_land_near_target_log_count() {
+        let cfg = ExperimentConfig { logs_per_dataset: 5_000, ..ExperimentConfig::quick() };
+        for sys in SystemId::ALL {
+            let ds = cfg.generate(sys);
+            let n = ds.records.len();
+            assert!(
+                n >= 4_000 && n <= 8_000,
+                "{sys:?}: {n} logs, wanted ~5000"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_and_lei_views_share_sequences() {
+        let cfg = ExperimentConfig {
+            logs_per_dataset: 3_000,
+            ..ExperimentConfig::quick()
+        };
+        let d = prepare(SystemId::SystemB, &cfg);
+        assert_eq!(d.raw.sequences.len(), d.lei.sequences.len());
+        for (a, b) in d.raw.sequences.iter().zip(&d.lei.sequences) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.events, b.events);
+        }
+        assert_ne!(d.raw.event_texts, d.lei.event_texts);
+    }
+}

@@ -1,0 +1,132 @@
+//! The simulated LLM's language knowledge.
+//!
+//! A real LLM brings two things to LEI: (a) knowledge of each system's
+//! jargon ("Los" means "loss of signal") and (b) knowledge of what events
+//! mean in general. The [`KnowledgeBase`] models exactly those: a
+//! per-system surface→canonical dictionary (derived from the syntax
+//! profiles — i.e. from *language*, never from labels) and the shared
+//! concept ontology with canonical interpretations.
+
+use std::collections::HashMap;
+
+use logsynergy_loggen::ontology::{ontology, Concept};
+use logsynergy_loggen::profile::{SyntaxProfile, SystemId};
+
+/// The simulated LLM's knowledge: per-system vocabulary plus the shared
+/// event ontology.
+pub struct KnowledgeBase {
+    /// system -> (lowercased surface token -> canonical token)
+    dictionaries: HashMap<SystemId, HashMap<String, &'static str>>,
+    concepts: Vec<Concept>,
+}
+
+impl KnowledgeBase {
+    /// Builds the knowledge base covering all six systems.
+    pub fn new() -> Self {
+        let concepts = ontology();
+        let mut dictionaries = HashMap::new();
+        for sys in SystemId::ALL {
+            let profile = SyntaxProfile::new(sys, &concepts);
+            let dict = profile
+                .reverse_lexicon()
+                .iter()
+                .map(|(surface, &canon)| (surface.to_ascii_lowercase(), canon))
+                .collect();
+            dictionaries.insert(sys, dict);
+        }
+        KnowledgeBase { dictionaries, concepts }
+    }
+
+    /// The shared ontology the knowledge base reasons over.
+    pub fn concepts(&self) -> &[Concept] {
+        &self.concepts
+    }
+
+    /// Translates a surface token into its canonical token for `system`,
+    /// if the knowledge base recognizes it. Case-insensitive.
+    pub fn canonicalize(&self, system: SystemId, surface: &str) -> Option<&'static str> {
+        self.dictionaries.get(&system)?.get(&surface.to_ascii_lowercase()).copied()
+    }
+
+    /// Without system context ("which system did this come from?") the LLM
+    /// must guess across dialects: the first match in any dictionary wins.
+    /// This models the degradation the paper's Fig. 2 prompt avoids by
+    /// stating the log source up front.
+    pub fn canonicalize_without_context(&self, surface: &str) -> Option<&'static str> {
+        let key = surface.to_ascii_lowercase();
+        for sys in SystemId::ALL {
+            if let Some(&c) = self.dictionaries.get(&sys).and_then(|d| d.get(&key)) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Scores each concept by canonical-token overlap and returns the best
+    /// match together with its overlap fraction (matched / concept tokens).
+    pub fn best_concept(&self, canonical_tokens: &[&str]) -> Option<(&Concept, f64)> {
+        let set: std::collections::HashSet<&str> = canonical_tokens.iter().copied().collect();
+        self.concepts
+            .iter()
+            .map(|c| {
+                let hit = c.tokens.iter().filter(|t| set.contains(**t)).count();
+                (c, hit as f64 / c.tokens.len() as f64)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .filter(|(_, s)| *s > 0.0)
+    }
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_each_systems_vocabulary() {
+        let kb = KnowledgeBase::new();
+        let concepts = ontology();
+        for sys in SystemId::ALL {
+            let profile = SyntaxProfile::new(sys, &concepts);
+            for c in &concepts {
+                for &t in c.tokens {
+                    let surface = profile.surface(t);
+                    assert_eq!(
+                        kb.canonicalize(sys, surface),
+                        Some(t),
+                        "{sys:?}: {surface} should canonicalize to {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_concept_identifies_from_full_token_set() {
+        let kb = KnowledgeBase::new();
+        let (c, score) =
+            kb.best_concept(&["network", "connection", "interrupted", "loss", "signal"]).unwrap();
+        assert_eq!(c.name, "network_interruption");
+        assert!((score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_concept_handles_partial_evidence() {
+        let kb = KnowledgeBase::new();
+        let (c, score) = kb.best_concept(&["parity", "error", "read"]).unwrap();
+        assert_eq!(c.name, "parity_error");
+        assert!(score >= 0.5);
+    }
+
+    #[test]
+    fn unknown_tokens_have_no_canonical_form() {
+        let kb = KnowledgeBase::new();
+        assert_eq!(kb.canonicalize(SystemId::Bgl, "zzzznonsense"), None);
+        assert!(kb.best_concept(&["zzzznonsense"]).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! # logsynergy-lei
+//!
+//! LLM-based Event Interpretation (LEI, paper §III-C) with a *simulated*
+//! LLM. The real deployment calls ChatGPT-4o; here the LLM's two relevant
+//! capabilities — per-system jargon knowledge and event understanding —
+//! are modeled by a deterministic [`knowledge::KnowledgeBase`], while the
+//! documented failure modes (coverage gaps, hallucination, format errors)
+//! are injected stochastically and handled by the §VI-B2 operator review
+//! workflow in [`review`].
+//!
+//! ```
+//! use logsynergy_lei::{LeiConfig, LlmInterpreter};
+//! use logsynergy_loggen::{ontology, SyntaxProfile, SystemId};
+//!
+//! let lei = LlmInterpreter::new(LeiConfig {
+//!     coverage: 1.0,
+//!     hallucination_rate: 0.0,
+//!     format_error_rate: 0.0,
+//!     ..LeiConfig::default()
+//! });
+//! // Render the "network interruption" event in two systems' dialects:
+//! // the interpreter maps both to the same standardized sentence.
+//! let concepts = ontology();
+//! let event = &concepts[20];
+//! let spirit = SyntaxProfile::new(SystemId::Spirit, &concepts).template_text(event);
+//! let bgl = SyntaxProfile::new(SystemId::Bgl, &concepts).template_text(event);
+//! assert_ne!(spirit, bgl, "dialects differ (Table I)");
+//! assert_eq!(
+//!     lei.interpret(SystemId::Spirit, &spirit).text,
+//!     lei.interpret(SystemId::Bgl, &bgl).text,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod interpreter;
+pub mod knowledge;
+pub mod review;
+
+pub use interpreter::{Interpretation, LeiConfig, LlmInterpreter};
+pub use knowledge::KnowledgeBase;
+pub use review::{interpret_with_review, passes_review, ReviewPolicy, ReviewStats};

@@ -1,0 +1,193 @@
+//! Operator review workflow for LLM-generated interpretations (§VI-B2).
+//!
+//! The paper: "all LLM-generated interpretations must be reviewed ... the
+//! focus of the review being on detecting errors in format and length
+//! rather than semantic correctness. The interpretations can be regenerated
+//! when format errors are found." Review is cheap because a dataset has
+//! only a few hundred templates.
+
+use logsynergy_loggen::profile::SystemId;
+
+use crate::interpreter::{Interpretation, LlmInterpreter};
+
+/// Limits a well-formed interpretation must respect.
+#[derive(Clone, Debug)]
+pub struct ReviewPolicy {
+    /// Maximum characters per interpretation.
+    pub max_len: usize,
+    /// Maximum regeneration attempts per template before giving up and
+    /// truncating/cleaning mechanically.
+    pub max_retries: usize,
+    /// Number of independent generations per template for the
+    /// self-consistency check (§III-C: "interpretations can be regenerated
+    /// to ensure accuracy and reliability"; §IV-E2: the manual check
+    /// "can mitigate the impact of potential hallucinations"). Disagreeing
+    /// samples trigger a tie-break generation and a majority vote.
+    /// `1` disables the check (used by the internal-threat experiments).
+    pub consistency_samples: usize,
+}
+
+impl Default for ReviewPolicy {
+    fn default() -> Self {
+        ReviewPolicy { max_len: 200, max_retries: 5, consistency_samples: 2 }
+    }
+}
+
+/// Outcome statistics of a review pass (the operator-effort numbers the
+/// paper reports: review completes "within ten minutes").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReviewStats {
+    /// Templates reviewed.
+    pub reviewed: usize,
+    /// Regenerations triggered by format errors.
+    pub regenerated: usize,
+    /// Interpretations mechanically repaired after retry exhaustion.
+    pub repaired: usize,
+    /// Tie-break generations triggered by self-consistency disagreement.
+    pub consistency_regens: usize,
+}
+
+/// Checks whether an interpretation passes format review. Operators can see
+/// format/length issues (multi-line, chatty preamble, overlong), but NOT
+/// semantic errors — hallucinations pass review, as the paper warns.
+pub fn passes_review(i: &Interpretation, policy: &ReviewPolicy) -> bool {
+    !i.text.contains('\n') && i.text.len() <= policy.max_len && !i.text.is_empty()
+}
+
+/// Mechanical cleanup used when regeneration keeps failing: take the first
+/// non-empty content line and truncate.
+fn repair(text: &str, policy: &ReviewPolicy) -> String {
+    let line = text
+        .lines()
+        .map(|l| l.trim_start_matches(['-', ' ', '*']))
+        .find(|l| !l.is_empty() && !l.starts_with("Sure"))
+        .unwrap_or("unrecognized log event");
+    let mut s = line.to_string();
+    s.truncate(policy.max_len);
+    s
+}
+
+/// Interprets every template with review + regeneration, returning clean
+/// interpretations and the operator-effort statistics.
+pub fn interpret_with_review(
+    lei: &LlmInterpreter,
+    system: SystemId,
+    templates: &[String],
+    policy: &ReviewPolicy,
+) -> (Vec<Interpretation>, ReviewStats) {
+    let mut stats = ReviewStats::default();
+    let mut out = Vec::with_capacity(templates.len());
+    let clean = |lei: &LlmInterpreter, t: &str, stats: &mut ReviewStats| {
+        let mut i = lei.interpret(system, t);
+        let mut tries = 0;
+        while !passes_review(&i, policy) && tries < policy.max_retries {
+            stats.regenerated += 1;
+            tries += 1;
+            i = lei.interpret(system, t);
+        }
+        if !passes_review(&i, policy) {
+            stats.repaired += 1;
+            i.text = repair(&i.text, policy);
+            i.format_ok = true;
+        }
+        i
+    };
+    for t in templates {
+        stats.reviewed += 1;
+        let mut i = clean(lei, t, &mut stats);
+        if policy.consistency_samples >= 2 {
+            // Self-consistency: independent generations must agree; a
+            // disagreement means one of them hallucinated, so a tie-break
+            // generation votes it out.
+            let second = clean(lei, t, &mut stats);
+            if second.text != i.text {
+                stats.consistency_regens += 1;
+                let third = clean(lei, t, &mut stats);
+                if third.text == second.text {
+                    i = second;
+                } else if third.text != i.text {
+                    // All three differ (pathological LLM): keep the last.
+                    i = third;
+                }
+            }
+        }
+        out.push(i);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::LeiConfig;
+    use logsynergy_loggen::ontology::ontology;
+    use logsynergy_loggen::profile::SyntaxProfile;
+
+    fn templates(system: SystemId) -> Vec<String> {
+        let concepts = ontology();
+        let p = SyntaxProfile::new(system, &concepts);
+        concepts.iter().map(|c| p.template_text(c)).collect()
+    }
+
+    #[test]
+    fn review_fixes_all_format_errors() {
+        let lei = LlmInterpreter::new(LeiConfig {
+            format_error_rate: 0.5,
+            hallucination_rate: 0.0,
+            coverage: 1.0,
+            ..LeiConfig::default()
+        });
+        let policy = ReviewPolicy::default();
+        let (outs, stats) =
+            interpret_with_review(&lei, SystemId::Bgl, &templates(SystemId::Bgl), &policy);
+        assert!(outs.iter().all(|i| passes_review(i, &policy)));
+        assert!(stats.regenerated > 0, "50% format errors must trigger regeneration");
+        assert_eq!(stats.reviewed, outs.len());
+    }
+
+    #[test]
+    fn review_cannot_catch_hallucinations() {
+        let lei = LlmInterpreter::new(LeiConfig {
+            format_error_rate: 0.0,
+            hallucination_rate: 1.0,
+            coverage: 1.0,
+            ..LeiConfig::default()
+        });
+        let policy = ReviewPolicy::default();
+        let (outs, stats) =
+            interpret_with_review(&lei, SystemId::Spirit, &templates(SystemId::Spirit), &policy);
+        // All hallucinated, none regenerated: format review is blind to them.
+        assert!(outs.iter().all(|i| i.hallucinated));
+        assert_eq!(stats.regenerated, 0);
+    }
+
+    #[test]
+    fn pathological_generator_is_repaired() {
+        let lei = LlmInterpreter::new(LeiConfig {
+            format_error_rate: 1.0,
+            hallucination_rate: 0.0,
+            coverage: 1.0,
+            ..LeiConfig::default()
+        });
+        let policy = ReviewPolicy { max_retries: 2, ..ReviewPolicy::default() };
+        let (outs, stats) =
+            interpret_with_review(&lei, SystemId::SystemA, &templates(SystemId::SystemA), &policy);
+        assert!(outs.iter().all(|i| passes_review(i, &policy)));
+        assert!(stats.repaired >= outs.len(), "every clean() pass repairs");
+    }
+
+    #[test]
+    fn clean_generator_needs_no_work() {
+        let lei = LlmInterpreter::new(LeiConfig {
+            format_error_rate: 0.0,
+            hallucination_rate: 0.0,
+            coverage: 1.0,
+            ..LeiConfig::default()
+        });
+        let policy = ReviewPolicy::default();
+        let (_, stats) =
+            interpret_with_review(&lei, SystemId::SystemB, &templates(SystemId::SystemB), &policy);
+        assert_eq!(stats.regenerated, 0);
+        assert_eq!(stats.repaired, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The six built-in dataset specifications, mirroring Table III.
+//!
+//! Log counts and anomalous-sequence targets are the paper's numbers; a
+//! scale factor at generation time shrinks them proportionally for
+//! CPU-budget experiments. Each system's anomaly-concept set is chosen so
+//! the cross-system coverage relations the paper reports hold:
+//!
+//! - within each group, each target's anomalies are *mostly* covered by the
+//!   other two systems (Tables IV/V ordering);
+//! - BGL and Spirit are anomaly-rich supercomputers that cover System B and
+//!   System C respectively, while the reverse transfers are partial
+//!   (the Fig. 6 "Lesson Learned" asymmetry).
+
+use crate::corpus::DatasetSpec;
+use crate::ontology::ConceptId;
+use crate::profile::SystemId;
+
+fn ids(v: &[u16]) -> Vec<ConceptId> {
+    v.iter().map(|&i| ConceptId(i)).collect()
+}
+
+/// Standard onset schedule: the first two concepts are present from the
+/// start of the stream; later ones appear progressively deeper, landing in
+/// the continuous split's test region.
+
+/// Onsets for a normal-concept list: 0.0 everywhere except the ids in
+/// `late`, which appear at 30% of the stream (new workloads rolled out
+/// after the detection model's training slice).
+fn normal_onsets(list: &[u16], late: &[u16]) -> Vec<f64> {
+    list.iter().map(|id| if late.contains(id) { 0.3 } else { 0.0 }).collect()
+}
+
+ fn onsets(n: usize) -> Vec<f64> {
+    (0..n).map(|i| if i == 0 { 0.0 } else { 0.12 + 0.06 * (i as f64 - 1.0) }).collect()
+}
+
+// Anomaly concept ids (see `ontology::ontology` order):
+// 20 network_interruption, 21 parity_error, 22 memory_oom, 23 disk_failure,
+// 24 kernel_panic, 25 auth_failure_burst, 26 replication_lag,
+// 27 service_crash, 28 filesystem_corruption, 29 thermal_overheat,
+// 30 packet_loss, 31 deadlock_detected.
+
+/// BGL — anomaly-rich supercomputer (Table III row 1).
+pub fn bgl() -> DatasetSpec {
+    let anomalies = [20u16, 21, 22, 23, 24, 27, 28, 29, 31];
+    DatasetSpec {
+        system: SystemId::Bgl,
+        n_logs: 1_356_817,
+        target_anomalous_sequences: 29_092,
+        normal_concepts: ids(&[0, 1, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17]),
+        normal_onsets: normal_onsets(&[0, 1, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17], &[12, 16]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0xB61,
+    }
+}
+
+/// Spirit — anomaly-rich supercomputer (Table III row 2).
+pub fn spirit() -> DatasetSpec {
+    let anomalies = [20u16, 21, 23, 24, 25, 26, 27, 30];
+    DatasetSpec {
+        system: SystemId::Spirit,
+        n_logs: 4_783_733,
+        target_anomalous_sequences: 8_857,
+        normal_concepts: ids(&[0, 1, 2, 4, 5, 7, 8, 10, 11, 12, 13, 16, 17, 19, 32]),
+        normal_onsets: normal_onsets(&[0, 1, 2, 4, 5, 7, 8, 10, 11, 12, 13, 16, 17, 19, 32], &[5, 8]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0x521,
+    }
+}
+
+/// Thunderbird (Table III row 3) — anomalies fully covered by BGL ∪ Spirit.
+pub fn thunderbird() -> DatasetSpec {
+    let anomalies = [20u16, 22, 23, 27, 28, 30];
+    DatasetSpec {
+        system: SystemId::Thunderbird,
+        n_logs: 700_005,
+        target_anomalous_sequences: 5_946,
+        normal_concepts: ids(&[0, 1, 3, 4, 5, 6, 8, 9, 11, 12, 13, 15, 16, 18, 32]),
+        normal_onsets: normal_onsets(&[0, 1, 3, 4, 5, 6, 8, 9, 11, 12, 13, 15, 16, 18, 32], &[11, 32]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0x7B1,
+    }
+}
+
+/// ISP System A (Table III row 4) — CDMS service; auth anomalies are its
+/// own (uncovered by B/C).
+pub fn system_a() -> DatasetSpec {
+    let anomalies = [20u16, 25, 26, 27, 22];
+    DatasetSpec {
+        system: SystemId::SystemA,
+        n_logs: 2_166_422,
+        target_anomalous_sequences: 886,
+        normal_concepts: ids(&[0, 1, 2, 3, 4, 5, 6, 9, 10, 15, 16, 17, 18, 19, 32]),
+        normal_onsets: normal_onsets(&[0, 1, 2, 3, 4, 5, 6, 9, 10, 15, 16, 17, 18, 19, 32], &[6, 19]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0xA01,
+    }
+}
+
+/// ISP System B (Table III row 5) — simple system fully covered by BGL.
+pub fn system_b() -> DatasetSpec {
+    let anomalies = [20u16, 27, 22];
+    DatasetSpec {
+        system: SystemId::SystemB,
+        n_logs: 877_444,
+        target_anomalous_sequences: 296,
+        normal_concepts: ids(&[0, 1, 2, 3, 5, 6, 7, 8, 14, 15, 16, 17, 18, 19]),
+        normal_onsets: normal_onsets(&[0, 1, 2, 3, 5, 6, 7, 8, 14, 15, 16, 17, 18, 19], &[6, 16]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0xB02,
+    }
+}
+
+/// ISP System C (Table III row 6) — fully covered by Spirit; only partially
+/// by A ∪ B.
+pub fn system_c() -> DatasetSpec {
+    let anomalies = [20u16, 21, 26, 27, 30];
+    DatasetSpec {
+        system: SystemId::SystemC,
+        n_logs: 691_433,
+        target_anomalous_sequences: 5_170,
+        normal_concepts: ids(&[0, 1, 2, 4, 6, 7, 9, 10, 11, 12, 13, 14, 16, 19, 33]),
+        normal_onsets: normal_onsets(&[0, 1, 2, 4, 6, 7, 9, 10, 11, 12, 13, 14, 16, 19, 33], &[2, 19]),
+        anomaly_concepts: ids(&anomalies),
+        anomaly_onsets: onsets(anomalies.len()),
+        seed: 0xC03,
+    }
+}
+
+/// Spec for a system by id.
+pub fn spec_for(system: SystemId) -> DatasetSpec {
+    match system {
+        SystemId::Bgl => bgl(),
+        SystemId::Spirit => spirit(),
+        SystemId::Thunderbird => thunderbird(),
+        SystemId::SystemA => system_a(),
+        SystemId::SystemB => system_b(),
+        SystemId::SystemC => system_c(),
+    }
+}
+
+/// The paper's two evaluation groups: (targets iterate within a group,
+/// sources are the other two members).
+pub fn public_group() -> [SystemId; 3] {
+    [SystemId::Bgl, SystemId::Spirit, SystemId::Thunderbird]
+}
+
+/// The ISP/CDMS group.
+pub fn isp_group() -> [SystemId; 3] {
+    [SystemId::SystemA, SystemId::SystemB, SystemId::SystemC]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn thunderbird_covered_by_group() {
+        let t: HashSet<_> = thunderbird().anomaly_concepts.into_iter().collect();
+        let mut cover: HashSet<_> = bgl().anomaly_concepts.into_iter().collect();
+        cover.extend(spirit().anomaly_concepts);
+        assert!(t.is_subset(&cover));
+    }
+
+    #[test]
+    fn bgl_target_misses_some_concepts() {
+        let t: HashSet<_> = bgl().anomaly_concepts.into_iter().collect();
+        let mut cover: HashSet<_> = spirit().anomaly_concepts.into_iter().collect();
+        cover.extend(thunderbird().anomaly_concepts);
+        let missed = t.difference(&cover).count();
+        assert!(missed >= 2, "BGL should be the hardest public target");
+    }
+
+    #[test]
+    fn fig6_coverage_asymmetry() {
+        // Rich -> simple covers; simple -> rich does not.
+        let b: HashSet<_> = system_b().anomaly_concepts.into_iter().collect();
+        let bgl_set: HashSet<_> = bgl().anomaly_concepts.into_iter().collect();
+        assert!(b.is_subset(&bgl_set), "BGL must cover System B");
+        assert!(!bgl_set.is_subset(&b));
+
+        let c: HashSet<_> = system_c().anomaly_concepts.into_iter().collect();
+        let sp: HashSet<_> = spirit().anomaly_concepts.into_iter().collect();
+        assert!(c.is_subset(&sp), "Spirit must cover System C");
+        assert!(!sp.is_subset(&c));
+    }
+
+    #[test]
+    fn table3_scaled_counts_roughly_hold() {
+        // At a small scale the generated stream should approximate the
+        // Table III log count and per-window anomaly density.
+        let spec = bgl();
+        let scale = 0.005;
+        let ds = spec.generate(scale);
+        let want_logs = (spec.n_logs as f64 * scale) as usize;
+        let got = ds.records.len();
+        assert!(
+            (got as f64) > want_logs as f64 * 0.9 && (got as f64) < want_logs as f64 * 1.3,
+            "log count {got} vs target {want_logs}"
+        );
+    }
+
+    #[test]
+    fn anomaly_rates_ordered_like_table3() {
+        // BGL is the most anomaly-dense, System B the least.
+        let dense = |spec: DatasetSpec| {
+            let ds = spec.generate(0.004);
+            ds.num_anomalous_logs() as f64 / ds.records.len() as f64
+        };
+        let bgl_rate = dense(bgl());
+        let b_rate = dense(system_b());
+        let c_rate = dense(system_c());
+        assert!(bgl_rate > c_rate, "bgl {bgl_rate} vs c {c_rate}");
+        assert!(c_rate > b_rate, "c {c_rate} vs b {b_rate}");
+    }
+
+    #[test]
+    fn all_specs_generate() {
+        for sys in SystemId::ALL {
+            let ds = spec_for(sys).generate(0.0008);
+            assert!(ds.records.len() >= 100);
+            assert!(ds.num_anomalous_logs() > 0, "{sys:?} generated no anomalies");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # logsynergy-loggen
+//!
+//! Synthetic multi-system log corpus generator — the stand-in for the
+//! paper's six datasets (BGL, Spirit, Thunderbird, and ISP Systems A/B/C;
+//! Table III). A shared anomaly-concept ontology is rendered through
+//! per-system syntax profiles, reproducing the paper's central phenomenon:
+//! the same anomalous event appears with radically different syntax in
+//! different systems (Table I), while anomaly *semantics* are shared and
+//! therefore transferable.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod datasets;
+pub mod ontology;
+pub mod params;
+pub mod profile;
+
+pub use corpus::{concept, concept_partition, DatasetSpec, LogDataset, LogRecord};
+pub use ontology::{by_name, ontology, Category, Concept, ConceptId};
+pub use profile::{SyntaxProfile, SystemId};

@@ -1,0 +1,258 @@
+//! The shared anomaly-concept ontology.
+//!
+//! The paper's key observation (Table I) is that *the same anomalous event*
+//! surfaces with radically different syntax in different systems. The
+//! generator reproduces that structure by drawing every system's logs from
+//! one shared set of **concepts** — each with a canonical, system-neutral
+//! description — and rendering them through per-system syntax profiles
+//! ([`crate::profile`]).
+
+/// Identifier of a concept in [`ontology`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u16);
+
+/// Broad functional category of a concept.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Networking and connectivity.
+    Network,
+    /// Memory and caches.
+    Memory,
+    /// Disks and filesystems.
+    Storage,
+    /// CPU/kernel/scheduler.
+    Compute,
+    /// Authentication and access control.
+    Auth,
+    /// Replication and distributed state.
+    Replication,
+    /// Service lifecycle.
+    Service,
+    /// Hardware health.
+    Hardware,
+}
+
+/// Log level a concept is emitted at.
+///
+/// Severity is deliberately an *imperfect* anomaly signal, mirroring the
+/// paper's external-threat discussion (§IV-E1: "logs with negative
+/// semantics, such as frequent login failures, are not considered
+/// anomalies"): some normal concepts log at error level and some anomalies
+/// only at warning level, so no model can shortcut on severity alone.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Routine information.
+    Info,
+    /// Degraded but expected condition.
+    Warn,
+    /// Error-level message.
+    Error,
+}
+
+/// A system-neutral event concept.
+#[derive(Clone, Debug)]
+pub struct Concept {
+    /// Identifier (index into [`ontology`]).
+    pub id: ConceptId,
+    /// Short snake_case name.
+    pub name: &'static str,
+    /// Functional category.
+    pub category: Category,
+    /// Whether occurrences of this concept are anomalous.
+    pub anomalous: bool,
+    /// Log level the concept is emitted at.
+    pub severity: Severity,
+    /// Canonical interpretation — what an ideal LLM would say the event
+    /// means, in standardized syntax (the LEI target).
+    pub interpretation: &'static str,
+    /// Canonical content tokens; syntax profiles map these into
+    /// system-specific vocabulary.
+    pub tokens: &'static [&'static str],
+}
+
+macro_rules! concepts {
+    ($(($name:ident, $cat:ident, $anom:expr, $sev:ident, $interp:expr, [$($tok:expr),* $(,)?])),* $(,)?) => {{
+        let mut v = Vec::new();
+        $(
+            v.push(Concept {
+                id: ConceptId(v.len() as u16),
+                name: stringify!($name),
+                category: Category::$cat,
+                anomalous: $anom,
+                severity: Severity::$sev,
+                interpretation: $interp,
+                tokens: &[$($tok),*],
+            });
+        )*
+        v
+    }};
+}
+
+/// Builds the full shared ontology (22 normal + 12 anomalous concepts).
+pub fn ontology() -> Vec<Concept> {
+    concepts![
+        // ------------------------- normal operations -------------------------
+        (heartbeat_ok, Service, false, Info,
+            "periodic heartbeat reported healthy status",
+            ["heartbeat", "status", "healthy", "periodic"]),
+        (request_handled, Service, false, Info,
+            "client request handled successfully",
+            ["client", "request", "handled", "success"]),
+        (cache_hit, Memory, false, Info,
+            "cache lookup hit for requested key",
+            ["cache", "lookup", "hit", "key"]),
+        (cache_miss, Memory, false, Warn,
+            "cache lookup missed and fetched from backing store",
+            ["cache", "lookup", "miss", "fetch", "store"]),
+        (session_open, Network, false, Info,
+            "network session opened with peer",
+            ["session", "opened", "peer", "network"]),
+        (session_close, Network, false, Info,
+            "network session closed normally",
+            ["session", "closed", "normal", "network"]),
+        (config_reload, Service, false, Info,
+            "configuration reloaded successfully",
+            ["configuration", "reloaded", "success"]),
+        (gc_cycle, Memory, false, Info,
+            "garbage collection cycle completed",
+            ["garbage", "collection", "cycle", "completed"]),
+        (disk_write_ok, Storage, false, Info,
+            "data block written to disk successfully",
+            ["data", "block", "written", "disk", "success"]),
+        (replication_sync, Replication, false, Info,
+            "replica synchronized with primary",
+            ["replica", "synchronized", "primary"]),
+        (auth_success, Auth, false, Info,
+            "user authenticated successfully",
+            ["user", "authenticated", "success"]),
+        (job_scheduled, Compute, false, Info,
+            "batch job scheduled on node",
+            ["batch", "job", "scheduled", "node"]),
+        (job_finished, Compute, false, Info,
+            "batch job finished with exit status zero",
+            ["batch", "job", "finished", "exit", "zero"]),
+        (packet_forwarded, Network, false, Info,
+            "packet forwarded to next hop",
+            ["packet", "forwarded", "next", "hop"]),
+        (thermal_normal, Hardware, false, Info,
+            "temperature sensors within normal range",
+            ["temperature", "sensor", "normal", "range"]),
+        (memory_usage_report, Memory, false, Info,
+            "periodic memory usage report emitted",
+            ["memory", "usage", "report", "periodic"]),
+        (service_start, Service, false, Info,
+            "service started and listening",
+            ["service", "started", "listening"]),
+        (service_stop, Service, false, Info,
+            "service stopped cleanly by operator",
+            ["service", "stopped", "cleanly", "operator"]),
+        (backup_complete, Storage, false, Info,
+            "scheduled backup completed successfully",
+            ["backup", "completed", "scheduled", "success"]),
+        (healthcheck_pass, Service, false, Info,
+            "health check probe passed",
+            ["health", "check", "probe", "passed"]),
+        // --------------------------- anomalies -------------------------------
+        (network_interruption, Network, true, Error,
+            "network connection interrupted due to loss of signal",
+            ["network", "connection", "interrupted", "loss", "signal"]),
+        (parity_error, Hardware, true, Error,
+            "memory parity error detected on read",
+            ["parity", "error", "detected", "read", "memory"]),
+        (memory_oom, Memory, true, Error,
+            "process terminated after out of memory condition",
+            ["process", "terminated", "out", "of", "memory"]),
+        (disk_failure, Storage, true, Error,
+            "disk device failed with unrecoverable input output error",
+            ["disk", "device", "failed", "unrecoverable", "error"]),
+        (kernel_panic, Compute, true, Error,
+            "kernel panic halted the node",
+            ["kernel", "panic", "halted", "node"]),
+        (auth_failure_burst, Auth, true, Error,
+            "repeated authentication failures detected for account",
+            ["repeated", "authentication", "failure", "account"]),
+        (replication_lag, Replication, true, Warn,
+            "replica lag exceeded threshold behind primary",
+            ["replica", "lag", "exceeded", "threshold", "primary"]),
+        (service_crash, Service, true, Error,
+            "service crashed unexpectedly with segmentation fault",
+            ["service", "crashed", "unexpectedly", "segmentation", "fault"]),
+        (filesystem_corruption, Storage, true, Error,
+            "filesystem metadata corruption detected during scan",
+            ["filesystem", "metadata", "corruption", "detected", "scan"]),
+        (thermal_overheat, Hardware, true, Error,
+            "temperature exceeded critical threshold on component",
+            ["temperature", "exceeded", "critical", "threshold", "component"]),
+        (packet_loss, Network, true, Warn,
+            "severe packet loss observed on link",
+            ["severe", "packet", "loss", "observed", "link"]),
+        (deadlock_detected, Compute, true, Error,
+            "deadlock detected between worker threads",
+            ["deadlock", "detected", "worker", "threads"]),
+        // Normal concepts that log at error level (imperfect severity signal,
+        // per the paper's external-threat analysis).
+        (login_retry, Auth, false, Error,
+            "client login attempt failed and will be retried",
+            ["client", "login", "attempt", "failed", "retried"]),
+        (transient_timeout, Service, false, Error,
+            "transient request timeout recovered after retry",
+            ["transient", "request", "timeout", "recovered", "retry"]),
+    ]
+}
+
+/// Looks a concept up by name.
+pub fn by_name(all: &[Concept], name: &str) -> ConceptId {
+    all.iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown concept {name}"))
+        .id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_has_normals_and_anomalies() {
+        let all = ontology();
+        let anomalous = all.iter().filter(|c| c.anomalous).count();
+        let normal = all.len() - anomalous;
+        assert_eq!(anomalous, 12);
+        assert_eq!(normal, 22);
+    }
+
+    #[test]
+    fn ids_are_indices() {
+        let all = ontology();
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = ontology();
+        let mut names: Vec<_> = all.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn every_concept_has_tokens_and_interpretation() {
+        for c in ontology() {
+            assert!(!c.tokens.is_empty(), "{} has no tokens", c.name);
+            assert!(c.interpretation.split_whitespace().count() >= 3);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_table1_events() {
+        let all = ontology();
+        // The two anomalous events of the paper's Table I.
+        let ni = by_name(&all, "network_interruption");
+        let pe = by_name(&all, "parity_error");
+        assert!(all[ni.0 as usize].anomalous);
+        assert!(all[pe.0 as usize].anomalous);
+    }
+}

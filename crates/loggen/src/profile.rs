@@ -1,0 +1,628 @@
+//! Per-system syntax profiles.
+//!
+//! A profile renders shared concepts ([`crate::ontology`]) into the
+//! system's own idiom: its vocabulary (synonyms/abbreviations/casing), its
+//! message structure (prefix, word order), and its parameter style. Two
+//! systems logging the *same* concept therefore produce messages with very
+//! different surface syntax — the Table I phenomenon the paper motivates
+//! LEI with.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::ontology::{Category, Concept};
+use crate::params::{render as render_param, ParamKind, ParamStyle};
+
+/// The six systems of the paper's evaluation (§IV-A1, Table III).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemId {
+    /// Blue Gene/L supercomputer (public group).
+    Bgl,
+    /// Spirit supercomputer (public group).
+    Spirit,
+    /// Thunderbird supercomputer (public group).
+    Thunderbird,
+    /// ISP production system A (CDMS group).
+    SystemA,
+    /// ISP production system B (CDMS group).
+    SystemB,
+    /// ISP production system C (CDMS group).
+    SystemC,
+}
+
+impl SystemId {
+    /// All systems, public group first.
+    pub const ALL: [SystemId; 6] = [
+        SystemId::Bgl,
+        SystemId::Spirit,
+        SystemId::Thunderbird,
+        SystemId::SystemA,
+        SystemId::SystemB,
+        SystemId::SystemC,
+    ];
+
+    /// Human-readable dataset name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemId::Bgl => "BGL",
+            SystemId::Spirit => "Spirit",
+            SystemId::Thunderbird => "Thunderbird",
+            SystemId::SystemA => "System A",
+            SystemId::SystemB => "System B",
+            SystemId::SystemC => "System C",
+        }
+    }
+
+    /// Stable small integer (used for deterministic lexicon derivation and
+    /// as the system-classification label in SUFE).
+    pub fn index(self) -> usize {
+        match self {
+            SystemId::Bgl => 0,
+            SystemId::Spirit => 1,
+            SystemId::Thunderbird => 2,
+            SystemId::SystemA => 3,
+            SystemId::SystemB => 4,
+            SystemId::SystemC => 5,
+        }
+    }
+}
+
+/// Casing convention a system applies to its vocabulary.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Casing {
+    Lower,
+    Upper,
+    Title,
+}
+
+fn apply_casing(tok: &str, casing: Casing) -> String {
+    match casing {
+        Casing::Lower => tok.to_ascii_lowercase(),
+        Casing::Upper => tok.to_ascii_uppercase(),
+        Casing::Title => {
+            let mut c = tok.chars();
+            match c.next() {
+                Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+                None => String::new(),
+            }
+        }
+    }
+}
+
+/// Synonym pools for canonical tokens. Index 0 is the canonical spelling;
+/// systems deterministically pick different entries, so vocabularies
+/// diverge while remaining invertible by the LEI knowledge base.
+fn synonyms(token: &str) -> &'static [&'static str] {
+    match token {
+        "network" => &["network", "net", "nw", "lan", "fabric"],
+        "connection" => &["connection", "conn", "link", "circuit", "sock"],
+        "interrupted" => &["interrupted", "refused", "dropped", "aborted", "severed"],
+        "loss" => &["loss", "los", "drop", "outage", "lapse"],
+        "signal" => &["signal", "sig", "carrier", "beacon", "pulse"],
+        "parity" => &["parity", "prty", "ecc", "chksum", "crc"],
+        "error" => &["error", "err", "fault", "failure", "exception"],
+        "detected" => &["detected", "found", "observed", "caught", "flagged"],
+        "read" => &["read", "rd", "load", "fetch", "readback"],
+        "memory" => &["memory", "mem", "dram", "ram", "core"],
+        "process" => &["process", "proc", "task", "pid", "worker"],
+        "terminated" => &["terminated", "killed", "reaped", "oomkilled", "slain"],
+        "disk" => &["disk", "dsk", "drive", "hdd", "volume"],
+        "device" => &["device", "dev", "unit", "lun", "spindle"],
+        "failed" => &["failed", "fail", "dead", "offline", "faulted"],
+        "unrecoverable" => &["unrecoverable", "unrecov", "fatal", "hard", "permanent"],
+        "kernel" => &["kernel", "krnl", "core-os", "sys", "nucleus"],
+        "panic" => &["panic", "oops", "crash", "halt", "abend"],
+        "halted" => &["halted", "stopped", "frozen", "stalled", "bricked"],
+        "node" => &["node", "host", "blade", "server", "machine"],
+        "repeated" => &["repeated", "multiple", "consecutive", "burst", "serial"],
+        "authentication" => &["authentication", "auth", "login", "credential", "signin"],
+        "failure" => &["failure", "failed", "reject", "denial", "refusal"],
+        "account" => &["account", "acct", "user", "principal", "identity"],
+        "replica" => &["replica", "repl", "secondary", "follower", "standby"],
+        "lag" => &["lag", "delay", "backlog", "drift", "staleness"],
+        "exceeded" => &["exceeded", "above", "over", "breached", "past"],
+        "threshold" => &["threshold", "thresh", "limit", "watermark", "bound"],
+        "primary" => &["primary", "master", "leader", "upstream", "origin"],
+        "service" => &["service", "svc", "daemon", "module", "component"],
+        "crashed" => &["crashed", "died", "aborted", "coredumped", "segfaulted"],
+        "unexpectedly" => &["unexpectedly", "abruptly", "suddenly", "spontaneously", "unplanned"],
+        "segmentation" => &["segmentation", "segv", "sigsegv", "segfault", "accessviolation"],
+        "fault" => &["fault", "flt", "violation", "trap", "abort"],
+        "filesystem" => &["filesystem", "fs", "vfs", "superblock", "mount"],
+        "metadata" => &["metadata", "meta", "inode", "journal", "descriptor"],
+        "corruption" => &["corruption", "corrupt", "damage", "inconsistency", "rot"],
+        "scan" => &["scan", "fsck", "sweep", "audit", "check"],
+        "temperature" => &["temperature", "temp", "thermal", "heat", "degc"],
+        "critical" => &["critical", "crit", "severe", "red", "alarm"],
+        "component" => &["component", "comp", "part", "sensor", "module"],
+        "severe" => &["severe", "heavy", "major", "extreme", "gross"],
+        "packet" => &["packet", "pkt", "frame", "datagram", "cell"],
+        "observed" => &["observed", "seen", "measured", "recorded", "noted"],
+        "link" => &["link", "port", "interface", "uplink", "channel"],
+        "deadlock" => &["deadlock", "dlock", "lockup", "livelock", "stall"],
+        "worker" => &["worker", "wrkr", "thread", "executor", "agent"],
+        "threads" => &["threads", "thrds", "fibers", "routines", "contexts"],
+        "heartbeat" => &["heartbeat", "hb", "keepalive", "ping", "pulsecheck"],
+        "status" => &["status", "stat", "state", "condition", "health"],
+        "healthy" => &["healthy", "ok", "good", "green", "nominal"],
+        "periodic" => &["periodic", "regular", "interval", "cyclic", "scheduled"],
+        "client" => &["client", "clnt", "caller", "requester", "consumer"],
+        "request" => &["request", "req", "rpc", "query", "call"],
+        "handled" => &["handled", "served", "processed", "completed", "answered"],
+        "success" => &["success", "ok", "done", "succeeded", "rc=0"],
+        "cache" => &["cache", "cch", "buffer", "memcache", "store"],
+        "lookup" => &["lookup", "lkup", "get", "probe", "search"],
+        "hit" => &["hit", "found", "present", "cached", "warm"],
+        "miss" => &["miss", "absent", "cold", "notfound", "empty"],
+        "fetch" => &["fetch", "ftch", "pull", "retrieve", "load"],
+        "store" => &["store", "str", "backend", "origin", "database"],
+        "session" => &["session", "sess", "channel", "stream", "circuit"],
+        "opened" => &["opened", "open", "established", "created", "up"],
+        "closed" => &["closed", "close", "torn-down", "ended", "down"],
+        "peer" => &["peer", "remote", "endpoint", "neighbor", "partner"],
+        "normal" => &["normal", "norm", "clean", "graceful", "expected"],
+        "configuration" => &["configuration", "config", "cfg", "settings", "profile"],
+        "reloaded" => &["reloaded", "reread", "refreshed", "reapplied", "rescanned"],
+        "garbage" => &["garbage", "gc", "heap", "arena", "pool"],
+        "collection" => &["collection", "collect", "sweep", "compaction", "reclaim"],
+        "cycle" => &["cycle", "cyc", "round", "pass", "epoch"],
+        "completed" => &["completed", "complete", "finished", "done", "ended"],
+        "data" => &["data", "dat", "payload", "content", "blob"],
+        "block" => &["block", "blk", "chunk", "extent", "segment"],
+        "written" => &["written", "write", "flushed", "persisted", "committed"],
+        "synchronized" => &["synchronized", "synced", "caughtup", "aligned", "converged"],
+        "user" => &["user", "usr", "account", "subject", "login"],
+        "authenticated" => &["authenticated", "authed", "verified", "loggedin", "validated"],
+        "batch" => &["batch", "btch", "bulk", "queued", "offline"],
+        "job" => &["job", "jb", "task", "run", "workitem"],
+        "scheduled" => &["scheduled", "queued", "planned", "dispatched", "enqueued"],
+        "finished" => &["finished", "fin", "done", "exited", "completed"],
+        "exit" => &["exit", "rc", "retcode", "status", "code"],
+        "zero" => &["zero", "ok", "clean", "success", "nominal"],
+        "forwarded" => &["forwarded", "fwd", "relayed", "routed", "passed"],
+        "next" => &["next", "nxt", "downstream", "onward", "subsequent"],
+        "hop" => &["hop", "hp", "gateway", "router", "stage"],
+        "sensor" => &["sensor", "snsr", "probe", "gauge", "monitor"],
+        "range" => &["range", "rng", "band", "envelope", "window"],
+        "usage" => &["usage", "usg", "utilization", "consumption", "footprint"],
+        "report" => &["report", "rpt", "summary", "digest", "snapshot"],
+        "started" => &["started", "start", "launched", "booted", "spawned"],
+        "listening" => &["listening", "listen", "bound", "accepting", "ready"],
+        "stopped" => &["stopped", "stop", "shutdown", "terminated", "exited"],
+        "cleanly" => &["cleanly", "clean", "gracefully", "orderly", "normally"],
+        "operator" => &["operator", "oper", "admin", "sre", "human"],
+        "backup" => &["backup", "bkup", "snapshot", "archive", "dump"],
+        "health" => &["health", "hlth", "liveness", "readiness", "vitals"],
+        "check" => &["check", "chk", "probe", "test", "verify"],
+        "probe" => &["probe", "prb", "ping", "poll", "query"],
+        "passed" => &["passed", "pass", "ok", "green", "succeeded"],
+        "out" => &["out", "oom", "exhausted", "depleted", "short"],
+        "of" => &["of", "-", "w/", "with", "for"],
+        _ => &[],
+    }
+}
+
+/// A system's rendering profile.
+pub struct SyntaxProfile {
+    system: SystemId,
+    casing: Casing,
+    /// canonical token -> system surface token
+    lexicon: HashMap<&'static str, String>,
+    /// system surface token -> canonical token (for the LEI knowledge base)
+    reverse: HashMap<String, &'static str>,
+    param_style: ParamStyle,
+    /// Rotation applied to the token order (word-order divergence).
+    rotation: usize,
+}
+
+fn fnv(system: SystemId, token: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ (system.index() as u64).wrapping_mul(0x100000001b3);
+    for b in token.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl SyntaxProfile {
+    /// Builds the deterministic profile for `system` over `concepts`.
+    pub fn new(system: SystemId, concepts: &[Concept]) -> Self {
+        let casing = match system {
+            SystemId::Bgl => Casing::Upper,
+            SystemId::Spirit => Casing::Lower,
+            SystemId::Thunderbird => Casing::Lower,
+            SystemId::SystemA => Casing::Title,
+            SystemId::SystemB => Casing::Lower,
+            SystemId::SystemC => Casing::Upper,
+        };
+        let param_style = match system {
+            SystemId::Bgl => ParamStyle { node_prefix: "R", path_root: "/bgl/ciod" },
+            SystemId::Spirit => ParamStyle { node_prefix: "sn", path_root: "/var/spool" },
+            SystemId::Thunderbird => ParamStyle { node_prefix: "tbird-", path_root: "/scratch" },
+            SystemId::SystemA => ParamStyle { node_prefix: "cdms-a", path_root: "/data/a" },
+            SystemId::SystemB => ParamStyle { node_prefix: "cdms-b", path_root: "/data/b" },
+            SystemId::SystemC => ParamStyle { node_prefix: "cdms-c", path_root: "/data/c" },
+        };
+        let rotation = system.index() % 3;
+
+        // Vocabulary affinity: some system pairs share much of their
+        // jargon, mirroring the paper's observation that certain systems
+        // are syntactically similar (Thunderbird/Spirit are sibling
+        // supercomputers; System C grew out of System A's codebase). This
+        // is what gives LogTransfer/MetaLog their favourable targets in
+        // Tables IV/V while other pairs stay divergent (Table I).
+        let affinity: Option<(SystemId, u64)> = match system {
+            SystemId::Thunderbird => Some((SystemId::Spirit, 65)),
+            SystemId::SystemC => Some((SystemId::SystemA, 50)),
+            _ => None,
+        };
+
+        let mut lexicon = HashMap::new();
+        let mut reverse: HashMap<String, &'static str> = HashMap::new();
+        let mut canon_tokens: Vec<&'static str> = Vec::new();
+        for c in concepts {
+            for &t in c.tokens {
+                if !canon_tokens.contains(&t) {
+                    canon_tokens.push(t);
+                }
+            }
+        }
+        for &tok in &canon_tokens {
+            let pool = synonyms(tok);
+            let lexicon_system = match affinity {
+                Some((donor, pct)) if fnv(system, tok) % 100 < pct => donor,
+                _ => system,
+            };
+            let mut pick = if pool.is_empty() {
+                tok.to_string()
+            } else {
+                pool[(fnv(lexicon_system, tok) % pool.len() as u64) as usize].to_string()
+            };
+            pick = apply_casing(&pick, casing);
+            // Keep the surface lexicon injective so LEI can invert it:
+            // on collision fall back to the canonical spelling, then to a
+            // disambiguated form.
+            if reverse.contains_key(&pick) {
+                pick = apply_casing(tok, casing);
+            }
+            if reverse.contains_key(&pick) {
+                pick = format!("{}_{}", pick, lexicon.len());
+            }
+            reverse.insert(pick.clone(), tok);
+            lexicon.insert(tok, pick);
+        }
+        SyntaxProfile { system, casing, lexicon, reverse, param_style, rotation }
+    }
+
+    /// The system this profile renders for.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// Surface form of a canonical token in this system's vocabulary.
+    pub fn surface<'a>(&'a self, canonical: &'a str) -> &'a str {
+        self.lexicon.get(canonical).map(|s| s.as_str()).unwrap_or(canonical)
+    }
+
+    /// The system's surface → canonical mapping (consumed by the LEI
+    /// knowledge base — the "language knowledge" a real LLM would bring).
+    pub fn reverse_lexicon(&self) -> &HashMap<String, &'static str> {
+        &self.reverse
+    }
+
+    /// The system's severity vocabulary for a concept's log level. Severity
+    /// words differ per system and are an imperfect anomaly signal (see
+    /// [`crate::ontology::Severity`]).
+    fn severity_word(&self, concept: &Concept) -> &'static str {
+        use crate::ontology::Severity::*;
+        match (self.system, concept.severity) {
+            (SystemId::Bgl, Error) => "FATAL",
+            (SystemId::Bgl, Warn) => "WARNING",
+            (SystemId::Bgl, Info) => "INFO",
+            (SystemId::Spirit, Error) => "err",
+            (SystemId::Spirit, Warn) => "warn",
+            (SystemId::Spirit, Info) => "info",
+            (SystemId::Thunderbird, Error) => "error",
+            (SystemId::Thunderbird, Warn) => "warning",
+            (SystemId::Thunderbird, Info) => "notice",
+            (SystemId::SystemA, Error) => "ERR",
+            (SystemId::SystemA, Warn) => "WRN",
+            (SystemId::SystemA, Info) => "INF",
+            (SystemId::SystemB, Error) => "error",
+            (SystemId::SystemB, Warn) => "warn",
+            (SystemId::SystemB, Info) => "info",
+            (SystemId::SystemC, Error) => "SEVERE",
+            (SystemId::SystemC, Warn) => "MINOR",
+            (SystemId::SystemC, Info) => "ROUTINE",
+        }
+    }
+
+    fn prefix(&self, concept: &Concept) -> String {
+        let sev = self.severity_word(concept);
+        match self.system {
+            SystemId::Bgl => format!("RAS {} {}", category_tag(concept.category), sev),
+            SystemId::Spirit => format!("{}[{}]:", daemon_name(concept.category), sev.to_ascii_lowercase()),
+            SystemId::Thunderbird => {
+                format!("{}-daemon {}:", category_tag(concept.category).to_ascii_lowercase(), sev.to_ascii_lowercase())
+            }
+            SystemId::SystemA => format!("svcA|{}|{}|", category_tag(concept.category), sev),
+            SystemId::SystemB => format!("[b-{}] {}", daemon_name(concept.category), sev.to_ascii_lowercase()),
+            SystemId::SystemC => format!("C::{}::{}", category_tag(concept.category), sev),
+        }
+    }
+
+    fn param_slots(&self, concept: &Concept) -> Vec<ParamKind> {
+        // Parameter shape depends on the concept's category and, mildly,
+        // on the system (number of slots).
+        let base: &[ParamKind] = match concept.category {
+            Category::Network => &[ParamKind::Ip, ParamKind::Port],
+            Category::Memory => &[ParamKind::Bytes, ParamKind::Hex],
+            Category::Storage => &[ParamKind::Path, ParamKind::Id],
+            Category::Compute => &[ParamKind::Node, ParamKind::Id],
+            Category::Auth => &[ParamKind::Id, ParamKind::Ip],
+            Category::Replication => &[ParamKind::Node, ParamKind::DurationMs],
+            Category::Service => &[ParamKind::Id, ParamKind::DurationMs],
+            Category::Hardware => &[ParamKind::Node, ParamKind::Hex],
+        };
+        let n = 1 + (self.system.index() + concept.id.0 as usize) % base.len().max(1);
+        base[..n.min(base.len())].to_vec()
+    }
+
+    /// Renders one log message for `concept`, picking one of the concept's
+    /// two message variants. Within a variant the token structure is fixed
+    /// — only parameter values vary — so Drain maps occurrences to one
+    /// template per (system, concept, variant). Real components emit an
+    /// event through several distinct log statements; two variants give
+    /// that redundancy (and make single-template LEI mishaps non-fatal).
+    pub fn render<R: Rng>(&self, concept: &Concept, rng: &mut R) -> String {
+        let alt = rng.gen_bool(0.4);
+        self.render_variant(concept, alt, rng)
+    }
+
+    /// Renders a specific message variant (see [`SyntaxProfile::render`]).
+    pub fn render_variant<R: Rng>(&self, concept: &Concept, alt: bool, rng: &mut R) -> String {
+        let mut msg = self.template_variant_text(concept, alt);
+        for kind in self.param_slots_variant(concept, alt) {
+            msg.push(' ');
+            let v = render_param(kind, self.param_style, rng);
+            match self.system {
+                SystemId::SystemA | SystemId::SystemC => {
+                    msg.push_str(&format!("{}={}", param_key(kind), v));
+                }
+                _ => msg.push_str(&v),
+            }
+        }
+        msg
+    }
+
+    fn param_slots_variant(&self, concept: &Concept, alt: bool) -> Vec<ParamKind> {
+        let mut slots = self.param_slots(concept);
+        if alt {
+            // The alternate log statement reports one more detail.
+            let extra = slots.last().copied().unwrap_or(ParamKind::Id);
+            slots.push(extra);
+        }
+        slots
+    }
+
+    /// The fixed (parameter-free) token prefix of a variant.
+    fn template_variant_text(&self, concept: &Concept, alt: bool) -> String {
+        let mut body: Vec<String> =
+            concept.tokens.iter().map(|t| self.surface(t).to_string()).collect();
+        // Word-order divergence: rotate the body tokens per system; the
+        // alternate statement additionally reverses them (a different log
+        // statement wording for the same event).
+        let rot = self.rotation % body.len().max(1);
+        body.rotate_left(rot);
+        if alt {
+            body.reverse();
+        }
+        let mut msg = self.prefix(concept);
+        for tok in &body {
+            msg.push(' ');
+            msg.push_str(tok);
+        }
+        msg
+    }
+
+    /// The template text Drain should (approximately) learn for a concept's
+    /// primary variant: the rendered message minus parameters. Used by
+    /// tests and examples.
+    pub fn template_text(&self, concept: &Concept) -> String {
+        self.template_variant_text(concept, false)
+    }
+
+    /// Casing label, exposed for tests/documentation.
+    pub fn casing_name(&self) -> &'static str {
+        match self.casing {
+            Casing::Lower => "lower",
+            Casing::Upper => "upper",
+            Casing::Title => "title",
+        }
+    }
+}
+
+fn category_tag(c: Category) -> &'static str {
+    match c {
+        Category::Network => "NET",
+        Category::Memory => "MEM",
+        Category::Storage => "STO",
+        Category::Compute => "CPU",
+        Category::Auth => "SEC",
+        Category::Replication => "REP",
+        Category::Service => "APP",
+        Category::Hardware => "HW",
+    }
+}
+
+fn daemon_name(c: Category) -> &'static str {
+    match c {
+        Category::Network => "netd",
+        Category::Memory => "memd",
+        Category::Storage => "iod",
+        Category::Compute => "sched",
+        Category::Auth => "sshd",
+        Category::Replication => "repld",
+        Category::Service => "svcd",
+        Category::Hardware => "hwmon",
+    }
+}
+
+fn param_key(kind: ParamKind) -> &'static str {
+    match kind {
+        ParamKind::Ip => "addr",
+        ParamKind::Port => "port",
+        ParamKind::Hex => "code",
+        ParamKind::Path => "path",
+        ParamKind::Id => "id",
+        ParamKind::DurationMs => "ms",
+        ParamKind::Node => "node",
+        ParamKind::Bytes => "bytes",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::ontology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lexicons_are_injective() {
+        let all = ontology();
+        for sys in SystemId::ALL {
+            let p = SyntaxProfile::new(sys, &all);
+            let fwd: usize = all
+                .iter()
+                .flat_map(|c| c.tokens.iter())
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            assert_eq!(p.reverse_lexicon().len(), fwd, "{sys:?} lexicon not injective");
+        }
+    }
+
+    #[test]
+    fn same_concept_diverges_across_systems() {
+        let all = ontology();
+        let ni = &all[20]; // network_interruption
+        assert_eq!(ni.name, "network_interruption");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let texts: Vec<String> = SystemId::ALL
+            .iter()
+            .map(|&s| SyntaxProfile::new(s, &all).render(ni, &mut rng))
+            .collect();
+        // Pairwise token overlap must be low — except the two deliberately
+        // affine pairs (Thunderbird↔Spirit, SystemC↔SystemA).
+        let affine = |i: usize, j: usize| (i == 1 && j == 2) || (i == 3 && j == 5);
+        for i in 0..texts.len() {
+            for j in (i + 1)..texts.len() {
+                if affine(i, j) {
+                    continue;
+                }
+                let a: std::collections::HashSet<&str> = texts[i].split(' ').collect();
+                let b: std::collections::HashSet<&str> = texts[j].split(' ').collect();
+                let inter = a.intersection(&b).count();
+                let union = a.union(&b).count();
+                let jaccard = inter as f64 / union as f64;
+                assert!(
+                    jaccard < 0.5,
+                    "systems {i}/{j} too similar ({jaccard:.2}): {:?} vs {:?}",
+                    texts[i],
+                    texts[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_pairs_share_more_vocabulary() {
+        // Case-insensitive body-token overlap (embeddings lowercase
+        // everything, so casing differences do not matter downstream).
+        let all = ontology();
+        let body = |sys: SystemId, c: &crate::ontology::Concept| -> std::collections::HashSet<String> {
+            let p = SyntaxProfile::new(sys, &all);
+            c.tokens.iter().map(|t| p.surface(t).to_ascii_lowercase()).collect()
+        };
+        let overlap = |a: SystemId, b: SystemId| -> f64 {
+            let mut inter = 0usize;
+            let mut total = 0usize;
+            for c in &all {
+                let sa = body(a, c);
+                let sb = body(b, c);
+                inter += sa.intersection(&sb).count();
+                total += sa.len();
+            }
+            inter as f64 / total as f64
+        };
+        let tb_spirit = overlap(SystemId::Thunderbird, SystemId::Spirit);
+        let bgl_spirit = overlap(SystemId::Bgl, SystemId::Spirit);
+        assert!(
+            tb_spirit > bgl_spirit + 0.2,
+            "affinity should raise Tbird/Spirit overlap: {tb_spirit:.2} vs {bgl_spirit:.2}"
+        );
+        let c_a = overlap(SystemId::SystemC, SystemId::SystemA);
+        let c_b = overlap(SystemId::SystemC, SystemId::SystemB);
+        assert!(c_a > c_b + 0.1, "C/A affinity: {c_a:.2} vs {c_b:.2}");
+    }
+
+    #[test]
+    fn rendering_is_template_stable_per_variant() {
+        // Same (system, concept, variant) must differ only in parameters.
+        let all = ontology();
+        let p = SyntaxProfile::new(SystemId::Spirit, &all);
+        let c = &all[23]; // disk_failure
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for alt in [false, true] {
+            let a = p.render_variant(c, alt, &mut rng);
+            let b = p.render_variant(c, alt, &mut rng);
+            let ta: Vec<&str> = a.split(' ').collect();
+            let tb: Vec<&str> = b.split(' ').collect();
+            assert_eq!(ta.len(), tb.len());
+            for (x, y) in ta.iter().zip(&tb) {
+                if x != y {
+                    assert!(
+                        x.chars().any(|ch| ch.is_ascii_digit()),
+                        "non-parameter token differs: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variants_share_vocabulary_but_differ_in_structure() {
+        let all = ontology();
+        let p = SyntaxProfile::new(SystemId::Bgl, &all);
+        let c = &all[27]; // service_crash
+        let t0 = p.template_text(c);
+        let t1 = p.template_variant_text(c, true);
+        assert_ne!(t0, t1, "variants must produce distinct Drain templates");
+        let set0: std::collections::HashSet<&str> = t0.split(' ').collect();
+        let set1: std::collections::HashSet<&str> = t1.split(' ').collect();
+        assert_eq!(set0, set1, "variants carry the same surface vocabulary for LEI");
+    }
+
+    #[test]
+    fn surface_roundtrips_through_reverse_lexicon() {
+        let all = ontology();
+        let p = SyntaxProfile::new(SystemId::SystemC, &all);
+        for c in &all {
+            for &t in c.tokens {
+                let s = p.surface(t);
+                assert_eq!(p.reverse_lexicon().get(s).copied(), Some(t));
+            }
+        }
+    }
+
+    #[test]
+    fn anomalous_prefix_carries_severity() {
+        let all = ontology();
+        let p = SyntaxProfile::new(SystemId::Bgl, &all);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let anom = p.render(&all[24], &mut rng); // kernel_panic
+        let norm = p.render(&all[0], &mut rng); // heartbeat_ok
+        assert!(anom.contains("FATAL"));
+        assert!(norm.contains("INFO"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the corpus generator's invariants.
+
+use logsynergy_loggen::{datasets, ontology, SyntaxProfile, SystemId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn system_strategy() -> impl Strategy<Value = SystemId> {
+    prop_oneof![
+        Just(SystemId::Bgl),
+        Just(SystemId::Spirit),
+        Just(SystemId::Thunderbird),
+        Just(SystemId::SystemA),
+        Just(SystemId::SystemB),
+        Just(SystemId::SystemC),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Labels always agree with the ground-truth concept's anomaly flag.
+    #[test]
+    fn labels_match_concepts(sys in system_strategy(), scale in 0.0005f64..0.003) {
+        let all = ontology();
+        let ds = datasets::spec_for(sys).generate(scale);
+        for r in &ds.records {
+            prop_assert_eq!(r.anomalous, all[r.concept.0 as usize].anomalous);
+        }
+    }
+
+    /// Anomalous logs stay a bounded minority even under heavy boost.
+    #[test]
+    fn boost_respects_the_density_cap(sys in system_strategy(), boost in 1.0f64..50.0) {
+        let ds = datasets::spec_for(sys).generate_with(0.002, boost);
+        let rate = ds.num_anomalous_logs() as f64 / ds.records.len() as f64;
+        prop_assert!(rate < 0.35, "{sys:?} boost {boost}: log anomaly rate {rate}");
+    }
+
+    /// More scale, more logs (monotone generation size).
+    #[test]
+    fn scale_is_monotone(sys in system_strategy(), a in 0.0005f64..0.002, extra in 0.001f64..0.004) {
+        let small = datasets::spec_for(sys).generate(a).records.len();
+        let large = datasets::spec_for(sys).generate(a + extra).records.len();
+        prop_assert!(large > small, "{small} !< {large}");
+    }
+
+    /// Rendered messages tokenize into at least prefix + body tokens, and
+    /// every body token is invertible by the profile's reverse lexicon.
+    #[test]
+    fn rendered_messages_are_invertible(sys in system_strategy(), concept_idx in 0usize..34, seed in 0u64..1000) {
+        let all = ontology();
+        let profile = SyntaxProfile::new(sys, &all);
+        let c = &all[concept_idx];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msg = profile.render(c, &mut rng);
+        prop_assert!(msg.split_whitespace().count() >= 1 + c.tokens.len());
+        for &t in c.tokens {
+            let surface = profile.surface(t).to_string();
+            prop_assert!(
+                msg.contains(&surface),
+                "{sys:?}/{}: surface {surface} missing in {msg}",
+                c.name
+            );
+        }
+    }
+
+    /// The continuous stream's timestamps never go backwards.
+    #[test]
+    fn timestamps_monotone(sys in system_strategy()) {
+        let ds = datasets::spec_for(sys).generate(0.001);
+        for w in ds.records.windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+}

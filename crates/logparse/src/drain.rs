@@ -1,0 +1,312 @@
+//! Drain: online log parsing with a fixed-depth prefix tree
+//! (He et al., ICWS 2017) — the parser LogSynergy's pre-processing uses.
+//!
+//! Drain maps each raw log message to a *log event* (template): messages are
+//! first grouped by token count, then routed through a fixed number of
+//! leading tokens (digit-bearing tokens route through a wildcard), and
+//! finally matched against the leaf's template groups by token similarity.
+//! A match above the threshold merges the message into the group (diverging
+//! tokens become `<*>`); otherwise a new group is born.
+
+use std::collections::HashMap;
+
+/// The wildcard token Drain substitutes for parameters.
+pub const WILDCARD: &str = "<*>";
+
+/// Identifier of a parsed log event (template).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// Result of parsing one log message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedLog {
+    /// Template the message mapped to.
+    pub event: EventId,
+    /// Extracted parameter tokens (those matching `<*>` positions).
+    pub params: Vec<String>,
+}
+
+/// A log template tracked by the parser.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// Identifier.
+    pub id: EventId,
+    /// Template tokens, with `<*>` in parameter positions.
+    pub tokens: Vec<String>,
+    /// How many messages matched this template so far.
+    pub count: u64,
+}
+
+impl Template {
+    /// The template rendered as a single string.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+}
+
+/// Drain configuration.
+#[derive(Clone, Debug)]
+pub struct DrainConfig {
+    /// Tree depth: number of leading tokens used for routing (paper uses 4,
+    /// meaning `depth - 2 = 2` routing tokens; we store the routing count).
+    pub depth: usize,
+    /// Similarity threshold in `[0, 1]` for joining an existing group.
+    pub sim_threshold: f64,
+    /// Maximum children per internal node before falling back to `<*>`.
+    pub max_children: usize,
+    /// Mask digit-bearing tokens to `<*>` during preprocessing.
+    pub mask_numbers: bool,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig { depth: 2, sim_threshold: 0.5, max_children: 100, mask_numbers: true }
+    }
+}
+
+#[derive(Default)]
+struct Node {
+    children: HashMap<String, Node>,
+    /// Group indices (into `Drain::templates`) stored at leaves.
+    groups: Vec<usize>,
+}
+
+/// The Drain parser.
+pub struct Drain {
+    config: DrainConfig,
+    /// First level keyed by token count, then by routing tokens.
+    root: HashMap<usize, Node>,
+    templates: Vec<Template>,
+}
+
+impl Drain {
+    /// Creates a parser with the given configuration.
+    pub fn new(config: DrainConfig) -> Self {
+        assert!(config.depth >= 1, "depth must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&config.sim_threshold),
+            "similarity threshold out of [0,1]"
+        );
+        Drain { config, root: HashMap::new(), templates: Vec::new() }
+    }
+
+    /// Parser with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(DrainConfig::default())
+    }
+
+    /// Number of distinct templates learned so far.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// All learned templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Looks up a template by id.
+    pub fn template(&self, id: EventId) -> &Template {
+        &self.templates[id.0 as usize]
+    }
+
+    fn tokenize(&self, message: &str) -> Vec<String> {
+        message
+            .split_whitespace()
+            .map(|t| {
+                if self.config.mask_numbers && t.chars().any(|c| c.is_ascii_digit()) {
+                    WILDCARD.to_string()
+                } else {
+                    t.to_string()
+                }
+            })
+            .collect()
+    }
+
+    fn route_key(token: &str, node: &Node, max_children: usize) -> String {
+        if token == WILDCARD {
+            return WILDCARD.to_string();
+        }
+        if node.children.contains_key(token) {
+            token.to_string()
+        } else if node.children.len() < max_children {
+            token.to_string()
+        } else {
+            WILDCARD.to_string()
+        }
+    }
+
+    /// Token-overlap similarity between a template and a tokenized message
+    /// of the same length; wildcard positions are ignored in the numerator
+    /// but counted in the denominator (Drain's `simSeq`).
+    fn similarity(template: &[String], tokens: &[String]) -> (f64, usize) {
+        let mut same = 0usize;
+        let mut wildcards = 0usize;
+        for (a, b) in template.iter().zip(tokens) {
+            if a == WILDCARD {
+                wildcards += 1;
+            } else if a == b {
+                same += 1;
+            }
+        }
+        (same as f64 / template.len() as f64, wildcards)
+    }
+
+    /// Parses one message, learning templates online.
+    pub fn parse(&mut self, message: &str) -> ParsedLog {
+        let tokens = self.tokenize(message);
+        let len = tokens.len();
+        let depth = self.config.depth;
+        let max_children = self.config.max_children;
+
+        // Descend the fixed-depth tree, creating nodes as needed.
+        let mut node = self.root.entry(len).or_default();
+        for token in tokens.iter().take(depth.min(len)) {
+            let key = Self::route_key(token, node, max_children);
+            node = node.children.entry(key).or_default();
+        }
+
+        // Find the best-matching group at the leaf.
+        let mut best: Option<(usize, f64, usize)> = None;
+        for &gi in &node.groups {
+            let t = &self.templates[gi];
+            let (sim, wc) = Self::similarity(&t.tokens, &tokens);
+            let better = match best {
+                None => true,
+                Some((_, bs, bw)) => sim > bs || (sim == bs && wc < bw),
+            };
+            if better {
+                best = Some((gi, sim, wc));
+            }
+        }
+
+        let group_idx = match best {
+            Some((gi, sim, _)) if sim >= self.config.sim_threshold => {
+                // Merge: diverging tokens become wildcards.
+                let t = &mut self.templates[gi];
+                for (tt, mt) in t.tokens.iter_mut().zip(&tokens) {
+                    if tt != mt && tt != WILDCARD {
+                        *tt = WILDCARD.to_string();
+                    }
+                }
+                t.count += 1;
+                gi
+            }
+            _ => {
+                let id = EventId(self.templates.len() as u32);
+                self.templates.push(Template { id, tokens: tokens.clone(), count: 1 });
+                node.groups.push(self.templates.len() - 1);
+                self.templates.len() - 1
+            }
+        };
+
+        let template = &self.templates[group_idx];
+        let raw: Vec<&str> = message.split_whitespace().collect();
+        let params = template
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| *t == WILDCARD)
+            .map(|(i, _)| raw.get(i).copied().unwrap_or("").to_string())
+            .collect();
+        ParsedLog { event: template.id, params }
+    }
+
+    /// Parses a batch of messages, returning their event ids.
+    pub fn parse_all<'a>(&mut self, messages: impl IntoIterator<Item = &'a str>) -> Vec<EventId> {
+        messages.into_iter().map(|m| self.parse(m).event).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_messages_share_template() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("connection opened to server alpha");
+        let b = d.parse("connection opened to server alpha");
+        assert_eq!(a.event, b.event);
+        assert_eq!(d.num_templates(), 1);
+        assert_eq!(d.template(a.event).count, 2);
+    }
+
+    #[test]
+    fn parameters_become_wildcards() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("connection opened to server alpha port 80");
+        let b = d.parse("connection opened to server beta port 8080");
+        assert_eq!(a.event, b.event);
+        let t = d.template(a.event);
+        assert!(t.tokens.contains(&WILDCARD.to_string()));
+        assert_eq!(t.tokens[4], WILDCARD, "diverging token should be masked: {:?}", t.tokens);
+    }
+
+    #[test]
+    fn numeric_tokens_masked_in_preprocessing() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("request took 154 ms");
+        let b = d.parse("request took 7 ms");
+        assert_eq!(a.event, b.event);
+        assert_eq!(d.num_templates(), 1);
+        assert_eq!(a.params, vec!["154"]);
+        assert_eq!(b.params, vec!["7"]);
+    }
+
+    #[test]
+    fn different_lengths_never_merge() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("disk full");
+        let b = d.parse("disk full on volume root");
+        assert_ne!(a.event, b.event);
+    }
+
+    #[test]
+    fn dissimilar_messages_get_new_templates() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("kernel panic detected now");
+        let b = d.parse("kernel heartbeat signal ok");
+        // shares only the routing token "kernel": similarity 1/4 < 0.5
+        assert_ne!(a.event, b.event);
+        assert_eq!(d.num_templates(), 2);
+    }
+
+    #[test]
+    fn wildcard_routing_for_leading_numbers() {
+        let mut d = Drain::with_defaults();
+        let a = d.parse("1024 bytes written to cache");
+        let b = d.parse("2048 bytes written to cache");
+        assert_eq!(a.event, b.event);
+    }
+
+    #[test]
+    fn template_text_roundtrip() {
+        let mut d = Drain::with_defaults();
+        let p = d.parse("service restarted cleanly");
+        assert_eq!(d.template(p.event).text(), "service restarted cleanly");
+    }
+
+    #[test]
+    fn max_children_overflow_routes_to_wildcard() {
+        let mut d = Drain::new(DrainConfig { max_children: 2, ..DrainConfig::default() });
+        // Three distinct leading tokens with only 2 child slots.
+        d.parse("aaa common tail token");
+        d.parse("bbb common tail token");
+        let c = d.parse("ccc common tail token");
+        // ccc routed through <*>; new group there (no similar group yet).
+        assert_eq!(d.num_templates(), 3);
+        let again = d.parse("ccc common tail token");
+        assert_eq!(c.event, again.event);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut d = Drain::with_defaults();
+        for i in 0..10 {
+            d.parse(&format!("job {i} finished"));
+        }
+        assert_eq!(d.num_templates(), 1);
+        assert_eq!(d.templates()[0].count, 10);
+    }
+}

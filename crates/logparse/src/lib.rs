@@ -1,0 +1,32 @@
+//! # logsynergy-logparse
+//!
+//! Log pre-processing for LogSynergy-RS (paper §III-B): the Drain online
+//! log parser, which converts unstructured log messages into structured
+//! *log events* (templates) plus parameters, and the sliding-window
+//! sequencer that splits continuous event streams into labelled sequences.
+//!
+//! ```
+//! use logsynergy_logparse::{windows, Drain, WindowConfig};
+//!
+//! let mut drain = Drain::with_defaults();
+//! let events = drain.parse_all([
+//!     "connection opened to server alpha port 80",
+//!     "connection opened to server beta port 8080",
+//!     "disk write failed on volume 3",
+//! ]);
+//! assert_eq!(events[0], events[1], "parameters are masked into one template");
+//! assert_ne!(events[0], events[2]);
+//!
+//! let labels = vec![false, false, true];
+//! let seqs = windows(&events, &labels, WindowConfig { length: 2, step: 1 });
+//! assert_eq!(seqs.len(), 2);
+//! assert!(seqs[1].anomalous, "a window is anomalous if any log in it is");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod drain;
+pub mod window;
+
+pub use drain::{Drain, DrainConfig, EventId, ParsedLog, Template, WILDCARD};
+pub use window::{window_count, windows, LogSequence, WindowConfig};

@@ -1,0 +1,141 @@
+//! Sliding-window sequencing of parsed log streams.
+//!
+//! The paper segments continuous logs into sequences with a window length
+//! of 10 and a step of 5 (§IV-A1, §VI-A); a sequence is anomalous when any
+//! log inside it is anomalous.
+
+use crate::drain::EventId;
+
+/// Sliding-window parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Window length in log lines.
+    pub length: usize,
+    /// Step (shift) between consecutive windows.
+    pub step: usize,
+}
+
+impl Default for WindowConfig {
+    /// The paper's setting: length 10, step 5.
+    fn default() -> Self {
+        WindowConfig { length: 10, step: 5 }
+    }
+}
+
+/// A windowed sequence of log events with a sequence-level label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogSequence {
+    /// Event ids inside the window, in log order.
+    pub events: Vec<EventId>,
+    /// Index (into the source stream) of the window's first log.
+    pub start: usize,
+    /// True when any log in the window is anomalous.
+    pub anomalous: bool,
+}
+
+/// Splits an event stream (with per-log labels) into overlapping windows.
+///
+/// Windows are emitted while a full window fits; a trailing partial window
+/// is emitted only if the stream is shorter than one window (so tiny
+/// streams still produce a sequence).
+pub fn windows(events: &[EventId], labels: &[bool], config: WindowConfig) -> Vec<LogSequence> {
+    assert_eq!(events.len(), labels.len(), "events/labels length mismatch");
+    assert!(config.length > 0 && config.step > 0, "degenerate window config");
+    let n = events.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n < config.length {
+        return vec![LogSequence {
+            events: events.to_vec(),
+            start: 0,
+            anomalous: labels.iter().any(|&l| l),
+        }];
+    }
+    let mut out = Vec::with_capacity(n / config.step + 1);
+    let mut start = 0;
+    while start + config.length <= n {
+        let end = start + config.length;
+        out.push(LogSequence {
+            events: events[start..end].to_vec(),
+            start,
+            anomalous: labels[start..end].iter().any(|&l| l),
+        });
+        start += config.step;
+    }
+    out
+}
+
+/// Number of windows `windows` will produce for a stream of length `n`.
+pub fn window_count(n: usize, config: WindowConfig) -> usize {
+    if n == 0 {
+        0
+    } else if n < config.length {
+        1
+    } else {
+        (n - config.length) / config.step + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<EventId> {
+        (0..n as u32).map(EventId).collect()
+    }
+
+    #[test]
+    fn paper_default_is_10_by_5() {
+        let c = WindowConfig::default();
+        assert_eq!((c.length, c.step), (10, 5));
+    }
+
+    #[test]
+    fn produces_expected_count_and_overlap() {
+        let ev = ids(20);
+        let labels = vec![false; 20];
+        let w = windows(&ev, &labels, WindowConfig::default());
+        assert_eq!(w.len(), 3); // starts at 0, 5, 10
+        assert_eq!(w[0].start, 0);
+        assert_eq!(w[1].start, 5);
+        assert_eq!(w[1].events[0], EventId(5));
+        assert_eq!(w.len(), window_count(20, WindowConfig::default()));
+    }
+
+    #[test]
+    fn label_is_any_anomalous() {
+        let ev = ids(10);
+        let mut labels = vec![false; 10];
+        labels[7] = true;
+        let w = windows(&ev, &labels, WindowConfig::default());
+        assert_eq!(w.len(), 1);
+        assert!(w[0].anomalous);
+    }
+
+    #[test]
+    fn short_stream_yields_single_partial_window() {
+        let ev = ids(4);
+        let labels = vec![false, true, false, false];
+        let w = windows(&ev, &labels, WindowConfig::default());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].events.len(), 4);
+        assert!(w[0].anomalous);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(windows(&[], &[], WindowConfig::default()).is_empty());
+        assert_eq!(window_count(0, WindowConfig::default()), 0);
+    }
+
+    #[test]
+    fn nonoverlapping_windows() {
+        let ev = ids(9);
+        let labels = vec![false; 9];
+        let c = WindowConfig { length: 3, step: 3 };
+        let w = windows(&ev, &labels, c);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().enumerate().all(|(i, s)| s.start == i * 3));
+    }
+}

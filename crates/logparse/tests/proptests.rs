@@ -1,0 +1,79 @@
+//! Property tests for Drain and windowing invariants.
+
+use logsynergy_logparse::{windows, Drain, EventId, WindowConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Template count never exceeds the number of distinct messages parsed
+    /// and is monotone in the stream.
+    #[test]
+    fn template_count_monotone_and_bounded(
+        msgs in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,3}", 1..5), 1..40)
+    ) {
+        let mut d = Drain::with_defaults();
+        let mut prev = 0;
+        let mut distinct = std::collections::HashSet::new();
+        for tokens in &msgs {
+            let line = tokens.join(" ");
+            distinct.insert(line.clone());
+            d.parse(&line);
+            prop_assert!(d.num_templates() >= prev);
+            prev = d.num_templates();
+        }
+        prop_assert!(d.num_templates() <= distinct.len());
+    }
+
+    /// Parsing is stable: re-parsing the same stream maps each message to
+    /// the same event id as the first pass learned.
+    #[test]
+    fn reparse_is_stable(
+        msgs in proptest::collection::vec(
+            proptest::collection::vec("[a-c]{1,2}", 2..4), 1..20)
+    ) {
+        let mut d = Drain::with_defaults();
+        let lines: Vec<String> = msgs.iter().map(|t| t.join(" ")).collect();
+        let first: Vec<_> = lines.iter().map(|l| d.parse(l).event).collect();
+        let second: Vec<_> = lines.iter().map(|l| d.parse(l).event).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Every log index is covered by at least one window when step <= length.
+    #[test]
+    fn windows_cover_stream(n in 1usize..200, length in 1usize..20, step_frac in 1usize..20) {
+        let step = step_frac.min(length);
+        let cfg = WindowConfig { length, step };
+        let events: Vec<EventId> = (0..n as u32).map(EventId).collect();
+        let labels = vec![false; n];
+        let w = windows(&events, &labels, cfg);
+        let mut covered = vec![false; n];
+        for s in &w {
+            for (i, _) in s.events.iter().enumerate() {
+                covered[s.start + i] = true;
+            }
+        }
+        // Full coverage holds up to the last full window; the tail shorter
+        // than `length` may be uncovered (matching the paper's setup).
+        let covered_prefix = if n < length { n } else { ((n - length) / step) * step + length };
+        prop_assert!(covered[..covered_prefix].iter().all(|&c| c),
+            "uncovered index below {covered_prefix} (n={n}, len={length}, step={step})");
+    }
+
+    /// A window is anomalous iff it contains an anomalous log.
+    #[test]
+    fn window_label_matches_contents(
+        labels in proptest::collection::vec(any::<bool>(), 1..100),
+        length in 1usize..12,
+        step in 1usize..12,
+    ) {
+        let events: Vec<EventId> = (0..labels.len() as u32).map(EventId).collect();
+        let w = windows(&events, &labels, WindowConfig { length, step });
+        for s in &w {
+            let want = s.events.iter().enumerate()
+                .any(|(i, _)| labels[s.start + i]);
+            prop_assert_eq!(s.anomalous, want);
+        }
+    }
+}

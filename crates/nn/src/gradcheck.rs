@@ -1,0 +1,81 @@
+//! Finite-difference gradient checking used across the test suite.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Compares the analytic gradient of `f` at `x` against central finite
+/// differences. `f` must build a scalar output from the single leaf it is
+/// given. Returns the maximum absolute error observed.
+pub fn gradcheck(f: impl Fn(&Graph, Var) -> Var, x: &Tensor, eps: f32) -> f32 {
+    // Analytic gradient.
+    let g = Graph::new();
+    let v = g.leaf(x.clone());
+    let out = f(&g, v);
+    assert_eq!(g.value(out).len(), 1, "gradcheck target must be scalar");
+    g.backward(out);
+    let analytic = g.grad(v).unwrap_or_else(|| Tensor::zeros(x.shape()));
+
+    // Numeric gradient per coordinate.
+    let mut max_err = 0.0f32;
+    for i in 0..x.len() {
+        let eval = |delta: f32| -> f32 {
+            let mut xx = x.clone();
+            xx.data_mut()[i] += delta;
+            let g = Graph::new();
+            let v = g.leaf(xx);
+            let out = f(&g, v);
+            g.value(out).item()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+        let err = (a - numeric).abs() / denom;
+        if err > max_err {
+            max_err = err;
+        }
+    }
+    max_err
+}
+
+/// Asserts that `f`'s analytic gradient matches finite differences to
+/// within `tol` (relative).
+pub fn assert_gradcheck(f: impl Fn(&Graph, Var) -> Var, x: &Tensor, tol: f32) {
+    let err = gradcheck(f, x, 1e-2);
+    assert!(err < tol, "gradcheck failed: max relative error {err} >= {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn gradcheck_accepts_correct_gradient() {
+        let x = Tensor::new(vec![0.3, -0.7, 1.2], &[3]);
+        assert_gradcheck(
+            |g, v| {
+                let sq = ops::square(g, v);
+                ops::sum_all(g, sq)
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn gradcheck_rejects_wrong_gradient() {
+        // A deliberately wrong op: forward x^2, backward pretends dy/dx = 1.
+        let x = Tensor::new(vec![0.5, 2.0], &[2]);
+        assert_gradcheck(
+            |g, v| {
+                let t = g.value(v);
+                let out = t.map(|a| a * a);
+                let bogus = g.op(out, vec![v], Box::new(move |og| vec![og.clone()]));
+                ops::sum_all(g, bogus)
+            },
+            &x,
+            1e-3,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform init for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(rng, &[fan_in, fan_out], -limit, limit)
+}
+
+/// Kaiming/He normal init (for ReLU-family activations).
+pub fn kaiming_normal<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(rng, &[fan_in, fan_out], std)
+}
+
+/// Small-normal init for embedding tables.
+pub fn embedding_init<R: Rng>(rng: &mut R, vocab: usize, dim: usize) -> Tensor {
+    Tensor::randn(rng, &[vocab, dim], 0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = xavier_uniform(&mut rng, 64, 64);
+        let limit = (6.0 / 128.0f32).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(w.shape(), &[64, 64]);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w = kaiming_normal(&mut rng, 512, 64);
+        let var = w.data().iter().map(|x| x * x).sum::<f32>() / w.len() as f32;
+        assert!((var - 2.0 / 512.0).abs() < 1.0 / 512.0, "var {var}");
+    }
+}

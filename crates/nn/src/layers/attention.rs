@@ -1,0 +1,128 @@
+//! Multi-head scaled dot-product self-attention.
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamStore, Var};
+use crate::layers::Linear;
+use crate::ops;
+
+/// Multi-head self-attention over `[B, T, D]` input.
+///
+/// Heads are computed by slicing the projected Q/K/V along the feature axis
+/// (rather than a 4-D reshape), which keeps the tape in 3-D ops. With the
+/// small head counts used here the per-head loop is negligible.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `heads` heads over model width `d`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(heads > 0 && d % heads == 0, "model dim {d} not divisible by {heads} heads");
+        MultiHeadAttention {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), d, d),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), d, d),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), d, d),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), d, d),
+            heads,
+            head_dim: d / heads,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Applies self-attention; input and output are `[B, T, D]`.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let q = self.wq.forward(g, store, x);
+        let k = self.wk.forward(g, store, x);
+        let v = self.wv.forward(g, store, x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let off = h * self.head_dim;
+            let qh = ops::slice_last(g, q, off, self.head_dim); // [B,T,dh]
+            let kh = ops::slice_last(g, k, off, self.head_dim);
+            let vh = ops::slice_last(g, v, off, self.head_dim);
+            let kt = ops::transpose_last2(g, kh); // [B,dh,T]
+            let scores = ops::matmul(g, qh, kt); // [B,T,T]
+            let scaled = ops::scale(g, scores, scale);
+            let attn = ops::softmax(g, scaled);
+            outs.push(ops::matmul(g, attn, vh)); // [B,T,dh]
+        }
+        let concat = ops::concat_last(g, &outs); // [B,T,D]
+        self.wo.forward(g, store, concat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 8, 2);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[3, 5, 8], 1.0));
+        let y = mha.forward(&g, &store, x);
+        assert_eq!(g.shape_of(y), vec![3, 5, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn all_projections_get_gradients() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 4, 2);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3, 4], 1.0));
+        let y = mha.forward(&g, &store, x);
+        let s = ops::sum_all(&g, y);
+        g.backward(s);
+        g.write_grads(&mut store);
+        for id in store.ids() {
+            let gn = store.grad(id).norm();
+            assert!(gn.is_finite(), "non-finite grad on {}", store.name(id));
+        }
+        assert!(store.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn permutation_equivariance_without_positions() {
+        // Self-attention with no positional signal is permutation
+        // equivariant: swapping two timesteps swaps the outputs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 4, 1);
+        let a = Tensor::randn(&mut rng, &[1, 2, 4], 1.0);
+        let mut swapped = a.clone();
+        let (l, r) = swapped.data_mut().split_at_mut(4);
+        l.swap_with_slice(r);
+
+        let g = Graph::inference();
+        let y1 = g.value(mha.forward(&g, &store, g.input(a)));
+        let g2 = Graph::inference();
+        let y2 = g2.value(mha.forward(&g2, &store, g2.input(swapped)));
+        for i in 0..4 {
+            assert!((y1.data()[i] - y2.data()[4 + i]).abs() < 1e-5);
+            assert!((y1.data()[4 + i] - y2.data()[i]).abs() < 1e-5);
+        }
+    }
+}

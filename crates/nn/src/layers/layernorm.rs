@@ -1,0 +1,94 @@
+//! Layer normalization over the last axis.
+
+use crate::graph::{Graph, ParamId, ParamStore, Var};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// LayerNorm with learned scale (`gamma`) and shift (`beta`).
+///
+/// Implemented compositionally from differentiable primitives so its
+/// backward pass is covered by the op-level gradient checks.
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers `gamma = 1`, `beta = 0` parameters of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Normalized feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies the layer to `[.., dim]` input.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let shape = g.shape_of(x);
+        let last = shape.len() - 1;
+        assert_eq!(shape[last], self.dim, "LayerNorm dim mismatch");
+        let mu = ops::mean_axis(g, x, last, true);
+        let centered = ops::sub(g, x, mu);
+        let sq = ops::square(g, centered);
+        let var = ops::mean_axis(g, sq, last, true);
+        let var_eps = ops::add_scalar(g, var, self.eps);
+        let std = ops::sqrt(g, var_eps);
+        let normed = ops::div(g, centered, std);
+        let gamma = g.bind(store, self.gamma);
+        let beta = g.bind(store, self.beta);
+        let scaled = ops::mul(g, normed, gamma);
+        ops::add(g, scaled, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let g = Graph::new();
+        let x = g.input(Tensor::new(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[2, 4]));
+        let y = ln.forward(&g, &store, x);
+        let v = g.value(y);
+        for row in v.data().chunks_exact(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_receive_gradients() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let g = Graph::new();
+        let x = g.input(Tensor::new(vec![0.5, -1.0, 2.0], &[1, 3]));
+        let y = ln.forward(&g, &store, x);
+        let s = ops::sum_all(&g, y);
+        g.backward(s);
+        g.write_grads(&mut store);
+        // beta's gradient under a sum loss is exactly 1 per feature.
+        let beta_grad = store.grad(crate::graph::ParamId(1));
+        assert_eq!(beta_grad.data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn works_on_3d_input() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let g = Graph::new();
+        let x = g.input(Tensor::new((0..24).map(|i| i as f32).collect(), &[2, 3, 4]));
+        let y = ln.forward(&g, &store, x);
+        assert_eq!(g.shape_of(y), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamId, ParamStore, Var};
+use crate::init::xavier_uniform;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// `y = x W + b`, accepting `[N, in]` or `[B, T, in]` inputs.
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        let b = Some(store.add(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Same, without a bias term.
+    pub fn new_no_bias<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        Linear { w, b: None, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.bind(store, self.w);
+        let y = ops::matmul(g, x, w);
+        match self.b {
+            Some(b) => {
+                let b = g.bind(store, b);
+                ops::add(g, y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_2d_and_3d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, "l", 8, 4);
+        let g = Graph::new();
+        let x2 = g.input(Tensor::ones(&[3, 8]));
+        assert_eq!(g.shape_of(lin.forward(&g, &store, x2)), vec![3, 4]);
+        let x3 = g.input(Tensor::ones(&[2, 5, 8]));
+        assert_eq!(g.shape_of(lin.forward(&g, &store, x3)), vec![2, 5, 4]);
+    }
+
+    #[test]
+    fn gradients_reach_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 2);
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(&[3, 4]));
+        let y = lin.forward(&g, &store, x);
+        let s = ops::sum_all(&g, y);
+        g.backward(s);
+        g.write_grads(&mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Small multi-layer perceptrons (classifier heads, CLUB estimator nets).
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamStore, Var};
+use crate::layers::Linear;
+use crate::ops;
+
+/// Activation functions an [`Mlp`] can interleave between layers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// GELU (BERT-style).
+    Gelu,
+}
+
+impl Activation {
+    fn apply(self, g: &Graph, x: Var) -> Var {
+        match self {
+            Activation::Relu => ops::relu(g, x),
+            Activation::Tanh => ops::tanh(g, x),
+            Activation::Gelu => ops::gelu(g, x),
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with a fixed activation between them
+/// (none after the last layer — callers add softmax/sigmoid as needed).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP over the widths in `dims` (at least two entries).
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        dims: &[usize],
+        act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out] dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers, act }
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Applies every layer, with the activation between (not after) layers.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, mut x: Var) -> Var {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, store, x);
+            if i + 1 < n {
+                x = self.act.apply(g, x);
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, "mlp", &[2, 16, 1], Activation::Tanh);
+        let x = Tensor::new(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]);
+        let y = [0.0, 1.0, 1.0, 0.0];
+        let mut opt = crate::optim::AdamW::new(&store, 5e-2);
+        for _ in 0..300 {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let logits = mlp.forward(&g, &store, xv);
+            let flat = ops::reshape(&g, logits, &[4]);
+            let loss = crate::loss::bce_with_logits(&g, flat, &y);
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store);
+        }
+        let g = Graph::inference();
+        let logits = mlp.forward(&g, &store, g.input(x));
+        let v = g.value(logits);
+        for (i, &want) in y.iter().enumerate() {
+            let p = 1.0 / (1.0 + (-v.data()[i]).exp());
+            assert!(
+                (p > 0.5) == (want > 0.5),
+                "xor case {i}: p={p}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_hidden_layer_out_dim() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[8, 4, 3], Activation::Relu);
+        assert_eq!(mlp.out_dim(), 3);
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(&[2, 8]));
+        assert_eq!(g.shape_of(mlp.forward(&g, &store, x)), vec![2, 3]);
+    }
+}

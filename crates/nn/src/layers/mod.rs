@@ -1,0 +1,17 @@
+//! Neural-network layers built on the autograd tape.
+
+mod attention;
+mod layernorm;
+mod linear;
+mod mlp;
+mod rnn;
+mod spiking;
+mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use mlp::{Activation, Mlp};
+pub use rnn::{BiLstm, Gru, Lstm};
+pub use spiking::LifLayer;
+pub use transformer::{TransformerEncoder, TransformerEncoderLayer};

@@ -1,0 +1,289 @@
+//! Recurrent layers: LSTM, GRU, and bidirectional LSTM.
+//!
+//! These power the DeepLog/LogAnomaly/LogRobust/LogTAD/LogTransfer/MetaLog
+//! baselines. Sequences are short (window length 10 in the paper), so
+//! unrolling the recurrence onto the tape is cheap.
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamId, ParamStore, Var};
+use crate::init::xavier_uniform;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Long short-term memory layer.
+pub struct Lstm {
+    wx: ParamId, // [D, 4H] gate order: i, f, g, o
+    wh: ParamId, // [H, 4H]
+    b: ParamId,  // [4H]
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping input width `input` to hidden width `hidden`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = store.add(format!("{name}.wx"), xavier_uniform(rng, input, 4 * hidden));
+        let wh = store.add(format!("{name}.wh"), xavier_uniform(rng, hidden, 4 * hidden));
+        // Forget-gate bias starts at 1 (standard trick for gradient flow).
+        let mut bias = Tensor::zeros(&[4 * hidden]);
+        bias.data_mut()[hidden..2 * hidden].iter_mut().for_each(|x| *x = 1.0);
+        let b = store.add(format!("{name}.b"), bias);
+        Lstm { wx, wh, b, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs over `[B, T, D]`; returns (`[B, T, H]` outputs, `[B, H]` final h).
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        self.run(g, store, x, false)
+    }
+
+    /// Same as [`Lstm::forward`] but consumes the sequence right-to-left.
+    pub fn forward_reversed(&self, g: &Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        self.run(g, store, x, true)
+    }
+
+    fn run(&self, g: &Graph, store: &ParamStore, x: Var, reversed: bool) -> (Var, Var) {
+        let shape = g.shape_of(x);
+        assert_eq!(shape.len(), 3, "lstm expects [B,T,D]");
+        let (bsz, t) = (shape[0], shape[1]);
+        let h0 = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let c0 = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let wx = g.bind(store, self.wx);
+        let wh = g.bind(store, self.wh);
+        let b = g.bind(store, self.b);
+        let (mut h, mut c) = (h0, c0);
+        let mut outs: Vec<Var> = vec![h0; t];
+        let order: Vec<usize> =
+            if reversed { (0..t).rev().collect() } else { (0..t).collect() };
+        for &step in &order {
+            let xt = ops::time_slice(g, x, step); // [B,D]
+            let gx = ops::matmul(g, xt, wx);
+            let gh = ops::matmul(g, h, wh);
+            let gates = ops::add(g, ops::add(g, gx, gh), b); // [B,4H]
+            let hsz = self.hidden;
+            let i = ops::sigmoid(g, ops::slice_last(g, gates, 0, hsz));
+            let f = ops::sigmoid(g, ops::slice_last(g, gates, hsz, hsz));
+            let gg = ops::tanh(g, ops::slice_last(g, gates, 2 * hsz, hsz));
+            let o = ops::sigmoid(g, ops::slice_last(g, gates, 3 * hsz, hsz));
+            c = ops::add(g, ops::mul(g, f, c), ops::mul(g, i, gg));
+            h = ops::mul(g, o, ops::tanh(g, c));
+            outs[step] = h;
+        }
+        (ops::stack_time(g, &outs), h)
+    }
+}
+
+/// Gated recurrent unit layer.
+pub struct Gru {
+    wx: ParamId, // [D, 3H] gate order: z, r, n
+    wh: ParamId, // [H, 3H]
+    b: ParamId,  // [3H]
+    hidden: usize,
+}
+
+impl Gru {
+    /// Creates a GRU mapping input width `input` to hidden width `hidden`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = store.add(format!("{name}.wx"), xavier_uniform(rng, input, 3 * hidden));
+        let wh = store.add(format!("{name}.wh"), xavier_uniform(rng, hidden, 3 * hidden));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(&[3 * hidden]));
+        Gru { wx, wh, b, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs over `[B, T, D]`; returns (`[B, T, H]` outputs, `[B, H]` final h).
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        let shape = g.shape_of(x);
+        assert_eq!(shape.len(), 3, "gru expects [B,T,D]");
+        let (bsz, t) = (shape[0], shape[1]);
+        let wx = g.bind(store, self.wx);
+        let wh = g.bind(store, self.wh);
+        let b = g.bind(store, self.b);
+        let mut h = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let mut outs = Vec::with_capacity(t);
+        let hsz = self.hidden;
+        for step in 0..t {
+            let xt = ops::time_slice(g, x, step);
+            let gx = ops::add(g, ops::matmul(g, xt, wx), b); // [B,3H]
+            let gh = ops::matmul(g, h, wh); // [B,3H]
+            let z = {
+                let a = ops::slice_last(g, gx, 0, hsz);
+                let bb = ops::slice_last(g, gh, 0, hsz);
+                ops::sigmoid(g, ops::add(g, a, bb))
+            };
+            let r = {
+                let a = ops::slice_last(g, gx, hsz, hsz);
+                let bb = ops::slice_last(g, gh, hsz, hsz);
+                ops::sigmoid(g, ops::add(g, a, bb))
+            };
+            let n = {
+                let a = ops::slice_last(g, gx, 2 * hsz, hsz);
+                let bb = ops::slice_last(g, gh, 2 * hsz, hsz);
+                ops::tanh(g, ops::add(g, a, ops::mul(g, r, bb)))
+            };
+            // h' = (1 - z) * n + z * h
+            let one_minus_z = ops::add_scalar(g, ops::neg(g, z), 1.0);
+            h = ops::add(g, ops::mul(g, one_minus_z, n), ops::mul(g, z, h));
+            outs.push(h);
+        }
+        (ops::stack_time(g, &outs), h)
+    }
+}
+
+/// Bidirectional LSTM: concatenates forward and backward hidden states.
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// Creates a BiLSTM; the output width is `2 * hidden`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
+        BiLstm {
+            fwd: Lstm::new(store, rng, &format!("{name}.fwd"), input, hidden),
+            bwd: Lstm::new(store, rng, &format!("{name}.bwd"), input, hidden),
+        }
+    }
+
+    /// Output feature width (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    /// Runs over `[B, T, D]`; returns (`[B, T, 2H]`, `[B, 2H]` final state).
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        let (of, hf) = self.fwd.forward(g, store, x);
+        let (ob, hb) = self.bwd.forward_reversed(g, store, x);
+        let out = ops::concat_last(g, &[of, ob]);
+        let h = ops::concat_last(g, &[hf, hb]);
+        (out, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seq_tensor(rng: &mut rand::rngs::StdRng) -> Tensor {
+        Tensor::randn(rng, &[3, 5, 4], 1.0)
+    }
+
+    #[test]
+    fn lstm_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, "l", 4, 6);
+        let g = Graph::new();
+        let x = g.input(seq_tensor(&mut rng));
+        let (out, h) = lstm.forward(&g, &store, x);
+        assert_eq!(g.shape_of(out), vec![3, 5, 6]);
+        assert_eq!(g.shape_of(h), vec![3, 6]);
+        assert!(g.value(out).all_finite());
+    }
+
+    #[test]
+    fn gru_shapes_and_grads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, &mut rng, "g", 4, 6);
+        let g = Graph::new();
+        let x = g.input(seq_tensor(&mut rng));
+        let (out, _) = gru.forward(&g, &store, x);
+        let s = ops::sum_all(&g, out);
+        g.backward(s);
+        g.write_grads(&mut store);
+        assert!(store.grad_norm() > 0.0);
+        assert!(store.grad_norm().is_finite());
+    }
+
+    #[test]
+    fn bilstm_width_doubles() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut store = ParamStore::new();
+        let bi = BiLstm::new(&mut store, &mut rng, "bi", 4, 5);
+        let g = Graph::new();
+        let x = g.input(seq_tensor(&mut rng));
+        let (out, h) = bi.forward(&g, &store, x);
+        assert_eq!(g.shape_of(out), vec![3, 5, 10]);
+        assert_eq!(g.shape_of(h), vec![3, 10]);
+    }
+
+    #[test]
+    fn lstm_final_state_matches_last_output() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, "l", 4, 6);
+        let g = Graph::new();
+        let x = g.input(seq_tensor(&mut rng));
+        let (out, h) = lstm.forward(&g, &store, x);
+        let last = ops::time_slice(&g, out, 4);
+        assert_eq!(g.value(last).data(), g.value(h).data());
+    }
+
+    #[test]
+    fn lstm_learns_sign_of_mean() {
+        // Classify whether the sequence mean is positive: trainable end-to-end.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(35);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, &mut rng, "l", 2, 8);
+        let head = crate::layers::Linear::new(&mut store, &mut rng, "h", 8, 1);
+        let n = 32;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            for _ in 0..6 * 2 {
+                data.push(sign * 0.5 + 0.1 * (rng.gen::<f32>() - 0.5));
+            }
+            labels.push(if sign > 0.0 { 1.0 } else { 0.0 });
+        }
+        let x = Tensor::new(data, &[n, 6, 2]);
+        let mut opt = crate::optim::AdamW::new(&store, 1e-2);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..40 {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let (_, h) = lstm.forward(&g, &store, xv);
+            let logits = head.forward(&g, &store, h);
+            let flat = ops::reshape(&g, logits, &[n]);
+            let loss = crate::loss::bce_with_logits(&g, flat, &labels);
+            let lv = g.value(loss).item();
+            if it == 0 {
+                first = lv;
+            }
+            last = lv;
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+}

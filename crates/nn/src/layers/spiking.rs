@@ -1,0 +1,123 @@
+//! Leaky integrate-and-fire (LIF) spiking layer with surrogate gradients,
+//! the building block of the SpikeLog baseline.
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamStore, Var};
+use crate::layers::Linear;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// A layer of LIF neurons driven by a linear projection of each timestep.
+///
+/// Membrane update: `u_t = decay * u_{t-1} * (1 - s_{t-1}) + W x_t`;
+/// spike: `s_t = H(u_t - threshold)` with a sigmoid surrogate gradient.
+pub struct LifLayer {
+    proj: Linear,
+    hidden: usize,
+    decay: f32,
+    threshold: f32,
+    surrogate_beta: f32,
+}
+
+impl LifLayer {
+    /// Creates a LIF layer of `hidden` neurons over inputs of width `input`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Self {
+        LifLayer {
+            proj: Linear::new(store, rng, &format!("{name}.proj"), input, hidden),
+            hidden,
+            decay: 0.5,
+            threshold: 1.0,
+            surrogate_beta: 4.0,
+        }
+    }
+
+    /// Neuron count.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs over `[B, T, D]`; returns (`[B, T, H]` spike trains,
+    /// `[B, H]` mean firing rate over time).
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        let shape = g.shape_of(x);
+        assert_eq!(shape.len(), 3, "lif expects [B,T,D]");
+        let (bsz, t) = (shape[0], shape[1]);
+        let mut u = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let mut prev_spike = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let mut outs = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = ops::time_slice(g, x, step);
+            let drive = self.proj.forward(g, store, xt);
+            // Soft reset: a spike clamps the carried-over membrane charge.
+            let not_spiked = ops::add_scalar(g, ops::neg(g, prev_spike), 1.0);
+            let carried = ops::mul(g, u, not_spiked);
+            u = ops::add(g, ops::scale(g, carried, self.decay), drive);
+            let centered = ops::add_scalar(g, u, -self.threshold);
+            let s = ops::spike(g, centered, self.surrogate_beta);
+            prev_spike = s;
+            outs.push(s);
+        }
+        let train = ops::stack_time(g, &outs);
+        let rate = ops::mean_axis(g, train, 1, false);
+        (train, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spikes_are_binary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut store = ParamStore::new();
+        let lif = LifLayer::new(&mut store, &mut rng, "lif", 4, 8);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 6, 4], 2.0));
+        let (train, rate) = lif.forward(&g, &store, x);
+        assert_eq!(g.shape_of(train), vec![2, 6, 8]);
+        assert_eq!(g.shape_of(rate), vec![2, 8]);
+        for &v in g.value(train).data() {
+            assert!(v == 0.0 || v == 1.0, "non-binary spike {v}");
+        }
+        for &r in g.value(rate).data() {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn surrogate_gradient_trains_firing_rate() {
+        // Push the mean firing rate toward 0.5 via the surrogate gradient.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let lif = LifLayer::new(&mut store, &mut rng, "lif", 3, 6);
+        let x = Tensor::randn(&mut rng, &[4, 5, 3], 1.0);
+        let target = Tensor::full(&[4, 6], 0.5);
+        let mut opt = crate::optim::AdamW::new(&store, 5e-2);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..30 {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let (_, rate) = lif.forward(&g, &store, xv);
+            let loss = crate::loss::mse(&g, rate, &target);
+            let lv = g.value(loss).item();
+            if it == 0 {
+                first = lv;
+            }
+            last = lv;
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(last <= first, "firing-rate loss should not increase: {first} -> {last}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Transformer encoder (Vaswani et al., 2017) — the feature extractor `F`
+//! of LogSynergy and of the NeuralLog baseline.
+
+use rand::Rng;
+
+use crate::graph::{Graph, ParamStore, Var};
+use crate::layers::{Linear, MultiHeadAttention};
+use crate::layers::LayerNorm;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// One pre-norm encoder block: `x + MHA(LN(x))`, then `x + FFN(LN(x))`.
+pub struct TransformerEncoderLayer {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    dropout: f32,
+}
+
+impl TransformerEncoderLayer {
+    /// `d` model width, `heads` attention heads, `ff` feed-forward width.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d: usize,
+        heads: usize,
+        ff: usize,
+        dropout: f32,
+    ) -> Self {
+        TransformerEncoderLayer {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), d),
+            attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), d, heads),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), d),
+            ff1: Linear::new(store, rng, &format!("{name}.ff1"), d, ff),
+            ff2: Linear::new(store, rng, &format!("{name}.ff2"), ff, d),
+            dropout,
+        }
+    }
+
+    /// Applies the block to `[B, T, D]`.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: Var,
+        rng: &mut R,
+    ) -> Var {
+        let n1 = self.ln1.forward(g, store, x);
+        let a = self.attn.forward(g, store, n1);
+        let a = ops::dropout(g, a, self.dropout, rng);
+        let x = ops::add(g, x, a);
+        let n2 = self.ln2.forward(g, store, x);
+        let h = self.ff1.forward(g, store, n2);
+        let h = ops::gelu(g, h);
+        let h = self.ff2.forward(g, store, h);
+        let h = ops::dropout(g, h, self.dropout, rng);
+        ops::add(g, x, h)
+    }
+}
+
+/// Stack of encoder layers with learned positional embeddings and a final
+/// LayerNorm, plus mean pooling over time.
+pub struct TransformerEncoder {
+    pos: crate::graph::ParamId,
+    layers: Vec<TransformerEncoderLayer>,
+    ln_out: LayerNorm,
+    d: usize,
+    max_len: usize,
+}
+
+impl TransformerEncoder {
+    /// Builds an encoder: `n_layers` blocks of width `d`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d: usize,
+        heads: usize,
+        ff: usize,
+        n_layers: usize,
+        max_len: usize,
+        dropout: f32,
+    ) -> Self {
+        let pos = store.add(format!("{name}.pos"), Tensor::randn(rng, &[max_len, d], 0.02));
+        let layers = (0..n_layers)
+            .map(|i| {
+                TransformerEncoderLayer::new(
+                    store,
+                    rng,
+                    &format!("{name}.layer{i}"),
+                    d,
+                    heads,
+                    ff,
+                    dropout,
+                )
+            })
+            .collect();
+        TransformerEncoder {
+            pos,
+            layers,
+            ln_out: LayerNorm::new(store, &format!("{name}.ln_out"), d),
+            d,
+            max_len,
+        }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Encodes `[B, T, D]` into contextualized `[B, T, D]`.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: Var,
+        rng: &mut R,
+    ) -> Var {
+        let shape = g.shape_of(x);
+        assert_eq!(shape.len(), 3, "encoder expects [B,T,D]");
+        let t = shape[1];
+        assert!(t <= self.max_len, "sequence length {t} exceeds max {}", self.max_len);
+        assert_eq!(shape[2], self.d, "encoder width mismatch");
+        // Add positional embeddings (truncated to T, broadcast over batch).
+        let pos = g.bind(store, self.pos);
+        let pos_t = ops::slice_rows(g, pos, 0, t); // [T, D]
+        let mut h = ops::add(g, x, pos_t); // [B,T,D] + [T,D]
+        for layer in &self.layers {
+            h = layer.forward(g, store, h, rng);
+        }
+        self.ln_out.forward(g, store, h)
+    }
+
+    /// Encodes then mean-pools over time: `[B, T, D] -> [B, D]`.
+    pub fn encode_pooled<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: Var,
+        rng: &mut R,
+    ) -> Var {
+        let h = self.forward(g, store, x, rng);
+        ops::mean_axis(g, h, 1, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_shapes_and_finiteness() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 16, 4, 32, 2, 10, 0.0);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[4, 10, 16], 1.0));
+        let y = enc.forward(&g, &store, x, &mut rng);
+        assert_eq!(g.shape_of(y), vec![4, 10, 16]);
+        let p = enc.encode_pooled(&g, &store, x, &mut rng);
+        assert_eq!(g.shape_of(p), vec![4, 16]);
+        assert!(g.value(p).all_finite());
+    }
+
+    #[test]
+    fn positions_break_permutation_symmetry() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 8, 2, 16, 1, 4, 0.0);
+        let a = Tensor::randn(&mut rng, &[1, 2, 8], 1.0);
+        let mut swapped = a.clone();
+        let (l, r) = swapped.data_mut().split_at_mut(8);
+        l.swap_with_slice(r);
+        let g = Graph::inference();
+        let p1 = g.value(enc.encode_pooled(&g, &store, g.input(a), &mut rng));
+        let g2 = Graph::inference();
+        let p2 = g2.value(enc.encode_pooled(&g2, &store, g2.input(swapped), &mut rng));
+        let diff: f32 =
+            p1.data().iter().zip(p2.data()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "positional embeddings should make order matter, diff={diff}");
+    }
+
+    #[test]
+    fn whole_encoder_trains() {
+        // One gradient step must reduce a simple regression loss.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 8, 2, 16, 1, 6, 0.0);
+        let head = Linear::new(&mut store, &mut rng, "head", 8, 1);
+        let x = Tensor::randn(&mut rng, &[8, 6, 8], 1.0);
+        let target = Tensor::ones(&[8, 1]);
+        let mut opt = crate::optim::AdamW::new(&store, 1e-2);
+        let mut losses = vec![];
+        for _ in 0..30 {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let pooled = enc.encode_pooled(&g, &store, xv, &mut rng);
+            let pred = head.forward(&g, &store, pooled);
+            let loss = crate::loss::mse(&g, pred, &target);
+            losses.push(g.value(loss).item());
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss should halve: {:?} -> {:?}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # logsynergy-nn
+//!
+//! A from-scratch tensor / reverse-mode autodiff / neural-network substrate
+//! for LogSynergy-RS. It stands in for the PyTorch stack the LogSynergy
+//! paper (ICDE 2025) trains on: everything the framework and its ten
+//! baselines need — Transformer encoders, LSTM/GRU/Bi-LSTM, spiking (LIF)
+//! layers, a gradient-reversal layer for adversarial domain adaptation,
+//! AdamW — is implemented here on plain `Vec<f32>` tensors.
+//!
+//! Design notes:
+//! - [`tensor::Tensor`] is contiguous and row-major; all views copy.
+//! - [`graph::Graph`] is a single-use tape; parameters live in a
+//!   [`graph::ParamStore`] and are bound per forward pass.
+//! - Ops are free functions in [`ops`]; layers in [`layers`] are plain
+//!   structs of parameter ids.
+//! - Gradients of every op are validated against finite differences (see
+//!   [`gradcheck`] and the crate's test suite).
+//!
+//! ```
+//! use logsynergy_nn::optim::AdamW;
+//! use logsynergy_nn::{loss, ops, Graph, ParamStore, Tensor};
+//!
+//! // Fit y = 2x with a single weight.
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::zeros(&[1, 1]));
+//! let mut opt = AdamW::with_config(&store, 0.1, 0.9, 0.999, 1e-8, 0.0);
+//! for _ in 0..200 {
+//!     let g = Graph::new();
+//!     let wv = g.bind(&store, w);
+//!     let x = g.input(Tensor::new(vec![1.0, 2.0, 3.0], &[3, 1]));
+//!     let pred = ops::matmul(&g, x, wv);
+//!     let target = Tensor::new(vec![2.0, 4.0, 6.0], &[3, 1]);
+//!     let l = loss::mse(&g, pred, &target);
+//!     g.backward(l);
+//!     g.write_grads(&mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).data()[0] - 2.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Graph, ParamId, ParamStore, Var};
+pub use tensor::Tensor;

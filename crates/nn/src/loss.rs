@@ -1,0 +1,154 @@
+//! Loss functions (all return scalar means over the batch).
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Binary cross-entropy on raw logits `[N]` (or `[N,1]`) against `{0,1}`
+/// targets, computed with the numerically stable log-sum-exp form:
+/// `max(x,0) - x*y + ln(1 + e^{-|x|})`. This is Eq. (2) of the paper.
+pub fn bce_with_logits(g: &Graph, logits: Var, targets: &[f32]) -> Var {
+    let tl = g.value(logits);
+    assert_eq!(tl.len(), targets.len(), "bce logits/targets length mismatch");
+    let n = targets.len() as f32;
+    let mut loss = 0.0f64;
+    for (&x, &y) in tl.data().iter().zip(targets) {
+        loss += (x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln()) as f64;
+    }
+    let out = Tensor::scalar((loss / n as f64) as f32);
+    let targets = targets.to_vec();
+    let shape = tl.shape().to_vec();
+    g.op(
+        out,
+        vec![logits],
+        Box::new(move |og| {
+            let s = og.item() / n;
+            vec![Tensor::new(
+                tl.data()
+                    .iter()
+                    .zip(&targets)
+                    .map(|(&x, &y)| {
+                        let p = 1.0 / (1.0 + (-x).exp());
+                        s * (p - y)
+                    })
+                    .collect(),
+                &shape,
+            )]
+        }),
+    )
+}
+
+/// Multiclass cross-entropy on logits `[N, C]` against class indices.
+/// This is Eq. (1) of the paper (system classification loss).
+pub fn cross_entropy(g: &Graph, logits: Var, targets: &[usize]) -> Var {
+    let tl = g.value(logits);
+    assert_eq!(tl.shape().len(), 2, "cross_entropy expects [N, C]");
+    let (n, c) = (tl.shape()[0], tl.shape()[1]);
+    assert_eq!(n, targets.len(), "cross_entropy batch mismatch");
+    let mut probs = Vec::with_capacity(n * c);
+    let mut loss = 0.0f64;
+    for (row, &t) in tl.data().chunks_exact(c).zip(targets) {
+        assert!(t < c, "target class {t} out of {c}");
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        loss -= ((exps[t] / z).max(1e-12) as f64).ln();
+        probs.extend(exps.into_iter().map(|e| e / z));
+    }
+    let out = Tensor::scalar((loss / n as f64) as f32);
+    let targets = targets.to_vec();
+    g.op(
+        out,
+        vec![logits],
+        Box::new(move |og| {
+            let s = og.item() / n as f32;
+            let mut grad = probs.clone();
+            for (i, &t) in targets.iter().enumerate() {
+                grad[i * c + t] -= 1.0;
+            }
+            grad.iter_mut().for_each(|x| *x *= s);
+            vec![Tensor::new(grad, &[n, c])]
+        }),
+    )
+}
+
+/// Mean squared error against a constant target tensor.
+pub fn mse(g: &Graph, pred: Var, target: &Tensor) -> Var {
+    let tp = g.value(pred);
+    assert_eq!(tp.shape(), target.shape(), "mse shape mismatch");
+    let n = tp.len() as f32;
+    let loss =
+        tp.data().iter().zip(target.data()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>() / n;
+    let out = Tensor::scalar(loss);
+    let target = target.clone();
+    g.op(
+        out,
+        vec![pred],
+        Box::new(move |og| {
+            let s = og.item() * 2.0 / n;
+            vec![Tensor::new(
+                tp.data().iter().zip(target.data()).map(|(&p, &t)| s * (p - t)).collect(),
+                tp.shape(),
+            )]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let g = Graph::new();
+        let logits = g.input(Tensor::new(vec![10.0, -10.0], &[2]));
+        let l = bce_with_logits(&g, logits, &[1.0, 0.0]);
+        assert!(g.value(l).item() < 1e-3);
+    }
+
+    #[test]
+    fn bce_uniform_is_ln2() {
+        let g = Graph::new();
+        let logits = g.input(Tensor::new(vec![0.0], &[1]));
+        let l = bce_with_logits(&g, logits, &[1.0]);
+        assert!((g.value(l).item() - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_grad_is_p_minus_y() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::new(vec![0.0], &[1]));
+        let l = bce_with_logits(&g, logits, &[1.0]);
+        g.backward(l);
+        assert!((g.grad(logits).unwrap().data()[0] - (0.5 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ce_uniform_is_ln_c() {
+        let g = Graph::new();
+        let logits = g.input(Tensor::zeros(&[1, 4]));
+        let l = cross_entropy(&g, logits, &[2]);
+        assert!((g.value(l).item() - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_grad_softmax_minus_onehot() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::zeros(&[1, 2]));
+        let l = cross_entropy(&g, logits, &[0]);
+        g.backward(l);
+        let gr = g.grad(logits).unwrap();
+        assert!((gr.data()[0] + 0.5).abs() < 1e-6);
+        assert!((gr.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::new(vec![1.0, 3.0], &[2]));
+        let t = Tensor::new(vec![0.0, 0.0], &[2]);
+        let l = mse(&g, p, &t);
+        assert!((g.value(l).item() - 5.0).abs() < 1e-6);
+        g.backward(l);
+        assert_eq!(g.grad(p).unwrap().data(), &[1.0, 3.0]);
+    }
+}

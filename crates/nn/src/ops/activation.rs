@@ -1,0 +1,186 @@
+//! Pointwise nonlinearities and softmax.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+fn unary(
+    g: &Graph,
+    a: Var,
+    f: impl Fn(f32) -> f32,
+    df_from_xy: impl Fn(f32, f32) -> f32 + 'static,
+) -> Var {
+    let ta = g.value(a);
+    let out = ta.map(f);
+    let tv = out.clone();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            vec![Tensor::new(
+                og.data()
+                    .iter()
+                    .zip(ta.data().iter().zip(tv.data()))
+                    .map(|(&o, (&x, &y))| o * df_from_xy(x, y))
+                    .collect(),
+                ta.shape(),
+            )]
+        }),
+    )
+}
+
+/// Rectified linear unit.
+pub fn relu(g: &Graph, a: Var) -> Var {
+    unary(g, a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(g: &Graph, a: Var) -> Var {
+    unary(g, a, |x| x.tanh(), |_, y| 1.0 - y * y)
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(g: &Graph, a: Var) -> Var {
+    unary(g, a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
+pub fn gelu(g: &Graph, a: Var) -> Var {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    unary(
+        g,
+        a,
+        |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+        |x, _| {
+            let inner = C * (x + 0.044715 * x * x * x);
+            let t = inner.tanh();
+            let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+            0.5 * (1.0 + t) + 0.5 * x * dt
+        },
+    )
+}
+
+/// Natural exponential.
+pub fn exp(g: &Graph, a: Var) -> Var {
+    unary(g, a, |x| x.exp(), |_, y| y)
+}
+
+/// Natural logarithm with a floor for stability.
+pub fn log(g: &Graph, a: Var) -> Var {
+    unary(g, a, |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
+}
+
+/// Softmax over the **last** axis.
+pub fn softmax(g: &Graph, a: Var) -> Var {
+    let ta = g.value(a);
+    let d = *ta.shape().last().expect("softmax on scalar");
+    let mut out = Vec::with_capacity(ta.len());
+    for row in ta.data().chunks_exact(d) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+        let s: f32 = exps.iter().sum();
+        out.extend(exps.into_iter().map(|e| e / s));
+    }
+    let out = Tensor::new(out, ta.shape());
+    let y = out.clone();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            // dx = y * (og - sum(og*y))
+            let mut grad = Vec::with_capacity(y.len());
+            for (yrow, orow) in y.data().chunks_exact(d).zip(og.data().chunks_exact(d)) {
+                let dot: f32 = yrow.iter().zip(orow).map(|(&yy, &oo)| yy * oo).sum();
+                grad.extend(yrow.iter().zip(orow).map(|(&yy, &oo)| yy * (oo - dot)));
+            }
+            vec![Tensor::new(grad, y.shape())]
+        }),
+    )
+}
+
+/// Log-softmax over the **last** axis (numerically stable).
+pub fn log_softmax(g: &Graph, a: Var) -> Var {
+    let ta = g.value(a);
+    let d = *ta.shape().last().expect("log_softmax on scalar");
+    let mut out = Vec::with_capacity(ta.len());
+    for row in ta.data().chunks_exact(d) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        out.extend(row.iter().map(|&x| x - lse));
+    }
+    let out = Tensor::new(out, ta.shape());
+    let y = out.clone();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            // dx = og - softmax(x) * sum(og)
+            let mut grad = Vec::with_capacity(y.len());
+            for (yrow, orow) in y.data().chunks_exact(d).zip(og.data().chunks_exact(d)) {
+                let s: f32 = orow.iter().sum();
+                grad.extend(yrow.iter().zip(orow).map(|(&ly, &oo)| oo - ly.exp() * s));
+            }
+            vec![Tensor::new(grad, y.shape())]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let g = Graph::new();
+        let a = g.input(Tensor::new(vec![1., 2., 3., -1., 0., 1.], &[2, 3]));
+        let s = softmax(&g, a);
+        let v = g.value(s);
+        for row in v.data().chunks_exact(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let g = Graph::new();
+        let a = g.input(Tensor::new(vec![0.5, -0.2, 1.7], &[1, 3]));
+        let ls = log_softmax(&g, a);
+        let s = softmax(&g, a);
+        for (l, p) in g.value(ls).data().iter().zip(g.value(s).data()) {
+            assert!((l.exp() - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let g = Graph::new();
+        let a = g.input(Tensor::new(vec![1., 2., 3.], &[1, 3]));
+        let b = g.input(Tensor::new(vec![101., 102., 103.], &[1, 3]));
+        let sa = g.value(softmax(&g, a));
+        let sb = g.value(softmax(&g, b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_grad_masks() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![-1.0, 2.0], &[2]));
+        let r = relu(&g, a);
+        let s = sum_all(&g, r);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::scalar(0.0));
+        let y = sigmoid(&g, a);
+        assert!((g.value(y).item() - 0.5).abs() < 1e-6);
+        g.backward(y);
+        assert!((g.grad(a).unwrap().item() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Broadcasting elementwise arithmetic.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::{broadcast_zip, reduce_to_shape, Tensor};
+
+/// `a + b` with NumPy broadcasting.
+pub fn add(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    let out = broadcast_zip(&ta, &tb, |x, y| x + y);
+    let (sa, sb) = (ta.shape().to_vec(), tb.shape().to_vec());
+    g.op(
+        out,
+        vec![a, b],
+        Box::new(move |og| vec![reduce_to_shape(og, &sa), reduce_to_shape(og, &sb)]),
+    )
+}
+
+/// `a - b` with broadcasting.
+pub fn sub(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    let out = broadcast_zip(&ta, &tb, |x, y| x - y);
+    let (sa, sb) = (ta.shape().to_vec(), tb.shape().to_vec());
+    g.op(
+        out,
+        vec![a, b],
+        Box::new(move |og| {
+            let gb = reduce_to_shape(og, &sb).map(|x| -x);
+            vec![reduce_to_shape(og, &sa), gb]
+        }),
+    )
+}
+
+/// Hadamard `a * b` with broadcasting.
+pub fn mul(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    let out = broadcast_zip(&ta, &tb, |x, y| x * y);
+    let (sa, sb) = (ta.shape().to_vec(), tb.shape().to_vec());
+    g.op(
+        out,
+        vec![a, b],
+        Box::new(move |og| {
+            let ga = reduce_to_shape(&broadcast_zip(og, &tb, |o, y| o * y), &sa);
+            let gb = reduce_to_shape(&broadcast_zip(og, &ta, |o, x| o * x), &sb);
+            vec![ga, gb]
+        }),
+    )
+}
+
+/// `a / b` with broadcasting.
+pub fn div(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    let out = broadcast_zip(&ta, &tb, |x, y| x / y);
+    let (sa, sb) = (ta.shape().to_vec(), tb.shape().to_vec());
+    g.op(
+        out,
+        vec![a, b],
+        Box::new(move |og| {
+            let ga = reduce_to_shape(&broadcast_zip(og, &tb, |o, y| o / y), &sa);
+            // d(a/b)/db = -a / b^2
+            let t = broadcast_zip(&ta, &tb, |x, y| -x / (y * y));
+            let gb = reduce_to_shape(&broadcast_zip(og, &t, |o, v| o * v), &sb);
+            vec![ga, gb]
+        }),
+    )
+}
+
+/// `-a`.
+pub fn neg(g: &Graph, a: Var) -> Var {
+    let out = g.value(a).map(|x| -x);
+    g.op(out, vec![a], Box::new(move |og| vec![og.map(|x| -x)]))
+}
+
+/// `s * a` for scalar `s`.
+pub fn scale(g: &Graph, a: Var, s: f32) -> Var {
+    let out = g.value(a).map(|x| s * x);
+    g.op(out, vec![a], Box::new(move |og| vec![og.map(|x| s * x)]))
+}
+
+/// `a + s` for scalar `s`.
+pub fn add_scalar(g: &Graph, a: Var, s: f32) -> Var {
+    let out = g.value(a).map(|x| x + s);
+    g.op(out, vec![a], Box::new(move |og| vec![og.clone()]))
+}
+
+/// Elementwise square.
+pub fn square(g: &Graph, a: Var) -> Var {
+    let ta = g.value(a);
+    let out = ta.map(|x| x * x);
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            vec![Tensor::new(
+                og.data().iter().zip(ta.data()).map(|(&o, &x)| 2.0 * x * o).collect(),
+                ta.shape(),
+            )]
+        }),
+    )
+}
+
+/// Elementwise square root (inputs must be positive for a stable gradient).
+pub fn sqrt(g: &Graph, a: Var) -> Var {
+    let out = g.value(a).map(|x| x.sqrt());
+    let tv = out.clone();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            vec![Tensor::new(
+                og.data().iter().zip(tv.data()).map(|(&o, &s)| o / (2.0 * s.max(1e-12))).collect(),
+                tv.shape(),
+            )]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_broadcast_bias() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let b = g.leaf(Tensor::new(vec![10., 20., 30.], &[3]));
+        let c = add(&g, a, b);
+        assert_eq!(g.value(c).data(), &[11., 22., 33., 14., 25., 36.]);
+        let s = crate::ops::sum_all(&g, c);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().data(), &[2., 2., 2.]);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.; 6]);
+    }
+
+    #[test]
+    fn mul_grad() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![2., 3.], &[2]));
+        let b = g.leaf(Tensor::new(vec![5., 7.], &[2]));
+        let c = mul(&g, a, b);
+        let s = crate::ops::sum_all(&g, c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[5., 7.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![6.0], &[1]));
+        let b = g.leaf(Tensor::new(vec![3.0], &[1]));
+        let c = div(&g, a, b);
+        let s = crate::ops::sum_all(&g, c);
+        g.backward(s);
+        assert!((g.grad(a).unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((g.grad(b).unwrap().data()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,222 @@
+//! Matrix multiplication (2-D, batched 3-D, and mixed) plus transpose.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Raw 2-D matmul on buffers: `c[m,n] += a[m,k] * b[k,n]`.
+fn mm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    // ikj loop order: streams through b and c rows, cache-friendly.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Transposes a 2-D buffer.
+fn t2(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0; a.len()];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+fn mm2(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dim: {:?} x {:?}", a.shape(), b.shape());
+    let mut c = vec![0.0; m * n];
+    mm_into(a.data(), b.data(), &mut c, m, k, n);
+    Tensor::new(c, &[m, n])
+}
+
+/// `a @ b`.
+///
+/// Supported shapes:
+/// - `[m,k] x [k,n] -> [m,n]`
+/// - `[b,m,k] x [b,k,n] -> [b,m,n]` (batched)
+/// - `[b,m,k] x [k,n] -> [b,m,n]` (shared right operand)
+pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    match (ta.shape().len(), tb.shape().len()) {
+        (2, 2) => {
+            let out = mm2(&ta, &tb);
+            g.op(
+                out,
+                vec![a, b],
+                Box::new(move |og| {
+                    let (m, k) = (ta.shape()[0], ta.shape()[1]);
+                    let n = tb.shape()[1];
+                    // dA = dC @ B^T ; dB = A^T @ dC
+                    let bt = Tensor::new(t2(tb.data(), k, n), &[n, k]);
+                    let at = Tensor::new(t2(ta.data(), m, k), &[k, m]);
+                    vec![mm2(og, &bt), mm2(&at, og)]
+                }),
+            )
+        }
+        (3, 3) => {
+            let (bs, m, k) = (ta.shape()[0], ta.shape()[1], ta.shape()[2]);
+            let (bs2, k2, n) = (tb.shape()[0], tb.shape()[1], tb.shape()[2]);
+            assert_eq!(bs, bs2, "batched matmul batch mismatch");
+            assert_eq!(k, k2, "batched matmul inner dim");
+            let mut out = vec![0.0; bs * m * n];
+            for i in 0..bs {
+                mm_into(
+                    &ta.data()[i * m * k..(i + 1) * m * k],
+                    &tb.data()[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            let out = Tensor::new(out, &[bs, m, n]);
+            g.op(
+                out,
+                vec![a, b],
+                Box::new(move |og| {
+                    let mut ga = vec![0.0; bs * m * k];
+                    let mut gb = vec![0.0; bs * k * n];
+                    for i in 0..bs {
+                        let ogi = &og.data()[i * m * n..(i + 1) * m * n];
+                        let ai = &ta.data()[i * m * k..(i + 1) * m * k];
+                        let bi = &tb.data()[i * k * n..(i + 1) * k * n];
+                        let bt = t2(bi, k, n);
+                        let at = t2(ai, m, k);
+                        mm_into(ogi, &bt, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
+                        mm_into(&at, ogi, &mut gb[i * k * n..(i + 1) * k * n], k, m, n);
+                    }
+                    vec![Tensor::new(ga, &[bs, m, k]), Tensor::new(gb, &[bs, k, n])]
+                }),
+            )
+        }
+        (3, 2) => {
+            // Fold batch into rows: [b*m,k] x [k,n].
+            let (bs, m, k) = (ta.shape()[0], ta.shape()[1], ta.shape()[2]);
+            let n = tb.shape()[1];
+            assert_eq!(k, tb.shape()[0], "matmul inner dim");
+            let a2 = ta.reshape(&[bs * m, k]);
+            let out = mm2(&a2, &tb).reshape(&[bs, m, n]);
+            g.op(
+                out,
+                vec![a, b],
+                Box::new(move |og| {
+                    let og2 = og.reshape(&[bs * m, n]);
+                    let bt = Tensor::new(t2(tb.data(), k, n), &[n, k]);
+                    let a2 = ta.reshape(&[bs * m, k]);
+                    let at = Tensor::new(t2(a2.data(), bs * m, k), &[k, bs * m]);
+                    vec![mm2(&og2, &bt).reshape(&[bs, m, k]), mm2(&at, &og2)]
+                }),
+            )
+        }
+        (la, lb) => panic!("unsupported matmul ranks {la} x {lb}"),
+    }
+}
+
+/// Transposes the last two axes of a 2-D or 3-D tensor.
+pub fn transpose_last2(g: &Graph, a: Var) -> Var {
+    let ta = g.value(a);
+    let out = transpose_last2_t(&ta);
+    g.op(out, vec![a], Box::new(move |og| vec![transpose_last2_t(og)]))
+}
+
+fn transpose_last2_t(t: &Tensor) -> Tensor {
+    match t.shape().len() {
+        2 => {
+            let (m, n) = (t.shape()[0], t.shape()[1]);
+            Tensor::new(t2(t.data(), m, n), &[n, m])
+        }
+        3 => {
+            let (b, m, n) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+            let mut out = vec![0.0; t.len()];
+            for i in 0..b {
+                let src = &t.data()[i * m * n..(i + 1) * m * n];
+                let dst = &mut out[i * m * n..(i + 1) * m * n];
+                for r in 0..m {
+                    for c in 0..n {
+                        dst[c * m + r] = src[r * n + c];
+                    }
+                }
+            }
+            Tensor::new(out, &[b, n, m])
+        }
+        r => panic!("transpose_last2 on rank-{r} tensor"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn matmul_2d_forward() {
+        let g = Graph::new();
+        let a = g.input(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let b = g.input(Tensor::new(vec![7., 8., 9., 10., 11., 12.], &[3, 2]));
+        let c = matmul(&g, a, b);
+        assert_eq!(g.value(c).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_2d_grad() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4.], &[2, 2]));
+        let b = g.leaf(Tensor::new(vec![5., 6., 7., 8.], &[2, 2]));
+        let c = matmul(&g, a, b);
+        let s = sum_all(&g, c);
+        g.backward(s);
+        // dA = 1 @ B^T : each row = column sums of B^T rows = [11, 15]
+        assert_eq!(g.grad(a).unwrap().data(), &[11., 15., 11., 15.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn matmul_batched_matches_per_slice() {
+        let g = Graph::new();
+        let a = g.input(Tensor::new((0..12).map(|x| x as f32).collect(), &[2, 2, 3]));
+        let b = g.input(Tensor::new((0..18).map(|x| x as f32).collect(), &[2, 3, 3]));
+        let c = matmul(&g, a, b);
+        assert_eq!(g.shape_of(c), vec![2, 2, 3]);
+        // slice 0: [[0,1,2],[3,4,5]] @ [[0,1,2],[3,4,5],[6,7,8]]
+        let v = g.value(c);
+        assert_eq!(&v.data()[0..3], &[15., 18., 21.]);
+    }
+
+    #[test]
+    fn matmul_3d_2d_shared_rhs() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 3, 4]));
+        let b = g.leaf(Tensor::ones(&[4, 5]));
+        let c = matmul(&g, a, b);
+        assert_eq!(g.shape_of(c), vec![2, 3, 5]);
+        assert_eq!(g.value(c).data()[0], 4.0);
+        let s = sum_all(&g, c);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().data()[0], 6.0); // 2*3 rows each contributing 1
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new((0..6).map(|x| x as f32).collect(), &[2, 3]));
+        let t = transpose_last2(&g, a);
+        let tt = transpose_last2(&g, t);
+        assert_eq!(g.value(tt).data(), g.value(a).data());
+        let s = sum_all(&g, t);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0; 6]);
+    }
+}

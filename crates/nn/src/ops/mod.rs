@@ -1,0 +1,22 @@
+//! Differentiable operations on [`crate::graph::Graph`] tapes.
+//!
+//! Every op is a free function taking the graph plus operand [`Var`]s and
+//! returning a new [`Var`]; the backward closure is recorded on the tape.
+//!
+//! [`Var`]: crate::graph::Var
+
+mod activation;
+mod elementwise;
+mod matmul;
+mod reduce;
+mod shape;
+mod special;
+
+pub use activation::{exp, gelu, log, log_softmax, relu, sigmoid, softmax, tanh};
+pub use elementwise::{add, add_scalar, div, mul, neg, scale, sqrt, square, sub};
+pub use matmul::{matmul, transpose_last2};
+pub use reduce::{mean_all, mean_axis, sum_all, sum_axis};
+pub use shape::{
+    concat_last, concat_rows, reshape, select_rows, slice_last, slice_rows, stack_time, time_slice,
+};
+pub use special::{detach, dropout, embedding, grl, spike};

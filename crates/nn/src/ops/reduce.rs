@@ -1,0 +1,155 @@
+//! Reductions: sums and means, whole-tensor or per-axis.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::{numel, strides, Tensor};
+
+/// Sum of every element, producing a scalar.
+pub fn sum_all(g: &Graph, a: Var) -> Var {
+    let ta = g.value(a);
+    let out = Tensor::scalar(ta.sum());
+    let shape = ta.shape().to_vec();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            let v = og.item();
+            vec![Tensor::full(&shape, v)]
+        }),
+    )
+}
+
+/// Mean of every element, producing a scalar.
+pub fn mean_all(g: &Graph, a: Var) -> Var {
+    let n = g.with_value(a, |t| t.len());
+    let s = sum_all(g, a);
+    super::scale(g, s, 1.0 / n as f32)
+}
+
+/// Sums along `axis`, optionally keeping the reduced axis as size 1.
+pub fn sum_axis(g: &Graph, a: Var, axis: usize, keepdim: bool) -> Var {
+    let ta = g.value(a);
+    let in_shape = ta.shape().to_vec();
+    assert!(axis < in_shape.len(), "sum_axis axis {axis} out of range for {in_shape:?}");
+    let mut out_shape = in_shape.clone();
+    out_shape[axis] = 1;
+    let st = strides(&in_shape);
+    let ost = strides(&out_shape);
+    let mut out = vec![0.0f32; numel(&out_shape)];
+    // Walk every input element, mapping to its output slot.
+    let mut idx = vec![0usize; in_shape.len()];
+    for &v in ta.data() {
+        let mut o = 0;
+        for (d, &ix) in idx.iter().enumerate() {
+            if d != axis {
+                o += ix * ost[d];
+            }
+        }
+        out[o] += v;
+        for d in (0..in_shape.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < in_shape[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    let final_shape = if keepdim {
+        out_shape.clone()
+    } else {
+        let mut s = in_shape.clone();
+        s.remove(axis);
+        s
+    };
+    let out = Tensor::new(out, &final_shape);
+    let in_shape2 = in_shape.clone();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            // Broadcast og back over the reduced axis.
+            let mut grad = Tensor::zeros(&in_shape2);
+            let n = numel(&in_shape2);
+            let mut idx = vec![0usize; in_shape2.len()];
+            let gd = grad.data_mut();
+            let ogd = og.data();
+            let mut out_shape_k = in_shape2.clone();
+            out_shape_k[axis] = 1;
+            let ost = strides(&out_shape_k);
+            for item in gd.iter_mut().take(n) {
+                let mut o = 0;
+                for (d, &ix) in idx.iter().enumerate() {
+                    if d != axis {
+                        o += ix * ost[d];
+                    }
+                }
+                *item = ogd[o];
+                for d in (0..in_shape2.len()).rev() {
+                    idx[d] += 1;
+                    if idx[d] < in_shape2[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+            let _ = &st; // silence: kept for symmetry/clarity
+            vec![grad]
+        }),
+    )
+}
+
+/// Means along `axis`.
+pub fn mean_axis(g: &Graph, a: Var, axis: usize, keepdim: bool) -> Var {
+    let n = g.with_value(a, |t| t.shape()[axis]);
+    let s = sum_axis(g, a, axis, keepdim);
+    super::scale(g, s, 1.0 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis_rows_cols() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let rows = sum_axis(&g, a, 1, false);
+        assert_eq!(g.value(rows).data(), &[6., 15.]);
+        assert_eq!(g.shape_of(rows), vec![2]);
+        let cols = sum_axis(&g, a, 0, true);
+        assert_eq!(g.value(cols).data(), &[5., 7., 9.]);
+        assert_eq!(g.shape_of(cols), vec![1, 3]);
+    }
+
+    #[test]
+    fn sum_axis_grad_broadcasts() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let rows = sum_axis(&g, a, 1, false); // [2]
+        let s = sum_all(&g, rows);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn mean_axis_3d_time_pool() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new((0..24).map(|x| x as f32).collect(), &[2, 3, 4]));
+        let m = mean_axis(&g, a, 1, false);
+        assert_eq!(g.shape_of(m), vec![2, 4]);
+        // batch 0, feature 0: mean(0, 4, 8) = 4
+        assert_eq!(g.value(m).data()[0], 4.0);
+        let s = sum_all(&g, m);
+        g.backward(s);
+        assert!((g.grad(a).unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_all_scalar() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![2., 4., 6.], &[3]));
+        let m = mean_all(&g, a);
+        assert_eq!(g.value(m).item(), 4.0);
+        g.backward(m);
+        assert!((g.grad(a).unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,304 @@
+//! Shape manipulation: reshape, slicing, concatenation, time stacking.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Reshapes to `shape` (same element count).
+pub fn reshape(g: &Graph, a: Var, shape: &[usize]) -> Var {
+    let ta = g.value(a);
+    let in_shape = ta.shape().to_vec();
+    let out = ta.reshape(shape);
+    g.op(out, vec![a], Box::new(move |og| vec![og.reshape(&in_shape)]))
+}
+
+/// Slices `len` features starting at `start` along the **last** axis.
+pub fn slice_last(g: &Graph, a: Var, start: usize, len: usize) -> Var {
+    let ta = g.value(a);
+    let shape = ta.shape().to_vec();
+    let d = *shape.last().expect("slice_last on scalar");
+    assert!(start + len <= d, "slice_last [{start}..{}] out of last dim {d}", start + len);
+    let rows = ta.len() / d;
+    let mut out = Vec::with_capacity(rows * len);
+    for r in 0..rows {
+        out.extend_from_slice(&ta.data()[r * d + start..r * d + start + len]);
+    }
+    let mut out_shape = shape.clone();
+    *out_shape.last_mut().unwrap() = len;
+    let out = Tensor::new(out, &out_shape);
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            let mut grad = Tensor::zeros(&shape);
+            for r in 0..rows {
+                grad.data_mut()[r * d + start..r * d + start + len]
+                    .copy_from_slice(&og.data()[r * len..(r + 1) * len]);
+            }
+            vec![grad]
+        }),
+    )
+}
+
+/// Concatenates along the **last** axis. All inputs must agree on the
+/// leading dimensions.
+pub fn concat_last(g: &Graph, parts: &[Var]) -> Var {
+    assert!(!parts.is_empty(), "concat_last of nothing");
+    let tensors: Vec<Tensor> = parts.iter().map(|&v| g.value(v)).collect();
+    let lead = &tensors[0].shape()[..tensors[0].shape().len() - 1];
+    let rows: usize = lead.iter().product();
+    let widths: Vec<usize> = tensors
+        .iter()
+        .map(|t| {
+            assert_eq!(&t.shape()[..t.shape().len() - 1], lead, "concat_last leading dims differ");
+            *t.shape().last().unwrap()
+        })
+        .collect();
+    let total: usize = widths.iter().sum();
+    let mut out = Vec::with_capacity(rows * total);
+    for r in 0..rows {
+        for (t, &w) in tensors.iter().zip(&widths) {
+            out.extend_from_slice(&t.data()[r * w..(r + 1) * w]);
+        }
+    }
+    let mut out_shape = lead.to_vec();
+    out_shape.push(total);
+    let out = Tensor::new(out, &out_shape);
+    let shapes: Vec<Vec<usize>> = tensors.iter().map(|t| t.shape().to_vec()).collect();
+    g.op(
+        out,
+        parts.to_vec(),
+        Box::new(move |og| {
+            let mut grads: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+            for r in 0..rows {
+                let mut off = r * total;
+                for (gi, &w) in grads.iter_mut().zip(&widths) {
+                    gi.data_mut()[r * w..(r + 1) * w].copy_from_slice(&og.data()[off..off + w]);
+                    off += w;
+                }
+            }
+            grads
+        }),
+    )
+}
+
+/// Selects timestep `t` from a `[B, T, D]` tensor, producing `[B, D]`.
+pub fn time_slice(g: &Graph, a: Var, t: usize) -> Var {
+    let ta = g.value(a);
+    assert_eq!(ta.shape().len(), 3, "time_slice expects [B,T,D]");
+    let (b, tt, d) = (ta.shape()[0], ta.shape()[1], ta.shape()[2]);
+    assert!(t < tt, "time_slice t={t} out of T={tt}");
+    let mut out = Vec::with_capacity(b * d);
+    for i in 0..b {
+        out.extend_from_slice(&ta.data()[(i * tt + t) * d..(i * tt + t + 1) * d]);
+    }
+    let out = Tensor::new(out, &[b, d]);
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            let mut grad = Tensor::zeros(&[b, tt, d]);
+            for i in 0..b {
+                grad.data_mut()[(i * tt + t) * d..(i * tt + t + 1) * d]
+                    .copy_from_slice(&og.data()[i * d..(i + 1) * d]);
+            }
+            vec![grad]
+        }),
+    )
+}
+
+/// Stacks `T` tensors of shape `[B, D]` into `[B, T, D]`, in the order given.
+pub fn stack_time(g: &Graph, steps: &[Var]) -> Var {
+    assert!(!steps.is_empty(), "stack_time of nothing");
+    let tensors: Vec<Tensor> = steps.iter().map(|&v| g.value(v)).collect();
+    let (b, d) = (tensors[0].shape()[0], tensors[0].shape()[1]);
+    for t in &tensors {
+        assert_eq!(t.shape(), &[b, d], "stack_time step shape mismatch");
+    }
+    let tt = tensors.len();
+    let mut out = vec![0.0; b * tt * d];
+    for (t, ten) in tensors.iter().enumerate() {
+        for i in 0..b {
+            out[(i * tt + t) * d..(i * tt + t + 1) * d]
+                .copy_from_slice(&ten.data()[i * d..(i + 1) * d]);
+        }
+    }
+    let out = Tensor::new(out, &[b, tt, d]);
+    g.op(
+        out,
+        steps.to_vec(),
+        Box::new(move |og| {
+            (0..tt)
+                .map(|t| {
+                    let mut gr = Tensor::zeros(&[b, d]);
+                    for i in 0..b {
+                        gr.data_mut()[i * d..(i + 1) * d]
+                            .copy_from_slice(&og.data()[(i * tt + t) * d..(i * tt + t + 1) * d]);
+                    }
+                    gr
+                })
+                .collect()
+        }),
+    )
+}
+
+/// Concatenates along axis 0 (rows). Inputs must share trailing dims.
+pub fn concat_rows(g: &Graph, parts: &[Var]) -> Var {
+    assert!(!parts.is_empty(), "concat_rows of nothing");
+    let tensors: Vec<Tensor> = parts.iter().map(|&v| g.value(v)).collect();
+    let trail = tensors[0].shape()[1..].to_vec();
+    let mut rows = 0usize;
+    for t in &tensors {
+        assert_eq!(&t.shape()[1..], &trail[..], "concat_rows trailing dims differ");
+        rows += t.shape()[0];
+    }
+    let mut out = Vec::with_capacity(rows * trail.iter().product::<usize>());
+    for t in &tensors {
+        out.extend_from_slice(t.data());
+    }
+    let mut out_shape = vec![rows];
+    out_shape.extend_from_slice(&trail);
+    let out = Tensor::new(out, &out_shape);
+    let shapes: Vec<Vec<usize>> = tensors.iter().map(|t| t.shape().to_vec()).collect();
+    g.op(
+        out,
+        parts.to_vec(),
+        Box::new(move |og| {
+            let mut grads = Vec::with_capacity(shapes.len());
+            let mut off = 0;
+            for s in &shapes {
+                let n: usize = s.iter().product();
+                grads.push(Tensor::new(og.data()[off..off + n].to_vec(), s));
+                off += n;
+            }
+            grads
+        }),
+    )
+}
+
+/// Gathers arbitrary rows (axis 0) by index; backward scatter-adds.
+pub fn select_rows(g: &Graph, a: Var, indices: &[usize]) -> Var {
+    let ta = g.value(a);
+    let shape = ta.shape().to_vec();
+    assert!(!shape.is_empty(), "select_rows on scalar");
+    let row: usize = shape[1..].iter().product();
+    let mut out = Vec::with_capacity(indices.len() * row);
+    for &i in indices {
+        assert!(i < shape[0], "row index {i} out of {}", shape[0]);
+        out.extend_from_slice(&ta.data()[i * row..(i + 1) * row]);
+    }
+    let mut out_shape = shape.clone();
+    out_shape[0] = indices.len();
+    let out = Tensor::new(out, &out_shape);
+    let indices = indices.to_vec();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            let mut grad = Tensor::zeros(&shape);
+            for (r, &i) in indices.iter().enumerate() {
+                let dst = &mut grad.data_mut()[i * row..(i + 1) * row];
+                for (d, &o) in dst.iter_mut().zip(&og.data()[r * row..(r + 1) * row]) {
+                    *d += o;
+                }
+            }
+            vec![grad]
+        }),
+    )
+}
+
+/// Selects a contiguous row range `[start, start+len)` along axis 0.
+pub fn slice_rows(g: &Graph, a: Var, start: usize, len: usize) -> Var {
+    let ta = g.value(a);
+    let shape = ta.shape().to_vec();
+    let row: usize = shape[1..].iter().product();
+    assert!(start + len <= shape[0], "slice_rows out of range");
+    let out_data = ta.data()[start * row..(start + len) * row].to_vec();
+    let mut out_shape = shape.clone();
+    out_shape[0] = len;
+    let out = Tensor::new(out_data, &out_shape);
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            let mut grad = Tensor::zeros(&shape);
+            grad.data_mut()[start * row..(start + len) * row].copy_from_slice(og.data());
+            vec![grad]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new((0..12).map(|x| x as f32).collect(), &[3, 4]));
+        let left = slice_last(&g, a, 0, 2);
+        let right = slice_last(&g, a, 2, 2);
+        let back = concat_last(&g, &[left, right]);
+        assert_eq!(g.value(back).data(), g.value(a).data());
+        let s = sum_all(&g, back);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0; 12]);
+    }
+
+    #[test]
+    fn time_slice_stack_roundtrip() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new((0..24).map(|x| x as f32).collect(), &[2, 3, 4]));
+        let steps: Vec<Var> = (0..3).map(|t| time_slice(&g, a, t)).collect();
+        let back = stack_time(&g, &steps);
+        assert_eq!(g.value(back).data(), g.value(a).data());
+        let s = sum_all(&g, back);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0; 24]);
+    }
+
+    #[test]
+    fn stack_time_reversed_order() {
+        let g = Graph::new();
+        let x0 = g.input(Tensor::full(&[1, 2], 0.0));
+        let x1 = g.input(Tensor::full(&[1, 2], 1.0));
+        let s = stack_time(&g, &[x1, x0]);
+        assert_eq!(g.value(s).data(), &[1., 1., 0., 0.]);
+    }
+
+    #[test]
+    fn concat_slice_rows() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2.], &[1, 2]));
+        let b = g.leaf(Tensor::new(vec![3., 4., 5., 6.], &[2, 2]));
+        let c = concat_rows(&g, &[a, b]);
+        assert_eq!(g.shape_of(c), vec![3, 2]);
+        let top = slice_rows(&g, c, 0, 1);
+        assert_eq!(g.value(top).data(), &[1., 2.]);
+        let s = sum_all(&g, top);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn select_rows_gathers_and_scatters() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[3, 2]));
+        let s = select_rows(&g, a, &[2, 0, 2]);
+        assert_eq!(g.value(s).data(), &[5., 6., 1., 2., 5., 6.]);
+        let total = sum_all(&g, s);
+        g.backward(total);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1., 0., 0., 2., 2.]);
+    }
+
+    #[test]
+    fn reshape_grad_flows() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4.], &[2, 2]));
+        let r = reshape(&g, a, &[4]);
+        let s = sum_all(&g, r);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().shape(), &[2, 2]);
+    }
+}

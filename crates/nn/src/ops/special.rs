@@ -1,0 +1,179 @@
+//! Special-purpose ops: gradient reversal, dropout, embedding gather,
+//! surrogate-gradient spikes, and detach.
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Gradient Reversal Layer (Ganin & Lempitsky, 2015).
+///
+/// Identity in the forward pass; multiplies the gradient by `-lambda` in the
+/// backward pass. This is the adversarial coupling DAAN uses: the domain
+/// classifier minimizes its loss while the feature extractor — sitting
+/// behind the GRL — maximizes it.
+pub fn grl(g: &Graph, a: Var, lambda: f32) -> Var {
+    let out = g.value(a);
+    g.op(out, vec![a], Box::new(move |og| vec![og.map(|x| -lambda * x)]))
+}
+
+/// Stops gradient flow: identity forward, zero gradient backward.
+pub fn detach(g: &Graph, a: Var) -> Var {
+    // Re-enter the tape as a fresh input; no parent edge, no gradient.
+    g.input(g.value(a))
+}
+
+/// Inverted dropout. Active only when the tape is in training mode;
+/// surviving activations are scaled by `1/(1-p)` so inference needs no
+/// rescaling.
+pub fn dropout<R: Rng + ?Sized>(g: &Graph, a: Var, p: f32, rng: &mut R) -> Var {
+    assert!((0.0..1.0).contains(&p), "dropout p={p} out of [0,1)");
+    if !g.is_train() || p == 0.0 {
+        // Identity pass-through that still propagates gradients.
+        let out = g.value(a);
+        return g.op(out, vec![a], Box::new(move |og| vec![og.clone()]));
+    }
+    let ta = g.value(a);
+    let keep = 1.0 - p;
+    let mask: Vec<f32> =
+        (0..ta.len()).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+    let out = Tensor::new(
+        ta.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect(),
+        ta.shape(),
+    );
+    let shape = ta.shape().to_vec();
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            vec![Tensor::new(
+                og.data().iter().zip(&mask).map(|(&o, &m)| o * m).collect(),
+                &shape,
+            )]
+        }),
+    )
+}
+
+/// Embedding gather: `table[V, D]` indexed by `indices` gives `[N, D]`.
+/// Backward scatter-adds into the table.
+pub fn embedding(g: &Graph, table: Var, indices: &[usize]) -> Var {
+    let tt = g.value(table);
+    assert_eq!(tt.shape().len(), 2, "embedding table must be [V, D]");
+    let (v, d) = (tt.shape()[0], tt.shape()[1]);
+    let mut out = Vec::with_capacity(indices.len() * d);
+    for &ix in indices {
+        assert!(ix < v, "embedding index {ix} out of vocab {v}");
+        out.extend_from_slice(&tt.data()[ix * d..(ix + 1) * d]);
+    }
+    let out = Tensor::new(out, &[indices.len(), d]);
+    let indices = indices.to_vec();
+    g.op(
+        out,
+        vec![table],
+        Box::new(move |og| {
+            let mut grad = Tensor::zeros(&[v, d]);
+            for (row, &ix) in indices.iter().enumerate() {
+                let dst = &mut grad.data_mut()[ix * d..(ix + 1) * d];
+                for (dv, &o) in dst.iter_mut().zip(&og.data()[row * d..(row + 1) * d]) {
+                    *dv += o;
+                }
+            }
+            vec![grad]
+        }),
+    )
+}
+
+/// Heaviside step with a sigmoid surrogate gradient — the firing function of
+/// a spiking (LIF) neuron. Forward emits `1` where `x > 0`; backward uses
+/// `beta * sigma(beta x) * (1 - sigma(beta x))` (SpikeLog-style surrogate).
+pub fn spike(g: &Graph, a: Var, beta: f32) -> Var {
+    let ta = g.value(a);
+    let out = ta.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| {
+            vec![Tensor::new(
+                og.data()
+                    .iter()
+                    .zip(ta.data())
+                    .map(|(&o, &x)| {
+                        let s = 1.0 / (1.0 + (-beta * x).exp());
+                        o * beta * s * (1.0 - s)
+                    })
+                    .collect(),
+                ta.shape(),
+            )]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{mul, sum_all};
+    use rand::SeedableRng;
+
+    #[test]
+    fn grl_reverses_and_scales() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::scalar(2.0));
+        let r = grl(&g, a, 0.5);
+        assert_eq!(g.value(r).item(), 2.0);
+        g.backward(r);
+        assert_eq!(g.grad(a).unwrap().item(), -0.5);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::scalar(3.0));
+        let d = detach(&g, a);
+        let y = mul(&g, d, d);
+        g.backward(y);
+        assert!(g.grad(a).is_none());
+    }
+
+    #[test]
+    fn dropout_identity_in_inference() {
+        let g = Graph::inference();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = g.input(Tensor::ones(&[100]));
+        let d = dropout(&g, a, 0.5, &mut rng);
+        assert_eq!(g.value(d).data(), &[1.0; 100]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let g = Graph::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = g.input(Tensor::ones(&[20_000]));
+        let d = dropout(&g, a, 0.3, &mut rng);
+        let mean = g.value(d).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let g = Graph::new();
+        let table = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[3, 2]));
+        let e = embedding(&g, table, &[2, 0, 2]);
+        assert_eq!(g.value(e).data(), &[5., 6., 1., 2., 5., 6.]);
+        let s = sum_all(&g, e);
+        g.backward(s);
+        // row 2 used twice, row 0 once, row 1 never
+        assert_eq!(g.grad(table).unwrap().data(), &[1., 1., 0., 0., 2., 2.]);
+    }
+
+    #[test]
+    fn spike_fires_above_zero() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![-0.5, 0.5], &[2]));
+        let sp = spike(&g, a, 4.0);
+        assert_eq!(g.value(sp).data(), &[0.0, 1.0]);
+        let s = sum_all(&g, sp);
+        g.backward(s);
+        let gr = g.grad(a).unwrap();
+        assert!(gr.data()[0] > 0.0 && gr.data()[1] > 0.0, "surrogate grad should be nonzero");
+    }
+}

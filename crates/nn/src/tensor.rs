@@ -1,0 +1,402 @@
+//! Dense row-major `f32` tensors.
+//!
+//! The tensor type is deliberately simple: a contiguous `Vec<f32>` plus a
+//! shape. All views are materialized (reshape/transpose copy when needed),
+//! which keeps the autograd tape in [`crate::graph`] free of aliasing
+//! concerns. At the model sizes LogSynergy-RS trains (d_model ≤ 768,
+//! sequence length 10), copies are far from the bottleneck — matmul is.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A dense, row-major, contiguous `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, …; n={}]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+/// Number of elements implied by a shape (empty shape = scalar = 1 element).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![0; shape.len()];
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        s[i] = acc;
+        acc *= shape[i];
+    }
+    s
+}
+
+impl Tensor {
+    /// Builds a tensor from raw data and a shape. Panics if sizes disagree.
+    pub fn new(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// A scalar (0-dimensional) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { data: vec![v], shape: vec![] }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { data: vec![0.0; numel(shape)], shape: shape.to_vec() }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor { data: vec![1.0; numel(shape)], shape: shape.to_vec() }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Tensor { data: vec![v; numel(shape)], shape: shape.to_vec() }
+    }
+
+    /// Standard-normal random tensor scaled by `std`.
+    pub fn randn<R: Rng>(rng: &mut R, shape: &[usize], std: f32) -> Self {
+        let normal = rand::distributions::Uniform::new(0.0f32, 1.0f32);
+        // Box-Muller from two uniforms: avoids pulling in rand_distr.
+        let n = numel(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = normal.sample(rng).max(1e-12);
+            let u2: f32 = normal.sample(rng);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let th = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * th.cos() * std);
+            if data.len() < n {
+                data.push(r * th.sin() * std);
+            }
+        }
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
+        let dist = rand::distributions::Uniform::new(lo, hi);
+        let data = (0..numel(shape)).map(|_| dist.sample(rng)).collect();
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (some dim is zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value of a scalar tensor (any single-element tensor qualifies).
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(numel(shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        let s = strides(&self.shape);
+        let mut off = 0;
+        assert_eq!(idx.len(), self.shape.len());
+        for (i, &ix) in idx.iter().enumerate() {
+            debug_assert!(ix < self.shape[i]);
+            off += ix * s[i];
+        }
+        self.data[off]
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// In-place elementwise `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element; panics when empty.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element along the last axis for each row.
+    ///
+    /// For shape `[N, C]` returns `N` indices; for `[C]` returns one.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let c = *self.shape.last().expect("argmax on scalar");
+        assert!(c > 0);
+        self.data
+            .chunks_exact(c)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// L2 norm of the whole buffer.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// NumPy-style broadcast of two shapes; `None` when incompatible.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0; n];
+    for i in 0..n {
+        let da = if i < n - a.len() { 1 } else { a[i - (n - a.len())] };
+        let db = if i < n - b.len() { 1 } else { b[i - (n - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Strides of `shape` when broadcast to `out_shape`: broadcast dims get
+/// stride 0, missing leading dims get stride 0.
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let own = strides(shape);
+    let pad = out_shape.len() - shape.len();
+    let mut s = vec![0; out_shape.len()];
+    for i in 0..shape.len() {
+        s[pad + i] = if shape[i] == 1 && out_shape[pad + i] != 1 { 0 } else { own[i] };
+    }
+    s
+}
+
+/// Applies a binary op under broadcasting, returning the broadcast result.
+pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    if a.shape == b.shape {
+        let data = a.data.iter().zip(b.data.iter()).map(|(&x, &y)| f(x, y)).collect();
+        return Tensor { data, shape: a.shape.clone() };
+    }
+    let out_shape = broadcast_shape(&a.shape, &b.shape)
+        .unwrap_or_else(|| panic!("incompatible broadcast {:?} vs {:?}", a.shape, b.shape));
+    let sa = broadcast_strides(&a.shape, &out_shape);
+    let sb = broadcast_strides(&b.shape, &out_shape);
+    let n = numel(&out_shape);
+    let mut data = Vec::with_capacity(n);
+    let mut idx = vec![0usize; out_shape.len()];
+    let mut oa = 0usize;
+    let mut ob = 0usize;
+    for _ in 0..n {
+        data.push(f(a.data[oa], b.data[ob]));
+        // increment multi-index, updating offsets incrementally
+        for d in (0..out_shape.len()).rev() {
+            idx[d] += 1;
+            oa += sa[d];
+            ob += sb[d];
+            if idx[d] < out_shape[d] {
+                break;
+            }
+            idx[d] = 0;
+            oa -= sa[d] * out_shape[d];
+            ob -= sb[d] * out_shape[d];
+        }
+    }
+    Tensor { data, shape: out_shape }
+}
+
+/// Reduces `grad` (shaped like the broadcast output) back to `shape`,
+/// summing over all broadcast axes. Used by elementwise backward passes.
+pub fn reduce_to_shape(grad: &Tensor, shape: &[usize]) -> Tensor {
+    if grad.shape == shape {
+        return grad.clone();
+    }
+    let out_shape = grad.shape.clone();
+    let s_in = broadcast_strides(shape, &out_shape);
+    let mut out = Tensor::zeros(shape);
+    let n = grad.data.len();
+    let mut idx = vec![0usize; out_shape.len()];
+    let mut off = 0usize;
+    for i in 0..n {
+        out.data[off] += grad.data[i];
+        for d in (0..out_shape.len()).rev() {
+            idx[d] += 1;
+            off += s_in[d];
+            if idx[d] < out_shape[d] {
+                break;
+            }
+            idx[d] = 0;
+            off -= s_in[d] * out_shape[d];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_strides() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(3.5);
+        assert_eq!(t.item(), 3.5);
+        assert_eq!(t.shape(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn at_indexes_row_major() {
+        let t = Tensor::new((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn broadcast_shapes() {
+        assert_eq!(broadcast_shape(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]), Some(vec![2, 3, 4]));
+        assert_eq!(broadcast_shape(&[2, 3], &[4]), None);
+        assert_eq!(broadcast_shape(&[], &[5]), Some(vec![5]));
+    }
+
+    #[test]
+    fn broadcast_zip_bias_add() {
+        let a = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::new(vec![10., 20., 30.], &[3]);
+        let c = broadcast_zip(&a, &b, |x, y| x + y);
+        assert_eq!(c.data(), &[11., 22., 33., 14., 25., 36.]);
+        assert_eq!(c.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn broadcast_zip_column() {
+        let a = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::new(vec![10., 100.], &[2, 1]);
+        let c = broadcast_zip(&a, &b, |x, y| x * y);
+        assert_eq!(c.data(), &[10., 20., 30., 400., 500., 600.]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let r = reduce_to_shape(&g, &[3]);
+        assert_eq!(r.data(), &[5., 7., 9.]);
+        let r2 = reduce_to_shape(&g, &[2, 1]);
+        assert_eq!(r2.data(), &[6., 15.]);
+        let r3 = reduce_to_shape(&g, &[]);
+        assert_eq!(r3.item(), 21.0);
+    }
+
+    #[test]
+    fn randn_is_roughly_standard() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&mut rng, &[10_000], 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / 10_000.0;
+        assert!((var - 1.0).abs() < 0.1, "var {}", var);
+    }
+
+    #[test]
+    fn argmax_last_rows() {
+        let t = Tensor::new(vec![0.1, 0.9, 0.5, 0.4, 0.2, 0.3], &[2, 3]);
+        assert_eq!(t.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_bad_shape() {
+        let _ = Tensor::new(vec![1.0, 2.0], &[3]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for tensor/op invariants.
+
+use logsynergy_nn::graph::Graph;
+use logsynergy_nn::tensor::{broadcast_shape, broadcast_zip, reduce_to_shape, Tensor};
+use logsynergy_nn::{ops, Tensor as T};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_rows_are_distributions(data in small_vec(12)) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(data, &[3, 4]));
+        let s = g.value(ops::softmax(&g, x));
+        for row in s.data().chunks_exact(4) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_matches_softmax(data in small_vec(8)) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(data, &[2, 4]));
+        let s = g.value(ops::softmax(&g, x));
+        let ls = g.value(ops::log_softmax(&g, x));
+        for (p, lp) in s.data().iter().zip(ls.data()) {
+            prop_assert!((p - lp.exp()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn add_commutes_under_broadcast(a in small_vec(6), b in small_vec(3)) {
+        let ta = Tensor::new(a, &[2, 3]);
+        let tb = Tensor::new(b, &[3]);
+        let x = broadcast_zip(&ta, &tb, |p, q| p + q);
+        let y = broadcast_zip(&tb, &ta, |p, q| p + q);
+        prop_assert_eq!(x.data(), y.data());
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(data in small_vec(24)) {
+        let grad = Tensor::new(data, &[2, 3, 4]);
+        for target in [vec![4usize], vec![3, 1], vec![1, 3, 4], vec![]] {
+            let r = reduce_to_shape(&grad, &target);
+            prop_assert!((r.sum() - grad.sum()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_shape_is_commutative(
+        a in proptest::collection::vec(1usize..4, 0..3),
+        b in proptest::collection::vec(1usize..4, 0..3),
+    ) {
+        prop_assert_eq!(broadcast_shape(&a, &b), broadcast_shape(&b, &a));
+    }
+
+    #[test]
+    fn sum_axis_totals_match(data in small_vec(24)) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(data, &[2, 3, 4]));
+        for axis in 0..3 {
+            let s = ops::sum_axis(&g, x, axis, false);
+            prop_assert!((g.value(s).sum() - g.value(x).sum()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(data in small_vec(12)) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(data, &[3, 4]));
+        let t = ops::transpose_last2(&g, x);
+        let tt = ops::transpose_last2(&g, t);
+        let (vtt, vx) = (g.value(tt), g.value(x));
+        prop_assert_eq!(vtt.data(), vx.data());
+    }
+
+    #[test]
+    fn relu_is_idempotent(data in small_vec(10)) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(data, &[10]));
+        let r1 = ops::relu(&g, x);
+        let r2 = ops::relu(&g, r1);
+        let (v1, v2) = (g.value(r1), g.value(r2));
+        prop_assert_eq!(v1.data(), v2.data());
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(vec![a, b], &[2]));
+        let s = g.value(ops::sigmoid(&g, x));
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        if a < b {
+            prop_assert!(s.data()[0] <= s.data()[1]);
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative(logits in small_vec(6), bits in proptest::collection::vec(0u8..2, 6)) {
+        let g = Graph::new();
+        let x = g.input(T::new(logits, &[6]));
+        let targets: Vec<f32> = bits.iter().map(|&b| b as f32).collect();
+        let l = logsynergy_nn::loss::bce_with_logits(&g, x, &targets);
+        prop_assert!(g.value(l).item() >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(logits in small_vec(12), t in 0usize..4) {
+        let g = Graph::new();
+        let x = g.input(T::new(logits, &[3, 4]));
+        let l = logsynergy_nn::loss::cross_entropy(&g, x, &[t, t, t]);
+        prop_assert!(g.value(l).item() >= 0.0);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in small_vec(6), b in small_vec(6), w in small_vec(6)) {
+        let g = Graph::new();
+        let ta = g.input(Tensor::new(a, &[2, 3]));
+        let tb = g.input(Tensor::new(b, &[2, 3]));
+        let tw = g.input(Tensor::new(w, &[3, 2]));
+        let lhs = ops::matmul(&g, ops::add(&g, ta, tb), tw);
+        let rhs = ops::add(&g, ops::matmul(&g, ta, tw), ops::matmul(&g, tb, tw));
+        for (x, y) in g.value(lhs).data().iter().zip(g.value(rhs).data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Online detection stage: sliding-window assembly, pattern-library fast
+//! path, model slow path, and report generation.
+
+use logsynergy::data::SeqSample;
+use logsynergy::detector::{Detector, THRESHOLD};
+use logsynergy::model::LogSynergyModel;
+
+use crate::patterns::{PatternLibrary, Verdict};
+use crate::record::StructuredLog;
+use crate::report::Report;
+use crate::vectorizer::EventVectorizer;
+
+/// Anything that can score a window of event ids against an embedding
+/// table (the offline-trained model, or a stub in tests).
+pub trait SequenceScorer: Send {
+    /// Anomaly probability in `[0, 1]`.
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32;
+}
+
+/// The production scorer: a trained LogSynergy model.
+pub struct ModelScorer {
+    model: LogSynergyModel,
+}
+
+impl ModelScorer {
+    /// Wraps a trained model.
+    pub fn new(model: LogSynergyModel) -> Self {
+        ModelScorer { model }
+    }
+}
+
+impl SequenceScorer for ModelScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        let sample = SeqSample { events: events.to_vec(), label: false };
+        Detector::new(&self.model).scores(std::slice::from_ref(&sample), table)[0]
+    }
+}
+
+/// Per-stream window assembler + two-tier detector.
+pub struct OnlineDetector<S: SequenceScorer> {
+    vectorizer: EventVectorizer,
+    scorer: S,
+    library: PatternLibrary,
+    window_len: usize,
+    step: usize,
+    buffer: Vec<(u32, StructuredLog)>,
+    since_last_window: usize,
+    /// Sequences scored by the model (slow path).
+    pub model_calls: u64,
+    /// Sequences answered from the pattern library (fast path).
+    pub fast_hits: u64,
+}
+
+impl<S: SequenceScorer> OnlineDetector<S> {
+    /// Builds a detector with the paper's window geometry (10/5).
+    pub fn new(vectorizer: EventVectorizer, scorer: S) -> Self {
+        OnlineDetector {
+            vectorizer,
+            scorer,
+            library: PatternLibrary::new(),
+            window_len: 10,
+            step: 5,
+            buffer: Vec::new(),
+            since_last_window: 0,
+            model_calls: 0,
+            fast_hits: 0,
+        }
+    }
+
+    /// Feeds one structured log; returns a report when a freshly completed
+    /// window is anomalous.
+    pub fn ingest(&mut self, log: StructuredLog) -> Option<Report> {
+        let event = self.vectorizer.ingest(&log.message);
+        self.buffer.push((event, log));
+        if self.buffer.len() > self.window_len {
+            self.buffer.remove(0);
+        }
+        self.since_last_window += 1;
+        if self.buffer.len() < self.window_len || self.since_last_window < self.step {
+            return None;
+        }
+        self.since_last_window = 0;
+
+        let events: Vec<u32> = self.buffer.iter().map(|(e, _)| *e).collect();
+        let verdict = match self.library.lookup(&events) {
+            Some(v) => {
+                self.fast_hits += 1;
+                v
+            }
+            None => {
+                self.model_calls += 1;
+                let p = self.scorer.score(&events, self.vectorizer.table());
+                let anomalous = p > THRESHOLD;
+                // Leave-one-out saliency for anomalous windows: the event
+                // whose removal drops the score the most headlines the
+                // alert. Runs only on the rare anomalous+new patterns.
+                let culprit = if anomalous {
+                    let mut distinct: Vec<u32> = events.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    distinct
+                        .into_iter()
+                        .map(|id| {
+                            let reduced: Vec<u32> =
+                                events.iter().copied().filter(|&e| e != id).collect();
+                            let p_without = if reduced.is_empty() {
+                                0.0
+                            } else {
+                                self.scorer.score(&reduced, self.vectorizer.table())
+                            };
+                            (id, p - p_without)
+                        })
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(id, _)| id)
+                } else {
+                    None
+                };
+                let v = Verdict { probability: p, anomalous, culprit };
+                self.library.insert(&events, v);
+                v
+            }
+        };
+        if !verdict.anomalous {
+            return None;
+        }
+        let first = &self.buffer[0].1;
+        let last = &self.buffer[self.buffer.len() - 1].1;
+        Some(Report {
+            system: first.system.clone(),
+            probability: verdict.probability,
+            start_timestamp: first.timestamp,
+            end_timestamp: last.timestamp,
+            first_seq_no: first.seq_no,
+            messages: self.buffer.iter().map(|(_, l)| l.message.clone()).collect(),
+            interpretations: events
+                .iter()
+                .map(|&e| self.vectorizer.text(e).to_string())
+                .collect(),
+            culprit: verdict.culprit.map(|id| self.vectorizer.text(id).to_string()),
+        })
+    }
+
+    /// The underlying vectorizer (template statistics).
+    pub fn vectorizer(&self) -> &EventVectorizer {
+        &self.vectorizer
+    }
+
+    /// Pattern-library size.
+    pub fn library_len(&self) -> usize {
+        self.library.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy_lei::LeiConfig;
+    use logsynergy_loggen::SystemId;
+
+    /// Flags windows containing the token "dead".
+    struct StubScorer;
+    impl SequenceScorer for StubScorer {
+        fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+            let _ = table;
+            if events.iter().any(|&e| e >= 1) {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    fn slog(i: u64, msg: &str) -> StructuredLog {
+        StructuredLog { system: "b".into(), timestamp: i, message: msg.into(), seq_no: i }
+    }
+
+    #[test]
+    fn windows_fire_every_step_and_reports_carry_interpretations() {
+        let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+        let mut det = OnlineDetector::new(v, StubScorer);
+        let mut reports = Vec::new();
+        for i in 0..30 {
+            let msg = if i == 17 { "drive volume dead offline" } else { "session open remote peer" };
+            if let Some(r) = det.ingest(slog(i, msg)) {
+                reports.push(r);
+            }
+        }
+        assert!(!reports.is_empty(), "the anomalous log must produce a report");
+        assert!(det.model_calls > 0);
+        for r in &reports {
+            assert_eq!(r.messages.len(), 10);
+            assert_eq!(r.interpretations.len(), 10);
+            assert!(r.probability > THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn pattern_library_serves_repeats() {
+        let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+        let mut det = OnlineDetector::new(v, StubScorer);
+        for i in 0..200 {
+            det.ingest(slog(i, "steady state heartbeat ping"));
+        }
+        assert!(det.fast_hits > 0, "identical windows must hit the fast path");
+        assert!(
+            det.model_calls < 5,
+            "steady-state stream should rarely reach the model: {}",
+            det.model_calls
+        );
+        assert_eq!(det.library_len() as u64, det.model_calls);
+    }
+}

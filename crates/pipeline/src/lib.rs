@@ -1,0 +1,35 @@
+//! # logsynergy-pipeline
+//!
+//! The production deployment workflow of the paper's §VI (Fig. 7), as an
+//! in-process dataflow:
+//!
+//! - **Collection**: a shipper thread (Filebeat stand-in) feeds a bounded,
+//!   partitioned buffer ([`buffer::LogBuffer`], the Kafka stage) and a
+//!   formatter normalizes records ([`record::format_log`], the Logstash
+//!   stage);
+//! - **Detection**: a sliding-window assembler builds sequences, a
+//!   pattern library ([`patterns::PatternLibrary`]) answers repeated
+//!   patterns on the fast path, and the offline-trained LogSynergy model
+//!   scores new patterns ([`detect::OnlineDetector`]); new templates are
+//!   interpreted and embedded online ([`vectorizer::EventVectorizer`]);
+//! - **Report**: anomalies become operator alerts combining the raw
+//!   sequence with its LEI interpretations, delivered through
+//!   [`report::ReportSink`]s (SMS/email stand-ins).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod detect;
+pub mod patterns;
+pub mod record;
+pub mod report;
+pub mod service;
+pub mod vectorizer;
+
+pub use buffer::{BufferStats, LogBuffer};
+pub use detect::{ModelScorer, OnlineDetector, SequenceScorer};
+pub use patterns::{PatternLibrary, Verdict};
+pub use record::{format_log, RawLog, StructuredLog};
+pub use report::{MemorySink, MessagingSink, Report, ReportSink};
+pub use service::{run_pipeline, PipelineSummary};
+pub use vectorizer::EventVectorizer;

@@ -1,0 +1,106 @@
+//! The pattern library of historical verdicts (§VI-A "Detection"):
+//! "When a new log sequence is generated, it is first matched against a
+//! pattern library of historical anomalies ... If a new pattern is
+//! detected, the sequence is processed by the offline-trained LogSynergy
+//! model, minimizing computational overhead from redundant log patterns."
+
+use std::collections::HashMap;
+
+/// Cached verdict for a sequence pattern.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Verdict {
+    /// Anomaly probability the model assigned when the pattern was first
+    /// seen.
+    pub probability: f32,
+    /// Whether the pattern is anomalous (probability > threshold).
+    pub anomalous: bool,
+    /// For anomalous patterns: the event id whose removal lowers the
+    /// score the most (leave-one-out saliency) — the alert's headline.
+    pub culprit: Option<u32>,
+}
+
+/// A pattern key: the window's *distinct* event ids, sorted. Windows with
+/// the same event mix (any order, any multiplicity) share a verdict — the
+/// granularity at which operators think of "a log pattern". Anomalous
+/// windows always contain an event id normal windows lack, so the two can
+/// never collide on a key.
+fn key(events: &[u32]) -> Vec<u32> {
+    let mut k = events.to_vec();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+/// The pattern library.
+#[derive(Default)]
+pub struct PatternLibrary {
+    map: HashMap<Vec<u32>, Verdict>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PatternLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fast-path lookup.
+    pub fn lookup(&mut self, events: &[u32]) -> Option<Verdict> {
+        match self.map.get(&key(events)) {
+            Some(&v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the model's verdict for a new pattern.
+    pub fn insert(&mut self, events: &[u32], verdict: Verdict) {
+        self.map.insert(key(events), verdict);
+    }
+
+    /// Number of cached patterns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no patterns are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (fast hits, model misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut lib = PatternLibrary::new();
+        assert!(lib.lookup(&[1, 2, 3]).is_none());
+        lib.insert(&[1, 2, 3], Verdict { probability: 0.9, anomalous: true, culprit: Some(3) });
+        let v = lib.lookup(&[1, 2, 3]).unwrap();
+        assert!(v.anomalous);
+        assert_eq!(lib.stats(), (1, 1));
+    }
+
+    #[test]
+    fn order_and_multiplicity_do_not_split_patterns() {
+        let mut lib = PatternLibrary::new();
+        lib.insert(&[1, 2], Verdict { probability: 0.1, anomalous: false, culprit: None });
+        assert!(lib.lookup(&[2, 1]).is_some(), "order-insensitive");
+        assert!(lib.lookup(&[1, 2, 2, 1]).is_some(), "multiplicity-insensitive");
+        assert!(lib.lookup(&[1, 2, 3]).is_none(), "a new event id is a new pattern");
+        assert_eq!(lib.len(), 1);
+    }
+}

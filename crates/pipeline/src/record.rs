@@ -1,0 +1,51 @@
+//! Log records as they move through the deployment pipeline (Fig. 7).
+
+/// A raw log line as shipped by the collector (Filebeat stage).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawLog {
+    /// Originating system identifier (host/service tag).
+    pub system: String,
+    /// Unix timestamp (seconds).
+    pub timestamp: u64,
+    /// The unparsed message.
+    pub message: String,
+}
+
+/// A log after the formatting stage (Logstash): unified structure plus an
+/// ingestion sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructuredLog {
+    /// Originating system.
+    pub system: String,
+    /// Unix timestamp (seconds).
+    pub timestamp: u64,
+    /// Normalized message (whitespace collapsed, trimmed).
+    pub message: String,
+    /// Monotone ingestion sequence number assigned by the formatter.
+    pub seq_no: u64,
+}
+
+/// Normalizes a raw log into the unified structure (the Logstash step:
+/// "formatted into a unified structure by LogStash", §VI-A).
+pub fn format_log(raw: RawLog, seq_no: u64) -> StructuredLog {
+    let message = raw.message.split_whitespace().collect::<Vec<_>>().join(" ");
+    StructuredLog { system: raw.system, timestamp: raw.timestamp, message, seq_no }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_collapses_whitespace() {
+        let raw = RawLog {
+            system: "sysb".into(),
+            timestamp: 7,
+            message: "  a   b\t c  ".into(),
+        };
+        let s = format_log(raw, 42);
+        assert_eq!(s.message, "a b c");
+        assert_eq!(s.seq_no, 42);
+        assert_eq!(s.timestamp, 7);
+    }
+}

@@ -1,0 +1,179 @@
+//! Anomaly reports and delivery sinks (§VI-A "Report": "Reports are sent
+//! to operations engineers via SMS and email").
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A detection report: the sequence, its interpretations, and metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Originating system.
+    pub system: String,
+    /// Model probability.
+    pub probability: f32,
+    /// Timestamp of the window's first log.
+    pub start_timestamp: u64,
+    /// Timestamp of the window's last log.
+    pub end_timestamp: u64,
+    /// Ingestion sequence number of the first log.
+    pub first_seq_no: u64,
+    /// Raw messages of the window.
+    pub messages: Vec<String>,
+    /// LEI interpretations of the window's events.
+    pub interpretations: Vec<String>,
+    /// Interpretation of the highest-saliency event (leave-one-out),
+    /// if the detector computed one.
+    pub culprit: Option<String>,
+}
+
+impl Report {
+    /// Renders the operator-facing alert text (the email body).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "[ANOMALY] system={} p={:.2} window={}..{} seq={}\n",
+            self.system, self.probability, self.start_timestamp, self.end_timestamp,
+            self.first_seq_no
+        );
+        if let Some(c) = &self.culprit {
+            s.push_str(&format!("  cause: {c}\n"));
+        }
+        for (m, i) in self.messages.iter().zip(&self.interpretations) {
+            s.push_str(&format!("  {m}\n    -> {i}\n"));
+        }
+        s
+    }
+
+    /// Renders the SMS-length summary: the culprit event (leave-one-out
+    /// saliency) when known, else the first interpretation.
+    pub fn render_sms(&self) -> String {
+        let head = self
+            .culprit
+            .as_deref()
+            .or_else(|| {
+                self.interpretations.iter().find(|i| !i.is_empty()).map(|s| s.as_str())
+            })
+            .unwrap_or("anomalous log sequence");
+        let mut text = format!("[{}] {head} (p={:.2})", self.system, self.probability);
+        text.truncate(160);
+        text
+    }
+}
+
+/// Destination for reports.
+pub trait ReportSink: Send {
+    /// Delivers one report.
+    fn deliver(&self, report: &Report);
+}
+
+/// Collects reports in memory (tests, examples, and the bench harness).
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    reports: Arc<Mutex<Vec<Report>>>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reports delivered so far.
+    pub fn reports(&self) -> Vec<Report> {
+        self.reports.lock().clone()
+    }
+
+    /// Number delivered.
+    pub fn len(&self) -> usize {
+        self.reports.lock().len()
+    }
+
+    /// True when nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.reports.lock().is_empty()
+    }
+}
+
+impl ReportSink for MemorySink {
+    fn deliver(&self, report: &Report) {
+        self.reports.lock().push(report.clone());
+    }
+}
+
+/// Formats reports as SMS+email strings into an in-memory outbox,
+/// standing in for the gateway integrations.
+#[derive(Clone, Default)]
+pub struct MessagingSink {
+    outbox: Arc<Mutex<Vec<(String, String)>>>,
+}
+
+impl MessagingSink {
+    /// Empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (sms, email) pairs sent so far.
+    pub fn outbox(&self) -> Vec<(String, String)> {
+        self.outbox.lock().clone()
+    }
+}
+
+impl ReportSink for MessagingSink {
+    fn deliver(&self, report: &Report) {
+        self.outbox.lock().push((report.render_sms(), report.render()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report {
+            system: "System B".into(),
+            probability: 0.93,
+            start_timestamp: 100,
+            end_timestamp: 110,
+            first_seq_no: 42,
+            messages: vec!["raw log".into()],
+            interpretations: vec!["disk device failed with unrecoverable input output error".into()],
+            culprit: Some("disk device failed with unrecoverable input output error".into()),
+        }
+    }
+
+    #[test]
+    fn email_contains_interpretation_and_metadata() {
+        let r = report().render();
+        assert!(r.contains("System B"));
+        assert!(r.contains("p=0.93"));
+        assert!(r.contains("disk device failed"));
+        assert!(r.contains("raw log"));
+    }
+
+    #[test]
+    fn sms_is_bounded() {
+        let mut r = report();
+        r.culprit = Some("x".repeat(500));
+        assert!(r.render_sms().len() <= 160);
+    }
+
+    #[test]
+    fn sms_prefers_culprit() {
+        let mut r = report();
+        r.interpretations = vec!["boring normal line".into()];
+        r.culprit = Some("kernel panic halted the node".into());
+        assert!(r.render_sms().contains("kernel panic"));
+    }
+
+    #[test]
+    fn sinks_collect() {
+        let mem = MemorySink::new();
+        mem.deliver(&report());
+        assert_eq!(mem.len(), 1);
+        let msg = MessagingSink::new();
+        msg.deliver(&report());
+        let outbox = msg.outbox();
+        assert_eq!(outbox.len(), 1);
+        assert!(outbox[0].0.starts_with("[System B]"));
+    }
+}

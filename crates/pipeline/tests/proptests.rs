@@ -1,0 +1,103 @@
+//! Property tests for the deployment pipeline's invariants.
+
+use std::time::Duration;
+
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{
+    format_log, EventVectorizer, LogBuffer, OnlineDetector, PatternLibrary, RawLog,
+    SequenceScorer, StructuredLog, Verdict,
+};
+use proptest::prelude::*;
+
+struct NeverScorer;
+impl SequenceScorer for NeverScorer {
+    fn score(&self, _events: &[u32], _table: &[Vec<f32>]) -> f32 {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The library always hits after an insert, whatever the event mix,
+    /// and hit/miss counters add up.
+    #[test]
+    fn pattern_library_is_consistent(patterns in proptest::collection::vec(
+        proptest::collection::vec(0u32..30, 1..12), 1..20)
+    ) {
+        let mut lib = PatternLibrary::new();
+        let mut lookups = 0u64;
+        for p in &patterns {
+            if lib.lookup(p).is_none() {
+                lib.insert(p, Verdict { probability: 0.1, anomalous: false, culprit: None });
+            }
+            lookups += 1;
+            prop_assert!(lib.lookup(p).is_some(), "insert-then-lookup must hit");
+            lookups += 1;
+        }
+        let (hits, misses) = lib.stats();
+        prop_assert_eq!(hits + misses, lookups);
+        prop_assert!(lib.len() <= patterns.len());
+    }
+
+    /// The window assembler evaluates exactly the sliding-window count:
+    /// one window per step once the first full window exists.
+    #[test]
+    fn detector_window_cadence(n in 10usize..200) {
+        let v = EventVectorizer::new(SystemId::SystemB, 4, LeiConfig::default());
+        let mut det = OnlineDetector::new(v, NeverScorer);
+        for i in 0..n {
+            det.ingest(StructuredLog {
+                system: "x".into(),
+                timestamp: i as u64,
+                message: format!("token{} steady stream", i % 3),
+                seq_no: i as u64,
+            });
+        }
+        let expected = (n - 10) / 5 + 1;
+        prop_assert_eq!(det.fast_hits + det.model_calls, expected as u64);
+    }
+
+    /// Formatting normalizes whitespace and preserves content tokens.
+    #[test]
+    fn format_log_normalizes(tokens in proptest::collection::vec("[a-z]{1,6}", 1..8), pad in 0usize..4) {
+        let message = tokens.join(&" ".repeat(pad + 1));
+        let raw = RawLog { system: "s".into(), timestamp: 1, message };
+        let f = format_log(raw, 9);
+        prop_assert_eq!(f.message.split(' ').count(), tokens.len());
+        prop_assert!(!f.message.contains("  "));
+    }
+
+    /// The buffer preserves per-system order and loses nothing.
+    #[test]
+    fn buffer_preserves_per_system_order(
+        n in 1usize..60,
+        systems in proptest::collection::vec(0u8..3, 1..60),
+    ) {
+        let buf = LogBuffer::new(3, 128);
+        let p = buf.producer();
+        let count = n.min(systems.len());
+        for (i, &sys) in systems.iter().take(count).enumerate() {
+            p.send(RawLog {
+                system: format!("sys{sys}"),
+                timestamp: i as u64,
+                message: String::new(),
+            });
+        }
+        drop(p);
+        let mut c = buf.consumer();
+        let mut per_system: std::collections::HashMap<String, Vec<u64>> = Default::default();
+        let mut total = 0;
+        while let Some(l) = c.recv(Duration::from_millis(5)) {
+            per_system.entry(l.system).or_default().push(l.timestamp);
+            total += 1;
+        }
+        prop_assert_eq!(total, count);
+        for (_, ts) in per_system {
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ts, sorted, "per-system order must be preserved");
+        }
+    }
+}

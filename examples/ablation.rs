@@ -1,0 +1,25 @@
+//! Fig. 5 ablation on one public and one ISP target: full LogSynergy vs
+//! w/o LEI vs w/o SUFE vs the direct application of NeuralLog.
+//!
+//! Run with: `cargo run --release --example ablation`
+
+use logsynergy_eval::experiments::fig5;
+use logsynergy_eval::report::render_ablation;
+use logsynergy_eval::ExperimentConfig;
+use logsynergy_loggen::SystemId;
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+    println!("running the Fig. 5 ablation on Thunderbird and System B…\n");
+    let results = fig5(&[SystemId::Thunderbird, SystemId::SystemB], &cfg);
+    println!("{}", render_ablation(&results));
+    for r in &results {
+        println!(
+            "{}: LEI contributes {:+.1} F1 points, SUFE {:+.1}, transfer learning {:+.1}",
+            r.target,
+            r.full.prf.f1 - r.no_lei.prf.f1,
+            r.full.prf.f1 - r.no_sufe.prf.f1,
+            r.full.prf.f1 - r.neurallog_direct.prf.f1,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The Fig. 8 case study: a normal System A sequence that looks
+//! misleadingly similar to an anomalous System C sequence under raw
+//! word-level representations (LogTransfer's false positive), and how LEI
+//! interpretations dissolve the similarity.
+//!
+//! Run with: `cargo run --release --example case_study`
+
+use logsynergy_eval::experiments::fig8_case_study;
+use logsynergy_eval::report::render_case_study;
+use logsynergy_eval::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig { logs_per_dataset: 8_000, ..ExperimentConfig::quick() };
+    let cs = fig8_case_study(&cfg);
+    println!("{}", render_case_study(&cs));
+    println!(
+        "under raw word-level representations the normal System A event sits\n\
+         {:+.3} closer to a System C ANOMALY than to any System C normal event\n\
+         (LogTransfer's false-positive trigger); under LEI interpretations the\n\
+         margin is {:+.3} — its nearest neighbor is a normal event again.",
+        cs.raw_margin, cs.lei_margin
+    );
+}

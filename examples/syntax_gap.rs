@@ -1,0 +1,46 @@
+//! The Table I phenomenon: the same anomalous event rendered by different
+//! systems shares almost no surface syntax — and LEI closes the gap.
+//!
+//! Run with: `cargo run --release --example syntax_gap`
+
+use logsynergy_embed::{cosine, HashedEmbedder};
+use logsynergy_lei::{LeiConfig, LlmInterpreter};
+use logsynergy_loggen::{by_name, ontology, SyntaxProfile, SystemId};
+use rand::SeedableRng;
+
+fn main() {
+    let concepts = ontology();
+    let lei = LlmInterpreter::new(LeiConfig { hallucination_rate: 0.0, ..LeiConfig::default() });
+    let embedder = HashedEmbedder::new(64, 0xE1B);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    println!("== Table I: same anomaly, different syntax ==\n");
+    for name in ["network_interruption", "parity_error"] {
+        let cid = by_name(&concepts, name);
+        let c = &concepts[cid.0 as usize];
+        println!("anomalous event: {name}");
+        let mut rendered = Vec::new();
+        for sys in [SystemId::Spirit, SystemId::Bgl] {
+            let profile = SyntaxProfile::new(sys, &concepts);
+            let msg = profile.render(c, &mut rng);
+            println!("  {:<12} {msg}", sys.name());
+            rendered.push((sys, profile.template_text(c)));
+        }
+        // Raw similarity vs LEI-unified similarity.
+        let raw_a = embedder.embed(&rendered[0].1);
+        let raw_b = embedder.embed(&rendered[1].1);
+        let int_a = lei.interpret(rendered[0].0, &rendered[0].1).text;
+        let int_b = lei.interpret(rendered[1].0, &rendered[1].1).text;
+        let lei_a = embedder.embed(&int_a);
+        let lei_b = embedder.embed(&int_b);
+        println!("  interpretation: \"{int_a}\"");
+        println!(
+            "  embedding cosine: raw {:.3}  ->  after LEI {:.3}\n",
+            cosine(&raw_a, &raw_b),
+            cosine(&lei_a, &lei_b)
+        );
+    }
+
+    println!("LEI rewrites every system's dialect into one canonical sentence,");
+    println!("so anomaly knowledge learned on one system transfers to another.");
+}

@@ -1,0 +1,61 @@
+//! Cross-crate integration: generator → parser → LEI → embeddings →
+//! training → detection, asserting the paper's headline behaviors.
+
+use logsynergy_eval::experiments::sources_of;
+use logsynergy_eval::{prepare_group, run_method, ExperimentConfig, MethodKind, SystemData};
+use logsynergy_loggen::SystemId;
+
+fn run_target(target: SystemId, kinds: &[MethodKind]) -> Vec<(MethodKind, f64, f64, f64)> {
+    let cfg = ExperimentConfig::quick();
+    let mut systems = sources_of(target);
+    systems.push(target);
+    let data = prepare_group(&systems, &cfg);
+    let n = data.len();
+    let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+    kinds
+        .iter()
+        .map(|&k| {
+            let r = run_method(k, &sources, &data[n - 1], &cfg);
+            (k, r.prf.precision, r.prf.recall, r.prf.f1)
+        })
+        .collect()
+}
+
+#[test]
+fn logsynergy_beats_representative_baselines_on_thunderbird() {
+    let rows = run_target(
+        SystemId::Thunderbird,
+        &[MethodKind::LogSynergy, MethodKind::DeepLog, MethodKind::LogRobust, MethodKind::LogTAD],
+    );
+    let f1 = |k: MethodKind| rows.iter().find(|r| r.0 == k).unwrap().3;
+    let ls = f1(MethodKind::LogSynergy);
+    assert!(ls > 85.0, "LogSynergy F1 {ls} too low: {rows:?}");
+    assert!(ls > f1(MethodKind::DeepLog), "{rows:?}");
+    assert!(ls > f1(MethodKind::LogRobust), "{rows:?}");
+    assert!(ls > f1(MethodKind::LogTAD), "{rows:?}");
+}
+
+#[test]
+fn unsupervised_methods_show_low_precision_high_recall() {
+    let rows = run_target(SystemId::Thunderbird, &[MethodKind::DeepLog]);
+    let (_, p, r, _) = rows[0];
+    assert!(r > 80.0, "DeepLog recall should be high: {rows:?}");
+    assert!(p < 50.0, "DeepLog precision should be low: {rows:?}");
+}
+
+#[test]
+fn ablations_degrade_logsynergy() {
+    let rows = run_target(
+        SystemId::Thunderbird,
+        &[MethodKind::LogSynergy, MethodKind::LogSynergyNoLei, MethodKind::NeuralLogDirect],
+    );
+    let f1 = |k: MethodKind| rows.iter().find(|r| r.0 == k).unwrap().3;
+    assert!(
+        f1(MethodKind::LogSynergy) > f1(MethodKind::LogSynergyNoLei),
+        "removing LEI must hurt: {rows:?}"
+    );
+    assert!(
+        f1(MethodKind::LogSynergy) > f1(MethodKind::NeuralLogDirect),
+        "transfer learning must beat direct application: {rows:?}"
+    );
+}

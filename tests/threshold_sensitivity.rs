@@ -1,0 +1,49 @@
+//! Extension experiment: sensitivity of LogSynergy to the fixed 0.5
+//! decision threshold (§III-E). The paper fixes 0.5 for all methods; this
+//! test verifies that choice is benign — the PR-curve's best-F1 point is
+//! not materially better than F1 at 0.5.
+
+use logsynergy::detector::Detector;
+use logsynergy::model::LogSynergyModel;
+use logsynergy::trainer::{build_training_set, train, TrainOptions};
+use logsynergy_eval::experiments::sources_of;
+use logsynergy_eval::{best_f1, pr_curve, prepare_group, ExperimentConfig, Prf, SystemData};
+use logsynergy_loggen::SystemId;
+use rand::SeedableRng;
+
+#[test]
+fn fixed_threshold_is_near_optimal() {
+    let cfg = ExperimentConfig::quick();
+    let target = SystemId::Thunderbird;
+    let mut systems = sources_of(target);
+    systems.push(target);
+    let data = prepare_group(&systems, &cfg);
+    let n = data.len();
+    let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
+    let tgt = &data[n - 1];
+
+    let src_views: Vec<_> = sources.iter().map(|d| &d.lei).collect();
+    let mcfg = cfg.model_config(3);
+    let tcfg = cfg.train_config();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
+    let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
+    let set = build_training_set(&src_views, &tgt.lei, tcfg.n_source, tcfg.n_target, 10, cfg.embed_dim);
+    train(&mut model, &set, &tcfg, TrainOptions::default());
+
+    let (_, test) = tgt.lei.split(cfg.n_target, cfg.max_test);
+    let truth: Vec<bool> = test.iter().map(|s| s.label).collect();
+    let scores = Detector::new(&model).scores(&test, &tgt.lei.event_embeddings);
+
+    let pred_05: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
+    let f1_05 = Prf::evaluate(&pred_05, &truth).f1 / 100.0;
+
+    let curve = pr_curve(&scores, &truth);
+    let best = best_f1(&curve).expect("non-empty curve");
+    assert!(
+        f1_05 >= best.f1 * 0.93,
+        "F1@0.5 = {f1_05:.3} should be within 7% of the PR-optimal {:.3} (thr {:.3})",
+        best.f1,
+        best.threshold
+    );
+    assert!(f1_05 > 0.8, "absolute quality floor: {f1_05:.3}");
+}
