@@ -40,7 +40,11 @@ impl<'a> FitContext<'a> {
 
     /// Each source's spread training slice.
     pub fn source_train(&self) -> Vec<(usize, Vec<SeqSample>)> {
-        self.sources.iter().enumerate().map(|(k, s)| (k, s.spread(self.n_source))).collect()
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(k, s)| (k, s.spread(self.n_source)))
+            .collect()
     }
 }
 
@@ -55,7 +59,10 @@ pub trait Method {
 
     /// Binary decisions at 0.5 (the paper's shared threshold, §IV-A3).
     fn detect(&self, samples: &[SeqSample], target: &PreparedSystem) -> Vec<bool> {
-        self.score(samples, target).into_iter().map(|s| s > 0.5).collect()
+        self.score(samples, target)
+            .into_iter()
+            .map(|s| s > 0.5)
+            .collect()
     }
 }
 
@@ -140,7 +147,11 @@ pub fn mean_embedding(s: &SeqSample, embeddings: &[Vec<f32>], d: usize) -> Vec<f
 
 /// Euclidean distance.
 pub fn dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Logistic squashing of a margin to a `[0,1]` score; `margin > 0` means
@@ -157,7 +168,10 @@ mod tests {
     #[test]
     fn rows_flatten_and_pad() {
         let emb = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let s = SeqSample { events: vec![1], label: false };
+        let s = SeqSample {
+            events: vec![1],
+            label: false,
+        };
         let r = rows(&[s], &emb, 3, 2);
         assert_eq!(r[0], vec![3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
     }
@@ -167,9 +181,12 @@ mod tests {
         let mut store = ParamStore::new();
         let w = store.add("w", Tensor::zeros(&[2, 1]));
         // y = x0 (first feature), 32 samples
-        let data: Vec<Vec<f32>> =
-            (0..32).map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.5]).collect();
-        let labels: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let data: Vec<Vec<f32>> = (0..32)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.5])
+            .collect();
+        let labels: Vec<f32> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let last = adamw_epochs(&mut store, 32, 40, 8, 0.05, 1, |g, store, idx, _| {
             let b = idx.len();
             let mut x = vec![0.0; b * 2];
@@ -196,7 +213,10 @@ mod tests {
     #[test]
     fn mean_embedding_averages() {
         let emb = vec![vec![1.0, 0.0], vec![3.0, 2.0]];
-        let s = SeqSample { events: vec![0, 1], label: false };
+        let s = SeqSample {
+            events: vec![0, 1],
+            label: false,
+        };
         assert_eq!(mean_embedding(&s, &emb, 2), vec![2.0, 1.0]);
     }
 }

@@ -80,8 +80,11 @@ impl DeepLog {
         store: &ParamStore,
         histories: &[Vec<usize>],
     ) -> logsynergy_nn::Var {
-        let (table, lstm, head) =
-            (self.table.unwrap(), self.lstm.as_ref().unwrap(), self.head.as_ref().unwrap());
+        let (table, lstm, head) = (
+            self.table.unwrap(),
+            self.lstm.as_ref().unwrap(),
+            self.head.as_ref().unwrap(),
+        );
         let b = histories.len();
         let flat: Vec<usize> = histories.iter().flatten().copied().collect();
         let tb = g.bind(store, table);
@@ -105,15 +108,30 @@ impl Method for DeepLog {
             "deeplog.table",
             logsynergy_nn::init::embedding_init(&mut rng, self.vocab + 1, self.emb_dim),
         );
-        let lstm = Lstm::new(&mut store, &mut rng, "deeplog.lstm", self.emb_dim, self.hidden);
-        let head = Linear::new(&mut store, &mut rng, "deeplog.head", self.hidden, self.vocab);
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            "deeplog.lstm",
+            self.emb_dim,
+            self.hidden,
+        );
+        let head = Linear::new(
+            &mut store,
+            &mut rng,
+            "deeplog.head",
+            self.hidden,
+            self.vocab,
+        );
         self.table = Some(table);
         self.lstm = Some(lstm);
         self.head = Some(head);
         self.store = store;
 
-        let normal: Vec<SeqSample> =
-            ctx.target_train().into_iter().filter(|s| !s.label).collect();
+        let normal: Vec<SeqSample> = ctx
+            .target_train()
+            .into_iter()
+            .filter(|s| !s.label)
+            .collect();
         let (xs, ys) = self.pairs(&normal);
         if xs.is_empty() {
             return;
@@ -121,12 +139,20 @@ impl Method for DeepLog {
         // Split borrows: move store out during training.
         let mut store = std::mem::take(&mut self.store);
         let this = &*self;
-        adamw_epochs(&mut store, xs.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
-            let hs: Vec<Vec<usize>> = idx.iter().map(|&i| xs[i].clone()).collect();
-            let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
-            let logits = this.forward_logits(g, st, &hs);
-            loss::cross_entropy(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            xs.len(),
+            this.epochs,
+            64,
+            1e-2,
+            ctx.seed,
+            |g, st, idx, _| {
+                let hs: Vec<Vec<usize>> = idx.iter().map(|&i| xs[i].clone()).collect();
+                let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
+                let logits = this.forward_logits(g, st, &hs);
+                loss::cross_entropy(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -198,8 +224,14 @@ mod tests {
         };
         dl.fit(&ctx);
 
-        let ok = SeqSample { events: vec![0, 1, 2, 0, 1, 2, 0, 1], label: false };
-        let bad = SeqSample { events: vec![0, 1, 2, 3, 1, 2, 0, 1], label: true };
+        let ok = SeqSample {
+            events: vec![0, 1, 2, 0, 1, 2, 0, 1],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![0, 1, 2, 3, 1, 2, 0, 1],
+            label: true,
+        };
         let scores = dl.score(&[ok, bad], &prep);
         assert!(scores[0] < 0.5, "cycle should be predicted: {scores:?}");
         assert!(scores[1] > 0.5, "deviation should be flagged: {scores:?}");
@@ -209,7 +241,10 @@ mod tests {
     fn unfitted_scores_zero() {
         let dl = DeepLog::new();
         let prep = prepared(2);
-        let s = SeqSample { events: vec![0, 1, 0], label: false };
+        let s = SeqSample {
+            events: vec![0, 1, 0],
+            label: false,
+        };
         assert_eq!(dl.score(&[s], &prep), vec![0.0]);
     }
 }

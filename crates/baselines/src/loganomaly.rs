@@ -80,7 +80,10 @@ impl LogAnomaly {
                 counts[r * self.vocab + e as usize] += 1.0;
             }
         }
-        (Tensor::new(x, &[b, self.history, d]), Tensor::new(counts, &[b, self.vocab]))
+        (
+            Tensor::new(x, &[b, self.history, d]),
+            Tensor::new(counts, &[b, self.vocab]),
+        )
     }
 
     fn forward_logits(
@@ -89,8 +92,11 @@ impl LogAnomaly {
         store: &ParamStore,
         histories: &[Vec<u32>],
     ) -> logsynergy_nn::Var {
-        let (lstm, head, cproj) =
-            (self.lstm.as_ref().unwrap(), self.head.as_ref().unwrap(), self.count_proj.as_ref().unwrap());
+        let (lstm, head, cproj) = (
+            self.lstm.as_ref().unwrap(),
+            self.head.as_ref().unwrap(),
+            self.count_proj.as_ref().unwrap(),
+        );
         let (x, c) = self.inputs(histories);
         let xv = g.input(x);
         let cv = g.input(c);
@@ -114,25 +120,42 @@ impl Method for LogAnomaly {
         let mut store = ParamStore::new();
         let lstm = Lstm::new(&mut store, &mut rng, "la.lstm", self.embed_dim, self.hidden);
         let count_proj = Linear::new(&mut store, &mut rng, "la.count", self.vocab, 32);
-        let head = Linear::new(&mut store, &mut rng, "la.head", self.hidden + 32, self.vocab);
+        let head = Linear::new(
+            &mut store,
+            &mut rng,
+            "la.head",
+            self.hidden + 32,
+            self.vocab,
+        );
         self.lstm = Some(lstm);
         self.count_proj = Some(count_proj);
         self.head = Some(head);
 
-        let normal: Vec<SeqSample> =
-            ctx.target_train().into_iter().filter(|s| !s.label).collect();
+        let normal: Vec<SeqSample> = ctx
+            .target_train()
+            .into_iter()
+            .filter(|s| !s.label)
+            .collect();
         let (xs, ys) = self.pairs(&normal);
         if xs.is_empty() {
             self.store = store;
             return;
         }
         let this = &*self;
-        adamw_epochs(&mut store, xs.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
-            let hs: Vec<Vec<u32>> = idx.iter().map(|&i| xs[i].clone()).collect();
-            let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
-            let logits = this.forward_logits(g, st, &hs);
-            loss::cross_entropy(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            xs.len(),
+            this.epochs,
+            64,
+            1e-2,
+            ctx.seed,
+            |g, st, idx, _| {
+                let hs: Vec<Vec<u32>> = idx.iter().map(|&i| xs[i].clone()).collect();
+                let targets: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
+                let logits = this.forward_logits(g, st, &hs);
+                loss::cross_entropy(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -204,8 +227,14 @@ mod tests {
             seed: 2,
         };
         la.fit(&ctx);
-        let ok = SeqSample { events: vec![0, 1, 2, 0, 1, 2, 0, 1], label: false };
-        let bad = SeqSample { events: vec![0, 1, 2, 3, 1, 2, 0, 1], label: true };
+        let ok = SeqSample {
+            events: vec![0, 1, 2, 0, 1, 2, 0, 1],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![0, 1, 2, 3, 1, 2, 0, 1],
+            label: true,
+        };
         let s = la.score(&[ok, bad], &prep);
         assert!(s[0] < 0.5 && s[1] > 0.5, "{s:?}");
     }

@@ -44,10 +44,13 @@ impl LogRobust {
     }
 
     fn logits(&self, g: &Graph, store: &ParamStore, x: logsynergy_nn::Var) -> logsynergy_nn::Var {
-        let (bi, attn, head) =
-            (self.bilstm.as_ref().unwrap(), self.attn.as_ref().unwrap(), self.head.as_ref().unwrap());
+        let (bi, attn, head) = (
+            self.bilstm.as_ref().unwrap(),
+            self.attn.as_ref().unwrap(),
+            self.head.as_ref().unwrap(),
+        );
         let (outs, _) = bi.forward(g, store, x); // [B,T,2H]
-        // Additive attention: score_t = w^T tanh(out_t); softmax over T.
+                                                 // Additive attention: score_t = w^T tanh(out_t); softmax over T.
         let scores = attn.forward(g, store, ops::tanh(g, outs)); // [B,T,1]
         let shape = g.shape_of(scores);
         let (b, t) = (shape[0], shape[1]);
@@ -70,24 +73,58 @@ impl Method for LogRobust {
         self.max_len = ctx.max_len;
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        self.bilstm = Some(BiLstm::new(&mut store, &mut rng, "lr.bilstm", self.embed_dim, self.hidden));
-        self.attn = Some(Linear::new(&mut store, &mut rng, "lr.attn", 2 * self.hidden, 1));
-        self.head = Some(Linear::new(&mut store, &mut rng, "lr.head", 2 * self.hidden, 1));
+        self.bilstm = Some(BiLstm::new(
+            &mut store,
+            &mut rng,
+            "lr.bilstm",
+            self.embed_dim,
+            self.hidden,
+        ));
+        self.attn = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "lr.attn",
+            2 * self.hidden,
+            1,
+        ));
+        self.head = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "lr.head",
+            2 * self.hidden,
+            1,
+        ));
 
         let train = ctx.target_train();
         if train.is_empty() {
             self.store = store;
             return;
         }
-        let labels: Vec<f32> = train.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
-        let xrows = rows(&train, &ctx.target.event_embeddings, self.max_len, self.embed_dim);
+        let labels: Vec<f32> = train
+            .iter()
+            .map(|s| if s.label { 1.0 } else { 0.0 })
+            .collect();
+        let xrows = rows(
+            &train,
+            &ctx.target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let this = &*self;
-        adamw_epochs(&mut store, train.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
-            let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
-            let targets: Vec<f32> = idx.iter().map(|&i| labels[i]).collect();
-            let logits = this.logits(g, st, x);
-            loss::bce_with_logits(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            train.len(),
+            this.epochs,
+            64,
+            1e-2,
+            ctx.seed,
+            |g, st, idx, _| {
+                let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
+                let targets: Vec<f32> = idx.iter().map(|&i| labels[i]).collect();
+                let logits = this.logits(g, st, x);
+                loss::bce_with_logits(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -95,14 +132,24 @@ impl Method for LogRobust {
         if self.bilstm.is_none() {
             return vec![0.0; samples.len()];
         }
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
         for chunk in idx.chunks(256) {
             let g = Graph::inference();
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let logits = self.logits(&g, &self.store, x);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -124,7 +171,10 @@ mod tests {
                 if anom {
                     ev[i % 6] = 1;
                 }
-                SeqSample { events: ev, label: anom }
+                SeqSample {
+                    events: ev,
+                    label: anom,
+                }
             })
             .collect();
         let prep = PreparedSystem {
@@ -147,8 +197,14 @@ mod tests {
             seed: 6,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![0, 0, 1, 0, 0, 0], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![0, 0, 1, 0, 0, 0],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &prep);
         assert!(s[1] > 0.5 && s[0] < 0.5, "{s:?}");
     }

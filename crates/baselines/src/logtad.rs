@@ -92,8 +92,20 @@ impl Method for LogTAD {
         self.max_len = ctx.max_len;
         let mut rng = StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        self.lstm = Some(Lstm::new(&mut store, &mut rng, "tad.lstm", self.embed_dim, self.hidden));
-        self.proj = Some(Linear::new(&mut store, &mut rng, "tad.proj", self.hidden, self.z_dim));
+        self.lstm = Some(Lstm::new(
+            &mut store,
+            &mut rng,
+            "tad.lstm",
+            self.embed_dim,
+            self.hidden,
+        ));
+        self.proj = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "tad.proj",
+            self.hidden,
+            self.z_dim,
+        ));
         self.domain = Some(Linear::new(&mut store, &mut rng, "tad.dom", self.z_dim, 1));
 
         // Normal data from all systems (unsupervised cross-system).
@@ -107,17 +119,20 @@ impl Method for LogTAD {
                 self.max_len,
                 self.embed_dim,
             ));
-            dom.extend(std::iter::repeat(0.0).take(normal.len()));
+            dom.extend(std::iter::repeat_n(0.0, normal.len()));
         }
-        let tgt_normal: Vec<SeqSample> =
-            ctx.target_train().into_iter().filter(|s| !s.label).collect();
+        let tgt_normal: Vec<SeqSample> = ctx
+            .target_train()
+            .into_iter()
+            .filter(|s| !s.label)
+            .collect();
         xrows.extend(rows(
             &tgt_normal,
             &ctx.target.event_embeddings,
             self.max_len,
             self.embed_dim,
         ));
-        dom.extend(std::iter::repeat(1.0).take(tgt_normal.len()));
+        dom.extend(std::iter::repeat_n(1.0, tgt_normal.len()));
         if xrows.is_empty() {
             self.store = store;
             return;
@@ -211,8 +226,12 @@ mod tests {
     #[test]
     fn distance_from_center_flags_unseen_patterns() {
         let emb = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
-        let normal: Vec<SeqSample> =
-            (0..80).map(|_| SeqSample { events: vec![0; 6], label: false }).collect();
+        let normal: Vec<SeqSample> = (0..80)
+            .map(|_| SeqSample {
+                events: vec![0; 6],
+                label: false,
+            })
+            .collect();
         let prep = PreparedSystem {
             system: logsynergy_loggen::SystemId::SystemB,
             sequences: normal.clone(),
@@ -241,10 +260,19 @@ mod tests {
             seed: 8,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &prep);
-        assert!(s[1] > s[0], "unseen pattern should sit farther from center: {s:?}");
+        assert!(
+            s[1] > s[0],
+            "unseen pattern should sit farther from center: {s:?}"
+        );
         assert!(s[0] < 0.6);
     }
 }

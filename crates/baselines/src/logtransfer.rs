@@ -60,7 +60,13 @@ impl Method for LogTransfer {
         self.max_len = ctx.max_len;
         let mut rng = StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        let lstm = Lstm::new(&mut store, &mut rng, "lt.shared", self.embed_dim, self.hidden);
+        let lstm = Lstm::new(
+            &mut store,
+            &mut rng,
+            "lt.shared",
+            self.embed_dim,
+            self.hidden,
+        );
         let src_head = Linear::new(&mut store, &mut rng, "lt.src_head", self.hidden, 1);
         let tgt_head = Linear::new(&mut store, &mut rng, "lt.tgt_head", self.hidden, 1);
 
@@ -77,12 +83,12 @@ impl Method for LogTransfer {
             ));
         }
         let run_stage = |xr: &[Vec<f32>],
-                             lb: &[f32],
-                             epochs: usize,
-                             freeze_shared: bool,
-                             use_tgt_head: bool,
-                             store: &mut ParamStore,
-                             rng: &mut StdRng| {
+                         lb: &[f32],
+                         epochs: usize,
+                         freeze_shared: bool,
+                         use_tgt_head: bool,
+                         store: &mut ParamStore,
+                         rng: &mut StdRng| {
             if xr.is_empty() {
                 return;
             }
@@ -118,7 +124,15 @@ impl Method for LogTransfer {
                 }
             }
         };
-        run_stage(&xrows, &labels, self.src_epochs, false, false, &mut store, &mut rng);
+        run_stage(
+            &xrows,
+            &labels,
+            self.src_epochs,
+            false,
+            false,
+            &mut store,
+            &mut rng,
+        );
 
         // Transfer: the target head starts from the source-trained head's
         // weights (this is the knowledge LogTransfer carries over), then
@@ -140,9 +154,25 @@ impl Method for LogTransfer {
 
         // Stage 2: freeze the shared LSTM; fine-tune the target head only.
         let train = ctx.target_train();
-        let tgt_labels: Vec<f32> = train.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
-        let tgt_rows = rows(&train, &ctx.target.event_embeddings, self.max_len, self.embed_dim);
-        run_stage(&tgt_rows, &tgt_labels, self.tgt_epochs, true, true, &mut store, &mut rng);
+        let tgt_labels: Vec<f32> = train
+            .iter()
+            .map(|s| if s.label { 1.0 } else { 0.0 })
+            .collect();
+        let tgt_rows = rows(
+            &train,
+            &ctx.target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
+        run_stage(
+            &tgt_rows,
+            &tgt_labels,
+            self.tgt_epochs,
+            true,
+            true,
+            &mut store,
+            &mut rng,
+        );
 
         self.lstm = Some(lstm);
         self.src_head = Some(src_head);
@@ -154,7 +184,12 @@ impl Method for LogTransfer {
         let (Some(lstm), Some(head)) = (self.lstm.as_ref(), self.tgt_head.as_ref()) else {
             return vec![0.0; samples.len()];
         };
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
         for chunk in idx.chunks(256) {
@@ -162,7 +197,12 @@ impl Method for LogTransfer {
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let (_, h) = lstm.forward(&g, &self.store, x);
             let logits = head.forward(&g, &self.store, h);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -177,7 +217,10 @@ mod tests {
         let sequences: Vec<SeqSample> = (0..n)
             .map(|i| {
                 let anom = rate > 0 && i % rate == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 6],
+                    label: anom,
+                }
             })
             .collect();
         PreparedSystem {
@@ -209,8 +252,14 @@ mod tests {
             seed: 9,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &tgt);
         assert!(s[1] > 0.5 && s[0] < 0.5, "{s:?}");
     }

@@ -120,7 +120,13 @@ impl Method for MetaLog {
         self.max_len = ctx.max_len;
         let mut rng = StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        self.gru = Some(Gru::new(&mut store, &mut rng, "ml.gru", self.embed_dim, self.hidden));
+        self.gru = Some(Gru::new(
+            &mut store,
+            &mut rng,
+            "ml.gru",
+            self.embed_dim,
+            self.hidden,
+        ));
         self.head = Some(Linear::new(&mut store, &mut rng, "ml.head", self.hidden, 1));
 
         // Per-task (per-source) training data.
@@ -128,7 +134,10 @@ impl Method for MetaLog {
             .source_train()
             .into_iter()
             .map(|(k, samples)| {
-                let labels = samples.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
+                let labels = samples
+                    .iter()
+                    .map(|s| if s.label { 1.0 } else { 0.0 })
+                    .collect();
                 let xr = rows(
                     &samples,
                     &ctx.sources[k].event_embeddings,
@@ -155,8 +164,16 @@ impl Method for MetaLog {
 
         // Final adaptation on the target's labeled slice.
         let train = ctx.target_train();
-        let labels: Vec<f32> = train.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
-        let xr = rows(&train, &ctx.target.event_embeddings, self.max_len, self.embed_dim);
+        let labels: Vec<f32> = train
+            .iter()
+            .map(|s| if s.label { 1.0 } else { 0.0 })
+            .collect();
+        let xr = rows(
+            &train,
+            &ctx.target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         for _ in 0..self.adapt_epochs {
             self.inner_adapt(&mut store, &xr, &labels, 2, &mut rng);
         }
@@ -167,14 +184,24 @@ impl Method for MetaLog {
         if self.gru.is_none() {
             return vec![0.0; samples.len()];
         }
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
         for chunk in idx.chunks(256) {
             let g = Graph::inference();
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let logits = self.logits(&g, &self.store, x);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -189,7 +216,10 @@ mod tests {
         let sequences: Vec<SeqSample> = (0..n)
             .map(|i| {
                 let anom = rate > 0 && i % rate == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 6],
+                    label: anom,
+                }
             })
             .collect();
         PreparedSystem {
@@ -220,8 +250,14 @@ mod tests {
             seed: 10,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &tgt);
         assert!(s[1] > s[0], "{s:?}");
     }

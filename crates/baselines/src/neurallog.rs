@@ -50,10 +50,19 @@ impl NeuralLog {
 
     /// The "direct application" ablation: trained purely on source data.
     pub fn direct_source_only() -> Self {
-        NeuralLog { source_only: true, ..Self::new() }
+        NeuralLog {
+            source_only: true,
+            ..Self::new()
+        }
     }
 
-    fn logits(&self, g: &Graph, store: &ParamStore, x: logsynergy_nn::Var, rng: &mut StdRng) -> logsynergy_nn::Var {
+    fn logits(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: logsynergy_nn::Var,
+        rng: &mut StdRng,
+    ) -> logsynergy_nn::Var {
         let (enc, head) = (self.encoder.as_ref().unwrap(), self.head.as_ref().unwrap());
         let pooled = enc.encode_pooled(g, store, x, rng);
         let l = head.forward(g, store, pooled);
@@ -78,10 +87,23 @@ impl Method for NeuralLog {
         let mut store = ParamStore::new();
         // Paper NeuralLog: 1 encoder layer; scaled dims here.
         self.encoder = Some(TransformerEncoder::new(
-            &mut store, &mut rng, "nl.enc", self.embed_dim, 4, 2 * self.embed_dim, 1,
-            self.max_len, 0.1,
+            &mut store,
+            &mut rng,
+            "nl.enc",
+            self.embed_dim,
+            4,
+            2 * self.embed_dim,
+            1,
+            self.max_len,
+            0.1,
         ));
-        self.head = Some(Linear::new(&mut store, &mut rng, "nl.head", self.embed_dim, 1));
+        self.head = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "nl.head",
+            self.embed_dim,
+            1,
+        ));
 
         let (xrows, labels): (Vec<Vec<f32>>, Vec<f32>) = if self.source_only {
             let mut xr = Vec::new();
@@ -100,20 +122,39 @@ impl Method for NeuralLog {
             (xr, lb)
         } else {
             let train = ctx.target_train();
-            let labels = train.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
-            (rows(&train, &ctx.target.event_embeddings, self.max_len, self.embed_dim), labels)
+            let labels = train
+                .iter()
+                .map(|s| if s.label { 1.0 } else { 0.0 })
+                .collect();
+            (
+                rows(
+                    &train,
+                    &ctx.target.event_embeddings,
+                    self.max_len,
+                    self.embed_dim,
+                ),
+                labels,
+            )
         };
         if xrows.is_empty() {
             self.store = store;
             return;
         }
         let this = &*self;
-        adamw_epochs(&mut store, xrows.len(), this.epochs, 64, 5e-3, ctx.seed, |g, st, idx, r| {
-            let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
-            let targets: Vec<f32> = idx.iter().map(|&i| labels[i]).collect();
-            let logits = this.logits(g, st, x, r);
-            loss::bce_with_logits(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            xrows.len(),
+            this.epochs,
+            64,
+            5e-3,
+            ctx.seed,
+            |g, st, idx, r| {
+                let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
+                let targets: Vec<f32> = idx.iter().map(|&i| labels[i]).collect();
+                let logits = this.logits(g, st, x, r);
+                loss::bce_with_logits(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -121,7 +162,12 @@ impl Method for NeuralLog {
         if self.encoder.is_none() {
             return vec![0.0; samples.len()];
         }
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(samples.len());
@@ -129,7 +175,12 @@ impl Method for NeuralLog {
             let g = Graph::inference();
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let logits = self.logits(&g, &self.store, x, &mut rng);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -148,7 +199,10 @@ mod tests {
         let sequences: Vec<SeqSample> = (0..n)
             .map(|i| {
                 let anom = i % 5 == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 6],
+                    label: anom,
+                }
             })
             .collect();
         PreparedSystem {
@@ -176,8 +230,14 @@ mod tests {
             seed: 5,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &prep);
         assert!(s[1] > 0.5 && s[0] < 0.5, "{s:?}");
     }

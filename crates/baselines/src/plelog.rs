@@ -52,12 +52,7 @@ impl PLELog {
         }
     }
 
-    fn logits(
-        &self,
-        g: &Graph,
-        store: &ParamStore,
-        x: logsynergy_nn::Var,
-    ) -> logsynergy_nn::Var {
+    fn logits(&self, g: &Graph, store: &ParamStore, x: logsynergy_nn::Var) -> logsynergy_nn::Var {
         let (gru, head) = (self.gru.as_ref().unwrap(), self.head.as_ref().unwrap());
         let (_, h) = gru.forward(g, store, x);
         let l = head.forward(g, store, h);
@@ -79,8 +74,12 @@ impl Method for PLELog {
 
         // Label knowledge: 50% of the normal samples are known-normal,
         // everything else is unlabeled (paper §IV-A2).
-        let normal_idx: Vec<usize> =
-            train.iter().enumerate().filter(|(_, s)| !s.label).map(|(i, _)| i).collect();
+        let normal_idx: Vec<usize> = train
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.label)
+            .map(|(i, _)| i)
+            .collect();
         let labeled: Vec<usize> = normal_idx.iter().step_by(2).copied().collect();
         if labeled.is_empty() {
             return;
@@ -88,8 +87,10 @@ impl Method for PLELog {
 
         // Probabilistic label estimation: distance to the known-normal
         // centroid, calibrated against the labeled-normal distance spread.
-        let means: Vec<Vec<f32>> =
-            train.iter().map(|s| mean_embedding(s, emb, self.embed_dim)).collect();
+        let means: Vec<Vec<f32>> = train
+            .iter()
+            .map(|s| mean_embedding(s, emb, self.embed_dim))
+            .collect();
         let mut centroid = vec![0.0f32; self.embed_dim];
         for &i in &labeled {
             for (c, v) in centroid.iter_mut().zip(&means[i]) {
@@ -97,7 +98,10 @@ impl Method for PLELog {
             }
         }
         centroid.iter_mut().for_each(|c| *c /= labeled.len() as f32);
-        let mut ref_d: Vec<f32> = labeled.iter().map(|&i| dist(&means[i], &centroid)).collect();
+        let mut ref_d: Vec<f32> = labeled
+            .iter()
+            .map(|&i| dist(&means[i], &centroid))
+            .collect();
         ref_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q80 = ref_d[((ref_d.len() as f32 * 0.80) as usize).min(ref_d.len() - 1)].max(1e-6);
 
@@ -121,20 +125,40 @@ impl Method for PLELog {
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        self.gru = Some(Gru::new(&mut store, &mut rng, "ple.gru", self.embed_dim, self.hidden));
-        self.head = Some(Linear::new(&mut store, &mut rng, "ple.head", self.hidden, 1));
+        self.gru = Some(Gru::new(
+            &mut store,
+            &mut rng,
+            "ple.gru",
+            self.embed_dim,
+            self.hidden,
+        ));
+        self.head = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "ple.head",
+            self.hidden,
+            1,
+        ));
 
         self.centroid = centroid;
         self.dist_scale = q80;
 
         let xrows = rows(&train, emb, self.max_len, self.embed_dim);
         let this = &*self;
-        adamw_epochs(&mut store, train.len(), this.epochs, 64, 1e-2, ctx.seed, |g, st, idx, _| {
-            let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
-            let targets: Vec<f32> = idx.iter().map(|&i| pseudo[i]).collect();
-            let logits = this.logits(g, st, x);
-            loss::bce_with_logits(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            train.len(),
+            this.epochs,
+            64,
+            1e-2,
+            ctx.seed,
+            |g, st, idx, _| {
+                let x = g.input(batch_tensor(&xrows, idx, this.max_len, this.embed_dim));
+                let targets: Vec<f32> = idx.iter().map(|&i| pseudo[i]).collect();
+                let logits = this.logits(g, st, x);
+                loss::bce_with_logits(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -142,14 +166,24 @@ impl Method for PLELog {
         if self.gru.is_none() {
             return vec![0.0; samples.len()];
         }
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
         for chunk in idx.chunks(256) {
             let g = Graph::inference();
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let logits = self.logits(&g, &self.store, x);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         // Probabilistic label estimation applied online as well: a sequence
         // far from the known-normal cluster scores high even if the
@@ -180,10 +214,16 @@ mod tests {
         // orthogonal embedding.
         let emb = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
         let mut sequences: Vec<SeqSample> = (0..60)
-            .map(|_| SeqSample { events: vec![0; 6], label: false })
+            .map(|_| SeqSample {
+                events: vec![0; 6],
+                label: false,
+            })
             .collect();
         for i in [10usize, 30, 50] {
-            sequences[i] = SeqSample { events: vec![1; 6], label: true };
+            sequences[i] = SeqSample {
+                events: vec![1; 6],
+                label: true,
+            };
         }
         let prep = PreparedSystem {
             system: logsynergy_loggen::SystemId::SystemB,
@@ -205,8 +245,14 @@ mod tests {
             seed: 3,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &prep);
         assert!(s[1] > s[0], "anomalous farther from cluster: {s:?}");
         assert!(s[1] > 0.5, "{s:?}");

@@ -59,10 +59,23 @@ impl Method for PreLog {
         let mut rng = StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
         let encoder = TransformerEncoder::new(
-            &mut store, &mut rng, "pre.enc", self.embed_dim, 4, 2 * self.embed_dim, 1,
-            self.max_len, 0.1,
+            &mut store,
+            &mut rng,
+            "pre.enc",
+            self.embed_dim,
+            4,
+            2 * self.embed_dim,
+            1,
+            self.max_len,
+            0.1,
         );
-        let recon = Linear::new(&mut store, &mut rng, "pre.recon", self.embed_dim, self.embed_dim);
+        let recon = Linear::new(
+            &mut store,
+            &mut rng,
+            "pre.recon",
+            self.embed_dim,
+            self.embed_dim,
+        );
         let head = Linear::new(&mut store, &mut rng, "pre.head", self.embed_dim, 1);
 
         // ------------ pre-training on source systems (self-supervised) ----
@@ -115,8 +128,16 @@ impl Method for PreLog {
         // ------------- prompt tuning on the target (encoder frozen) -------
         let train = ctx.target_train();
         if !train.is_empty() {
-            let labels: Vec<f32> = train.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
-            let xrows = rows(&train, &ctx.target.event_embeddings, self.max_len, self.embed_dim);
+            let labels: Vec<f32> = train
+                .iter()
+                .map(|s| if s.label { 1.0 } else { 0.0 })
+                .collect();
+            let xrows = rows(
+                &train,
+                &ctx.target.event_embeddings,
+                self.max_len,
+                self.embed_dim,
+            );
             let mut opt = AdamW::new(&store, 2e-2);
             let mut order: Vec<usize> = (0..train.len()).collect();
             for _ in 0..self.tune_epochs {
@@ -158,7 +179,12 @@ impl Method for PreLog {
         let (Some(encoder), Some(head)) = (self.encoder.as_ref(), self.head.as_ref()) else {
             return vec![0.0; samples.len()];
         };
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(samples.len());
@@ -167,7 +193,12 @@ impl Method for PreLog {
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let pooled = encoder.encode_pooled(&g, &self.store, x, &mut rng);
             let logits = head.forward(&g, &self.store, pooled);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -182,7 +213,10 @@ mod tests {
         let sequences: Vec<SeqSample> = (0..n)
             .map(|i| {
                 let anom = rate > 0 && i % rate == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 6],
+                    label: anom,
+                }
             })
             .collect();
         PreparedSystem {
@@ -212,8 +246,14 @@ mod tests {
             seed: 7,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &tgt);
         assert!(s[1] > s[0], "{s:?}");
     }

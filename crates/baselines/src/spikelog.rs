@@ -79,8 +79,20 @@ impl Method for SpikeLog {
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
         let mut store = ParamStore::new();
-        self.lif = Some(LifLayer::new(&mut store, &mut rng, "spike.lif", self.embed_dim, self.hidden));
-        self.head = Some(Linear::new(&mut store, &mut rng, "spike.head", self.hidden, 1));
+        self.lif = Some(LifLayer::new(
+            &mut store,
+            &mut rng,
+            "spike.lif",
+            self.embed_dim,
+            self.hidden,
+        ));
+        self.head = Some(Linear::new(
+            &mut store,
+            &mut rng,
+            "spike.head",
+            self.hidden,
+            1,
+        ));
 
         if train.is_empty() {
             self.store = store;
@@ -104,13 +116,21 @@ impl Method for SpikeLog {
             }
         }
         let this = &*self;
-        adamw_epochs(&mut store, sample_idx.len(), this.epochs, 64, 5e-3, ctx.seed, |g, st, idx, _| {
-            let real: Vec<usize> = idx.iter().map(|&i| sample_idx[i]).collect();
-            let x = g.input(batch_tensor(&xrows, &real, this.max_len, this.embed_dim));
-            let targets: Vec<f32> = real.iter().map(|&i| labels[i]).collect();
-            let logits = this.logits(g, st, x);
-            loss::bce_with_logits(g, logits, &targets)
-        });
+        adamw_epochs(
+            &mut store,
+            sample_idx.len(),
+            this.epochs,
+            64,
+            5e-3,
+            ctx.seed,
+            |g, st, idx, _| {
+                let real: Vec<usize> = idx.iter().map(|&i| sample_idx[i]).collect();
+                let x = g.input(batch_tensor(&xrows, &real, this.max_len, this.embed_dim));
+                let targets: Vec<f32> = real.iter().map(|&i| labels[i]).collect();
+                let logits = this.logits(g, st, x);
+                loss::bce_with_logits(g, logits, &targets)
+            },
+        );
         self.store = store;
     }
 
@@ -118,14 +138,24 @@ impl Method for SpikeLog {
         if self.lif.is_none() {
             return vec![0.0; samples.len()];
         }
-        let xrows = rows(samples, &target.event_embeddings, self.max_len, self.embed_dim);
+        let xrows = rows(
+            samples,
+            &target.event_embeddings,
+            self.max_len,
+            self.embed_dim,
+        );
         let idx: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
         for chunk in idx.chunks(256) {
             let g = Graph::inference();
             let x = g.input(batch_tensor(&xrows, chunk, self.max_len, self.embed_dim));
             let logits = self.logits(&g, &self.store, x);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
@@ -141,7 +171,10 @@ mod tests {
         let sequences: Vec<SeqSample> = (0..80)
             .map(|i| {
                 let anom = i % 4 == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 6], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 6],
+                    label: anom,
+                }
             })
             .collect();
         let prep = PreparedSystem {
@@ -164,8 +197,14 @@ mod tests {
             seed: 4,
         };
         m.fit(&ctx);
-        let ok = SeqSample { events: vec![0; 6], label: false };
-        let bad = SeqSample { events: vec![1; 6], label: true };
+        let ok = SeqSample {
+            events: vec![0; 6],
+            label: false,
+        };
+        let bad = SeqSample {
+            events: vec![1; 6],
+            label: true,
+        };
         let s = m.score(&[ok, bad], &prep);
         assert!(s[1] > s[0], "{s:?}");
     }

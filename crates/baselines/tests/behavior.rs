@@ -14,12 +14,20 @@ const N_TARGET: usize = 200;
 fn prepare(spec: logsynergy_loggen::DatasetSpec, scale: f64) -> PreparedSystem {
     let ds = spec.generate_with(scale, 4.0);
     let embedder = HashedEmbedder::new(DIM, 0xE1B);
-    prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default())
+    prepare_system(
+        &ds,
+        &EventTextMode::RawTemplate,
+        &embedder,
+        WindowConfig::default(),
+    )
 }
 
 fn target_and_sources() -> (PreparedSystem, Vec<PreparedSystem>) {
     let target = prepare(datasets::thunderbird(), 0.012);
-    let sources = vec![prepare(datasets::bgl(), 0.006), prepare(datasets::spirit(), 0.002)];
+    let sources = vec![
+        prepare(datasets::bgl(), 0.006),
+        prepare(datasets::spirit(), 0.002),
+    ];
     (target, sources)
 }
 
@@ -40,10 +48,7 @@ fn prf(method: &dyn Method, target: &PreparedSystem) -> (f64, f64) {
     (precision, recall)
 }
 
-fn ctx<'a>(
-    sources: &'a [&'a PreparedSystem],
-    target: &'a PreparedSystem,
-) -> FitContext<'a> {
+fn ctx<'a>(sources: &'a [&'a PreparedSystem], target: &'a PreparedSystem) -> FitContext<'a> {
     FitContext {
         sources,
         target,
@@ -63,7 +68,10 @@ fn deeplog_floods_with_false_positives_on_a_new_system() {
     m.fit(&ctx(&binding, &target));
     let (precision, recall) = prf(&m, &target);
     assert!(recall > 0.8, "DeepLog recall should be high: {recall}");
-    assert!(precision < 0.5, "DeepLog precision should collapse: {precision}");
+    assert!(
+        precision < 0.5,
+        "DeepLog precision should collapse: {precision}"
+    );
 }
 
 #[test]
@@ -74,7 +82,10 @@ fn plelog_flags_unfamiliar_patterns() {
     m.fit(&ctx(&binding, &target));
     let (precision, recall) = prf(&m, &target);
     assert!(recall > 0.4, "PLELog recall: {recall}");
-    assert!(precision < 0.9, "PLELog precision should suffer on new systems: {precision}");
+    assert!(
+        precision < 0.9,
+        "PLELog precision should suffer on new systems: {precision}"
+    );
 }
 
 #[test]
@@ -86,7 +97,10 @@ fn logrobust_is_limited_by_the_target_slice() {
     let (_, recall) = prf(&m, &target);
     // Most anomaly kinds never appear in the target's training slice, so a
     // supervised single-system method cannot reach full recall.
-    assert!(recall < 0.95, "LogRobust should miss unseen anomaly kinds: {recall}");
+    assert!(
+        recall < 0.95,
+        "LogRobust should miss unseen anomaly kinds: {recall}"
+    );
 }
 
 #[test]

@@ -47,10 +47,17 @@ fn main() {
         };
         println!(
             "{:<12} {:>4} templates  prep {:>5.1}s  format-regens {}  repairs {}  consistency {}",
-            c.dataset, c.templates, c.interpret_secs, c.review_regenerated, c.review_repaired,
+            c.dataset,
+            c.templates,
+            c.interpret_secs,
+            c.review_regenerated,
+            c.review_repaired,
             c.consistency_regens
         );
-        assert!(c.templates < 500, "a few hundred templates at most (paper §VI-B2)");
+        assert!(
+            c.templates < 500,
+            "a few hundred templates at most (paper §VI-B2)"
+        );
         lei_costs.push(c);
     }
 
@@ -59,8 +66,10 @@ fn main() {
     p.train_config.epochs = cfg.epochs;
     p.train_config.n_source = cfg.n_source;
     p.train_config.n_target = cfg.n_target;
-    let src1 = p.prepare(&datasets::system_a().generate_with(cfg.scale_for(SystemId::SystemA), 4.0));
-    let src2 = p.prepare(&datasets::system_c().generate_with(cfg.scale_for(SystemId::SystemC), 4.0));
+    let src1 =
+        p.prepare(&datasets::system_a().generate_with(cfg.scale_for(SystemId::SystemA), 4.0));
+    let src2 =
+        p.prepare(&datasets::system_c().generate_with(cfg.scale_for(SystemId::SystemC), 4.0));
     let tgt = p.prepare(&datasets::system_b().generate_with(cfg.scale_for(SystemId::SystemB), 4.0));
     let t0 = Instant::now();
     let (model, _) = p.fit(&[&src1, &src2], &tgt);

@@ -26,7 +26,9 @@ fn f1_for(cfg: &ExperimentConfig, target: SystemId) -> f64 {
     let data = prepare_group(&systems, cfg);
     let n = data.len();
     let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
-    run_method(MethodKind::LogSynergy, &sources, &data[n - 1], cfg).prf.f1
+    run_method(MethodKind::LogSynergy, &sources, &data[n - 1], cfg)
+        .prf
+        .f1
 }
 
 fn main() {
@@ -43,32 +45,64 @@ fn main() {
         let data = prepare_group(&systems, &base);
         let n = data.len();
         let sources: Vec<&SystemData> = data[..n - 1].iter().collect();
-        let modes: &[DaMode] =
-            if quick_mode() { &[DaMode::Daan] } else { &[DaMode::Daan, DaMode::Mmd, DaMode::Off] };
+        let modes: &[DaMode] = if quick_mode() {
+            &[DaMode::Daan]
+        } else {
+            &[DaMode::Daan, DaMode::Mmd, DaMode::Off]
+        };
         for &mode in modes {
-            let opts = TrainOptions { use_sufe: true, da: mode };
+            let opts = TrainOptions {
+                use_sufe: true,
+                da: mode,
+            };
             let r = run_logsynergy_custom(&sources, &data[n - 1], &base, opts, true);
             println!("da_mode {mode:?} -> F1 {:.2}", r.prf.f1);
-            points.push(Point { knob: "da_mode".into(), value: format!("{mode:?}"), f1: r.prf.f1 });
+            points.push(Point {
+                knob: "da_mode".into(),
+                value: format!("{mode:?}"),
+                f1: r.prf.f1,
+            });
         }
     }
 
     // λ_DA sweep (the DA analogue of Fig. 4a).
-    let da_grid: &[f32] = if quick_mode() { &[0.01, 0.5] } else { &[0.0, 0.01, 0.1, 0.5] };
+    let da_grid: &[f32] = if quick_mode() {
+        &[0.01, 0.5]
+    } else {
+        &[0.0, 0.01, 0.1, 0.5]
+    };
     for &lda in da_grid {
-        let cfg = ExperimentConfig { lambda_da: lda, ..base.clone() };
+        let cfg = ExperimentConfig {
+            lambda_da: lda,
+            ..base.clone()
+        };
         let f1 = f1_for(&cfg, target);
         println!("lambda_DA {lda:<5} -> F1 {f1:.2}");
-        points.push(Point { knob: "lambda_da".into(), value: lda.to_string(), f1 });
+        points.push(Point {
+            knob: "lambda_da".into(),
+            value: lda.to_string(),
+            f1,
+        });
     }
 
     // Embedding dimensionality.
-    let dims: &[usize] = if quick_mode() { &[32, 64] } else { &[16, 32, 64, 128] };
+    let dims: &[usize] = if quick_mode() {
+        &[32, 64]
+    } else {
+        &[16, 32, 64, 128]
+    };
     for &d in dims {
-        let cfg = ExperimentConfig { embed_dim: d, ..base.clone() };
+        let cfg = ExperimentConfig {
+            embed_dim: d,
+            ..base.clone()
+        };
         let f1 = f1_for(&cfg, target);
         println!("embed_dim {d:<4} -> F1 {f1:.2}");
-        points.push(Point { knob: "embed_dim".into(), value: d.to_string(), f1 });
+        points.push(Point {
+            knob: "embed_dim".into(),
+            value: d.to_string(),
+            f1,
+        });
     }
 
     // Window geometry effect on sequence construction (via Drain windows).
@@ -97,7 +131,11 @@ fn main() {
     // LEI failure sensitivity: hallucination rate × self-consistency review.
     // (The §IV-E2 internal threat: unreviewed hallucinations poison
     // training; the review workflow mitigates.)
-    let hall_grid: &[f64] = if quick_mode() { &[0.05] } else { &[0.02, 0.05, 0.1] };
+    let hall_grid: &[f64] = if quick_mode() {
+        &[0.05]
+    } else {
+        &[0.02, 0.05, 0.1]
+    };
     for &h in hall_grid {
         // The ExperimentConfig pipeline always reviews; quantify the raw
         // interpretation error rate at this hallucination level instead.
@@ -107,14 +145,14 @@ fn main() {
         });
         let concepts = logsynergy_loggen::ontology();
         let profile = logsynergy_loggen::SyntaxProfile::new(target, &concepts);
-        let templates: Vec<String> =
-            concepts.iter().map(|c| profile.template_text(c)).collect();
+        let templates: Vec<String> = concepts.iter().map(|c| profile.template_text(c)).collect();
         let policy_reviewed = logsynergy_lei::ReviewPolicy::default();
-        let policy_raw =
-            logsynergy_lei::ReviewPolicy { consistency_samples: 1, ..Default::default() };
+        let policy_raw = logsynergy_lei::ReviewPolicy {
+            consistency_samples: 1,
+            ..Default::default()
+        };
         let wrong = |policy: &logsynergy_lei::ReviewPolicy| {
-            let (outs, _) =
-                logsynergy_lei::interpret_with_review(&lei, target, &templates, policy);
+            let (outs, _) = logsynergy_lei::interpret_with_review(&lei, target, &templates, policy);
             outs.iter()
                 .zip(&concepts)
                 .filter(|(o, c)| o.matched_concept != Some(c.name))

@@ -20,7 +20,10 @@ fn main() {
     let (targets_a, targets_bc) = if quick_mode() {
         (trimmed.clone(), trimmed)
     } else {
-        (all.clone(), vec![SystemId::Bgl, SystemId::Thunderbird, SystemId::SystemB])
+        (
+            all.clone(),
+            vec![SystemId::Bgl, SystemId::Thunderbird, SystemId::SystemB],
+        )
     };
 
     let t0 = Instant::now();

@@ -35,12 +35,19 @@ fn main() {
 
     let split_at = p.train_config.n_target * 5 + 10;
     let (warm, live) = history.records.split_at(split_at);
-    let mut vectorizer =
-        EventVectorizer::new(SystemId::SystemB, p.model_config.embed_dim, LeiConfig::default());
+    let mut vectorizer = EventVectorizer::new(
+        SystemId::SystemB,
+        p.model_config.embed_dim,
+        LeiConfig::default(),
+    );
     vectorizer.warm_start(warm.iter().map(|r| r.message.as_str()));
     let source: Vec<RawLog> = live
         .iter()
-        .map(|r| RawLog { system: "b".into(), timestamp: r.timestamp, message: r.message.clone() })
+        .map(|r| RawLog {
+            system: "b".into(),
+            timestamp: r.timestamp,
+            message: r.message.clone(),
+        })
         .collect();
 
     let sink = MemorySink::new();

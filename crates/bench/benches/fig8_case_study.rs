@@ -7,7 +7,10 @@ use logsynergy_eval::ExperimentConfig;
 use std::time::Instant;
 
 fn main() {
-    let cfg = ExperimentConfig { logs_per_dataset: 8_000, ..ExperimentConfig::quick() };
+    let cfg = ExperimentConfig {
+        logs_per_dataset: 8_000,
+        ..ExperimentConfig::quick()
+    };
     let t0 = Instant::now();
     let cs = fig8_case_study(&cfg);
     println!("{}", render_case_study(&cs));

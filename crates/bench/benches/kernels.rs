@@ -1,0 +1,141 @@
+//! Matmul kernel micro-benchmark: seed kernel vs. blocked kernels across
+//! thread counts. Emits `results/kernels.json`.
+//!
+//! Run with `cargo bench -p logsynergy-bench --bench kernels`. Honors
+//! `LOGSYNERGY_BENCH_QUICK=1` (fewer reps).
+
+use std::time::Instant;
+
+use logsynergy_nn::kernels::{self, with_threads};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ShapeResult {
+    shape: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    gflops_seed_skip_zero: f64,
+    gflops_naive_ikj: f64,
+    gflops_blocked_1t: f64,
+    gflops_blocked_2t: f64,
+    gflops_blocked_4t: f64,
+    /// `A·Bᵀ` kernel (backward dA / attention scores), single thread.
+    gflops_nt_1t: f64,
+    /// `Aᵀ·B` kernel (weight gradients), single thread.
+    gflops_tn_1t: f64,
+    /// Single-thread blocked kernel vs. the seed `ikj` + skip-zero kernel.
+    speedup_blocked_1t_vs_seed: f64,
+    /// 4-thread blocked vs. 1-thread blocked.
+    scaling_4t_vs_1t: f64,
+}
+
+#[derive(Serialize)]
+struct KernelsReport {
+    reps: usize,
+    /// Active SIMD dispatch tier (see `kernels::simd_tier_name`).
+    simd_tier: String,
+    /// `std::thread::available_parallelism()` on the benchmarking machine.
+    /// Thread-scaling numbers are only meaningful when this exceeds the
+    /// thread count; on a single-core box the >1-thread columns measure
+    /// time-slicing overhead, not scaling.
+    available_parallelism: usize,
+    shapes: Vec<ShapeResult>,
+}
+
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32 ^ seed).wrapping_mul(2_654_435_761);
+            (h >> 8) as f32 / (1u32 << 24) as f32 * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_shape(label: &str, m: usize, k: usize, n: usize, reps: usize) -> ShapeResult {
+    let a = filled(m * k, 1);
+    let b = filled(k * n, 2);
+    let mut c = vec![0.0f32; m * n];
+    let flops = (2 * m * k * n) as f64;
+    let gflops = |secs: f64| flops / secs / 1e9;
+
+    let mut run = |f: &dyn Fn(&mut [f32])| {
+        let t = best_of(reps, || {
+            c.iter_mut().for_each(|x| *x = 0.0);
+            f(&mut c);
+        });
+        std::hint::black_box(&c);
+        gflops(t)
+    };
+
+    let seed = run(&|c| kernels::mm_ref_skip_zero(&a, &b, c, m, k, n));
+    let naive = run(&|c| kernels::mm_ref(&a, &b, c, m, k, n));
+    let b1 = run(&|c| with_threads(1, || kernels::mm(&a, &b, c, m, k, n)));
+    let b2 = run(&|c| with_threads(2, || kernels::mm(&a, &b, c, m, k, n)));
+    let b4 = run(&|c| with_threads(4, || kernels::mm(&a, &b, c, m, k, n)));
+    // Transposed-operand kernels on the same shape: bt is B stored [n,k]
+    // for A·Bᵀ, bm is a [m,n] right operand for Aᵀ·B.
+    let bt = filled(n * k, 3);
+    let nt1 = run(&|c| with_threads(1, || kernels::mm_nt(&a, &bt, c, m, k, n)));
+    let bm = filled(m * n, 4);
+    let mut ctn = vec![0.0f32; k * n];
+    let ttn = best_of(reps, || {
+        ctn.iter_mut().for_each(|x| *x = 0.0);
+        with_threads(1, || kernels::mm_tn(&a, &bm, &mut ctn, m, k, n));
+    });
+    std::hint::black_box(&ctn);
+    let tn1 = gflops(ttn);
+
+    let r = ShapeResult {
+        shape: label.to_string(),
+        m,
+        k,
+        n,
+        gflops_seed_skip_zero: seed,
+        gflops_naive_ikj: naive,
+        gflops_blocked_1t: b1,
+        gflops_blocked_2t: b2,
+        gflops_blocked_4t: b4,
+        gflops_nt_1t: nt1,
+        gflops_tn_1t: tn1,
+        speedup_blocked_1t_vs_seed: b1 / seed,
+        scaling_4t_vs_1t: b4 / b1,
+    };
+    println!(
+        "{label:>24}  seed {seed:6.2}  naive {naive:6.2}  blocked 1t {b1:6.2}  2t {b2:6.2}  4t {b4:6.2}  nt {nt1:6.2}  tn {tn1:6.2} GFLOP/s  ({:.2}x vs seed, {:.2}x @4t)",
+        r.speedup_blocked_1t_vs_seed, r.scaling_4t_vs_1t
+    );
+    r
+}
+
+fn main() {
+    let reps = if logsynergy_bench::quick_mode() { 3 } else { 7 };
+    let shapes = vec![
+        bench_shape("64x64x64", 64, 64, 64, reps * 4),
+        bench_shape("256x256x256", 256, 256, 256, reps),
+        // Batched attention/classifier shape: [32,10,768] @ [768,768],
+        // batch folded into rows.
+        bench_shape("(32x10)x768x768", 320, 768, 768, reps),
+    ];
+    let report = KernelsReport {
+        reps,
+        simd_tier: kernels::simd_tier_name().to_string(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        shapes,
+    };
+    logsynergy_bench::write_result("kernels", &report);
+    println!("wrote results/kernels.json");
+}

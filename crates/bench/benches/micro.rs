@@ -81,9 +81,7 @@ fn bench_detector(c: &mut Criterion) {
     g.throughput(Throughput::Elements(samples.len() as u64));
     g.bench_function("score_256_windows", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                Detector::new(&model).scores(&samples, &tgt.event_embeddings),
-            )
+            std::hint::black_box(Detector::new(&model).scores(&samples, &tgt.event_embeddings))
         })
     });
     g.finish();

@@ -25,7 +25,10 @@ struct GapStats {
 
 fn main() {
     let concepts = ontology();
-    let lei = LlmInterpreter::new(LeiConfig { hallucination_rate: 0.0, ..Default::default() });
+    let lei = LlmInterpreter::new(LeiConfig {
+        hallucination_rate: 0.0,
+        ..Default::default()
+    });
     let embedder = HashedEmbedder::new(64, 0xE1B);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
 
@@ -72,7 +75,10 @@ fn main() {
             "  mean pairwise cosine: raw {:.3} -> LEI {:.3}\n",
             g.mean_raw_cosine, g.mean_lei_cosine
         );
-        assert!(g.mean_lei_cosine > g.mean_raw_cosine, "LEI must close the gap");
+        assert!(
+            g.mean_lei_cosine > g.mean_raw_cosine,
+            "LEI must close the gap"
+        );
         gaps.push(g);
     }
     write_result("table1_syntax_gap", &(rows, gaps));

@@ -9,7 +9,10 @@ use std::time::Instant;
 
 fn main() {
     let cfg = if quick_mode() {
-        ExperimentConfig { logs_per_dataset: 4_000, ..ExperimentConfig::quick() }
+        ExperimentConfig {
+            logs_per_dataset: 4_000,
+            ..ExperimentConfig::quick()
+        }
     } else {
         ExperimentConfig::default()
     };

@@ -8,10 +8,17 @@ use logsynergy_eval::ExperimentConfig;
 use std::time::Instant;
 
 fn main() {
-    let cfg = if quick_mode() { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let cfg = if quick_mode() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     let t0 = Instant::now();
     let results = table4(&cfg);
-    println!("{}", render_group_table("Table IV: public datasets", &results));
+    println!(
+        "{}",
+        render_group_table("Table IV: public datasets", &results)
+    );
     println!("[elapsed {:.1}s]", t0.elapsed().as_secs_f64());
     write_result("table4_public", &results);
 }

@@ -8,7 +8,11 @@ use logsynergy_eval::ExperimentConfig;
 use std::time::Instant;
 
 fn main() {
-    let cfg = if quick_mode() { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let cfg = if quick_mode() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     let t0 = Instant::now();
     let results = table5(&cfg);
     println!("{}", render_group_table("Table V: ISP datasets", &results));

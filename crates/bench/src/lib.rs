@@ -27,5 +27,7 @@ pub fn write_result<T: serde::Serialize>(name: &str, value: &T) {
 /// True when the harness should run in quick mode (smoke runs of the
 /// experiment benches): set `LOGSYNERGY_BENCH_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("LOGSYNERGY_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LOGSYNERGY_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -35,7 +35,11 @@ impl Args {
                 i += 1;
             }
         }
-        Ok(Args { command, positionals, flags })
+        Ok(Args {
+            command,
+            positionals,
+            flags,
+        })
     }
 
     /// String option.

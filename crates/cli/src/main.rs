@@ -17,7 +17,9 @@ use logsynergy::api::Pipeline;
 use logsynergy::detector::Detector;
 use logsynergy::persist;
 use logsynergy_eval::experiments::{self, sources_of};
-use logsynergy_eval::{prepare_group, report, run_method, ExperimentConfig, MethodKind, Prf, SystemData};
+use logsynergy_eval::{
+    prepare_group, report, run_method, ExperimentConfig, MethodKind, Prf, SystemData,
+};
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::{datasets, SystemId};
 use logsynergy_pipeline::{run_pipeline, EventVectorizer, MessagingSink, ModelScorer, RawLog};
@@ -60,8 +62,11 @@ fn system_of(name: &str) -> Result<SystemId, String> {
 }
 
 fn cfg_from(a: &Args) -> Result<ExperimentConfig, String> {
-    let mut cfg =
-        if a.flag("quick") { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let mut cfg = if a.flag("quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     cfg.logs_per_dataset = a.num("logs", cfg.logs_per_dataset)?;
     cfg.epochs = a.num("epochs", cfg.epochs)?;
     cfg.n_source = a.num("n-source", cfg.n_source)?;
@@ -118,7 +123,10 @@ fn cmd_train(a: &Args) -> Result<(), String> {
         sources.iter().map(|s| s.name()).collect::<Vec<_>>()
     );
     let p = build_pipeline(&cfg);
-    let src_data: Vec<_> = sources.iter().map(|&s| p.prepare(&cfg.generate(s))).collect();
+    let src_data: Vec<_> = sources
+        .iter()
+        .map(|&s| p.prepare(&cfg.generate(s)))
+        .collect();
     let tgt_data = p.prepare(&cfg.generate(target));
     let src_refs: Vec<_> = src_data.iter().collect();
     let (model, history) = p.fit(&src_refs, &tgt_data);
@@ -156,7 +164,11 @@ fn cmd_detect(a: &Args) -> Result<(), String> {
 }
 
 fn cmd_experiment(a: &Args) -> Result<(), String> {
-    let which = a.positionals.first().ok_or("experiment name required")?.as_str();
+    let which = a
+        .positionals
+        .first()
+        .ok_or("experiment name required")?
+        .as_str();
     let cfg = cfg_from(a)?;
     match which {
         "table3" => println!("{}", report::render_table3(&experiments::table3(&cfg))),
@@ -172,15 +184,24 @@ fn cmd_experiment(a: &Args) -> Result<(), String> {
             let targets = [SystemId::Thunderbird, SystemId::SystemB];
             println!(
                 "{}",
-                report::render_sweep("Fig. 4a: F1 vs lambda_MI", &experiments::fig4a(&targets, &cfg))
+                report::render_sweep(
+                    "Fig. 4a: F1 vs lambda_MI",
+                    &experiments::fig4a(&targets, &cfg)
+                )
             );
         }
         "fig5" => {
             let targets = [SystemId::Thunderbird, SystemId::SystemB];
-            println!("{}", report::render_ablation(&experiments::fig5(&targets, &cfg)));
+            println!(
+                "{}",
+                report::render_ablation(&experiments::fig5(&targets, &cfg))
+            );
         }
         "fig6" => println!("{}", report::render_transfers(&experiments::fig6(&cfg))),
-        "fig8" => println!("{}", report::render_case_study(&experiments::fig8_case_study(&cfg))),
+        "fig8" => println!(
+            "{}",
+            report::render_case_study(&experiments::fig8_case_study(&cfg))
+        ),
         other => return Err(format!("unknown experiment: {other}")),
     }
     Ok(())
@@ -211,14 +232,19 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
     let p = build_pipeline(&cfg);
     let sources = sources_of(target);
     eprintln!("training a model for {}…", target.name());
-    let src_data: Vec<_> = sources.iter().map(|&s| p.prepare(&cfg.generate(s))).collect();
+    let src_data: Vec<_> = sources
+        .iter()
+        .map(|&s| p.prepare(&cfg.generate(s)))
+        .collect();
     let history = cfg.generate(target);
     let tgt_data = p.prepare(&history);
     let src_refs: Vec<_> = src_data.iter().collect();
     let (model, _) = p.fit(&src_refs, &tgt_data);
 
     let split_at = cfg.n_target * 5 + 10;
-    let (warm, live) = history.records.split_at(split_at.min(history.records.len()));
+    let (warm, live) = history
+        .records
+        .split_at(split_at.min(history.records.len()));
     let mut vectorizer =
         EventVectorizer::new(target, p.model_config.embed_dim, LeiConfig::default());
     vectorizer.warm_start(warm.iter().map(|r| r.message.as_str()));

@@ -63,7 +63,17 @@ impl Club {
         let (mu_w2, mu_b2) = lin("mu2", hidden, out_dim, store, rng);
         let (lv_w1, lv_b1) = lin("lv1", in_dim, hidden, store, rng);
         let (lv_w2, lv_b2) = lin("lv2", hidden, out_dim, store, rng);
-        Club { mu_w1, mu_b1, mu_w2, mu_b2, lv_w1, lv_b1, lv_w2, lv_b2, out_dim }
+        Club {
+            mu_w1,
+            mu_b1,
+            mu_w2,
+            mu_b2,
+            lv_w1,
+            lv_b1,
+            lv_w2,
+            lv_b2,
+            out_dim,
+        }
     }
 
     /// Runs the variational nets; `frozen` controls whether gradients reach
@@ -163,8 +173,14 @@ mod tests {
         let loss = club.learning_loss(&g, &store, fu, fs);
         g.backward(loss);
         g.write_grads(&mut store);
-        assert!(store.grad_norm() > 0.0, "club params should receive gradients");
-        assert!(g.grad(fu).is_none(), "features must be detached in learning loss");
+        assert!(
+            store.grad_norm() > 0.0,
+            "club params should receive gradients"
+        );
+        assert!(
+            g.grad(fu).is_none(),
+            "features must be detached in learning loss"
+        );
         assert!(g.grad(fs).is_none());
     }
 
@@ -178,7 +194,11 @@ mod tests {
         let mi = club.mi_upper_bound(&g, &store, fu, fs);
         g.backward(mi);
         g.write_grads(&mut store);
-        assert_eq!(store.grad_norm(), 0.0, "club params are frozen in the MI bound");
+        assert_eq!(
+            store.grad_norm(),
+            0.0,
+            "club params are frozen in the MI bound"
+        );
         assert!(g.grad(fu).is_some());
         assert!(g.grad(fs).is_some());
     }

@@ -69,9 +69,18 @@ impl ModelConfig {
 
     /// Panics if the configuration is internally inconsistent.
     pub fn validate(&self) {
-        assert!(self.d_model % 2 == 0, "d_model must be even to split F_u/F_s");
-        assert!(self.d_model % self.heads == 0, "heads must divide d_model");
-        assert!(self.num_systems >= 2, "need at least one source and one target system");
+        assert!(
+            self.d_model.is_multiple_of(2),
+            "d_model must be even to split F_u/F_s"
+        );
+        assert!(
+            self.d_model.is_multiple_of(self.heads),
+            "heads must divide d_model"
+        );
+        assert!(
+            self.num_systems >= 2,
+            "need at least one source and one target system"
+        );
         assert!(self.max_len > 0 && self.embed_dim > 0);
     }
 }

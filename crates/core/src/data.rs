@@ -71,7 +71,9 @@ impl PreparedSystem {
         if n >= len {
             return self.sequences.clone();
         }
-        (0..n).map(|i| self.sequences[i * len / n].clone()).collect()
+        (0..n)
+            .map(|i| self.sequences[i * len / n].clone())
+            .collect()
     }
 
     /// Number of anomalous sequences.
@@ -93,7 +95,10 @@ pub fn prepare_system(
     let seqs = windows(&events, &labels, window);
     let sequences = seqs
         .into_iter()
-        .map(|s| SeqSample { events: s.events.iter().map(|e| e.0).collect(), label: s.anomalous })
+        .map(|s| SeqSample {
+            events: s.events.iter().map(|e| e.0).collect(),
+            label: s.anomalous,
+        })
         .collect();
 
     let templates: Vec<String> = drain.templates().iter().map(|t| t.text()).collect();
@@ -140,7 +145,10 @@ pub fn batch_features(
 
 /// Anomaly labels of a batch as `f32`.
 pub fn batch_labels(samples: &[&SeqSample]) -> Vec<f32> {
-    samples.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect()
+    samples
+        .iter()
+        .map(|s| if s.label { 1.0 } else { 0.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,7 +173,10 @@ mod tests {
         assert!(!prep.sequences.is_empty());
         assert_eq!(prep.event_embeddings.len(), prep.templates.len());
         assert_eq!(prep.event_texts.len(), prep.templates.len());
-        assert!(prep.templates.len() < 100, "few hundred templates at most (paper §VI-B2)");
+        assert!(
+            prep.templates.len() < 100,
+            "few hundred templates at most (paper §VI-B2)"
+        );
         // Every sequence's events must index into the template table.
         for s in &prep.sequences {
             for &e in &s.events {
@@ -178,8 +189,12 @@ mod tests {
     fn raw_mode_embeds_templates_verbatim() {
         let ds = tiny();
         let embedder = HashedEmbedder::new(32, 1);
-        let prep =
-            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        let prep = prepare_system(
+            &ds,
+            &EventTextMode::RawTemplate,
+            &embedder,
+            WindowConfig::default(),
+        );
         assert_eq!(prep.event_texts, prep.templates);
         assert_eq!(prep.review_stats, ReviewStats::default());
     }
@@ -194,8 +209,12 @@ mod tests {
             &embedder,
             WindowConfig::default(),
         );
-        let b =
-            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        let b = prepare_system(
+            &ds,
+            &EventTextMode::RawTemplate,
+            &embedder,
+            WindowConfig::default(),
+        );
         assert_ne!(a.event_texts, b.event_texts);
     }
 
@@ -203,8 +222,12 @@ mod tests {
     fn split_is_continuous_and_disjoint() {
         let ds = tiny();
         let embedder = HashedEmbedder::new(16, 1);
-        let prep =
-            prepare_system(&ds, &EventTextMode::RawTemplate, &embedder, WindowConfig::default());
+        let prep = prepare_system(
+            &ds,
+            &EventTextMode::RawTemplate,
+            &embedder,
+            WindowConfig::default(),
+        );
         let (train, test) = prep.split(10, 5);
         assert_eq!(train.len(), 10);
         assert_eq!(test.len(), 5);
@@ -215,8 +238,14 @@ mod tests {
     #[test]
     fn batch_features_shapes_and_padding() {
         let emb = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let s1 = SeqSample { events: vec![0, 1], label: false };
-        let s2 = SeqSample { events: vec![1], label: true };
+        let s1 = SeqSample {
+            events: vec![0, 1],
+            label: false,
+        };
+        let s2 = SeqSample {
+            events: vec![1],
+            label: true,
+        };
         let x = batch_features(&[&s1, &s2], &emb, 3, 2);
         assert_eq!(x.shape(), &[2, 3, 2]);
         assert_eq!(&x.data()[0..4], &[1.0, 2.0, 3.0, 4.0]);

@@ -32,7 +32,10 @@ pub struct Detector<'a> {
 impl<'a> Detector<'a> {
     /// Creates a detector with a default inference batch size.
     pub fn new(model: &'a LogSynergyModel) -> Self {
-        Detector { model, batch_size: 256 }
+        Detector {
+            model,
+            batch_size: 256,
+        }
     }
 
     /// Sets the inference batch size.
@@ -62,14 +65,22 @@ impl<'a> Detector<'a> {
             let x = g.input(Tensor::new(xb, &[b, t, d]));
             let f = self.model.features(&g, x, &mut dummy_rng);
             let logits = self.model.anomaly_logits(&g, f);
-            out.extend(g.value(logits).data().iter().map(|&l| 1.0 / (1.0 + (-l).exp())));
+            out.extend(
+                g.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&l| 1.0 / (1.0 + (-l).exp())),
+            );
         }
         out
     }
 
     /// Binary decisions at the paper's 0.5 threshold.
     pub fn detect(&self, samples: &[SeqSample], embeddings: &[Vec<f32>]) -> Vec<bool> {
-        self.scores(samples, embeddings).into_iter().map(|p| p > THRESHOLD).collect()
+        self.scores(samples, embeddings)
+            .into_iter()
+            .map(|p| p > THRESHOLD)
+            .collect()
     }
 
     /// Scores `samples` and produces a report for each detection, wiring in
@@ -114,15 +125,22 @@ mod tests {
     }
 
     fn embeddings() -> Vec<Vec<f32>> {
-        vec![vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]]
+        vec![
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]
     }
 
     #[test]
     fn scores_are_probabilities() {
         let model = tiny_model();
         let det = Detector::new(&model);
-        let samples: Vec<SeqSample> =
-            (0..10).map(|i| SeqSample { events: vec![i % 2; 4], label: false }).collect();
+        let samples: Vec<SeqSample> = (0..10)
+            .map(|i| SeqSample {
+                events: vec![i % 2; 4],
+                label: false,
+            })
+            .collect();
         let scores = det.scores(&samples, &embeddings());
         assert_eq!(scores.len(), 10);
         assert!(scores.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -132,8 +150,12 @@ mod tests {
     fn detect_applies_half_threshold() {
         let model = tiny_model();
         let det = Detector::new(&model);
-        let samples: Vec<SeqSample> =
-            (0..6).map(|_| SeqSample { events: vec![0; 4], label: false }).collect();
+        let samples: Vec<SeqSample> = (0..6)
+            .map(|_| SeqSample {
+                events: vec![0; 4],
+                label: false,
+            })
+            .collect();
         let scores = det.scores(&samples, &embeddings());
         let flags = det.detect(&samples, &embeddings());
         for (p, f) in scores.iter().zip(flags) {
@@ -144,10 +166,18 @@ mod tests {
     #[test]
     fn batching_does_not_change_scores() {
         let model = tiny_model();
-        let samples: Vec<SeqSample> =
-            (0..9).map(|i| SeqSample { events: vec![i % 2, 0, 1, 0], label: false }).collect();
-        let a = Detector::new(&model).with_batch_size(3).scores(&samples, &embeddings());
-        let b = Detector::new(&model).with_batch_size(100).scores(&samples, &embeddings());
+        let samples: Vec<SeqSample> = (0..9)
+            .map(|i| SeqSample {
+                events: vec![i % 2, 0, 1, 0],
+                label: false,
+            })
+            .collect();
+        let a = Detector::new(&model)
+            .with_batch_size(3)
+            .scores(&samples, &embeddings());
+        let b = Detector::new(&model)
+            .with_batch_size(100)
+            .scores(&samples, &embeddings());
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-5);
         }
@@ -165,8 +195,12 @@ mod tests {
             templates: vec!["t0".into(), "t1".into()],
             review_stats: Default::default(),
         };
-        let samples: Vec<SeqSample> =
-            (0..20).map(|i| SeqSample { events: vec![i % 2; 4], label: false }).collect();
+        let samples: Vec<SeqSample> = (0..20)
+            .map(|i| SeqSample {
+                events: vec![i % 2; 4],
+                label: false,
+            })
+            .collect();
         let reports = det.reports(&samples, &prepared);
         for r in &reports {
             assert!(r.probability > THRESHOLD);

@@ -58,7 +58,9 @@ pub mod trainer;
 
 pub use api::Pipeline;
 pub use config::{ModelConfig, TrainConfig};
-pub use data::{batch_features, batch_labels, prepare_system, EventTextMode, PreparedSystem, SeqSample};
+pub use data::{
+    batch_features, batch_labels, prepare_system, EventTextMode, PreparedSystem, SeqSample,
+};
 pub use detector::{AnomalyReport, Detector, THRESHOLD};
 pub use model::{Features, LogSynergyModel};
 pub use trainer::{build_training_set, train, DaMode, EpochStats, TrainOptions, TrainingSet};

@@ -53,8 +53,13 @@ impl LogSynergyModel {
         config.validate();
         let mut store = ParamStore::new();
         let half = config.half_dim();
-        let input_proj =
-            Linear::new(&mut store, rng, "input_proj", config.embed_dim, config.d_model);
+        let input_proj = Linear::new(
+            &mut store,
+            rng,
+            "input_proj",
+            config.embed_dim,
+            config.d_model,
+        );
         let encoder = TransformerEncoder::new(
             &mut store,
             rng,
@@ -81,8 +86,13 @@ impl LogSynergyModel {
             Activation::Relu,
         );
         let club = Club::new(&mut store, rng, "club", half, config.head_hidden, half);
-        let d_global =
-            Mlp::new(&mut store, rng, "d_global", &[half, config.head_hidden, 1], Activation::Relu);
+        let d_global = Mlp::new(
+            &mut store,
+            rng,
+            "d_global",
+            &[half, config.head_hidden, 1],
+            Activation::Relu,
+        );
         let d_cond_normal = Mlp::new(
             &mut store,
             rng,
@@ -148,12 +158,14 @@ impl LogSynergyModel {
 
     /// CLUB MI upper bound between the two halves (Eq. 3).
     pub fn mi_loss(&self, g: &Graph, f: Features) -> Var {
-        self.club.mi_upper_bound(g, &self.store, f.unified, f.specific)
+        self.club
+            .mi_upper_bound(g, &self.store, f.unified, f.specific)
     }
 
     /// CLUB estimator training loss (detached features).
     pub fn club_learning_loss(&self, g: &Graph, f: Features) -> Var {
-        self.club.learning_loss(g, &self.store, f.unified, f.specific)
+        self.club
+            .learning_loss(g, &self.store, f.unified, f.specific)
     }
 
     /// DAAN losses (Eq. 4): domain classifiers on GRL-reversed unified
@@ -194,7 +206,10 @@ impl LogSynergyModel {
         };
         let cond_sum = ops::add(g, ln, la);
         let conditional = ops::scale(g, cond_sum, 0.5);
-        DaLosses { global, conditional }
+        DaLosses {
+            global,
+            conditional,
+        }
     }
 
     /// Number of scalar parameters.
@@ -267,8 +282,14 @@ mod tests {
                 .sum::<f32>()
         };
         assert!(grads_by_prefix("d_global") > 0.0);
-        assert!(grads_by_prefix("encoder") > 0.0, "GRL must pass gradient into the extractor");
-        assert!(grads_by_prefix("c_anomaly") == 0.0, "detached class weights must not train C_anomaly");
+        assert!(
+            grads_by_prefix("encoder") > 0.0,
+            "GRL must pass gradient into the extractor"
+        );
+        assert!(
+            grads_by_prefix("c_anomaly") == 0.0,
+            "detached class weights must not train C_anomaly"
+        );
     }
 
     #[test]

@@ -44,19 +44,25 @@ pub fn to_bytes(model: &LogSynergyModel) -> Vec<u8> {
             let t = model.store.value(id);
             (
                 model.store.name(id).to_string(),
-                SavedTensor { shape: t.shape().to_vec(), data: t.data().to_vec() },
+                SavedTensor {
+                    shape: t.shape().to_vec(),
+                    data: t.data().to_vec(),
+                },
             )
         })
         .collect();
-    let saved =
-        SavedModel { format_version: FORMAT_VERSION, config: model.config().clone(), params };
+    let saved = SavedModel {
+        format_version: FORMAT_VERSION,
+        config: model.config().clone(),
+        params,
+    };
     serde_json::to_vec(&saved).expect("model serialization cannot fail")
 }
 
 /// Deserializes a model from JSON bytes.
 pub fn from_bytes(bytes: &[u8]) -> io::Result<LogSynergyModel> {
-    let saved: SavedModel = serde_json::from_slice(bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let saved: SavedModel =
+        serde_json::from_slice(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if saved.format_version != FORMAT_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -71,13 +77,19 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<LogSynergyModel> {
     for id in ids {
         let name = model.store.name(id).to_string();
         let st = saved.params.get(&name).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("missing parameter {name}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("missing parameter {name}"),
+            )
         })?;
         let current_shape = model.store.value(id).shape().to_vec();
         if st.shape != current_shape {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("parameter {name}: shape {:?} != expected {:?}", st.shape, current_shape),
+                format!(
+                    "parameter {name}: shape {:?} != expected {:?}",
+                    st.shape, current_shape
+                ),
             ));
         }
         *model.store.value_mut(id) = Tensor::new(st.data.clone(), &st.shape);
@@ -98,8 +110,8 @@ pub fn load(path: impl AsRef<Path>) -> io::Result<LogSynergyModel> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detector::Detector;
     use crate::data::SeqSample;
+    use crate::detector::Detector;
 
     fn tiny_model() -> LogSynergyModel {
         let mut cfg = ModelConfig::scaled(2);
@@ -115,14 +127,21 @@ mod tests {
     }
 
     fn embeddings() -> Vec<Vec<f32>> {
-        vec![vec![1.0, 0., 0., 0., 0., 0., 0., 0.], vec![0., 1.0, 0., 0., 0., 0., 0., 0.]]
+        vec![
+            vec![1.0, 0., 0., 0., 0., 0., 0., 0.],
+            vec![0., 1.0, 0., 0., 0., 0., 0., 0.],
+        ]
     }
 
     #[test]
     fn roundtrip_preserves_scores_exactly() {
         let model = tiny_model();
-        let samples: Vec<SeqSample> =
-            (0..6).map(|i| SeqSample { events: vec![i % 2; 4], label: false }).collect();
+        let samples: Vec<SeqSample> = (0..6)
+            .map(|i| SeqSample {
+                events: vec![i % 2; 4],
+                label: false,
+            })
+            .collect();
         let before = Detector::new(&model).scores(&samples, &embeddings());
         let bytes = to_bytes(&model);
         let loaded = from_bytes(&bytes).unwrap();

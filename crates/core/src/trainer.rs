@@ -43,7 +43,10 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        TrainOptions { use_sufe: true, da: DaMode::Daan }
+        TrainOptions {
+            use_sufe: true,
+            da: DaMode::Daan,
+        }
     }
 }
 
@@ -82,13 +85,13 @@ pub fn build_training_set(
     let mut sys = Vec::new();
     let mut dom = Vec::new();
     let push = |samples: &[crate::data::SeqSample],
-                    embeddings: &[Vec<f32>],
-                    sys_label: usize,
-                    dom_label: f32,
-                    x: &mut Vec<Vec<f32>>,
-                    y: &mut Vec<f32>,
-                    sys: &mut Vec<usize>,
-                    dom: &mut Vec<f32>| {
+                embeddings: &[Vec<f32>],
+                sys_label: usize,
+                dom_label: f32,
+                x: &mut Vec<Vec<f32>>,
+                y: &mut Vec<f32>,
+                sys: &mut Vec<usize>,
+                dom: &mut Vec<f32>| {
         for s in samples {
             let mut row = vec![0.0f32; max_len * dim];
             for (t, &e) in s.events.iter().take(max_len).enumerate() {
@@ -102,7 +105,16 @@ pub fn build_training_set(
     };
     for (k, src) in sources.iter().enumerate() {
         let picked = src.spread(n_source);
-        push(&picked, &src.event_embeddings, k, 0.0, &mut x, &mut y, &mut sys, &mut dom);
+        push(
+            &picked,
+            &src.event_embeddings,
+            k,
+            0.0,
+            &mut x,
+            &mut y,
+            &mut sys,
+            &mut dom,
+        );
     }
     let tgt_head = target.head(n_target);
     push(
@@ -115,7 +127,15 @@ pub fn build_training_set(
         &mut sys,
         &mut dom,
     );
-    TrainingSet { x, y, sys, dom, t: max_len, d: dim, num_systems: sources.len() + 1 }
+    TrainingSet {
+        x,
+        y,
+        sys,
+        dom,
+        t: max_len,
+        d: dim,
+        num_systems: sources.len() + 1,
+    }
 }
 
 /// Per-epoch loss breakdown.
@@ -159,7 +179,10 @@ pub fn train(
         let p = epoch as f32 / total_steps as f32;
         let grl = cfg.grl_lambda * (2.0 / (1.0 + (-5.0 * p).exp()) - 1.0 + 0.2).min(1.0);
 
-        let mut stats = EpochStats { omega, ..EpochStats::default() };
+        let mut stats = EpochStats {
+            omega,
+            ..EpochStats::default()
+        };
         let mut batches = 0usize;
         let mut sum_glob = 0.0f32;
         let mut sum_cond = 0.0f32;
@@ -219,10 +242,18 @@ pub fn train(
                 );
                 total = ops::add(&g, total, ops::scale(&g, mixed, cfg.lambda_da));
             } else if options.da == DaMode::Mmd {
-                let src_idx: Vec<usize> =
-                    domb.iter().enumerate().filter(|(_, &d)| d < 0.5).map(|(i, _)| i).collect();
-                let tgt_idx: Vec<usize> =
-                    domb.iter().enumerate().filter(|(_, &d)| d >= 0.5).map(|(i, _)| i).collect();
+                let src_idx: Vec<usize> = domb
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d < 0.5)
+                    .map(|(i, _)| i)
+                    .collect();
+                let tgt_idx: Vec<usize> = domb
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d >= 0.5)
+                    .map(|(i, _)| i)
+                    .collect();
                 if !src_idx.is_empty() && !tgt_idx.is_empty() {
                     let fs = ops::select_rows(&g, f.unified, &src_idx);
                     let ft = ops::select_rows(&g, f.unified, &tgt_idx);
@@ -265,7 +296,11 @@ pub fn train(
             let d_g = 2.0 * (1.0 - 2.0 * eps(sum_glob / b));
             let d_c = 2.0 * (1.0 - 2.0 * eps(sum_cond / b));
             let denom = d_g + d_c;
-            omega = if denom.abs() > 1e-6 { (d_g / denom).clamp(0.05, 0.95) } else { 0.5 };
+            omega = if denom.abs() > 1e-6 {
+                (d_g / denom).clamp(0.05, 0.95)
+            } else {
+                0.5
+            };
         }
         stats.omega = omega;
         history.push(stats);
@@ -293,7 +328,10 @@ mod tests {
         let sequences = (0..n)
             .map(|i| {
                 let anom = anomaly_every > 0 && i % anomaly_every == 0;
-                SeqSample { events: vec![if anom { 1 } else { 0 }; 5], label: anom }
+                SeqSample {
+                    events: vec![if anom { 1 } else { 0 }; 5],
+                    label: anom,
+                }
             })
             .collect();
         PreparedSystem {
@@ -332,7 +370,14 @@ mod tests {
         let s1 = toy_system(SystemId::Bgl, 150, 4, mcfg.embed_dim);
         let s2 = toy_system(SystemId::Spirit, 150, 5, mcfg.embed_dim);
         let tgt = toy_system(SystemId::SystemB, 60, 7, mcfg.embed_dim);
-        let set = build_training_set(&[&s1, &s2], &tgt, tcfg.n_source, tcfg.n_target, mcfg.max_len, mcfg.embed_dim);
+        let set = build_training_set(
+            &[&s1, &s2],
+            &tgt,
+            tcfg.n_source,
+            tcfg.n_target,
+            mcfg.max_len,
+            mcfg.embed_dim,
+        );
         let hist = train(&mut model, &set, &tcfg, TrainOptions::default());
         assert_eq!(hist.len(), tcfg.epochs);
         assert!(
@@ -371,7 +416,10 @@ mod tests {
             &mut model,
             &set,
             &tcfg,
-            TrainOptions { use_sufe: false, da: DaMode::Off },
+            TrainOptions {
+                use_sufe: false,
+                da: DaMode::Off,
+            },
         );
         assert_eq!(hist[0].loss_system, 0.0);
         assert_eq!(hist[0].loss_mi, 0.0);

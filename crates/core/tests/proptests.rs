@@ -9,7 +9,10 @@ use rand::SeedableRng;
 
 fn samples_strategy(max_event: u32) -> impl Strategy<Value = Vec<SeqSample>> {
     proptest::collection::vec(
-        (proptest::collection::vec(0..max_event, 1..12), any::<bool>())
+        (
+            proptest::collection::vec(0..max_event, 1..12),
+            any::<bool>(),
+        )
             .prop_map(|(events, label)| SeqSample { events, label }),
         1..12,
     )

@@ -21,8 +21,16 @@ fn f1(pred: &[bool], truth: &[bool]) -> (f64, f64, f64) {
         }
     }
     let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
-    let rec = if tp + fndp > 0.0 { tp / (tp + fndp) } else { 0.0 };
-    let f1 = if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+    let rec = if tp + fndp > 0.0 {
+        tp / (tp + fndp)
+    } else {
+        0.0
+    };
+    let f1 = if prec + rec > 0.0 {
+        2.0 * prec * rec / (prec + rec)
+    } else {
+        0.0
+    };
     (prec, rec, f1)
 }
 
@@ -42,7 +50,10 @@ fn run(mode: EventTextMode) -> (f64, f64, f64) {
     let (model, _) = p.fit(&[&src1, &src2], &tgt);
     let (_, test) = tgt.split(p.train_config.n_target, 1500);
     let truth: Vec<bool> = test.iter().map(|s| s.label).collect();
-    assert!(truth.iter().filter(|&&t| t).count() >= 10, "test set needs anomalies");
+    assert!(
+        truth.iter().filter(|&&t| t).count() >= 10,
+        "test set needs anomalies"
+    );
     let pred = Detector::new(&model).detect(&test, &tgt.event_embeddings);
     f1(&pred, &truth)
 }

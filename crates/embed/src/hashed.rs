@@ -38,7 +38,11 @@ impl HashedEmbedder {
     /// embedding function.
     pub fn new(dim: usize, seed: u64) -> Self {
         assert!(dim > 0);
-        HashedEmbedder { dim, seed, cache: RefCell::new(HashMap::new()) }
+        HashedEmbedder {
+            dim,
+            seed,
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Embedding dimension.

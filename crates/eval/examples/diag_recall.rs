@@ -33,13 +33,22 @@ fn main() {
     let tcfg = cfg.train_config();
     let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
     let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
-    let set = build_training_set(&src_views, &tgt.lei, tcfg.n_source, tcfg.n_target, 10, cfg.embed_dim);
+    let set = build_training_set(
+        &src_views,
+        &tgt.lei,
+        tcfg.n_source,
+        tcfg.n_target,
+        10,
+        cfg.embed_dim,
+    );
     let anom_train = set.y.iter().filter(|&&y| y > 0.5).count();
     println!("train: {} samples, {} anomalous", set.y.len(), anom_train);
     let hist = train(&mut model, &set, &tcfg, TrainOptions::default());
     for (e, h) in hist.iter().enumerate() {
-        println!("epoch {e}: total {:.4} anom {:.4} sys {:.4} mi {:.4} da {:.4} omega {:.2}",
-            h.total, h.loss_anomaly, h.loss_system, h.loss_mi, h.loss_da, h.omega);
+        println!(
+            "epoch {e}: total {:.4} anom {:.4} sys {:.4} mi {:.4} da {:.4} omega {:.2}",
+            h.total, h.loss_anomaly, h.loss_system, h.loss_mi, h.loss_da, h.omega
+        );
     }
 
     let (_, test) = tgt.lei.split(cfg.n_target, cfg.max_test);
@@ -61,11 +70,19 @@ fn main() {
         let mut names: Vec<&'static str> = s
             .events
             .iter()
-            .filter_map(|&e| anomaly_interps.get(&tgt.lei.event_texts[e as usize]).copied())
+            .filter_map(|&e| {
+                anomaly_interps
+                    .get(&tgt.lei.event_texts[e as usize])
+                    .copied()
+            })
             .collect();
         names.sort_unstable();
         names.dedup();
-        let bucket = if *score > 0.5 { &mut caught } else { &mut missed };
+        let bucket = if *score > 0.5 {
+            &mut caught
+        } else {
+            &mut missed
+        };
         for nm in names {
             *bucket.entry(nm).or_default() += 1;
         }
@@ -99,7 +116,9 @@ fn main() {
     for (k, src) in sources.iter().enumerate() {
         let picked = src.lei.spread(tcfg.n_source);
         for s in &picked {
-            if !s.label { continue; }
+            if !s.label {
+                continue;
+            }
             for &e in &s.events {
                 if let Some(&nm) = anomaly_interps.get(&src.lei.event_texts[e as usize]) {
                     *train_hist.entry(nm).or_default() += 1;
@@ -116,5 +135,7 @@ fn names_empty_fallback(
     texts: &[String],
     interps: &HashMap<String, &'static str>,
 ) -> bool {
-    !events.iter().any(|&e| interps.contains_key(&texts[e as usize]))
+    !events
+        .iter()
+        .any(|&e| interps.contains_key(&texts[e as usize]))
 }

@@ -41,7 +41,12 @@ fn compare(title: &str, path: &str, table: &[PaperCell]) {
     // LogSynergy first on every target?
     let mut wins = true;
     for t in &results {
-        let ls = t.rows.iter().find(|r| r.method == "LogSynergy").map(|r| r.prf.f1).unwrap_or(0.0);
+        let ls = t
+            .rows
+            .iter()
+            .find(|r| r.method == "LogSynergy")
+            .map(|r| r.prf.f1)
+            .unwrap_or(0.0);
         for r in &t.rows {
             if r.method != "LogSynergy" && r.prf.f1 >= ls {
                 wins = false;
@@ -54,7 +59,11 @@ fn compare(title: &str, path: &str, table: &[PaperCell]) {
     }
     println!(
         "shape: LogSynergy best on every target: {}\n",
-        if wins { "YES (matches paper)" } else { "NO (see above)" }
+        if wins {
+            "YES (matches paper)"
+        } else {
+            "NO (see above)"
+        }
     );
 }
 

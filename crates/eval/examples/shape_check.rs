@@ -26,7 +26,12 @@ fn main() {
         let r = run_method(kind, &sources, &data[n - 1], &cfg);
         println!(
             "{:<22} P {:>6.2}  R {:>6.2}  F1 {:>6.2}   ({:.1}s, {} test / {} anom)",
-            r.method, r.prf.precision, r.prf.recall, r.prf.f1, r.train_secs, r.n_test,
+            r.method,
+            r.prf.precision,
+            r.prf.recall,
+            r.prf.f1,
+            r.train_secs,
+            r.n_test,
             r.n_test_anomalies
         );
     }

@@ -20,7 +20,11 @@ pub fn group_of(system: SystemId) -> [SystemId; 3] {
 
 /// The two source systems for a target (the rest of its group).
 pub fn sources_of(target: SystemId) -> Vec<SystemId> {
-    group_of(target).iter().copied().filter(|&s| s != target).collect()
+    group_of(target)
+        .iter()
+        .copied()
+        .filter(|&s| s != target)
+        .collect()
 }
 
 // --------------------------------------------------------------------------
@@ -90,13 +94,20 @@ pub fn run_group_table(
         .iter()
         .enumerate()
         .map(|(ti, &target)| {
-            let sources: Vec<&SystemData> =
-                data.iter().enumerate().filter(|(i, _)| *i != ti).map(|(_, d)| d).collect();
+            let sources: Vec<&SystemData> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != ti)
+                .map(|(_, d)| d)
+                .collect();
             let rows = methods
                 .iter()
                 .map(|&m| run_method(m, &sources, &data[ti], cfg))
                 .collect();
-            TargetResults { target: target.name().to_string(), rows }
+            TargetResults {
+                target: target.name().to_string(),
+                rows,
+            }
         })
         .collect()
 }
@@ -153,14 +164,19 @@ fn sweep<F: Fn(&mut ExperimentConfig, f64)>(
                     (t.name().to_string(), r.prf.f1)
                 })
                 .collect();
-            SweepPoint { value: v, f1_by_target }
+            SweepPoint {
+                value: v,
+                f1_by_target,
+            }
         })
         .collect()
 }
 
 /// Fig. 4a: F1 vs λ_MI over the paper's grid {0.001, 0.01, 0.05, 0.1, 0.5}.
 pub fn fig4a(targets: &[SystemId], cfg: &ExperimentConfig) -> Vec<SweepPoint> {
-    sweep(targets, &[0.001, 0.01, 0.05, 0.1, 0.5], cfg, |c, v| c.lambda_mi = v as f32)
+    sweep(targets, &[0.001, 0.01, 0.05, 0.1, 0.5], cfg, |c, v| {
+        c.lambda_mi = v as f32
+    })
 }
 
 /// Fig. 4b: F1 vs n_s. The paper sweeps 10k..80k; values here are
@@ -309,8 +325,11 @@ pub fn fig8_case_study(cfg: &ExperimentConfig) -> CaseStudy {
 
     // Anomalous source events = templates whose interpretation matches an
     // anomalous concept; normal target events = the rest.
-    let anomaly_texts: std::collections::HashSet<&'static str> =
-        logsynergy_loggen::ontology().iter().filter(|c| c.anomalous).map(|c| c.interpretation).collect();
+    let anomaly_texts: std::collections::HashSet<&'static str> = logsynergy_loggen::ontology()
+        .iter()
+        .filter(|c| c.anomalous)
+        .map(|c| c.interpretation)
+        .collect();
     let src_anom: Vec<usize> = (0..src.lei.event_texts.len())
         .filter(|&i| anomaly_texts.contains(src.lei.event_texts[i].as_str()))
         .collect();
@@ -325,10 +344,7 @@ pub fn fig8_case_study(cfg: &ExperimentConfig) -> CaseStudy {
     // Misleadingness margin of pairing target event `t` with anomalous
     // source event `s`: how much closer `t` sits to the anomaly than to
     // any *normal* source event, under the given embedding table.
-    let margin = |t: usize,
-                  s: usize,
-                  t_table: &[Vec<f32>],
-                  s_table: &[Vec<f32>]| {
+    let margin = |t: usize, s: usize, t_table: &[Vec<f32>], s_table: &[Vec<f32>]| {
         let to_anom = cosine(&t_table[t], &s_table[s]);
         let to_best_normal = src_norm
             .iter()

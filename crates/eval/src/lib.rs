@@ -25,6 +25,6 @@ pub mod paper;
 pub mod report;
 pub mod setup;
 
-pub use metrics::{average_precision, best_f1, pr_curve, Confusion, Prf, PrPoint};
 pub use methods::{run_method, MethodKind, MethodResult};
+pub use metrics::{average_precision, best_f1, pr_curve, Confusion, PrPoint, Prf};
 pub use setup::{prepare, prepare_group, ExperimentConfig, SystemData};

@@ -122,7 +122,10 @@ pub struct MethodResult {
     pub n_test_anomalies: usize,
 }
 
-fn test_split(p: &PreparedSystem, cfg: &ExperimentConfig) -> (Vec<logsynergy::SeqSample>, Vec<bool>) {
+fn test_split(
+    p: &PreparedSystem,
+    cfg: &ExperimentConfig,
+) -> (Vec<logsynergy::SeqSample>, Vec<bool>) {
     let (_, test) = p.split(cfg.test_start(), cfg.max_test);
     let truth = test.iter().map(|s| s.label).collect();
     (test, truth)
@@ -139,7 +142,14 @@ fn run_logsynergy(
     let tcfg = cfg.train_config();
     let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
     let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
-    let set = build_training_set(sources, target, tcfg.n_source, tcfg.n_target, mcfg.max_len, mcfg.embed_dim);
+    let set = build_training_set(
+        sources,
+        target,
+        tcfg.n_source,
+        tcfg.n_target,
+        mcfg.max_len,
+        mcfg.embed_dim,
+    );
     let t0 = Instant::now();
     train(&mut model, &set, &tcfg, options);
     let secs = t0.elapsed().as_secs_f64();
@@ -158,8 +168,10 @@ pub fn run_logsynergy_custom(
     options: TrainOptions,
     use_lei: bool,
 ) -> MethodResult {
-    let src_views: Vec<&PreparedSystem> =
-        sources.iter().map(|d| if use_lei { &d.lei } else { &d.raw }).collect();
+    let src_views: Vec<&PreparedSystem> = sources
+        .iter()
+        .map(|d| if use_lei { &d.lei } else { &d.raw })
+        .collect();
     let tgt_view: &PreparedSystem = if use_lei { &target.lei } else { &target.raw };
     let (pred, secs, n_test, n_anom) = run_logsynergy(&src_views, tgt_view, cfg, options);
     let (_, truth) = test_split(tgt_view, cfg);
@@ -184,8 +196,10 @@ pub fn run_method(
     {
         MethodKind::LogSynergy | MethodKind::LogSynergyNoSufe | MethodKind::LogSynergyNoLei => {
             let use_lei = kind != MethodKind::LogSynergyNoLei;
-            let src_views: Vec<&PreparedSystem> =
-                sources.iter().map(|d| if use_lei { &d.lei } else { &d.raw }).collect();
+            let src_views: Vec<&PreparedSystem> = sources
+                .iter()
+                .map(|d| if use_lei { &d.lei } else { &d.raw })
+                .collect();
             let tgt_view: &PreparedSystem = if use_lei { &target.lei } else { &target.raw };
             let options = TrainOptions {
                 use_sufe: kind != MethodKind::LogSynergyNoSufe,

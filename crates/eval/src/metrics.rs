@@ -80,7 +80,11 @@ pub struct Prf {
 
 impl From<Confusion> for Prf {
     fn from(c: Confusion) -> Self {
-        Prf { precision: c.precision() * 100.0, recall: c.recall() * 100.0, f1: c.f1() * 100.0 }
+        Prf {
+            precision: c.precision() * 100.0,
+            recall: c.recall() * 100.0,
+            f1: c.f1() * 100.0,
+        }
     }
 }
 
@@ -110,7 +114,11 @@ pub struct PrPoint {
 pub fn pr_curve(scores: &[f32], truth: &[bool]) -> Vec<PrPoint> {
     assert_eq!(scores.len(), truth.len(), "scores/truth length mismatch");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let total_pos = truth.iter().filter(|&&t| t).count() as f64;
     let mut out = Vec::new();
     let mut tp = 0.0f64;
@@ -129,9 +137,17 @@ pub fn pr_curve(scores: &[f32], truth: &[bool]) -> Vec<PrPoint> {
         }
         let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         let recall = if total_pos > 0.0 { tp / total_pos } else { 0.0 };
-        let f1 =
-            if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
-        out.push(PrPoint { threshold: thr as f64, precision, recall, f1 });
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        out.push(PrPoint {
+            threshold: thr as f64,
+            precision,
+            recall,
+            f1,
+        });
     }
     out
 }
@@ -139,14 +155,15 @@ pub fn pr_curve(scores: &[f32], truth: &[bool]) -> Vec<PrPoint> {
 /// The threshold maximizing F1 on a PR curve (ties broken toward the
 /// higher threshold), with its point. Returns `None` for empty input.
 pub fn best_f1(curve: &[PrPoint]) -> Option<PrPoint> {
-    curve
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            a.f1.partial_cmp(&b.f1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal))
-        })
+    curve.iter().copied().max_by(|a, b| {
+        a.f1.partial_cmp(&b.f1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                a.threshold
+                    .partial_cmp(&b.threshold)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    })
 }
 
 /// Average precision (area under the PR curve by the step rule).
@@ -175,7 +192,12 @@ mod tests {
 
     #[test]
     fn all_positive_prediction_has_full_recall() {
-        let p = Prf::evaluate(&[true; 10], &[true, false, false, false, false, true, false, false, false, false]);
+        let p = Prf::evaluate(
+            &[true; 10],
+            &[
+                true, false, false, false, false, true, false, false, false, false,
+            ],
+        );
         assert_eq!(p.recall, 100.0);
         assert!((p.precision - 20.0).abs() < 1e-9);
         let f1 = 2.0 * 0.2 * 1.0 / 1.2 * 100.0;
@@ -192,7 +214,8 @@ mod tests {
 
     #[test]
     fn confusion_counts() {
-        let c = Confusion::from_predictions(&[true, true, false, false], &[true, false, true, false]);
+        let c =
+            Confusion::from_predictions(&[true, true, false, false], &[true, false, true, false]);
         assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
         assert_eq!(c.total(), 4);
     }

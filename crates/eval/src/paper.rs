@@ -88,7 +88,11 @@ pub fn paper_prf(table: &[PaperCell], method: &str, target: &str) -> Option<Prf>
     table
         .iter()
         .find(|(m, t, ..)| *m == method && *t == target)
-        .map(|&(_, _, p, r, f1)| Prf { precision: p, recall: r, f1 })
+        .map(|&(_, _, p, r, f1)| Prf {
+            precision: p,
+            recall: r,
+            f1,
+        })
 }
 
 /// Shape checks the paper's tables must satisfy — and that the measured
@@ -97,8 +101,13 @@ pub fn paper_prf(table: &[PaperCell], method: &str, target: &str) -> Option<Prf>
 pub fn logsynergy_wins_everywhere(table: &[PaperCell]) -> bool {
     let targets: std::collections::HashSet<&str> = table.iter().map(|c| c.1).collect();
     targets.iter().all(|t| {
-        let ls = paper_prf(table, "LogSynergy", t).map(|p| p.f1).unwrap_or(0.0);
-        table.iter().filter(|c| c.1 == *t && c.0 != "LogSynergy").all(|c| c.4 < ls)
+        let ls = paper_prf(table, "LogSynergy", t)
+            .map(|p| p.f1)
+            .unwrap_or(0.0);
+        table
+            .iter()
+            .filter(|c| c.1 == *t && c.0 != "LogSynergy")
+            .all(|c| c.4 < ls)
     })
 }
 

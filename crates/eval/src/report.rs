@@ -3,7 +3,9 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{AblationResult, CaseStudy, SweepPoint, Table3Row, TargetResults, TransferResult};
+use crate::experiments::{
+    AblationResult, CaseStudy, SweepPoint, Table3Row, TargetResults, TransferResult,
+};
 
 /// Renders Table III.
 pub fn render_table3(rows: &[Table3Row]) -> String {
@@ -105,7 +107,11 @@ pub fn render_ablation(results: &[AblationResult]) -> String {
 /// Renders the Fig. 6 transfer block.
 pub fn render_transfers(results: &[TransferResult]) -> String {
     let mut s = String::from("== Fig. 6: cross-group transfer ==\n");
-    let _ = writeln!(s, "{:<12} -> {:<12} {:>8} {:>8} {:>8}", "Source", "Target", "P(%)", "R(%)", "F1(%)");
+    let _ = writeln!(
+        s,
+        "{:<12} -> {:<12} {:>8} {:>8} {:>8}",
+        "Source", "Target", "P(%)", "R(%)", "F1(%)"
+    );
     for r in results {
         let _ = writeln!(
             s,
@@ -119,8 +125,16 @@ pub fn render_transfers(results: &[TransferResult]) -> String {
 /// Renders the Fig. 8 case study.
 pub fn render_case_study(cs: &CaseStudy) -> String {
     let mut s = String::from("== Fig. 8: case study ==\n");
-    let _ = writeln!(s, "raw-representation similarity: {:.3} (margin over nearest normal: {:+.3})", cs.raw_similarity, cs.raw_margin);
-    let _ = writeln!(s, "LEI-interpretation similarity: {:.3} (margin over nearest normal: {:+.3})", cs.lei_similarity, cs.lei_margin);
+    let _ = writeln!(
+        s,
+        "raw-representation similarity: {:.3} (margin over nearest normal: {:+.3})",
+        cs.raw_similarity, cs.raw_margin
+    );
+    let _ = writeln!(
+        s,
+        "LEI-interpretation similarity: {:.3} (margin over nearest normal: {:+.3})",
+        cs.lei_similarity, cs.lei_margin
+    );
     let _ = writeln!(s, "\n-- normal System A event (raw) --");
     for t in cs.target_templates.iter().take(5) {
         let _ = writeln!(s, "  {t}");
@@ -148,14 +162,18 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::Prf;
     use crate::methods::MethodResult;
+    use crate::metrics::Prf;
 
     fn mr(name: &str, f1: f64) -> MethodResult {
         MethodResult {
             method: name.into(),
             category: "Supervised".into(),
-            prf: Prf { precision: f1, recall: f1, f1 },
+            prf: Prf {
+                precision: f1,
+                recall: f1,
+                f1,
+            },
             train_secs: 1.0,
             n_test: 10,
             n_test_anomalies: 2,
@@ -165,8 +183,14 @@ mod tests {
     #[test]
     fn group_table_renders_all_methods_and_targets() {
         let results = vec![
-            TargetResults { target: "BGL".into(), rows: vec![mr("DeepLog", 19.4), mr("LogSynergy", 83.4)] },
-            TargetResults { target: "Spirit".into(), rows: vec![mr("DeepLog", 2.0), mr("LogSynergy", 90.6)] },
+            TargetResults {
+                target: "BGL".into(),
+                rows: vec![mr("DeepLog", 19.4), mr("LogSynergy", 83.4)],
+            },
+            TargetResults {
+                target: "Spirit".into(),
+                rows: vec![mr("DeepLog", 2.0), mr("LogSynergy", 90.6)],
+            },
         ];
         let out = render_group_table("Table IV", &results);
         assert!(out.contains("BGL"));

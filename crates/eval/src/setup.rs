@@ -167,12 +167,15 @@ mod tests {
 
     #[test]
     fn scales_land_near_target_log_count() {
-        let cfg = ExperimentConfig { logs_per_dataset: 5_000, ..ExperimentConfig::quick() };
+        let cfg = ExperimentConfig {
+            logs_per_dataset: 5_000,
+            ..ExperimentConfig::quick()
+        };
         for sys in SystemId::ALL {
             let ds = cfg.generate(sys);
             let n = ds.records.len();
             assert!(
-                n >= 4_000 && n <= 8_000,
+                (4_000..=8_000).contains(&n),
                 "{sys:?}: {n} logs, wanted ~5000"
             );
         }

@@ -34,7 +34,10 @@ impl KnowledgeBase {
                 .collect();
             dictionaries.insert(sys, dict);
         }
-        KnowledgeBase { dictionaries, concepts }
+        KnowledgeBase {
+            dictionaries,
+            concepts,
+        }
     }
 
     /// The shared ontology the knowledge base reasons over.
@@ -45,7 +48,10 @@ impl KnowledgeBase {
     /// Translates a surface token into its canonical token for `system`,
     /// if the knowledge base recognizes it. Case-insensitive.
     pub fn canonicalize(&self, system: SystemId, surface: &str) -> Option<&'static str> {
-        self.dictionaries.get(&system)?.get(&surface.to_ascii_lowercase()).copied()
+        self.dictionaries
+            .get(&system)?
+            .get(&surface.to_ascii_lowercase())
+            .copied()
     }
 
     /// Without system context ("which system did this come from?") the LLM
@@ -109,8 +115,9 @@ mod tests {
     #[test]
     fn best_concept_identifies_from_full_token_set() {
         let kb = KnowledgeBase::new();
-        let (c, score) =
-            kb.best_concept(&["network", "connection", "interrupted", "loss", "signal"]).unwrap();
+        let (c, score) = kb
+            .best_concept(&["network", "connection", "interrupted", "loss", "signal"])
+            .unwrap();
         assert_eq!(c.name, "network_interruption");
         assert!((score - 1.0).abs() < 1e-9);
     }

@@ -29,7 +29,11 @@ pub struct ReviewPolicy {
 
 impl Default for ReviewPolicy {
     fn default() -> Self {
-        ReviewPolicy { max_len: 200, max_retries: 5, consistency_samples: 2 }
+        ReviewPolicy {
+            max_len: 200,
+            max_retries: 5,
+            consistency_samples: 2,
+        }
     }
 }
 
@@ -141,7 +145,10 @@ mod tests {
         let (outs, stats) =
             interpret_with_review(&lei, SystemId::Bgl, &templates(SystemId::Bgl), &policy);
         assert!(outs.iter().all(|i| passes_review(i, &policy)));
-        assert!(stats.regenerated > 0, "50% format errors must trigger regeneration");
+        assert!(
+            stats.regenerated > 0,
+            "50% format errors must trigger regeneration"
+        );
         assert_eq!(stats.reviewed, outs.len());
     }
 
@@ -154,8 +161,12 @@ mod tests {
             ..LeiConfig::default()
         });
         let policy = ReviewPolicy::default();
-        let (outs, stats) =
-            interpret_with_review(&lei, SystemId::Spirit, &templates(SystemId::Spirit), &policy);
+        let (outs, stats) = interpret_with_review(
+            &lei,
+            SystemId::Spirit,
+            &templates(SystemId::Spirit),
+            &policy,
+        );
         // All hallucinated, none regenerated: format review is blind to them.
         assert!(outs.iter().all(|i| i.hallucinated));
         assert_eq!(stats.regenerated, 0);
@@ -169,9 +180,16 @@ mod tests {
             coverage: 1.0,
             ..LeiConfig::default()
         });
-        let policy = ReviewPolicy { max_retries: 2, ..ReviewPolicy::default() };
-        let (outs, stats) =
-            interpret_with_review(&lei, SystemId::SystemA, &templates(SystemId::SystemA), &policy);
+        let policy = ReviewPolicy {
+            max_retries: 2,
+            ..ReviewPolicy::default()
+        };
+        let (outs, stats) = interpret_with_review(
+            &lei,
+            SystemId::SystemA,
+            &templates(SystemId::SystemA),
+            &policy,
+        );
         assert!(outs.iter().all(|i| passes_review(i, &policy)));
         assert!(stats.repaired >= outs.len(), "every clean() pass repairs");
     }
@@ -185,8 +203,12 @@ mod tests {
             ..LeiConfig::default()
         });
         let policy = ReviewPolicy::default();
-        let (_, stats) =
-            interpret_with_review(&lei, SystemId::SystemB, &templates(SystemId::SystemB), &policy);
+        let (_, stats) = interpret_with_review(
+            &lei,
+            SystemId::SystemB,
+            &templates(SystemId::SystemB),
+            &policy,
+        );
         assert_eq!(stats.regenerated, 0);
         assert_eq!(stats.repaired, 0);
     }

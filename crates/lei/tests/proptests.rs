@@ -1,6 +1,8 @@
 //! Property tests for the LEI simulator and review workflow.
 
-use logsynergy_lei::{interpret_with_review, passes_review, LeiConfig, LlmInterpreter, ReviewPolicy};
+use logsynergy_lei::{
+    interpret_with_review, passes_review, LeiConfig, LlmInterpreter, ReviewPolicy,
+};
 use logsynergy_loggen::{ontology, SyntaxProfile, SystemId};
 use proptest::prelude::*;
 

@@ -108,12 +108,7 @@ impl DatasetSpec {
     /// procedure-shaped stretches — which is what makes the deployment
     /// pipeline's pattern library effective. The i.i.d. default is kept
     /// for the calibrated paper experiments.
-    pub fn generate_sessions(
-        &self,
-        scale: f64,
-        anomaly_boost: f64,
-        mean_run: f64,
-    ) -> LogDataset {
+    pub fn generate_sessions(&self, scale: f64, anomaly_boost: f64, mean_run: f64) -> LogDataset {
         assert!(mean_run >= 1.0, "mean_run must be >= 1");
         self.generate_inner(scale, anomaly_boost, mean_run)
     }
@@ -146,15 +141,16 @@ impl DatasetSpec {
         // Table III density ordering survives. The cap never cuts below
         // the unboosted base count.
         let windows_per_log = 1.0 / WINDOW_STEP;
-        let max_bursts =
-            (0.18 * n as f64 * windows_per_log / windows_per_burst).max(base_bursts);
+        let max_bursts = (0.18 * n as f64 * windows_per_log / windows_per_burst).max(base_bursts);
         // Floor: tiny scaled runs still need enough anomalies for metrics
         // to be meaningful (Table III's sparsest systems would otherwise
         // yield single-digit anomalous sequences). The floor is far below
         // the cap, so the relative density ordering of Table III survives.
         let min_bursts = if anomaly_boost > 1.0 { 40.0 } else { 1.0 };
-        let n_bursts =
-            (base_bursts * anomaly_boost).max(min_bursts).min(max_bursts).round() as usize;
+        let n_bursts = (base_bursts * anomaly_boost)
+            .max(min_bursts)
+            .min(max_bursts)
+            .round() as usize;
 
         // Burst start positions: evenly spaced with jitter, each assigned a
         // concept admissible at that stream position (onset respected).
@@ -230,9 +226,8 @@ impl DatasetSpec {
             // mode, keep emitting the current concept with probability
             // 1 - 1/mean_run (a geometric run).
             let frac = i as f64 / n as f64;
-            let continue_run = mean_run > 1.0
-                && current_run.is_some()
-                && rng.gen::<f64>() < 1.0 - 1.0 / mean_run;
+            let continue_run =
+                mean_run > 1.0 && current_run.is_some() && rng.gen::<f64>() < 1.0 - 1.0 / mean_run;
             let pick = if continue_run {
                 current_run.unwrap()
             } else {
@@ -268,7 +263,10 @@ impl DatasetSpec {
             });
             i += 1;
         }
-        LogDataset { system: self.system, records }
+        LogDataset {
+            system: self.system,
+            records,
+        }
     }
 }
 
@@ -341,7 +339,10 @@ mod tests {
         let b = spec.generate_sessions(0.002, 2.0, 1.0);
         assert_eq!(a.records.len(), b.records.len());
         for (x, y) in a.records.iter().zip(&b.records) {
-            assert_eq!(x.message, y.message, "mean_run = 1 must be byte-identical to default");
+            assert_eq!(
+                x.message, y.message,
+                "mean_run = 1 must be byte-identical to default"
+            );
         }
     }
 

@@ -19,19 +19,29 @@ fn ids(v: &[u16]) -> Vec<ConceptId> {
     v.iter().map(|&i| ConceptId(i)).collect()
 }
 
-/// Standard onset schedule: the first two concepts are present from the
-/// start of the stream; later ones appear progressively deeper, landing in
-/// the continuous split's test region.
+// Standard onset schedule: the first two concepts are present from the
+// start of the stream; later ones appear progressively deeper, landing in
+// the continuous split's test region.
 
 /// Onsets for a normal-concept list: 0.0 everywhere except the ids in
 /// `late`, which appear at 30% of the stream (new workloads rolled out
 /// after the detection model's training slice).
 fn normal_onsets(list: &[u16], late: &[u16]) -> Vec<f64> {
-    list.iter().map(|id| if late.contains(id) { 0.3 } else { 0.0 }).collect()
+    list.iter()
+        .map(|id| if late.contains(id) { 0.3 } else { 0.0 })
+        .collect()
 }
 
- fn onsets(n: usize) -> Vec<f64> {
-    (0..n).map(|i| if i == 0 { 0.0 } else { 0.12 + 0.06 * (i as f64 - 1.0) }).collect()
+fn onsets(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                0.0
+            } else {
+                0.12 + 0.06 * (i as f64 - 1.0)
+            }
+        })
+        .collect()
 }
 
 // Anomaly concept ids (see `ontology::ontology` order):
@@ -48,7 +58,10 @@ pub fn bgl() -> DatasetSpec {
         n_logs: 1_356_817,
         target_anomalous_sequences: 29_092,
         normal_concepts: ids(&[0, 1, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17]),
-        normal_onsets: normal_onsets(&[0, 1, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17], &[12, 16]),
+        normal_onsets: normal_onsets(
+            &[0, 1, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17],
+            &[12, 16],
+        ),
         anomaly_concepts: ids(&anomalies),
         anomaly_onsets: onsets(anomalies.len()),
         seed: 0xB61,
@@ -63,7 +76,10 @@ pub fn spirit() -> DatasetSpec {
         n_logs: 4_783_733,
         target_anomalous_sequences: 8_857,
         normal_concepts: ids(&[0, 1, 2, 4, 5, 7, 8, 10, 11, 12, 13, 16, 17, 19, 32]),
-        normal_onsets: normal_onsets(&[0, 1, 2, 4, 5, 7, 8, 10, 11, 12, 13, 16, 17, 19, 32], &[5, 8]),
+        normal_onsets: normal_onsets(
+            &[0, 1, 2, 4, 5, 7, 8, 10, 11, 12, 13, 16, 17, 19, 32],
+            &[5, 8],
+        ),
         anomaly_concepts: ids(&anomalies),
         anomaly_onsets: onsets(anomalies.len()),
         seed: 0x521,
@@ -78,7 +94,10 @@ pub fn thunderbird() -> DatasetSpec {
         n_logs: 700_005,
         target_anomalous_sequences: 5_946,
         normal_concepts: ids(&[0, 1, 3, 4, 5, 6, 8, 9, 11, 12, 13, 15, 16, 18, 32]),
-        normal_onsets: normal_onsets(&[0, 1, 3, 4, 5, 6, 8, 9, 11, 12, 13, 15, 16, 18, 32], &[11, 32]),
+        normal_onsets: normal_onsets(
+            &[0, 1, 3, 4, 5, 6, 8, 9, 11, 12, 13, 15, 16, 18, 32],
+            &[11, 32],
+        ),
         anomaly_concepts: ids(&anomalies),
         anomaly_onsets: onsets(anomalies.len()),
         seed: 0x7B1,
@@ -94,7 +113,10 @@ pub fn system_a() -> DatasetSpec {
         n_logs: 2_166_422,
         target_anomalous_sequences: 886,
         normal_concepts: ids(&[0, 1, 2, 3, 4, 5, 6, 9, 10, 15, 16, 17, 18, 19, 32]),
-        normal_onsets: normal_onsets(&[0, 1, 2, 3, 4, 5, 6, 9, 10, 15, 16, 17, 18, 19, 32], &[6, 19]),
+        normal_onsets: normal_onsets(
+            &[0, 1, 2, 3, 4, 5, 6, 9, 10, 15, 16, 17, 18, 19, 32],
+            &[6, 19],
+        ),
         anomaly_concepts: ids(&anomalies),
         anomaly_onsets: onsets(anomalies.len()),
         seed: 0xA01,
@@ -125,7 +147,10 @@ pub fn system_c() -> DatasetSpec {
         n_logs: 691_433,
         target_anomalous_sequences: 5_170,
         normal_concepts: ids(&[0, 1, 2, 4, 6, 7, 9, 10, 11, 12, 13, 14, 16, 19, 33]),
-        normal_onsets: normal_onsets(&[0, 1, 2, 4, 6, 7, 9, 10, 11, 12, 13, 14, 16, 19, 33], &[2, 19]),
+        normal_onsets: normal_onsets(
+            &[0, 1, 2, 4, 6, 7, 9, 10, 11, 12, 13, 14, 16, 19, 33],
+            &[2, 19],
+        ),
         anomaly_concepts: ids(&anomalies),
         anomaly_onsets: onsets(anomalies.len()),
         seed: 0xC03,
@@ -225,7 +250,10 @@ mod tests {
         for sys in SystemId::ALL {
             let ds = spec_for(sys).generate(0.0008);
             assert!(ds.records.len() >= 100);
-            assert!(ds.num_anomalous_logs() > 0, "{sys:?} generated no anomalies");
+            assert!(
+                ds.num_anomalous_logs() > 0,
+                "{sys:?} generated no anomalies"
+            );
         }
     }
 }

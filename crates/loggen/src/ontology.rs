@@ -72,18 +72,18 @@ pub struct Concept {
 
 macro_rules! concepts {
     ($(($name:ident, $cat:ident, $anom:expr, $sev:ident, $interp:expr, [$($tok:expr),* $(,)?])),* $(,)?) => {{
-        let mut v = Vec::new();
-        $(
-            v.push(Concept {
-                id: ConceptId(v.len() as u16),
-                name: stringify!($name),
-                category: Category::$cat,
-                anomalous: $anom,
-                severity: Severity::$sev,
-                interpretation: $interp,
-                tokens: &[$($tok),*],
-            });
-        )*
+        let mut v = vec![$(Concept {
+            id: ConceptId(0), // placeholder; assigned from position below
+            name: stringify!($name),
+            category: Category::$cat,
+            anomalous: $anom,
+            severity: Severity::$sev,
+            interpretation: $interp,
+            tokens: &[$($tok),*],
+        }),*];
+        for (i, c) in v.iter_mut().enumerate() {
+            c.id = ConceptId(i as u16);
+        }
         v
     }};
 }
@@ -92,111 +92,293 @@ macro_rules! concepts {
 pub fn ontology() -> Vec<Concept> {
     concepts![
         // ------------------------- normal operations -------------------------
-        (heartbeat_ok, Service, false, Info,
+        (
+            heartbeat_ok,
+            Service,
+            false,
+            Info,
             "periodic heartbeat reported healthy status",
-            ["heartbeat", "status", "healthy", "periodic"]),
-        (request_handled, Service, false, Info,
+            ["heartbeat", "status", "healthy", "periodic"]
+        ),
+        (
+            request_handled,
+            Service,
+            false,
+            Info,
             "client request handled successfully",
-            ["client", "request", "handled", "success"]),
-        (cache_hit, Memory, false, Info,
+            ["client", "request", "handled", "success"]
+        ),
+        (
+            cache_hit,
+            Memory,
+            false,
+            Info,
             "cache lookup hit for requested key",
-            ["cache", "lookup", "hit", "key"]),
-        (cache_miss, Memory, false, Warn,
+            ["cache", "lookup", "hit", "key"]
+        ),
+        (
+            cache_miss,
+            Memory,
+            false,
+            Warn,
             "cache lookup missed and fetched from backing store",
-            ["cache", "lookup", "miss", "fetch", "store"]),
-        (session_open, Network, false, Info,
+            ["cache", "lookup", "miss", "fetch", "store"]
+        ),
+        (
+            session_open,
+            Network,
+            false,
+            Info,
             "network session opened with peer",
-            ["session", "opened", "peer", "network"]),
-        (session_close, Network, false, Info,
+            ["session", "opened", "peer", "network"]
+        ),
+        (
+            session_close,
+            Network,
+            false,
+            Info,
             "network session closed normally",
-            ["session", "closed", "normal", "network"]),
-        (config_reload, Service, false, Info,
+            ["session", "closed", "normal", "network"]
+        ),
+        (
+            config_reload,
+            Service,
+            false,
+            Info,
             "configuration reloaded successfully",
-            ["configuration", "reloaded", "success"]),
-        (gc_cycle, Memory, false, Info,
+            ["configuration", "reloaded", "success"]
+        ),
+        (
+            gc_cycle,
+            Memory,
+            false,
+            Info,
             "garbage collection cycle completed",
-            ["garbage", "collection", "cycle", "completed"]),
-        (disk_write_ok, Storage, false, Info,
+            ["garbage", "collection", "cycle", "completed"]
+        ),
+        (
+            disk_write_ok,
+            Storage,
+            false,
+            Info,
             "data block written to disk successfully",
-            ["data", "block", "written", "disk", "success"]),
-        (replication_sync, Replication, false, Info,
+            ["data", "block", "written", "disk", "success"]
+        ),
+        (
+            replication_sync,
+            Replication,
+            false,
+            Info,
             "replica synchronized with primary",
-            ["replica", "synchronized", "primary"]),
-        (auth_success, Auth, false, Info,
+            ["replica", "synchronized", "primary"]
+        ),
+        (
+            auth_success,
+            Auth,
+            false,
+            Info,
             "user authenticated successfully",
-            ["user", "authenticated", "success"]),
-        (job_scheduled, Compute, false, Info,
+            ["user", "authenticated", "success"]
+        ),
+        (
+            job_scheduled,
+            Compute,
+            false,
+            Info,
             "batch job scheduled on node",
-            ["batch", "job", "scheduled", "node"]),
-        (job_finished, Compute, false, Info,
+            ["batch", "job", "scheduled", "node"]
+        ),
+        (
+            job_finished,
+            Compute,
+            false,
+            Info,
             "batch job finished with exit status zero",
-            ["batch", "job", "finished", "exit", "zero"]),
-        (packet_forwarded, Network, false, Info,
+            ["batch", "job", "finished", "exit", "zero"]
+        ),
+        (
+            packet_forwarded,
+            Network,
+            false,
+            Info,
             "packet forwarded to next hop",
-            ["packet", "forwarded", "next", "hop"]),
-        (thermal_normal, Hardware, false, Info,
+            ["packet", "forwarded", "next", "hop"]
+        ),
+        (
+            thermal_normal,
+            Hardware,
+            false,
+            Info,
             "temperature sensors within normal range",
-            ["temperature", "sensor", "normal", "range"]),
-        (memory_usage_report, Memory, false, Info,
+            ["temperature", "sensor", "normal", "range"]
+        ),
+        (
+            memory_usage_report,
+            Memory,
+            false,
+            Info,
             "periodic memory usage report emitted",
-            ["memory", "usage", "report", "periodic"]),
-        (service_start, Service, false, Info,
+            ["memory", "usage", "report", "periodic"]
+        ),
+        (
+            service_start,
+            Service,
+            false,
+            Info,
             "service started and listening",
-            ["service", "started", "listening"]),
-        (service_stop, Service, false, Info,
+            ["service", "started", "listening"]
+        ),
+        (
+            service_stop,
+            Service,
+            false,
+            Info,
             "service stopped cleanly by operator",
-            ["service", "stopped", "cleanly", "operator"]),
-        (backup_complete, Storage, false, Info,
+            ["service", "stopped", "cleanly", "operator"]
+        ),
+        (
+            backup_complete,
+            Storage,
+            false,
+            Info,
             "scheduled backup completed successfully",
-            ["backup", "completed", "scheduled", "success"]),
-        (healthcheck_pass, Service, false, Info,
+            ["backup", "completed", "scheduled", "success"]
+        ),
+        (
+            healthcheck_pass,
+            Service,
+            false,
+            Info,
             "health check probe passed",
-            ["health", "check", "probe", "passed"]),
+            ["health", "check", "probe", "passed"]
+        ),
         // --------------------------- anomalies -------------------------------
-        (network_interruption, Network, true, Error,
+        (
+            network_interruption,
+            Network,
+            true,
+            Error,
             "network connection interrupted due to loss of signal",
-            ["network", "connection", "interrupted", "loss", "signal"]),
-        (parity_error, Hardware, true, Error,
+            ["network", "connection", "interrupted", "loss", "signal"]
+        ),
+        (
+            parity_error,
+            Hardware,
+            true,
+            Error,
             "memory parity error detected on read",
-            ["parity", "error", "detected", "read", "memory"]),
-        (memory_oom, Memory, true, Error,
+            ["parity", "error", "detected", "read", "memory"]
+        ),
+        (
+            memory_oom,
+            Memory,
+            true,
+            Error,
             "process terminated after out of memory condition",
-            ["process", "terminated", "out", "of", "memory"]),
-        (disk_failure, Storage, true, Error,
+            ["process", "terminated", "out", "of", "memory"]
+        ),
+        (
+            disk_failure,
+            Storage,
+            true,
+            Error,
             "disk device failed with unrecoverable input output error",
-            ["disk", "device", "failed", "unrecoverable", "error"]),
-        (kernel_panic, Compute, true, Error,
+            ["disk", "device", "failed", "unrecoverable", "error"]
+        ),
+        (
+            kernel_panic,
+            Compute,
+            true,
+            Error,
             "kernel panic halted the node",
-            ["kernel", "panic", "halted", "node"]),
-        (auth_failure_burst, Auth, true, Error,
+            ["kernel", "panic", "halted", "node"]
+        ),
+        (
+            auth_failure_burst,
+            Auth,
+            true,
+            Error,
             "repeated authentication failures detected for account",
-            ["repeated", "authentication", "failure", "account"]),
-        (replication_lag, Replication, true, Warn,
+            ["repeated", "authentication", "failure", "account"]
+        ),
+        (
+            replication_lag,
+            Replication,
+            true,
+            Warn,
             "replica lag exceeded threshold behind primary",
-            ["replica", "lag", "exceeded", "threshold", "primary"]),
-        (service_crash, Service, true, Error,
+            ["replica", "lag", "exceeded", "threshold", "primary"]
+        ),
+        (
+            service_crash,
+            Service,
+            true,
+            Error,
             "service crashed unexpectedly with segmentation fault",
-            ["service", "crashed", "unexpectedly", "segmentation", "fault"]),
-        (filesystem_corruption, Storage, true, Error,
+            [
+                "service",
+                "crashed",
+                "unexpectedly",
+                "segmentation",
+                "fault"
+            ]
+        ),
+        (
+            filesystem_corruption,
+            Storage,
+            true,
+            Error,
             "filesystem metadata corruption detected during scan",
-            ["filesystem", "metadata", "corruption", "detected", "scan"]),
-        (thermal_overheat, Hardware, true, Error,
+            ["filesystem", "metadata", "corruption", "detected", "scan"]
+        ),
+        (
+            thermal_overheat,
+            Hardware,
+            true,
+            Error,
             "temperature exceeded critical threshold on component",
-            ["temperature", "exceeded", "critical", "threshold", "component"]),
-        (packet_loss, Network, true, Warn,
+            [
+                "temperature",
+                "exceeded",
+                "critical",
+                "threshold",
+                "component"
+            ]
+        ),
+        (
+            packet_loss,
+            Network,
+            true,
+            Warn,
             "severe packet loss observed on link",
-            ["severe", "packet", "loss", "observed", "link"]),
-        (deadlock_detected, Compute, true, Error,
+            ["severe", "packet", "loss", "observed", "link"]
+        ),
+        (
+            deadlock_detected,
+            Compute,
+            true,
+            Error,
             "deadlock detected between worker threads",
-            ["deadlock", "detected", "worker", "threads"]),
+            ["deadlock", "detected", "worker", "threads"]
+        ),
         // Normal concepts that log at error level (imperfect severity signal,
         // per the paper's external-threat analysis).
-        (login_retry, Auth, false, Error,
+        (
+            login_retry,
+            Auth,
+            false,
+            Error,
             "client login attempt failed and will be retried",
-            ["client", "login", "attempt", "failed", "retried"]),
-        (transient_timeout, Service, false, Error,
+            ["client", "login", "attempt", "failed", "retried"]
+        ),
+        (
+            transient_timeout,
+            Service,
+            false,
+            Error,
             "transient request timeout recovered after retry",
-            ["transient", "request", "timeout", "recovered", "retry"]),
+            ["transient", "request", "timeout", "recovered", "retry"]
+        ),
     ]
 }
 

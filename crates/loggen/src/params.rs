@@ -72,7 +72,10 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    const STYLE: ParamStyle = ParamStyle { node_prefix: "R", path_root: "/var/log" };
+    const STYLE: ParamStyle = ParamStyle {
+        node_prefix: "R",
+        path_root: "/var/log",
+    };
 
     #[test]
     fn values_have_digits_for_drain_masking() {

@@ -126,8 +126,20 @@ fn synonyms(token: &str) -> &'static [&'static str] {
         "primary" => &["primary", "master", "leader", "upstream", "origin"],
         "service" => &["service", "svc", "daemon", "module", "component"],
         "crashed" => &["crashed", "died", "aborted", "coredumped", "segfaulted"],
-        "unexpectedly" => &["unexpectedly", "abruptly", "suddenly", "spontaneously", "unplanned"],
-        "segmentation" => &["segmentation", "segv", "sigsegv", "segfault", "accessviolation"],
+        "unexpectedly" => &[
+            "unexpectedly",
+            "abruptly",
+            "suddenly",
+            "spontaneously",
+            "unplanned",
+        ],
+        "segmentation" => &[
+            "segmentation",
+            "segv",
+            "sigsegv",
+            "segfault",
+            "accessviolation",
+        ],
         "fault" => &["fault", "flt", "violation", "trap", "abort"],
         "filesystem" => &["filesystem", "fs", "vfs", "superblock", "mount"],
         "metadata" => &["metadata", "meta", "inode", "journal", "descriptor"],
@@ -173,7 +185,13 @@ fn synonyms(token: &str) -> &'static [&'static str] {
         "written" => &["written", "write", "flushed", "persisted", "committed"],
         "synchronized" => &["synchronized", "synced", "caughtup", "aligned", "converged"],
         "user" => &["user", "usr", "account", "subject", "login"],
-        "authenticated" => &["authenticated", "authed", "verified", "loggedin", "validated"],
+        "authenticated" => &[
+            "authenticated",
+            "authed",
+            "verified",
+            "loggedin",
+            "validated",
+        ],
         "batch" => &["batch", "btch", "bulk", "queued", "offline"],
         "job" => &["job", "jb", "task", "run", "workitem"],
         "scheduled" => &["scheduled", "queued", "planned", "dispatched", "enqueued"],
@@ -237,12 +255,30 @@ impl SyntaxProfile {
             SystemId::SystemC => Casing::Upper,
         };
         let param_style = match system {
-            SystemId::Bgl => ParamStyle { node_prefix: "R", path_root: "/bgl/ciod" },
-            SystemId::Spirit => ParamStyle { node_prefix: "sn", path_root: "/var/spool" },
-            SystemId::Thunderbird => ParamStyle { node_prefix: "tbird-", path_root: "/scratch" },
-            SystemId::SystemA => ParamStyle { node_prefix: "cdms-a", path_root: "/data/a" },
-            SystemId::SystemB => ParamStyle { node_prefix: "cdms-b", path_root: "/data/b" },
-            SystemId::SystemC => ParamStyle { node_prefix: "cdms-c", path_root: "/data/c" },
+            SystemId::Bgl => ParamStyle {
+                node_prefix: "R",
+                path_root: "/bgl/ciod",
+            },
+            SystemId::Spirit => ParamStyle {
+                node_prefix: "sn",
+                path_root: "/var/spool",
+            },
+            SystemId::Thunderbird => ParamStyle {
+                node_prefix: "tbird-",
+                path_root: "/scratch",
+            },
+            SystemId::SystemA => ParamStyle {
+                node_prefix: "cdms-a",
+                path_root: "/data/a",
+            },
+            SystemId::SystemB => ParamStyle {
+                node_prefix: "cdms-b",
+                path_root: "/data/b",
+            },
+            SystemId::SystemC => ParamStyle {
+                node_prefix: "cdms-c",
+                path_root: "/data/c",
+            },
         };
         let rotation = system.index() % 3;
 
@@ -292,7 +328,14 @@ impl SyntaxProfile {
             reverse.insert(pick.clone(), tok);
             lexicon.insert(tok, pick);
         }
-        SyntaxProfile { system, casing, lexicon, reverse, param_style, rotation }
+        SyntaxProfile {
+            system,
+            casing,
+            lexicon,
+            reverse,
+            param_style,
+            rotation,
+        }
     }
 
     /// The system this profile renders for.
@@ -302,7 +345,10 @@ impl SyntaxProfile {
 
     /// Surface form of a canonical token in this system's vocabulary.
     pub fn surface<'a>(&'a self, canonical: &'a str) -> &'a str {
-        self.lexicon.get(canonical).map(|s| s.as_str()).unwrap_or(canonical)
+        self.lexicon
+            .get(canonical)
+            .map(|s| s.as_str())
+            .unwrap_or(canonical)
     }
 
     /// The system's surface → canonical mapping (consumed by the LEI
@@ -342,12 +388,24 @@ impl SyntaxProfile {
         let sev = self.severity_word(concept);
         match self.system {
             SystemId::Bgl => format!("RAS {} {}", category_tag(concept.category), sev),
-            SystemId::Spirit => format!("{}[{}]:", daemon_name(concept.category), sev.to_ascii_lowercase()),
+            SystemId::Spirit => format!(
+                "{}[{}]:",
+                daemon_name(concept.category),
+                sev.to_ascii_lowercase()
+            ),
             SystemId::Thunderbird => {
-                format!("{}-daemon {}:", category_tag(concept.category).to_ascii_lowercase(), sev.to_ascii_lowercase())
+                format!(
+                    "{}-daemon {}:",
+                    category_tag(concept.category).to_ascii_lowercase(),
+                    sev.to_ascii_lowercase()
+                )
             }
             SystemId::SystemA => format!("svcA|{}|{}|", category_tag(concept.category), sev),
-            SystemId::SystemB => format!("[b-{}] {}", daemon_name(concept.category), sev.to_ascii_lowercase()),
+            SystemId::SystemB => format!(
+                "[b-{}] {}",
+                daemon_name(concept.category),
+                sev.to_ascii_lowercase()
+            ),
             SystemId::SystemC => format!("C::{}::{}", category_tag(concept.category), sev),
         }
     }
@@ -408,8 +466,11 @@ impl SyntaxProfile {
 
     /// The fixed (parameter-free) token prefix of a variant.
     fn template_variant_text(&self, concept: &Concept, alt: bool) -> String {
-        let mut body: Vec<String> =
-            concept.tokens.iter().map(|t| self.surface(t).to_string()).collect();
+        let mut body: Vec<String> = concept
+            .tokens
+            .iter()
+            .map(|t| self.surface(t).to_string())
+            .collect();
         // Word-order divergence: rotate the body tokens per system; the
         // alternate statement additionally reverses them (a different log
         // statement wording for the same event).
@@ -498,7 +559,11 @@ mod tests {
                 .flat_map(|c| c.tokens.iter())
                 .collect::<std::collections::HashSet<_>>()
                 .len();
-            assert_eq!(p.reverse_lexicon().len(), fwd, "{sys:?} lexicon not injective");
+            assert_eq!(
+                p.reverse_lexicon().len(),
+                fwd,
+                "{sys:?} lexicon not injective"
+            );
         }
     }
 
@@ -540,10 +605,14 @@ mod tests {
         // Case-insensitive body-token overlap (embeddings lowercase
         // everything, so casing differences do not matter downstream).
         let all = ontology();
-        let body = |sys: SystemId, c: &crate::ontology::Concept| -> std::collections::HashSet<String> {
-            let p = SyntaxProfile::new(sys, &all);
-            c.tokens.iter().map(|t| p.surface(t).to_ascii_lowercase()).collect()
-        };
+        let body =
+            |sys: SystemId, c: &crate::ontology::Concept| -> std::collections::HashSet<String> {
+                let p = SyntaxProfile::new(sys, &all);
+                c.tokens
+                    .iter()
+                    .map(|t| p.surface(t).to_ascii_lowercase())
+                    .collect()
+            };
         let overlap = |a: SystemId, b: SystemId| -> f64 {
             let mut inter = 0usize;
             let mut total = 0usize;
@@ -600,7 +669,10 @@ mod tests {
         assert_ne!(t0, t1, "variants must produce distinct Drain templates");
         let set0: std::collections::HashSet<&str> = t0.split(' ').collect();
         let set1: std::collections::HashSet<&str> = t1.split(' ').collect();
-        assert_eq!(set0, set1, "variants carry the same surface vocabulary for LEI");
+        assert_eq!(
+            set0, set1,
+            "variants carry the same surface vocabulary for LEI"
+        );
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub struct DrainConfig {
 
 impl Default for DrainConfig {
     fn default() -> Self {
-        DrainConfig { depth: 2, sim_threshold: 0.5, max_children: 100, mask_numbers: true }
+        DrainConfig {
+            depth: 2,
+            sim_threshold: 0.5,
+            max_children: 100,
+            mask_numbers: true,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ impl Drain {
             (0.0..=1.0).contains(&config.sim_threshold),
             "similarity threshold out of [0,1]"
         );
-        Drain { config, root: HashMap::new(), templates: Vec::new() }
+        Drain {
+            config,
+            root: HashMap::new(),
+            templates: Vec::new(),
+        }
     }
 
     /// Parser with default configuration.
@@ -127,9 +136,7 @@ impl Drain {
         if token == WILDCARD {
             return WILDCARD.to_string();
         }
-        if node.children.contains_key(token) {
-            token.to_string()
-        } else if node.children.len() < max_children {
+        if node.children.contains_key(token) || node.children.len() < max_children {
             token.to_string()
         } else {
             WILDCARD.to_string()
@@ -194,7 +201,11 @@ impl Drain {
             }
             _ => {
                 let id = EventId(self.templates.len() as u32);
-                self.templates.push(Template { id, tokens: tokens.clone(), count: 1 });
+                self.templates.push(Template {
+                    id,
+                    tokens: tokens.clone(),
+                    count: 1,
+                });
                 node.groups.push(self.templates.len() - 1);
                 self.templates.len() - 1
             }
@@ -209,7 +220,10 @@ impl Drain {
             .filter(|(_, t)| *t == WILDCARD)
             .map(|(i, _)| raw.get(i).copied().unwrap_or("").to_string())
             .collect();
-        ParsedLog { event: template.id, params }
+        ParsedLog {
+            event: template.id,
+            params,
+        }
     }
 
     /// Parses a batch of messages, returning their event ids.
@@ -240,7 +254,11 @@ mod tests {
         assert_eq!(a.event, b.event);
         let t = d.template(a.event);
         assert!(t.tokens.contains(&WILDCARD.to_string()));
-        assert_eq!(t.tokens[4], WILDCARD, "diverging token should be masked: {:?}", t.tokens);
+        assert_eq!(
+            t.tokens[4], WILDCARD,
+            "diverging token should be masked: {:?}",
+            t.tokens
+        );
     }
 
     #[test]
@@ -289,7 +307,10 @@ mod tests {
 
     #[test]
     fn max_children_overflow_routes_to_wildcard() {
-        let mut d = Drain::new(DrainConfig { max_children: 2, ..DrainConfig::default() });
+        let mut d = Drain::new(DrainConfig {
+            max_children: 2,
+            ..DrainConfig::default()
+        });
         // Three distinct leading tokens with only 2 child slots.
         d.parse("aaa common tail token");
         d.parse("bbb common tail token");

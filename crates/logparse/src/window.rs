@@ -18,7 +18,10 @@ pub struct WindowConfig {
 impl Default for WindowConfig {
     /// The paper's setting: length 10, step 5.
     fn default() -> Self {
-        WindowConfig { length: 10, step: 5 }
+        WindowConfig {
+            length: 10,
+            step: 5,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ pub struct LogSequence {
 /// streams still produce a sequence).
 pub fn windows(events: &[EventId], labels: &[bool], config: WindowConfig) -> Vec<LogSequence> {
     assert_eq!(events.len(), labels.len(), "events/labels length mismatch");
-    assert!(config.length > 0 && config.step > 0, "degenerate window config");
+    assert!(
+        config.length > 0 && config.step > 0,
+        "degenerate window config"
+    );
     let n = events.len();
     if n == 0 {
         return vec![];

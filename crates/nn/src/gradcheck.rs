@@ -41,7 +41,10 @@ pub fn gradcheck(f: impl Fn(&Graph, Var) -> Var, x: &Tensor, eps: f32) -> f32 {
 /// within `tol` (relative).
 pub fn assert_gradcheck(f: impl Fn(&Graph, Var) -> Var, x: &Tensor, tol: f32) {
     let err = gradcheck(f, x, 1e-2);
-    assert!(err < tol, "gradcheck failed: max relative error {err} >= {tol}");
+    assert!(
+        err < tol,
+        "gradcheck failed: max relative error {err} >= {tol}"
+    );
 }
 
 #[cfg(test)]

@@ -60,12 +60,24 @@ impl Graph {
 
     /// Appends a leaf node that does not require gradients (an input).
     pub fn input(&self, value: Tensor) -> Var {
-        self.push(Node { value, grad: None, parents: vec![], backward: None, needs_grad: false })
+        self.push(Node {
+            value,
+            grad: None,
+            parents: vec![],
+            backward: None,
+            needs_grad: false,
+        })
     }
 
     /// Appends a leaf node that accumulates gradients (a free parameter).
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(Node { value, grad: None, parents: vec![], backward: None, needs_grad: true })
+        self.push(Node {
+            value,
+            grad: None,
+            parents: vec![],
+            backward: None,
+            needs_grad: true,
+        })
     }
 
     /// Binds parameter `id` from `store` onto the tape, recording the
@@ -82,7 +94,13 @@ impl Graph {
             let nodes = self.nodes.borrow();
             parents.iter().any(|p| nodes[p.0].needs_grad)
         };
-        self.push(Node { value, grad: None, parents, backward: Some(backward), needs_grad })
+        self.push(Node {
+            value,
+            grad: None,
+            parents,
+            backward: Some(backward),
+            needs_grad,
+        })
     }
 
     fn push(&self, node: Node) -> Var {
@@ -128,7 +146,12 @@ impl Graph {
         {
             let mut nodes = self.nodes.borrow_mut();
             let l = &mut nodes[loss.0];
-            assert_eq!(l.value.len(), 1, "backward() from non-scalar {:?}", l.value.shape());
+            assert_eq!(
+                l.value.len(),
+                1,
+                "backward() from non-scalar {:?}",
+                l.value.shape()
+            );
             l.grad = Some(Tensor::ones(l.value.shape()));
         }
         for i in (0..=loss.0).rev() {
@@ -147,7 +170,11 @@ impl Graph {
             };
             let Some(backward) = backward else { continue };
             let parent_grads = backward(&grad);
-            assert_eq!(parent_grads.len(), parents.len(), "backward arity mismatch at node {i}");
+            assert_eq!(
+                parent_grads.len(),
+                parents.len(),
+                "backward arity mismatch at node {i}"
+            );
             let mut nodes = self.nodes.borrow_mut();
             for (p, pg) in parents.iter().zip(parent_grads) {
                 let pn = &mut nodes[p.0];
@@ -175,6 +202,46 @@ impl Graph {
         for &(id, v) in self.bindings.borrow().iter() {
             if let Some(g) = &nodes[v.0].grad {
                 store.grad_mut(id).add_assign(g);
+            }
+        }
+    }
+
+    /// Heap bytes held by the tape: every distinct value/gradient buffer,
+    /// deduplicated by storage identity.
+    ///
+    /// Because backward closures capture copy-on-write clones of node
+    /// values, their captures alias buffers already counted here; only
+    /// fused-op stashes (e.g. kept activations) fall outside this measure.
+    pub fn tape_bytes(&self) -> usize {
+        let nodes = self.nodes.borrow();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for node in nodes.iter() {
+            for t in std::iter::once(&node.value).chain(node.grad.as_ref()) {
+                if seen.insert(t.storage_id()) {
+                    total += t.storage_bytes();
+                }
+            }
+        }
+        total
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // Recycle uniquely-owned tape buffers into the kernel arena so the
+        // next tape (same model, same shapes) reuses them. Backward
+        // closures go first: they hold copy-on-write aliases of node
+        // values, and the node must be the last owner for recycling to
+        // reclaim the buffer.
+        let nodes = self.nodes.get_mut();
+        for node in nodes.iter_mut() {
+            node.backward = None;
+        }
+        for node in nodes.drain(..) {
+            node.value.recycle();
+            if let Some(grad) = node.grad {
+                grad.recycle();
             }
         }
     }
@@ -260,7 +327,11 @@ impl ParamStore {
 
     /// Global L2 norm across all gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.grads.iter().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.

@@ -1,0 +1,124 @@
+//! Thread-local scratch-buffer arena for tape allocations.
+//!
+//! Every op on a [`crate::graph::Graph`] tape allocates an output buffer,
+//! and training builds one tape per minibatch — the same buffer sizes over
+//! and over. Dropping a graph recycles the buffers it uniquely owns back
+//! into this arena (see `Graph`'s `Drop`), so steady-state training reuses
+//! allocations instead of round-tripping the system allocator per node.
+//!
+//! Buffers are bucketed by power-of-two capacity class. [`take_zeroed`]
+//! zero-fills what it hands out, so a recycled buffer is indistinguishable
+//! from a fresh `vec![0.0; n]` — reuse cannot change results. The arena is
+//! thread-local: graphs are single-threaded objects, and kernel worker
+//! threads never allocate.
+
+use std::cell::RefCell;
+
+/// Buckets cover capacities up to `2^MAX_CLASS` elements (1 GiB of `f32`).
+const MAX_CLASS: usize = 28;
+/// Retained buffers per capacity class; excess is returned to the allocator.
+const MAX_PER_CLASS: usize = 64;
+
+#[derive(Default)]
+struct Arena {
+    /// `classes[c]` holds buffers with `2^c <= capacity < 2^(c+1)`.
+    classes: Vec<Vec<Vec<f32>>>,
+    fresh: usize,
+    reused: usize,
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+}
+
+fn class_of(capacity: usize) -> usize {
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+/// A buffer of length `n`, all zeros, recycled from the arena when possible.
+pub fn take_zeroed(n: usize) -> Vec<f32> {
+    let mut v = take_cleared(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// An empty buffer with capacity ≥ `n`, recycled from the arena when
+/// possible. Capacities are rounded up to a power of two so buffers keep
+/// matching their bucket when they come back.
+pub fn take_cleared(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let want = n.next_power_of_two();
+    ARENA.with(|a| {
+        let a = &mut *a.borrow_mut();
+        let c = class_of(want);
+        if let Some(buf) = a.classes.get_mut(c).and_then(Vec::pop) {
+            a.reused += 1;
+            return buf;
+        }
+        a.fresh += 1;
+        Vec::with_capacity(want)
+    })
+}
+
+/// Returns a buffer to the arena for later reuse.
+pub fn give(mut v: Vec<f32>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    let c = class_of(v.capacity());
+    if c > MAX_CLASS {
+        return;
+    }
+    ARENA.with(|a| {
+        let a = &mut *a.borrow_mut();
+        if a.classes.len() <= c {
+            a.classes.resize_with(c + 1, Vec::new);
+        }
+        if a.classes[c].len() < MAX_PER_CLASS {
+            a.classes[c].push(v);
+        }
+    });
+}
+
+/// `(fresh, reused)` allocation counters for this thread's arena.
+pub fn stats() -> (usize, usize) {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        (a.fresh, a.reused)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_round_trip_through_the_arena() {
+        let (fresh0, reused0) = stats();
+        let v = take_zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.capacity() >= 1024);
+        assert!(v.iter().all(|&x| x == 0.0));
+        give(v);
+        let w = take_zeroed(800); // same power-of-two class as 1000
+        let (fresh1, reused1) = stats();
+        assert_eq!(fresh1, fresh0 + 1, "second take should reuse, not allocate");
+        assert_eq!(reused1, reused0 + 1);
+        assert!(
+            w.iter().all(|&x| x == 0.0),
+            "recycled buffers come back zeroed"
+        );
+    }
+
+    #[test]
+    fn zero_length_takes_are_free() {
+        let (fresh0, _) = stats();
+        let v = take_zeroed(0);
+        assert!(v.is_empty());
+        give(v);
+        assert_eq!(stats().0, fresh0);
+    }
+}

@@ -1,0 +1,823 @@
+//! Cache-blocked, register-tiled 2-D matmul micro-kernels.
+//!
+//! Three entry points cover every product the autograd tape needs without
+//! ever materializing a transposed operand:
+//!
+//! - [`mm`]:    `C[m,n] += A[m,k] · B[k,n]`
+//! - [`mm_nt`]: `C[m,n] += A[m,k] · B[n,k]ᵀ`   (backward dA, attention scores)
+//! - [`mm_tn`]: `C[k,n] += A[m,k]ᵀ · B[m,n]`   (backward dB / weight grads)
+//!
+//! All three parallelize over disjoint blocks of **output rows** and fix the
+//! per-element reduction order (ascending over the contracted index, with a
+//! fixed lane structure in [`dot`]), so results are bitwise identical across
+//! thread counts and between the tiled and edge paths.
+//!
+//! Register tiling: [`MR`]×[`NR`] accumulators live in registers across
+//! the whole contraction loop, so each loaded `B` row-slice is reused for
+//! every tile row and `C` is touched once per tile instead of once per
+//! contraction step. The column loop is outermost, so one `k × NR` column
+//! panel of `B` stays cache-resident while every row block sweeps over it;
+//! with `k ≤ 1024` that panel sits in L1/L2, which is why there is no
+//! further `k`-blocking.
+//!
+//! SIMD: the portable scalar form is the source of truth; on x86-64 the
+//! generic bodies are re-monomorphized inside `#[target_feature]` wrappers
+//! (AVX2+FMA tier), and machines with AVX-512 additionally get hand-written
+//! 8×32 intrinsics microkernels (see [`mm_rows_512`]) — autovectorization
+//! alone leaves ~2× on the table there because it won't keep enough
+//! independent FMA chains in flight. The tier is selected once per process
+//! by runtime detection (override: `LOGSYNERGY_NN_SIMD`) and never depends
+//! on the thread count, so the cross-thread determinism contract is
+//! unaffected; fused rounding does mean the FMA tiers differ from the
+//! scalar reference in the last ulp (see `mm_ref`).
+
+use super::{parallel_for, SharedMut};
+
+/// Register-tile rows (output rows accumulated simultaneously) in the
+/// generic autovectorized body. The hand-written AVX-512 microkernels use
+/// their own 8×32 tile; see [`ROW_ALIGN`] for how the two coexist.
+pub const MR: usize = 4;
+/// Register-tile columns in the generic autovectorized body. 4×16 measured
+/// fastest under autovectorization (wider tiles make LLVM spill the
+/// accumulator array).
+pub const NR: usize = 16;
+
+/// Target FLOPs per parallel chunk; keeps chunks ≈tens of microseconds so
+/// dispatch overhead stays invisible while small problems still spread.
+const GRAIN_FLOPS: usize = 1 << 18;
+
+/// Parallel row chunks are aligned to this — a common multiple of every
+/// tile height in use ([`MR`] and the AVX-512 microkernel's 8) — so tile
+/// boundaries, and therefore bits, are identical between the serial path
+/// and any chunk decomposition.
+const ROW_ALIGN: usize = 8;
+
+/// Rows per parallel chunk for an output with `red`-long reductions of
+/// width `n`: a pure function of the problem size (never thread count),
+/// rounded to [`ROW_ALIGN`].
+fn row_grain(red: usize, n: usize) -> usize {
+    let per_row = 2 * red.max(1) * n.max(1);
+    GRAIN_FLOPS.div_ceil(per_row).next_multiple_of(ROW_ALIGN)
+}
+
+/// Instruction tier, detected once per process. Constant for the process
+/// lifetime, so every thread (and every chunk) computes identical bits.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+enum Tier {
+    Scalar,
+    /// AVX2 + FMA: 256-bit lanes, fused multiply-add.
+    Fma256,
+    /// AVX-512: 16-float lanes — one register per [`NR`]-wide tile row.
+    Fma512,
+}
+
+fn tier() -> Tier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static TIER: std::sync::OnceLock<Tier> = std::sync::OnceLock::new();
+        *TIER.get_or_init(|| {
+            // `LOGSYNERGY_NN_SIMD` pins a tier (`scalar` | `avx2` | `avx512`)
+            // below what the CPU supports — for debugging, A/B benchmarks,
+            // and reproducing another machine's bits. Read once, like the
+            // thread default, so the tier stays process-constant.
+            let cap = std::env::var("LOGSYNERGY_NN_SIMD").unwrap_or_default();
+            let avx512 = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("fma");
+            let avx2 = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            match cap.as_str() {
+                "scalar" => Tier::Scalar,
+                "avx2" if avx2 => Tier::Fma256,
+                _ if avx512 => Tier::Fma512,
+                _ if avx2 => Tier::Fma256,
+                _ => Tier::Scalar,
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Tier::Scalar
+    }
+}
+
+/// Human-readable name of the active SIMD tier, for logs and benchmark
+/// reports.
+pub fn simd_tier_name() -> &'static str {
+    match tier() {
+        Tier::Scalar => "scalar",
+        Tier::Fma256 => "avx2+fma",
+        Tier::Fma512 => "avx512",
+    }
+}
+
+/// `acc + x*y`, fused when the surrounding tier compiles with FMA.
+#[inline(always)]
+fn fmadd<const FMA: bool>(x: f32, y: f32, acc: f32) -> f32 {
+    if FMA {
+        x.mul_add(y, acc)
+    } else {
+        acc + x * y
+    }
+}
+
+/// Declares `$name256` / `$name512` target-feature wrappers around the
+/// generic `$imp::<true>` body, plus a safe `$disp` dispatcher.
+macro_rules! simd_dispatch {
+    ($disp:ident, $imp:ident, $name256:ident, $name512:ident,
+     ($($arg:ident : $ty:ty),*)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $name256($($arg: $ty),*) {
+            $imp::<true>($($arg),*)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512vl,fma")]
+        unsafe fn $name512($($arg: $ty),*) {
+            $imp::<true>($($arg),*)
+        }
+
+        fn $disp($($arg: $ty),*) {
+            match tier() {
+                // SAFETY: the tier is only reported when the CPU has the
+                // features the wrapper enables.
+                #[cfg(target_arch = "x86_64")]
+                Tier::Fma512 => unsafe { $name512($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                Tier::Fma256 => unsafe { $name256($($arg),*) },
+                _ => $imp::<false>($($arg),*),
+            }
+        }
+    };
+}
+
+/// `c[m,n] += a[m,k] · b[k,n]`, blocked and parallel.
+pub fn mm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let out = SharedMut::new(c);
+    parallel_for(m, row_grain(k, n), |r0, r1| {
+        // SAFETY: row blocks are disjoint across chunks.
+        let rows = unsafe { out.range(r0 * n, r1 * n) };
+        mm_rows(a, b, rows, r0, r1, k, n);
+    });
+}
+
+/// Row-range worker for [`mm`]: the AVX-512 tier runs a hand-written
+/// microkernel over full tiles (rim handled by the generic body); other
+/// tiers run the generic body over the whole range.
+fn mm_rows(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    match tier() {
+        // SAFETY: the tier is only reported when the CPU has the features
+        // the wrapper enables.
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma512 => unsafe { mm_rows_512(a, b, c, r0, r1, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma256 => unsafe { mm_rows_256(a, b, c, r0, r1, k, n) },
+        _ => mm_rows_impl::<false>(a, b, c, r0, r1, k, n, 0, n),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mm_rows_256(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    mm_rows_impl::<true>(a, b, c, r0, r1, k, n, 0, n)
+}
+
+/// Hand-written AVX-512 microkernel for [`mm`]: 8×32 tiles, i.e. 16 zmm
+/// accumulators — enough independent FMA chains to cover fused-multiply-add
+/// latency on dual-FMA-port cores, which autovectorization of the generic
+/// body does not reach. `B` is loaded once per `p` and reused for all 8
+/// rows; `A` values enter as broadcasts.
+///
+/// Rim rows/columns fall back to the generic body. Each element's
+/// accumulation chain (one fused multiply-add per ascending `p`, then one
+/// add into `C`) is identical in both paths, so an element's bits do not
+/// depend on which path computed it — and because parallel row chunks are
+/// aligned to [`ROW_ALIGN`], tile boundaries (hence full-vs-rim
+/// classification) are identical under every thread count.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+unsafe fn mm_rows_512(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    use core::arch::x86_64::*;
+    const TM: usize = 8;
+    const TN: usize = 32;
+    let ifull = r0 + (r1 - r0) / TM * TM;
+    let jfull = n / TN * TN;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut j = 0;
+    while j < jfull {
+        let mut i = r0;
+        while i < ifull {
+            let mut acc = [[_mm512_setzero_ps(); 2]; TM];
+            for p in 0..k {
+                let bb = bp.add(p * n + j);
+                let b0 = _mm512_loadu_ps(bb);
+                let b1 = _mm512_loadu_ps(bb.add(16));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add((i + r) * k + p));
+                    accr[0] = _mm512_fmadd_ps(av, b0, accr[0]);
+                    accr[1] = _mm512_fmadd_ps(av, b1, accr[1]);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add((i - r0 + r) * n + j);
+                _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), accr[0]));
+                let cp1 = cp.add(16);
+                _mm512_storeu_ps(cp1, _mm512_add_ps(_mm512_loadu_ps(cp1), accr[1]));
+            }
+            i += TM;
+        }
+        j += TN;
+    }
+    if jfull < n {
+        // right rim of the full-height rows
+        mm_rows_impl::<true>(a, b, c, r0, ifull, k, n, jfull, n);
+    }
+    if ifull < r1 {
+        // bottom rim, full width
+        mm_rows_impl::<true>(a, b, &mut c[(ifull - r0) * n..], ifull, r1, k, n, 0, n);
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mm_rows_impl<const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    // j outer / i inner: the k×NR column panel of B stays cache-resident
+    // while every row block sweeps over it, instead of re-streaming all of
+    // B once per row block. Per-element accumulation order (ascending p)
+    // is identical either way.
+    let mut j = jlo;
+    while j < jhi {
+        let nw = NR.min(jhi - j);
+        let mut i = r0;
+        while i < r1 {
+            let mh = MR.min(r1 - i);
+            let mut acc = [[0.0f32; NR]; MR];
+            if mh == MR && nw == NR {
+                // Hot path: fixed-size loops the compiler fully vectorizes.
+                for p in 0..k {
+                    let bv: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * k + p];
+                        for (x, &bb) in accr.iter_mut().zip(bv) {
+                            *x = fmadd::<FMA>(av, bb, *x);
+                        }
+                    }
+                }
+            } else {
+                // Edge tiles: same ascending-p order per element, partial bounds.
+                for p in 0..k {
+                    let bv = &b[p * n + j..p * n + j + nw];
+                    for (r, accr) in acc.iter_mut().enumerate().take(mh) {
+                        let av = a[(i + r) * k + p];
+                        for (x, &bb) in accr[..nw].iter_mut().zip(bv) {
+                            *x = fmadd::<FMA>(av, bb, *x);
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mh) {
+                let base = (i - r0 + r) * n + j;
+                for (cv, &x) in c[base..base + nw].iter_mut().zip(&accr[..nw]) {
+                    *cv += x;
+                }
+            }
+            i += MR;
+        }
+        j += NR;
+    }
+}
+
+const LANES: usize = 8;
+
+/// Dot product with a fixed 8-lane accumulation structure.
+///
+/// The lane split and the final reduction tree are the same for every input
+/// length, which makes [`mm_nt`] deterministic across thread counts and
+/// vectorization-friendly (each lane maps onto a SIMD slot).
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut out = 0.0f32;
+    dot_into(x, y, &mut out);
+    out
+}
+
+simd_dispatch!(dot_into, dot_impl, dot_256, dot_512, (x: &[f32], y: &[f32], out: &mut f32));
+
+#[inline(always)]
+fn dot_impl<const FMA: bool>(x: &[f32], y: &[f32], out: &mut f32) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f32; LANES];
+    let blocks = x.len() / LANES;
+    for c in 0..blocks {
+        let xs: &[f32; LANES] = x[c * LANES..(c + 1) * LANES].try_into().unwrap();
+        let ys: &[f32; LANES] = y[c * LANES..(c + 1) * LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] = fmadd::<FMA>(xs[l], ys[l], lanes[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * LANES..x.len() {
+        tail = fmadd::<FMA>(x[i], y[i], tail);
+    }
+    let even = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+    let odd = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+    *out = (even + odd) + tail;
+}
+
+/// `c[m,n] += a[m,k] · b[n,k]ᵀ` — both operands row-major, no transpose
+/// copy. Each output element is one contiguous [`dot`].
+pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let out = SharedMut::new(c);
+    parallel_for(m, row_grain(k, n), |r0, r1| {
+        // SAFETY: row blocks are disjoint across chunks.
+        let rows = unsafe { out.range(r0 * n, r1 * n) };
+        nt_rows(a, b, rows, r0, r1, k, n);
+    });
+}
+
+/// Row-range worker for [`mm_nt`]; tier dispatch mirrors [`mm_rows`].
+fn nt_rows(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    match tier() {
+        // SAFETY: the tier is only reported when the CPU has the features
+        // the wrapper enables.
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma512 => unsafe { nt_rows_512(a, b, c, r0, r1, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma256 => unsafe { nt_rows_256(a, b, c, r0, r1, k, n) },
+        _ => nt_rows_impl::<false>(a, b, c, r0, r1, k, n, 0, n),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn nt_rows_256(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    nt_rows_impl::<true>(a, b, c, r0, r1, k, n, 0, n)
+}
+
+/// Hand-written AVX-512 microkernel for [`mm_nt`]: 4×4 output tiles, each
+/// element accumulating 16-lane partial sums over the shared `k` axis (16
+/// independent FMA chains), with a masked tail block so every element of a
+/// tile sees the exact same chain structure regardless of `k`. The lane
+/// partials collapse through `_mm512_reduce_add_ps`, whose reduction tree
+/// is fixed at compile time — so, like everywhere else, bits depend only on
+/// which path computed an element, never on the thread count. Rim elements
+/// fall back to the [`dot`]-based generic body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+unsafe fn nt_rows_512(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    use core::arch::x86_64::*;
+    const TM: usize = 4;
+    const TN: usize = 4;
+    let ifull = r0 + (r1 - r0) / TM * TM;
+    let jfull = n / TN * TN;
+    let kblocks = k / 16;
+    let krem = k % 16;
+    let mask: __mmask16 = ((1u32 << krem) - 1) as __mmask16;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut i = r0;
+    while i < ifull {
+        let mut j = 0;
+        while j < jfull {
+            let mut acc = [[_mm512_setzero_ps(); TN]; TM];
+            for blk in 0..kblocks {
+                let off = blk * 16;
+                let mut bv = [_mm512_setzero_ps(); TN];
+                for (cc, v) in bv.iter_mut().enumerate() {
+                    *v = _mm512_loadu_ps(bp.add((j + cc) * k + off));
+                }
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_loadu_ps(ap.add((i + r) * k + off));
+                    for (x, &bb) in accr.iter_mut().zip(&bv) {
+                        *x = _mm512_fmadd_ps(av, bb, *x);
+                    }
+                }
+            }
+            if krem > 0 {
+                let off = kblocks * 16;
+                let mut bv = [_mm512_setzero_ps(); TN];
+                for (cc, v) in bv.iter_mut().enumerate() {
+                    *v = _mm512_maskz_loadu_ps(mask, bp.add((j + cc) * k + off));
+                }
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_maskz_loadu_ps(mask, ap.add((i + r) * k + off));
+                    for (x, &bb) in accr.iter_mut().zip(&bv) {
+                        *x = _mm512_fmadd_ps(av, bb, *x);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let base = (i - r0 + r) * n + j;
+                for (cc, &x) in accr.iter().enumerate() {
+                    c[base + cc] += _mm512_reduce_add_ps(x);
+                }
+            }
+            j += TN;
+        }
+        i += TM;
+    }
+    if jfull < n {
+        // right rim of the full-height rows
+        nt_rows_impl::<true>(a, b, c, r0, ifull, k, n, jfull, n);
+    }
+    if ifull < r1 {
+        // bottom rim, full width
+        nt_rows_impl::<true>(a, b, &mut c[(ifull - r0) * n..], ifull, r1, k, n, 0, n);
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn nt_rows_impl<const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    for i in r0..r1 {
+        let ar = &a[i * k..(i + 1) * k];
+        let crow = &mut c[(i - r0) * n + jlo..(i - r0) * n + jhi];
+        for (j, cv) in (jlo..jhi).zip(crow.iter_mut()) {
+            let mut d = 0.0f32;
+            dot_impl::<FMA>(ar, &b[j * k..(j + 1) * k], &mut d);
+            *cv += d;
+        }
+    }
+}
+
+/// `c[k,n] += a[m,k]ᵀ · b[m,n]` — reduction over rows of both operands
+/// (ascending `i`), register-tiled like [`mm`], no transpose copy.
+pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    let out = SharedMut::new(c);
+    parallel_for(k, row_grain(m, n), |p0, p1| {
+        // SAFETY: output-row blocks are disjoint across chunks.
+        let rows = unsafe { out.range(p0 * n, p1 * n) };
+        tn_rows(a, b, rows, p0, p1, m, k, n);
+    });
+}
+
+/// Row-range worker for [`mm_tn`]; tier dispatch mirrors [`mm_rows`].
+#[allow(clippy::too_many_arguments)]
+fn tn_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    p0: usize,
+    p1: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match tier() {
+        // SAFETY: the tier is only reported when the CPU has the features
+        // the wrapper enables.
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma512 => unsafe { tn_rows_512(a, b, c, p0, p1, m, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        Tier::Fma256 => unsafe { tn_rows_256(a, b, c, p0, p1, m, k, n) },
+        _ => tn_rows_impl::<false>(a, b, c, p0, p1, m, k, n, 0, n),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tn_rows_256(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    p0: usize,
+    p1: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    tn_rows_impl::<true>(a, b, c, p0, p1, m, k, n, 0, n)
+}
+
+/// Hand-written AVX-512 microkernel for [`mm_tn`]: same 8×32 tile as
+/// [`mm_rows_512`], reducing over rows `i` of both operands (the `A`
+/// broadcasts walk `a[i*k + p..p+8]` contiguously). Rim handling and the
+/// bit-compatibility argument are identical to [`mm_rows_512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tn_rows_512(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    p0: usize,
+    p1: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    use core::arch::x86_64::*;
+    const TM: usize = 8;
+    const TN: usize = 32;
+    let pfull = p0 + (p1 - p0) / TM * TM;
+    let jfull = n / TN * TN;
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut j = 0;
+    while j < jfull {
+        let mut p = p0;
+        while p < pfull {
+            let mut acc = [[_mm512_setzero_ps(); 2]; TM];
+            for i in 0..m {
+                let bb = bp.add(i * n + j);
+                let b0 = _mm512_loadu_ps(bb);
+                let b1 = _mm512_loadu_ps(bb.add(16));
+                let arow = ap.add(i * k + p);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*arow.add(r));
+                    accr[0] = _mm512_fmadd_ps(av, b0, accr[0]);
+                    accr[1] = _mm512_fmadd_ps(av, b1, accr[1]);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add((p - p0 + r) * n + j);
+                _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), accr[0]));
+                let cp1 = cp.add(16);
+                _mm512_storeu_ps(cp1, _mm512_add_ps(_mm512_loadu_ps(cp1), accr[1]));
+            }
+            p += TM;
+        }
+        j += TN;
+    }
+    if jfull < n {
+        // right rim of the full-height rows
+        tn_rows_impl::<true>(a, b, c, p0, pfull, m, k, n, jfull, n);
+    }
+    if pfull < p1 {
+        // bottom rim, full width
+        tn_rows_impl::<true>(a, b, &mut c[(pfull - p0) * n..], pfull, p1, m, k, n, 0, n);
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tn_rows_impl<const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    p0: usize,
+    p1: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    // j outer / p inner for the same panel-reuse reason as `mm_rows_impl`.
+    let mut j = jlo;
+    while j < jhi {
+        let nw = NR.min(jhi - j);
+        let mut p = p0;
+        while p < p1 {
+            let ph = MR.min(p1 - p);
+            let mut acc = [[0.0f32; NR]; MR];
+            if ph == MR && nw == NR {
+                for i in 0..m {
+                    let av: &[f32; MR] = a[i * k + p..i * k + p + MR].try_into().unwrap();
+                    let bv: &[f32; NR] = b[i * n + j..i * n + j + NR].try_into().unwrap();
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        for (x, &bb) in accr.iter_mut().zip(bv) {
+                            *x = fmadd::<FMA>(av[r], bb, *x);
+                        }
+                    }
+                }
+            } else {
+                for i in 0..m {
+                    let av = &a[i * k + p..i * k + p + ph];
+                    let bv = &b[i * n + j..i * n + j + nw];
+                    for (r, accr) in acc.iter_mut().enumerate().take(ph) {
+                        for (x, &bb) in accr[..nw].iter_mut().zip(bv) {
+                            *x = fmadd::<FMA>(av[r], bb, *x);
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(ph) {
+                let base = (p - p0 + r) * n + j;
+                for (cv, &x) in c[base..base + nw].iter_mut().zip(&accr[..nw]) {
+                    *cv += x;
+                }
+            }
+            p += MR;
+        }
+        j += NR;
+    }
+}
+
+/// Naive single-thread reference for [`mm`]: the ikj loop with ascending-`p`
+/// accumulation per element, plain multiply-then-add. On the scalar tier
+/// [`mm`] matches this bitwise; FMA tiers agree to within fused-rounding
+/// error (≈1 ulp per accumulation step).
+pub fn mm_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// The seed kernel verbatim: [`mm_ref`] plus an `av == 0.0` skip branch.
+/// Kept only so `benches/kernels.rs` can quantify what removing the branch
+/// bought; nothing routes through it.
+pub fn mm_ref_skip_zero(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Naive single-thread reference for [`mm_nt`] (plain sequential dots).
+pub fn mm_nt_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a[i * k + p] * b[j * k + p];
+            }
+            c[i * n + j] += s;
+        }
+    }
+}
+
+/// Naive single-thread reference for [`mm_tn`] (ascending-`i` accumulation).
+pub fn mm_tn_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for i in 0..m {
+                s += a[i * k + p] * b[i * n + j];
+            }
+            c[p * n + j] += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::with_threads;
+
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        // cheap deterministic pseudo-values with varied magnitudes
+        (0..len)
+            .map(|i| (((i as u32).wrapping_mul(2654435761) ^ seed) % 1000) as f32 / 250.0 - 2.0)
+            .collect()
+    }
+
+    fn close(x: f32, y: f32, red: usize) -> bool {
+        // FMA tiers differ from the mul-then-add reference by at most one
+        // rounding per accumulation step.
+        (x - y).abs() <= 1e-6 * red as f32 * y.abs().max(1.0)
+    }
+
+    #[test]
+    fn mm_matches_reference_on_edge_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (5, 17, 33), (64, 64, 64)] {
+            let a = filled(m * k, 1);
+            let b = filled(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            let mut r = vec![0.0; m * n];
+            with_threads(4, || mm(&a, &b, &mut c, m, k, n));
+            mm_ref(&a, &b, &mut r, m, k, n);
+            assert!(
+                c.iter().zip(&r).all(|(&x, &y)| close(x, y, k)),
+                "mm mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mm_is_bitwise_stable_on_the_scalar_tier() {
+        // The portable body (FMA off) reproduces the naive ikj reference
+        // exactly — the blocked loop only reorders *independent* elements.
+        let (m, k, n) = (13, 21, 19);
+        let a = filled(m * k, 10);
+        let b = filled(k * n, 11);
+        let mut c = vec![0.0; m * n];
+        let mut r = vec![0.0; m * n];
+        mm_rows_impl::<false>(&a, &b, &mut c, 0, m, k, n, 0, n);
+        mm_ref(&a, &b, &mut r, m, k, n);
+        assert!(c.iter().zip(&r).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn nt_and_tn_match_references() {
+        let (m, k, n) = (13, 21, 19);
+        let a = filled(m * k, 3);
+        let bt = filled(n * k, 4);
+        let b = filled(m * n, 5);
+        let (mut c1, mut r1) = (vec![0.0; m * n], vec![0.0; m * n]);
+        with_threads(4, || mm_nt(&a, &bt, &mut c1, m, k, n));
+        mm_nt_ref(&a, &bt, &mut r1, m, k, n);
+        for (x, y) in c1.iter().zip(&r1) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        let (mut c2, mut r2) = (vec![0.0; k * n], vec![0.0; k * n]);
+        with_threads(4, || mm_tn(&a, &b, &mut c2, m, k, n));
+        mm_tn_ref(&a, &b, &mut r2, m, k, n);
+        for (x, y) in c2.iter().zip(&r2) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let (m, k, n) = (37, 29, 41);
+        let a = filled(m * k, 6);
+        let b = filled(k * n, 7);
+        let bt = filled(n * k, 8);
+        let bm = filled(m * n, 9); // [m,n] right operand for mm_tn
+        let run = |threads: usize| {
+            let mut c = vec![0.0; m * n];
+            let mut cnt = vec![0.0; m * n];
+            let mut ctn = vec![0.0; k * n];
+            with_threads(threads, || {
+                mm(&a, &b, &mut c, m, k, n);
+                mm_nt(&a, &bt, &mut cnt, m, k, n);
+                mm_tn(&a, &bm, &mut ctn, m, k, n);
+            });
+            [c, cnt, ctn]
+        };
+        for (one, four) in run(1).iter().zip(&run(4)) {
+            assert!(one
+                .iter()
+                .zip(four)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+}

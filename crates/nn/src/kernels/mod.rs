@@ -1,0 +1,262 @@
+//! Parallel, cache-blocked compute kernels.
+//!
+//! Every hot loop in the crate — matmul (plus its transposed-operand
+//! variants), elementwise binops, reductions, softmax, layer norm, and the
+//! per-timestep RNN gate math — bottoms out here. The module provides three
+//! things:
+//!
+//! 1. **Blocked matmul micro-kernels** ([`mm`], [`mm_nt`], [`mm_tn`]):
+//!    register-tiled 2-D kernels with dedicated `A·B`, `A·Bᵀ`, and `Aᵀ·B`
+//!    entry points so matmul backward passes never materialize transposed
+//!    copies of their operands.
+//! 2. **A persistent worker pool** (see [`parallel_for`]): work is split
+//!    into chunks whose boundaries depend only on the problem size and the
+//!    grain — never on the thread count — and each output element is
+//!    produced by exactly one chunk with a fixed accumulation order, so
+//!    results are bitwise identical no matter how many threads run.
+//! 3. **A scratch-buffer arena** ([`arena`]): freed tape buffers are
+//!    recycled into subsequent forward/backward allocations instead of
+//!    hitting the system allocator once per node.
+//!
+//! Threading is controlled by the `LOGSYNERGY_NN_THREADS` environment
+//! variable (read once per process; default = available parallelism,
+//! `1` = exact serial path) and can be overridden per-thread in-process
+//! with [`with_threads`]. See `docs/kernels.md` for the full contract.
+
+pub mod arena;
+pub mod matmul;
+mod pool;
+
+pub use matmul::{
+    mm, mm_nt, mm_nt_ref, mm_ref, mm_ref_skip_zero, mm_tn, mm_tn_ref, simd_tier_name,
+};
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Elements per chunk for flat elementwise loops: large enough that chunk
+/// dispatch never dominates, small enough to spread across the pool.
+pub(crate) const ELEM_GRAIN: usize = 1 << 14;
+
+/// Hardware thread budget: the upper bound on pool size, independent of
+/// `LOGSYNERGY_NN_THREADS` (so an in-process [`with_threads`] override can
+/// exceed a low env-var default).
+pub(crate) fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Process-wide default thread count: `LOGSYNERGY_NN_THREADS` if set to a
+/// positive integer, otherwise the available parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("LOGSYNERGY_NN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(max_threads)
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The thread count kernels on this thread will use: the innermost active
+/// [`with_threads`] override, else the process default.
+pub fn current_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Runs `f` with kernels on this thread capped at `n` threads (minimum 1).
+///
+/// Intended for tests and benchmarks that compare thread counts in-process;
+/// production code should rely on `LOGSYNERGY_NN_THREADS`. The override
+/// nests and is restored even if `f` panics.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Splits `0..items` into fixed chunks of `grain` and runs `body(start, end)`
+/// on each, spreading chunks across the worker pool.
+///
+/// Determinism contract: chunk boundaries are a pure function of `items` and
+/// `grain`. The thread count only decides how many workers *claim* chunks,
+/// never how the work is split, so any body that writes disjoint outputs per
+/// chunk with a fixed per-element order produces bitwise-identical results
+/// at every thread count (including the serial path).
+pub fn parallel_for(items: usize, grain: usize, body: impl Fn(usize, usize) + Sync) {
+    if items == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let chunks = items.div_ceil(grain);
+    let threads = current_threads();
+    if chunks <= 1 || threads <= 1 {
+        body(0, items);
+        return;
+    }
+    pool::run(chunks, threads, &|c| {
+        let start = c * grain;
+        body(start, (start + grain).min(items));
+    });
+}
+
+/// A `&mut [f32]` smuggled across the [`parallel_for`] closure boundary.
+///
+/// `parallel_for` bodies are `Fn` shared by every worker, so they cannot
+/// capture a mutable slice directly; this wrapper carries the raw pointer
+/// and hands back disjoint sub-slices.
+pub struct SharedMut<'a> {
+    ptr: *mut f32,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: access is only through `range`, whose caller guarantees that
+// concurrently handed-out ranges are disjoint.
+unsafe impl Send for SharedMut<'_> {}
+unsafe impl Sync for SharedMut<'_> {}
+
+impl<'a> SharedMut<'a> {
+    /// Wraps a mutable slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [f32]) -> Self {
+        SharedMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Re-borrows `start..end` of the wrapped slice.
+    ///
+    /// # Safety
+    /// Ranges handed out to concurrently running chunks must not overlap.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range(&self, start: usize, end: usize) -> &'a mut [f32] {
+        debug_assert!(start <= end && end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+/// `dst[i] = f(src[i])`, chunk-parallel.
+pub(crate) fn fill_map(src: &[f32], dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(src.len(), dst.len());
+    let out = SharedMut::new(dst);
+    parallel_for(src.len(), ELEM_GRAIN, |lo, hi| {
+        // SAFETY: chunks hand out disjoint ranges.
+        let d = unsafe { out.range(lo, hi) };
+        for (o, &x) in d.iter_mut().zip(&src[lo..hi]) {
+            *o = f(x);
+        }
+    });
+}
+
+/// `dst[i] = f(a[i], b[i])`, chunk-parallel.
+pub(crate) fn fill_zip(a: &[f32], b: &[f32], dst: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), dst.len());
+    let out = SharedMut::new(dst);
+    parallel_for(a.len(), ELEM_GRAIN, |lo, hi| {
+        // SAFETY: chunks hand out disjoint ranges.
+        let d = unsafe { out.range(lo, hi) };
+        for ((o, &x), &y) in d.iter_mut().zip(&a[lo..hi]).zip(&b[lo..hi]) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// Deterministic chunked sum: per-chunk partials (boundaries fixed by
+/// [`ELEM_GRAIN`]) combined in chunk order. For fewer than `ELEM_GRAIN`
+/// elements this degenerates to the plain sequential sum.
+pub(crate) fn sum(src: &[f32]) -> f32 {
+    let chunks = src.len().div_ceil(ELEM_GRAIN).max(1);
+    if chunks == 1 {
+        return src.iter().sum();
+    }
+    let mut partials = vec![0.0f32; chunks];
+    let out = SharedMut::new(&mut partials);
+    parallel_for(src.len(), ELEM_GRAIN, |lo, hi| {
+        // The serial path hands the body one big range; split it at the same
+        // ELEM_GRAIN boundaries the parallel path uses so the partial sums —
+        // and therefore the final association order — never change.
+        let mut start = lo;
+        while start < hi {
+            let end = (start + ELEM_GRAIN).min(hi);
+            let c = start / ELEM_GRAIN;
+            // SAFETY: one partial slot per chunk.
+            let slot = unsafe { out.range(c, c + 1) };
+            slot[0] = src[start..end].iter().sum();
+            start = end;
+        }
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_all_items_once() {
+        let n = 100_000;
+        let mut hits = vec![0.0f32; n];
+        let out = SharedMut::new(&mut hits);
+        parallel_for(n, 1024, |lo, hi| {
+            let d = unsafe { out.range(lo, hi) };
+            for x in d.iter_mut() {
+                *x += 1.0;
+            }
+        });
+        assert!(hits.iter().all(|&h| h == 1.0));
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn serial_override_runs_on_caller_thread() {
+        let calls = AtomicUsize::new(0);
+        with_threads(1, || {
+            parallel_for(10_000, 8, |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        // threads = 1 takes the single-call serial path regardless of grain
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn chunked_sum_matches_sequential_within_tolerance() {
+        let data: Vec<f32> = (0..100_000)
+            .map(|i| ((i % 97) as f32 - 48.0) * 0.125)
+            .collect();
+        let seq: f32 = data.iter().sum();
+        let par = with_threads(4, || sum(&data));
+        assert!((seq - par).abs() < 1e-2, "{seq} vs {par}");
+        // chunk boundaries don't depend on thread count → bitwise equal
+        assert_eq!(with_threads(1, || sum(&data)).to_bits(), par.to_bits());
+    }
+}

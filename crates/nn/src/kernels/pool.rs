@@ -1,0 +1,173 @@
+//! Persistent worker pool behind [`super::parallel_for`].
+//!
+//! A fixed set of workers (hardware parallelism minus the caller's thread)
+//! is spawned on first use and lives for the process. Jobs are dispatched
+//! over a crossbeam MPMC channel; workers and the dispatching thread claim
+//! chunk indices from a shared atomic counter, so load-balancing is dynamic
+//! while the chunk *boundaries* stay fixed (see the determinism contract on
+//! `parallel_for`). The dispatcher blocks until every enlisted worker has
+//! acknowledged the job, which is what makes the borrowed body sound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{self, Sender};
+
+type Body = dyn Fn(usize) + Sync + 'static;
+
+/// One dispatched `parallel_for` call: a chunk counter plus the body.
+struct Job {
+    next: AtomicUsize,
+    chunks: usize,
+    /// Borrowed from the dispatching stack frame; valid until every
+    /// participant acknowledges completion (enforced in [`run`]).
+    body: *const Body,
+}
+
+// SAFETY: the raw body pointer is only dereferenced between dispatch and
+// acknowledgement, while the dispatcher keeps the referent alive.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until the counter is exhausted; catches
+    /// panics so a crashing body cannot kill a pool worker.
+    fn work(&self) -> std::thread::Result<()> {
+        catch_unwind(AssertUnwindSafe(|| loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                break;
+            }
+            // SAFETY: see the `Send`/`Sync` justification above.
+            unsafe { (*self.body)(c) };
+        }))
+    }
+}
+
+struct Pool {
+    inject: Sender<(Arc<Job>, Sender<bool>)>,
+    workers: usize,
+}
+
+thread_local! {
+    /// Set inside pool workers so nested `parallel_for` calls degrade to
+    /// the serial path instead of deadlocking the pool on itself.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // Hardware parallelism minus the caller's thread, but always at
+        // least 3 workers: on single-core machines an empty pool would make
+        // every `with_threads(n > 1)` call silently serial, so thread-count
+        // determinism tests would never exercise real cross-thread
+        // execution. Idle workers block on `recv()` and cost nothing.
+        let workers = super::max_threads().saturating_sub(1).max(3);
+        let (inject, rx) = channel::unbounded::<(Arc<Job>, Sender<bool>)>();
+        for i in 0..workers {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("logsynergy-nn-worker-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Ok((job, ack)) = rx.recv() {
+                        let ok = job.work().is_ok();
+                        drop(job);
+                        let _ = ack.send(ok);
+                    }
+                })
+                .expect("failed to spawn logsynergy-nn worker");
+        }
+        Pool { inject, workers }
+    })
+}
+
+/// Runs `body(0..chunks)` using at most `threads` threads (including the
+/// caller, which always participates). Blocks until every chunk is done.
+pub(super) fn run(chunks: usize, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+    let serial = || {
+        for c in 0..chunks {
+            body(c);
+        }
+    };
+    if IN_WORKER.with(|w| w.get()) {
+        // Already on a pool worker: run inline rather than feeding the pool
+        // a job its busy workers would have to finish first.
+        return serial();
+    }
+    let p = pool();
+    let helpers = threads
+        .saturating_sub(1)
+        .min(p.workers)
+        .min(chunks.saturating_sub(1));
+    if helpers == 0 {
+        return serial();
+    }
+    // SAFETY: erases the borrow's lifetime from the fat pointer. `run` does
+    // not return (or unwind past the acks) until every enlisted worker has
+    // acknowledged, so the referent strictly outlives every dereference.
+    let body: *const Body = unsafe { std::mem::transmute(body as *const (dyn Fn(usize) + Sync)) };
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        chunks,
+        body,
+    });
+    let (ack_tx, ack_rx) = channel::unbounded();
+    for _ in 0..helpers {
+        if p.inject.send((job.clone(), ack_tx.clone())).is_err() {
+            panic!("worker pool channel closed");
+        }
+    }
+    drop(ack_tx);
+    let own = job.work();
+    // The body borrow stays alive until every enlisted worker is done with
+    // it — only then may this frame return (or unwind).
+    let mut workers_ok = true;
+    for _ in 0..helpers {
+        workers_ok &= ack_rx.recv().expect("worker pool died mid-job");
+    }
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    assert!(workers_ok, "panic in parallel_for body on a worker thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_chunks_run_exactly_once() {
+        let n = 64;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run(n, 4, &|c| {
+            counts[c].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_swallowed() {
+        let res = std::panic::catch_unwind(|| {
+            run(16, 4, &|c| {
+                if c == 7 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_run_degrades_serially() {
+        let total = AtomicUsize::new(0);
+        run(4, 4, &|_| {
+            run(4, 4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+}

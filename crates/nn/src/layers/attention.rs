@@ -29,7 +29,10 @@ impl MultiHeadAttention {
         d: usize,
         heads: usize,
     ) -> Self {
-        assert!(heads > 0 && d % heads == 0, "model dim {d} not divisible by {heads} heads");
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "model dim {d} not divisible by {heads} heads"
+        );
         MultiHeadAttention {
             wq: Linear::new(store, rng, &format!("{name}.wq"), d, d),
             wk: Linear::new(store, rng, &format!("{name}.wk"), d, d),
@@ -57,8 +60,8 @@ impl MultiHeadAttention {
             let qh = ops::slice_last(g, q, off, self.head_dim); // [B,T,dh]
             let kh = ops::slice_last(g, k, off, self.head_dim);
             let vh = ops::slice_last(g, v, off, self.head_dim);
-            let kt = ops::transpose_last2(g, kh); // [B,dh,T]
-            let scores = ops::matmul(g, qh, kt); // [B,T,T]
+            let scores = ops::matmul_nt(g, qh, kh); // [B,T,T], no K transpose
+
             let scaled = ops::scale(g, scores, scale);
             let attn = ops::softmax(g, scaled);
             outs.push(ops::matmul(g, attn, vh)); // [B,T,dh]

@@ -6,8 +6,9 @@ use crate::tensor::Tensor;
 
 /// LayerNorm with learned scale (`gamma`) and shift (`beta`).
 ///
-/// Implemented compositionally from differentiable primitives so its
-/// backward pass is covered by the op-level gradient checks.
+/// Backed by the fused [`ops::layer_norm`] kernel (one tape node with an
+/// analytic backward pass); the gradient checks in the test suite cover it
+/// against finite differences.
 pub struct LayerNorm {
     gamma: ParamId,
     beta: ParamId,
@@ -20,7 +21,12 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
         let beta = store.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
-        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Normalized feature width.
@@ -33,17 +39,9 @@ impl LayerNorm {
         let shape = g.shape_of(x);
         let last = shape.len() - 1;
         assert_eq!(shape[last], self.dim, "LayerNorm dim mismatch");
-        let mu = ops::mean_axis(g, x, last, true);
-        let centered = ops::sub(g, x, mu);
-        let sq = ops::square(g, centered);
-        let var = ops::mean_axis(g, sq, last, true);
-        let var_eps = ops::add_scalar(g, var, self.eps);
-        let std = ops::sqrt(g, var_eps);
-        let normed = ops::div(g, centered, std);
         let gamma = g.bind(store, self.gamma);
         let beta = g.bind(store, self.beta);
-        let scaled = ops::mul(g, normed, gamma);
-        ops::add(g, scaled, beta)
+        ops::layer_norm(g, x, gamma, beta, self.eps)
     }
 }
 
@@ -56,7 +54,10 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let g = Graph::new();
-        let x = g.input(Tensor::new(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[2, 4]));
+        let x = g.input(Tensor::new(
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+            &[2, 4],
+        ));
         let y = ln.forward(&g, &store, x);
         let v = g.value(y);
         for row in v.data().chunks_exact(4) {

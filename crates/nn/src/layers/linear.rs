@@ -26,7 +26,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
         let b = Some(store.add(format!("{name}.b"), Tensor::zeros(&[out_dim])));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Same, without a bias term.
@@ -38,7 +43,12 @@ impl Linear {
         out_dim: usize,
     ) -> Self {
         let w = store.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
-        Linear { w, b: None, in_dim, out_dim }
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.

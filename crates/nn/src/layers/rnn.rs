@@ -29,10 +29,15 @@ impl Lstm {
         hidden: usize,
     ) -> Self {
         let wx = store.add(format!("{name}.wx"), xavier_uniform(rng, input, 4 * hidden));
-        let wh = store.add(format!("{name}.wh"), xavier_uniform(rng, hidden, 4 * hidden));
+        let wh = store.add(
+            format!("{name}.wh"),
+            xavier_uniform(rng, hidden, 4 * hidden),
+        );
         // Forget-gate bias starts at 1 (standard trick for gradient flow).
         let mut bias = Tensor::zeros(&[4 * hidden]);
-        bias.data_mut()[hidden..2 * hidden].iter_mut().for_each(|x| *x = 1.0);
+        bias.data_mut()[hidden..2 * hidden]
+            .iter_mut()
+            .for_each(|x| *x = 1.0);
         let b = store.add(format!("{name}.b"), bias);
         Lstm { wx, wh, b, hidden }
     }
@@ -63,20 +68,17 @@ impl Lstm {
         let b = g.bind(store, self.b);
         let (mut h, mut c) = (h0, c0);
         let mut outs: Vec<Var> = vec![h0; t];
-        let order: Vec<usize> =
-            if reversed { (0..t).rev().collect() } else { (0..t).collect() };
+        let order: Vec<usize> = if reversed {
+            (0..t).rev().collect()
+        } else {
+            (0..t).collect()
+        };
+        let hsz = self.hidden;
         for &step in &order {
             let xt = ops::time_slice(g, x, step); // [B,D]
-            let gx = ops::matmul(g, xt, wx);
-            let gh = ops::matmul(g, h, wh);
-            let gates = ops::add(g, ops::add(g, gx, gh), b); // [B,4H]
-            let hsz = self.hidden;
-            let i = ops::sigmoid(g, ops::slice_last(g, gates, 0, hsz));
-            let f = ops::sigmoid(g, ops::slice_last(g, gates, hsz, hsz));
-            let gg = ops::tanh(g, ops::slice_last(g, gates, 2 * hsz, hsz));
-            let o = ops::sigmoid(g, ops::slice_last(g, gates, 3 * hsz, hsz));
-            c = ops::add(g, ops::mul(g, f, c), ops::mul(g, i, gg));
-            h = ops::mul(g, o, ops::tanh(g, c));
+            let hc = ops::lstm_cell(g, xt, h, c, wx, wh, b); // [B,2H] = h' ‖ c'
+            h = ops::slice_last(g, hc, 0, hsz);
+            c = ops::slice_last(g, hc, hsz, hsz);
             outs[step] = h;
         }
         (ops::stack_time(g, &outs), h)
@@ -101,7 +103,10 @@ impl Gru {
         hidden: usize,
     ) -> Self {
         let wx = store.add(format!("{name}.wx"), xavier_uniform(rng, input, 3 * hidden));
-        let wh = store.add(format!("{name}.wh"), xavier_uniform(rng, hidden, 3 * hidden));
+        let wh = store.add(
+            format!("{name}.wh"),
+            xavier_uniform(rng, hidden, 3 * hidden),
+        );
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[3 * hidden]));
         Gru { wx, wh, b, hidden }
     }
@@ -121,29 +126,9 @@ impl Gru {
         let b = g.bind(store, self.b);
         let mut h = g.input(Tensor::zeros(&[bsz, self.hidden]));
         let mut outs = Vec::with_capacity(t);
-        let hsz = self.hidden;
         for step in 0..t {
             let xt = ops::time_slice(g, x, step);
-            let gx = ops::add(g, ops::matmul(g, xt, wx), b); // [B,3H]
-            let gh = ops::matmul(g, h, wh); // [B,3H]
-            let z = {
-                let a = ops::slice_last(g, gx, 0, hsz);
-                let bb = ops::slice_last(g, gh, 0, hsz);
-                ops::sigmoid(g, ops::add(g, a, bb))
-            };
-            let r = {
-                let a = ops::slice_last(g, gx, hsz, hsz);
-                let bb = ops::slice_last(g, gh, hsz, hsz);
-                ops::sigmoid(g, ops::add(g, a, bb))
-            };
-            let n = {
-                let a = ops::slice_last(g, gx, 2 * hsz, hsz);
-                let bb = ops::slice_last(g, gh, 2 * hsz, hsz);
-                ops::tanh(g, ops::add(g, a, ops::mul(g, r, bb)))
-            };
-            // h' = (1 - z) * n + z * h
-            let one_minus_z = ops::add_scalar(g, ops::neg(g, z), 1.0);
-            h = ops::add(g, ops::mul(g, one_minus_z, n), ops::mul(g, z, h));
+            h = ops::gru_cell(g, xt, h, wx, wh, b);
             outs.push(h);
         }
         (ops::stack_time(g, &outs), h)

@@ -118,6 +118,9 @@ mod tests {
             g.write_grads(&mut store);
             opt.step(&mut store);
         }
-        assert!(last <= first, "firing-rate loss should not increase: {first} -> {last}");
+        assert!(
+            last <= first,
+            "firing-rate loss should not increase: {first} -> {last}"
+        );
     }
 }

@@ -4,8 +4,8 @@
 use rand::Rng;
 
 use crate::graph::{Graph, ParamStore, Var};
-use crate::layers::{Linear, MultiHeadAttention};
 use crate::layers::LayerNorm;
+use crate::layers::{Linear, MultiHeadAttention};
 use crate::ops;
 use crate::tensor::Tensor;
 
@@ -85,7 +85,10 @@ impl TransformerEncoder {
         max_len: usize,
         dropout: f32,
     ) -> Self {
-        let pos = store.add(format!("{name}.pos"), Tensor::randn(rng, &[max_len, d], 0.02));
+        let pos = store.add(
+            format!("{name}.pos"),
+            Tensor::randn(rng, &[max_len, d], 0.02),
+        );
         let layers = (0..n_layers)
             .map(|i| {
                 TransformerEncoderLayer::new(
@@ -124,7 +127,11 @@ impl TransformerEncoder {
         let shape = g.shape_of(x);
         assert_eq!(shape.len(), 3, "encoder expects [B,T,D]");
         let t = shape[1];
-        assert!(t <= self.max_len, "sequence length {t} exceeds max {}", self.max_len);
+        assert!(
+            t <= self.max_len,
+            "sequence length {t} exceeds max {}",
+            self.max_len
+        );
         assert_eq!(shape[2], self.d, "encoder width mismatch");
         // Add positional embeddings (truncated to T, broadcast over batch).
         let pos = g.bind(store, self.pos);
@@ -181,9 +188,16 @@ mod tests {
         let p1 = g.value(enc.encode_pooled(&g, &store, g.input(a), &mut rng));
         let g2 = Graph::inference();
         let p2 = g2.value(enc.encode_pooled(&g2, &store, g2.input(swapped), &mut rng));
-        let diff: f32 =
-            p1.data().iter().zip(p2.data()).map(|(x, y)| (x - y).abs()).sum();
-        assert!(diff > 1e-4, "positional embeddings should make order matter, diff={diff}");
+        let diff: f32 = p1
+            .data()
+            .iter()
+            .zip(p2.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(
+            diff > 1e-4,
+            "positional embeddings should make order matter, diff={diff}"
+        );
     }
 
     #[test]

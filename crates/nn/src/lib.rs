@@ -43,6 +43,7 @@
 pub mod gradcheck;
 pub mod graph;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod ops;

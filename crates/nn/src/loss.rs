@@ -8,7 +8,11 @@ use crate::tensor::Tensor;
 /// `max(x,0) - x*y + ln(1 + e^{-|x|})`. This is Eq. (2) of the paper.
 pub fn bce_with_logits(g: &Graph, logits: Var, targets: &[f32]) -> Var {
     let tl = g.value(logits);
-    assert_eq!(tl.len(), targets.len(), "bce logits/targets length mismatch");
+    assert_eq!(
+        tl.len(),
+        targets.len(),
+        "bce logits/targets length mismatch"
+    );
     let n = targets.len() as f32;
     let mut loss = 0.0f64;
     for (&x, &y) in tl.data().iter().zip(targets) {
@@ -76,8 +80,13 @@ pub fn mse(g: &Graph, pred: Var, target: &Tensor) -> Var {
     let tp = g.value(pred);
     assert_eq!(tp.shape(), target.shape(), "mse shape mismatch");
     let n = tp.len() as f32;
-    let loss =
-        tp.data().iter().zip(target.data()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>() / n;
+    let loss = tp
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n;
     let out = Tensor::scalar(loss);
     let target = target.clone();
     g.op(
@@ -86,7 +95,11 @@ pub fn mse(g: &Graph, pred: Var, target: &Tensor) -> Var {
         Box::new(move |og| {
             let s = og.item() * 2.0 / n;
             vec![Tensor::new(
-                tp.data().iter().zip(target.data()).map(|(&p, &t)| s * (p - t)).collect(),
+                tp.data()
+                    .iter()
+                    .zip(target.data())
+                    .map(|(&p, &t)| s * (p - t))
+                    .collect(),
                 tp.shape(),
             )]
         }),

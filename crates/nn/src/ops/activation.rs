@@ -1,13 +1,19 @@
 //! Pointwise nonlinearities and softmax.
+//!
+//! Unary ops and the (log-)softmax row kernels are chunk-parallel via
+//! [`crate::kernels::parallel_for`]; each row (or element) is produced by
+//! exactly one chunk with a fixed accumulation order, so results do not
+//! depend on the thread count.
 
 use crate::graph::{Graph, Var};
+use crate::kernels::{self, arena, SharedMut};
 use crate::tensor::Tensor;
 
 fn unary(
     g: &Graph,
     a: Var,
-    f: impl Fn(f32) -> f32,
-    df_from_xy: impl Fn(f32, f32) -> f32 + 'static,
+    f: impl Fn(f32) -> f32 + Sync,
+    df_from_xy: impl Fn(f32, f32) -> f32 + Sync + 'static,
 ) -> Var {
     let ta = g.value(a);
     let out = ta.map(f);
@@ -16,14 +22,17 @@ fn unary(
         out,
         vec![a],
         Box::new(move |og| {
-            vec![Tensor::new(
-                og.data()
-                    .iter()
-                    .zip(ta.data().iter().zip(tv.data()))
-                    .map(|(&o, (&x, &y))| o * df_from_xy(x, y))
-                    .collect(),
-                ta.shape(),
-            )]
+            let mut grad = arena::take_zeroed(ta.len());
+            let out = SharedMut::new(&mut grad);
+            let (ogd, xd, yd) = (og.data(), ta.data(), tv.data());
+            kernels::parallel_for(ta.len(), kernels::ELEM_GRAIN, |lo, hi| {
+                // SAFETY: chunks cover disjoint ranges.
+                let d = unsafe { out.range(lo, hi) };
+                for (i, o) in (lo..hi).zip(d.iter_mut()) {
+                    *o = ogd[i] * df_from_xy(xd[i], yd[i]);
+                }
+            });
+            vec![Tensor::new(grad, ta.shape())]
         }),
     )
 }
@@ -69,16 +78,38 @@ pub fn log(g: &Graph, a: Var) -> Var {
     unary(g, a, |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
 }
 
+/// Rows-per-chunk grain for row kernels: aim for [`kernels::ELEM_GRAIN`]
+/// elements per chunk.
+fn row_grain(d: usize) -> usize {
+    (kernels::ELEM_GRAIN / d.max(1)).max(1)
+}
+
 /// Softmax over the **last** axis.
 pub fn softmax(g: &Graph, a: Var) -> Var {
     let ta = g.value(a);
     let d = *ta.shape().last().expect("softmax on scalar");
-    let mut out = Vec::with_capacity(ta.len());
-    for row in ta.data().chunks_exact(d) {
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
-        let s: f32 = exps.iter().sum();
-        out.extend(exps.into_iter().map(|e| e / s));
+    let rows = ta.len() / d.max(1);
+    let mut out = arena::take_zeroed(ta.len());
+    {
+        let ov = SharedMut::new(&mut out);
+        let src = ta.data();
+        kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+            // SAFETY: row ranges are disjoint across chunks.
+            let dst = unsafe { ov.range(r0 * d, r1 * d) };
+            for (r, orow) in (r0..r1).zip(dst.chunks_exact_mut(d)) {
+                let row = &src[r * d..(r + 1) * d];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut s = 0.0;
+                for (o, &x) in orow.iter_mut().zip(row) {
+                    *o = (x - m).exp();
+                    s += *o;
+                }
+                let inv = 1.0 / s;
+                for o in orow.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        });
     }
     let out = Tensor::new(out, ta.shape());
     let y = out.clone();
@@ -87,11 +118,21 @@ pub fn softmax(g: &Graph, a: Var) -> Var {
         vec![a],
         Box::new(move |og| {
             // dx = y * (og - sum(og*y))
-            let mut grad = Vec::with_capacity(y.len());
-            for (yrow, orow) in y.data().chunks_exact(d).zip(og.data().chunks_exact(d)) {
-                let dot: f32 = yrow.iter().zip(orow).map(|(&yy, &oo)| yy * oo).sum();
-                grad.extend(yrow.iter().zip(orow).map(|(&yy, &oo)| yy * (oo - dot)));
-            }
+            let mut grad = arena::take_zeroed(y.len());
+            let gv = SharedMut::new(&mut grad);
+            let (yd, ogd) = (y.data(), og.data());
+            kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+                // SAFETY: row ranges are disjoint across chunks.
+                let dst = unsafe { gv.range(r0 * d, r1 * d) };
+                for (r, grow) in (r0..r1).zip(dst.chunks_exact_mut(d)) {
+                    let yrow = &yd[r * d..(r + 1) * d];
+                    let orow = &ogd[r * d..(r + 1) * d];
+                    let dot: f32 = yrow.iter().zip(orow).map(|(&yy, &oo)| yy * oo).sum();
+                    for ((o, &yy), &oo) in grow.iter_mut().zip(yrow).zip(orow) {
+                        *o = yy * (oo - dot);
+                    }
+                }
+            });
             vec![Tensor::new(grad, y.shape())]
         }),
     )
@@ -101,11 +142,23 @@ pub fn softmax(g: &Graph, a: Var) -> Var {
 pub fn log_softmax(g: &Graph, a: Var) -> Var {
     let ta = g.value(a);
     let d = *ta.shape().last().expect("log_softmax on scalar");
-    let mut out = Vec::with_capacity(ta.len());
-    for row in ta.data().chunks_exact(d) {
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-        out.extend(row.iter().map(|&x| x - lse));
+    let rows = ta.len() / d.max(1);
+    let mut out = arena::take_zeroed(ta.len());
+    {
+        let ov = SharedMut::new(&mut out);
+        let src = ta.data();
+        kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+            // SAFETY: row ranges are disjoint across chunks.
+            let dst = unsafe { ov.range(r0 * d, r1 * d) };
+            for (r, orow) in (r0..r1).zip(dst.chunks_exact_mut(d)) {
+                let row = &src[r * d..(r + 1) * d];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+                for (o, &x) in orow.iter_mut().zip(row) {
+                    *o = x - lse;
+                }
+            }
+        });
     }
     let out = Tensor::new(out, ta.shape());
     let y = out.clone();
@@ -114,11 +167,21 @@ pub fn log_softmax(g: &Graph, a: Var) -> Var {
         vec![a],
         Box::new(move |og| {
             // dx = og - softmax(x) * sum(og)
-            let mut grad = Vec::with_capacity(y.len());
-            for (yrow, orow) in y.data().chunks_exact(d).zip(og.data().chunks_exact(d)) {
-                let s: f32 = orow.iter().sum();
-                grad.extend(yrow.iter().zip(orow).map(|(&ly, &oo)| oo - ly.exp() * s));
-            }
+            let mut grad = arena::take_zeroed(y.len());
+            let gv = SharedMut::new(&mut grad);
+            let (yd, ogd) = (y.data(), og.data());
+            kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+                // SAFETY: row ranges are disjoint across chunks.
+                let dst = unsafe { gv.range(r0 * d, r1 * d) };
+                for (r, grow) in (r0..r1).zip(dst.chunks_exact_mut(d)) {
+                    let yrow = &yd[r * d..(r + 1) * d];
+                    let orow = &ogd[r * d..(r + 1) * d];
+                    let s: f32 = orow.iter().sum();
+                    for ((o, &ly), &oo) in grow.iter_mut().zip(yrow).zip(orow) {
+                        *o = oo - ly.exp() * s;
+                    }
+                }
+            });
             vec![Tensor::new(grad, y.shape())]
         }),
     )
@@ -182,5 +245,19 @@ mod tests {
         assert!((g.value(y).item() - 0.5).abs() < 1e-6);
         g.backward(y);
         assert!((g.grad(a).unwrap().item() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_identical_across_thread_counts() {
+        let g = Graph::new();
+        let data: Vec<f32> = (0..64 * 33)
+            .map(|i| ((i % 19) as f32 - 9.0) * 0.37)
+            .collect();
+        let a = g.input(Tensor::new(data, &[64, 33]));
+        let one = crate::kernels::with_threads(1, || g.value(softmax(&g, a)));
+        let four = crate::kernels::with_threads(4, || g.value(softmax(&g, a)));
+        for (x, y) in one.data().iter().zip(four.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

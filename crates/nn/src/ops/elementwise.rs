@@ -95,7 +95,11 @@ pub fn square(g: &Graph, a: Var) -> Var {
         vec![a],
         Box::new(move |og| {
             vec![Tensor::new(
-                og.data().iter().zip(ta.data()).map(|(&o, &x)| 2.0 * x * o).collect(),
+                og.data()
+                    .iter()
+                    .zip(ta.data())
+                    .map(|(&o, &x)| 2.0 * x * o)
+                    .collect(),
                 ta.shape(),
             )]
         }),
@@ -111,7 +115,11 @@ pub fn sqrt(g: &Graph, a: Var) -> Var {
         vec![a],
         Box::new(move |og| {
             vec![Tensor::new(
-                og.data().iter().zip(tv.data()).map(|(&o, &s)| o / (2.0 * s.max(1e-12))).collect(),
+                og.data()
+                    .iter()
+                    .zip(tv.data())
+                    .map(|(&o, &s)| o / (2.0 * s.max(1e-12)))
+                    .collect(),
                 tv.shape(),
             )]
         }),

@@ -1,0 +1,479 @@
+//! Fused layer kernels: layer norm and per-timestep RNN gate math.
+//!
+//! The compositional forms of these layers put a dozen small nodes on the
+//! tape per call (per timestep, for the RNNs). Fusing them into single ops
+//! with analytic backward passes keeps the tape short, runs the row math in
+//! one chunk-parallel sweep, and stashes only the activations the backward
+//! pass actually needs.
+//!
+//! Determinism: all row loops follow the [`kernels::parallel_for`] contract
+//! (each output row produced by exactly one chunk, fixed per-element order),
+//! and the matmuls delegate to the blocked kernels, so results are bitwise
+//! identical at every thread count.
+
+use crate::graph::{Graph, Var};
+use crate::kernels::{self, arena, SharedMut};
+use crate::tensor::Tensor;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Rows-per-chunk grain targeting [`kernels::ELEM_GRAIN`] elements per chunk.
+fn row_grain(d: usize) -> usize {
+    (kernels::ELEM_GRAIN / d.max(1)).max(1)
+}
+
+/// `db[j] += Σ_i m[i,j]` over an `[rows, d]` matrix, ascending `i`.
+fn colsum_into(m: &[f32], rows: usize, d: usize, db: &mut [f32]) {
+    for r in 0..rows {
+        for (o, &x) in db.iter_mut().zip(&m[r * d..(r + 1) * d]) {
+            *o += x;
+        }
+    }
+}
+
+/// Layer normalization over the last axis with learned scale and shift:
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+///
+/// `x` is `[.., d]`; `gamma` and `beta` are `[d]`.
+pub fn layer_norm(g: &Graph, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+    let tx = g.value(x);
+    let tgamma = g.value(gamma);
+    let tbeta = g.value(beta);
+    let d = *tx.shape().last().expect("layer_norm on scalar");
+    assert_eq!(tgamma.len(), d, "layer_norm gamma width");
+    assert_eq!(tbeta.len(), d, "layer_norm beta width");
+    let rows = tx.len() / d.max(1);
+
+    let mut out = arena::take_zeroed(tx.len());
+    let mut xhat = arena::take_zeroed(tx.len());
+    let mut rstd = arena::take_zeroed(rows);
+    {
+        let ov = SharedMut::new(&mut out);
+        let xv = SharedMut::new(&mut xhat);
+        let rv = SharedMut::new(&mut rstd);
+        let (src, gam, bet) = (tx.data(), tgamma.data(), tbeta.data());
+        kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+            // SAFETY: row ranges are disjoint across chunks.
+            let orows = unsafe { ov.range(r0 * d, r1 * d) };
+            let xrows = unsafe { xv.range(r0 * d, r1 * d) };
+            let rs = unsafe { rv.range(r0, r1) };
+            for (i, r) in (r0..r1).enumerate() {
+                let row = &src[r * d..(r + 1) * d];
+                let mu = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let rst = 1.0 / (var + eps).sqrt();
+                rs[i] = rst;
+                let orow = &mut orows[i * d..(i + 1) * d];
+                let xrow = &mut xrows[i * d..(i + 1) * d];
+                for j in 0..d {
+                    let xh = (row[j] - mu) * rst;
+                    xrow[j] = xh;
+                    orow[j] = xh * gam[j] + bet[j];
+                }
+            }
+        });
+    }
+    let xhat = Tensor::new(xhat, &[rows, d]);
+    let rstd = Tensor::new(rstd, &[rows]);
+    let out = Tensor::new(out, tx.shape());
+    let xshape = tx.shape().to_vec();
+
+    g.op(
+        out,
+        vec![x, gamma, beta],
+        Box::new(move |og| {
+            let ogd = og.data();
+            let (xh, rs, gam) = (xhat.data(), rstd.data(), tgamma.data());
+
+            // Column reductions run serially over ascending rows.
+            let mut dgamma = arena::take_zeroed(d);
+            let mut dbeta = arena::take_zeroed(d);
+            colsum_into(ogd, rows, d, &mut dbeta);
+            for r in 0..rows {
+                for j in 0..d {
+                    dgamma[j] += ogd[r * d + j] * xh[r * d + j];
+                }
+            }
+
+            // dx = rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))
+            let mut dx = arena::take_zeroed(rows * d);
+            let dv = SharedMut::new(&mut dx);
+            kernels::parallel_for(rows, row_grain(d), |r0, r1| {
+                // SAFETY: row ranges are disjoint across chunks.
+                let drows = unsafe { dv.range(r0 * d, r1 * d) };
+                for (i, r) in (r0..r1).enumerate() {
+                    let (mut m1, mut m2) = (0.0f32, 0.0f32);
+                    for j in 0..d {
+                        let dxh = ogd[r * d + j] * gam[j];
+                        m1 += dxh;
+                        m2 += dxh * xh[r * d + j];
+                    }
+                    m1 /= d as f32;
+                    m2 /= d as f32;
+                    let rst = rs[r];
+                    let drow = &mut drows[i * d..(i + 1) * d];
+                    for j in 0..d {
+                        let dxh = ogd[r * d + j] * gam[j];
+                        drow[j] = rst * (dxh - m1 - xh[r * d + j] * m2);
+                    }
+                }
+            });
+            vec![
+                Tensor::new(dx, &xshape),
+                Tensor::new(dgamma, &[d]),
+                Tensor::new(dbeta, &[d]),
+            ]
+        }),
+    )
+}
+
+/// One LSTM timestep, fused: returns `[B, 2H]` holding `h' ‖ c'`.
+///
+/// Gate order in `wx`/`wh`/`b` is `i, f, g, o` (matching
+/// [`crate::layers::Lstm`]). Inputs: `xt` is `[B, D]`, `h`/`c` are `[B, H]`,
+/// `wx` is `[D, 4H]`, `wh` is `[H, 4H]`, `b` is `[4H]`.
+pub fn lstm_cell(g: &Graph, xt: Var, h: Var, c: Var, wx: Var, wh: Var, b: Var) -> Var {
+    let txt = g.value(xt);
+    let th = g.value(h);
+    let tc = g.value(c);
+    let twx = g.value(wx);
+    let twh = g.value(wh);
+    let tb = g.value(b);
+    let (bsz, din) = (txt.shape()[0], txt.shape()[1]);
+    let hsz = th.shape()[1];
+    assert_eq!(twx.shape(), &[din, 4 * hsz], "lstm_cell wx shape");
+    assert_eq!(twh.shape(), &[hsz, 4 * hsz], "lstm_cell wh shape");
+    assert_eq!(tb.len(), 4 * hsz, "lstm_cell bias width");
+
+    // S = xt·wx + h·wh + b  (both matmuls accumulate into one buffer; each
+    // element gets one fused dot-product add per matmul, same order as the
+    // compositional gx + gh + b).
+    let mut s = arena::take_zeroed(bsz * 4 * hsz);
+    kernels::mm(txt.data(), twx.data(), &mut s, bsz, din, 4 * hsz);
+    kernels::mm(th.data(), twh.data(), &mut s, bsz, hsz, 4 * hsz);
+
+    let mut acts = arena::take_zeroed(bsz * 4 * hsz); // i,f,g,o post-activation
+    let mut out = arena::take_zeroed(bsz * 2 * hsz); // h' ‖ c'
+    let mut tanh_c = arena::take_zeroed(bsz * hsz);
+    {
+        let av = SharedMut::new(&mut acts);
+        let ov = SharedMut::new(&mut out);
+        let tv = SharedMut::new(&mut tanh_c);
+        let (sv, bias, cprev) = (&s[..], tb.data(), tc.data());
+        kernels::parallel_for(bsz, row_grain(4 * hsz), |r0, r1| {
+            // SAFETY: batch-row ranges are disjoint across chunks.
+            let arows = unsafe { av.range(r0 * 4 * hsz, r1 * 4 * hsz) };
+            let orows = unsafe { ov.range(r0 * 2 * hsz, r1 * 2 * hsz) };
+            let trows = unsafe { tv.range(r0 * hsz, r1 * hsz) };
+            for (i, r) in (r0..r1).enumerate() {
+                let srow = &sv[r * 4 * hsz..(r + 1) * 4 * hsz];
+                let arow = &mut arows[i * 4 * hsz..(i + 1) * 4 * hsz];
+                let orow = &mut orows[i * 2 * hsz..(i + 1) * 2 * hsz];
+                let trow = &mut trows[i * hsz..(i + 1) * hsz];
+                for j in 0..hsz {
+                    let ig = sigmoid(srow[j] + bias[j]);
+                    let fg = sigmoid(srow[hsz + j] + bias[hsz + j]);
+                    let gg = (srow[2 * hsz + j] + bias[2 * hsz + j]).tanh();
+                    let og = sigmoid(srow[3 * hsz + j] + bias[3 * hsz + j]);
+                    arow[j] = ig;
+                    arow[hsz + j] = fg;
+                    arow[2 * hsz + j] = gg;
+                    arow[3 * hsz + j] = og;
+                    let cnew = fg * cprev[r * hsz + j] + ig * gg;
+                    let tcn = cnew.tanh();
+                    trow[j] = tcn;
+                    orow[j] = og * tcn; // h'
+                    orow[hsz + j] = cnew; // c'
+                }
+            }
+        });
+    }
+    arena::give(s);
+    let acts = Tensor::new(acts, &[bsz, 4 * hsz]);
+    let tanh_c = Tensor::new(tanh_c, &[bsz, hsz]);
+    let out = Tensor::new(out, &[bsz, 2 * hsz]);
+
+    g.op(
+        out,
+        vec![xt, h, c, wx, wh, b],
+        Box::new(move |og| {
+            let ogd = og.data();
+            let (a, tcn, cprev) = (acts.data(), tanh_c.data(), tc.data());
+
+            // Pre-activation gate grads dS [B,4H] plus dc_prev [B,H].
+            let mut ds = arena::take_zeroed(bsz * 4 * hsz);
+            let mut dcprev = arena::take_zeroed(bsz * hsz);
+            {
+                let dsv = SharedMut::new(&mut ds);
+                let dcv = SharedMut::new(&mut dcprev);
+                kernels::parallel_for(bsz, row_grain(4 * hsz), |r0, r1| {
+                    // SAFETY: batch-row ranges are disjoint across chunks.
+                    let dsrows = unsafe { dsv.range(r0 * 4 * hsz, r1 * 4 * hsz) };
+                    let dcrows = unsafe { dcv.range(r0 * hsz, r1 * hsz) };
+                    for (i, r) in (r0..r1).enumerate() {
+                        let arow = &a[r * 4 * hsz..(r + 1) * 4 * hsz];
+                        let dsrow = &mut dsrows[i * 4 * hsz..(i + 1) * 4 * hsz];
+                        let dcrow = &mut dcrows[i * hsz..(i + 1) * hsz];
+                        for j in 0..hsz {
+                            let (ig, fg, gg, ogate) =
+                                (arow[j], arow[hsz + j], arow[2 * hsz + j], arow[3 * hsz + j]);
+                            let tcv = tcn[r * hsz + j];
+                            let dh = ogd[r * 2 * hsz + j];
+                            let dc_ext = ogd[r * 2 * hsz + hsz + j];
+                            let d_o = dh * tcv;
+                            let dc_tot = dc_ext + dh * ogate * (1.0 - tcv * tcv);
+                            let di = dc_tot * gg;
+                            let df = dc_tot * cprev[r * hsz + j];
+                            let dg = dc_tot * ig;
+                            dsrow[j] = di * ig * (1.0 - ig);
+                            dsrow[hsz + j] = df * fg * (1.0 - fg);
+                            dsrow[2 * hsz + j] = dg * (1.0 - gg * gg);
+                            dsrow[3 * hsz + j] = d_o * ogate * (1.0 - ogate);
+                            dcrow[j] = dc_tot * fg;
+                        }
+                    }
+                });
+            }
+
+            // Weight/input grads through the transposed-operand kernels.
+            let mut dxt = arena::take_zeroed(bsz * din);
+            kernels::mm_nt(&ds, twx.data(), &mut dxt, bsz, 4 * hsz, din);
+            let mut dh_prev = arena::take_zeroed(bsz * hsz);
+            kernels::mm_nt(&ds, twh.data(), &mut dh_prev, bsz, 4 * hsz, hsz);
+            let mut dwx = arena::take_zeroed(din * 4 * hsz);
+            kernels::mm_tn(txt.data(), &ds, &mut dwx, bsz, din, 4 * hsz);
+            let mut dwh = arena::take_zeroed(hsz * 4 * hsz);
+            kernels::mm_tn(th.data(), &ds, &mut dwh, bsz, hsz, 4 * hsz);
+            let mut db = arena::take_zeroed(4 * hsz);
+            colsum_into(&ds, bsz, 4 * hsz, &mut db);
+            arena::give(ds);
+
+            vec![
+                Tensor::new(dxt, &[bsz, din]),
+                Tensor::new(dh_prev, &[bsz, hsz]),
+                Tensor::new(dcprev, &[bsz, hsz]),
+                Tensor::new(dwx, &[din, 4 * hsz]),
+                Tensor::new(dwh, &[hsz, 4 * hsz]),
+                Tensor::new(db, &[4 * hsz]),
+            ]
+        }),
+    )
+}
+
+/// One GRU timestep, fused: returns the new hidden state `[B, H]`.
+///
+/// Gate order in `wx`/`wh`/`b` is `z, r, n` (matching [`crate::layers::Gru`]);
+/// the bias applies to the input path only, and the candidate gate uses
+/// `tanh(gx_n + r ⊙ gh_n)` — the same "reset after projection" form as the
+/// compositional layer.
+pub fn gru_cell(g: &Graph, xt: Var, h: Var, wx: Var, wh: Var, b: Var) -> Var {
+    let txt = g.value(xt);
+    let th = g.value(h);
+    let twx = g.value(wx);
+    let twh = g.value(wh);
+    let tb = g.value(b);
+    let (bsz, din) = (txt.shape()[0], txt.shape()[1]);
+    let hsz = th.shape()[1];
+    assert_eq!(twx.shape(), &[din, 3 * hsz], "gru_cell wx shape");
+    assert_eq!(twh.shape(), &[hsz, 3 * hsz], "gru_cell wh shape");
+    assert_eq!(tb.len(), 3 * hsz, "gru_cell bias width");
+
+    let mut gx = arena::take_zeroed(bsz * 3 * hsz);
+    kernels::mm(txt.data(), twx.data(), &mut gx, bsz, din, 3 * hsz);
+    let mut gh = arena::take_zeroed(bsz * 3 * hsz);
+    kernels::mm(th.data(), twh.data(), &mut gh, bsz, hsz, 3 * hsz);
+
+    let mut acts = arena::take_zeroed(bsz * 3 * hsz); // z,r,n post-activation
+    let mut out = arena::take_zeroed(bsz * hsz);
+    {
+        let av = SharedMut::new(&mut acts);
+        let ov = SharedMut::new(&mut out);
+        let (gxv, ghv, bias, hprev) = (&gx[..], &gh[..], tb.data(), th.data());
+        kernels::parallel_for(bsz, row_grain(3 * hsz), |r0, r1| {
+            // SAFETY: batch-row ranges are disjoint across chunks.
+            let arows = unsafe { av.range(r0 * 3 * hsz, r1 * 3 * hsz) };
+            let orows = unsafe { ov.range(r0 * hsz, r1 * hsz) };
+            for (i, r) in (r0..r1).enumerate() {
+                let gxrow = &gxv[r * 3 * hsz..(r + 1) * 3 * hsz];
+                let ghrow = &ghv[r * 3 * hsz..(r + 1) * 3 * hsz];
+                let arow = &mut arows[i * 3 * hsz..(i + 1) * 3 * hsz];
+                let orow = &mut orows[i * hsz..(i + 1) * hsz];
+                for j in 0..hsz {
+                    let z = sigmoid(gxrow[j] + bias[j] + ghrow[j]);
+                    let r_ = sigmoid(gxrow[hsz + j] + bias[hsz + j] + ghrow[hsz + j]);
+                    let n =
+                        (gxrow[2 * hsz + j] + bias[2 * hsz + j] + r_ * ghrow[2 * hsz + j]).tanh();
+                    arow[j] = z;
+                    arow[hsz + j] = r_;
+                    arow[2 * hsz + j] = n;
+                    orow[j] = (1.0 - z) * n + z * hprev[r * hsz + j];
+                }
+            }
+        });
+    }
+    arena::give(gx);
+    let gh = Tensor::new(gh, &[bsz, 3 * hsz]);
+    let acts = Tensor::new(acts, &[bsz, 3 * hsz]);
+    let out = Tensor::new(out, &[bsz, hsz]);
+
+    g.op(
+        out,
+        vec![xt, h, wx, wh, b],
+        Box::new(move |og| {
+            let ogd = og.data();
+            let (a, ghd, hprev) = (acts.data(), gh.data(), th.data());
+
+            // dGx/dGh pre-activation grads [B,3H] plus the direct dh term.
+            let mut dgx = arena::take_zeroed(bsz * 3 * hsz);
+            let mut dgh = arena::take_zeroed(bsz * 3 * hsz);
+            let mut dh_prev = arena::take_zeroed(bsz * hsz); // starts as direct term
+            {
+                let dxv = SharedMut::new(&mut dgx);
+                let dhv = SharedMut::new(&mut dgh);
+                let ddv = SharedMut::new(&mut dh_prev);
+                kernels::parallel_for(bsz, row_grain(3 * hsz), |r0, r1| {
+                    // SAFETY: batch-row ranges are disjoint across chunks.
+                    let dxrows = unsafe { dxv.range(r0 * 3 * hsz, r1 * 3 * hsz) };
+                    let dhrows = unsafe { dhv.range(r0 * 3 * hsz, r1 * 3 * hsz) };
+                    let ddrows = unsafe { ddv.range(r0 * hsz, r1 * hsz) };
+                    for (i, r) in (r0..r1).enumerate() {
+                        let arow = &a[r * 3 * hsz..(r + 1) * 3 * hsz];
+                        let ghrow = &ghd[r * 3 * hsz..(r + 1) * 3 * hsz];
+                        let dxrow = &mut dxrows[i * 3 * hsz..(i + 1) * 3 * hsz];
+                        let dhrow = &mut dhrows[i * 3 * hsz..(i + 1) * 3 * hsz];
+                        let ddrow = &mut ddrows[i * hsz..(i + 1) * hsz];
+                        for j in 0..hsz {
+                            let (z, r_, n) = (arow[j], arow[hsz + j], arow[2 * hsz + j]);
+                            let dh = ogd[r * hsz + j];
+                            let dn = dh * (1.0 - z);
+                            let dz = dh * (hprev[r * hsz + j] - n);
+                            let ds_n = dn * (1.0 - n * n);
+                            let dr = ds_n * ghrow[2 * hsz + j];
+                            let ds_z = dz * z * (1.0 - z);
+                            let ds_r = dr * r_ * (1.0 - r_);
+                            dxrow[j] = ds_z;
+                            dxrow[hsz + j] = ds_r;
+                            dxrow[2 * hsz + j] = ds_n;
+                            dhrow[j] = ds_z;
+                            dhrow[hsz + j] = ds_r;
+                            dhrow[2 * hsz + j] = ds_n * r_;
+                            ddrow[j] = dh * z;
+                        }
+                    }
+                });
+            }
+
+            let mut dxt = arena::take_zeroed(bsz * din);
+            kernels::mm_nt(&dgx, twx.data(), &mut dxt, bsz, 3 * hsz, din);
+            // mm_nt accumulates, so the direct z ⊙ dh term pre-fills dh_prev.
+            kernels::mm_nt(&dgh, twh.data(), &mut dh_prev, bsz, 3 * hsz, hsz);
+            let mut dwx = arena::take_zeroed(din * 3 * hsz);
+            kernels::mm_tn(txt.data(), &dgx, &mut dwx, bsz, din, 3 * hsz);
+            let mut dwh = arena::take_zeroed(hsz * 3 * hsz);
+            kernels::mm_tn(th.data(), &dgh, &mut dwh, bsz, hsz, 3 * hsz);
+            let mut db = arena::take_zeroed(3 * hsz);
+            colsum_into(&dgx, bsz, 3 * hsz, &mut db);
+            arena::give(dgx);
+            arena::give(dgh);
+
+            vec![
+                Tensor::new(dxt, &[bsz, din]),
+                Tensor::new(dh_prev, &[bsz, hsz]),
+                Tensor::new(dwx, &[din, 3 * hsz]),
+                Tensor::new(dwh, &[hsz, 3 * hsz]),
+                Tensor::new(db, &[3 * hsz]),
+            ]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn layer_norm_standardizes_rows() {
+        let g = Graph::new();
+        let x = g.input(Tensor::new(
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+            &[2, 4],
+        ));
+        let gamma = g.input(Tensor::ones(&[4]));
+        let beta = g.input(Tensor::zeros(&[4]));
+        let y = layer_norm(&g, x, gamma, beta, 1e-5);
+        for row in g.value(y).data().chunks_exact(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layer_norm_matches_compositional_grads() {
+        // Same function built from primitives; both grads must agree.
+        let g = Graph::new();
+        let data = vec![0.5, -1.0, 2.0, 0.1, 0.9, -0.3];
+        let x1 = g.leaf(Tensor::new(data.clone(), &[2, 3]));
+        let gamma1 = g.leaf(Tensor::new(vec![1.1, 0.9, 1.3], &[3]));
+        let beta1 = g.leaf(Tensor::new(vec![0.2, -0.1, 0.0], &[3]));
+        let y1 = layer_norm(&g, x1, gamma1, beta1, 1e-5);
+
+        let x2 = g.leaf(Tensor::new(data, &[2, 3]));
+        let gamma2 = g.leaf(Tensor::new(vec![1.1, 0.9, 1.3], &[3]));
+        let beta2 = g.leaf(Tensor::new(vec![0.2, -0.1, 0.0], &[3]));
+        let mu = ops::mean_axis(&g, x2, 1, true);
+        let centered = ops::sub(&g, x2, mu);
+        let var = ops::mean_axis(&g, ops::square(&g, centered), 1, true);
+        let std = ops::sqrt(&g, ops::add_scalar(&g, var, 1e-5));
+        let normed = ops::div(&g, centered, std);
+        let y2 = ops::add(&g, ops::mul(&g, normed, gamma2), beta2);
+
+        for (a, b) in g.value(y1).data().iter().zip(g.value(y2).data()) {
+            assert!((a - b).abs() < 1e-5, "forward mismatch {a} vs {b}");
+        }
+        let s = ops::add(&g, y1, y2);
+        let total = ops::sum_all(&g, s);
+        g.backward(total);
+        for (p1, p2) in [(x1, x2), (gamma1, gamma2), (beta1, beta2)] {
+            let g1 = g.grad(p1).unwrap();
+            let g2 = g.grad(p2).unwrap();
+            for (a, b) in g1.data().iter().zip(g2.data()) {
+                assert!((a - b).abs() < 1e-4, "grad mismatch {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_cell_output_layout() {
+        let g = Graph::new();
+        let xt = g.input(Tensor::ones(&[2, 3]));
+        let h = g.input(Tensor::zeros(&[2, 4]));
+        let c = g.input(Tensor::zeros(&[2, 4]));
+        let wx = g.input(Tensor::zeros(&[3, 16]));
+        let wh = g.input(Tensor::zeros(&[4, 16]));
+        let b = g.input(Tensor::zeros(&[16]));
+        let hc = lstm_cell(&g, xt, h, c, wx, wh, b);
+        assert_eq!(g.shape_of(hc), vec![2, 8]);
+        // All-zero weights: i=f=o=0.5, g=0 → c'=0, h'=0.
+        assert!(g.value(hc).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gru_cell_zero_weights_keep_state() {
+        let g = Graph::new();
+        let xt = g.input(Tensor::ones(&[2, 3]));
+        let h = g.input(Tensor::new(vec![0.3; 8], &[2, 4]));
+        let wx = g.input(Tensor::zeros(&[3, 12]));
+        let wh = g.input(Tensor::zeros(&[4, 12]));
+        let b = g.input(Tensor::zeros(&[12]));
+        let h2 = gru_cell(&g, xt, h, wx, wh, b);
+        // z=0.5, n=0 → h' = 0.5*h
+        for &v in g.value(h2).data() {
+            assert!((v - 0.15).abs() < 1e-6);
+        }
+    }
+}

@@ -1,43 +1,22 @@
 //! Matrix multiplication (2-D, batched 3-D, and mixed) plus transpose.
+//!
+//! Forward and backward both route through the blocked kernels in
+//! [`crate::kernels`]. The backward passes use the transposed-operand entry
+//! points (`dA = dC·Bᵀ` via `mm_nt`, `dB = Aᵀ·dC` via `mm_tn`) so no
+//! transposed copy of an operand is ever materialized, and the captured
+//! operands are copy-on-write clones — capturing them adds pointers to the
+//! tape, not buffers.
 
 use crate::graph::{Graph, Var};
+use crate::kernels::{self, arena};
 use crate::tensor::Tensor;
-
-/// Raw 2-D matmul on buffers: `c[m,n] += a[m,k] * b[k,n]`.
-fn mm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    // ikj loop order: streams through b and c rows, cache-friendly.
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-}
-
-/// Transposes a 2-D buffer.
-fn t2(a: &[f32], m: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0; a.len()];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a[i * n + j];
-        }
-    }
-    out
-}
 
 fn mm2(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dim: {:?} x {:?}", a.shape(), b.shape());
-    let mut c = vec![0.0; m * n];
-    mm_into(a.data(), b.data(), &mut c, m, k, n);
+    let mut c = arena::take_zeroed(m * n);
+    kernels::mm(a.data(), b.data(), &mut c, m, k, n);
     Tensor::new(c, &[m, n])
 }
 
@@ -59,10 +38,12 @@ pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
                 Box::new(move |og| {
                     let (m, k) = (ta.shape()[0], ta.shape()[1]);
                     let n = tb.shape()[1];
-                    // dA = dC @ B^T ; dB = A^T @ dC
-                    let bt = Tensor::new(t2(tb.data(), k, n), &[n, k]);
-                    let at = Tensor::new(t2(ta.data(), m, k), &[k, m]);
-                    vec![mm2(og, &bt), mm2(&at, og)]
+                    // dA = dC @ B^T ; dB = A^T @ dC — no transposed copies.
+                    let mut ga = arena::take_zeroed(m * k);
+                    kernels::mm_nt(og.data(), tb.data(), &mut ga, m, n, k);
+                    let mut gb = arena::take_zeroed(k * n);
+                    kernels::mm_tn(ta.data(), og.data(), &mut gb, m, k, n);
+                    vec![Tensor::new(ga, &[m, k]), Tensor::new(gb, &[k, n])]
                 }),
             )
         }
@@ -71,9 +52,9 @@ pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
             let (bs2, k2, n) = (tb.shape()[0], tb.shape()[1], tb.shape()[2]);
             assert_eq!(bs, bs2, "batched matmul batch mismatch");
             assert_eq!(k, k2, "batched matmul inner dim");
-            let mut out = vec![0.0; bs * m * n];
+            let mut out = arena::take_zeroed(bs * m * n);
             for i in 0..bs {
-                mm_into(
+                kernels::mm(
                     &ta.data()[i * m * k..(i + 1) * m * k],
                     &tb.data()[i * k * n..(i + 1) * k * n],
                     &mut out[i * m * n..(i + 1) * m * n],
@@ -87,16 +68,14 @@ pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
                 out,
                 vec![a, b],
                 Box::new(move |og| {
-                    let mut ga = vec![0.0; bs * m * k];
-                    let mut gb = vec![0.0; bs * k * n];
+                    let mut ga = arena::take_zeroed(bs * m * k);
+                    let mut gb = arena::take_zeroed(bs * k * n);
                     for i in 0..bs {
                         let ogi = &og.data()[i * m * n..(i + 1) * m * n];
                         let ai = &ta.data()[i * m * k..(i + 1) * m * k];
                         let bi = &tb.data()[i * k * n..(i + 1) * k * n];
-                        let bt = t2(bi, k, n);
-                        let at = t2(ai, m, k);
-                        mm_into(ogi, &bt, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
-                        mm_into(&at, ogi, &mut gb[i * k * n..(i + 1) * k * n], k, m, n);
+                        kernels::mm_nt(ogi, bi, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
+                        kernels::mm_tn(ai, ogi, &mut gb[i * k * n..(i + 1) * k * n], m, k, n);
                     }
                     vec![Tensor::new(ga, &[bs, m, k]), Tensor::new(gb, &[bs, k, n])]
                 }),
@@ -113,11 +92,12 @@ pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
                 out,
                 vec![a, b],
                 Box::new(move |og| {
-                    let og2 = og.reshape(&[bs * m, n]);
-                    let bt = Tensor::new(t2(tb.data(), k, n), &[n, k]);
-                    let a2 = ta.reshape(&[bs * m, k]);
-                    let at = Tensor::new(t2(a2.data(), bs * m, k), &[k, bs * m]);
-                    vec![mm2(&og2, &bt).reshape(&[bs, m, k]), mm2(&at, &og2)]
+                    let rows = bs * m;
+                    let mut ga = arena::take_zeroed(rows * k);
+                    kernels::mm_nt(og.data(), tb.data(), &mut ga, rows, n, k);
+                    let mut gb = arena::take_zeroed(k * n);
+                    kernels::mm_tn(ta.data(), og.data(), &mut gb, rows, k, n);
+                    vec![Tensor::new(ga, &[bs, m, k]), Tensor::new(gb, &[k, n])]
                 }),
             )
         }
@@ -125,35 +105,112 @@ pub fn matmul(g: &Graph, a: Var, b: Var) -> Var {
     }
 }
 
+/// `a @ b^T` over the last two axes, without materializing the transpose.
+///
+/// Supported shapes:
+/// - `[m,k] x [n,k] -> [m,n]`
+/// - `[b,m,k] x [b,n,k] -> [b,m,n]` (batched; used for attention scores)
+pub fn matmul_nt(g: &Graph, a: Var, b: Var) -> Var {
+    let ta = g.value(a);
+    let tb = g.value(b);
+    match (ta.shape().len(), tb.shape().len()) {
+        (2, 2) => {
+            let (m, k) = (ta.shape()[0], ta.shape()[1]);
+            let (n, k2) = (tb.shape()[0], tb.shape()[1]);
+            assert_eq!(
+                k,
+                k2,
+                "matmul_nt inner dim: {:?} x {:?}",
+                ta.shape(),
+                tb.shape()
+            );
+            let mut out = arena::take_zeroed(m * n);
+            kernels::mm_nt(ta.data(), tb.data(), &mut out, m, k, n);
+            let out = Tensor::new(out, &[m, n]);
+            g.op(
+                out,
+                vec![a, b],
+                Box::new(move |og| {
+                    // dA = dC @ B ; dB = dC^T @ A
+                    let mut ga = arena::take_zeroed(m * k);
+                    kernels::mm(og.data(), tb.data(), &mut ga, m, n, k);
+                    let mut gb = arena::take_zeroed(n * k);
+                    kernels::mm_tn(og.data(), ta.data(), &mut gb, m, n, k);
+                    vec![Tensor::new(ga, &[m, k]), Tensor::new(gb, &[n, k])]
+                }),
+            )
+        }
+        (3, 3) => {
+            let (bs, m, k) = (ta.shape()[0], ta.shape()[1], ta.shape()[2]);
+            let (bs2, n, k2) = (tb.shape()[0], tb.shape()[1], tb.shape()[2]);
+            assert_eq!(bs, bs2, "matmul_nt batch mismatch");
+            assert_eq!(k, k2, "matmul_nt inner dim");
+            let mut out = arena::take_zeroed(bs * m * n);
+            for i in 0..bs {
+                kernels::mm_nt(
+                    &ta.data()[i * m * k..(i + 1) * m * k],
+                    &tb.data()[i * n * k..(i + 1) * n * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            let out = Tensor::new(out, &[bs, m, n]);
+            g.op(
+                out,
+                vec![a, b],
+                Box::new(move |og| {
+                    let mut ga = arena::take_zeroed(bs * m * k);
+                    let mut gb = arena::take_zeroed(bs * n * k);
+                    for i in 0..bs {
+                        let ogi = &og.data()[i * m * n..(i + 1) * m * n];
+                        let ai = &ta.data()[i * m * k..(i + 1) * m * k];
+                        let bi = &tb.data()[i * n * k..(i + 1) * n * k];
+                        kernels::mm(ogi, bi, &mut ga[i * m * k..(i + 1) * m * k], m, n, k);
+                        kernels::mm_tn(ogi, ai, &mut gb[i * n * k..(i + 1) * n * k], m, n, k);
+                    }
+                    vec![Tensor::new(ga, &[bs, m, k]), Tensor::new(gb, &[bs, n, k])]
+                }),
+            )
+        }
+        (la, lb) => panic!("unsupported matmul_nt ranks {la} x {lb}"),
+    }
+}
+
 /// Transposes the last two axes of a 2-D or 3-D tensor.
 pub fn transpose_last2(g: &Graph, a: Var) -> Var {
     let ta = g.value(a);
     let out = transpose_last2_t(&ta);
-    g.op(out, vec![a], Box::new(move |og| vec![transpose_last2_t(og)]))
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| vec![transpose_last2_t(og)]),
+    )
 }
 
 fn transpose_last2_t(t: &Tensor) -> Tensor {
-    match t.shape().len() {
-        2 => {
-            let (m, n) = (t.shape()[0], t.shape()[1]);
-            Tensor::new(t2(t.data(), m, n), &[n, m])
-        }
-        3 => {
-            let (b, m, n) = (t.shape()[0], t.shape()[1], t.shape()[2]);
-            let mut out = vec![0.0; t.len()];
-            for i in 0..b {
-                let src = &t.data()[i * m * n..(i + 1) * m * n];
-                let dst = &mut out[i * m * n..(i + 1) * m * n];
-                for r in 0..m {
-                    for c in 0..n {
-                        dst[c * m + r] = src[r * n + c];
-                    }
-                }
+    let (b, m, n) = match *t.shape() {
+        [m, n] => (1, m, n),
+        [b, m, n] => (b, m, n),
+        ref s => panic!("transpose_last2 on rank-{} tensor", s.len()),
+    };
+    let mut out = arena::take_zeroed(t.len());
+    for i in 0..b {
+        let src = &t.data()[i * m * n..(i + 1) * m * n];
+        let dst = &mut out[i * m * n..(i + 1) * m * n];
+        for r in 0..m {
+            for c in 0..n {
+                dst[c * m + r] = src[r * n + c];
             }
-            Tensor::new(out, &[b, n, m])
         }
-        r => panic!("transpose_last2 on rank-{r} tensor"),
     }
+    let shape: Vec<usize> = if t.shape().len() == 2 {
+        vec![n, m]
+    } else {
+        vec![b, n, m]
+    };
+    Tensor::new(out, &shape)
 }
 
 #[cfg(test)]
@@ -206,6 +263,39 @@ mod tests {
         let s = sum_all(&g, c);
         g.backward(s);
         assert_eq!(g.grad(b).unwrap().data()[0], 6.0); // 2*3 rows each contributing 1
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let b = g.leaf(Tensor::new(vec![0.5, -1., 2., 1., 0., -2.], &[2, 3]));
+        let direct = matmul_nt(&g, a, b);
+        let bt = transpose_last2(&g, b);
+        let via_t = matmul(&g, a, bt);
+        let (d, v) = (g.value(direct), g.value(via_t));
+        for (x, y) in d.data().iter().zip(v.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let s = sum_all(&g, direct);
+        g.backward(s);
+        // dA = 1 @ B : row sums of B columns
+        assert_eq!(g.grad(a).unwrap().data(), &[1.5, -1., 0., 1.5, -1., 0.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[5., 7., 9., 5., 7., 9.]);
+    }
+
+    #[test]
+    fn matmul_nt_batched_shapes_and_grads() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 3, 4]));
+        let b = g.leaf(Tensor::ones(&[2, 5, 4]));
+        let c = matmul_nt(&g, a, b);
+        assert_eq!(g.shape_of(c), vec![2, 3, 5]);
+        assert_eq!(g.value(c).data()[0], 4.0);
+        let s = sum_all(&g, c);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data()[0], 5.0);
+        assert_eq!(g.grad(b).unwrap().data()[0], 3.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 mod activation;
 mod elementwise;
+mod fused;
 mod matmul;
 mod reduce;
 mod shape;
@@ -14,7 +15,8 @@ mod special;
 
 pub use activation::{exp, gelu, log, log_softmax, relu, sigmoid, softmax, tanh};
 pub use elementwise::{add, add_scalar, div, mul, neg, scale, sqrt, square, sub};
-pub use matmul::{matmul, transpose_last2};
+pub use fused::{gru_cell, layer_norm, lstm_cell};
+pub use matmul::{matmul, matmul_nt, transpose_last2};
 pub use reduce::{mean_all, mean_axis, sum_all, sum_axis};
 pub use shape::{
     concat_last, concat_rows, reshape, select_rows, slice_last, slice_rows, stack_time, time_slice,

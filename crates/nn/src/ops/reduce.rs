@@ -1,7 +1,14 @@
 //! Reductions: sums and means, whole-tensor or per-axis.
+//!
+//! `sum_all` uses the deterministic chunked sum in [`crate::kernels`];
+//! `sum_axis` decomposes the shape into `[pre, d, post]` around the reduced
+//! axis and parallelizes over `pre` slabs, accumulating ascending `q` per
+//! output element — the same order as a sequential walk, at every thread
+//! count.
 
 use crate::graph::{Graph, Var};
-use crate::tensor::{numel, strides, Tensor};
+use crate::kernels::{self, arena, SharedMut};
+use crate::tensor::{numel, Tensor};
 
 /// Sum of every element, producing a scalar.
 pub fn sum_all(g: &Graph, a: Var) -> Var {
@@ -29,32 +36,38 @@ pub fn mean_all(g: &Graph, a: Var) -> Var {
 pub fn sum_axis(g: &Graph, a: Var, axis: usize, keepdim: bool) -> Var {
     let ta = g.value(a);
     let in_shape = ta.shape().to_vec();
-    assert!(axis < in_shape.len(), "sum_axis axis {axis} out of range for {in_shape:?}");
-    let mut out_shape = in_shape.clone();
-    out_shape[axis] = 1;
-    let st = strides(&in_shape);
-    let ost = strides(&out_shape);
-    let mut out = vec![0.0f32; numel(&out_shape)];
-    // Walk every input element, mapping to its output slot.
-    let mut idx = vec![0usize; in_shape.len()];
-    for &v in ta.data() {
-        let mut o = 0;
-        for (d, &ix) in idx.iter().enumerate() {
-            if d != axis {
-                o += ix * ost[d];
+    assert!(
+        axis < in_shape.len(),
+        "sum_axis axis {axis} out of range for {in_shape:?}"
+    );
+    // View the input as [pre, d, post] around the reduced axis.
+    let pre: usize = in_shape[..axis].iter().product();
+    let d = in_shape[axis];
+    let post: usize = in_shape[axis + 1..].iter().product();
+
+    let mut out = arena::take_zeroed(pre * post);
+    {
+        let ov = SharedMut::new(&mut out);
+        let src = ta.data();
+        let grain = (kernels::ELEM_GRAIN / (d * post).max(1)).max(1);
+        kernels::parallel_for(pre, grain, |p0, p1| {
+            // SAFETY: `pre` slabs are disjoint across chunks.
+            let dst = unsafe { ov.range(p0 * post, p1 * post) };
+            for (i, p) in (p0..p1).enumerate() {
+                let orow = &mut dst[i * post..(i + 1) * post];
+                for q in 0..d {
+                    let irow = &src[(p * d + q) * post..(p * d + q + 1) * post];
+                    for (o, &v) in orow.iter_mut().zip(irow) {
+                        *o += v;
+                    }
+                }
             }
-        }
-        out[o] += v;
-        for d in (0..in_shape.len()).rev() {
-            idx[d] += 1;
-            if idx[d] < in_shape[d] {
-                break;
-            }
-            idx[d] = 0;
-        }
+        });
     }
     let final_shape = if keepdim {
-        out_shape.clone()
+        let mut s = in_shape.clone();
+        s[axis] = 1;
+        s
     } else {
         let mut s = in_shape.clone();
         s.remove(axis);
@@ -67,32 +80,21 @@ pub fn sum_axis(g: &Graph, a: Var, axis: usize, keepdim: bool) -> Var {
         vec![a],
         Box::new(move |og| {
             // Broadcast og back over the reduced axis.
-            let mut grad = Tensor::zeros(&in_shape2);
-            let n = numel(&in_shape2);
-            let mut idx = vec![0usize; in_shape2.len()];
-            let gd = grad.data_mut();
+            let mut grad = arena::take_zeroed(numel(&in_shape2));
+            let gv = SharedMut::new(&mut grad);
             let ogd = og.data();
-            let mut out_shape_k = in_shape2.clone();
-            out_shape_k[axis] = 1;
-            let ost = strides(&out_shape_k);
-            for item in gd.iter_mut().take(n) {
-                let mut o = 0;
-                for (d, &ix) in idx.iter().enumerate() {
-                    if d != axis {
-                        o += ix * ost[d];
+            let grain = (kernels::ELEM_GRAIN / (d * post).max(1)).max(1);
+            kernels::parallel_for(pre, grain, |p0, p1| {
+                // SAFETY: `pre` slabs are disjoint across chunks.
+                let dst = unsafe { gv.range(p0 * d * post, p1 * d * post) };
+                for (i, p) in (p0..p1).enumerate() {
+                    let orow = &ogd[p * post..(p + 1) * post];
+                    for q in 0..d {
+                        dst[(i * d + q) * post..(i * d + q + 1) * post].copy_from_slice(orow);
                     }
                 }
-                *item = ogd[o];
-                for d in (0..in_shape2.len()).rev() {
-                    idx[d] += 1;
-                    if idx[d] < in_shape2[d] {
-                        break;
-                    }
-                    idx[d] = 0;
-                }
-            }
-            let _ = &st; // silence: kept for symmetry/clarity
-            vec![grad]
+            });
+            vec![Tensor::new(grad, &in_shape2)]
         }),
     )
 }

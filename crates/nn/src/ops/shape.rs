@@ -8,7 +8,11 @@ pub fn reshape(g: &Graph, a: Var, shape: &[usize]) -> Var {
     let ta = g.value(a);
     let in_shape = ta.shape().to_vec();
     let out = ta.reshape(shape);
-    g.op(out, vec![a], Box::new(move |og| vec![og.reshape(&in_shape)]))
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| vec![og.reshape(&in_shape)]),
+    )
 }
 
 /// Slices `len` features starting at `start` along the **last** axis.
@@ -16,7 +20,11 @@ pub fn slice_last(g: &Graph, a: Var, start: usize, len: usize) -> Var {
     let ta = g.value(a);
     let shape = ta.shape().to_vec();
     let d = *shape.last().expect("slice_last on scalar");
-    assert!(start + len <= d, "slice_last [{start}..{}] out of last dim {d}", start + len);
+    assert!(
+        start + len <= d,
+        "slice_last [{start}..{}] out of last dim {d}",
+        start + len
+    );
     let rows = ta.len() / d;
     let mut out = Vec::with_capacity(rows * len);
     for r in 0..rows {
@@ -49,7 +57,11 @@ pub fn concat_last(g: &Graph, parts: &[Var]) -> Var {
     let widths: Vec<usize> = tensors
         .iter()
         .map(|t| {
-            assert_eq!(&t.shape()[..t.shape().len() - 1], lead, "concat_last leading dims differ");
+            assert_eq!(
+                &t.shape()[..t.shape().len() - 1],
+                lead,
+                "concat_last leading dims differ"
+            );
             *t.shape().last().unwrap()
         })
         .collect();
@@ -148,7 +160,11 @@ pub fn concat_rows(g: &Graph, parts: &[Var]) -> Var {
     let trail = tensors[0].shape()[1..].to_vec();
     let mut rows = 0usize;
     for t in &tensors {
-        assert_eq!(&t.shape()[1..], &trail[..], "concat_rows trailing dims differ");
+        assert_eq!(
+            &t.shape()[1..],
+            &trail[..],
+            "concat_rows trailing dims differ"
+        );
         rows += t.shape()[0];
     }
     let mut out = Vec::with_capacity(rows * trail.iter().product::<usize>());

@@ -14,7 +14,11 @@ use crate::tensor::Tensor;
 /// behind the GRL — maximizes it.
 pub fn grl(g: &Graph, a: Var, lambda: f32) -> Var {
     let out = g.value(a);
-    g.op(out, vec![a], Box::new(move |og| vec![og.map(|x| -lambda * x)]))
+    g.op(
+        out,
+        vec![a],
+        Box::new(move |og| vec![og.map(|x| -lambda * x)]),
+    )
 }
 
 /// Stops gradient flow: identity forward, zero gradient backward.
@@ -35,8 +39,15 @@ pub fn dropout<R: Rng + ?Sized>(g: &Graph, a: Var, p: f32, rng: &mut R) -> Var {
     }
     let ta = g.value(a);
     let keep = 1.0 - p;
-    let mask: Vec<f32> =
-        (0..ta.len()).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+    let mask: Vec<f32> = (0..ta.len())
+        .map(|_| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        })
+        .collect();
     let out = Tensor::new(
         ta.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect(),
         ta.shape(),
@@ -174,6 +185,9 @@ mod tests {
         let s = sum_all(&g, sp);
         g.backward(s);
         let gr = g.grad(a).unwrap();
-        assert!(gr.data()[0] > 0.0 && gr.data()[1] > 0.0, "surrogate grad should be nonzero");
+        assert!(
+            gr.data()[0] > 0.0 && gr.data()[1] > 0.0,
+            "surrogate grad should be nonzero"
+        );
     }
 }

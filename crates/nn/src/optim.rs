@@ -13,8 +13,15 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer covering every parameter in `store`.
     pub fn new(store: &ParamStore, lr: f32, momentum: f32) -> Self {
-        let velocity = store.ids().map(|id| Tensor::zeros(store.value(id).shape())).collect();
-        Sgd { lr, momentum, velocity }
+        let velocity = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).shape()))
+            .collect();
+        Sgd {
+            lr,
+            momentum,
+            velocity,
+        }
     }
 
     /// Sets the learning rate.
@@ -70,9 +77,24 @@ impl AdamW {
         eps: f32,
         weight_decay: f32,
     ) -> Self {
-        let m = store.ids().map(|id| Tensor::zeros(store.value(id).shape())).collect();
-        let v = store.ids().map(|id| Tensor::zeros(store.value(id).shape())).collect();
-        AdamW { lr, beta1, beta2, eps, weight_decay, t: 0, m, v }
+        let m = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).shape()))
+            .collect();
+        let v = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).shape()))
+            .collect();
+        AdamW {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Current learning rate.
@@ -95,8 +117,11 @@ impl AdamW {
         for (i, id) in ids.into_iter().enumerate() {
             let grad = store.grad(id).clone();
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
-            for ((mi, vi), g) in
-                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(grad.data())
+            for ((mi, vi), g) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(grad.data())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

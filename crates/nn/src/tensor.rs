@@ -1,18 +1,25 @@
 //! Dense row-major `f32` tensors.
 //!
-//! The tensor type is deliberately simple: a contiguous `Vec<f32>` plus a
-//! shape. All views are materialized (reshape/transpose copy when needed),
-//! which keeps the autograd tape in [`crate::graph`] free of aliasing
-//! concerns. At the model sizes LogSynergy-RS trains (d_model ≤ 768,
-//! sequence length 10), copies are far from the bottleneck — matmul is.
+//! The tensor type is deliberately simple: a contiguous buffer plus a
+//! shape. The buffer is held behind an `Arc` with copy-on-write semantics:
+//! `Clone` (and `reshape`) share storage in O(1), and [`Tensor::data_mut`]
+//! makes a private copy only when the storage is actually shared. That
+//! makes it cheap for autograd backward closures to capture their operands
+//! — the tape in [`crate::graph`] holds one buffer per node, not one per
+//! capture. Heavy lifting (matmul, elementwise loops, reductions) routes
+//! through the [`crate::kernels`] layer.
+
+use std::sync::Arc;
 
 use rand::distributions::Distribution;
 use rand::Rng;
 
-/// A dense, row-major, contiguous `f32` tensor.
+use crate::kernels;
+
+/// A dense, row-major, contiguous `f32` tensor with copy-on-write storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Vec<usize>,
 }
 
@@ -22,7 +29,13 @@ impl std::fmt::Debug for Tensor {
         if self.data.len() <= 16 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, …; n={}]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{:.4}, {:.4}, …; n={}]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -53,27 +66,42 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data: Arc::new(data),
+            shape: shape.to_vec(),
+        }
     }
 
     /// A scalar (0-dimensional) tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], shape: vec![] }
+        Tensor {
+            data: Arc::new(vec![v]),
+            shape: vec![],
+        }
     }
 
-    /// All-zeros tensor of the given shape.
+    /// All-zeros tensor of the given shape (storage drawn from the arena).
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { data: vec![0.0; numel(shape)], shape: shape.to_vec() }
+        Tensor {
+            data: Arc::new(kernels::arena::take_zeroed(numel(shape))),
+            shape: shape.to_vec(),
+        }
     }
 
     /// All-ones tensor of the given shape.
     pub fn ones(shape: &[usize]) -> Self {
-        Tensor { data: vec![1.0; numel(shape)], shape: shape.to_vec() }
+        Tensor::full(shape, 1.0)
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: &[usize], v: f32) -> Self {
-        Tensor { data: vec![v; numel(shape)], shape: shape.to_vec() }
+        let n = numel(shape);
+        let mut data = kernels::arena::take_cleared(n);
+        data.resize(n, v);
+        Tensor {
+            data: Arc::new(data),
+            shape: shape.to_vec(),
+        }
     }
 
     /// Standard-normal random tensor scaled by `std`.
@@ -81,7 +109,7 @@ impl Tensor {
         let normal = rand::distributions::Uniform::new(0.0f32, 1.0f32);
         // Box-Muller from two uniforms: avoids pulling in rand_distr.
         let n = numel(shape);
-        let mut data = Vec::with_capacity(n);
+        let mut data = kernels::arena::take_cleared(n);
         while data.len() < n {
             let u1: f32 = normal.sample(rng).max(1e-12);
             let u2: f32 = normal.sample(rng);
@@ -92,14 +120,22 @@ impl Tensor {
                 data.push(r * th.sin() * std);
             }
         }
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data: Arc::new(data),
+            shape: shape.to_vec(),
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)`.
     pub fn rand_uniform<R: Rng>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
         let dist = rand::distributions::Uniform::new(lo, hi);
-        let data = (0..numel(shape)).map(|_| dist.sample(rng)).collect();
-        Tensor { data, shape: shape.to_vec() }
+        let n = numel(shape);
+        let mut data = kernels::arena::take_cleared(n);
+        data.extend((0..n).map(|_| dist.sample(rng)));
+        Tensor {
+            data: Arc::new(data),
+            shape: shape.to_vec(),
+        }
     }
 
     /// The tensor's shape.
@@ -122,26 +158,63 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the backing buffer.
+    /// Mutable view of the backing buffer (copies first if shared).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its buffer.
+    /// Consumes the tensor, returning its buffer (copies if shared).
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True when both tensors view the same backing buffer.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Address of the backing buffer, for deduplicated accounting.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Heap bytes held by the backing buffer (capacity, not length).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Recycles the buffer into the arena if this was its last owner.
+    pub(crate) fn recycle(self) {
+        if let Ok(buf) = Arc::try_unwrap(self.data) {
+            kernels::arena::give(buf);
+        }
     }
 
     /// Value of a scalar tensor (any single-element tensor qualifies).
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
     /// Reinterprets the buffer with a new shape of equal element count.
+    /// Shares storage with `self` (copy-on-write).
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        assert_eq!(numel(shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
-        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+        assert_eq!(
+            numel(shape),
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            data: Arc::clone(&self.data),
+            shape: shape.to_vec(),
+        }
     }
 
     /// Element at a multi-index.
@@ -156,29 +229,36 @@ impl Tensor {
         self.data[off]
     }
 
-    /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    /// Applies `f` to every element, returning a new tensor (parallel for
+    /// large buffers).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = kernels::arena::take_zeroed(self.data.len());
+        kernels::fill_map(&self.data, &mut out, f);
+        Tensor {
+            data: Arc::new(out),
+            shape: self.shape.clone(),
+        }
     }
 
     /// In-place elementwise `self += other` (shapes must match).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
 
     /// In-place scale.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in self.data.iter_mut() {
+        for a in self.data_mut().iter_mut() {
             *a *= s;
         }
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (deterministic fixed-chunk order; parallel for
+    /// large buffers).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        kernels::sum(&self.data)
     }
 
     /// Mean of all elements (0.0 for empty tensors).
@@ -229,8 +309,16 @@ pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let n = a.len().max(b.len());
     let mut out = vec![0; n];
     for i in 0..n {
-        let da = if i < n - a.len() { 1 } else { a[i - (n - a.len())] };
-        let db = if i < n - b.len() { 1 } else { b[i - (n - b.len())] };
+        let da = if i < n - a.len() {
+            1
+        } else {
+            a[i - (n - a.len())]
+        };
+        let db = if i < n - b.len() {
+            1
+        } else {
+            b[i - (n - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -251,23 +339,32 @@ pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
     let pad = out_shape.len() - shape.len();
     let mut s = vec![0; out_shape.len()];
     for i in 0..shape.len() {
-        s[pad + i] = if shape[i] == 1 && out_shape[pad + i] != 1 { 0 } else { own[i] };
+        s[pad + i] = if shape[i] == 1 && out_shape[pad + i] != 1 {
+            0
+        } else {
+            own[i]
+        };
     }
     s
 }
 
 /// Applies a binary op under broadcasting, returning the broadcast result.
-pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+/// The same-shape fast path is chunk-parallel.
+pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     if a.shape == b.shape {
-        let data = a.data.iter().zip(b.data.iter()).map(|(&x, &y)| f(x, y)).collect();
-        return Tensor { data, shape: a.shape.clone() };
+        let mut data = kernels::arena::take_zeroed(a.data.len());
+        kernels::fill_zip(&a.data, &b.data, &mut data, f);
+        return Tensor {
+            data: Arc::new(data),
+            shape: a.shape.clone(),
+        };
     }
     let out_shape = broadcast_shape(&a.shape, &b.shape)
         .unwrap_or_else(|| panic!("incompatible broadcast {:?} vs {:?}", a.shape, b.shape));
     let sa = broadcast_strides(&a.shape, &out_shape);
     let sb = broadcast_strides(&b.shape, &out_shape);
     let n = numel(&out_shape);
-    let mut data = Vec::with_capacity(n);
+    let mut data = kernels::arena::take_cleared(n);
     let mut idx = vec![0usize; out_shape.len()];
     let mut oa = 0usize;
     let mut ob = 0usize;
@@ -286,7 +383,10 @@ pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Ten
             ob -= sb[d] * out_shape[d];
         }
     }
-    Tensor { data, shape: out_shape }
+    Tensor {
+        data: Arc::new(data),
+        shape: out_shape,
+    }
 }
 
 /// Reduces `grad` (shaped like the broadcast output) back to `shape`,
@@ -298,11 +398,12 @@ pub fn reduce_to_shape(grad: &Tensor, shape: &[usize]) -> Tensor {
     let out_shape = grad.shape.clone();
     let s_in = broadcast_strides(shape, &out_shape);
     let mut out = Tensor::zeros(shape);
+    let od = out.data_mut();
     let n = grad.data.len();
     let mut idx = vec![0usize; out_shape.len()];
     let mut off = 0usize;
     for i in 0..n {
-        out.data[off] += grad.data[i];
+        od[off] += grad.data[i];
         for d in (0..out_shape.len()).rev() {
             idx[d] += 1;
             off += s_in[d];
@@ -341,6 +442,25 @@ mod tests {
         assert_eq!(t.at(&[0, 0]), 0.0);
         assert_eq!(t.at(&[1, 2]), 5.0);
         assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_written() {
+        let mut a = Tensor::new(vec![1.0, 2.0], &[2]);
+        let b = a.clone();
+        assert!(a.shares_storage(&b));
+        a.data_mut()[0] = 9.0;
+        assert!(!a.shares_storage(&b), "write must detach shared storage");
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        assert_eq!(a.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let a = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshape(&[4]);
+        assert!(a.shares_storage(&b));
+        assert_eq!(b.shape(), &[4]);
     }
 
     #[test]

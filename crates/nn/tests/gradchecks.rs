@@ -120,7 +120,10 @@ fn gradcheck_activations() {
     let mut r = rng();
     let x = Tensor::randn(&mut r, &[6], 0.9);
     for (name, f) in [
-        ("tanh", ops::tanh as fn(&Graph, logsynergy_nn::Var) -> logsynergy_nn::Var),
+        (
+            "tanh",
+            ops::tanh as fn(&Graph, logsynergy_nn::Var) -> logsynergy_nn::Var,
+        ),
         ("sigmoid", ops::sigmoid),
         ("gelu", ops::gelu),
         ("exp", ops::exp),

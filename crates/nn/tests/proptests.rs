@@ -131,4 +131,100 @@ proptest! {
             prop_assert!((x - y).abs() < 1e-3);
         }
     }
+
+    // ---- blocked/parallel kernels vs. naive references ------------------
+    //
+    // Shapes are drawn from 1..40, which crosses the generic MR=4 / NR=16
+    // tile boundaries (and the 8-row AVX-512 microkernel tiles) in both
+    // directions, non-multiple edge shapes included.
+    // Tolerance: 1e-5 floor, scaled up with the contracted length because
+    // the FMA tiers fuse the multiply rounding the naive reference keeps
+    // (≈1 ulp divergence per accumulation step).
+
+    #[test]
+    fn blocked_mm_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1u64 << 32) {
+        let a = hashed_vec(m * k, seed);
+        let b = hashed_vec(k * n, seed ^ 0x9E37_79B9);
+        let mut c = vec![0.0f32; m * n];
+        let mut r = vec![0.0f32; m * n];
+        kernels::with_threads(4, || kernels::mm(&a, &b, &mut c, m, k, n));
+        kernels::mm_ref(&a, &b, &mut r, m, k, n);
+        for (x, y) in c.iter().zip(&r) {
+            prop_assert!((x - y).abs() <= fma_tol(k, *y), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn blocked_mm_nt_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1u64 << 32) {
+        let a = hashed_vec(m * k, seed);
+        let bt = hashed_vec(n * k, seed ^ 0xDEAD_BEEF);
+        let mut c = vec![0.0f32; m * n];
+        let mut r = vec![0.0f32; m * n];
+        kernels::with_threads(4, || kernels::mm_nt(&a, &bt, &mut c, m, k, n));
+        kernels::mm_nt_ref(&a, &bt, &mut r, m, k, n);
+        for (x, y) in c.iter().zip(&r) {
+            prop_assert!((x - y).abs() <= fma_tol(k, *y), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn blocked_mm_tn_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1u64 << 32) {
+        let a = hashed_vec(m * k, seed);
+        let b = hashed_vec(m * n, seed ^ 0x0BAD_F00D);
+        let mut c = vec![0.0f32; k * n];
+        let mut r = vec![0.0f32; k * n];
+        kernels::with_threads(4, || kernels::mm_tn(&a, &b, &mut c, m, k, n));
+        kernels::mm_tn_ref(&a, &b, &mut r, m, k, n);
+        for (x, y) in c.iter().zip(&r) {
+            prop_assert!((x - y).abs() <= fma_tol(m, *y), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_bytes(m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1u64 << 32) {
+        let a = hashed_vec(m * k, seed);
+        let b = hashed_vec(k * n, seed ^ 0x5EED_CAFE);
+        let run = |threads: usize| {
+            let mut c = vec![0.0f32; m * n];
+            kernels::with_threads(threads, || kernels::mm(&a, &b, &mut c, m, k, n));
+            c
+        };
+        let (one, four) = (run(1), run(4));
+        for (x, y) in one.iter().zip(&four) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_elementwise_identical_bytes(len in 1usize..60_000, seed in 0u64..1u64 << 32) {
+        let data = hashed_vec(len, seed);
+        let t = Tensor::new(data, &[len]);
+        let one = kernels::with_threads(1, || t.map(|x| x * 1.7 - 0.3));
+        let four = kernels::with_threads(4, || t.map(|x| x * 1.7 - 0.3));
+        for (x, y) in one.data().iter().zip(four.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let s1 = kernels::with_threads(1, || t.sum());
+        let s4 = kernels::with_threads(4, || t.sum());
+        prop_assert_eq!(s1.to_bits(), s4.to_bits());
+    }
+}
+
+use logsynergy_nn::kernels;
+
+/// Mixed absolute/relative tolerance for blocked-vs-naive comparisons over a
+/// `red`-long reduction: never tighter than 1e-5, loosened by reduction
+/// length and result magnitude to absorb FMA-vs-separate-rounding drift.
+fn fma_tol(red: usize, y: f32) -> f32 {
+    (1e-6 * red as f32 * y.abs().max(1.0)).max(1e-5)
+}
+
+/// Deterministic pseudo-random fill so shape and content shrink together.
+fn hashed_vec(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect()
 }

@@ -1,0 +1,90 @@
+//! Peak-tape-memory regression tests.
+//!
+//! Backward closures capture copy-on-write clones of node values, so the
+//! tape holds each buffer once no matter how many closures reference it.
+//! These tests pin that down with [`Tensor::shares_storage`] and
+//! [`Graph::tape_bytes`].
+
+use logsynergy_nn::{ops, Graph, Tensor};
+
+const N: usize = 64;
+const BUF: usize = N * N * std::mem::size_of::<f32>();
+
+#[test]
+fn value_clones_share_storage() {
+    let g = Graph::new();
+    let x = g.input(Tensor::zeros(&[N, N]));
+    let t1 = g.value(x);
+    let t2 = g.value(x);
+    // Cloning a node value (what backward closures capture) is an alias,
+    // not a copy.
+    assert!(t1.shares_storage(&t2));
+}
+
+#[test]
+fn reshape_shares_the_parent_buffer_on_the_tape() {
+    let g = Graph::new();
+    let x = g.input(Tensor::zeros(&[N, N]));
+    let y = ops::reshape(&g, x, &[N * N]);
+    assert!(g.value(x).shares_storage(&g.value(y)));
+    // Two nodes, one buffer: tape accounting dedups by storage identity.
+    assert!(
+        g.tape_bytes() < 2 * BUF,
+        "tape holds {} bytes",
+        g.tape_bytes()
+    );
+}
+
+#[test]
+fn matmul_backward_does_not_clone_inputs_into_the_tape() {
+    let g = Graph::new();
+    let a = g.leaf(Tensor::ones(&[N, N]));
+    let b = g.leaf(Tensor::ones(&[N, N]));
+    let c = ops::matmul(&g, a, b);
+    let forward_bytes = g.tape_bytes();
+    // a, b, c — and nothing stashed beyond them (small pow-2 slack only).
+    assert!(
+        forward_bytes >= 3 * BUF,
+        "forward tape {} bytes",
+        forward_bytes
+    );
+    assert!(
+        forward_bytes < 4 * BUF,
+        "forward tape ballooned to {} bytes",
+        forward_bytes
+    );
+
+    let s = ops::sum_all(&g, c);
+    g.backward(s);
+    // Backward adds one gradient per needs-grad node (a, b, c, s) plus the
+    // scalar node values; it must not add input copies on top.
+    let peak = g.tape_bytes();
+    assert!(peak >= 6 * BUF, "peak tape {} bytes", peak);
+    assert!(peak < 8 * BUF, "peak tape ballooned to {} bytes", peak);
+}
+
+#[test]
+fn dropped_graphs_recycle_buffers_into_the_arena() {
+    use logsynergy_nn::kernels::arena;
+    // Warm up: the first graph allocates, later identical graphs reuse.
+    for _ in 0..2 {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[N, N]));
+        let b = g.leaf(Tensor::ones(&[N, N]));
+        let s = ops::sum_all(&g, ops::matmul(&g, a, b));
+        g.backward(s);
+    }
+    let (_, reused_before) = arena::stats();
+    {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[N, N]));
+        let b = g.leaf(Tensor::ones(&[N, N]));
+        let s = ops::sum_all(&g, ops::matmul(&g, a, b));
+        g.backward(s);
+    }
+    let (_, reused_after) = arena::stats();
+    assert!(
+        reused_after > reused_before,
+        "third identical graph reused no buffers ({reused_before} -> {reused_after})"
+    );
+}

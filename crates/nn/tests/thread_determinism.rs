@@ -1,0 +1,67 @@
+//! End-to-end determinism: training the same model with 1 thread and with 4
+//! threads must produce bitwise-identical parameters.
+//!
+//! This is the contract documented in `docs/kernels.md`: chunk boundaries
+//! and per-element accumulation order never depend on the thread count, so
+//! parallelism cannot perturb training.
+
+use logsynergy_nn::kernels::with_threads;
+use logsynergy_nn::layers::{Linear, Lstm};
+use logsynergy_nn::optim::AdamW;
+use logsynergy_nn::{loss, ops, Graph, ParamStore, Tensor};
+use rand::SeedableRng;
+
+/// Trains a tiny LSTM classifier for a few steps and returns every
+/// parameter's raw bits.
+fn train_and_fingerprint() -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15EA5E);
+    let mut store = ParamStore::new();
+    let lstm = Lstm::new(&mut store, &mut rng, "l", 3, 8);
+    let head = Linear::new(&mut store, &mut rng, "h", 8, 1);
+
+    let n = 8;
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        for j in 0..5 * 3 {
+            data.push(sign * 0.5 + 0.05 * ((i * 31 + j) % 7) as f32);
+        }
+        labels.push(if sign > 0.0 { 1.0 } else { 0.0 });
+    }
+    let x = Tensor::new(data, &[n, 5, 3]);
+
+    let mut opt = AdamW::new(&store, 1e-2);
+    for _ in 0..6 {
+        let g = Graph::new();
+        let xv = g.input(x.clone());
+        let (_, h) = lstm.forward(&g, &store, xv);
+        let logits = head.forward(&g, &store, h);
+        let flat = ops::reshape(&g, logits, &[n]);
+        let l = loss::bce_with_logits(&g, flat, &labels);
+        g.backward(l);
+        g.write_grads(&mut store);
+        opt.step(&mut store);
+        store.zero_grads();
+    }
+
+    let mut bits = Vec::new();
+    for id in store.ids() {
+        bits.extend(store.value(id).data().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let serial = with_threads(1, train_and_fingerprint);
+    let parallel = with_threads(4, train_and_fingerprint);
+    assert_eq!(serial.len(), parallel.len());
+    let diffs = serial.iter().zip(&parallel).filter(|(a, b)| a != b).count();
+    assert_eq!(
+        diffs,
+        0,
+        "{diffs}/{} parameter scalars differ between 1 and 4 threads",
+        serial.len()
+    );
+}

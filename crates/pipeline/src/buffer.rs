@@ -36,7 +36,11 @@ impl LogBuffer {
             senders.push(s);
             receivers.push(r);
         }
-        LogBuffer { senders, receivers, stats: Arc::new(Mutex::new(BufferStats::default())) }
+        LogBuffer {
+            senders,
+            receivers,
+            stats: Arc::new(Mutex::new(BufferStats::default())),
+        }
     }
 
     /// Number of partitions.
@@ -55,12 +59,20 @@ impl LogBuffer {
 
     /// Producer handle (cheap to clone).
     pub fn producer(&self) -> Producer {
-        Producer { senders: self.senders.clone(), stats: self.stats.clone(), router: None }
+        Producer {
+            senders: self.senders.clone(),
+            stats: self.stats.clone(),
+            router: None,
+        }
     }
 
     /// Consumer handle draining all partitions.
     pub fn consumer(&self) -> Consumer {
-        Consumer { receivers: self.receivers.clone(), stats: self.stats.clone(), next: 0 }
+        Consumer {
+            receivers: self.receivers.clone(),
+            stats: self.stats.clone(),
+            next: 0,
+        }
     }
 
     /// Snapshot of the counters.
@@ -96,7 +108,9 @@ impl Producer {
                 (h % self.senders.len() as u64) as usize
             }
         };
-        self.senders[p].send(log).expect("buffer closed while producing");
+        self.senders[p]
+            .send(log)
+            .expect("buffer closed while producing");
         self.stats.lock().enqueued += 1;
     }
 }
@@ -140,7 +154,11 @@ mod tests {
     use super::*;
 
     fn raw(system: &str, i: u64) -> RawLog {
-        RawLog { system: system.into(), timestamp: i, message: format!("m{i}") }
+        RawLog {
+            system: system.into(),
+            timestamp: i,
+            message: format!("m{i}"),
+        }
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl ModelScorer {
 
 impl SequenceScorer for ModelScorer {
     fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
-        let sample = SeqSample { events: events.to_vec(), label: false };
+        let sample = SeqSample {
+            events: events.to_vec(),
+            label: false,
+        };
         Detector::new(&self.model).scores(std::slice::from_ref(&sample), table)[0]
     }
 }
@@ -115,7 +118,11 @@ impl<S: SequenceScorer> OnlineDetector<S> {
                 } else {
                     None
                 };
-                let v = Verdict { probability: p, anomalous, culprit };
+                let v = Verdict {
+                    probability: p,
+                    anomalous,
+                    culprit,
+                };
                 self.library.insert(&events, v);
                 v
             }
@@ -136,7 +143,9 @@ impl<S: SequenceScorer> OnlineDetector<S> {
                 .iter()
                 .map(|&e| self.vectorizer.text(e).to_string())
                 .collect(),
-            culprit: verdict.culprit.map(|id| self.vectorizer.text(id).to_string()),
+            culprit: verdict
+                .culprit
+                .map(|id| self.vectorizer.text(id).to_string()),
         })
     }
 
@@ -171,7 +180,12 @@ mod tests {
     }
 
     fn slog(i: u64, msg: &str) -> StructuredLog {
-        StructuredLog { system: "b".into(), timestamp: i, message: msg.into(), seq_no: i }
+        StructuredLog {
+            system: "b".into(),
+            timestamp: i,
+            message: msg.into(),
+            seq_no: i,
+        }
     }
 
     #[test]
@@ -180,12 +194,19 @@ mod tests {
         let mut det = OnlineDetector::new(v, StubScorer);
         let mut reports = Vec::new();
         for i in 0..30 {
-            let msg = if i == 17 { "drive volume dead offline" } else { "session open remote peer" };
+            let msg = if i == 17 {
+                "drive volume dead offline"
+            } else {
+                "session open remote peer"
+            };
             if let Some(r) = det.ingest(slog(i, msg)) {
                 reports.push(r);
             }
         }
-        assert!(!reports.is_empty(), "the anomalous log must produce a report");
+        assert!(
+            !reports.is_empty(),
+            "the anomalous log must produce a report"
+        );
         assert!(det.model_calls > 0);
         for r in &reports {
             assert_eq!(r.messages.len(), 10);
@@ -201,7 +222,10 @@ mod tests {
         for i in 0..200 {
             det.ingest(slog(i, "steady state heartbeat ping"));
         }
-        assert!(det.fast_hits > 0, "identical windows must hit the fast path");
+        assert!(
+            det.fast_hits > 0,
+            "identical windows must hit the fast path"
+        );
         assert!(
             det.model_calls < 5,
             "steady-state stream should rarely reach the model: {}",

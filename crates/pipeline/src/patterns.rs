@@ -88,7 +88,14 @@ mod tests {
     fn lookup_miss_then_hit() {
         let mut lib = PatternLibrary::new();
         assert!(lib.lookup(&[1, 2, 3]).is_none());
-        lib.insert(&[1, 2, 3], Verdict { probability: 0.9, anomalous: true, culprit: Some(3) });
+        lib.insert(
+            &[1, 2, 3],
+            Verdict {
+                probability: 0.9,
+                anomalous: true,
+                culprit: Some(3),
+            },
+        );
         let v = lib.lookup(&[1, 2, 3]).unwrap();
         assert!(v.anomalous);
         assert_eq!(lib.stats(), (1, 1));
@@ -97,10 +104,23 @@ mod tests {
     #[test]
     fn order_and_multiplicity_do_not_split_patterns() {
         let mut lib = PatternLibrary::new();
-        lib.insert(&[1, 2], Verdict { probability: 0.1, anomalous: false, culprit: None });
+        lib.insert(
+            &[1, 2],
+            Verdict {
+                probability: 0.1,
+                anomalous: false,
+                culprit: None,
+            },
+        );
         assert!(lib.lookup(&[2, 1]).is_some(), "order-insensitive");
-        assert!(lib.lookup(&[1, 2, 2, 1]).is_some(), "multiplicity-insensitive");
-        assert!(lib.lookup(&[1, 2, 3]).is_none(), "a new event id is a new pattern");
+        assert!(
+            lib.lookup(&[1, 2, 2, 1]).is_some(),
+            "multiplicity-insensitive"
+        );
+        assert!(
+            lib.lookup(&[1, 2, 3]).is_none(),
+            "a new event id is a new pattern"
+        );
         assert_eq!(lib.len(), 1);
     }
 }

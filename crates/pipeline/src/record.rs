@@ -29,7 +29,12 @@ pub struct StructuredLog {
 /// "formatted into a unified structure by LogStash", §VI-A).
 pub fn format_log(raw: RawLog, seq_no: u64) -> StructuredLog {
     let message = raw.message.split_whitespace().collect::<Vec<_>>().join(" ");
-    StructuredLog { system: raw.system, timestamp: raw.timestamp, message, seq_no }
+    StructuredLog {
+        system: raw.system,
+        timestamp: raw.timestamp,
+        message,
+        seq_no,
+    }
 }
 
 #[cfg(test)]

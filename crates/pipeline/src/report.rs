@@ -31,7 +31,10 @@ impl Report {
     pub fn render(&self) -> String {
         let mut s = format!(
             "[ANOMALY] system={} p={:.2} window={}..{} seq={}\n",
-            self.system, self.probability, self.start_timestamp, self.end_timestamp,
+            self.system,
+            self.probability,
+            self.start_timestamp,
+            self.end_timestamp,
             self.first_seq_no
         );
         if let Some(c) = &self.culprit {
@@ -50,7 +53,10 @@ impl Report {
             .culprit
             .as_deref()
             .or_else(|| {
-                self.interpretations.iter().find(|i| !i.is_empty()).map(|s| s.as_str())
+                self.interpretations
+                    .iter()
+                    .find(|i| !i.is_empty())
+                    .map(|s| s.as_str())
             })
             .unwrap_or("anomalous log sequence");
         let mut text = format!("[{}] {head} (p={:.2})", self.system, self.probability);
@@ -120,7 +126,9 @@ impl MessagingSink {
 
 impl ReportSink for MessagingSink {
     fn deliver(&self, report: &Report) {
-        self.outbox.lock().push((report.render_sms(), report.render()));
+        self.outbox
+            .lock()
+            .push((report.render_sms(), report.render()));
     }
 }
 

@@ -96,7 +96,7 @@ mod tests {
     struct EvenScorer;
     impl SequenceScorer for EvenScorer {
         fn score(&self, events: &[u32], _table: &[Vec<f32>]) -> f32 {
-            if events.iter().any(|&e| e == 1) {
+            if events.contains(&1) {
                 0.95
             } else {
                 0.05
@@ -113,16 +113,27 @@ mod tests {
             } else {
                 "session open remote peer lan".to_string()
             };
-            source.push(RawLog { system: "b".into(), timestamp: i, message: msg });
+            source.push(RawLog {
+                system: "b".into(),
+                timestamp: i,
+                message: msg,
+            });
         }
         let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
         let sink = MemorySink::new();
         let summary = run_pipeline(source, v, EvenScorer, sink.clone());
         assert_eq!(summary.logs, 120);
         assert!(summary.reports > 0, "burst must be reported");
-        assert!(summary.fast_hits > 0, "repeating normal windows hit the library");
+        assert!(
+            summary.fast_hits > 0,
+            "repeating normal windows hit the library"
+        );
         assert!(summary.windows >= 20);
         assert_eq!(summary.reports as usize, sink.len());
-        assert!(summary.throughput > 100.0, "throughput {}", summary.throughput);
+        assert!(
+            summary.throughput > 100.0,
+            "throughput {}",
+            summary.throughput
+        );
     }
 }

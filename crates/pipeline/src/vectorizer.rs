@@ -54,14 +54,21 @@ impl EventVectorizer {
         let id = parsed.event.0 as usize;
         while self.table.len() <= id {
             let tid = self.table.len();
-            let template = self.drain.template(logsynergy_logparse::EventId(tid as u32)).text();
+            let template = self
+                .drain
+                .template(logsynergy_logparse::EventId(tid as u32))
+                .text();
             let (interps, _) = logsynergy_lei::interpret_with_review(
                 &self.lei,
                 self.system,
                 std::slice::from_ref(&template),
                 &self.policy,
             );
-            let text = interps.into_iter().next().map(|i| i.text).unwrap_or_default();
+            let text = interps
+                .into_iter()
+                .next()
+                .map(|i| i.text)
+                .unwrap_or_default();
             self.table.push(self.embedder.embed(&text));
             self.texts.push(text);
             self.new_templates += 1;

@@ -5,8 +5,8 @@ use std::time::Duration;
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::SystemId;
 use logsynergy_pipeline::{
-    format_log, EventVectorizer, LogBuffer, OnlineDetector, PatternLibrary, RawLog,
-    SequenceScorer, StructuredLog, Verdict,
+    format_log, EventVectorizer, LogBuffer, OnlineDetector, PatternLibrary, RawLog, SequenceScorer,
+    StructuredLog, Verdict,
 };
 use proptest::prelude::*;
 

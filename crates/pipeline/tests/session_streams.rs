@@ -38,5 +38,8 @@ fn session_streams_hit_the_fast_path() {
         sess > iid + 0.2,
         "session structure must raise the fast-path hit rate: iid {iid:.2} -> sessions {sess:.2}"
     );
-    assert!(sess > 0.4, "sessions should serve a large share from the library: {sess:.2}");
+    assert!(
+        sess > 0.4,
+        "sessions should serve a large share from the library: {sess:.2}"
+    );
 }

@@ -10,7 +10,10 @@ use logsynergy_eval::report::render_case_study;
 use logsynergy_eval::ExperimentConfig;
 
 fn main() {
-    let cfg = ExperimentConfig { logs_per_dataset: 8_000, ..ExperimentConfig::quick() };
+    let cfg = ExperimentConfig {
+        logs_per_dataset: 8_000,
+        ..ExperimentConfig::quick()
+    };
     let cs = fig8_case_study(&cfg);
     println!("{}", render_case_study(&cs));
     println!(

@@ -14,10 +14,8 @@ fn main() {
     let results = fig6(&cfg);
     println!("{}", render_transfers(&results));
 
-    let rich_to_simple: f64 =
-        results.iter().take(2).map(|r| r.result.prf.f1).sum::<f64>() / 2.0;
-    let simple_to_rich: f64 =
-        results.iter().skip(2).map(|r| r.result.prf.f1).sum::<f64>() / 2.0;
+    let rich_to_simple: f64 = results.iter().take(2).map(|r| r.result.prf.f1).sum::<f64>() / 2.0;
+    let simple_to_rich: f64 = results.iter().skip(2).map(|r| r.result.prf.f1).sum::<f64>() / 2.0;
     println!("mean F1 rich->simple: {rich_to_simple:.1}%   simple->rich: {simple_to_rich:.1}%");
     println!(
         "\nLogSynergy assumes the source systems' anomaly knowledge covers the\n\

@@ -31,8 +31,11 @@ fn main() {
     let split_at = pipeline.train_config.n_target * 5 + 10; // sequences -> logs
     let (history_logs, live_logs) = target_history.records.split_at(split_at);
 
-    let mut vectorizer =
-        EventVectorizer::new(SystemId::SystemB, pipeline.model_config.embed_dim, LeiConfig::default());
+    let mut vectorizer = EventVectorizer::new(
+        SystemId::SystemB,
+        pipeline.model_config.embed_dim,
+        LeiConfig::default(),
+    );
     vectorizer.warm_start(history_logs.iter().map(|r| r.message.as_str()));
 
     let source: Vec<RawLog> = live_logs
@@ -56,8 +59,11 @@ fn main() {
     println!("\npipeline summary:");
     println!("  logs processed     {}", summary.logs);
     println!("  windows evaluated  {}", summary.windows);
-    println!("  fast-path hits     {} ({:.1}%)", summary.fast_hits,
-        100.0 * summary.fast_hits as f64 / summary.windows.max(1) as f64);
+    println!(
+        "  fast-path hits     {} ({:.1}%)",
+        summary.fast_hits,
+        100.0 * summary.fast_hits as f64 / summary.windows.max(1) as f64
+    );
     println!("  model invocations  {}", summary.model_calls);
     println!("  new templates      {}", summary.new_templates);
     println!("  reports sent       {}", summary.reports);
@@ -66,6 +72,9 @@ fn main() {
     let outbox = sink.outbox();
     if let Some((sms, email)) = outbox.first() {
         println!("\nfirst alert SMS:\n  {sms}");
-        println!("\nfirst alert email:\n{}", email.lines().take(6).collect::<Vec<_>>().join("\n"));
+        println!(
+            "\nfirst alert email:\n{}",
+            email.lines().take(6).collect::<Vec<_>>().join("\n")
+        );
     }
 }

@@ -18,8 +18,10 @@ fn main() {
     println!("== LEI: one prompt, standardized interpretations (Fig. 2) ==\n");
     let concepts = ontology();
     let spirit = SyntaxProfile::new(SystemId::Spirit, &concepts);
-    let templates: Vec<String> =
-        [20usize, 27, 23].iter().map(|&i| spirit.template_text(&concepts[i])).collect();
+    let templates: Vec<String> = [20usize, 27, 23]
+        .iter()
+        .map(|&i| spirit.template_text(&concepts[i]))
+        .collect();
     let template_refs: Vec<&str> = templates.iter().map(|s| s.as_str()).collect();
     let lei = LlmInterpreter::new(LeiConfig::default());
     println!("{}", lei.prompt(SystemId::Spirit, &template_refs));
@@ -66,7 +68,10 @@ fn main() {
         test.len(),
         truth.iter().filter(|&&t| t).count()
     );
-    println!("  precision {:.2}%  recall {:.2}%  F1 {:.2}%", prf.precision, prf.recall, prf.f1);
+    println!(
+        "  precision {:.2}%  recall {:.2}%  F1 {:.2}%",
+        prf.precision, prf.recall, prf.f1
+    );
 
     // --------------------------------------------------- anomaly report
     let reports = detector.reports(&test, &target);

@@ -10,7 +10,10 @@ use rand::SeedableRng;
 
 fn main() {
     let concepts = ontology();
-    let lei = LlmInterpreter::new(LeiConfig { hallucination_rate: 0.0, ..LeiConfig::default() });
+    let lei = LlmInterpreter::new(LeiConfig {
+        hallucination_rate: 0.0,
+        ..LeiConfig::default()
+    });
     let embedder = HashedEmbedder::new(64, 0xE1B);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+# Run from the repo root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -2,12 +2,17 @@
 //! configurations must yield identical results.
 
 use logsynergy_eval::experiments::sources_of;
-use logsynergy_eval::{prepare, prepare_group, run_method, ExperimentConfig, MethodKind, SystemData};
+use logsynergy_eval::{
+    prepare, prepare_group, run_method, ExperimentConfig, MethodKind, SystemData,
+};
 use logsynergy_loggen::SystemId;
 
 #[test]
 fn preparation_is_deterministic() {
-    let cfg = ExperimentConfig { logs_per_dataset: 3_000, ..ExperimentConfig::quick() };
+    let cfg = ExperimentConfig {
+        logs_per_dataset: 3_000,
+        ..ExperimentConfig::quick()
+    };
     let a = prepare(SystemId::SystemC, &cfg);
     let b = prepare(SystemId::SystemC, &cfg);
     assert_eq!(a.raw.templates, b.raw.templates);
@@ -43,5 +48,9 @@ fn full_method_run_is_deterministic() {
         let r = run_method(MethodKind::LogSynergy, &sources, &data[n - 1], &cfg);
         (r.prf.precision, r.prf.recall, r.prf.f1)
     };
-    assert_eq!(run(), run(), "seeded runs must reproduce bit-identical metrics");
+    assert_eq!(
+        run(),
+        run(),
+        "seeded runs must reproduce bit-identical metrics"
+    );
 }

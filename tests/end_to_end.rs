@@ -25,7 +25,12 @@ fn run_target(target: SystemId, kinds: &[MethodKind]) -> Vec<(MethodKind, f64, f
 fn logsynergy_beats_representative_baselines_on_thunderbird() {
     let rows = run_target(
         SystemId::Thunderbird,
-        &[MethodKind::LogSynergy, MethodKind::DeepLog, MethodKind::LogRobust, MethodKind::LogTAD],
+        &[
+            MethodKind::LogSynergy,
+            MethodKind::DeepLog,
+            MethodKind::LogRobust,
+            MethodKind::LogTAD,
+        ],
     );
     let f1 = |k: MethodKind| rows.iter().find(|r| r.0 == k).unwrap().3;
     let ls = f1(MethodKind::LogSynergy);
@@ -47,7 +52,11 @@ fn unsupervised_methods_show_low_precision_high_recall() {
 fn ablations_degrade_logsynergy() {
     let rows = run_target(
         SystemId::Thunderbird,
-        &[MethodKind::LogSynergy, MethodKind::LogSynergyNoLei, MethodKind::NeuralLogDirect],
+        &[
+            MethodKind::LogSynergy,
+            MethodKind::LogSynergyNoLei,
+            MethodKind::NeuralLogDirect,
+        ],
     );
     let f1 = |k: MethodKind| rows.iter().find(|r| r.0 == k).unwrap().3;
     assert!(

@@ -22,16 +22,26 @@ fn trained_model_serves_live_stream() {
 
     let split_at = p.train_config.n_target * 5 + 10;
     let (warm, live) = history.records.split_at(split_at);
-    let mut vectorizer =
-        EventVectorizer::new(SystemId::SystemB, p.model_config.embed_dim, LeiConfig::default());
+    let mut vectorizer = EventVectorizer::new(
+        SystemId::SystemB,
+        p.model_config.embed_dim,
+        LeiConfig::default(),
+    );
     vectorizer.warm_start(warm.iter().map(|r| r.message.as_str()));
 
     let source: Vec<RawLog> = live
         .iter()
-        .map(|r| RawLog { system: "b".into(), timestamp: r.timestamp, message: r.message.clone() })
+        .map(|r| RawLog {
+            system: "b".into(),
+            timestamp: r.timestamp,
+            message: r.message.clone(),
+        })
         .collect();
     let n_anomalous = live.iter().filter(|r| r.anomalous).count();
-    assert!(n_anomalous > 20, "live stream needs anomalies, got {n_anomalous}");
+    assert!(
+        n_anomalous > 20,
+        "live stream needs anomalies, got {n_anomalous}"
+    );
 
     let sink = MemorySink::new();
     let summary = run_pipeline(source, vectorizer, ModelScorer::new(model), sink.clone());
@@ -43,7 +53,10 @@ fn trained_model_serves_live_stream() {
     // paper's motivation for the fast path). Assert the mechanism, not a
     // hit rate: repeats are served from the library, and every model call
     // populated it.
-    assert!(summary.fast_hits > 0, "repeated patterns must hit the library: {summary:?}");
+    assert!(
+        summary.fast_hits > 0,
+        "repeated patterns must hit the library: {summary:?}"
+    );
     assert_eq!(
         summary.fast_hits + summary.model_calls,
         summary.windows,
@@ -57,14 +70,15 @@ fn trained_model_serves_live_stream() {
     );
     // Reports must reference real anomalous regions more often than not:
     // check each report's window overlaps an anomalous live log.
-    let anomalous_ts: std::collections::HashSet<u64> =
-        live.iter().filter(|r| r.anomalous).map(|r| r.timestamp).collect();
+    let anomalous_ts: std::collections::HashSet<u64> = live
+        .iter()
+        .filter(|r| r.anomalous)
+        .map(|r| r.timestamp)
+        .collect();
     let hits = sink
         .reports()
         .iter()
-        .filter(|r| {
-            (r.start_timestamp..=r.end_timestamp).any(|t| anomalous_ts.contains(&t))
-        })
+        .filter(|r| (r.start_timestamp..=r.end_timestamp).any(|t| anomalous_ts.contains(&t)))
         .count();
     assert!(
         hits * 2 >= sink.len(),

@@ -27,7 +27,14 @@ fn fixed_threshold_is_near_optimal() {
     let tcfg = cfg.train_config();
     let mut rng = rand::rngs::StdRng::seed_from_u64(tcfg.seed);
     let mut model = LogSynergyModel::new(mcfg.clone(), &mut rng);
-    let set = build_training_set(&src_views, &tgt.lei, tcfg.n_source, tcfg.n_target, 10, cfg.embed_dim);
+    let set = build_training_set(
+        &src_views,
+        &tgt.lei,
+        tcfg.n_source,
+        tcfg.n_target,
+        10,
+        cfg.embed_dim,
+    );
     train(&mut model, &set, &tcfg, TrainOptions::default());
 
     let (_, test) = tgt.lei.split(cfg.n_target, cfg.max_test);

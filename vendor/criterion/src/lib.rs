@@ -1,0 +1,242 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark a configured number of iterations after a short
+//! warm-up and prints mean wall-clock time per iteration (plus throughput
+//! when set). No statistics, plots, or HTML reports — just enough to keep
+//! `criterion`-based bench targets building and producing usable numbers
+//! offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing harness.
+pub struct Bencher {
+    iters: u64,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keys iteration count off
+    /// [`Criterion::sample_size`] alone.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Configures this instance from CLI args (no-op in the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "bench {:<40} {:>12}/iter",
+            id,
+            human_time(b.elapsed_per_iter)
+        );
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Final-summary hook (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.parent.sample_size,
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.elapsed_per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / b.elapsed_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if b.elapsed_per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / b.elapsed_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12}/iter{}",
+            full,
+            human_time(b.elapsed_per_iter),
+            rate
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion__ = $config;
+            $($target(&mut criterion__);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+}

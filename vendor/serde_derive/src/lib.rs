@@ -1,0 +1,255 @@
+//! Offline, dependency-free stand-in for `serde_derive`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked directly to extract the type name plus field or
+//! variant names, and the impls are emitted as formatted source text. Only
+//! the shapes this workspace derives are supported — non-generic structs
+//! with named fields, and enums whose variants are all unit-like. The
+//! `#[serde(default)]` field attribute is honored on deserialization.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// True for the exact attribute `#[serde(default)]` (possibly among other
+/// serde options); doc comments and unrelated attributes never match.
+fn is_serde_default(attr: &Group) -> bool {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_fields(body: Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.stream().into_iter().peekable();
+    let mut pending_default = false;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = iter.next() {
+                    pending_default |= is_serde_default(&attr);
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Swallow a visibility qualifier like `pub(crate)`.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "vendored serde_derive: expected `:` after field `{name}`, got {other:?}"
+                    ),
+                }
+                // Skip the type: everything up to the next comma that is not
+                // nested inside generic angle brackets (groups hide their own
+                // commas, so only `<`/`>` depth needs tracking).
+                let mut depth = 0i32;
+                for tt in iter.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+                fields.push(Field {
+                    name,
+                    default: pending_default,
+                });
+                pending_default = false;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: Group) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.stream().into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Group(_) => {
+                panic!("vendored serde_derive supports only unit enum variants")
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // `pub` or another modifier
+                }
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+                };
+                for tt in iter.by_ref() {
+                    match tt {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            return if kw == "struct" {
+                                Input::Struct {
+                                    name,
+                                    fields: parse_fields(g),
+                                }
+                            } else {
+                                Input::Enum {
+                                    name,
+                                    variants: parse_variants(g),
+                                }
+                            };
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("vendored serde_derive does not support generic types")
+                        }
+                        _ => {}
+                    }
+                }
+                panic!("vendored serde_derive: `{name}` has no braced body (tuple structs unsupported)");
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive: no struct or enum found in derive input")
+}
+
+/// Derives the vendored `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries__.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n",
+                        f = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries__: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries__)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("vendored serde_derive emitted invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` (construction from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(::serde::Error::custom(\
+                             \"missing field `{}` in {}\"))",
+                            f.name, name
+                        )
+                    };
+                    format!(
+                        "{f}: match ::serde::field(entries__, \"{f}\") {{\n\
+                             Some(v__) => ::serde::Deserialize::from_value(v__)?,\n\
+                             None => {missing},\n\
+                         }},\n",
+                        f = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value__: &::serde::Value) -> \
+                         Result<Self, ::serde::Error> {{\n\
+                         let entries__ = value__.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value__: &::serde::Value) -> \
+                         Result<Self, ::serde::Error> {{\n\
+                         match value__.as_str() {{\n\
+                             {arms}\
+                             _ => Err(::serde::Error::custom(\
+                                 \"unknown variant for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("vendored serde_derive emitted invalid Rust")
+}
