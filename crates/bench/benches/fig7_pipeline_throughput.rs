@@ -1,23 +1,79 @@
 //! Fig. 7 regenerator: streams a live target log feed through the full
 //! deployment pipeline (collect → buffer → window → pattern-library →
-//! model → report) and reports throughput and fast-path effectiveness.
+//! score-cache → batched model → report) and reports end-to-end
+//! throughput.
+//!
+//! Beyond the headline number, this bench sweeps the serving knobs —
+//! micro-batch size on a single worker, then worker count over a
+//! multi-tenant feed — against the unbatched single-worker baseline (the
+//! pre-batching serving path), and asserts the batched default
+//! configuration reproduces the baseline's reports bit for bit.
 
 use logsynergy::api::Pipeline;
 use logsynergy_bench::{quick_mode, write_result};
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::{datasets, SystemId};
-use logsynergy_pipeline::{run_pipeline, EventVectorizer, MemorySink, ModelScorer, RawLog};
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, LogBuffer, MemorySink, ModelScorer, PipelineConfig, RawLog,
+};
 use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    label: String,
+    partitions: usize,
+    batch_windows: usize,
+    score_cache: usize,
+    tenants: usize,
+    logs: u64,
+    logs_per_sec: f64,
+}
 
 #[derive(Serialize)]
 struct Summary {
     logs: u64,
     windows: u64,
     fast_hits: u64,
+    cache_hits: u64,
     model_calls: u64,
     reports: u64,
     new_templates: usize,
     throughput_logs_per_sec: f64,
+    baseline_logs_per_sec: f64,
+    speedup_vs_unbatched: f64,
+    sweep: Vec<SweepPoint>,
+}
+
+/// Tenant names that the buffer's FNV router spreads across `partitions`
+/// distinct partitions, so the worker-count sweep actually exercises
+/// parallel workers.
+fn spread_tenants(partitions: usize) -> Vec<String> {
+    let probe = LogBuffer::new(partitions, 1);
+    let mut names = Vec::new();
+    let mut used = vec![false; partitions];
+    let mut i = 0u32;
+    while names.len() < partitions {
+        let candidate = format!("tenant-{i}");
+        let p = probe.partition_for(&candidate);
+        if !used[p] {
+            used[p] = true;
+            names.push(candidate);
+        }
+        i += 1;
+    }
+    names
+}
+
+fn retenant(source: &[RawLog], tenants: &[String]) -> Vec<RawLog> {
+    source
+        .iter()
+        .enumerate()
+        .map(|(i, log)| RawLog {
+            system: tenants[i % tenants.len()].clone(),
+            timestamp: log.timestamp,
+            message: log.message.clone(),
+        })
+        .collect()
 }
 
 fn main() {
@@ -49,28 +105,138 @@ fn main() {
             message: r.message.clone(),
         })
         .collect();
+    let scorer = ModelScorer::new(model);
+    let run = |source: Vec<RawLog>, config: PipelineConfig| {
+        let sink = MemorySink::new();
+        let summary = run_pipeline_with(
+            source,
+            vectorizer.clone(),
+            scorer.clone(),
+            sink.clone(),
+            config,
+        );
+        (summary, sink)
+    };
+    let mut sweep = Vec::new();
+    let mut record =
+        |label: &str, tenants: usize, config: &PipelineConfig, logs: u64, tput: f64| {
+            println!("  {label:<34} {tput:>9.0} logs/s");
+            sweep.push(SweepPoint {
+                label: label.to_string(),
+                partitions: config.partitions,
+                batch_windows: config.batch_windows,
+                score_cache: config.score_cache,
+                tenants,
+                logs,
+                logs_per_sec: tput,
+            });
+        };
 
-    let sink = MemorySink::new();
-    let s = run_pipeline(source, vectorizer, ModelScorer::new(model), sink);
+    // ---- baseline: the pre-batching serving path -----------------------
+    println!("sweep ({} live logs per run):", source.len());
+    let baseline_cfg = PipelineConfig::unbatched();
+    let (baseline, baseline_sink) = run(source.clone(), baseline_cfg.clone());
+    record(
+        "unbatched 1 worker (baseline)",
+        1,
+        &baseline_cfg,
+        baseline.logs,
+        baseline.throughput,
+    );
+
+    // ---- batching axis: one worker, growing micro-batches --------------
+    let batch_axis: &[usize] = if quick_mode() { &[4, 64] } else { &[4, 16, 64] };
+    for &batch_windows in batch_axis {
+        let config = PipelineConfig {
+            partitions: 1,
+            batch_windows,
+            ..PipelineConfig::default()
+        };
+        let (s, _) = run(source.clone(), config.clone());
+        record(
+            &format!("batch {batch_windows} + cache, 1 worker"),
+            1,
+            &config,
+            s.logs,
+            s.throughput,
+        );
+    }
+
+    // ---- worker axis: four tenant streams over growing shard counts ----
+    let tenants = spread_tenants(4);
+    let multi = retenant(&source, &tenants);
+    let worker_axis: &[usize] = if quick_mode() { &[4] } else { &[1, 2, 4] };
+    for &partitions in worker_axis {
+        let config = PipelineConfig {
+            partitions,
+            ..PipelineConfig::default()
+        };
+        let (s, _) = run(multi.clone(), config.clone());
+        record(
+            &format!("batch 64 + cache, {partitions} worker(s), 4 tenants"),
+            4,
+            &config,
+            s.logs,
+            s.throughput,
+        );
+    }
+
+    // ---- headline: the default serving configuration -------------------
+    let (s, default_sink) = run(source.clone(), PipelineConfig::default());
+    record(
+        "defaults (batch 64, 4 workers)",
+        1,
+        &PipelineConfig::default(),
+        s.logs,
+        s.throughput,
+    );
+
+    // Determinism smoke: batching, caching, and sharding must not change
+    // a single report bit relative to the unbatched baseline.
+    let base_reports = baseline_sink.reports();
+    let default_reports = default_sink.reports();
+    assert_eq!(
+        base_reports.len(),
+        default_reports.len(),
+        "batched serving changed the report count"
+    );
+    for (a, b) in base_reports.iter().zip(&default_reports) {
+        assert_eq!(
+            a.probability.to_bits(),
+            b.probability.to_bits(),
+            "batched serving changed a score"
+        );
+        assert_eq!(a, b, "batched serving changed a report");
+    }
+    println!("determinism: default config reproduces the baseline bit for bit");
+
     let out = Summary {
         logs: s.logs,
         windows: s.windows,
         fast_hits: s.fast_hits,
+        cache_hits: s.cache_hits,
         model_calls: s.model_calls,
         reports: s.reports,
         new_templates: s.new_templates,
         throughput_logs_per_sec: s.throughput,
+        baseline_logs_per_sec: baseline.throughput,
+        speedup_vs_unbatched: s.throughput / baseline.throughput.max(1e-9),
+        sweep,
     };
     println!(
-        "logs {}  windows {}  fast {} ({:.1}%)  model {}  reports {}  new-templates {}",
+        "logs {}  windows {}  fast {} ({:.1}%)  cache {}  model {}  reports {}  new-templates {}",
         out.logs,
         out.windows,
         out.fast_hits,
         100.0 * out.fast_hits as f64 / out.windows.max(1) as f64,
+        out.cache_hits,
         out.model_calls,
         out.reports,
         out.new_templates
     );
-    println!("throughput: {:.0} logs/s", out.throughput_logs_per_sec);
+    println!(
+        "throughput: {:.0} logs/s ({:.1}x over the unbatched path)",
+        out.throughput_logs_per_sec, out.speedup_vs_unbatched
+    );
     write_result("fig7_pipeline_throughput", &out);
 }

@@ -22,7 +22,9 @@ use logsynergy_eval::{
 };
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::{datasets, SystemId};
-use logsynergy_pipeline::{run_pipeline, EventVectorizer, MessagingSink, ModelScorer, RawLog};
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MessagingSink, ModelScorer, PipelineConfig, RawLog,
+};
 
 const USAGE: &str = "\
 logsynergy <command> [options]
@@ -47,6 +49,9 @@ commands:
                 <table3|table4|table5|fig4a|fig5|fig6|fig8>  [--quick]
   pipeline    run the Fig. 7 deployment demo for a target system
                 --target <system>   (default system-b)
+                --workers <n>       buffer partitions / detection workers (default 4)
+                --batch <n>         micro-batch window cap per model call (default 64)
+                --cache <n>         window-score LRU capacity, 0 disables (default 4096)
 ";
 
 fn system_of(name: &str) -> Result<SystemId, String> {
@@ -256,13 +261,26 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
             message: r.message.clone(),
         })
         .collect();
+    let serving = PipelineConfig {
+        partitions: a.num("workers", PipelineConfig::default().partitions)?,
+        batch_windows: a.num("batch", PipelineConfig::default().batch_windows)?,
+        score_cache: a.num("cache", PipelineConfig::default().score_cache)?,
+        ..PipelineConfig::default()
+    };
     let sink = MessagingSink::new();
-    let s = run_pipeline(source, vectorizer, ModelScorer::new(model), sink.clone());
+    let s = run_pipeline_with(
+        source,
+        vectorizer,
+        ModelScorer::new(model),
+        sink.clone(),
+        serving,
+    );
     println!(
-        "logs {}  windows {}  fast-path {:.1}%  model calls {}  reports {}  {:.0} logs/s",
+        "logs {}  windows {}  fast-path {:.1}%  cache hits {}  model calls {}  reports {}  {:.0} logs/s",
         s.logs,
         s.windows,
         100.0 * s.fast_hits as f64 / s.windows.max(1) as f64,
+        s.cache_hits,
         s.model_calls,
         s.reports,
         s.throughput

@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use crate::tokenizer::tokenize;
 
 /// A frozen "pre-trained" sentence embedder.
+#[derive(Clone)]
 pub struct HashedEmbedder {
     dim: usize,
     seed: u64,

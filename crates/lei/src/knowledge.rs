@@ -14,6 +14,7 @@ use logsynergy_loggen::profile::{SyntaxProfile, SystemId};
 
 /// The simulated LLM's knowledge: per-system vocabulary plus the shared
 /// event ontology.
+#[derive(Clone)]
 pub struct KnowledgeBase {
     /// system -> (lowercased surface token -> canonical token)
     dictionaries: HashMap<SystemId, HashMap<String, &'static str>>,

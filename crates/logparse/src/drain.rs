@@ -69,7 +69,7 @@ impl Default for DrainConfig {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Node {
     children: HashMap<String, Node>,
     /// Group indices (into `Drain::templates`) stored at leaves.
@@ -77,6 +77,7 @@ struct Node {
 }
 
 /// The Drain parser.
+#[derive(Clone)]
 pub struct Drain {
     config: DrainConfig,
     /// First level keyed by token count, then by routing tokens.

@@ -13,7 +13,7 @@ fn unary(
     g: &Graph,
     a: Var,
     f: impl Fn(f32) -> f32 + Sync,
-    df_from_xy: impl Fn(f32, f32) -> f32 + Sync + 'static,
+    df_from_xy: impl Fn(f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Var {
     let ta = g.value(a);
     let out = ta.map(f);
@@ -52,16 +52,46 @@ pub fn sigmoid(g: &Graph, a: Var) -> Var {
     unary(g, a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
 }
 
+/// Branch-free rational `tanh` (13/6-degree odd/even polynomials, the
+/// Eigen/XNNPACK form), accurate to a few ulps over all of f32.
+///
+/// `gelu` is the single hottest pointwise op in the transformer forward
+/// (`[B·T, ff]` twice per layer) and libm's `tanhf` is a scalar call the
+/// compiler cannot vectorize; this clamp + polynomial form is pure
+/// mul/add/div, so the `fill_map` loop auto-vectorizes. Like the SIMD
+/// matmul tiers, the values differ from libm in the last ulps — every call
+/// site computes the same bits, which is what the serving determinism
+/// contract needs.
+#[inline(always)]
+fn fast_tanh(x: f32) -> f32 {
+    // Beyond |x| ≈ 7.998 the f32 tanh is exactly ±1; clamping there keeps
+    // the polynomials in their fitted range.
+    let x = x.clamp(-7.998_117, 7.998_117);
+    let x2 = x * x;
+    let mut p = -2.760_768_4e-16f32;
+    p = x2 * p + 2.000_188e-13;
+    p = x2 * p - 8.604_672e-11;
+    p = x2 * p + 5.122_297e-8;
+    p = x2 * p + 1.485_722_4e-5;
+    p = x2 * p + 6.372_619_3e-4;
+    p = x2 * p + 4.893_524_6e-3;
+    let mut q = 1.198_258_4e-6f32;
+    q = x2 * q + 1.185_347_1e-4;
+    q = x2 * q + 2.268_434_6e-3;
+    q = x2 * q + 4.893_525e-3;
+    x * p / q
+}
+
 /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
 pub fn gelu(g: &Graph, a: Var) -> Var {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     unary(
         g,
         a,
-        |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+        |x| 0.5 * x * (1.0 + fast_tanh(C * (x + 0.044715 * x * x * x))),
         |x, _| {
             let inner = C * (x + 0.044715 * x * x * x);
-            let t = inner.tanh();
+            let t = fast_tanh(inner);
             let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
             0.5 * (1.0 + t) + 0.5 * x * dt
         },

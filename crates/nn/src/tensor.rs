@@ -359,6 +359,38 @@ pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync)
             shape: a.shape.clone(),
         };
     }
+    // Fast path: one shape is a trailing suffix of the other — the bias-add
+    // ([R,D]+[D]) and positional-embedding ([B,T,D]+[T,D]) pattern. In
+    // row-major order the smaller operand just cycles every `small.len()`
+    // elements, so the generic multi-index walk below degenerates to a tight
+    // zip over repeating chunks: same element pairs, same order, bitwise
+    // identical — only faster.
+    if a.shape.ends_with(&b.shape) && !b.data.is_empty() {
+        let w = b.data.len();
+        let mut data = kernels::arena::take_zeroed(a.data.len());
+        for (orow, arow) in data.chunks_exact_mut(w).zip(a.data.chunks_exact(w)) {
+            for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(b.data.iter()) {
+                *o = f(x, y);
+            }
+        }
+        return Tensor {
+            data: Arc::new(data),
+            shape: a.shape.clone(),
+        };
+    }
+    if b.shape.ends_with(&a.shape) && !a.data.is_empty() {
+        let w = a.data.len();
+        let mut data = kernels::arena::take_zeroed(b.data.len());
+        for (orow, brow) in data.chunks_exact_mut(w).zip(b.data.chunks_exact(w)) {
+            for ((o, &y), &x) in orow.iter_mut().zip(brow).zip(a.data.iter()) {
+                *o = f(x, y);
+            }
+        }
+        return Tensor {
+            data: Arc::new(data),
+            shape: b.shape.clone(),
+        };
+    }
     let out_shape = broadcast_shape(&a.shape, &b.shape)
         .unwrap_or_else(|| panic!("incompatible broadcast {:?} vs {:?}", a.shape, b.shape));
     let sa = broadcast_strides(&a.shape, &out_shape);

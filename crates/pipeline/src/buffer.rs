@@ -1,9 +1,9 @@
 //! The Kafka-stage buffer: bounded, partitioned, backpressuring.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::record::RawLog;
 
@@ -70,6 +70,17 @@ impl LogBuffer {
     pub fn consumer(&self) -> Consumer {
         Consumer {
             receivers: self.receivers.clone(),
+            stats: self.stats.clone(),
+            next: 0,
+        }
+    }
+
+    /// Consumer handle bound to a single partition — one per detection
+    /// worker, so each worker drains exactly its shard and per-system
+    /// order is a single-queue property.
+    pub fn partition_consumer(&self, partition: usize) -> Consumer {
+        Consumer {
+            receivers: vec![self.receivers[partition].clone()],
             stats: self.stats.clone(),
             next: 0,
         }
@@ -147,6 +158,72 @@ impl Consumer {
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
         }
     }
+
+    /// Drains up to `max` logs as one burst, waiting at most `deadline`.
+    ///
+    /// Returns as soon as `max` logs are in hand; otherwise collects
+    /// whatever arrives until the deadline elapses and returns the partial
+    /// batch (possibly empty — keep polling). Returns `None` only when
+    /// every partition is drained *and* all producers are gone: the
+    /// definitive end of stream, unlike [`Consumer::recv`]'s
+    /// timeout-conflating `None`. The dequeue counter is updated once per
+    /// batch — one lock round-trip per burst instead of one per log.
+    pub fn recv_batch(&mut self, max: usize, deadline: Duration) -> Option<Vec<RawLog>> {
+        let n = self.receivers.len();
+        let end = Instant::now() + deadline;
+        let mut out = Vec::with_capacity(max.min(1024));
+        let mut disconnected = 0usize;
+        'collect: while out.len() < max {
+            // Sweep every partition without blocking.
+            disconnected = 0;
+            let mut drained = true;
+            for i in 0..n {
+                let idx = (self.next + i) % n;
+                match self.receivers[idx].try_recv() {
+                    Ok(log) => {
+                        self.next = (idx + 1) % n;
+                        out.push(log);
+                        drained = false;
+                        if out.len() >= max {
+                            break 'collect;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => disconnected += 1,
+                }
+            }
+            if disconnected == n {
+                break;
+            }
+            if !drained {
+                continue;
+            }
+            // Everything is empty: block on the next live partition until
+            // the deadline.
+            let now = Instant::now();
+            if now >= end {
+                break;
+            }
+            let idx = self.next % n;
+            match self.receivers[idx].recv_timeout(end - now) {
+                Ok(log) => {
+                    self.next = (idx + 1) % n;
+                    out.push(log);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // This partition is finished; rotate past it and let
+                    // the sweep decide whether every partition is done.
+                    self.next = (idx + 1) % n;
+                }
+            }
+        }
+        if out.is_empty() && disconnected == n {
+            return None;
+        }
+        self.stats.lock().dequeued += out.len() as u64;
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +271,87 @@ mod tests {
     fn different_systems_route_to_stable_partitions() {
         let buf = LogBuffer::new(3, 8);
         assert_eq!(buf.partition_for("web"), buf.partition_for("web"));
+    }
+
+    #[test]
+    fn recv_batch_returns_partial_batch_on_timeout() {
+        let buf = LogBuffer::new(1, 64);
+        let p = buf.producer();
+        for i in 0..3 {
+            p.send(raw("x", i));
+        }
+        let mut c = buf.consumer();
+        // Producer still connected: the deadline, not disconnection, ends
+        // the wait, and the partial batch comes back intact and in order.
+        let start = Instant::now();
+        let batch = c.recv_batch(10, Duration::from_millis(30)).unwrap();
+        assert_eq!(
+            batch.iter().map(|l| l.timestamp).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "partial batch must hold everything sent before the deadline"
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "an unfilled batch waits out the deadline"
+        );
+        // Nothing arrives: an empty batch, not end-of-stream.
+        assert_eq!(c.recv_batch(10, Duration::from_millis(5)).unwrap().len(), 0);
+        // Every sender gone (the buffer holds one per partition) and the
+        // queue drained: definitive end of stream.
+        drop(p);
+        drop(buf);
+        assert!(c.recv_batch(10, Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn recv_batch_fills_to_cap_without_waiting() {
+        let buf = LogBuffer::new(2, 64);
+        let p = buf.producer();
+        for i in 0..20 {
+            p.send(raw(if i % 2 == 0 { "even" } else { "odd" }, i));
+        }
+        let mut c = buf.consumer();
+        let start = Instant::now();
+        let batch = c.recv_batch(8, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch.len(), 8, "a full queue fills the cap immediately");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "a full batch must not wait for the deadline"
+        );
+        // Batch accounting hits the stats lock once per burst.
+        assert_eq!(buf.stats().dequeued, 8);
+    }
+
+    #[test]
+    fn partition_consumer_sees_only_its_shard() {
+        let buf = LogBuffer::new(4, 64);
+        let p = buf.producer();
+        for i in 0..12 {
+            p.send(raw("alpha", i));
+        }
+        let home = buf.partition_for("alpha");
+        let mut consumers: Vec<Consumer> = (0..4).map(|p| buf.partition_consumer(p)).collect();
+        // Drop every sender (producer handle and the buffer's own copies)
+        // so exhausted shards report end-of-stream.
+        drop(p);
+        drop(buf);
+        for (part, c) in consumers.iter_mut().enumerate() {
+            let batch = c.recv_batch(64, Duration::from_millis(5));
+            if part == home {
+                let got = batch.expect("home partition holds the stream");
+                assert_eq!(
+                    got.iter().map(|l| l.timestamp).collect::<Vec<_>>(),
+                    (0..12).collect::<Vec<_>>(),
+                    "per-system order within the shard"
+                );
+                assert!(
+                    c.recv_batch(64, Duration::from_millis(5)).is_none(),
+                    "drained shard ends the stream"
+                );
+            } else {
+                assert!(batch.is_none(), "foreign shards are empty and disconnected");
+            }
+        }
     }
 
     #[test]

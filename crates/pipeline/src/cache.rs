@@ -1,0 +1,218 @@
+//! Bounded LRU cache of model scores keyed by the window's exact event-id
+//! sequence.
+//!
+//! The pattern library memoizes *verdicts* at pattern granularity (sorted
+//! distinct event ids). This cache sits one tier below it, in front of the
+//! model: it memoizes raw *scores* for exact windows — including the
+//! leave-one-out reduced windows the culprit search generates, which the
+//! library never sees. Log streams are highly repetitive, so a small
+//! bounded cache absorbs a large share of what would otherwise be repeat
+//! forward passes.
+//!
+//! Because the model forward is deterministic (a pure function of the
+//! window and the embedding table), a cache hit returns bitwise the same
+//! score a recomputation would — caching changes cost, never results.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: Box<[u32]>,
+    score: f32,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU map from exact event-id windows to model scores.
+pub struct ScoreCache {
+    /// Window → slot index. The hash of the event-id sequence is the key.
+    map: HashMap<Box<[u32]>, usize>,
+    /// Slot storage; `prev`/`next` thread a most-recent-first list.
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// A cache holding at most `capacity` windows. Capacity 0 disables
+    /// caching entirely (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ScoreCache {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cached score for an exact window, refreshing its recency.
+    pub fn get(&mut self, events: &[u32]) -> Option<f32> {
+        match self.map.get(events).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.slots[i].score)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a score, evicting the least-recently-used window when full.
+    pub fn insert(&mut self, events: &[u32], score: f32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(events) {
+            // Re-scoring the same window yields the same bits; just refresh.
+            self.slots[i].score = score;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let key: Box<[u32]> = events.into();
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                score,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the tail (least recently used) and reuse its slot.
+            let i = self.tail;
+            self.unlink(i);
+            let old = std::mem::replace(&mut self.slots[i].key, key.clone());
+            self.map.remove(&old);
+            self.slots[i].score = score;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    /// Windows currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum windows retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => {
+                if self.head == i {
+                    self.head = next;
+                }
+            }
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == i {
+                    self.tail = prev;
+                }
+            }
+            n => self.slots[n].prev = prev,
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_score_bitwise() {
+        let mut c = ScoreCache::new(4);
+        assert_eq!(c.get(&[1, 2, 3]), None);
+        c.insert(&[1, 2, 3], 0.731_f32);
+        assert_eq!(c.get(&[1, 2, 3]).unwrap().to_bits(), 0.731_f32.to_bits());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ScoreCache::new(2);
+        c.insert(&[1], 0.1);
+        c.insert(&[2], 0.2);
+        // Touch [1] so [2] becomes the LRU entry.
+        assert!(c.get(&[1]).is_some());
+        c.insert(&[3], 0.3);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[2]).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&[1]).is_some());
+        assert!(c.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn exact_sequence_is_the_key() {
+        let mut c = ScoreCache::new(4);
+        c.insert(&[1, 2], 0.5);
+        assert!(c.get(&[2, 1]).is_none(), "order matters");
+        assert!(c.get(&[1, 2, 2]).is_none(), "multiplicity matters");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ScoreCache::new(0);
+        c.insert(&[1], 0.9);
+        assert!(c.get(&[1]).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn churn_keeps_list_and_map_consistent() {
+        let mut c = ScoreCache::new(3);
+        for i in 0..50u32 {
+            c.insert(&[i, i + 1], i as f32);
+            assert!(c.len() <= 3);
+            // The freshest entry always hits.
+            assert_eq!(c.get(&[i, i + 1]).unwrap(), i as f32);
+        }
+        // Exactly the 3 newest survive.
+        assert!(c.get(&[49, 50]).is_some());
+        assert!(c.get(&[48, 49]).is_some());
+        assert!(c.get(&[47, 48]).is_some());
+        assert!(c.get(&[46, 47]).is_none());
+    }
+}

@@ -1,152 +1,388 @@
 //! Online detection stage: sliding-window assembly, pattern-library fast
-//! path, model slow path, and report generation.
+//! path, LRU score cache, micro-batched model slow path, and report
+//! generation.
+//!
+//! [`OnlineDetector::ingest_batch`] is the serving hot path: it answers
+//! pattern-library hits inline, serves exact-window repeats from the
+//! bounded [`ScoreCache`], and ships only the remaining misses through a
+//! single batched [`SequenceScorer::score_batch`] call (leave-one-out
+//! culprit scoring is batched the same way). Because the model forward is
+//! deterministic, batching and caching change cost only: verdicts and
+//! report order are identical to the one-window-at-a-time path.
 
-use logsynergy::data::SeqSample;
-use logsynergy::detector::{Detector, THRESHOLD};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use logsynergy::detector::{InferenceSession, THRESHOLD};
 use logsynergy::model::LogSynergyModel;
+use parking_lot::Mutex;
 
-use crate::patterns::{PatternLibrary, Verdict};
+use crate::cache::ScoreCache;
+use crate::patterns::{pattern_key, PatternLibrary, Verdict};
 use crate::record::StructuredLog;
 use crate::report::Report;
 use crate::vectorizer::EventVectorizer;
 
-/// Anything that can score a window of event ids against an embedding
+/// Default capacity of the per-detector window-score cache.
+pub const DEFAULT_SCORE_CACHE: usize = 4096;
+
+/// Anything that can score windows of event ids against an embedding
 /// table (the offline-trained model, or a stub in tests).
 pub trait SequenceScorer: Send {
-    /// Anomaly probability in `[0, 1]`.
+    /// Anomaly probability in `[0, 1]` for one window.
     fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32;
+
+    /// Anomaly probabilities for a micro-batch of windows. The default
+    /// implementation loops over [`SequenceScorer::score`], so test stubs
+    /// keep working; real scorers override it to amortize per-call cost.
+    fn score_batch(&self, windows: &[&[u32]], table: &[Vec<f32>]) -> Vec<f32> {
+        windows.iter().map(|w| self.score(w, table)).collect()
+    }
 }
 
-/// The production scorer: a trained LogSynergy model.
+/// The production scorer: a reusable inference session over a trained
+/// LogSynergy model. The model is shared (`Arc`); each clone forks a
+/// private session (tape + scratch), so every serving worker scores
+/// against the same weights without copying them.
 pub struct ModelScorer {
-    model: LogSynergyModel,
+    session: Mutex<InferenceSession>,
 }
 
 impl ModelScorer {
     /// Wraps a trained model.
     pub fn new(model: LogSynergyModel) -> Self {
-        ModelScorer { model }
+        Self::shared(Arc::new(model))
+    }
+
+    /// Wraps an already-shared trained model.
+    pub fn shared(model: Arc<LogSynergyModel>) -> Self {
+        ModelScorer {
+            session: Mutex::new(InferenceSession::new(model)),
+        }
+    }
+}
+
+impl Clone for ModelScorer {
+    fn clone(&self) -> Self {
+        ModelScorer {
+            session: Mutex::new(self.session.lock().fork()),
+        }
     }
 }
 
 impl SequenceScorer for ModelScorer {
     fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
-        let sample = SeqSample {
-            events: events.to_vec(),
-            label: false,
-        };
-        Detector::new(&self.model).scores(std::slice::from_ref(&sample), table)[0]
+        self.session.lock().score_one(events, table)
+    }
+
+    fn score_batch(&self, windows: &[&[u32]], table: &[Vec<f32>]) -> Vec<f32> {
+        self.session.lock().score_windows(windows, table)
     }
 }
 
-/// Per-stream window assembler + two-tier detector.
+/// Everything needed to build a [`Report`] for a window after its verdict
+/// resolves (the sliding window moves on while scoring is deferred).
+struct WindowCtx {
+    events: Vec<u32>,
+    system: String,
+    start_timestamp: u64,
+    end_timestamp: u64,
+    first_seq_no: u64,
+    messages: Vec<String>,
+}
+
+/// A window awaiting the batched slow path.
+struct Pending {
+    ctx: WindowCtx,
+    /// Score from the cache (phase 1) or the model (phase 2).
+    score: Option<f32>,
+}
+
+/// Per-window resolution recorded in arrival order so reports are emitted
+/// exactly as the sequential path would.
+enum Slot {
+    /// Verdict known inline (library hit); report prebuilt if anomalous.
+    Ready(Option<Report>),
+    /// First occurrence of a new pattern — owns `Pending` entry `i`.
+    Deferred(usize),
+    /// Same pattern as pending entry `i` arrived earlier in this batch;
+    /// sequentially it would hit the library after `i` was scored.
+    Alias(usize, WindowCtx),
+}
+
+/// Per-stream window assembler + three-tier detector (library → cache →
+/// batched model).
 pub struct OnlineDetector<S: SequenceScorer> {
     vectorizer: EventVectorizer,
     scorer: S,
     library: PatternLibrary,
+    cache: ScoreCache,
     window_len: usize,
     step: usize,
-    buffer: Vec<(u32, StructuredLog)>,
+    window: VecDeque<(u32, StructuredLog)>,
     since_last_window: usize,
-    /// Sequences scored by the model (slow path).
+    /// Windows scored by the model (slow path).
     pub model_calls: u64,
-    /// Sequences answered from the pattern library (fast path).
+    /// Windows answered from the pattern library (fast path).
     pub fast_hits: u64,
+    /// Windows answered from the exact-window score cache.
+    pub cache_hits: u64,
 }
 
 impl<S: SequenceScorer> OnlineDetector<S> {
-    /// Builds a detector with the paper's window geometry (10/5).
+    /// Builds a detector with the paper's window geometry (10/5) and the
+    /// default score-cache capacity.
     pub fn new(vectorizer: EventVectorizer, scorer: S) -> Self {
         OnlineDetector {
             vectorizer,
             scorer,
             library: PatternLibrary::new(),
+            cache: ScoreCache::new(DEFAULT_SCORE_CACHE),
             window_len: 10,
             step: 5,
-            buffer: Vec::new(),
+            window: VecDeque::new(),
             since_last_window: 0,
             model_calls: 0,
             fast_hits: 0,
+            cache_hits: 0,
         }
+    }
+
+    /// Sets the window-score cache capacity (0 disables the cache).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ScoreCache::new(capacity);
+        self
     }
 
     /// Feeds one structured log; returns a report when a freshly completed
     /// window is anomalous.
     pub fn ingest(&mut self, log: StructuredLog) -> Option<Report> {
-        let event = self.vectorizer.ingest(&log.message);
-        self.buffer.push((event, log));
-        if self.buffer.len() > self.window_len {
-            self.buffer.remove(0);
-        }
-        self.since_last_window += 1;
-        if self.buffer.len() < self.window_len || self.since_last_window < self.step {
-            return None;
-        }
-        self.since_last_window = 0;
+        let mut reports = Vec::new();
+        self.ingest_batch(std::iter::once(log), &mut reports);
+        reports.pop()
+    }
 
-        let events: Vec<u32> = self.buffer.iter().map(|(e, _)| *e).collect();
-        let verdict = match self.library.lookup(&events) {
-            Some(v) => {
+    /// Feeds a micro-batch of structured logs, appending any anomaly
+    /// reports (in window order) to `reports`.
+    ///
+    /// All completed windows that miss the fast path and the cache are
+    /// scored through one `score_batch` call; a second batched call covers
+    /// the leave-one-out culprit search for anomalous windows. Verdicts,
+    /// library contents, and report order are identical to feeding the
+    /// logs one at a time.
+    pub fn ingest_batch(
+        &mut self,
+        logs: impl IntoIterator<Item = StructuredLog>,
+        reports: &mut Vec<Report>,
+    ) {
+        // Phase 1: assemble windows; resolve library and cache tiers
+        // inline; defer model misses. `pending_by_key` mirrors the library
+        // insert the sequential path would have performed mid-batch.
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut pending_by_key: HashMap<Vec<u32>, usize> = HashMap::new();
+
+        for log in logs {
+            let event = self.vectorizer.ingest(&log.message);
+            self.window.push_back((event, log));
+            if self.window.len() > self.window_len {
+                self.window.pop_front();
+            }
+            self.since_last_window += 1;
+            if self.window.len() < self.window_len || self.since_last_window < self.step {
+                continue;
+            }
+            self.since_last_window = 0;
+
+            let events: Vec<u32> = self.window.iter().map(|(e, _)| *e).collect();
+            if let Some(v) = self.library.lookup(&events) {
                 self.fast_hits += 1;
-                v
+                let report = v.anomalous.then(|| {
+                    let ctx = self.snapshot(events);
+                    self.build_report(ctx, v)
+                });
+                slots.push(Slot::Ready(report));
+                continue;
             }
-            None => {
+            let key = pattern_key(&events);
+            if let Some(&i) = pending_by_key.get(&key) {
+                self.fast_hits += 1;
+                let ctx = self.snapshot(events);
+                slots.push(Slot::Alias(i, ctx));
+                continue;
+            }
+            let score = self.cache.get(&events);
+            if score.is_some() {
+                self.cache_hits += 1;
+            } else {
                 self.model_calls += 1;
-                let p = self.scorer.score(&events, self.vectorizer.table());
-                let anomalous = p > THRESHOLD;
-                // Leave-one-out saliency for anomalous windows: the event
-                // whose removal drops the score the most headlines the
-                // alert. Runs only on the rare anomalous+new patterns.
-                let culprit = if anomalous {
-                    let mut distinct: Vec<u32> = events.clone();
-                    distinct.sort_unstable();
-                    distinct.dedup();
-                    distinct
-                        .into_iter()
-                        .map(|id| {
-                            let reduced: Vec<u32> =
-                                events.iter().copied().filter(|&e| e != id).collect();
-                            let p_without = if reduced.is_empty() {
-                                0.0
-                            } else {
-                                self.scorer.score(&reduced, self.vectorizer.table())
-                            };
-                            (id, p - p_without)
-                        })
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-                        .map(|(id, _)| id)
-                } else {
-                    None
-                };
-                let v = Verdict {
-                    probability: p,
-                    anomalous,
-                    culprit,
-                };
-                self.library.insert(&events, v);
-                v
             }
-        };
-        if !verdict.anomalous {
-            return None;
+            pending_by_key.insert(key, pending.len());
+            slots.push(Slot::Deferred(pending.len()));
+            let ctx = self.snapshot(events);
+            pending.push(Pending { ctx, score });
         }
-        let first = &self.buffer[0].1;
-        let last = &self.buffer[self.buffer.len() - 1].1;
-        Some(Report {
+
+        // Phase 2: one batched forward for every window the cache missed.
+        let misses: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.score.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if !misses.is_empty() {
+            let windows: Vec<&[u32]> = misses
+                .iter()
+                .map(|&i| pending[i].ctx.events.as_slice())
+                .collect();
+            let scores = self.scorer.score_batch(&windows, self.vectorizer.table());
+            assert_eq!(scores.len(), misses.len(), "scorer returned a short batch");
+            for (&i, &p) in misses.iter().zip(&scores) {
+                self.cache.insert(&pending[i].ctx.events, p);
+                pending[i].score = Some(p);
+            }
+        }
+
+        // Phase 3: leave-one-out saliency for anomalous windows — the
+        // event whose removal drops the score the most headlines the
+        // alert. Reduced windows dedupe within the batch and route
+        // through the score cache, and the remainder is one more batched
+        // call.
+        enum Src {
+            Const(f32),
+            Batched(usize),
+        }
+        let mut probes: Vec<(usize, u32, Src)> = Vec::new();
+        let mut batch_windows: Vec<Vec<u32>> = Vec::new();
+        let mut batch_index: HashMap<Vec<u32>, usize> = HashMap::new();
+        for (i, p) in pending.iter().enumerate() {
+            let score = p.score.expect("scored in phase 2");
+            if score <= THRESHOLD {
+                continue;
+            }
+            let mut distinct = p.ctx.events.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for id in distinct {
+                let reduced: Vec<u32> = p.ctx.events.iter().copied().filter(|&e| e != id).collect();
+                let src = if reduced.is_empty() {
+                    Src::Const(0.0)
+                } else if let Some(s) = self.cache.get(&reduced) {
+                    Src::Const(s)
+                } else if let Some(&j) = batch_index.get(&reduced) {
+                    Src::Batched(j)
+                } else {
+                    let j = batch_windows.len();
+                    batch_index.insert(reduced.clone(), j);
+                    batch_windows.push(reduced);
+                    Src::Batched(j)
+                };
+                probes.push((i, id, src));
+            }
+        }
+        let probe_scores: Vec<f32> = if batch_windows.is_empty() {
+            Vec::new()
+        } else {
+            let refs: Vec<&[u32]> = batch_windows.iter().map(|w| w.as_slice()).collect();
+            let scores = self.scorer.score_batch(&refs, self.vectorizer.table());
+            assert_eq!(scores.len(), refs.len(), "scorer returned a short batch");
+            for (w, &s) in batch_windows.iter().zip(&scores) {
+                self.cache.insert(w, s);
+            }
+            scores
+        };
+        let mut culprits: Vec<Option<u32>> = vec![None; pending.len()];
+        let mut probes = probes.into_iter().peekable();
+        while let Some(&(i, _, _)) = probes.peek() {
+            let mut best: Option<(u32, f32)> = None;
+            while let Some(&(j, _, _)) = probes.peek() {
+                if j != i {
+                    break;
+                }
+                let (_, id, src) = probes.next().unwrap();
+                let p_without = match src {
+                    Src::Const(s) => s,
+                    Src::Batched(k) => probe_scores[k],
+                };
+                let drop = pending[i].score.unwrap() - p_without;
+                // Same tie-breaking as `Iterator::max_by` over the
+                // (id, drop) pairs in ascending-id order: ties keep the
+                // later (larger) id.
+                best = match best {
+                    Some((bid, bdrop)) if drop < bdrop => Some((bid, bdrop)),
+                    _ => Some((id, drop)),
+                };
+            }
+            culprits[i] = best.map(|(id, _)| id);
+        }
+
+        // Phase 4: commit verdicts (in window order, as the sequential
+        // path inserts them) and emit reports in window order.
+        let verdicts: Vec<Verdict> = pending
+            .iter()
+            .zip(&culprits)
+            .map(|(p, &culprit)| {
+                let probability = p.score.unwrap();
+                Verdict {
+                    probability,
+                    anomalous: probability > THRESHOLD,
+                    culprit,
+                }
+            })
+            .collect();
+        for (p, v) in pending.iter().zip(&verdicts) {
+            self.library.insert(&p.ctx.events, *v);
+        }
+        let mut ctxs: Vec<Option<WindowCtx>> = pending.into_iter().map(|p| Some(p.ctx)).collect();
+        for slot in slots {
+            match slot {
+                Slot::Ready(r) => reports.extend(r),
+                Slot::Deferred(i) => {
+                    if verdicts[i].anomalous {
+                        let ctx = ctxs[i].take().expect("deferred ctx consumed once");
+                        reports.push(self.build_report(ctx, verdicts[i]));
+                    }
+                }
+                Slot::Alias(i, ctx) => {
+                    if verdicts[i].anomalous {
+                        reports.push(self.build_report(ctx, verdicts[i]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshots the current window into an owned report context.
+    fn snapshot(&self, events: Vec<u32>) -> WindowCtx {
+        let first = &self.window.front().expect("window non-empty").1;
+        let last = &self.window.back().expect("window non-empty").1;
+        WindowCtx {
+            events,
             system: first.system.clone(),
-            probability: verdict.probability,
             start_timestamp: first.timestamp,
             end_timestamp: last.timestamp,
             first_seq_no: first.seq_no,
-            messages: self.buffer.iter().map(|(_, l)| l.message.clone()).collect(),
-            interpretations: events
+            messages: self.window.iter().map(|(_, l)| l.message.clone()).collect(),
+        }
+    }
+
+    fn build_report(&self, ctx: WindowCtx, verdict: Verdict) -> Report {
+        Report {
+            system: ctx.system,
+            probability: verdict.probability,
+            start_timestamp: ctx.start_timestamp,
+            end_timestamp: ctx.end_timestamp,
+            first_seq_no: ctx.first_seq_no,
+            interpretations: ctx
+                .events
                 .iter()
                 .map(|&e| self.vectorizer.text(e).to_string())
                 .collect(),
+            messages: ctx.messages,
             culprit: verdict
                 .culprit
                 .map(|id| self.vectorizer.text(id).to_string()),
-        })
+        }
     }
 
     /// The underlying vectorizer (template statistics).
@@ -157,6 +393,22 @@ impl<S: SequenceScorer> OnlineDetector<S> {
     /// Pattern-library size.
     pub fn library_len(&self) -> usize {
         self.library.len()
+    }
+
+    /// Window-score cache occupancy.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Window-score cache `(hits, misses)`, including the leave-one-out
+    /// probe lookups that never surface in [`Self::cache_hits`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Window geometry as `(window_len, step)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.window_len, self.step)
     }
 }
 
@@ -232,5 +484,88 @@ mod tests {
             det.model_calls
         );
         assert_eq!(det.library_len() as u64, det.model_calls);
+    }
+
+    #[test]
+    fn batched_ingest_matches_sequential_ingest() {
+        let make = || {
+            let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+            OnlineDetector::new(v, StubScorer)
+        };
+        let stream: Vec<StructuredLog> = (0..120)
+            .map(|i| {
+                let msg = match i {
+                    17 | 18 | 61 => "drive volume dead offline",
+                    _ if i % 7 == 0 => "session open remote peer",
+                    _ => "steady state heartbeat ping",
+                };
+                slog(i, msg)
+            })
+            .collect();
+
+        let mut seq_det = make();
+        let mut seq_reports = Vec::new();
+        for log in stream.clone() {
+            if let Some(r) = seq_det.ingest(log) {
+                seq_reports.push(r);
+            }
+        }
+
+        for chunk_size in [3usize, 16, 50, 120] {
+            let mut det = make();
+            let mut reports = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                det.ingest_batch(chunk.to_vec(), &mut reports);
+            }
+            assert_eq!(reports, seq_reports, "chunk size {chunk_size}");
+            assert_eq!(det.fast_hits, seq_det.fast_hits, "chunk size {chunk_size}");
+            assert_eq!(
+                det.model_calls + det.cache_hits,
+                seq_det.model_calls + seq_det.cache_hits,
+                "chunk size {chunk_size}"
+            );
+            assert_eq!(
+                det.library_len(),
+                seq_det.library_len(),
+                "chunk size {chunk_size}"
+            );
+        }
+    }
+
+    /// A scorer that records how many windows each call carried.
+    struct CountingScorer {
+        batches: std::sync::Mutex<Vec<usize>>,
+    }
+    impl SequenceScorer for CountingScorer {
+        fn score(&self, _events: &[u32], _table: &[Vec<f32>]) -> f32 {
+            self.batches.lock().unwrap().push(1);
+            0.1
+        }
+        fn score_batch(&self, windows: &[&[u32]], _table: &[Vec<f32>]) -> Vec<f32> {
+            self.batches.lock().unwrap().push(windows.len());
+            windows.iter().map(|_| 0.1).collect()
+        }
+    }
+
+    #[test]
+    fn misses_ship_in_one_batched_call() {
+        let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+        let scorer = CountingScorer {
+            batches: std::sync::Mutex::new(Vec::new()),
+        };
+        let mut det = OnlineDetector::new(v, scorer);
+        // 12 distinct messages cycle so every window is a new pattern.
+        let logs: Vec<StructuredLog> = (0..60)
+            .map(|i| slog(i, &format!("unique event kind {} stream", i % 12)))
+            .collect();
+        let mut reports = Vec::new();
+        det.ingest_batch(logs, &mut reports);
+        let batches = det.scorer.batches.lock().unwrap().clone();
+        assert_eq!(
+            batches.len(),
+            1,
+            "all misses must ship in one batched call: {batches:?}"
+        );
+        assert_eq!(batches[0] as u64, det.model_calls);
     }
 }

@@ -7,11 +7,14 @@
 //!   partitioned buffer ([`buffer::LogBuffer`], the Kafka stage) and a
 //!   formatter normalizes records ([`record::format_log`], the Logstash
 //!   stage);
-//! - **Detection**: a sliding-window assembler builds sequences, a
-//!   pattern library ([`patterns::PatternLibrary`]) answers repeated
-//!   patterns on the fast path, and the offline-trained LogSynergy model
-//!   scores new patterns ([`detect::OnlineDetector`]); new templates are
-//!   interpreted and embedded online ([`vectorizer::EventVectorizer`]);
+//! - **Detection**: one worker per buffer partition runs a sliding-window
+//!   assembler; a pattern library ([`patterns::PatternLibrary`]) answers
+//!   repeated patterns on the fast path, a bounded LRU score cache
+//!   ([`cache::ScoreCache`]) answers repeated exact windows, and the
+//!   offline-trained LogSynergy model scores the remaining windows in one
+//!   micro-batched call ([`detect::OnlineDetector::ingest_batch`]); new
+//!   templates are interpreted and embedded online
+//!   ([`vectorizer::EventVectorizer`]);
 //! - **Report**: anomalies become operator alerts combining the raw
 //!   sequence with its LEI interpretations, delivered through
 //!   [`report::ReportSink`]s (SMS/email stand-ins).
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod cache;
 pub mod detect;
 pub mod patterns;
 pub mod record;
@@ -27,9 +31,10 @@ pub mod service;
 pub mod vectorizer;
 
 pub use buffer::{BufferStats, LogBuffer};
-pub use detect::{ModelScorer, OnlineDetector, SequenceScorer};
-pub use patterns::{PatternLibrary, Verdict};
+pub use cache::ScoreCache;
+pub use detect::{ModelScorer, OnlineDetector, SequenceScorer, DEFAULT_SCORE_CACHE};
+pub use patterns::{pattern_key, PatternLibrary, Verdict};
 pub use record::{format_log, RawLog, StructuredLog};
 pub use report::{MemorySink, MessagingSink, Report, ReportSink};
-pub use service::{run_pipeline, PipelineSummary};
+pub use service::{run_pipeline, run_pipeline_with, PipelineConfig, PipelineSummary};
 pub use vectorizer::EventVectorizer;

@@ -23,12 +23,18 @@ pub struct Verdict {
 /// the same event mix (any order, any multiplicity) share a verdict — the
 /// granularity at which operators think of "a log pattern". Anomalous
 /// windows always contain an event id normal windows lack, so the two can
-/// never collide on a key.
-fn key(events: &[u32]) -> Vec<u32> {
+/// never collide on a key. Exposed so the micro-batching detector can
+/// recognize same-pattern windows whose library insert is still in flight
+/// within the current batch.
+pub fn pattern_key(events: &[u32]) -> Vec<u32> {
     let mut k = events.to_vec();
     k.sort_unstable();
     k.dedup();
     k
+}
+
+fn key(events: &[u32]) -> Vec<u32> {
+    pattern_key(events)
 }
 
 /// The pattern library.

@@ -1,5 +1,14 @@
-//! The assembled Fig. 7 service: collection thread → buffer → detection
-//! thread → report sinks.
+//! The assembled Fig. 7 service: collection thread → partitioned buffer →
+//! per-partition detection workers (micro-batched) → report sinks.
+//!
+//! Sharding follows the buffer's keyed partitioning: a system's logs all
+//! land in one partition, each partition is owned by exactly one worker,
+//! and a worker processes its shard in arrival order — so per-system
+//! window order, verdicts, and report order are identical to a
+//! single-thread run. Each worker drains its shard in bursts
+//! ([`crate::buffer::Consumer::recv_batch`]) bounded by a window cap and a
+//! latency deadline, answers pattern-library and score-cache hits inline,
+//! and ships the remaining windows through one batched model call.
 
 use std::thread;
 use std::time::{Duration, Instant};
@@ -10,15 +19,58 @@ use crate::record::{format_log, RawLog};
 use crate::report::ReportSink;
 use crate::vectorizer::EventVectorizer;
 
+/// Serving knobs for [`run_pipeline_with`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Buffer partitions; one detection worker is spawned per partition.
+    pub partitions: usize,
+    /// Per-partition buffer capacity (producers block when full).
+    pub partition_capacity: usize,
+    /// Micro-batch size cap, in completed windows per batch.
+    pub batch_windows: usize,
+    /// Micro-batch latency deadline: a worker holds an unfilled batch at
+    /// most this long before scoring what it has.
+    pub batch_deadline: Duration,
+    /// Per-worker window-score LRU cache capacity (0 disables).
+    pub score_cache: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            partitions: 4,
+            partition_capacity: 1024,
+            batch_windows: 64,
+            batch_deadline: Duration::from_millis(5),
+            score_cache: 4096,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The pre-batching serving path: one worker, one window at a time,
+    /// no score cache. The determinism reference for everything else.
+    pub fn unbatched() -> Self {
+        PipelineConfig {
+            partitions: 1,
+            batch_windows: 1,
+            score_cache: 0,
+            ..Self::default()
+        }
+    }
+}
+
 /// End-of-run summary of a pipeline execution.
 #[derive(Clone, Debug)]
 pub struct PipelineSummary {
     /// Logs ingested.
     pub logs: u64,
-    /// Windows evaluated (fast + slow path).
+    /// Windows evaluated (fast + cache + slow path).
     pub windows: u64,
     /// Windows answered by the pattern library.
     pub fast_hits: u64,
+    /// Windows answered by the exact-window score cache.
+    pub cache_hits: u64,
     /// Windows scored by the model.
     pub model_calls: u64,
     /// Reports delivered.
@@ -31,19 +83,45 @@ pub struct PipelineSummary {
     pub throughput: f64,
 }
 
-/// Runs the full pipeline over a finite log source: a producer thread
-/// ships raw logs through the bounded buffer while the detection thread
-/// formats, windows, detects, and reports.
-pub fn run_pipeline<S: SequenceScorer + 'static>(
+struct WorkerStats {
+    logs: u64,
+    fast_hits: u64,
+    cache_hits: u64,
+    model_calls: u64,
+    reports: u64,
+    new_templates: usize,
+}
+
+/// Runs the full pipeline over a finite log source with explicit serving
+/// knobs: a producer thread ships raw logs through the bounded partitioned
+/// buffer while one detection worker per partition formats, windows,
+/// micro-batches, detects, and reports.
+///
+/// The vectorizer, scorer, and sink are cloned once per worker; scorers
+/// like [`crate::detect::ModelScorer`] share the trained weights across
+/// clones and fork only their private inference session.
+pub fn run_pipeline_with<S, K>(
     source: Vec<RawLog>,
     vectorizer: EventVectorizer,
     scorer: S,
-    sink: impl ReportSink + 'static,
-) -> PipelineSummary {
-    let buffer = LogBuffer::new(4, 1024);
+    sink: K,
+    config: PipelineConfig,
+) -> PipelineSummary
+where
+    S: SequenceScorer + Clone + 'static,
+    K: ReportSink + Clone + 'static,
+{
+    assert!(config.partitions > 0 && config.batch_windows > 0);
+    let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
     let producer = buffer.producer();
-    let mut consumer = buffer.consumer();
+    let consumers: Vec<_> = (0..config.partitions)
+        .map(|p| buffer.partition_consumer(p))
+        .collect();
+    // Drop the buffer's own sender handles: once the shipper finishes, the
+    // channels disconnect and workers see a definitive end of stream.
+    drop(buffer);
     let n = source.len() as u64;
+    let start = Instant::now();
 
     let shipper = thread::spawn(move || {
         for log in source {
@@ -52,37 +130,93 @@ pub fn run_pipeline<S: SequenceScorer + 'static>(
         // Producer handle drops here, closing its side.
     });
 
-    let detector_thread = thread::spawn(move || {
-        let mut detector = OnlineDetector::new(vectorizer, scorer);
-        let mut seq_no = 0u64;
-        let mut reports = 0u64;
-        let start = Instant::now();
-        while let Some(raw) = consumer.recv(Duration::from_millis(200)) {
-            let structured = format_log(raw, seq_no);
-            seq_no += 1;
-            if let Some(report) = detector.ingest(structured) {
-                sink.deliver(&report);
-                reports += 1;
-            }
-        }
-        let elapsed = start.elapsed();
-        let windows = detector.fast_hits + detector.model_calls;
-        PipelineSummary {
-            logs: seq_no,
-            windows,
-            fast_hits: detector.fast_hits,
-            model_calls: detector.model_calls,
-            reports,
-            new_templates: detector.vectorizer().new_templates(),
-            elapsed,
-            throughput: seq_no as f64 / elapsed.as_secs_f64().max(1e-9),
-        }
-    });
+    let workers: Vec<_> = consumers
+        .into_iter()
+        .map(|mut consumer| {
+            let vectorizer = vectorizer.clone();
+            let scorer = scorer.clone();
+            let sink = sink.clone();
+            let cfg = config.clone();
+            thread::spawn(move || {
+                let mut detector =
+                    OnlineDetector::new(vectorizer, scorer).with_cache_capacity(cfg.score_cache);
+                // The batch cap counts completed windows; convert to the
+                // log burst that yields that many windows.
+                let (_, step) = detector.geometry();
+                let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
+                let mut seq_no = 0u64;
+                let mut reports_delivered = 0u64;
+                let mut reports = Vec::new();
+                while let Some(batch) = consumer.recv_batch(max_logs, cfg.batch_deadline) {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let structured = batch.into_iter().map(|raw| {
+                        let s = format_log(raw, seq_no);
+                        seq_no += 1;
+                        s
+                    });
+                    detector.ingest_batch(structured, &mut reports);
+                    for report in reports.drain(..) {
+                        sink.deliver(&report);
+                        reports_delivered += 1;
+                    }
+                }
+                WorkerStats {
+                    logs: seq_no,
+                    fast_hits: detector.fast_hits,
+                    cache_hits: detector.cache_hits,
+                    model_calls: detector.model_calls,
+                    reports: reports_delivered,
+                    new_templates: detector.vectorizer().new_templates(),
+                }
+            })
+        })
+        .collect();
 
     shipper.join().expect("shipper thread panicked");
-    let mut summary = detector_thread.join().expect("detector thread panicked");
-    summary.logs = summary.logs.min(n);
-    summary
+    let mut logs = 0u64;
+    let mut fast_hits = 0u64;
+    let mut cache_hits = 0u64;
+    let mut model_calls = 0u64;
+    let mut reports = 0u64;
+    let mut new_templates = 0usize;
+    for worker in workers {
+        let s = worker.join().expect("detection worker panicked");
+        logs += s.logs;
+        fast_hits += s.fast_hits;
+        cache_hits += s.cache_hits;
+        model_calls += s.model_calls;
+        reports += s.reports;
+        new_templates += s.new_templates;
+    }
+    let elapsed = start.elapsed();
+    PipelineSummary {
+        logs: logs.min(n),
+        windows: fast_hits + cache_hits + model_calls,
+        fast_hits,
+        cache_hits,
+        model_calls,
+        reports,
+        new_templates,
+        elapsed,
+        throughput: logs as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Runs the full pipeline with the default serving configuration
+/// ([`PipelineConfig::default`]).
+pub fn run_pipeline<S, K>(
+    source: Vec<RawLog>,
+    vectorizer: EventVectorizer,
+    scorer: S,
+    sink: K,
+) -> PipelineSummary
+where
+    S: SequenceScorer + Clone + 'static,
+    K: ReportSink + Clone + 'static,
+{
+    run_pipeline_with(source, vectorizer, scorer, sink, PipelineConfig::default())
 }
 
 #[cfg(test)]
@@ -93,6 +227,7 @@ mod tests {
     use logsynergy_lei::LeiConfig;
     use logsynergy_loggen::SystemId;
 
+    #[derive(Clone)]
     struct EvenScorer;
     impl SequenceScorer for EvenScorer {
         fn score(&self, events: &[u32], _table: &[Vec<f32>]) -> f32 {
@@ -104,21 +239,26 @@ mod tests {
         }
     }
 
+    fn burst_source(system: &str, n: u64, burst: std::ops::Range<u64>) -> Vec<RawLog> {
+        (0..n)
+            .map(|i| {
+                let msg = if burst.contains(&i) {
+                    "drive volume dead offline spindle".to_string()
+                } else {
+                    "session open remote peer lan".to_string()
+                };
+                RawLog {
+                    system: system.into(),
+                    timestamp: i,
+                    message: msg,
+                }
+            })
+            .collect()
+    }
+
     #[test]
     fn end_to_end_reports_injected_anomaly() {
-        let mut source = Vec::new();
-        for i in 0..120u64 {
-            let msg = if (40..44).contains(&i) {
-                "drive volume dead offline spindle".to_string()
-            } else {
-                "session open remote peer lan".to_string()
-            };
-            source.push(RawLog {
-                system: "b".into(),
-                timestamp: i,
-                message: msg,
-            });
-        }
+        let source = burst_source("b", 120, 40..44);
         let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
         let sink = MemorySink::new();
         let summary = run_pipeline(source, v, EvenScorer, sink.clone());
@@ -135,5 +275,80 @@ mod tests {
             "throughput {}",
             summary.throughput
         );
+    }
+
+    #[test]
+    fn batched_sharded_run_matches_unbatched_single_thread() {
+        let source = burst_source("b", 200, 60..66);
+        let make_v = || EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+
+        let baseline_sink = MemorySink::new();
+        let baseline = run_pipeline_with(
+            source.clone(),
+            make_v(),
+            EvenScorer,
+            baseline_sink.clone(),
+            PipelineConfig::unbatched(),
+        );
+
+        for config in [
+            PipelineConfig::default(),
+            PipelineConfig {
+                partitions: 4,
+                batch_windows: 8,
+                ..PipelineConfig::default()
+            },
+        ] {
+            let sink = MemorySink::new();
+            let s = run_pipeline_with(source.clone(), make_v(), EvenScorer, sink.clone(), config);
+            assert_eq!(s.logs, baseline.logs);
+            assert_eq!(s.windows, baseline.windows);
+            assert_eq!(s.fast_hits, baseline.fast_hits);
+            assert_eq!(s.model_calls + s.cache_hits, baseline.model_calls);
+            assert_eq!(s.reports, baseline.reports);
+            assert_eq!(
+                sink.reports(),
+                baseline_sink.reports(),
+                "reports must be identical, in the same order"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_system_run_preserves_per_system_report_order() {
+        // Three tenants, each streaming its own burst; partitioning by
+        // system key must keep every tenant's reports in arrival order.
+        let mut source = Vec::new();
+        let tenants = ["tenant-a", "tenant-b", "tenant-c"];
+        for i in 0..240u64 {
+            let tenant = tenants[(i % 3) as usize];
+            let msg = if (90..102).contains(&i) {
+                "drive volume dead offline spindle".to_string()
+            } else {
+                "session open remote peer lan".to_string()
+            };
+            source.push(RawLog {
+                system: tenant.into(),
+                timestamp: i,
+                message: msg,
+            });
+        }
+        let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+        let sink = MemorySink::new();
+        let summary = run_pipeline(source, v, EvenScorer, sink.clone());
+        assert_eq!(summary.logs, 240);
+        assert!(summary.reports > 0, "bursts must be reported");
+        let mut last_seen: std::collections::HashMap<String, u64> = Default::default();
+        for r in sink.reports() {
+            if let Some(&prev) = last_seen.get(&r.system) {
+                assert!(
+                    r.start_timestamp >= prev,
+                    "per-system report order violated for {}",
+                    r.system
+                );
+            }
+            last_seen.insert(r.system.clone(), r.start_timestamp);
+        }
+        assert!(last_seen.len() > 1, "multiple tenants must report");
     }
 }

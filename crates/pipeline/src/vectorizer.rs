@@ -9,6 +9,11 @@ use logsynergy_loggen::SystemId;
 use logsynergy_logparse::{Drain, DrainConfig};
 
 /// Incremental message → (event id, embedding-table) mapper.
+///
+/// Cloning replicates the full template space (parser state, embedding
+/// table, interpretation texts), giving each detection worker an
+/// independent vectorizer that evolves with its own shard.
+#[derive(Clone)]
 pub struct EventVectorizer {
     drain: Drain,
     lei: LlmInterpreter,

@@ -1,0 +1,177 @@
+//! Determinism contract of the batched serving path, checked against a
+//! real (randomly initialized, untrained — the forward is what matters)
+//! LogSynergy model: micro-batching, the window-score cache, and
+//! partition-sharded workers change throughput, never results. Every
+//! configuration must reproduce the unbatched single-worker run bit for
+//! bit.
+
+use logsynergy::model::LogSynergyModel;
+use logsynergy::ModelConfig;
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, ModelScorer, OnlineDetector, PipelineConfig,
+    RawLog, Report, StructuredLog,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const EMBED_DIM: usize = 8;
+
+fn tiny_model(seed: u64) -> Arc<LogSynergyModel> {
+    let config = ModelConfig {
+        embed_dim: EMBED_DIM,
+        d_model: 8,
+        heads: 2,
+        ff: 16,
+        layers: 1,
+        max_len: 10,
+        dropout: 0.0,
+        head_hidden: 8,
+        num_systems: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(LogSynergyModel::new(config, &mut rng))
+}
+
+fn vectorizer() -> EventVectorizer {
+    EventVectorizer::new(SystemId::SystemB, EMBED_DIM, LeiConfig::default())
+}
+
+/// A steady stream of one normal template with a distinct injected
+/// message every 10 logs. Each injection yields a window of nine normal
+/// events plus one unique event — distinct patterns whose leave-one-out
+/// probes all share the same reduced window, the score cache's bread and
+/// butter.
+fn variant_stream(n: u64) -> Vec<RawLog> {
+    // Distinct leading words so Drain assigns each fault its own template
+    // (a shared prefix with one varying token would be masked into one).
+    const FAULTS: [&str; 16] = [
+        "disk", "fan", "nic", "psu", "dimm", "cpu", "raid", "link", "pump", "bmc", "gpu", "ssd",
+        "port", "rack", "node", "bus",
+    ];
+    (0..n)
+        .map(|i| {
+            let message = if i >= 12 && (i - 12) % 10 == 0 {
+                let fault = FAULTS[((i - 12) / 10) as usize % FAULTS.len()];
+                format!("{fault} subsystem failure isolated offline")
+            } else {
+                "session open remote peer lan".to_string()
+            };
+            RawLog {
+                system: "b".into(),
+                timestamp: i,
+                message,
+            }
+        })
+        .collect()
+}
+
+fn assert_reports_bitwise_equal(a: &[Report], b: &[Report], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: report count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.probability.to_bits(),
+            y.probability.to_bits(),
+            "{label}: probability must be bitwise identical"
+        );
+        assert_eq!(x, y, "{label}: full report");
+    }
+}
+
+#[test]
+fn batched_sharded_cached_runs_match_unbatched_bitwise() {
+    let model = tiny_model(42);
+    let source = variant_stream(170);
+
+    let baseline_sink = MemorySink::new();
+    let baseline = run_pipeline_with(
+        source.clone(),
+        vectorizer(),
+        ModelScorer::shared(model.clone()),
+        baseline_sink.clone(),
+        PipelineConfig::unbatched(),
+    );
+    assert!(
+        baseline.reports > 0,
+        "the stream must trip the model: {baseline:?}"
+    );
+
+    let variants = [
+        ("defaults", PipelineConfig::default()),
+        (
+            "small batches, two shards",
+            PipelineConfig {
+                partitions: 2,
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "batching without cache",
+            PipelineConfig {
+                score_cache: 0,
+                ..PipelineConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in variants {
+        let sink = MemorySink::new();
+        let s = run_pipeline_with(
+            source.clone(),
+            vectorizer(),
+            ModelScorer::shared(model.clone()),
+            sink.clone(),
+            config,
+        );
+        assert_eq!(s.logs, baseline.logs, "{label}");
+        assert_eq!(s.windows, baseline.windows, "{label}");
+        assert_eq!(s.fast_hits, baseline.fast_hits, "{label}");
+        assert_eq!(
+            s.model_calls + s.cache_hits,
+            baseline.model_calls,
+            "{label}: cache hits replace model calls one for one"
+        );
+        assert_eq!(s.reports, baseline.reports, "{label}");
+        assert_reports_bitwise_equal(&sink.reports(), &baseline_sink.reports(), label);
+    }
+}
+
+#[test]
+fn cache_hits_return_bitwise_identical_scores() {
+    let model = tiny_model(42);
+    let stream: Vec<StructuredLog> = variant_stream(170)
+        .into_iter()
+        .enumerate()
+        .map(|(i, raw)| StructuredLog {
+            system: raw.system,
+            timestamp: raw.timestamp,
+            message: raw.message,
+            seq_no: i as u64,
+        })
+        .collect();
+
+    // Micro-batches of 20 logs: the leave-one-out probes of later batches
+    // repeat reduced windows first scored in earlier batches, which only
+    // the cache can answer (in-batch repeats dedupe without it).
+    let run = |cache: usize| {
+        let mut det = OnlineDetector::new(vectorizer(), ModelScorer::shared(model.clone()))
+            .with_cache_capacity(cache);
+        let mut reports = Vec::new();
+        for chunk in stream.chunks(20) {
+            det.ingest_batch(chunk.to_vec(), &mut reports);
+        }
+        (reports, det.cache_stats().0)
+    };
+
+    let (cold_reports, cold_cache_hits) = run(0);
+    let (warm_reports, warm_cache_hits) = run(4096);
+
+    assert_eq!(cold_cache_hits, 0, "disabled cache never hits");
+    assert!(
+        warm_cache_hits > 0,
+        "shared leave-one-out probes must hit the cache"
+    );
+    assert_reports_bitwise_equal(&warm_reports, &cold_reports, "warm vs cold");
+}

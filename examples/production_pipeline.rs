@@ -64,6 +64,7 @@ fn main() {
         summary.fast_hits,
         100.0 * summary.fast_hits as f64 / summary.windows.max(1) as f64
     );
+    println!("  score-cache hits   {}", summary.cache_hits);
     println!("  model invocations  {}", summary.model_calls);
     println!("  new templates      {}", summary.new_templates);
     println!("  reports sent       {}", summary.reports);

@@ -13,4 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "==> serving-pipeline throughput smoke (quick mode)"
+# Quick Fig. 7 run: small stream, full sweep, and the bench's built-in
+# assertion that batched/sharded/cached serving reproduces the unbatched
+# baseline bit for bit.
+LOGSYNERGY_BENCH_QUICK=1 cargo bench --bench fig7_pipeline_throughput
+
 echo "CI OK"

@@ -58,9 +58,9 @@ fn trained_model_serves_live_stream() {
         "repeated patterns must hit the library: {summary:?}"
     );
     assert_eq!(
-        summary.fast_hits + summary.model_calls,
+        summary.fast_hits + summary.cache_hits + summary.model_calls,
         summary.windows,
-        "every window is either fast-pathed or scored: {summary:?}"
+        "every window is fast-pathed, cache-served, or scored: {summary:?}"
     );
     // Alert volume sanity: reports should be a small fraction of windows
     // (operators are not flooded).
