@@ -1,0 +1,48 @@
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, PipelineConfig, RawLog, SequenceScorer,
+};
+
+#[derive(Clone)]
+struct EvenScorer;
+impl SequenceScorer for EvenScorer {
+    fn score(&self, events: &[u32], _t: &[Vec<f32>]) -> f32 {
+        if events.iter().any(|e| e % 2 == 1) { 0.9 } else { 0.1 }
+    }
+}
+
+#[test]
+fn multi_tenant_cross_config_equivalence() {
+    let tenants = ["tenant-a", "tenant-b", "tenant-c"];
+    let source: Vec<RawLog> = (0..240u64)
+        .map(|i| {
+            let msg = if (90..102).contains(&i) {
+                "drive volume dead offline spindle".to_string()
+            } else {
+                "session open remote peer lan".to_string()
+            };
+            RawLog { system: tenants[(i % 3) as usize].into(), timestamp: i, message: msg }
+        })
+        .collect();
+    let make_v = || EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+
+    let base_sink = MemorySink::new();
+    run_pipeline_with(source.clone(), make_v(), EvenScorer, base_sink.clone(),
+        PipelineConfig::unbatched());
+
+    let sink = MemorySink::new();
+    run_pipeline_with(source.clone(), make_v(), EvenScorer, sink.clone(),
+        PipelineConfig::default());
+
+    let a: Vec<_> = base_sink.reports();
+    let b: Vec<_> = sink.reports();
+    eprintln!("baseline reports: {}, default-config reports: {}", a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "report count differs across configs");
+    // compare per-system sequences
+    for t in tenants {
+        let ra: Vec<_> = a.iter().filter(|r| r.system == t).collect();
+        let rb: Vec<_> = b.iter().filter(|r| r.system == t).collect();
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "tenant {t} reports differ");
+    }
+}
