@@ -33,7 +33,7 @@ struct SweepPoint {
 struct Summary {
     logs: u64,
     windows: u64,
-    fast_hits: u64,
+    pattern_hits: u64,
     cache_hits: u64,
     model_calls: u64,
     reports: u64,
@@ -213,7 +213,7 @@ fn main() {
     let out = Summary {
         logs: s.logs,
         windows: s.windows,
-        fast_hits: s.fast_hits,
+        pattern_hits: s.pattern_hits,
         cache_hits: s.cache_hits,
         model_calls: s.model_calls,
         reports: s.reports,
@@ -227,8 +227,8 @@ fn main() {
         "logs {}  windows {}  fast {} ({:.1}%)  cache {}  model {}  reports {}  new-templates {}",
         out.logs,
         out.windows,
-        out.fast_hits,
-        100.0 * out.fast_hits as f64 / out.windows.max(1) as f64,
+        out.pattern_hits,
+        100.0 * out.pattern_hits as f64 / out.windows.max(1) as f64,
         out.cache_hits,
         out.model_calls,
         out.reports,

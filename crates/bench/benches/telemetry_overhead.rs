@@ -1,0 +1,180 @@
+//! Telemetry overhead contract: the instrumented serving pipeline with the
+//! runtime kill-switch ON must stay within a small single-digit percent of
+//! the same run with telemetry OFF.
+//!
+//! Both arms run the same Fig. 7 dataflow (train once, stream the target's
+//! live feed through the default serving configuration). Each repetition
+//! measures both arms back to back and contributes one *paired* on/off
+//! throughput ratio; the contract is judged on the median of those ratios.
+//! Two layers of noise control, because a single serving run is short
+//! (hundreds of ms) and shared-machine interference is several times the
+//! true overhead:
+//!
+//! - an arm's measurement is the **best of three** consecutive runs —
+//!   interference is one-sided (a neighbour can only slow a run down), so
+//!   the fastest of a few tries is the least-contaminated estimate;
+//! - pairing + per-repetition order alternation subtracts the slow drift
+//!   (thermal, page cache, scheduler mood) both arms share, and keeps
+//!   either arm from always drawing the warmer slot.
+//!
+//! The result is persisted to `results/telemetry_overhead.json` for CI.
+
+use logsynergy::api::Pipeline;
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::{datasets, SystemId};
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, ModelScorer, PipelineConfig, RawLog,
+};
+use serde::Serialize;
+
+/// Throughput reference from the batched-serving PR (results/
+/// fig7_pipeline_throughput.json at the time this bench was added), kept in
+/// the artifact so regressions are visible against a fixed anchor.
+const PR2_REFERENCE_LOGS_PER_SEC: f64 = 51_672.0;
+
+/// The contract ceiling checked by CI (fraction, not percent).
+const MAX_OVERHEAD: f64 = 0.02;
+
+#[derive(Serialize)]
+struct Overhead {
+    repetitions: usize,
+    logs_per_run: u64,
+    off_logs_per_sec: Vec<f64>,
+    on_logs_per_sec: Vec<f64>,
+    paired_on_over_off: Vec<f64>,
+    median_off_logs_per_sec: f64,
+    median_on_logs_per_sec: f64,
+    overhead_fraction: f64,
+    max_overhead_fraction: f64,
+    pr2_reference_logs_per_sec: f64,
+    within_contract: bool,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+fn main() {
+    let scale = if quick_mode() { 0.006 } else { 0.02 };
+    let reps = if quick_mode() { 3 } else { 9 };
+    println!("training a model for System B, then timing its live stream…");
+    let mut p = Pipeline::scaled();
+    p.train_config.epochs = 4;
+    p.train_config.n_source = 800;
+    p.train_config.n_target = 200;
+    let src_a = p.prepare(&datasets::system_a().generate_with(scale / 2.5, 4.0));
+    let src_c = p.prepare(&datasets::system_c().generate_with(scale, 4.0));
+    let history = datasets::system_b().generate_with(scale, 4.0);
+    let target = p.prepare(&history);
+    let (model, _) = p.fit(&[&src_a, &src_c], &target);
+
+    let split_at = p.train_config.n_target * 5 + 10;
+    let (warm, live) = history.records.split_at(split_at);
+    let mut vectorizer = EventVectorizer::new(
+        SystemId::SystemB,
+        p.model_config.embed_dim,
+        LeiConfig::default(),
+    );
+    vectorizer.warm_start(warm.iter().map(|r| r.message.as_str()));
+    let source: Vec<RawLog> = live
+        .iter()
+        .map(|r| RawLog {
+            system: "b".into(),
+            timestamp: r.timestamp,
+            message: r.message.clone(),
+        })
+        .collect();
+    let scorer = ModelScorer::new(model);
+    let run = || {
+        let sink = MemorySink::new();
+        run_pipeline_with(
+            source.clone(),
+            vectorizer.clone(),
+            scorer.clone(),
+            sink,
+            PipelineConfig::default(),
+        )
+    };
+
+    // Warm the worker pool, pattern library paths, and page cache before
+    // any timed repetition (identically for both arms).
+    logsynergy_telemetry::set_enabled(false);
+    let warmup = run();
+    println!(
+        "warm-up: {} logs, {} windows, {:.0} logs/s",
+        warmup.logs, warmup.windows, warmup.throughput
+    );
+
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    // Best-of-three: interference only ever slows a run, so the fastest
+    // try is the cleanest estimate of the arm's true throughput.
+    let timed = |enable: bool| {
+        logsynergy_telemetry::set_enabled(enable);
+        (0..3).map(|_| run().throughput).fold(f64::MIN, f64::max)
+    };
+    for rep in 0..reps {
+        // Both arms back to back, order flipped every repetition: within a
+        // pair the machine state is as similar as it gets, and alternation
+        // keeps either arm from always drawing the warmer slot.
+        let (t_off, t_on) = if rep % 2 == 0 {
+            let t_off = timed(false);
+            (t_off, timed(true))
+        } else {
+            let t_on = timed(true);
+            (timed(false), t_on)
+        };
+        println!(
+            "  rep {rep}: off {:>8.0} logs/s   on {:>8.0} logs/s   on/off {:.3}",
+            t_off,
+            t_on,
+            t_on / t_off
+        );
+        off.push(t_off);
+        on.push(t_on);
+        ratios.push(t_on / t_off);
+    }
+    logsynergy_telemetry::set_enabled(true);
+
+    let m_off = median(&off);
+    let m_on = median(&on);
+    // Judged on paired ratios: the median pair is immune to the between-
+    // repetition throughput drift both arms share.
+    let overhead = 1.0 - median(&ratios);
+    let out = Overhead {
+        repetitions: reps,
+        logs_per_run: warmup.logs,
+        off_logs_per_sec: off,
+        on_logs_per_sec: on,
+        paired_on_over_off: ratios,
+        median_off_logs_per_sec: m_off,
+        median_on_logs_per_sec: m_on,
+        overhead_fraction: overhead,
+        max_overhead_fraction: MAX_OVERHEAD,
+        pr2_reference_logs_per_sec: PR2_REFERENCE_LOGS_PER_SEC,
+        within_contract: overhead <= MAX_OVERHEAD,
+    };
+    println!(
+        "median: off {:.0} logs/s, on {:.0} logs/s → overhead {:+.2}% (contract ≤ {:.0}%)",
+        m_off,
+        m_on,
+        100.0 * overhead,
+        100.0 * MAX_OVERHEAD
+    );
+    write_result("telemetry_overhead", &out);
+    assert!(
+        out.within_contract,
+        "telemetry overhead {:.2}% exceeds the {:.0}% contract",
+        100.0 * overhead,
+        100.0 * MAX_OVERHEAD
+    );
+}

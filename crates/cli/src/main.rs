@@ -41,6 +41,8 @@ commands:
                 --logs <n>          logs per dataset (default 30000)
                 --epochs <n>        training epochs (default 5)
                 --out <path>        save the trained model (default model.json)
+                --metrics-out <p>   write a JSON telemetry snapshot when done
+                --metrics-listen <a> serve /metrics over HTTP while running
   detect      score a target's held-out stream with a saved model
                 --model <path>      required
                 --target <system>   required (must match training)
@@ -52,7 +54,45 @@ commands:
                 --workers <n>       buffer partitions / detection workers (default 4)
                 --batch <n>         micro-batch window cap per model call (default 64)
                 --cache <n>         window-score LRU capacity, 0 disables (default 4096)
+                --metrics-out <p>   write a JSON telemetry snapshot when done
+                --metrics-listen <a> serve /metrics over HTTP while running
 ";
+
+/// Optional observability for a command: an HTTP exporter held open for the
+/// command's lifetime (`--metrics-listen`) and a JSON snapshot written once
+/// the work is done (`--metrics-out`).
+struct Metrics {
+    out: Option<String>,
+    server: Option<logsynergy_telemetry::MetricsServer>,
+}
+
+impl Metrics {
+    fn start(a: &Args) -> Result<Self, String> {
+        let server = match a.get("metrics-listen") {
+            Some(addr) => {
+                let s = logsynergy_telemetry::serve(addr)
+                    .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
+                eprintln!("serving metrics on http://{}/metrics", s.addr());
+                Some(s)
+            }
+            None => None,
+        };
+        Ok(Metrics {
+            out: a.get("metrics-out").map(str::to_string),
+            server,
+        })
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if let Some(path) = &self.out {
+            let json = logsynergy_telemetry::json_snapshot(logsynergy_telemetry::global());
+            std::fs::write(path, json).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        drop(self.server);
+        Ok(())
+    }
+}
 
 fn system_of(name: &str) -> Result<SystemId, String> {
     match name.to_ascii_lowercase().as_str() {
@@ -121,6 +161,7 @@ fn cmd_train(a: &Args) -> Result<(), String> {
     let target = system_of(a.get("target").ok_or("--target is required")?)?;
     let cfg = cfg_from(a)?;
     let out = a.get_or("out", "model.json");
+    let metrics = Metrics::start(a)?;
     let sources = sources_of(target);
     eprintln!(
         "training LogSynergy for {} with sources {:?}…",
@@ -142,7 +183,7 @@ fn cmd_train(a: &Args) -> Result<(), String> {
         model.num_parameters(),
         history.last().map(|h| h.total).unwrap_or(f32::NAN)
     );
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_detect(a: &Args) -> Result<(), String> {
@@ -233,6 +274,7 @@ fn cmd_single(a: &Args) -> Result<(), String> {
 
 fn cmd_pipeline(a: &Args) -> Result<(), String> {
     let target = system_of(a.get_or("target", "system-b"))?;
+    let metrics = Metrics::start(a)?;
     let cfg = ExperimentConfig::quick();
     let p = build_pipeline(&cfg);
     let sources = sources_of(target);
@@ -279,7 +321,7 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
         "logs {}  windows {}  fast-path {:.1}%  cache hits {}  model calls {}  reports {}  {:.0} logs/s",
         s.logs,
         s.windows,
-        100.0 * s.fast_hits as f64 / s.windows.max(1) as f64,
+        100.0 * s.pattern_hits as f64 / s.windows.max(1) as f64,
         s.cache_hits,
         s.model_calls,
         s.reports,
@@ -288,7 +330,7 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
     if let Some((sms, _)) = sink.outbox().first() {
         println!("first alert: {sms}");
     }
-    Ok(())
+    metrics.finish()
 }
 
 fn run() -> Result<(), String> {

@@ -31,6 +31,46 @@ struct SavedModel {
 struct SavedTensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+    /// Bit-exact sidecar for values JSON cannot carry: the serializer
+    /// writes `null` for NaN/±inf, which would fail to parse back as f32.
+    /// Non-finite elements are stored as `(flat_index, to_bits())` here
+    /// with a `0.0` placeholder in `data`, and patched back on load.
+    /// Absent (`default`) in files written before this field existed.
+    #[serde(default)]
+    nonfinite: Vec<(u32, u32)>,
+}
+
+impl SavedTensor {
+    fn encode(data: &[f32]) -> (Vec<f32>, Vec<(u32, u32)>) {
+        let mut nonfinite = Vec::new();
+        let data = data
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if v.is_finite() {
+                    v
+                } else {
+                    nonfinite.push((i as u32, v.to_bits()));
+                    0.0
+                }
+            })
+            .collect();
+        (data, nonfinite)
+    }
+
+    fn decode(&self) -> io::Result<Vec<f32>> {
+        let mut data = self.data.clone();
+        for &(idx, bits) in &self.nonfinite {
+            let slot = data.get_mut(idx as usize).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("non-finite sidecar index {idx} out of bounds"),
+                )
+            })?;
+            *slot = f32::from_bits(bits);
+        }
+        Ok(data)
+    }
 }
 
 const FORMAT_VERSION: u32 = 1;
@@ -42,11 +82,13 @@ pub fn to_bytes(model: &LogSynergyModel) -> Vec<u8> {
         .ids()
         .map(|id| {
             let t = model.store.value(id);
+            let (data, nonfinite) = SavedTensor::encode(t.data());
             (
                 model.store.name(id).to_string(),
                 SavedTensor {
                     shape: t.shape().to_vec(),
-                    data: t.data().to_vec(),
+                    data,
+                    nonfinite,
                 },
             )
         })
@@ -92,7 +134,7 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<LogSynergyModel> {
                 ),
             ));
         }
-        *model.store.value_mut(id) = Tensor::new(st.data.clone(), &st.shape);
+        *model.store.value_mut(id) = Tensor::new(st.decode()?, &st.shape);
     }
     Ok(model)
 }
@@ -169,6 +211,59 @@ mod tests {
         // Truncate to break the document.
         bytes.truncate(bytes.len() / 2);
         assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn nonfinite_and_subnormal_weights_roundtrip_bit_exactly() {
+        let mut model = tiny_model();
+        // Poison one tensor with every value class JSON handles badly:
+        // NaN and ±inf serialize as `null`, subnormals and -0.0 stress
+        // shortest-round-trip float printing.
+        let id = model.store.ids().next().unwrap();
+        let poison = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e-41,  // subnormal
+            -1e-41, // negative subnormal
+            -0.0,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x7fc0_dead), // NaN with payload bits
+        ];
+        let before: Vec<u32> = {
+            let t = model.store.value_mut(id);
+            let data = t.data_mut();
+            assert!(data.len() >= poison.len(), "tensor too small for test");
+            data[..poison.len()].copy_from_slice(&poison);
+            data.iter().map(|v| v.to_bits()).collect()
+        };
+
+        let loaded = from_bytes(&to_bytes(&model)).unwrap();
+        let lid = loaded.store.ids().next().unwrap();
+        assert_eq!(loaded.store.name(lid), model.store.name(id));
+        let after: Vec<u32> = loaded
+            .store
+            .value(lid)
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(before, after, "weights must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn out_of_bounds_nonfinite_sidecar_is_rejected() {
+        let model = tiny_model();
+        let json = String::from_utf8(to_bytes(&model)).unwrap();
+        // Inject a sidecar entry pointing past the end of its tensor.
+        let broken = json.replacen("\"nonfinite\":[]", "\"nonfinite\":[[999999,1]]", 1);
+        assert_ne!(json, broken, "expected an empty sidecar to patch");
+        let err = match from_bytes(broken.as_bytes()) {
+            Err(e) => e,
+            Ok(_) => panic!("out-of-bounds sidecar index must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out of bounds"), "{err}");
     }
 
     #[test]

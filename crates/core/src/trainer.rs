@@ -153,6 +153,14 @@ pub struct EpochStats {
     pub total: f32,
     /// DAAN dynamic factor ω at the end of the epoch.
     pub omega: f32,
+    /// Training anomaly-classification accuracy (logit sign vs. label).
+    pub accuracy: f32,
+    /// Mean pre-clip global gradient L2 norm across the epoch's batches.
+    pub grad_norm: f32,
+    /// GRL lambda after the Ganin warmup ramp for this epoch.
+    pub grl_lambda: f32,
+    /// Wall time of the epoch in milliseconds.
+    pub epoch_ms: f64,
 }
 
 /// Trains `model` on `set`, returning per-epoch statistics.
@@ -179,10 +187,14 @@ pub fn train(
         let p = epoch as f32 / total_steps as f32;
         let grl = cfg.grl_lambda * (2.0 / (1.0 + (-5.0 * p).exp()) - 1.0 + 0.2).min(1.0);
 
+        let epoch_start = std::time::Instant::now();
         let mut stats = EpochStats {
             omega,
+            grl_lambda: grl,
             ..EpochStats::default()
         };
+        let mut correct = 0usize;
+        let mut seen = 0usize;
         let mut batches = 0usize;
         let mut sum_glob = 0.0f32;
         let mut sum_cond = 0.0f32;
@@ -267,11 +279,21 @@ pub fn train(
             }
 
             let total_v = g.value(total).item();
+            correct += g
+                .value(logits)
+                .data()
+                .iter()
+                .zip(&yb)
+                .filter(|(&logit, &y)| (logit > 0.0) == (y > 0.5))
+                .count();
+            seen += b;
             g.backward(total);
             g.write_grads(&mut model.store);
-            if cfg.grad_clip > 0.0 {
-                model.store.clip_grad_norm(cfg.grad_clip);
-            }
+            stats.grad_norm += if cfg.grad_clip > 0.0 {
+                model.store.clip_grad_norm(cfg.grad_clip)
+            } else {
+                model.store.grad_norm()
+            };
             opt.step(&mut model.store);
 
             stats.loss_anomaly += g.value(l_anom).item();
@@ -287,6 +309,9 @@ pub fn train(
         stats.loss_mi /= b;
         stats.loss_da /= b;
         stats.total /= b;
+        stats.grad_norm /= b;
+        stats.accuracy = correct as f32 / seen.max(1) as f32;
+        stats.epoch_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
 
         if options.da == DaMode::Daan && batches > 0 {
             // DAAN dynamic factor: ω = d_g / (d_g + d_c), with the proxy
@@ -303,9 +328,36 @@ pub fn train(
             };
         }
         stats.omega = omega;
+        publish_epoch(epoch, &stats);
         history.push(stats);
     }
     history
+}
+
+/// Pushes one epoch's statistics into the global telemetry registry as
+/// `train.*` series keyed by epoch index — the per-epoch training dynamics
+/// surfaced by `--metrics-out` / the `/metrics` endpoint.
+fn publish_epoch(epoch: usize, stats: &EpochStats) {
+    if !logsynergy_telemetry::enabled() {
+        return;
+    }
+    let train = logsynergy_telemetry::global().scoped("train");
+    let e = epoch as u64;
+    train.series("loss_total").push(e, stats.total as f64);
+    train
+        .series("loss_anomaly")
+        .push(e, stats.loss_anomaly as f64);
+    train
+        .series("loss_system")
+        .push(e, stats.loss_system as f64);
+    train.series("loss_mi").push(e, stats.loss_mi as f64);
+    train.series("loss_da").push(e, stats.loss_da as f64);
+    train.series("accuracy").push(e, stats.accuracy as f64);
+    train.series("grad_norm").push(e, stats.grad_norm as f64);
+    train.series("omega").push(e, stats.omega as f64);
+    train.series("grl_lambda").push(e, stats.grl_lambda as f64);
+    train.series("epoch_ms").push(e, stats.epoch_ms);
+    train.counter("epochs").inc();
 }
 
 #[cfg(test)]

@@ -158,6 +158,7 @@ pub fn mm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    super::stats::record_matmul(m, k, n);
     let out = SharedMut::new(c);
     parallel_for(m, row_grain(k, n), |r0, r1| {
         // SAFETY: row blocks are disjoint across chunks.
@@ -360,6 +361,7 @@ pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    super::stats::record_matmul(m, k, n);
     let out = SharedMut::new(c);
     parallel_for(m, row_grain(k, n), |r0, r1| {
         // SAFETY: row blocks are disjoint across chunks.
@@ -504,6 +506,7 @@ pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
+    super::stats::record_matmul(m, k, n);
     let out = SharedMut::new(c);
     parallel_for(k, row_grain(m, n), |p0, p1| {
         // SAFETY: output-row blocks are disjoint across chunks.

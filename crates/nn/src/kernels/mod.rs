@@ -26,6 +26,7 @@
 pub mod arena;
 pub mod matmul;
 mod pool;
+mod stats;
 
 pub use matmul::{
     mm, mm_nt, mm_nt_ref, mm_ref, mm_ref_skip_zero, mm_tn, mm_tn_ref, simd_tier_name,

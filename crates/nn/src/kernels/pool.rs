@@ -34,14 +34,18 @@ impl Job {
     /// Claims and runs chunks until the counter is exhausted; catches
     /// panics so a crashing body cannot kill a pool worker.
     fn work(&self) -> std::thread::Result<()> {
-        catch_unwind(AssertUnwindSafe(|| loop {
+        let mut claimed = 0u64;
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
             let c = self.next.fetch_add(1, Ordering::Relaxed);
             if c >= self.chunks {
                 break;
             }
+            claimed += 1;
             // SAFETY: see the `Send`/`Sync` justification above.
             unsafe { (*self.body)(c) };
-        }))
+        }));
+        super::stats::record_pool_chunks(claimed, IN_WORKER.with(|w| w.get()));
+        result
     }
 }
 
@@ -80,6 +84,7 @@ fn pool() -> &'static Pool {
                 })
                 .expect("failed to spawn logsynergy-nn worker");
         }
+        super::stats::record_pool_size(workers);
         Pool { inject, workers }
     })
 }
@@ -114,6 +119,7 @@ pub(super) fn run(chunks: usize, threads: usize, body: &(dyn Fn(usize) + Sync)) 
         chunks,
         body,
     });
+    super::stats::record_pool_job();
     let (ack_tx, ack_rx) = channel::unbounded();
     for _ in 0..helpers {
         if p.inject.send((job.clone(), ack_tx.clone())).is_err() {

@@ -2,6 +2,7 @@
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,6 +24,9 @@ pub struct LogBuffer {
     senders: Vec<Sender<RawLog>>,
     receivers: Vec<Receiver<RawLog>>,
     stats: Arc<Mutex<BufferStats>>,
+    /// Per-partition occupancy, maintained on both sides of the channel
+    /// (the vendored channel has no `len()`); feeds queue-depth telemetry.
+    depths: Arc<Vec<AtomicI64>>,
 }
 
 impl LogBuffer {
@@ -40,6 +44,7 @@ impl LogBuffer {
             senders,
             receivers,
             stats: Arc::new(Mutex::new(BufferStats::default())),
+            depths: Arc::new((0..partitions).map(|_| AtomicI64::new(0)).collect()),
         }
     }
 
@@ -62,6 +67,7 @@ impl LogBuffer {
         Producer {
             senders: self.senders.clone(),
             stats: self.stats.clone(),
+            depths: self.depths.clone(),
             router: None,
         }
     }
@@ -71,6 +77,8 @@ impl LogBuffer {
         Consumer {
             receivers: self.receivers.clone(),
             stats: self.stats.clone(),
+            depths: self.depths.clone(),
+            parts: (0..self.receivers.len()).collect(),
             next: 0,
         }
     }
@@ -82,6 +90,8 @@ impl LogBuffer {
         Consumer {
             receivers: vec![self.receivers[partition].clone()],
             stats: self.stats.clone(),
+            depths: self.depths.clone(),
+            parts: vec![partition],
             next: 0,
         }
     }
@@ -101,6 +111,7 @@ impl LogBuffer {
 pub struct Producer {
     senders: Vec<Sender<RawLog>>,
     stats: Arc<Mutex<BufferStats>>,
+    depths: Arc<Vec<AtomicI64>>,
     router: Option<usize>,
 }
 
@@ -122,6 +133,7 @@ impl Producer {
         self.senders[p]
             .send(log)
             .expect("buffer closed while producing");
+        self.depths[p].fetch_add(1, Ordering::Relaxed);
         self.stats.lock().enqueued += 1;
     }
 }
@@ -130,6 +142,9 @@ impl Producer {
 pub struct Consumer {
     receivers: Vec<Receiver<RawLog>>,
     stats: Arc<Mutex<BufferStats>>,
+    depths: Arc<Vec<AtomicI64>>,
+    /// Buffer partition index behind each entry of `receivers`.
+    parts: Vec<usize>,
     next: usize,
 }
 
@@ -142,6 +157,7 @@ impl Consumer {
         for i in 0..n {
             let idx = (self.next + i) % n;
             if let Ok(log) = self.receivers[idx].try_recv() {
+                self.depths[self.parts[idx]].fetch_sub(1, Ordering::Relaxed);
                 self.next = (idx + 1) % n;
                 self.stats.lock().dequeued += 1;
                 return Some(log);
@@ -151,6 +167,7 @@ impl Consumer {
         let idx = self.next % n;
         match self.receivers[idx].recv_timeout(timeout) {
             Ok(log) => {
+                self.depths[self.parts[idx]].fetch_sub(1, Ordering::Relaxed);
                 self.next = (idx + 1) % n;
                 self.stats.lock().dequeued += 1;
                 Some(log)
@@ -181,6 +198,7 @@ impl Consumer {
                 let idx = (self.next + i) % n;
                 match self.receivers[idx].try_recv() {
                     Ok(log) => {
+                        self.depths[self.parts[idx]].fetch_sub(1, Ordering::Relaxed);
                         self.next = (idx + 1) % n;
                         out.push(log);
                         drained = false;
@@ -207,6 +225,7 @@ impl Consumer {
             let idx = self.next % n;
             match self.receivers[idx].recv_timeout(end - now) {
                 Ok(log) => {
+                    self.depths[self.parts[idx]].fetch_sub(1, Ordering::Relaxed);
                     self.next = (idx + 1) % n;
                     out.push(log);
                 }
@@ -223,6 +242,17 @@ impl Consumer {
         }
         self.stats.lock().dequeued += out.len() as u64;
         Some(out)
+    }
+
+    /// Logs currently queued in this consumer's partitions. Producer and
+    /// consumer update the underlying counters independently with relaxed
+    /// atomics, so a reading can be momentarily stale (a transient negative
+    /// is clamped to 0) — fine for a telemetry gauge, not a sync primitive.
+    pub fn depth(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|&p| self.depths[p].load(Ordering::Relaxed).max(0) as u64)
+            .sum()
     }
 }
 

@@ -124,7 +124,7 @@ pub struct OnlineDetector<S: SequenceScorer> {
     /// Windows scored by the model (slow path).
     pub model_calls: u64,
     /// Windows answered from the pattern library (fast path).
-    pub fast_hits: u64,
+    pub pattern_hits: u64,
     /// Windows answered from the exact-window score cache.
     pub cache_hits: u64,
 }
@@ -143,7 +143,7 @@ impl<S: SequenceScorer> OnlineDetector<S> {
             window: VecDeque::new(),
             since_last_window: 0,
             model_calls: 0,
-            fast_hits: 0,
+            pattern_hits: 0,
             cache_hits: 0,
         }
     }
@@ -196,7 +196,7 @@ impl<S: SequenceScorer> OnlineDetector<S> {
 
             let events: Vec<u32> = self.window.iter().map(|(e, _)| *e).collect();
             if let Some(v) = self.library.lookup(&events) {
-                self.fast_hits += 1;
+                self.pattern_hits += 1;
                 let report = v.anomalous.then(|| {
                     let ctx = self.snapshot(events);
                     self.build_report(ctx, v)
@@ -206,7 +206,7 @@ impl<S: SequenceScorer> OnlineDetector<S> {
             }
             let key = pattern_key(&events);
             if let Some(&i) = pending_by_key.get(&key) {
-                self.fast_hits += 1;
+                self.pattern_hits += 1;
                 let ctx = self.snapshot(events);
                 slots.push(Slot::Alias(i, ctx));
                 continue;
@@ -475,7 +475,7 @@ mod tests {
             det.ingest(slog(i, "steady state heartbeat ping"));
         }
         assert!(
-            det.fast_hits > 0,
+            det.pattern_hits > 0,
             "identical windows must hit the fast path"
         );
         assert!(
@@ -518,7 +518,10 @@ mod tests {
                 det.ingest_batch(chunk.to_vec(), &mut reports);
             }
             assert_eq!(reports, seq_reports, "chunk size {chunk_size}");
-            assert_eq!(det.fast_hits, seq_det.fast_hits, "chunk size {chunk_size}");
+            assert_eq!(
+                det.pattern_hits, seq_det.pattern_hits,
+                "chunk size {chunk_size}"
+            );
             assert_eq!(
                 det.model_calls + det.cache_hits,
                 seq_det.model_calls + seq_det.cache_hits,

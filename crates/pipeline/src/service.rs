@@ -9,9 +9,19 @@
 //! ([`crate::buffer::Consumer::recv_batch`]) bounded by a window cap and a
 //! latency deadline, answers pattern-library and score-cache hits inline,
 //! and ships the remaining windows through one batched model call.
+//!
+//! Workers publish live telemetry into the global `logsynergy-telemetry`
+//! registry: per-tier verdict counters (`pipeline.tier.*`), batch-size and
+//! queue-depth histograms, an active-worker gauge, and per-stage span
+//! timings (`span.pipeline.batch.{recv,detect,deliver}`). Metric handles
+//! are resolved once per worker before the hot loop, so the steady-state
+//! cost is a few relaxed atomic adds per *batch*, not per log. See
+//! `docs/telemetry.md` for the catalog.
 
 use std::thread;
 use std::time::{Duration, Instant};
+
+use logsynergy_telemetry as telemetry;
 
 use crate::buffer::LogBuffer;
 use crate::detect::{OnlineDetector, SequenceScorer};
@@ -68,7 +78,7 @@ pub struct PipelineSummary {
     /// Windows evaluated (fast + cache + slow path).
     pub windows: u64,
     /// Windows answered by the pattern library.
-    pub fast_hits: u64,
+    pub pattern_hits: u64,
     /// Windows answered by the exact-window score cache.
     pub cache_hits: u64,
     /// Windows scored by the model.
@@ -85,7 +95,7 @@ pub struct PipelineSummary {
 
 struct WorkerStats {
     logs: u64,
-    fast_hits: u64,
+    pattern_hits: u64,
     cache_hits: u64,
     model_calls: u64,
     reports: u64,
@@ -147,24 +157,69 @@ where
                 let mut seq_no = 0u64;
                 let mut reports_delivered = 0u64;
                 let mut reports = Vec::new();
-                while let Some(batch) = consumer.recv_batch(max_logs, cfg.batch_deadline) {
+                // Telemetry handles, resolved once before the hot loop.
+                let tele = telemetry::global().scoped("pipeline");
+                let c_logs = tele.counter("logs");
+                let c_windows = tele.counter("windows");
+                let c_reports = tele.counter("reports");
+                let c_pattern = tele.counter("tier.pattern");
+                let c_cache = tele.counter("tier.cache");
+                let c_model = tele.counter("tier.model");
+                let h_batch_logs = tele.histogram("batch.logs");
+                let h_batch_windows = tele.histogram("batch.windows");
+                let h_queue_depth = tele.histogram("queue.depth");
+                let g_active = tele.gauge("workers.active");
+                g_active.add(1);
+                loop {
+                    let _batch_span = telemetry::span("pipeline.batch");
+                    let batch = {
+                        let _recv = telemetry::span("recv");
+                        consumer.recv_batch(max_logs, cfg.batch_deadline)
+                    };
+                    let Some(batch) = batch else { break };
                     if batch.is_empty() {
                         continue;
                     }
+                    h_queue_depth.record(consumer.depth());
+                    h_batch_logs.record(batch.len() as u64);
+                    c_logs.add(batch.len() as u64);
+                    let (p0, k0, m0) = (
+                        detector.pattern_hits,
+                        detector.cache_hits,
+                        detector.model_calls,
+                    );
                     let structured = batch.into_iter().map(|raw| {
                         let s = format_log(raw, seq_no);
                         seq_no += 1;
                         s
                     });
-                    detector.ingest_batch(structured, &mut reports);
-                    for report in reports.drain(..) {
-                        sink.deliver(&report);
-                        reports_delivered += 1;
+                    {
+                        let _detect = telemetry::span("detect");
+                        detector.ingest_batch(structured, &mut reports);
+                    }
+                    let (dp, dk, dm) = (
+                        detector.pattern_hits - p0,
+                        detector.cache_hits - k0,
+                        detector.model_calls - m0,
+                    );
+                    c_pattern.add(dp);
+                    c_cache.add(dk);
+                    c_model.add(dm);
+                    c_windows.add(dp + dk + dm);
+                    h_batch_windows.record(dp + dk + dm);
+                    {
+                        let _deliver = telemetry::span("deliver");
+                        for report in reports.drain(..) {
+                            sink.deliver(&report);
+                            reports_delivered += 1;
+                        }
                     }
                 }
+                c_reports.add(reports_delivered);
+                g_active.add(-1);
                 WorkerStats {
                     logs: seq_no,
-                    fast_hits: detector.fast_hits,
+                    pattern_hits: detector.pattern_hits,
                     cache_hits: detector.cache_hits,
                     model_calls: detector.model_calls,
                     reports: reports_delivered,
@@ -176,7 +231,7 @@ where
 
     shipper.join().expect("shipper thread panicked");
     let mut logs = 0u64;
-    let mut fast_hits = 0u64;
+    let mut pattern_hits = 0u64;
     let mut cache_hits = 0u64;
     let mut model_calls = 0u64;
     let mut reports = 0u64;
@@ -184,7 +239,7 @@ where
     for worker in workers {
         let s = worker.join().expect("detection worker panicked");
         logs += s.logs;
-        fast_hits += s.fast_hits;
+        pattern_hits += s.pattern_hits;
         cache_hits += s.cache_hits;
         model_calls += s.model_calls;
         reports += s.reports;
@@ -193,8 +248,8 @@ where
     let elapsed = start.elapsed();
     PipelineSummary {
         logs: logs.min(n),
-        windows: fast_hits + cache_hits + model_calls,
-        fast_hits,
+        windows: pattern_hits + cache_hits + model_calls,
+        pattern_hits,
         cache_hits,
         model_calls,
         reports,
@@ -265,7 +320,7 @@ mod tests {
         assert_eq!(summary.logs, 120);
         assert!(summary.reports > 0, "burst must be reported");
         assert!(
-            summary.fast_hits > 0,
+            summary.pattern_hits > 0,
             "repeating normal windows hit the library"
         );
         assert!(summary.windows >= 20);
@@ -303,7 +358,7 @@ mod tests {
             let s = run_pipeline_with(source.clone(), make_v(), EvenScorer, sink.clone(), config);
             assert_eq!(s.logs, baseline.logs);
             assert_eq!(s.windows, baseline.windows);
-            assert_eq!(s.fast_hits, baseline.fast_hits);
+            assert_eq!(s.pattern_hits, baseline.pattern_hits);
             assert_eq!(s.model_calls + s.cache_hits, baseline.model_calls);
             assert_eq!(s.reports, baseline.reports);
             assert_eq!(

@@ -127,7 +127,7 @@ fn batched_sharded_cached_runs_match_unbatched_bitwise() {
         );
         assert_eq!(s.logs, baseline.logs, "{label}");
         assert_eq!(s.windows, baseline.windows, "{label}");
-        assert_eq!(s.fast_hits, baseline.fast_hits, "{label}");
+        assert_eq!(s.pattern_hits, baseline.pattern_hits, "{label}");
         assert_eq!(
             s.model_calls + s.cache_hits,
             baseline.model_calls,

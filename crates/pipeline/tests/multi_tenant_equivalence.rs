@@ -1,0 +1,120 @@
+//! Multi-tenant batching/caching invariance.
+//!
+//! Windows are assembled per *worker* stream, so changing the partition
+//! count changes which logs share a window — cross-partition-count runs
+//! are NOT comparable on a multi-tenant source (that was the bug in the
+//! scratch test this file replaces). What the determinism contract does
+//! guarantee: at a fixed partitioning, micro-batching and the score cache
+//! change cost only — every tenant's reports must be byte-identical to
+//! the one-window-at-a-time, cache-less run.
+
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, PipelineConfig, RawLog, SequenceScorer,
+};
+
+#[derive(Clone)]
+struct EvenScorer;
+impl SequenceScorer for EvenScorer {
+    fn score(&self, events: &[u32], _t: &[Vec<f32>]) -> f32 {
+        if events.iter().any(|e| e % 2 == 1) {
+            0.9
+        } else {
+            0.1
+        }
+    }
+}
+
+fn tenant_source() -> Vec<RawLog> {
+    let tenants = ["tenant-a", "tenant-b", "tenant-c"];
+    (0..240u64)
+        .map(|i| {
+            let msg = if (90..102).contains(&i) {
+                "drive volume dead offline spindle".to_string()
+            } else {
+                "session open remote peer lan".to_string()
+            };
+            RawLog {
+                system: tenants[(i % 3) as usize].into(),
+                timestamp: i,
+                message: msg,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn multi_tenant_batching_is_invisible_at_fixed_partitioning() {
+    let source = tenant_source();
+    let make_v = || EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+
+    // One window at a time, no cache — the semantic reference — at the
+    // same partition count as every candidate below.
+    let reference = PipelineConfig {
+        partitions: 4,
+        batch_windows: 1,
+        score_cache: 0,
+        ..PipelineConfig::default()
+    };
+    let base_sink = MemorySink::new();
+    let base = run_pipeline_with(
+        source.clone(),
+        make_v(),
+        EvenScorer,
+        base_sink.clone(),
+        reference,
+    );
+    assert!(base.reports > 0, "burst must be reported");
+
+    for (label, config) in [
+        ("batched+cached", PipelineConfig::default()),
+        (
+            "small batches",
+            PipelineConfig {
+                batch_windows: 4,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "cache off",
+            PipelineConfig {
+                score_cache: 0,
+                ..PipelineConfig::default()
+            },
+        ),
+    ] {
+        let sink = MemorySink::new();
+        let s = run_pipeline_with(source.clone(), make_v(), EvenScorer, sink.clone(), config);
+        assert_eq!(s.logs, base.logs, "{label}");
+        assert_eq!(s.windows, base.windows, "{label}");
+        assert_eq!(s.reports, base.reports, "{label}");
+        // Caching moves verdicts between tiers but never changes them.
+        assert_eq!(
+            s.pattern_hits, base.pattern_hits,
+            "{label}: pattern tier must be identical"
+        );
+        assert_eq!(
+            s.cache_hits + s.model_calls,
+            base.model_calls,
+            "{label}: cache hits must be repeat model verdicts"
+        );
+        for t in ["tenant-a", "tenant-b", "tenant-c"] {
+            let ra: Vec<_> = base_sink
+                .reports()
+                .into_iter()
+                .filter(|r| r.system == t)
+                .collect();
+            let rb: Vec<_> = sink
+                .reports()
+                .into_iter()
+                .filter(|r| r.system == t)
+                .collect();
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "{label}: tenant {t} reports differ"
+            );
+        }
+    }
+}

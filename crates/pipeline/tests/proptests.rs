@@ -56,7 +56,7 @@ proptest! {
             });
         }
         let expected = (n - 10) / 5 + 1;
-        prop_assert_eq!(det.fast_hits + det.model_calls, expected as u64);
+        prop_assert_eq!(det.pattern_hits + det.model_calls, expected as u64);
     }
 
     /// Formatting normalizes whitespace and preserves content tokens.

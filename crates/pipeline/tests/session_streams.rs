@@ -25,8 +25,8 @@ fn fast_hit_rate(ds: &LogDataset) -> f64 {
             seq_no: i as u64,
         });
     }
-    let windows = det.fast_hits + det.model_calls;
-    det.fast_hits as f64 / windows.max(1) as f64
+    let windows = det.pattern_hits + det.model_calls;
+    det.pattern_hits as f64 / windows.max(1) as f64
 }
 
 #[test]

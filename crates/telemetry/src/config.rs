@@ -1,0 +1,46 @@
+//! Runtime configuration and the enabled-check every record path funnels
+//! through.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Telemetry runtime knobs.
+///
+/// The struct is deliberately tiny: everything that costs something on the
+/// hot path hangs off the single `enabled` switch. Exporter choices
+/// (snapshot path, listen address) are caller concerns — see the CLI's
+/// `--metrics-out` / `--metrics-listen` flags.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Master runtime switch. `false` turns every record/add/observe call
+    /// into a single relaxed load; registries stay readable and exporters
+    /// keep working (they just stop moving).
+    pub enabled: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { enabled: true }
+    }
+}
+
+static RUNTIME_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Applies a configuration process-wide.
+pub fn configure(cfg: &TelemetryConfig) {
+    set_enabled(cfg.enabled);
+}
+
+/// Flips the runtime kill-switch.
+pub fn set_enabled(on: bool) {
+    RUNTIME_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when telemetry should record.
+///
+/// Compile-time gate first (`enabled` cargo feature; `const false` without
+/// it, letting the optimizer delete the entire call site), then the
+/// runtime switch (one relaxed load).
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled") && RUNTIME_ENABLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,254 @@
+//! Exposition formats: Prometheus text and a JSON snapshot document.
+//!
+//! Both exporters consume a plain-data [`Snapshot`], so they can render a
+//! live registry (`prometheus_text(global())`) or a frozen one. Names are
+//! sanitized for Prometheus (`pipeline.tier.model` →
+//! `logsynergy_pipeline_tier_model`); the JSON document keeps the dotted
+//! names verbatim.
+
+use crate::registry::{Registry, Snapshot};
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a registry in the Prometheus text exposition format.
+///
+/// Counters export as `<name>_total` counters, gauges as gauges,
+/// histograms as summaries (`quantile` labels plus `_sum`/`_count`),
+/// series as a `_last` gauge holding the most recent point, and tags as
+/// one `logsynergy_info` metric with a label per tag.
+pub fn prometheus_text(registry: &Registry) -> String {
+    prometheus_text_of(&registry.snapshot())
+}
+
+/// [`prometheus_text`] over an already-taken snapshot.
+pub fn prometheus_text_of(snap: &Snapshot) -> String {
+    let prefix = sanitize(&snap.component);
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = format!("{prefix}_{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = format!("{prefix}_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = format!("{prefix}_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    for (name, points) in &snap.series {
+        if let Some(&(x, y)) = points.last() {
+            let n = format!("{prefix}_{}_last", sanitize(name));
+            out.push_str(&format!(
+                "# TYPE {n} gauge\n{n}{{index=\"{x}\"}} {}\n",
+                fmt_f64(y)
+            ));
+        }
+    }
+    if !snap.tags.is_empty() {
+        let n = format!("{prefix}_info");
+        let labels: Vec<String> = snap
+            .tags
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape(v)))
+            .collect();
+        out.push_str(&format!(
+            "# TYPE {n} gauge\n{n}{{{}}} 1\n",
+            labels.join(",")
+        ));
+    }
+    out
+}
+
+/// Renders a registry as a single JSON document:
+///
+/// ```json
+/// {"component": "...", "counters": {...}, "gauges": {...},
+///  "histograms": {"name": {"count": n, "sum": s, "min": m, "max": M,
+///                          "p50": a, "p95": b, "p99": c}},
+///  "series": {"name": [[x, y], ...]}, "tags": {...}}
+/// ```
+pub fn json_snapshot(registry: &Registry) -> String {
+    json_snapshot_of(&registry.snapshot())
+}
+
+/// [`json_snapshot`] over an already-taken snapshot.
+pub fn json_snapshot_of(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"component\":\"{}\"", escape(&snap.component)));
+
+    out.push_str(",\"counters\":{");
+    push_entries(&mut out, snap.counters.iter(), |out, v| {
+        out.push_str(&v.to_string())
+    });
+    out.push('}');
+
+    out.push_str(",\"gauges\":{");
+    push_entries(&mut out, snap.gauges.iter(), |out, v| {
+        out.push_str(&v.to_string())
+    });
+    out.push('}');
+
+    out.push_str(",\"histograms\":{");
+    push_entries(&mut out, snap.histograms.iter(), |out, h| {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
+        ));
+    });
+    out.push('}');
+
+    out.push_str(",\"series\":{");
+    push_entries(&mut out, snap.series.iter(), |out, points| {
+        out.push('[');
+        for (i, (x, y)) in points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{x},{}]", fmt_f64(*y)));
+        }
+        out.push(']');
+    });
+    out.push('}');
+
+    out.push_str(",\"tags\":{");
+    push_entries(&mut out, snap.tags.iter(), |out, v| {
+        out.push('"');
+        out.push_str(&escape(v));
+        out.push('"');
+    });
+    out.push_str("}}");
+    out
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    mut write_value: impl FnMut(&mut String, V),
+) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        write_value(out, v);
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON-safe float: non-finite values become `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new("logsynergy");
+        r.counter("pipeline.tier.model").add(10);
+        r.gauge("pipeline.queue.depth").set(3);
+        let h = r.histogram("pipeline.batch.windows");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        r.series("train.loss_total").push(0, 1.25);
+        r.series("train.loss_total").push(1, 0.75);
+        r.set_tag("nn.simd_tier", "avx2+fma");
+        r
+    }
+
+    #[test]
+    fn prometheus_format_has_types_and_values() {
+        let text = prometheus_text(&sample_registry());
+        assert!(text.contains("# TYPE logsynergy_pipeline_tier_model_total counter"));
+        assert!(text.contains("logsynergy_pipeline_tier_model_total 10"));
+        assert!(text.contains("logsynergy_pipeline_queue_depth 3"));
+        assert!(text.contains("logsynergy_pipeline_batch_windows{quantile=\"0.5\"}"));
+        assert!(text.contains("logsynergy_pipeline_batch_windows_count 100"));
+        assert!(text.contains("logsynergy_train_loss_total_last{index=\"1\"} 0.75"));
+        assert!(text.contains("logsynergy_info{nn_simd_tier=\"avx2+fma\"} 1"));
+        // Every exposition line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split_whitespace().count() == 2,
+                "bad line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_complete() {
+        let doc = json_snapshot(&sample_registry());
+        assert!(doc.contains("\"pipeline.tier.model\":10"));
+        assert!(doc.contains("\"count\":100"));
+        assert!(doc.contains("[[0,1.25],[1,0.75]]"));
+        assert!(doc.contains("\"nn.simd_tier\":\"avx2+fma\""));
+        // Balanced braces/brackets outside strings — a cheap structural
+        // check; scripts/ci.sh parses the real snapshot with python.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in doc.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+            }
+            prev = c;
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn sanitize_handles_leading_digits_and_symbols() {
+        assert_eq!(sanitize("9lives.a-b"), "_9lives_a_b");
+    }
+}

@@ -1,0 +1,297 @@
+//! Named metric storage: a process-global registry plus per-component
+//! scopes.
+//!
+//! Metric names are dotted paths (`pipeline.tier.model`,
+//! `span.pipeline.batch.detect.ns`). Handles are `Arc`s resolved once at
+//! setup (one short `RwLock` write the first time, a read afterwards);
+//! the hot path then touches only the metric's own atomics. A
+//! [`Snapshot`] is plain data — `BTreeMap`s of totals — consumed by the
+//! exporters in [`crate::export`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// An append-only `(x, y)` series for per-epoch training dynamics (loss,
+/// accuracy, gradient norm, schedule values). Pushes take a mutex —
+/// series are recorded once per epoch, never on a serving hot path.
+#[derive(Default)]
+pub struct Series {
+    points: Mutex<Vec<(u64, f64)>>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&self, x: u64, y: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.points.lock().expect("series poisoned").push((x, y));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.points.lock().expect("series poisoned").clone()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.lock().expect("series poisoned").len()
+    }
+
+    /// True when no point was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plain-data view of a registry at one instant.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Registry name (the `component` in exports).
+    pub component: String,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Series points by name.
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
+    /// Static string tags (build/runtime facts like the SIMD tier).
+    pub tags: BTreeMap<String, String>,
+}
+
+impl Snapshot {
+    /// Counter total by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The delta of a counter between two snapshots (saturating).
+    pub fn counter_delta(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    series: BTreeMap<String, Arc<Series>>,
+    tags: BTreeMap<String, String>,
+}
+
+/// A named collection of metrics.
+pub struct Registry {
+    name: String,
+    metrics: RwLock<Metrics>,
+}
+
+macro_rules! get_or_create {
+    ($self:ident, $field:ident, $name:ident, $ty:ty) => {{
+        if let Some(m) = $self
+            .metrics
+            .read()
+            .expect("registry poisoned")
+            .$field
+            .get($name)
+        {
+            return m.clone();
+        }
+        let mut w = $self.metrics.write().expect("registry poisoned");
+        w.$field
+            .entry($name.to_string())
+            .or_insert_with(|| Arc::new(<$ty>::new()))
+            .clone()
+    }};
+}
+
+impl Registry {
+    /// An empty registry named `name`.
+    pub fn new(name: &str) -> Self {
+        Registry {
+            name: name.to_string(),
+            metrics: RwLock::new(Metrics::default()),
+        }
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Get-or-create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self, counters, name, Counter)
+    }
+
+    /// Get-or-create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self, gauges, name, Gauge)
+    }
+
+    /// Get-or-create a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create!(self, histograms, name, Histogram)
+    }
+
+    /// Get-or-create a series.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        get_or_create!(self, series, name, Series)
+    }
+
+    /// Sets a static string tag.
+    pub fn set_tag(&self, key: &str, value: &str) {
+        if !crate::enabled() {
+            return;
+        }
+        self.metrics
+            .write()
+            .expect("registry poisoned")
+            .tags
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// A per-component view: the same storage, every metric name prefixed
+    /// with `prefix.`.
+    pub fn scoped(&self, prefix: &str) -> Scope<'_> {
+        Scope {
+            registry: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Plain-data snapshot of everything registered so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.read().expect("registry poisoned");
+        Snapshot {
+            component: self.name.clone(),
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: m.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            series: m
+                .series
+                .iter()
+                .map(|(k, v)| (k.clone(), v.points()))
+                .collect(),
+            tags: m.tags.clone(),
+        }
+    }
+
+    /// Drops every registered metric (tests and benchmark harnesses; the
+    /// `Arc` handles other holders retain keep working but are orphaned).
+    pub fn reset(&self) {
+        *self.metrics.write().expect("registry poisoned") = Metrics::default();
+    }
+}
+
+/// A prefix view over a [`Registry`] for one component.
+pub struct Scope<'a> {
+    registry: &'a Registry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    fn full(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// Get-or-create `prefix.name` as a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&self.full(name))
+    }
+
+    /// Get-or-create `prefix.name` as a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&self.full(name))
+    }
+
+    /// Get-or-create `prefix.name` as a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(&self.full(name))
+    }
+
+    /// Get-or-create `prefix.name` as a series.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        self.registry.series(&self.full(name))
+    }
+
+    /// Sets `prefix.key` as a tag.
+    pub fn set_tag(&self, key: &str, value: &str) {
+        self.registry.set_tag(&self.full(key), value);
+    }
+}
+
+/// The process-global registry every component records into by default.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new("logsynergy"))
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new("t");
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("x").get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn scope_prefixes_names() {
+        let r = Registry::new("t");
+        let s = r.scoped("pipeline");
+        s.counter("tier.model").inc();
+        assert_eq!(r.snapshot().counter("pipeline.tier.model"), 1);
+    }
+
+    #[test]
+    fn snapshot_captures_every_kind() {
+        let r = Registry::new("t");
+        r.counter("c").add(7);
+        r.gauge("g").set(-2);
+        r.histogram("h").record(100);
+        r.series("s").push(0, 1.5);
+        r.set_tag("tier", "avx2");
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.gauges["g"], -2);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.series["s"], vec![(0, 1.5)]);
+        assert_eq!(snap.tags["tier"], "avx2");
+    }
+
+    #[test]
+    fn counter_delta_between_snapshots() {
+        let r = Registry::new("t");
+        r.counter("c").add(5);
+        let before = r.snapshot();
+        r.counter("c").add(37);
+        let after = r.snapshot();
+        assert_eq!(after.counter_delta(&before, "c"), 37);
+        assert_eq!(after.counter_delta(&before, "missing"), 0);
+    }
+}

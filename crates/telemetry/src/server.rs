@@ -1,0 +1,141 @@
+//! A std-only `/metrics` HTTP endpoint.
+//!
+//! One accept thread serves the global registry over `TcpListener`:
+//! `GET /metrics` answers Prometheus text, `GET /metrics.json` the JSON
+//! snapshot. Connections are HTTP/1.0-style one-shot (read the request
+//! head, write the full response, close), which every Prometheus scraper
+//! and `curl` handles — no keep-alive state machine, no dependencies.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::export::{json_snapshot_of, prometheus_text_of};
+use crate::registry::global;
+
+/// A running metrics endpoint; shuts down when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with a `:0` request port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9187`, port 0 for ephemeral) and serves
+/// the global registry until the returned handle is dropped.
+pub fn serve(addr: &str) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("logsynergy-metrics".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A misbehaving client must not wedge the endpoint.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = answer(stream);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn answer(mut stream: TcpStream) -> io::Result<()> {
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let snap = global().snapshot();
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            prometheus_text_of(&snap),
+        ),
+        "/metrics.json" | "/snapshot" => ("200 OK", "application/json", json_snapshot_of(&snap)),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        global().counter("server.test.requests").add(3);
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+
+        let prom = get(addr, "/metrics");
+        assert!(prom.starts_with("HTTP/1.0 200 OK"));
+        assert!(prom.contains("logsynergy_server_test_requests_total 3"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"server.test.requests\":3"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+
+        server.shutdown();
+    }
+}

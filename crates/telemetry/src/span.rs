@@ -1,0 +1,111 @@
+//! Lightweight scoped spans with parent/child timing.
+//!
+//! A [`span`] is an RAII guard: entering pushes a frame on a thread-local
+//! stack, dropping records the elapsed nanoseconds into two histograms in
+//! the global registry, keyed by the dotted path of enclosing span names:
+//!
+//! - `span.<path>.ns` — total wall time of the span;
+//! - `span.<path>.self_ns` — total minus the time spent in child spans,
+//!   so a parent's own overhead is separable from the stages it wraps.
+//!
+//! Guards must drop in LIFO order (the natural order for scope-bound
+//! guards). The enabled check happens at entry: a disabled span is inert —
+//! no clock read, no stack push, nothing on drop.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+struct Frame {
+    name: &'static str,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active span; records timing into the global registry on drop.
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` on the calling thread. Nested spans build a
+/// dotted path: `span("pipeline.batch")` containing `span("detect")`
+/// records under `span.pipeline.batch.detect.ns`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(Frame { name, child_ns: 0 }));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let (path, child_ns) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let frame = stack.pop().expect("span stack underflow (non-LIFO drop?)");
+            let mut path = String::new();
+            for f in stack.iter() {
+                path.push_str(f.name);
+                path.push('.');
+            }
+            path.push_str(frame.name);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            (path, frame.child_ns)
+        });
+        let reg = crate::global();
+        reg.histogram(&format!("span.{path}.ns")).record(dur_ns);
+        reg.histogram(&format!("span.{path}.self_ns"))
+            .record(dur_ns.saturating_sub(child_ns));
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_paths_and_self_time() {
+        {
+            let _outer = span("test_span_outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = crate::global().snapshot();
+        let outer = &snap.histograms["span.test_span_outer.ns"];
+        let inner = &snap.histograms["span.test_span_outer.inner.ns"];
+        let outer_self = &snap.histograms["span.test_span_outer.self_ns"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.max >= inner.max, "parent covers child");
+        // Self time excludes the inner sleep: strictly less than the total.
+        assert!(outer_self.max < outer.max);
+    }
+
+    #[test]
+    fn sibling_spans_attribute_to_the_same_parent() {
+        {
+            let _p = span("test_span_siblings");
+            for _ in 0..3 {
+                let _c = span("stage");
+                std::hint::black_box(0u64);
+            }
+        }
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.histograms["span.test_span_siblings.stage.ns"].count, 3);
+        assert_eq!(snap.histograms["span.test_span_siblings.ns"].count, 1);
+    }
+}

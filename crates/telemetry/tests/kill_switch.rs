@@ -1,0 +1,37 @@
+//! The runtime kill-switch, exercised in its own process: integration
+//! tests are separate binaries, so flipping the global switch here cannot
+//! race the crate's unit tests.
+
+#![cfg(feature = "enabled")]
+
+use logsynergy_telemetry as tel;
+
+#[test]
+fn disabled_telemetry_records_nothing_and_reenables_cleanly() {
+    let reg = tel::global();
+    let counter = reg.counter("kill_switch.counter");
+    let hist = reg.histogram("kill_switch.hist");
+    let series = reg.series("kill_switch.series");
+
+    tel::configure(&tel::TelemetryConfig { enabled: false });
+    counter.add(100);
+    hist.record(42);
+    series.push(0, 1.0);
+    {
+        let _s = tel::span("kill_switch_span");
+    }
+    assert_eq!(counter.get(), 0, "disabled counter must not move");
+    assert_eq!(hist.count(), 0, "disabled histogram must not record");
+    assert!(series.is_empty(), "disabled series must not grow");
+    let snap = reg.snapshot();
+    assert!(
+        !snap.histograms.contains_key("span.kill_switch_span.ns"),
+        "disabled span must not materialize"
+    );
+
+    tel::set_enabled(true);
+    counter.add(7);
+    hist.record(42);
+    assert_eq!(counter.get(), 7);
+    assert_eq!(hist.count(), 1);
+}

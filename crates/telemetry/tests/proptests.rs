@@ -1,0 +1,93 @@
+//! Property tests for the telemetry primitives (ISSUE 3 satellite):
+//! sharded counters must aggregate exactly, and histogram quantiles must
+//! land within one log-linear bucket of the exact sample quantile.
+
+#![cfg(feature = "enabled")]
+
+use logsynergy_telemetry::{Counter, Histogram};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged sharded counts equal the sequential count: spreading the
+    /// same increments over racing threads (each landing on its own home
+    /// shard) must sum to exactly what a single-threaded loop would.
+    #[test]
+    fn sharded_counter_equals_sequential_count(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 0..50), 1..8)
+    ) {
+        let sequential: u64 = per_thread.iter().flatten().sum();
+        let counter = Arc::new(Counter::new());
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|amounts| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for a in amounts {
+                        c.add(a);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(counter.get(), sequential);
+    }
+
+    /// Histogram quantiles are within one bucket of exact quantiles: for
+    /// random samples, the reported p50/p90/p95/p99 must fall in the same
+    /// log-linear bucket as the exact order statistic, or an adjacent one.
+    #[test]
+    fn histogram_quantiles_within_one_bucket(
+        raw in proptest::collection::vec(0u64..2_000_000, 1..2000),
+        qs in proptest::collection::vec(0.01f64..1.0, 1..6)
+    ) {
+        let h = Histogram::new();
+        for &s in &raw {
+            h.record(s);
+        }
+        let mut samples = raw;
+        samples.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        for q in qs {
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.quantile(q);
+            let (be, bg) = (Histogram::bucket_of(exact), Histogram::bucket_of(got));
+            prop_assert!(
+                be.abs_diff(bg) <= 1,
+                "q={} exact={} (bucket {}) got={} (bucket {})",
+                q, exact, be, got, bg
+            );
+        }
+    }
+
+    /// Merging per-worker histograms is exact in count and sum, and the
+    /// merged quantile matches a histogram fed every sample directly.
+    #[test]
+    fn histogram_merge_matches_single_feed(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 0..300), 1..6)
+    ) {
+        let merged = Histogram::new();
+        let direct = Histogram::new();
+        for part in &parts {
+            let worker = Histogram::new();
+            for &v in part {
+                worker.record(v);
+                direct.record(v);
+            }
+            merged.merge(&worker);
+        }
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+}

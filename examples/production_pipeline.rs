@@ -61,8 +61,8 @@ fn main() {
     println!("  windows evaluated  {}", summary.windows);
     println!(
         "  fast-path hits     {} ({:.1}%)",
-        summary.fast_hits,
-        100.0 * summary.fast_hits as f64 / summary.windows.max(1) as f64
+        summary.pattern_hits,
+        100.0 * summary.pattern_hits as f64 / summary.windows.max(1) as f64
     );
     println!("  score-cache hits   {}", summary.cache_hits);
     println!("  model invocations  {}", summary.model_calls);

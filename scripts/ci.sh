@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> telemetry off-feature build (instrumentation must compile out)"
+cargo check -p logsynergy-telemetry --no-default-features
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -21,5 +24,28 @@ echo "==> serving-pipeline throughput smoke (quick mode)"
 # assertion that batched/sharded/cached serving reproduces the unbatched
 # baseline bit for bit.
 LOGSYNERGY_BENCH_QUICK=1 cargo bench --bench fig7_pipeline_throughput
+
+echo "==> telemetry overhead contract (quick mode)"
+# Paired on/off repetitions of the Fig. 7 serving run; asserts the
+# instrumented median stays within the 2% overhead contract and refreshes
+# results/telemetry_overhead.json.
+LOGSYNERGY_BENCH_QUICK=1 cargo bench --bench telemetry_overhead
+
+echo "==> metrics snapshot smoke"
+# A real CLI run must produce a parseable JSON snapshot whose verdict-tier
+# counters partition the window count exactly.
+metrics_file="$(mktemp)"
+cargo run -q --release -p logsynergy-cli -- pipeline \
+  --target system-b --metrics-out "$metrics_file" >/dev/null
+python3 - "$metrics_file" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+c = snap["counters"]
+tiers = c["pipeline.tier.pattern"] + c["pipeline.tier.cache"] + c["pipeline.tier.model"]
+assert tiers == c["pipeline.windows"] > 0, (tiers, c["pipeline.windows"])
+assert c["pipeline.logs"] > 0
+print(f"metrics smoke OK: {c['pipeline.logs']} logs, {c['pipeline.windows']} windows")
+PY
+rm -f "$metrics_file"
 
 echo "CI OK"

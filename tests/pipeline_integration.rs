@@ -44,7 +44,9 @@ fn trained_model_serves_live_stream() {
     );
 
     let sink = MemorySink::new();
+    let tele_before = logsynergy_telemetry::global().snapshot();
     let summary = run_pipeline(source, vectorizer, ModelScorer::new(model), sink.clone());
+    let tele_after = logsynergy_telemetry::global().snapshot();
 
     assert_eq!(summary.logs as usize, live.len());
     assert!(summary.reports > 0, "bursts must be reported: {summary:?}");
@@ -54,14 +56,37 @@ fn trained_model_serves_live_stream() {
     // hit rate: repeats are served from the library, and every model call
     // populated it.
     assert!(
-        summary.fast_hits > 0,
+        summary.pattern_hits > 0,
         "repeated patterns must hit the library: {summary:?}"
     );
     assert_eq!(
-        summary.fast_hits + summary.cache_hits + summary.model_calls,
+        summary.pattern_hits + summary.cache_hits + summary.model_calls,
         summary.windows,
         "every window is fast-pathed, cache-served, or scored: {summary:?}"
     );
+    // The telemetry registry must tell the same story as the summary: the
+    // three verdict-tier counters partition exactly the windows this run
+    // produced (snapshot deltas isolate this run from other tests sharing
+    // the process-global registry).
+    if logsynergy_telemetry::enabled() {
+        let d = |name: &str| tele_after.counter_delta(&tele_before, name);
+        assert_eq!(d("pipeline.logs"), summary.logs, "telemetry log count");
+        assert_eq!(
+            d("pipeline.tier.pattern") + d("pipeline.tier.cache") + d("pipeline.tier.model"),
+            summary.windows,
+            "tier counters must partition the windows"
+        );
+        assert_eq!(
+            d("pipeline.windows"),
+            summary.windows,
+            "telemetry window count"
+        );
+        assert_eq!(
+            d("pipeline.reports"),
+            summary.reports,
+            "telemetry report count"
+        );
+    }
     // Alert volume sanity: reports should be a small fraction of windows
     // (operators are not flooded).
     assert!(
