@@ -54,6 +54,10 @@ commands:
                 --workers <n>       buffer partitions / detection workers (default 4)
                 --batch <n>         micro-batch window cap per model call (default 64)
                 --cache <n>         window-score LRU capacity, 0 disables (default 4096)
+                --max-retries <n>   per-batch retry budget for transient model
+                                    failures and panicking attempts (default 2)
+                --shed-watermark <n> queue depth above which batches are served
+                                    from the cheap tiers only, 0 disables (default 0)
                 --metrics-out <p>   write a JSON telemetry snapshot when done
                 --metrics-listen <a> serve /metrics over HTTP while running
 ";
@@ -307,6 +311,8 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
         partitions: a.num("workers", PipelineConfig::default().partitions)?,
         batch_windows: a.num("batch", PipelineConfig::default().batch_windows)?,
         score_cache: a.num("cache", PipelineConfig::default().score_cache)?,
+        max_retries: a.num("max-retries", PipelineConfig::default().max_retries)?,
+        shed_watermark: a.num("shed-watermark", PipelineConfig::default().shed_watermark)?,
         ..PipelineConfig::default()
     };
     let sink = MessagingSink::new();
@@ -327,6 +333,12 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
         s.reports,
         s.throughput
     );
+    if s.degraded + s.shed + s.quarantined + s.worker_restarts > 0 {
+        println!(
+            "robustness: degraded {}  shed {}  quarantined {}  retries {}  worker restarts {}",
+            s.degraded, s.shed, s.quarantined, s.retries, s.worker_restarts
+        );
+    }
     if let Some((sms, _)) = sink.outbox().first() {
         println!("first alert: {sms}");
     }

@@ -52,6 +52,7 @@ pub mod club;
 pub mod config;
 pub mod data;
 pub mod detector;
+pub mod faults;
 pub mod model;
 pub mod persist;
 pub mod trainer;

@@ -75,6 +75,46 @@ impl SavedTensor {
 
 const FORMAT_VERSION: u32 = 1;
 
+/// Consults the fault plan at the `persist.io` injection point. Latency
+/// sleeps; transient/corrupt faults surface as retryable
+/// [`io::ErrorKind::Interrupted`] errors; panics propagate to the caller's
+/// isolation layer. A no-op unless the `fault-injection` feature is on
+/// and a plan is installed.
+fn persist_fault() -> io::Result<()> {
+    use crate::faults::{self, points, Fault};
+    match faults::inject(points::PERSIST_IO) {
+        Some(Fault::Panic) => panic!("{}: persist.io", faults::PANIC_MARKER),
+        Some(Fault::Latency(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Fault::TransientError) | Some(Fault::CorruptScore) => Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("{}: persist.io transient failure", faults::PANIC_MARKER),
+        )),
+        None => Ok(()),
+    }
+}
+
+/// Retries an interrupted persistence operation with bounded linear
+/// backoff; other error kinds (corrupt data, missing files) fail fast.
+fn retry_interrupted<T>(
+    max_retries: u32,
+    backoff: std::time::Duration,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < max_retries => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Serializes a model to JSON bytes.
 pub fn to_bytes(model: &LogSynergyModel) -> Vec<u8> {
     let params = model
@@ -139,14 +179,29 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<LogSynergyModel> {
     Ok(model)
 }
 
-/// Saves a model to `path`.
+/// How many times `save`/`load` retry an interrupted I/O operation
+/// (e.g. an injected transient fault) before giving up.
+const IO_MAX_RETRIES: u32 = 3;
+const IO_RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Saves a model to `path`, retrying interrupted writes.
 pub fn save(model: &LogSynergyModel, path: impl AsRef<Path>) -> io::Result<()> {
-    std::fs::write(path, to_bytes(model))
+    let bytes = to_bytes(model);
+    let path = path.as_ref();
+    retry_interrupted(IO_MAX_RETRIES, IO_RETRY_BACKOFF, || {
+        persist_fault()?;
+        std::fs::write(path, &bytes)
+    })
 }
 
-/// Loads a model from `path`.
+/// Loads a model from `path`, retrying interrupted reads.
 pub fn load(path: impl AsRef<Path>) -> io::Result<LogSynergyModel> {
-    from_bytes(&std::fs::read(path)?)
+    let path = path.as_ref();
+    let bytes = retry_interrupted(IO_MAX_RETRIES, IO_RETRY_BACKOFF, || {
+        persist_fault()?;
+        std::fs::read(path)
+    })?;
+    from_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -264,6 +319,112 @@ mod tests {
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn empty_sidecar_decodes_to_data_verbatim() {
+        let st = SavedTensor {
+            shape: vec![4],
+            data: vec![0.5, -1.5, 2.0, 3.25],
+            nonfinite: Vec::new(),
+        };
+        assert_eq!(st.decode().unwrap(), vec![0.5, -1.5, 2.0, 3.25]);
+    }
+
+    #[test]
+    fn sidecar_index_at_last_element_is_in_bounds() {
+        let (data, nonfinite) = SavedTensor::encode(&[1.0, 2.0, f32::INFINITY]);
+        assert_eq!(nonfinite, vec![(2, f32::INFINITY.to_bits())]);
+        let st = SavedTensor {
+            shape: vec![3],
+            data,
+            nonfinite,
+        };
+        let decoded = st.decode().unwrap();
+        assert_eq!(decoded[..2], [1.0, 2.0]);
+        assert_eq!(decoded[2].to_bits(), f32::INFINITY.to_bits());
+    }
+
+    #[test]
+    fn all_nan_tensor_roundtrips_bit_exactly() {
+        let mut model = tiny_model();
+        let id = model.store.ids().next().unwrap();
+        let before: Vec<u32> = {
+            let t = model.store.value_mut(id);
+            for (i, v) in t.data_mut().iter_mut().enumerate() {
+                // Distinct payload bits per element so an index mix-up in
+                // the sidecar cannot go unnoticed.
+                *v = f32::from_bits(0x7fc0_0000 | (i as u32 & 0x3f_ffff));
+            }
+            t.data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert!(before.iter().all(|&b| f32::from_bits(b).is_nan()));
+
+        let loaded = from_bytes(&to_bytes(&model)).unwrap();
+        let lid = loaded.store.ids().next().unwrap();
+        let after: Vec<u32> = loaded
+            .store
+            .value(lid)
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(before, after, "every NaN must keep its payload bits");
+    }
+
+    #[test]
+    fn corrupted_offset_on_populated_sidecar_is_rejected() {
+        // Unlike `out_of_bounds_nonfinite_sidecar_is_rejected`, this
+        // corrupts a *real* sidecar entry, so the rejection path is
+        // exercised on a document that legitimately used the sidecar.
+        let mut model = tiny_model();
+        let id = model.store.ids().next().unwrap();
+        model.store.value_mut(id).data_mut()[3] = f32::NAN;
+        let json = String::from_utf8(to_bytes(&model)).unwrap();
+        let needle = format!("\"nonfinite\":[[3,{}]]", f32::NAN.to_bits());
+        assert!(json.contains(&needle), "expected a populated sidecar");
+        let broken = json.replacen(&needle, "\"nonfinite\":[[4000000,1]]", 1);
+        assert_ne!(json, broken);
+        let err = match from_bytes(broken.as_bytes()) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted sidecar offset must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        // The unbroken document still loads: rejection is specific to the
+        // corrupted offset, not a side effect of the round-trip.
+        from_bytes(json.as_bytes()).unwrap();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_persist_faults_are_retried() {
+        use crate::faults::{points, FaultPlan, FaultSpec};
+        let _l = crate::faults::test_lock();
+        let model = tiny_model();
+        let dir = std::env::temp_dir().join("logsynergy_persist_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        // Two transient faults, three retries: both save and load see one
+        // failure each and recover.
+        let guard = FaultPlan::seeded(11)
+            .arm(points::PERSIST_IO, FaultSpec::transient().max_fires(2))
+            .install();
+        save(&model, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(guard.fires(points::PERSIST_IO), 2);
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        drop(guard);
+        // An unbounded transient storm exhausts the retry budget.
+        let _guard = FaultPlan::seeded(11)
+            .arm(points::PERSIST_IO, FaultSpec::transient())
+            .install();
+        let err = match load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("persistent transient storm must exhaust retries"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::error::PipelineError;
+use crate::faults::{self, points, Fault};
 use crate::record::RawLog;
 
 /// Buffer throughput counters.
@@ -118,7 +120,19 @@ pub struct Producer {
 impl Producer {
     /// Blocking send; partition chosen by the log's system key (same
     /// system → same partition → per-system ordering, as Kafka gives).
+    ///
+    /// Panics if the buffer is closed; shippers that must survive worker
+    /// loss use [`Producer::try_send`] instead.
     pub fn send(&self, log: RawLog) {
+        self.try_send(log)
+            .map_err(|(_, e)| e)
+            .expect("buffer closed while producing");
+    }
+
+    /// Blocking send that reports a closed buffer as a typed error
+    /// instead of panicking, handing the undeliverable record back so
+    /// the caller can retry, persist, or drop it deliberately.
+    pub fn try_send(&self, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
         let p = match self.router {
             Some(p) => p,
             None => {
@@ -130,11 +144,13 @@ impl Producer {
                 (h % self.senders.len() as u64) as usize
             }
         };
-        self.senders[p]
-            .send(log)
-            .expect("buffer closed while producing");
+        match self.senders[p].send(log) {
+            Ok(()) => {}
+            Err(e) => return Err((e.0, PipelineError::BufferClosed)),
+        }
         self.depths[p].fetch_add(1, Ordering::Relaxed);
         self.stats.lock().enqueued += 1;
+        Ok(())
     }
 }
 
@@ -186,6 +202,15 @@ impl Consumer {
     /// timeout-conflating `None`. The dequeue counter is updated once per
     /// batch — one lock round-trip per burst instead of one per log.
     pub fn recv_batch(&mut self, max: usize, deadline: Duration) -> Option<Vec<RawLog>> {
+        // `batch.drain` injection point, consulted before any record is
+        // pulled off a channel so an injected panic can never lose logs
+        // (the worker's isolation layer re-enters and drains normally).
+        match faults::inject(points::BATCH_DRAIN) {
+            Some(Fault::Panic) => panic!("{}: batch.drain", faults::PANIC_MARKER),
+            Some(Fault::Latency(d)) => std::thread::sleep(d),
+            Some(Fault::TransientError) => return Some(Vec::new()),
+            Some(Fault::CorruptScore) | None => {}
+        }
         let n = self.receivers.len();
         let end = Instant::now() + deadline;
         let mut out = Vec::with_capacity(max.min(1024));

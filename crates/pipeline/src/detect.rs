@@ -12,12 +12,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use logsynergy::detector::{InferenceSession, THRESHOLD};
 use logsynergy::model::LogSynergyModel;
 use parking_lot::Mutex;
 
 use crate::cache::ScoreCache;
+use crate::error::{DeadLetter, PipelineError};
+use crate::faults::{self, points, Fault};
 use crate::patterns::{pattern_key, PatternLibrary, Verdict};
 use crate::record::StructuredLog;
 use crate::report::Report;
@@ -25,6 +28,40 @@ use crate::vectorizer::EventVectorizer;
 
 /// Default capacity of the per-detector window-score cache.
 pub const DEFAULT_SCORE_CACHE: usize = 4096;
+
+/// How a batch should be served (the load-shedding switch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Full three-tier service: library → cache → batched model.
+    Normal,
+    /// Overload: answer the cheap tiers (library + cache) only; misses
+    /// are counted as shed instead of reaching the model.
+    Shed,
+}
+
+/// Retry/deadline policy for the model tier.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Transient scorer failures retried per batch before degrading.
+    pub max_retries: u32,
+    /// Base backoff between retries (doubles per attempt, jittered).
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget for one batch's scoring attempts.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Anything that can score windows of event ids against an embedding
 /// table (the offline-trained model, or a stub in tests).
@@ -94,8 +131,22 @@ struct WindowCtx {
 /// A window awaiting the batched slow path.
 struct Pending {
     ctx: WindowCtx,
-    /// Score from the cache (phase 1) or the model (phase 2).
+    /// Score from the cache (phase 1) or the model (phase 2). Stays
+    /// `None` when the batch was shed or degraded.
     score: Option<f32>,
+    /// True when phase 1 answered from the score cache.
+    from_cache: bool,
+}
+
+/// How this batch's cache misses resolved (decided in phase 2).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MissOutcome {
+    /// Model tier answered (possibly after retries).
+    Scored,
+    /// Model tier failed persistently; misses fell back to cheap tiers.
+    Degraded,
+    /// Load shedding skipped the model tier entirely.
+    Shed,
 }
 
 /// Per-window resolution recorded in arrival order so reports are emitted
@@ -121,12 +172,49 @@ pub struct OnlineDetector<S: SequenceScorer> {
     step: usize,
     window: VecDeque<(u32, StructuredLog)>,
     since_last_window: usize,
+    policy: RetryPolicy,
+    /// Monotone retry counter; also seeds the deterministic backoff
+    /// jitter (no shared RNG).
+    retry_seq: u64,
+    dead_letters: Vec<DeadLetter>,
     /// Windows scored by the model (slow path).
     pub model_calls: u64,
     /// Windows answered from the pattern library (fast path).
     pub pattern_hits: u64,
     /// Windows answered from the exact-window score cache.
     pub cache_hits: u64,
+    /// Windows that fell back to the cheap tiers because the model tier
+    /// failed persistently (no verdict emitted).
+    pub degraded: u64,
+    /// Windows skipped by load shedding (no verdict emitted).
+    pub shed: u64,
+    /// Windows quarantined to the dead-letter queue after exhausting the
+    /// panic-retry budget.
+    pub quarantined: u64,
+    /// Model-tier retry attempts performed.
+    pub retries: u64,
+}
+
+/// A restorable snapshot of the detector's mutable serving state, taken
+/// before each batch attempt so a faulted attempt can be rolled back and
+/// replayed (or quarantined) without double counting.
+///
+/// The pattern library and score cache are deliberately *not* part of the
+/// checkpoint: both are idempotent memoizations of pure, deterministic
+/// values, so partial writes from a failed attempt are harmless — a
+/// replay recomputes bit-identical entries.
+pub struct DetectorCheckpoint {
+    window: VecDeque<(u32, StructuredLog)>,
+    since_last_window: usize,
+    retry_seq: u64,
+    dead_letters: usize,
+    model_calls: u64,
+    pattern_hits: u64,
+    cache_hits: u64,
+    degraded: u64,
+    shed: u64,
+    quarantined: u64,
+    retries: u64,
 }
 
 impl<S: SequenceScorer> OnlineDetector<S> {
@@ -142,15 +230,28 @@ impl<S: SequenceScorer> OnlineDetector<S> {
             step: 5,
             window: VecDeque::new(),
             since_last_window: 0,
+            policy: RetryPolicy::default(),
+            retry_seq: 0,
+            dead_letters: Vec::new(),
             model_calls: 0,
             pattern_hits: 0,
             cache_hits: 0,
+            degraded: 0,
+            shed: 0,
+            quarantined: 0,
+            retries: 0,
         }
     }
 
     /// Sets the window-score cache capacity (0 disables the cache).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = ScoreCache::new(capacity);
+        self
+    }
+
+    /// Sets the model-tier retry/deadline policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -174,6 +275,25 @@ impl<S: SequenceScorer> OnlineDetector<S> {
         &mut self,
         logs: impl IntoIterator<Item = StructuredLog>,
         reports: &mut Vec<Report>,
+    ) {
+        self.ingest_batch_mode(logs, reports, ServeMode::Normal)
+    }
+
+    /// [`OnlineDetector::ingest_batch`] with an explicit serve mode — the
+    /// worker passes [`ServeMode::Shed`] while its queue depth is above
+    /// the load-shedding watermark.
+    ///
+    /// Model-tier failures are absorbed here rather than propagated: a
+    /// transient scorer failure is retried under [`RetryPolicy`], and a
+    /// persistent one degrades this batch's misses to the cheap tiers
+    /// (counted in [`OnlineDetector::degraded`], no verdict emitted).
+    /// Injected panics are *not* absorbed — they unwind to the worker's
+    /// isolation layer, which restores a [`DetectorCheckpoint`].
+    pub fn ingest_batch_mode(
+        &mut self,
+        logs: impl IntoIterator<Item = StructuredLog>,
+        reports: &mut Vec<Report>,
+        mode: ServeMode,
     ) {
         // Phase 1: assemble windows; resolve library and cache tiers
         // inline; defer model misses. `pending_by_key` mirrors the library
@@ -206,40 +326,51 @@ impl<S: SequenceScorer> OnlineDetector<S> {
             }
             let key = pattern_key(&events);
             if let Some(&i) = pending_by_key.get(&key) {
-                self.pattern_hits += 1;
+                // Tier accounting happens in phase 4: whether this alias
+                // counts as a pattern hit depends on whether its referent
+                // actually resolved to a verdict.
                 let ctx = self.snapshot(events);
                 slots.push(Slot::Alias(i, ctx));
                 continue;
             }
-            let score = self.cache.get(&events);
-            if score.is_some() {
-                self.cache_hits += 1;
-            } else {
-                self.model_calls += 1;
-            }
+            let score = self.cached_score(&events);
             pending_by_key.insert(key, pending.len());
             slots.push(Slot::Deferred(pending.len()));
             let ctx = self.snapshot(events);
-            pending.push(Pending { ctx, score });
+            pending.push(Pending {
+                ctx,
+                from_cache: score.is_some(),
+                score,
+            });
         }
 
-        // Phase 2: one batched forward for every window the cache missed.
+        // Phase 2: one batched forward for every window the cache missed
+        // (retried/degraded under the policy), unless we are shedding.
         let misses: Vec<usize> = pending
             .iter()
             .enumerate()
             .filter(|(_, p)| p.score.is_none())
             .map(|(i, _)| i)
             .collect();
+        let mut miss_outcome = MissOutcome::Scored;
         if !misses.is_empty() {
-            let windows: Vec<&[u32]> = misses
-                .iter()
-                .map(|&i| pending[i].ctx.events.as_slice())
-                .collect();
-            let scores = self.scorer.score_batch(&windows, self.vectorizer.table());
-            assert_eq!(scores.len(), misses.len(), "scorer returned a short batch");
-            for (&i, &p) in misses.iter().zip(&scores) {
-                self.cache.insert(&pending[i].ctx.events, p);
-                pending[i].score = Some(p);
+            match mode {
+                ServeMode::Shed => miss_outcome = MissOutcome::Shed,
+                ServeMode::Normal => {
+                    let windows: Vec<&[u32]> = misses
+                        .iter()
+                        .map(|&i| pending[i].ctx.events.as_slice())
+                        .collect();
+                    match self.score_resilient(&windows) {
+                        Ok(scores) => {
+                            for (&i, &p) in misses.iter().zip(&scores) {
+                                self.cache.insert(&pending[i].ctx.events, p);
+                                pending[i].score = Some(p);
+                            }
+                        }
+                        Err(_) => miss_outcome = MissOutcome::Degraded,
+                    }
+                }
             }
         }
 
@@ -256,7 +387,8 @@ impl<S: SequenceScorer> OnlineDetector<S> {
         let mut batch_windows: Vec<Vec<u32>> = Vec::new();
         let mut batch_index: HashMap<Vec<u32>, usize> = HashMap::new();
         for (i, p) in pending.iter().enumerate() {
-            let score = p.score.expect("scored in phase 2");
+            // Shed/degraded windows have no score and get no verdict.
+            let Some(score) = p.score else { continue };
             if score <= THRESHOLD {
                 continue;
             }
@@ -267,7 +399,7 @@ impl<S: SequenceScorer> OnlineDetector<S> {
                 let reduced: Vec<u32> = p.ctx.events.iter().copied().filter(|&e| e != id).collect();
                 let src = if reduced.is_empty() {
                     Src::Const(0.0)
-                } else if let Some(s) = self.cache.get(&reduced) {
+                } else if let Some(s) = self.cache.get(&reduced).filter(|s| s.is_finite()) {
                     Src::Const(s)
                 } else if let Some(&j) = batch_index.get(&reduced) {
                     Src::Batched(j)
@@ -284,12 +416,18 @@ impl<S: SequenceScorer> OnlineDetector<S> {
             Vec::new()
         } else {
             let refs: Vec<&[u32]> = batch_windows.iter().map(|w| w.as_slice()).collect();
-            let scores = self.scorer.score_batch(&refs, self.vectorizer.table());
-            assert_eq!(scores.len(), refs.len(), "scorer returned a short batch");
-            for (w, &s) in batch_windows.iter().zip(&scores) {
-                self.cache.insert(w, s);
+            match self.score_resilient(&refs) {
+                Ok(scores) => {
+                    for (w, &s) in batch_windows.iter().zip(&scores) {
+                        self.cache.insert(w, s);
+                    }
+                    scores
+                }
+                // Saliency is best-effort: if probe scoring fails
+                // persistently, verdicts stand and alerts just carry no
+                // culprit.
+                Err(_) => Vec::new(),
             }
-            scores
         };
         let mut culprits: Vec<Option<u32>> = vec![None; pending.len()];
         let mut probes = probes.into_iter().peekable();
@@ -299,12 +437,22 @@ impl<S: SequenceScorer> OnlineDetector<S> {
                 if j != i {
                     break;
                 }
-                let (_, id, src) = probes.next().unwrap();
+                let Some((_, id, src)) = probes.next() else {
+                    break;
+                };
                 let p_without = match src {
                     Src::Const(s) => s,
-                    Src::Batched(k) => probe_scores[k],
+                    // Probe scoring failed persistently: skip this probe
+                    // (the verdict stands, the culprit is best-effort).
+                    Src::Batched(k) => match probe_scores.get(k) {
+                        Some(&s) => s,
+                        None => continue,
+                    },
                 };
-                let drop = pending[i].score.unwrap() - p_without;
+                let base = pending[i]
+                    .score
+                    .expect("probes exist only for scored windows");
+                let drop = base - p_without;
                 // Same tie-breaking as `Iterator::max_by` over the
                 // (id, drop) pairs in ascending-id order: ties keep the
                 // later (larger) id.
@@ -317,39 +465,249 @@ impl<S: SequenceScorer> OnlineDetector<S> {
         }
 
         // Phase 4: commit verdicts (in window order, as the sequential
-        // path inserts them) and emit reports in window order.
-        let verdicts: Vec<Verdict> = pending
+        // path inserts them), settle tier accounting now that every
+        // window's resolution is known, and emit reports in window order.
+        // Shed/degraded windows have no verdict: nothing enters the
+        // library (a later repeat gets a fresh chance at the model tier)
+        // and no report is emitted.
+        let verdicts: Vec<Option<Verdict>> = pending
             .iter()
             .zip(&culprits)
             .map(|(p, &culprit)| {
-                let probability = p.score.unwrap();
-                Verdict {
+                p.score.map(|probability| Verdict {
                     probability,
                     anomalous: probability > THRESHOLD,
                     culprit,
-                }
+                })
             })
             .collect();
         for (p, v) in pending.iter().zip(&verdicts) {
-            self.library.insert(&p.ctx.events, *v);
+            if let Some(v) = v {
+                self.library.insert(&p.ctx.events, *v);
+            }
+        }
+        for p in &pending {
+            if p.from_cache {
+                self.cache_hits += 1;
+            } else {
+                match miss_outcome {
+                    MissOutcome::Scored => self.model_calls += 1,
+                    MissOutcome::Degraded => self.degraded += 1,
+                    MissOutcome::Shed => self.shed += 1,
+                }
+            }
         }
         let mut ctxs: Vec<Option<WindowCtx>> = pending.into_iter().map(|p| Some(p.ctx)).collect();
         for slot in slots {
             match slot {
                 Slot::Ready(r) => reports.extend(r),
                 Slot::Deferred(i) => {
-                    if verdicts[i].anomalous {
-                        let ctx = ctxs[i].take().expect("deferred ctx consumed once");
-                        reports.push(self.build_report(ctx, verdicts[i]));
+                    if let Some(v) = verdicts[i] {
+                        if v.anomalous {
+                            let ctx = ctxs[i].take().expect("deferred ctx consumed once");
+                            reports.push(self.build_report(ctx, v));
+                        }
                     }
                 }
-                Slot::Alias(i, ctx) => {
-                    if verdicts[i].anomalous {
-                        reports.push(self.build_report(ctx, verdicts[i]));
+                Slot::Alias(i, ctx) => match verdicts[i] {
+                    // Sequentially the alias would hit the library right
+                    // after its referent was scored.
+                    Some(v) => {
+                        self.pattern_hits += 1;
+                        if v.anomalous {
+                            reports.push(self.build_report(ctx, v));
+                        }
                     }
+                    // The referent never resolved, so sequentially this
+                    // window would have been its own miss — it shares the
+                    // referent's fate.
+                    None => match miss_outcome {
+                        MissOutcome::Scored => unreachable!("scored batches resolve all pendings"),
+                        MissOutcome::Degraded => self.degraded += 1,
+                        MissOutcome::Shed => self.shed += 1,
+                    },
+                },
+            }
+        }
+    }
+
+    /// Consults the score cache through the `cache.lookup` injection
+    /// point, validating the entry so a poisoned score falls back to a
+    /// miss (the deterministic model re-scores it to the same bits).
+    fn cached_score(&mut self, events: &[u32]) -> Option<f32> {
+        let poison = match faults::inject(points::CACHE_LOOKUP) {
+            Some(Fault::Panic) => panic!("{}: cache.lookup", faults::PANIC_MARKER),
+            Some(Fault::Latency(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(Fault::TransientError) => return None, // forced miss
+            Some(Fault::CorruptScore) => true,
+            None => false,
+        };
+        let score = self.cache.get(events)?;
+        let score = if poison { f32::NAN } else { score };
+        (score.is_finite() && (0.0..=1.0).contains(&score)).then_some(score)
+    }
+
+    /// One scoring attempt through the `model.score` injection point,
+    /// with the result validated (length, finiteness, range) before any
+    /// verdict can be built from it.
+    fn score_attempt(&mut self, windows: &[&[u32]]) -> Result<Vec<f32>, PipelineError> {
+        let poison = match faults::inject(points::MODEL_SCORE) {
+            Some(Fault::Panic) => panic!("{}: model.score", faults::PANIC_MARKER),
+            Some(Fault::Latency(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(Fault::TransientError) => return Err(PipelineError::ScorerUnavailable),
+            Some(Fault::CorruptScore) => true,
+            None => false,
+        };
+        let mut scores = self.scorer.score_batch(windows, self.vectorizer.table());
+        if poison {
+            if let Some(s) = scores.first_mut() {
+                *s = f32::NAN;
+            }
+        }
+        if scores.len() != windows.len() {
+            return Err(PipelineError::ShortScoreBatch {
+                expected: windows.len(),
+                got: scores.len(),
+            });
+        }
+        if let Some(&bad) = scores
+            .iter()
+            .find(|s| !s.is_finite() || !(0.0..=1.0).contains(*s))
+        {
+            return Err(PipelineError::CorruptScore(bad));
+        }
+        Ok(scores)
+    }
+
+    /// Model-tier call with the retry/deadline policy: transient failures
+    /// are retried with jittered capped-exponential backoff; exhausting
+    /// the budget (or the deadline) returns the error so the caller can
+    /// degrade the batch. The model forward is deterministic, so a retry
+    /// that succeeds returns bit-identical scores to a fault-free call.
+    fn score_resilient(&mut self, windows: &[&[u32]]) -> Result<Vec<f32>, PipelineError> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.score_attempt(windows) {
+                Ok(scores) => return Ok(scores),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) if attempt >= self.policy.max_retries => return Err(e),
+                Err(_) if start.elapsed() >= self.policy.deadline => {
+                    return Err(PipelineError::DeadlineExceeded)
+                }
+                Err(_) => {
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(self.retry_backoff(attempt));
                 }
             }
         }
+    }
+
+    /// Capped exponential backoff with deterministic jitter derived from
+    /// the running retry counter — spreads concurrent workers without a
+    /// shared RNG, and replays identically for a given fault schedule.
+    fn retry_backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.backoff.max(Duration::from_micros(50));
+        let capped = base
+            .saturating_mul(1u32 << attempt.min(10))
+            .min(self.policy.backoff_cap.max(base));
+        self.retry_seq = self.retry_seq.wrapping_add(1);
+        let mut z = self
+            .retry_seq
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        z ^= z >> 31;
+        let jitter_ns = z % (capped.as_nanos().max(1) as u64 / 4 + 1);
+        capped + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Snapshots the mutable serving state before a batch attempt.
+    pub fn checkpoint(&self) -> DetectorCheckpoint {
+        DetectorCheckpoint {
+            window: self.window.clone(),
+            since_last_window: self.since_last_window,
+            retry_seq: self.retry_seq,
+            dead_letters: self.dead_letters.len(),
+            model_calls: self.model_calls,
+            pattern_hits: self.pattern_hits,
+            cache_hits: self.cache_hits,
+            degraded: self.degraded,
+            shed: self.shed,
+            quarantined: self.quarantined,
+            retries: self.retries,
+        }
+    }
+
+    /// Rolls the detector back to a [`DetectorCheckpoint`] after a
+    /// faulted batch attempt, so the batch can be replayed (or
+    /// quarantined) without double counting windows.
+    pub fn restore(&mut self, cp: DetectorCheckpoint) {
+        self.window = cp.window;
+        self.since_last_window = cp.since_last_window;
+        self.retry_seq = cp.retry_seq;
+        self.dead_letters.truncate(cp.dead_letters);
+        self.model_calls = cp.model_calls;
+        self.pattern_hits = cp.pattern_hits;
+        self.cache_hits = cp.cache_hits;
+        self.degraded = cp.degraded;
+        self.shed = cp.shed;
+        self.quarantined = cp.quarantined;
+        self.retries = cp.retries;
+    }
+
+    /// Consumes a batch that exhausted its panic-retry budget: windows
+    /// are still assembled (so the sliding-window state and the global
+    /// window count stay consistent) but every completed window is
+    /// quarantined to the dead-letter queue instead of being scored.
+    ///
+    /// This path runs no tier lookups and no scorer calls — it contains
+    /// no injection points, so it cannot fault again.
+    pub fn quarantine_batch(
+        &mut self,
+        logs: impl IntoIterator<Item = StructuredLog>,
+        reason: &str,
+    ) {
+        for log in logs {
+            let event = self.vectorizer.ingest(&log.message);
+            self.window.push_back((event, log));
+            if self.window.len() > self.window_len {
+                self.window.pop_front();
+            }
+            self.since_last_window += 1;
+            if self.window.len() < self.window_len || self.since_last_window < self.step {
+                continue;
+            }
+            self.since_last_window = 0;
+            self.quarantined += 1;
+            let (first, last) = match (self.window.front(), self.window.back()) {
+                (Some((_, f)), Some((_, l))) => (f, l),
+                _ => continue,
+            };
+            self.dead_letters.push(DeadLetter {
+                system: first.system.clone(),
+                start_timestamp: first.timestamp,
+                end_timestamp: last.timestamp,
+                first_seq_no: first.seq_no,
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// Drains the dead-letter queue (quarantined windows).
+    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        std::mem::take(&mut self.dead_letters)
+    }
+
+    /// The dead-letter queue of quarantined windows.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
     }
 
     /// Snapshots the current window into an owned report context.

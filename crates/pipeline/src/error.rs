@@ -1,0 +1,102 @@
+//! Typed failures for the serving pipeline, and the dead-letter record
+//! kept for quarantined windows.
+//!
+//! The serving loop never `unwrap()`s its way across a trust boundary:
+//! failures that can reach it from malformed input, a wedged scorer, or a
+//! closed buffer surface as [`PipelineError`] values the recovery layer
+//! (retry → degrade → quarantine, see `docs/robustness.md`) can act on.
+
+use std::fmt;
+
+/// A typed, recoverable pipeline failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// Every consumer handle is gone; the buffer cannot accept records.
+    BufferClosed,
+    /// The scorer returned fewer scores than windows submitted.
+    ShortScoreBatch {
+        /// Windows submitted.
+        expected: usize,
+        /// Scores returned.
+        got: usize,
+    },
+    /// The scorer produced a non-finite or out-of-range probability.
+    CorruptScore(f32),
+    /// The scorer transiently failed; the call may be retried.
+    ScorerUnavailable,
+    /// The model-tier deadline elapsed before a valid score batch.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BufferClosed => write!(f, "log buffer closed: all consumers dropped"),
+            PipelineError::ShortScoreBatch { expected, got } => {
+                write!(f, "scorer returned {got} scores for {expected} windows")
+            }
+            PipelineError::CorruptScore(v) => {
+                write!(f, "scorer produced invalid probability {v}")
+            }
+            PipelineError::ScorerUnavailable => write!(f, "scorer transiently unavailable"),
+            PipelineError::DeadlineExceeded => write!(f, "model-tier deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl PipelineError {
+    /// True for failures worth retrying (transient by construction).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PipelineError::ScorerUnavailable
+                | PipelineError::ShortScoreBatch { .. }
+                | PipelineError::CorruptScore(_)
+        )
+    }
+}
+
+/// A window that exhausted its retry budget and was quarantined instead
+/// of processed — enough context for an operator to replay it offline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Originating system.
+    pub system: String,
+    /// First log timestamp in the window.
+    pub start_timestamp: u64,
+    /// Last log timestamp in the window.
+    pub end_timestamp: u64,
+    /// Ingestion sequence number of the window's first log.
+    pub first_seq_no: u64,
+    /// Why the window was quarantined.
+    pub reason: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(PipelineError::ScorerUnavailable.is_transient());
+        assert!(PipelineError::CorruptScore(f32::NAN).is_transient());
+        assert!(PipelineError::ShortScoreBatch {
+            expected: 4,
+            got: 2
+        }
+        .is_transient());
+        assert!(!PipelineError::BufferClosed.is_transient());
+        assert!(!PipelineError::DeadlineExceeded.is_transient());
+    }
+
+    #[test]
+    fn display_is_operator_readable() {
+        let e = PipelineError::ShortScoreBatch {
+            expected: 8,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "scorer returned 3 scores for 8 windows");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fault injection for the serving pipeline — a re-export of the core
+//! crate's deterministic [`FaultPlan`] machinery plus the map of where
+//! each named injection point is armed in this crate.
+//!
+//! | Point | Armed in | Fault semantics |
+//! |---|---|---|
+//! | [`points::BUFFER_PUSH`] | shipper loop in [`crate::service`] | `Panic`/`TransientError` → the send attempt fails and is retried with backoff (no record lost); `Latency` → slow producer |
+//! | [`points::BATCH_DRAIN`] | [`crate::buffer::Consumer::recv_batch`] entry | `Panic` → worker restart path; `TransientError` → empty batch; `Latency` → slow consumer (builds backpressure) |
+//! | [`points::CACHE_LOOKUP`] | score-cache probe in [`crate::detect`] | `Panic` → worker restart path; `TransientError` → forced miss; `CorruptScore` → poisoned entry the validator drops to a miss |
+//! | [`points::MODEL_SCORE`] | model-tier call in [`crate::detect`] | `Panic` → worker restart path; `TransientError` → retried with jittered backoff; `CorruptScore` → non-finite score the validator rejects; `Latency` → slow model |
+//! | [`points::PERSIST_IO`] | `logsynergy::persist::{save, load}` | `TransientError` → retried interrupted I/O; `Panic` → caller's isolation |
+//!
+//! Everything here compiles to inert no-ops unless the crate is built
+//! with `--features fault-injection`; see `docs/robustness.md` for how to
+//! write a seeded plan in a test.
+
+pub use logsynergy::faults::{
+    inject, points, Fault, FaultGuard, FaultPlan, FaultSpec, PANIC_MARKER,
+};
+
+#[cfg(feature = "fault-injection")]
+pub use logsynergy::faults::test_lock;

@@ -24,6 +24,8 @@
 pub mod buffer;
 pub mod cache;
 pub mod detect;
+pub mod error;
+pub mod faults;
 pub mod patterns;
 pub mod record;
 pub mod report;
@@ -32,7 +34,10 @@ pub mod vectorizer;
 
 pub use buffer::{BufferStats, LogBuffer};
 pub use cache::ScoreCache;
-pub use detect::{ModelScorer, OnlineDetector, SequenceScorer, DEFAULT_SCORE_CACHE};
+pub use detect::{
+    ModelScorer, OnlineDetector, RetryPolicy, SequenceScorer, ServeMode, DEFAULT_SCORE_CACHE,
+};
+pub use error::{DeadLetter, PipelineError};
 pub use patterns::{pattern_key, PatternLibrary, Verdict};
 pub use record::{format_log, RawLog, StructuredLog};
 pub use report::{MemorySink, MessagingSink, Report, ReportSink};

@@ -27,10 +27,14 @@ pub struct StructuredLog {
 
 /// Normalizes a raw log into the unified structure (the Logstash step:
 /// "formatted into a unified structure by LogStash", §VI-A).
-pub fn format_log(raw: RawLog, seq_no: u64) -> StructuredLog {
+///
+/// Takes the raw record by reference so a serving worker can keep the
+/// raw batch alive and re-format it when a faulted attempt is retried —
+/// replays produce identical structured logs for the same `seq_no`.
+pub fn format_log(raw: &RawLog, seq_no: u64) -> StructuredLog {
     let message = raw.message.split_whitespace().collect::<Vec<_>>().join(" ");
     StructuredLog {
-        system: raw.system,
+        system: raw.system.clone(),
         timestamp: raw.timestamp,
         message,
         seq_no,
@@ -48,9 +52,21 @@ mod tests {
             timestamp: 7,
             message: "  a   b\t c  ".into(),
         };
-        let s = format_log(raw, 42);
+        let s = format_log(&raw, 42);
         assert_eq!(s.message, "a b c");
         assert_eq!(s.seq_no, 42);
         assert_eq!(s.timestamp, 7);
+    }
+
+    #[test]
+    fn reformatting_is_idempotent_per_seq_no() {
+        // The retry path re-formats the same raw batch; both passes must
+        // produce identical structured records.
+        let raw = RawLog {
+            system: "sysb".into(),
+            timestamp: 9,
+            message: "\t disk   fault \u{0}".into(),
+        };
+        assert_eq!(format_log(&raw, 3), format_log(&raw, 3));
     }
 }

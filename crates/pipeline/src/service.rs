@@ -18,13 +18,16 @@
 //! cost is a few relaxed atomic adds per *batch*, not per log. See
 //! `docs/telemetry.md` for the catalog.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use logsynergy_telemetry as telemetry;
 
 use crate::buffer::LogBuffer;
-use crate::detect::{OnlineDetector, SequenceScorer};
+use crate::detect::{OnlineDetector, RetryPolicy, SequenceScorer, ServeMode};
+use crate::error::DeadLetter;
+use crate::faults::{self, points, Fault};
 use crate::record::{format_log, RawLog};
 use crate::report::ReportSink;
 use crate::vectorizer::EventVectorizer;
@@ -43,6 +46,19 @@ pub struct PipelineConfig {
     pub batch_deadline: Duration,
     /// Per-worker window-score LRU cache capacity (0 disables).
     pub score_cache: usize,
+    /// Retry budget per batch, for both transient model-tier failures
+    /// and panicking batch attempts; exhausting it degrades (transient)
+    /// or quarantines (panic) the batch.
+    pub max_retries: u32,
+    /// Base backoff between retries/restarts (doubles per attempt,
+    /// capped, with deterministic jitter).
+    pub retry_backoff: Duration,
+    /// Wall-clock budget for one batch's model-tier scoring attempts.
+    pub score_deadline: Duration,
+    /// Load-shedding high-watermark in queued logs per partition: while
+    /// a worker's queue depth is at or above it, batches are served from
+    /// the cheap tiers only. 0 disables shedding.
+    pub shed_watermark: usize,
 }
 
 impl Default for PipelineConfig {
@@ -53,6 +69,10 @@ impl Default for PipelineConfig {
             batch_windows: 64,
             batch_deadline: Duration::from_millis(5),
             score_cache: 4096,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            score_deadline: Duration::from_secs(30),
+            shed_watermark: 0,
         }
     }
 }
@@ -75,7 +95,10 @@ impl PipelineConfig {
 pub struct PipelineSummary {
     /// Logs ingested.
     pub logs: u64,
-    /// Windows evaluated (fast + cache + slow path).
+    /// Windows assembled: every one resolves to exactly one of the six
+    /// buckets below (pattern + cache + model + degraded + shed +
+    /// quarantined == windows — the conservation invariant chaos tests
+    /// assert).
     pub windows: u64,
     /// Windows answered by the pattern library.
     pub pattern_hits: u64,
@@ -83,6 +106,18 @@ pub struct PipelineSummary {
     pub cache_hits: u64,
     /// Windows scored by the model.
     pub model_calls: u64,
+    /// Windows degraded to the cheap tiers by persistent model failure.
+    pub degraded: u64,
+    /// Windows shed under overload (cheap tiers only).
+    pub shed: u64,
+    /// Windows quarantined to the dead-letter queue.
+    pub quarantined: u64,
+    /// Model-tier retry attempts performed.
+    pub retries: u64,
+    /// Worker batch attempts that panicked and were restarted.
+    pub worker_restarts: u64,
+    /// The dead-letter queue: one record per quarantined window.
+    pub dead_letters: Vec<DeadLetter>,
     /// Reports delivered.
     pub reports: u64,
     /// New templates interpreted online.
@@ -98,8 +133,22 @@ struct WorkerStats {
     pattern_hits: u64,
     cache_hits: u64,
     model_calls: u64,
+    degraded: u64,
+    shed: u64,
+    quarantined: u64,
+    retries: u64,
+    restarts: u64,
+    dead_letters: Vec<DeadLetter>,
     reports: u64,
     new_templates: usize,
+}
+
+/// Capped exponential backoff for restart/ship retries (deterministic;
+/// jitter comes from the detector's own policy where it matters).
+fn restart_backoff(base: Duration, attempt: u64) -> Duration {
+    let base = base.max(Duration::from_micros(100));
+    base.saturating_mul(1u32 << attempt.min(10) as u32)
+        .min(Duration::from_millis(100))
 }
 
 /// Runs the full pipeline over a finite log source with explicit serving
@@ -134,8 +183,36 @@ where
     let start = Instant::now();
 
     let shipper = thread::spawn(move || {
-        for log in source {
-            producer.send(log);
+        'ship: for log in source {
+            let mut slot = Some(log);
+            let mut attempt = 0u64;
+            while let Some(log) = slot.take() {
+                // `buffer.push` injection point, consulted while this
+                // loop still owns the record: a simulated producer crash
+                // or transient refusal backs off and retries the same
+                // record, so no log is ever lost on the way in.
+                let healthy = catch_unwind(|| match faults::inject(points::BUFFER_PUSH) {
+                    Some(Fault::Panic) => panic!("{}: buffer.push", faults::PANIC_MARKER),
+                    Some(Fault::TransientError) => false,
+                    Some(Fault::Latency(d)) => {
+                        thread::sleep(d);
+                        true
+                    }
+                    Some(Fault::CorruptScore) | None => true,
+                })
+                .unwrap_or(false);
+                if !healthy {
+                    attempt += 1;
+                    slot = Some(log);
+                    thread::sleep(restart_backoff(Duration::from_micros(200), attempt));
+                    continue;
+                }
+                if producer.try_send(log).is_err() {
+                    // Every worker is gone; nothing can consume what's
+                    // left. Stop shipping rather than panic.
+                    break 'ship;
+                }
+            }
         }
         // Producer handle drops here, closing its side.
     });
@@ -148,14 +225,21 @@ where
             let sink = sink.clone();
             let cfg = config.clone();
             thread::spawn(move || {
-                let mut detector =
-                    OnlineDetector::new(vectorizer, scorer).with_cache_capacity(cfg.score_cache);
+                let mut detector = OnlineDetector::new(vectorizer, scorer)
+                    .with_cache_capacity(cfg.score_cache)
+                    .with_retry_policy(RetryPolicy {
+                        max_retries: cfg.max_retries,
+                        backoff: cfg.retry_backoff,
+                        deadline: cfg.score_deadline,
+                        ..RetryPolicy::default()
+                    });
                 // The batch cap counts completed windows; convert to the
                 // log burst that yields that many windows.
                 let (_, step) = detector.geometry();
                 let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
                 let mut seq_no = 0u64;
                 let mut reports_delivered = 0u64;
+                let mut restarts = 0u64;
                 let mut reports = Vec::new();
                 // Telemetry handles, resolved once before the hot loop.
                 let tele = telemetry::global().scoped("pipeline");
@@ -165,6 +249,11 @@ where
                 let c_pattern = tele.counter("tier.pattern");
                 let c_cache = tele.counter("tier.cache");
                 let c_model = tele.counter("tier.model");
+                let c_degraded = tele.counter("degraded");
+                let c_shed = tele.counter("shed");
+                let c_quarantined = tele.counter("quarantined");
+                let c_retries = tele.counter("retries");
+                let c_restarts = tele.counter("worker.restarts");
                 let h_batch_logs = tele.histogram("batch.logs");
                 let h_batch_windows = tele.histogram("batch.windows");
                 let h_queue_depth = tele.histogram("queue.depth");
@@ -174,39 +263,111 @@ where
                     let _batch_span = telemetry::span("pipeline.batch");
                     let batch = {
                         let _recv = telemetry::span("recv");
-                        consumer.recv_batch(max_logs, cfg.batch_deadline)
+                        // `batch.drain` may panic by injection before any
+                        // record leaves the queue; restart the drain after
+                        // backoff — nothing was lost.
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            consumer.recv_batch(max_logs, cfg.batch_deadline)
+                        })) {
+                            Ok(batch) => batch,
+                            Err(_) => {
+                                restarts += 1;
+                                c_restarts.add(1);
+                                thread::sleep(restart_backoff(cfg.retry_backoff, restarts));
+                                continue;
+                            }
+                        }
                     };
                     let Some(batch) = batch else { break };
                     if batch.is_empty() {
                         continue;
                     }
-                    h_queue_depth.record(consumer.depth());
+                    let depth = consumer.depth();
+                    h_queue_depth.record(depth);
                     h_batch_logs.record(batch.len() as u64);
                     c_logs.add(batch.len() as u64);
+                    // Load-shedding decision, once per batch: while the
+                    // shard's queue is over the watermark, serve the
+                    // cheap tiers only until depth recovers.
+                    let mode = if cfg.shed_watermark > 0 && depth >= cfg.shed_watermark as u64 {
+                        ServeMode::Shed
+                    } else {
+                        ServeMode::Normal
+                    };
                     let (p0, k0, m0) = (
                         detector.pattern_hits,
                         detector.cache_hits,
                         detector.model_calls,
                     );
-                    let structured = batch.into_iter().map(|raw| {
-                        let s = format_log(raw, seq_no);
-                        seq_no += 1;
-                        s
-                    });
-                    {
-                        let _detect = telemetry::span("detect");
-                        detector.ingest_batch(structured, &mut reports);
+                    let (d0, s0, q0, r0) = (
+                        detector.degraded,
+                        detector.shed,
+                        detector.quarantined,
+                        detector.retries,
+                    );
+                    // Process the batch under panic isolation: a faulted
+                    // attempt rolls the detector back to its checkpoint
+                    // and replays the same raw logs with the same
+                    // sequence numbers; a batch that keeps faulting past
+                    // the retry budget is quarantined to the dead-letter
+                    // queue instead of wedging the worker.
+                    let base_seq = seq_no;
+                    let mut attempt = 0u32;
+                    loop {
+                        let cp = detector.checkpoint();
+                        let reports_mark = reports.len();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let _detect = telemetry::span("detect");
+                            let structured = batch
+                                .iter()
+                                .enumerate()
+                                .map(|(k, raw)| format_log(raw, base_seq + k as u64));
+                            detector.ingest_batch_mode(structured, &mut reports, mode);
+                        }));
+                        match outcome {
+                            Ok(()) => break,
+                            Err(_) => {
+                                detector.restore(cp);
+                                reports.truncate(reports_mark);
+                                restarts += 1;
+                                c_restarts.add(1);
+                                if attempt >= cfg.max_retries {
+                                    let structured = batch
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(k, raw)| format_log(raw, base_seq + k as u64));
+                                    detector.quarantine_batch(
+                                        structured,
+                                        "batch exhausted its panic-retry budget",
+                                    );
+                                    break;
+                                }
+                                attempt += 1;
+                                thread::sleep(restart_backoff(cfg.retry_backoff, attempt as u64));
+                            }
+                        }
                     }
+                    seq_no += batch.len() as u64;
                     let (dp, dk, dm) = (
                         detector.pattern_hits - p0,
                         detector.cache_hits - k0,
                         detector.model_calls - m0,
                     );
+                    let (dd, ds, dq) = (
+                        detector.degraded - d0,
+                        detector.shed - s0,
+                        detector.quarantined - q0,
+                    );
                     c_pattern.add(dp);
                     c_cache.add(dk);
                     c_model.add(dm);
-                    c_windows.add(dp + dk + dm);
-                    h_batch_windows.record(dp + dk + dm);
+                    c_degraded.add(dd);
+                    c_shed.add(ds);
+                    c_quarantined.add(dq);
+                    c_retries.add(detector.retries - r0);
+                    let dw = dp + dk + dm + dd + ds + dq;
+                    c_windows.add(dw);
+                    h_batch_windows.record(dw);
                     {
                         let _deliver = telemetry::span("deliver");
                         for report in reports.drain(..) {
@@ -222,6 +383,12 @@ where
                     pattern_hits: detector.pattern_hits,
                     cache_hits: detector.cache_hits,
                     model_calls: detector.model_calls,
+                    degraded: detector.degraded,
+                    shed: detector.shed,
+                    quarantined: detector.quarantined,
+                    retries: detector.retries,
+                    restarts,
+                    dead_letters: detector.take_dead_letters(),
                     reports: reports_delivered,
                     new_templates: detector.vectorizer().new_templates(),
                 }
@@ -234,6 +401,12 @@ where
     let mut pattern_hits = 0u64;
     let mut cache_hits = 0u64;
     let mut model_calls = 0u64;
+    let mut degraded = 0u64;
+    let mut shed = 0u64;
+    let mut quarantined = 0u64;
+    let mut retries = 0u64;
+    let mut worker_restarts = 0u64;
+    let mut dead_letters = Vec::new();
     let mut reports = 0u64;
     let mut new_templates = 0usize;
     for worker in workers {
@@ -242,16 +415,28 @@ where
         pattern_hits += s.pattern_hits;
         cache_hits += s.cache_hits;
         model_calls += s.model_calls;
+        degraded += s.degraded;
+        shed += s.shed;
+        quarantined += s.quarantined;
+        retries += s.retries;
+        worker_restarts += s.restarts;
+        dead_letters.extend(s.dead_letters);
         reports += s.reports;
         new_templates += s.new_templates;
     }
     let elapsed = start.elapsed();
     PipelineSummary {
         logs: logs.min(n),
-        windows: pattern_hits + cache_hits + model_calls,
+        windows: pattern_hits + cache_hits + model_calls + degraded + shed + quarantined,
         pattern_hits,
         cache_hits,
         model_calls,
+        degraded,
+        shed,
+        quarantined,
+        retries,
+        worker_restarts,
+        dead_letters,
         reports,
         new_templates,
         elapsed,

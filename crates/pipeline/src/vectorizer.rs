@@ -89,9 +89,14 @@ impl EventVectorizer {
         &self.table
     }
 
-    /// Interpretation text for a template id.
+    /// Interpretation text for a template id. An id this vectorizer never
+    /// issued (possible only if callers mix ids across vectorizers) maps
+    /// to a placeholder instead of panicking mid-report.
     pub fn text(&self, id: u32) -> &str {
-        &self.texts[id as usize]
+        self.texts
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown event>")
     }
 
     /// Number of templates interpreted after warm start.

@@ -1,0 +1,333 @@
+//! Deterministic chaos tests for the serving pipeline's robustness layer.
+//!
+//! Every test installs a seeded `FaultPlan` (so the fault schedule is a
+//! pure function of the plan, reproducible run over run) and asserts the
+//! recovery contract from `docs/robustness.md`:
+//!
+//! - **liveness** — the pipeline drains a finite stream to completion no
+//!   matter which plan is armed (the CI harness adds a 60 s timeout);
+//! - **no lost windows** — processed + quarantined == ingested: the six
+//!   resolution buckets exactly partition the window count of a no-fault
+//!   run over the same stream;
+//! - **telemetry conservation** — the global counters agree with the
+//!   summary, under faults included;
+//! - **bitwise determinism** — a run whose injected faults are all
+//!   transient (retryable errors, latency, corrupt-then-retried scores)
+//!   reproduces the no-fault verdict stream bit for bit.
+//!
+//! Fault plans are process-global, so every test serializes on
+//! `faults::test_lock()`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use logsynergy::model::LogSynergyModel;
+use logsynergy::ModelConfig;
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::faults::{points, test_lock, FaultPlan, FaultSpec};
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, ModelScorer, PipelineConfig, PipelineSummary,
+    RawLog, Report,
+};
+use logsynergy_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EMBED_DIM: usize = 8;
+
+fn tiny_model(seed: u64) -> Arc<LogSynergyModel> {
+    let config = ModelConfig {
+        embed_dim: EMBED_DIM,
+        d_model: 8,
+        heads: 2,
+        ff: 16,
+        layers: 1,
+        max_len: 10,
+        dropout: 0.0,
+        head_hidden: 8,
+        num_systems: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(LogSynergyModel::new(config, &mut rng))
+}
+
+fn vectorizer() -> EventVectorizer {
+    EventVectorizer::new(SystemId::SystemB, EMBED_DIM, LeiConfig::default())
+}
+
+/// A steady stream with a distinct injected fault message every 10 logs,
+/// so model-tier misses (and anomalies) occur throughout the run.
+fn variant_stream(n: u64) -> Vec<RawLog> {
+    const FAULTS: [&str; 16] = [
+        "disk", "fan", "nic", "psu", "dimm", "cpu", "raid", "link", "pump", "bmc", "gpu", "ssd",
+        "port", "rack", "node", "bus",
+    ];
+    (0..n)
+        .map(|i| {
+            let message = if i >= 12 && (i - 12) % 10 == 0 {
+                let fault = FAULTS[((i - 12) / 10) as usize % FAULTS.len()];
+                format!("{fault} subsystem failure isolated offline")
+            } else {
+                "session open remote peer lan".to_string()
+            };
+            RawLog {
+                system: "b".into(),
+                timestamp: i,
+                message,
+            }
+        })
+        .collect()
+}
+
+/// Single-shard serving config with a small deterministic batch cadence
+/// and fast retry backoff (keeps chaos runs well under the CI timeout).
+fn chaos_config() -> PipelineConfig {
+    PipelineConfig {
+        partitions: 1,
+        batch_windows: 4,
+        max_retries: 2,
+        retry_backoff: Duration::from_micros(200),
+        batch_deadline: Duration::from_millis(2),
+        ..PipelineConfig::default()
+    }
+}
+
+fn run(
+    source: &[RawLog],
+    model: &Arc<LogSynergyModel>,
+    config: PipelineConfig,
+) -> (PipelineSummary, Vec<Report>) {
+    let sink = MemorySink::new();
+    let summary = run_pipeline_with(
+        source.to_vec(),
+        vectorizer(),
+        ModelScorer::shared(model.clone()),
+        sink.clone(),
+        config,
+    );
+    let reports = sink.reports();
+    (summary, reports)
+}
+
+/// Injected panics are expected noise here; silence the default hook's
+/// stderr backtraces for the duration of a pipeline run.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+fn assert_conserved(s: &PipelineSummary, baseline_windows: u64, label: &str) {
+    assert_eq!(
+        s.pattern_hits + s.cache_hits + s.model_calls + s.degraded + s.shed + s.quarantined,
+        s.windows,
+        "{label}: resolution buckets must partition the window count: {s:?}"
+    );
+    assert_eq!(
+        s.windows, baseline_windows,
+        "{label}: no window may be lost or double counted under faults: {s:?}"
+    );
+}
+
+fn assert_reports_bitwise_equal(a: &[Report], b: &[Report], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: report count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.probability.to_bits(),
+            y.probability.to_bits(),
+            "{label}: probability must be bitwise identical"
+        );
+        assert_eq!(x, y, "{label}: full report");
+    }
+}
+
+#[test]
+fn worker_panic_storm_quarantines_batches_without_losing_windows() {
+    let _l = test_lock();
+    let model = tiny_model(42);
+    let source = variant_stream(200);
+    let (baseline, _) = run(&source, &model, chaos_config());
+    assert!(baseline.windows > 0 && baseline.reports > 0, "{baseline:?}");
+
+    let tele_before = telemetry::global().snapshot();
+    // Every model-tier call panics until 6 fires are spent. With
+    // max_retries = 2 (three attempts per batch), exactly the first two
+    // model-reaching batches exhaust their budget and are quarantined;
+    // everything after runs clean.
+    let guard = FaultPlan::seeded(7)
+        .arm(points::MODEL_SCORE, FaultSpec::panic().max_fires(6))
+        .install();
+    let (summary, reports) = with_quiet_panics(|| run(&source, &model, chaos_config()));
+    assert_eq!(guard.fires(points::MODEL_SCORE), 6, "panic budget consumed");
+    drop(guard);
+    let tele_after = telemetry::global().snapshot();
+
+    assert_conserved(&summary, baseline.windows, "panic storm");
+    assert!(
+        summary.quarantined > 0,
+        "twice-faulted batches must quarantine: {summary:?}"
+    );
+    assert_eq!(
+        summary.dead_letters.len() as u64,
+        summary.quarantined,
+        "one dead letter per quarantined window"
+    );
+    assert_eq!(
+        summary.worker_restarts, 6,
+        "each injected panic is one isolated restart: {summary:?}"
+    );
+    assert!(
+        !reports.is_empty(),
+        "the pipeline must stay live and keep reporting after the storm"
+    );
+    for dl in &summary.dead_letters {
+        assert_eq!(dl.system, "b");
+        assert!(dl.reason.contains("panic-retry budget"), "{dl:?}");
+    }
+
+    // Telemetry conservation: the global counters tell the same story.
+    if telemetry::enabled() {
+        let d = |name: &str| tele_after.counter_delta(&tele_before, name);
+        assert_eq!(d("pipeline.logs"), summary.logs);
+        assert_eq!(d("pipeline.quarantined"), summary.quarantined);
+        assert_eq!(d("pipeline.worker.restarts"), summary.worker_restarts);
+        assert_eq!(
+            d("pipeline.tier.pattern")
+                + d("pipeline.tier.cache")
+                + d("pipeline.tier.model")
+                + d("pipeline.degraded")
+                + d("pipeline.shed")
+                + d("pipeline.quarantined"),
+            d("pipeline.windows"),
+            "telemetry buckets must partition the telemetry window count"
+        );
+        assert_eq!(d("pipeline.windows"), summary.windows);
+    }
+}
+
+#[test]
+fn model_brownout_retries_to_bitwise_identical_verdicts() {
+    let _l = test_lock();
+    let model = tiny_model(42);
+    let source = variant_stream(200);
+    let (baseline, baseline_reports) = run(&source, &model, chaos_config());
+    assert!(baseline.reports > 0, "{baseline:?}");
+
+    // Transient-only plan: a model brownout (first two calls fail), a
+    // corrupt score the validator must catch and retry, flaky cache
+    // lookups (forced misses), a drain hiccup, and producer-side latency.
+    // All of it is retryable, so the verdict stream must be bit-identical
+    // to the no-fault run.
+    let config = PipelineConfig {
+        max_retries: 4,
+        ..chaos_config()
+    };
+    let guard = FaultPlan::seeded(11)
+        .arm(points::MODEL_SCORE, FaultSpec::transient().max_fires(2))
+        .arm(
+            points::MODEL_SCORE,
+            FaultSpec::corrupt_score().after(2).max_fires(1),
+        )
+        .arm(
+            points::CACHE_LOOKUP,
+            FaultSpec::transient().with_probability(0.25),
+        )
+        .arm(points::BATCH_DRAIN, FaultSpec::transient().max_fires(3))
+        .arm(
+            points::BUFFER_PUSH,
+            FaultSpec::latency(Duration::from_micros(100)).with_probability(0.05),
+        )
+        .install();
+    let (summary, reports) = run(&source, &model, config);
+    assert!(guard.fires(points::MODEL_SCORE) >= 3, "brownout must fire");
+    drop(guard);
+
+    assert_conserved(&summary, baseline.windows, "brownout");
+    assert_eq!(summary.quarantined, 0, "{summary:?}");
+    assert_eq!(summary.degraded, 0, "transient faults must not degrade");
+    assert_eq!(summary.shed, 0, "{summary:?}");
+    assert!(
+        summary.retries >= 3,
+        "transient failures are retried: {summary:?}"
+    );
+    assert_eq!(summary.logs, baseline.logs);
+    assert_eq!(summary.reports, baseline.reports);
+    assert_reports_bitwise_equal(&reports, &baseline_reports, "brownout vs no-fault");
+}
+
+#[test]
+fn persistent_model_outage_degrades_instead_of_wedging() {
+    let _l = test_lock();
+    let model = tiny_model(42);
+    let source = variant_stream(200);
+    let (baseline, _) = run(&source, &model, chaos_config());
+
+    // The model tier never answers: every miss must degrade to the cheap
+    // tiers (no verdict, no report) — and the pipeline still drains.
+    let guard = FaultPlan::seeded(3)
+        .arm(points::MODEL_SCORE, FaultSpec::transient())
+        .install();
+    let (summary, reports) = run(&source, &model, chaos_config());
+    drop(guard);
+
+    assert_conserved(&summary, baseline.windows, "outage");
+    assert_eq!(summary.model_calls, 0, "nothing can be model-scored");
+    assert_eq!(summary.quarantined, 0, "{summary:?}");
+    assert!(
+        reports.is_empty(),
+        "degraded windows carry no verdict, so no reports"
+    );
+    // Degraded windows are never memorized (no verdict), so under a
+    // total outage every single window falls through to degradation —
+    // and each one keeps its fresh chance at the model tier for when
+    // the outage ends.
+    assert_eq!(
+        summary.degraded, summary.windows,
+        "every miss must degrade, none may wedge: {summary:?}"
+    );
+    assert!(summary.retries > 0, "{summary:?}");
+}
+
+#[test]
+fn slow_consumer_backpressure_sheds_to_cheap_tiers() {
+    let _l = test_lock();
+    let model = tiny_model(42);
+    let source = variant_stream(400);
+    let config = PipelineConfig {
+        partition_capacity: 64,
+        shed_watermark: 32,
+        ..chaos_config()
+    };
+    let (baseline, _) = run(&source, &model, config.clone());
+
+    // Every drain stalls 3 ms, so the bounded queue saturates and depth
+    // sits above the watermark: the worker must shed to the cheap tiers
+    // instead of letting the model tier melt.
+    let guard = FaultPlan::seeded(5)
+        .arm(
+            points::BATCH_DRAIN,
+            FaultSpec::latency(Duration::from_millis(3)),
+        )
+        .install();
+    let (summary, _) = run(&source, &model, config);
+    drop(guard);
+
+    assert_conserved(&summary, baseline.windows, "backpressure");
+    assert!(
+        summary.shed > 0,
+        "over-watermark batches must shed: {summary:?}"
+    );
+    assert_eq!(summary.quarantined, 0, "{summary:?}");
+    assert_eq!(summary.degraded, 0, "{summary:?}");
+    assert!(
+        summary.model_calls < baseline.model_calls,
+        "shedding must spare the model tier: {} !< {}",
+        summary.model_calls,
+        baseline.model_calls
+    );
+}

@@ -5,8 +5,8 @@ use std::time::Duration;
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::SystemId;
 use logsynergy_pipeline::{
-    format_log, EventVectorizer, LogBuffer, OnlineDetector, PatternLibrary, RawLog, SequenceScorer,
-    StructuredLog, Verdict,
+    format_log, EventVectorizer, LogBuffer, OnlineDetector, PatternLibrary, RawLog, ScoreCache,
+    SequenceScorer, StructuredLog, Verdict,
 };
 use proptest::prelude::*;
 
@@ -64,9 +64,47 @@ proptest! {
     fn format_log_normalizes(tokens in proptest::collection::vec("[a-z]{1,6}", 1..8), pad in 0usize..4) {
         let message = tokens.join(&" ".repeat(pad + 1));
         let raw = RawLog { system: "s".into(), timestamp: 1, message };
-        let f = format_log(raw, 9);
+        let f = format_log(&raw, 9);
         prop_assert_eq!(f.message.split(' ').count(), tokens.len());
         prop_assert!(!f.message.contains("  "));
+    }
+
+    /// Arbitrary interleavings of insert/lookup never exceed the LRU
+    /// capacity bound, and a hit always returns the score most recently
+    /// inserted for that exact event-id sequence.
+    #[test]
+    fn score_cache_bounds_capacity_and_serves_freshest(
+        capacity in 0usize..9,
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u32..6, 1..4), 0u32..1000, any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let mut cache = ScoreCache::new(capacity);
+        // Reference model: the last score inserted per exact key.
+        let mut freshest: std::collections::HashMap<Vec<u32>, f32> = Default::default();
+        for (key, raw_score, is_insert) in ops {
+            let score = raw_score as f32 / 1000.0;
+            if is_insert {
+                cache.insert(&key, score);
+                freshest.insert(key.clone(), score);
+            } else if let Some(hit) = cache.get(&key) {
+                // A hit may legitimately be absent after eviction, but a
+                // present entry must carry the freshest score, bitwise.
+                let expected = freshest.get(&key).copied();
+                prop_assert_eq!(
+                    Some(hit.to_bits()),
+                    expected.map(f32::to_bits),
+                    "hit must return the most recently inserted score"
+                );
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "LRU exceeded its capacity bound: {} > {}",
+                cache.len(),
+                capacity
+            );
+        }
     }
 
     /// The buffer preserves per-system order and loses nothing.

@@ -138,4 +138,48 @@ mod tests {
 
         server.shutdown();
     }
+
+    #[test]
+    fn dropping_the_handle_stops_the_thread_and_releases_the_port() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.0 200 OK"));
+
+        // Capture the serving thread's handle indirectly: after drop, the
+        // accept loop must have exited (Drop joins it), so a fresh bind on
+        // the very same address succeeds — the OS has released the port.
+        drop(server);
+        let rebound =
+            TcpListener::bind(addr).expect("the port must be released once the handle is dropped");
+        assert_eq!(rebound.local_addr().unwrap(), addr);
+
+        // And the old endpoint is really gone: a scrape against the
+        // rebound-but-not-serving listener cannot reach the old server.
+        drop(rebound);
+        let err = TcpStream::connect(addr);
+        assert!(
+            err.is_err() || {
+                // A TIME_WAIT race may still accept the SYN; a read then
+                // sees EOF/ECONNRESET rather than a metrics response.
+                let mut s = err.unwrap();
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let _ = s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                let mut out = String::new();
+                let _ = s.read_to_string(&mut out);
+                out.is_empty()
+            },
+            "no thread may keep serving after shutdown"
+        );
+    }
+
+    #[test]
+    fn explicit_shutdown_joins_the_serving_thread() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        assert!(get(addr, "/metrics.json").contains("application/json"));
+        // shutdown() consumes the handle and joins: by the time it
+        // returns, rebinding must succeed deterministically.
+        server.shutdown();
+        TcpListener::bind(addr).expect("shutdown must join before returning");
+    }
 }

@@ -64,6 +64,14 @@ fn trained_model_serves_live_stream() {
         summary.windows,
         "every window is fast-pathed, cache-served, or scored: {summary:?}"
     );
+    // A healthy, fault-free run must never exercise the robustness paths:
+    // nothing degrades, sheds, quarantines, retries, or restarts.
+    assert_eq!(summary.degraded, 0, "{summary:?}");
+    assert_eq!(summary.shed, 0, "{summary:?}");
+    assert_eq!(summary.quarantined, 0, "{summary:?}");
+    assert_eq!(summary.retries, 0, "{summary:?}");
+    assert_eq!(summary.worker_restarts, 0, "{summary:?}");
+    assert!(summary.dead_letters.is_empty(), "{summary:?}");
     // The telemetry registry must tell the same story as the summary: the
     // three verdict-tier counters partition exactly the windows this run
     // produced (snapshot deltas isolate this run from other tests sharing
@@ -75,6 +83,11 @@ fn trained_model_serves_live_stream() {
             d("pipeline.tier.pattern") + d("pipeline.tier.cache") + d("pipeline.tier.model"),
             summary.windows,
             "tier counters must partition the windows"
+        );
+        assert_eq!(
+            d("pipeline.degraded") + d("pipeline.shed") + d("pipeline.quarantined"),
+            0,
+            "robustness counters must stay silent in a fault-free run"
         );
         assert_eq!(
             d("pipeline.windows"),
