@@ -128,6 +128,20 @@ fn main() {
         // batch folded into rows.
         bench_shape("(32x10)x768x768", 320, 768, 768, reps),
     ];
+    // Thread-scaling gate: adding threads must never cost more than 10%
+    // on any shape. Small GEMMs stay serial under the per-shape work
+    // threshold (`matmul` caps threads at flops / 2^20, and at the
+    // hardware thread count), so the historical 64³ regression — where
+    // fork/join overhead halved throughput — cannot recur.
+    for s in &shapes {
+        assert!(
+            s.scaling_4t_vs_1t >= 0.9,
+            "{}: 4t/1t scaling {:.3} regressed below 0.9 — the per-shape \
+             work threshold must keep threading from hurting small GEMMs",
+            s.shape,
+            s.scaling_4t_vs_1t
+        );
+    }
     let report = KernelsReport {
         reps,
         simd_tier: kernels::simd_tier_name().to_string(),

@@ -58,6 +58,13 @@ commands:
                                     failures and panicking attempts (default 2)
                 --shed-watermark <n> queue depth above which batches are served
                                     from the cheap tiers only, 0 disables (default 0)
+                --library-capacity <n> per-worker pattern-library LRU capacity,
+                                    0 = unbounded (default 0)
+                --core-budget <n>   kernel-thread budget split across workers,
+                                    0 = auto (default 0); composes with
+                                    LOGSYNERGY_NN_THREADS and --workers
+                --quant             serve with the calibrated int8 scorer
+                                    (requires a build with --features quant)
                 --metrics-out <p>   write a JSON telemetry snapshot when done
                 --metrics-listen <a> serve /metrics over HTTP while running
 ";
@@ -313,16 +320,47 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
         score_cache: a.num("cache", PipelineConfig::default().score_cache)?,
         max_retries: a.num("max-retries", PipelineConfig::default().max_retries)?,
         shed_watermark: a.num("shed-watermark", PipelineConfig::default().shed_watermark)?,
+        library_capacity: a.num(
+            "library-capacity",
+            PipelineConfig::default().library_capacity,
+        )?,
+        core_budget: a.num("core-budget", PipelineConfig::default().core_budget)?,
         ..PipelineConfig::default()
     };
     let sink = MessagingSink::new();
-    let s = run_pipeline_with(
-        source,
-        vectorizer,
-        ModelScorer::new(model),
-        sink.clone(),
-        serving,
-    );
+    let s = if a.flag("quant") {
+        #[cfg(feature = "quant")]
+        {
+            // Calibrate the int8 scorer on the warm-start segment, replayed
+            // through a clone of the serving vectorizer so activation ranges
+            // are measured against the embeddings the pipeline will actually
+            // score with.
+            let mut cal = vectorizer.clone();
+            let ids: Vec<u32> = warm.iter().map(|r| cal.ingest(&r.message)).collect();
+            let windows: Vec<&[u32]> = ids.chunks(10).filter(|c| c.len() == 10).take(256).collect();
+            let scorer =
+                logsynergy_pipeline::QuantScorer::calibrated(&model, &windows, cal.table());
+            eprintln!(
+                "serving tier: int8 (calibrated on {} windows)",
+                windows.len()
+            );
+            run_pipeline_with(source, vectorizer, scorer, sink.clone(), serving)
+        }
+        #[cfg(not(feature = "quant"))]
+        {
+            return Err("--quant requires a binary built with --features quant \
+                 (cargo build -p logsynergy-cli --features quant)"
+                .into());
+        }
+    } else {
+        run_pipeline_with(
+            source,
+            vectorizer,
+            ModelScorer::new(model),
+            sink.clone(),
+            serving,
+        )
+    };
     println!(
         "logs {}  windows {}  fast-path {:.1}%  cache hits {}  model calls {}  reports {}  {:.0} logs/s",
         s.logs,

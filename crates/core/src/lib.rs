@@ -53,8 +53,11 @@ pub mod config;
 pub mod data;
 pub mod detector;
 pub mod faults;
+pub mod infer;
 pub mod model;
 pub mod persist;
+#[cfg(feature = "quant")]
+pub mod quant;
 pub mod trainer;
 
 pub use api::Pipeline;

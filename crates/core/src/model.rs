@@ -131,6 +131,22 @@ impl LogSynergyModel {
         &self.club
     }
 
+    /// The embedding → model-width input projection (for inference engines
+    /// that read the frozen weights directly).
+    pub fn input_proj(&self) -> &Linear {
+        &self.input_proj
+    }
+
+    /// The Transformer feature extractor `F`.
+    pub fn encoder(&self) -> &TransformerEncoder {
+        &self.encoder
+    }
+
+    /// The anomaly classifier head `C_anomaly`.
+    pub fn c_anomaly(&self) -> &Mlp {
+        &self.c_anomaly
+    }
+
     /// Extracts and disentangles features from a `[B, T, embed_dim]` batch:
     /// projection → Transformer encoder → mean pooling → split into the
     /// equal-width `F_u` / `F_s` halves (§III-D2).

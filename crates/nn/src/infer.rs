@@ -1,0 +1,442 @@
+//! Graph-free f32 inference primitives.
+//!
+//! The tape ([`crate::graph::Graph`]) exists for training; at serving time
+//! the model is frozen and the tape's per-op buffer allocation, node
+//! bookkeeping, and backward-closure construction are pure overhead. This
+//! module provides the forward math as plain slice-in/slice-out functions
+//! so an inference engine can run the whole network over a micro-batch
+//! with a handful of reused scratch buffers.
+//!
+//! **Bitwise contract:** every function here reproduces the corresponding
+//! tape op *exactly* — same kernels ([`crate::kernels::mm`] /
+//! [`crate::kernels::mm_nt`]), same per-row accumulation order, same
+//! scalar functions ([`crate::ops::gelu_scalar`]). A fused sweep produces
+//! the same bits as the unfused tape forward at every thread count; the
+//! test suite asserts this end-to-end against a trained model.
+//!
+//! Fusion here means *not materializing tape intermediates*: QKV can be
+//! projected as one GEMM (each output element of a GEMM depends only on
+//! its A-row and B-column, so horizontally concatenating the three weight
+//! matrices is bit-neutral), attention runs per `(batch, head)` against a
+//! single `[T, T]` score scratch instead of tape-wide `[B, T, T]` tensors,
+//! and the MLP applies the GELU fast path in place between its two GEMMs.
+
+use crate::kernels::{self, mm, mm_nt};
+use crate::ops::gelu_scalar;
+
+/// `out[m, n] = x[m, k] · w[k, n] (+ bias)` — the tape's `Linear::forward`
+/// on a flattened input (the tape folds `[B, T, k]` to `[B·T, k]` for 2-D
+/// weights, so callers pass `m = B·T`). `out` is overwritten (the blocked
+/// kernels accumulate, so it is zeroed first — reuse scratch freely).
+pub fn linear_into(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(x.len(), m * k);
+    debug_assert_eq!(w.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    mm(x, w, out, m, k, n);
+    if let Some(b) = bias {
+        debug_assert_eq!(b.len(), n);
+        for row in out.chunks_exact_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// Elementwise `x[i] += y[i]` — the tape's same-shape `ops::add`.
+pub fn add_inplace(x: &mut [f32], y: &[f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (o, &v) in x.iter_mut().zip(y) {
+        *o += v;
+    }
+}
+
+/// `h[b, t, :] += pos[t, :]` — the tape's broadcast `ops::add` of a
+/// `[T, D]` positional table over the batch axis.
+pub fn add_pos_inplace(h: &mut [f32], pos: &[f32], batch: usize, t: usize, d: usize) {
+    debug_assert_eq!(h.len(), batch * t * d);
+    debug_assert!(pos.len() >= t * d);
+    for bt in h.chunks_exact_mut(t * d) {
+        for (o, &p) in bt.iter_mut().zip(&pos[..t * d]) {
+            *o += p;
+        }
+    }
+}
+
+/// Row-wise layer norm `dst = (src - mean) / sqrt(var + eps) * gamma + beta`
+/// — the exact per-row loop of the fused `ops::layer_norm` kernel.
+pub fn layer_norm_into(src: &[f32], gamma: &[f32], beta: &[f32], eps: f32, dst: &mut [f32]) {
+    let d = gamma.len();
+    debug_assert_eq!(beta.len(), d);
+    debug_assert_eq!(src.len(), dst.len());
+    debug_assert_eq!(src.len() % d.max(1), 0);
+    for (row, orow) in src.chunks_exact(d).zip(dst.chunks_exact_mut(d)) {
+        let mu = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+        let rst = 1.0 / (var + eps).sqrt();
+        for j in 0..d {
+            orow[j] = (row[j] - mu) * rst * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// In-place row-wise softmax over the last axis — the exact per-row loop
+/// of the tape's `ops::softmax` (max-shift, exp with interleaved sum,
+/// multiply by the reciprocal).
+pub fn softmax_rows(buf: &mut [f32], d: usize) {
+    debug_assert_eq!(buf.len() % d.max(1), 0);
+    for row in buf.chunks_exact_mut(d) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut s = 0.0;
+        for o in row.iter_mut() {
+            *o = (*o - m).exp();
+            s += *o;
+        }
+        let inv = 1.0 / s;
+        for o in row.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// In-place GELU (tanh fast path) — the tape's `ops::gelu` forward.
+pub fn gelu_inplace(buf: &mut [f32]) {
+    for o in buf.iter_mut() {
+        *o = gelu_scalar(*o);
+    }
+}
+
+/// In-place ReLU — the tape's `ops::relu` forward.
+pub fn relu_inplace(buf: &mut [f32]) {
+    for o in buf.iter_mut() {
+        *o = o.max(0.0);
+    }
+}
+
+/// In-place `buf[i] = s * buf[i]` — the tape's `ops::scale`.
+pub fn scale_inplace(buf: &mut [f32], s: f32) {
+    for o in buf.iter_mut() {
+        *o *= s;
+    }
+}
+
+/// Mean pooling over time: `out[b, :] = mean_t h[b, t, :]` — the tape's
+/// `ops::mean_axis(h, 1)`: ascending-`t` accumulation, then one multiply
+/// by `1 / T`.
+pub fn mean_pool_into(h: &[f32], batch: usize, t: usize, d: usize, out: &mut [f32]) {
+    debug_assert_eq!(h.len(), batch * t * d);
+    debug_assert_eq!(out.len(), batch * d);
+    let s = 1.0 / t as f32;
+    for (b, orow) in out.chunks_exact_mut(d).enumerate() {
+        for j in 0..d {
+            let mut acc = 0.0f32;
+            for tt in 0..t {
+                acc += h[(b * t + tt) * d + j];
+            }
+            orow[j] = s * acc;
+        }
+    }
+}
+
+/// Reusable scratch for [`attention_sweep`]: per-`(batch, head)` Q/K/V
+/// gathers, the `[T, T]` score matrix, and the head output.
+pub struct AttnScratch {
+    qh: Vec<f32>,
+    kh: Vec<f32>,
+    vh: Vec<f32>,
+    scores: Vec<f32>,
+    outh: Vec<f32>,
+}
+
+impl AttnScratch {
+    /// Allocates scratch for sequence length `t` and head width `head_dim`.
+    pub fn new(t: usize, head_dim: usize) -> Self {
+        AttnScratch {
+            qh: vec![0.0; t * head_dim],
+            kh: vec![0.0; t * head_dim],
+            vh: vec![0.0; t * head_dim],
+            scores: vec![0.0; t * t],
+            outh: vec![0.0; t * head_dim],
+        }
+    }
+
+    /// Mutable view of the `[T, T]` score buffer, for the quant-only
+    /// fast attention in [`crate::infer_fast`] (which reads Q/K/V in
+    /// place and needs none of the gather buffers).
+    #[cfg(feature = "quant")]
+    pub(crate) fn scores_mut(&mut self) -> &mut [f32] {
+        &mut self.scores
+    }
+}
+
+/// Fused multi-head attention core: from projected `q`/`k`/`v` (each
+/// `[B·T, D]`, heads interleaved along the feature axis) to the
+/// pre-output-projection concat `[B·T, D]`, without materializing any
+/// batch-wide intermediate. Per `(batch, head)`: gather the head slices,
+/// `scores = scale · (qh · khᵀ)`, row softmax, `outh = scores · vh`,
+/// scatter into `concat` — the exact math of `MultiHeadAttention::forward`
+/// after its Q/K/V projections.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_sweep(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    batch: usize,
+    t: usize,
+    heads: usize,
+    head_dim: usize,
+    scale: f32,
+    concat: &mut [f32],
+    scratch: &mut AttnScratch,
+) {
+    let d = heads * head_dim;
+    debug_assert_eq!(q.len(), batch * t * d);
+    debug_assert_eq!(concat.len(), batch * t * d);
+    kernels::stats::record_fused_attention();
+    for b in 0..batch {
+        for h in 0..heads {
+            let off = h * head_dim;
+            for tt in 0..t {
+                let row = (b * t + tt) * d + off;
+                let dst = tt * head_dim;
+                scratch.qh[dst..dst + head_dim].copy_from_slice(&q[row..row + head_dim]);
+                scratch.kh[dst..dst + head_dim].copy_from_slice(&k[row..row + head_dim]);
+                scratch.vh[dst..dst + head_dim].copy_from_slice(&v[row..row + head_dim]);
+            }
+            // The blocked kernels accumulate into C; zero the reused scratch.
+            scratch.scores.fill(0.0);
+            mm_nt(
+                &scratch.qh,
+                &scratch.kh,
+                &mut scratch.scores,
+                t,
+                head_dim,
+                t,
+            );
+            scale_inplace(&mut scratch.scores, scale);
+            softmax_rows(&mut scratch.scores, t);
+            scratch.outh.fill(0.0);
+            mm(
+                &scratch.scores,
+                &scratch.vh,
+                &mut scratch.outh,
+                t,
+                t,
+                head_dim,
+            );
+            for tt in 0..t {
+                let row = (b * t + tt) * d + off;
+                let src = tt * head_dim;
+                concat[row..row + head_dim].copy_from_slice(&scratch.outh[src..src + head_dim]);
+            }
+        }
+    }
+}
+
+/// Fused transformer feed-forward: `out = W2 · gelu(W1 · x_norm + b1) + b2`
+/// with the GELU fast path applied in place between the two GEMMs. `hidden`
+/// is `[m, ff]` scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn mlp_sweep(
+    x_norm: &[f32],
+    w1: &[f32],
+    b1: Option<&[f32]>,
+    w2: &[f32],
+    b2: Option<&[f32]>,
+    out: &mut [f32],
+    hidden: &mut [f32],
+    m: usize,
+    d: usize,
+    ff: usize,
+) {
+    kernels::stats::record_fused_mlp();
+    linear_into(x_norm, w1, b1, hidden, m, d, ff);
+    gelu_inplace(hidden);
+    linear_into(hidden, w2, b2, out, m, ff, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, ParamStore};
+    use crate::layers::MultiHeadAttention;
+    use crate::ops;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_rows_matches_tape_bitwise() {
+        let data: Vec<f32> = (0..24).map(|i| ((i * 7) % 11) as f32 * 0.3 - 1.5).collect();
+        let g = Graph::inference();
+        let x = g.input(Tensor::new(data.clone(), &[4, 6]));
+        let want = g.value(ops::softmax(&g, x));
+        let mut got = data;
+        softmax_rows(&mut got, 6);
+        for (a, b) in got.iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn layer_norm_matches_tape_bitwise() {
+        let data: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.21).collect();
+        let gamma: Vec<f32> = (0..8).map(|i| 0.5 + i as f32 * 0.1).collect();
+        let beta: Vec<f32> = (0..8).map(|i| i as f32 * -0.05).collect();
+        let g = Graph::inference();
+        let x = g.input(Tensor::new(data.clone(), &[4, 8]));
+        let gm = g.input(Tensor::new(gamma.clone(), &[8]));
+        let bt = g.input(Tensor::new(beta.clone(), &[8]));
+        let want = g.value(ops::layer_norm(&g, x, gm, bt, 1e-5));
+        let mut got = vec![0.0; 32];
+        layer_norm_into(&data, &gamma, &beta, 1e-5, &mut got);
+        for (a, b) in got.iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_qkv_gemm_matches_separate_projections_bitwise() {
+        // One [k, 3n] GEMM vs three [k, n] GEMMs: each output element of mm
+        // depends only on its A-row and B-column, so the concat is
+        // bit-neutral. This is the property the fused QKV projection needs.
+        let (m, k, n) = (6, 16, 8);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13) % 29) as f32 * 0.07 - 1.0)
+            .collect();
+        let ws: Vec<Vec<f32>> = (0..3)
+            .map(|s| {
+                (0..k * n)
+                    .map(|i| ((i * 5 + s * 11) % 23) as f32 * 0.09 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let mut wcat = vec![0.0f32; k * 3 * n];
+        for r in 0..k {
+            for (s, w) in ws.iter().enumerate() {
+                wcat[r * 3 * n + s * n..r * 3 * n + (s + 1) * n]
+                    .copy_from_slice(&w[r * n..(r + 1) * n]);
+            }
+        }
+        let mut fused = vec![0.0f32; m * 3 * n];
+        mm(&a, &wcat, &mut fused, m, k, 3 * n);
+        for (s, w) in ws.iter().enumerate() {
+            let mut sep = vec![0.0f32; m * n];
+            mm(&a, w, &mut sep, m, k, n);
+            for r in 0..m {
+                for c in 0..n {
+                    assert_eq!(
+                        sep[r * n + c].to_bits(),
+                        fused[r * 3 * n + s * n + c].to_bits(),
+                        "slot {s} ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_sweep_matches_tape_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut store = ParamStore::new();
+        let (b, t, d, heads) = (3, 5, 8, 2);
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", d, heads);
+        let x = Tensor::randn(&mut rng, &[b, t, d], 1.0);
+
+        let g = Graph::inference();
+        let want = g.value(mha.forward(&g, &store, g.input(x.clone())));
+
+        // Graph-free: project q/k/v, sweep, output-project.
+        let m = b * t;
+        let dh = d / heads;
+        let proj = |lin: &crate::layers::Linear| {
+            let w = store.value(lin.w_id());
+            let bias = lin.b_id().map(|id| store.value(id));
+            let mut out = vec![0.0; m * d];
+            linear_into(
+                x.data(),
+                w.data(),
+                bias.map(|bt| bt.data()),
+                &mut out,
+                m,
+                d,
+                d,
+            );
+            out
+        };
+        let (q, k, v) = (proj(mha.wq()), proj(mha.wk()), proj(mha.wv()));
+        let mut concat = vec![0.0; m * d];
+        let mut scratch = AttnScratch::new(t, dh);
+        let scale = 1.0 / (dh as f32).sqrt();
+        attention_sweep(
+            &q,
+            &k,
+            &v,
+            b,
+            t,
+            heads,
+            dh,
+            scale,
+            &mut concat,
+            &mut scratch,
+        );
+        let mut got = vec![0.0; m * d];
+        let wo_w = store.value(mha.wo().w_id());
+        let wo_b = mha.wo().b_id().map(|id| store.value(id));
+        linear_into(
+            &concat,
+            wo_w.data(),
+            wo_b.map(|bt| bt.data()),
+            &mut got,
+            m,
+            d,
+            d,
+        );
+
+        for (a, w) in got.iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn mlp_sweep_matches_tape_gelu_chain_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let (m, d, ff) = (7, 8, 16);
+        let l1 = crate::layers::Linear::new(&mut store, &mut rng, "ff1", d, ff);
+        let l2 = crate::layers::Linear::new(&mut store, &mut rng, "ff2", ff, d);
+        let x = Tensor::randn(&mut rng, &[m, d], 1.0);
+
+        let g = Graph::inference();
+        let xv = g.input(x.clone());
+        let h = l1.forward(&g, &store, xv);
+        let h = ops::gelu(&g, h);
+        let want = g.value(l2.forward(&g, &store, h));
+
+        let mut got = vec![0.0; m * d];
+        let mut hidden = vec![0.0; m * ff];
+        mlp_sweep(
+            x.data(),
+            store.value(l1.w_id()).data(),
+            l1.b_id().map(|id| store.value(id).data()),
+            store.value(l2.w_id()).data(),
+            l2.b_id().map(|id| store.value(id).data()),
+            &mut got,
+            &mut hidden,
+            m,
+            d,
+            ff,
+        );
+        for (a, w) in got.iter().zip(want.data()) {
+            assert_eq!(a.to_bits(), w.to_bits());
+        }
+    }
+}

@@ -60,11 +60,30 @@ fn row_grain(red: usize, n: usize) -> usize {
     GRAIN_FLOPS.div_ceil(per_row).next_multiple_of(ROW_ALIGN)
 }
 
+/// Minimum FLOPs of matmul work per enlisted thread. Below this, the
+/// dispatch + cache-contention cost of fanning out exceeds the compute
+/// being shared: a 64³ GEMM (2^19 FLOPs) runs *slower* at 4 threads than
+/// at 1 on every machine we measured. One thread per `2^20` FLOPs keeps
+/// 64³-class shapes serial while 256³ (2^25) still spreads.
+const MIN_FLOPS_PER_THREAD: usize = 1 << 20;
+
+/// Effective thread count for a matmul of `flops` total work: the
+/// requested count, capped at the machine's real parallelism (threads
+/// beyond physical cores only time-slice — pure oversubscription loss)
+/// and at one thread per [`MIN_FLOPS_PER_THREAD`] of work. Chunk
+/// *boundaries* stay a pure function of the shape, so bits are unchanged;
+/// only how many threads claim those chunks varies.
+pub(crate) fn matmul_threads(flops: usize) -> usize {
+    super::current_threads()
+        .min(super::hardware_threads())
+        .min((flops / MIN_FLOPS_PER_THREAD).max(1))
+}
+
 /// Instruction tier, detected once per process. Constant for the process
 /// lifetime, so every thread (and every chunk) computes identical bits.
 #[derive(Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
-enum Tier {
+pub(crate) enum Tier {
     Scalar,
     /// AVX2 + FMA: 256-bit lanes, fused multiply-add.
     Fma256,
@@ -72,7 +91,7 @@ enum Tier {
     Fma512,
 }
 
-fn tier() -> Tier {
+pub(crate) fn tier() -> Tier {
     #[cfg(target_arch = "x86_64")]
     {
         static TIER: std::sync::OnceLock<Tier> = std::sync::OnceLock::new();
@@ -159,11 +178,14 @@ pub fn mm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     super::stats::record_matmul(m, k, n);
+    let threads = matmul_threads(2 * m * k * n);
     let out = SharedMut::new(c);
-    parallel_for(m, row_grain(k, n), |r0, r1| {
-        // SAFETY: row blocks are disjoint across chunks.
-        let rows = unsafe { out.range(r0 * n, r1 * n) };
-        mm_rows(a, b, rows, r0, r1, k, n);
+    super::with_threads(threads, || {
+        parallel_for(m, row_grain(k, n), |r0, r1| {
+            // SAFETY: row blocks are disjoint across chunks.
+            let rows = unsafe { out.range(r0 * n, r1 * n) };
+            mm_rows(a, b, rows, r0, r1, k, n);
+        });
     });
 }
 
@@ -362,11 +384,14 @@ pub fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     super::stats::record_matmul(m, k, n);
+    let threads = matmul_threads(2 * m * k * n);
     let out = SharedMut::new(c);
-    parallel_for(m, row_grain(k, n), |r0, r1| {
-        // SAFETY: row blocks are disjoint across chunks.
-        let rows = unsafe { out.range(r0 * n, r1 * n) };
-        nt_rows(a, b, rows, r0, r1, k, n);
+    super::with_threads(threads, || {
+        parallel_for(m, row_grain(k, n), |r0, r1| {
+            // SAFETY: row blocks are disjoint across chunks.
+            let rows = unsafe { out.range(r0 * n, r1 * n) };
+            nt_rows(a, b, rows, r0, r1, k, n);
+        });
     });
 }
 
@@ -507,11 +532,14 @@ pub fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
     super::stats::record_matmul(m, k, n);
+    let threads = matmul_threads(2 * m * k * n);
     let out = SharedMut::new(c);
-    parallel_for(k, row_grain(m, n), |p0, p1| {
-        // SAFETY: output-row blocks are disjoint across chunks.
-        let rows = unsafe { out.range(p0 * n, p1 * n) };
-        tn_rows(a, b, rows, p0, p1, m, k, n);
+    super::with_threads(threads, || {
+        parallel_for(k, row_grain(m, n), |p0, p1| {
+            // SAFETY: output-row blocks are disjoint across chunks.
+            let rows = unsafe { out.range(p0 * n, p1 * n) };
+            tn_rows(a, b, rows, p0, p1, m, k, n);
+        });
     });
 }
 

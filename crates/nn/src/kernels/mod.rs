@@ -26,7 +26,9 @@
 pub mod arena;
 pub mod matmul;
 mod pool;
-mod stats;
+#[cfg(feature = "quant")]
+pub mod qgemm;
+pub(crate) mod stats;
 
 pub use matmul::{
     mm, mm_nt, mm_nt_ref, mm_ref, mm_ref_skip_zero, mm_tn, mm_tn_ref, simd_tier_name,
@@ -49,6 +51,13 @@ pub(crate) fn max_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// The machine's real parallelism (`std::thread::available_parallelism`),
+/// as the kernels see it. Serving layers use this to split a shared core
+/// budget between partition workers and per-worker kernel threads.
+pub fn hardware_threads() -> usize {
+    max_threads()
 }
 
 /// Process-wide default thread count: `LOGSYNERGY_NN_THREADS` if set to a

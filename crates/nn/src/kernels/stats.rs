@@ -16,6 +16,11 @@
 //!   pool workers vs. the dispatching thread; their ratio is the pool's
 //!   effective utilization.
 //! - `nn.pool.workers` — gauge, pool size (set once at pool spawn).
+//! - `nn.fused.attention` / `nn.fused.mlp` — counters; fused inference
+//!   sweeps (one per attention block / MLP block per micro-batch).
+//! - `nn.qgemm.calls` / `nn.qgemm.ops` — counters (`quant` feature only);
+//!   one call is `2·m·k·n` int ops. The int8 kernel tier is published as
+//!   the `nn.qgemm_tier` tag on first use.
 
 use std::sync::{Arc, OnceLock};
 
@@ -28,6 +33,12 @@ struct Handles {
     chunks_worker: Arc<Counter>,
     chunks_caller: Arc<Counter>,
     pool_workers: Arc<Gauge>,
+    fused_attention: Arc<Counter>,
+    fused_mlp: Arc<Counter>,
+    #[cfg(feature = "quant")]
+    qgemm_calls: Arc<Counter>,
+    #[cfg(feature = "quant")]
+    qgemm_ops: Arc<Counter>,
 }
 
 fn handles() -> &'static Handles {
@@ -42,6 +53,12 @@ fn handles() -> &'static Handles {
             chunks_worker: nn.counter("pool.chunks.worker"),
             chunks_caller: nn.counter("pool.chunks.caller"),
             pool_workers: nn.gauge("pool.workers"),
+            fused_attention: nn.counter("fused.attention"),
+            fused_mlp: nn.counter("fused.mlp"),
+            #[cfg(feature = "quant")]
+            qgemm_calls: nn.counter("qgemm.calls"),
+            #[cfg(feature = "quant")]
+            qgemm_ops: nn.counter("qgemm.ops"),
         }
     })
 }
@@ -56,6 +73,45 @@ pub(crate) fn record_matmul(m: usize, k: usize, n: usize) {
     let h = handles();
     h.matmul_calls.inc();
     h.matmul_flops.add(2 * (m as u64) * (k as u64) * (n as u64));
+}
+
+/// Accounts one fused attention sweep (one attention block over one
+/// micro-batch in the graph-free inference engine).
+#[inline]
+pub(crate) fn record_fused_attention() {
+    if !logsynergy_telemetry::enabled() {
+        return;
+    }
+    handles().fused_attention.inc();
+}
+
+/// Accounts one fused MLP sweep (feed-forward block with the GELU fast
+/// path applied in place, no intermediate tape nodes).
+#[inline]
+pub(crate) fn record_fused_mlp() {
+    if !logsynergy_telemetry::enabled() {
+        return;
+    }
+    handles().fused_mlp.inc();
+}
+
+/// Accounts one int8 GEMM of shape `m×k · k×n` and publishes the int8
+/// kernel tier tag on first use.
+#[cfg(feature = "quant")]
+#[inline]
+pub(crate) fn record_qgemm(m: usize, k: usize, n: usize) {
+    if !logsynergy_telemetry::enabled() {
+        return;
+    }
+    static TAG: OnceLock<()> = OnceLock::new();
+    TAG.get_or_init(|| {
+        global()
+            .scoped("nn")
+            .set_tag("qgemm_tier", super::qgemm::qgemm_tier_name());
+    });
+    let h = handles();
+    h.qgemm_calls.inc();
+    h.qgemm_ops.add(2 * (m as u64) * (k as u64) * (n as u64));
 }
 
 /// Accounts one pooled `parallel_for` dispatch.

@@ -48,6 +48,31 @@ impl MultiHeadAttention {
         self.heads
     }
 
+    /// Per-head feature width (`d / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// The query projection.
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &Linear {
+        &self.wo
+    }
+
     /// Applies self-attention; input and output are `[B, T, D]`.
     pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
         let q = self.wq.forward(g, store, x);

@@ -34,6 +34,21 @@ impl LayerNorm {
         self.dim
     }
 
+    /// Parameter id of the `[dim]` scale vector.
+    pub fn gamma_id(&self) -> ParamId {
+        self.gamma
+    }
+
+    /// Parameter id of the `[dim]` shift vector.
+    pub fn beta_id(&self) -> ParamId {
+        self.beta
+    }
+
+    /// The numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Applies the layer to `[.., dim]` input.
     pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
         let shape = g.shape_of(x);

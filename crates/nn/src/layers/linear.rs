@@ -61,6 +61,17 @@ impl Linear {
         self.out_dim
     }
 
+    /// Parameter id of the `[in, out]` weight matrix (for inference engines
+    /// that read weights straight out of the store).
+    pub fn w_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Parameter id of the `[out]` bias vector, if the layer has one.
+    pub fn b_id(&self) -> Option<ParamId> {
+        self.b
+    }
+
     /// Applies the layer.
     pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
         let w = g.bind(store, self.w);

@@ -57,6 +57,16 @@ impl Mlp {
         self.layers.last().unwrap().out_dim()
     }
 
+    /// The stacked [`Linear`] layers, in application order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The activation applied between (not after) layers.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
     /// Applies every layer, with the activation between (not after) layers.
     pub fn forward(&self, g: &Graph, store: &ParamStore, mut x: Var) -> Var {
         let n = self.layers.len();

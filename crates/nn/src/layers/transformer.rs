@@ -40,6 +40,31 @@ impl TransformerEncoderLayer {
         }
     }
 
+    /// The first (pre-attention) layer norm.
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// The self-attention block.
+    pub fn attn(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+
+    /// The second (pre-feed-forward) layer norm.
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
+    /// The feed-forward expansion projection (`d → ff`).
+    pub fn ff1(&self) -> &Linear {
+        &self.ff1
+    }
+
+    /// The feed-forward contraction projection (`ff → d`).
+    pub fn ff2(&self) -> &Linear {
+        &self.ff2
+    }
+
     /// Applies the block to `[B, T, D]`.
     pub fn forward<R: Rng + ?Sized>(
         &self,
@@ -114,6 +139,26 @@ impl TransformerEncoder {
     /// Model width.
     pub fn dim(&self) -> usize {
         self.d
+    }
+
+    /// Maximum sequence length (rows of the positional table).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Parameter id of the `[max_len, d]` positional-embedding table.
+    pub fn pos_id(&self) -> crate::graph::ParamId {
+        self.pos
+    }
+
+    /// The encoder blocks, in application order.
+    pub fn layer_stack(&self) -> &[TransformerEncoderLayer] {
+        &self.layers
+    }
+
+    /// The final layer norm applied after the block stack.
+    pub fn ln_out(&self) -> &LayerNorm {
+        &self.ln_out
     }
 
     /// Encodes `[B, T, D]` into contextualized `[B, T, D]`.

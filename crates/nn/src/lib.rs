@@ -42,6 +42,9 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
+#[cfg(feature = "quant")]
+pub mod infer_fast;
 pub mod init;
 pub mod kernels;
 pub mod layers;

@@ -82,20 +82,24 @@ fn fast_tanh(x: f32) -> f32 {
     x * p / q
 }
 
+/// Scalar GELU forward (tanh approximation over [`fast_tanh`]) — the exact
+/// function the [`gelu`] tape op applies per element, exposed so graph-free
+/// inference sweeps produce bitwise-identical activations.
+#[inline(always)]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + fast_tanh(C * (x + 0.044715 * x * x * x)))
+}
+
 /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
 pub fn gelu(g: &Graph, a: Var) -> Var {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    unary(
-        g,
-        a,
-        |x| 0.5 * x * (1.0 + fast_tanh(C * (x + 0.044715 * x * x * x))),
-        |x, _| {
-            let inner = C * (x + 0.044715 * x * x * x);
-            let t = fast_tanh(inner);
-            let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
-            0.5 * (1.0 + t) + 0.5 * x * dt
-        },
-    )
+    unary(g, a, gelu_scalar, |x, _| {
+        let inner = C * (x + 0.044715 * x * x * x);
+        let t = fast_tanh(inner);
+        let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
+        0.5 * (1.0 + t) + 0.5 * x * dt
+    })
 }
 
 /// Natural exponential.

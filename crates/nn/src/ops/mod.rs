@@ -13,7 +13,7 @@ mod reduce;
 mod shape;
 mod special;
 
-pub use activation::{exp, gelu, log, log_softmax, relu, sigmoid, softmax, tanh};
+pub use activation::{exp, gelu, gelu_scalar, log, log_softmax, relu, sigmoid, softmax, tanh};
 pub use elementwise::{add, add_scalar, div, mul, neg, scale, sqrt, square, sub};
 pub use fused::{gru_cell, layer_norm, lstm_cell};
 pub use matmul::{matmul, matmul_nt, transpose_last2};

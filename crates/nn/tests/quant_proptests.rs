@@ -1,0 +1,77 @@
+//! Property-based tests for the int8 quantization primitives
+//! (`quant` feature): round-trip error bounds and exactness of the
+//! integer GEMM against a widened reference.
+
+#![cfg(feature = "quant")]
+
+use logsynergy_nn::kernels::qgemm;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symmetric int8 round-trip error is bounded by half a scale step
+    /// for every representable input.
+    #[test]
+    fn quantize_round_trip_is_within_half_step(
+        xs in proptest::collection::vec(-100.0f32..100.0, 1..64)
+    ) {
+        let scale = qgemm::scale_for(qgemm::absmax(&xs));
+        let mut q = vec![0i8; xs.len()];
+        qgemm::quantize(&xs, scale, &mut q);
+        for (&x, &qi) in xs.iter().zip(&q) {
+            let back = qgemm::dequantize(qi, scale);
+            // Half a quantization step, plus a whisker for the f32
+            // division/rounding in `quantize` itself.
+            prop_assert!(
+                (x - back).abs() <= 0.5 * scale + scale * 1e-4,
+                "x={x} back={back} scale={scale}"
+            );
+        }
+    }
+
+    /// Quantized values never exceed the symmetric int8 range, whatever
+    /// the input (including values above the calibrated absmax).
+    #[test]
+    fn quantize_saturates_to_symmetric_range(
+        xs in proptest::collection::vec(-1000.0f32..1000.0, 1..64),
+        calib in 0.1f32..10.0
+    ) {
+        let scale = qgemm::scale_for(calib);
+        let mut q = vec![0i8; xs.len()];
+        qgemm::quantize(&xs, scale, &mut q);
+        for &qi in &q {
+            prop_assert!((-127..=127).contains(&(qi as i32)));
+        }
+    }
+
+    /// The int8 GEMM is exact: it must match an i64 reference bit for
+    /// bit on every shape and operand pattern (i32 accumulation cannot
+    /// overflow for k ≤ 2^16).
+    #[test]
+    fn qgemm_matches_i64_reference(
+        m in 1usize..6,
+        k in 1usize..48,
+        n in 1usize..10,
+        seed in any::<u64>()
+    ) {
+        // Deterministic operands from the seed (full i8 range).
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % 255 - 127) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i8> = (0..n * k).map(|_| next()).collect();
+        let mut c = vec![0i32; m * n];
+        qgemm::qgemm_nt(&a, &b, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i64 = (0..k)
+                    .map(|x| a[i * k + x] as i64 * b[j * k + x] as i64)
+                    .sum();
+                prop_assert_eq!(c[i * n + j] as i64, want, "({}, {})", i, j);
+            }
+        }
+    }
+}

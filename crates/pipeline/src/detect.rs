@@ -75,6 +75,12 @@ pub trait SequenceScorer: Send {
     fn score_batch(&self, windows: &[&[u32]], table: &[Vec<f32>]) -> Vec<f32> {
         windows.iter().map(|w| self.score(w, table)).collect()
     }
+
+    /// Short label of the numeric tier this scorer runs at, published as
+    /// the `pipeline.scorer_tier` telemetry tag ("f32" unless overridden).
+    fn tier_label(&self) -> &'static str {
+        "f32"
+    }
 }
 
 /// The production scorer: a reusable inference session over a trained
@@ -114,6 +120,59 @@ impl SequenceScorer for ModelScorer {
 
     fn score_batch(&self, windows: &[&[u32]], table: &[Vec<f32>]) -> Vec<f32> {
         self.session.lock().score_windows(windows, table)
+    }
+}
+
+/// The int8 serving scorer (`quant` feature): a calibrated
+/// [`logsynergy::quant::QuantizedModel`] shared across workers. Scoring
+/// takes `&self` and allocates its own scratch per call, so clones share
+/// the quantized weights with no locking at all.
+///
+/// The f32 [`ModelScorer`] remains the default; this tier is opt-in
+/// (`--quant`) and is held to the verdict-agreement gate (≥ 99.5% with
+/// f32, |ΔF1| ≤ 0.005) asserted in `quant_agreement.rs`.
+#[cfg(feature = "quant")]
+#[derive(Clone)]
+pub struct QuantScorer {
+    model: Arc<logsynergy::quant::QuantizedModel>,
+}
+
+#[cfg(feature = "quant")]
+impl QuantScorer {
+    /// Wraps an already-quantized model.
+    pub fn new(model: logsynergy::quant::QuantizedModel) -> Self {
+        QuantScorer {
+            model: Arc::new(model),
+        }
+    }
+
+    /// Quantizes a trained f32 model against calibration windows drawn
+    /// from the deployment's expected traffic.
+    pub fn calibrated(
+        model: &LogSynergyModel,
+        calib_windows: &[&[u32]],
+        embeddings: &[Vec<f32>],
+    ) -> Self {
+        Self::new(logsynergy::quant::QuantizedModel::from_model(
+            model,
+            calib_windows,
+            embeddings,
+        ))
+    }
+}
+
+#[cfg(feature = "quant")]
+impl SequenceScorer for QuantScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        self.model.score_one(events, table)
+    }
+
+    fn score_batch(&self, windows: &[&[u32]], table: &[Vec<f32>]) -> Vec<f32> {
+        self.model.score_windows(windows, table)
+    }
+
+    fn tier_label(&self) -> &'static str {
+        "int8"
     }
 }
 
@@ -246,6 +305,17 @@ impl<S: SequenceScorer> OnlineDetector<S> {
     /// Sets the window-score cache capacity (0 disables the cache).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = ScoreCache::new(capacity);
+        self
+    }
+
+    /// Bounds the pattern library to `capacity` patterns with LRU
+    /// eviction (0 = unbounded, the default). Evicted patterns fall
+    /// through to the score cache / model tiers on their next occurrence,
+    /// which is what makes main-path cache hits reachable at all: an
+    /// unbounded library answers every exact repeat before the cache is
+    /// consulted.
+    pub fn with_library_capacity(mut self, capacity: usize) -> Self {
+        self.library = PatternLibrary::bounded(capacity);
         self
     }
 

@@ -37,10 +37,20 @@ fn key(events: &[u32]) -> Vec<u32> {
     pattern_key(events)
 }
 
-/// The pattern library.
+/// The pattern library. Unbounded by default (the paper's formulation);
+/// [`PatternLibrary::bounded`] caps it with least-recently-used eviction
+/// so long-running deployments with high pattern churn cannot grow it
+/// without limit — evicted patterns simply fall through to the score
+/// cache / model tiers on their next occurrence.
 #[derive(Default)]
 pub struct PatternLibrary {
-    map: HashMap<Vec<u32>, Verdict>,
+    /// Verdict plus a recency stamp (the tick of the last hit/insert).
+    map: HashMap<Vec<u32>, (Verdict, u64)>,
+    /// 0 = unbounded.
+    capacity: usize,
+    /// Monotone recency clock; every hit or insert takes a fresh tick, so
+    /// stamps are unique and eviction order is deterministic.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -51,12 +61,23 @@ impl PatternLibrary {
         Self::default()
     }
 
-    /// Fast-path lookup.
+    /// Empty library evicting least-recently-used patterns beyond
+    /// `capacity` (0 = unbounded, identical to [`PatternLibrary::new`]).
+    pub fn bounded(capacity: usize) -> Self {
+        PatternLibrary {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Fast-path lookup; refreshes the pattern's recency on a hit.
     pub fn lookup(&mut self, events: &[u32]) -> Option<Verdict> {
-        match self.map.get(&key(events)) {
-            Some(&v) => {
+        self.tick += 1;
+        match self.map.get_mut(&key(events)) {
+            Some((v, stamp)) => {
+                *stamp = self.tick;
                 self.hits += 1;
-                Some(v)
+                Some(*v)
             }
             None => {
                 self.misses += 1;
@@ -65,9 +86,24 @@ impl PatternLibrary {
         }
     }
 
-    /// Records the model's verdict for a new pattern.
+    /// Records the model's verdict for a new pattern, evicting the least
+    /// recently used pattern first when the library is at capacity.
     pub fn insert(&mut self, events: &[u32], verdict: Verdict) {
-        self.map.insert(key(events), verdict);
+        let k = key(events);
+        self.tick += 1;
+        if self.capacity > 0 && self.map.len() >= self.capacity && !self.map.contains_key(&k) {
+            // Stamps are unique, so the minimum is unique and eviction is
+            // deterministic regardless of hash-map iteration order.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(k, (verdict, self.tick));
     }
 
     /// Number of cached patterns.
@@ -83,6 +119,11 @@ impl PatternLibrary {
     /// (fast hits, model misses) so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -128,5 +169,48 @@ mod tests {
             "a new event id is a new pattern"
         );
         assert_eq!(lib.len(), 1);
+    }
+
+    fn verdict(p: f32) -> Verdict {
+        Verdict {
+            probability: p,
+            anomalous: p > 0.5,
+            culprit: None,
+        }
+    }
+
+    #[test]
+    fn bounded_library_evicts_least_recently_used() {
+        let mut lib = PatternLibrary::bounded(2);
+        lib.insert(&[1], verdict(0.1));
+        lib.insert(&[2], verdict(0.2));
+        // Touch [1] so [2] becomes the LRU victim.
+        assert!(lib.lookup(&[1]).is_some());
+        lib.insert(&[3], verdict(0.3));
+        assert_eq!(lib.len(), 2);
+        assert!(lib.lookup(&[1]).is_some(), "recently used survives");
+        assert!(lib.lookup(&[3]).is_some(), "fresh insert survives");
+        assert!(lib.lookup(&[2]).is_none(), "LRU pattern evicted");
+    }
+
+    #[test]
+    fn reinserting_existing_pattern_does_not_evict() {
+        let mut lib = PatternLibrary::bounded(2);
+        lib.insert(&[1], verdict(0.1));
+        lib.insert(&[2], verdict(0.2));
+        lib.insert(&[2], verdict(0.9));
+        assert_eq!(lib.len(), 2);
+        assert!(lib.lookup(&[1]).is_some());
+        assert!(lib.lookup(&[2]).unwrap().anomalous, "verdict updated");
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let mut lib = PatternLibrary::bounded(0);
+        for i in 0..100u32 {
+            lib.insert(&[i], verdict(0.1));
+        }
+        assert_eq!(lib.len(), 100);
+        assert_eq!(lib.capacity(), 0);
     }
 }

@@ -59,6 +59,16 @@ pub struct PipelineConfig {
     /// a worker's queue depth is at or above it, batches are served from
     /// the cheap tiers only. 0 disables shedding.
     pub shed_watermark: usize,
+    /// Shared kernel-thread budget split evenly across the detection
+    /// workers: each worker's model-tier GEMMs run with at most
+    /// `max(1, core_budget / partitions)` kernel threads, so pipeline
+    /// parallelism (workers) and kernel parallelism (threads per GEMM)
+    /// compose instead of oversubscribing the machine. 0 = auto (the
+    /// hardware thread count is the budget).
+    pub core_budget: usize,
+    /// Per-worker pattern-library capacity with LRU eviction
+    /// (0 = unbounded, the paper's formulation).
+    pub library_capacity: usize,
 }
 
 impl Default for PipelineConfig {
@@ -73,6 +83,8 @@ impl Default for PipelineConfig {
             retry_backoff: Duration::from_millis(1),
             score_deadline: Duration::from_secs(30),
             shed_watermark: 0,
+            core_budget: 0,
+            library_capacity: 0,
         }
     }
 }
@@ -171,6 +183,18 @@ where
     K: ReportSink + Clone + 'static,
 {
     assert!(config.partitions > 0 && config.batch_windows > 0);
+    // Composable parallelism: split the kernel-thread budget evenly over
+    // the detection workers, so N workers × M kernel threads never exceeds
+    // the budget. The override is per-thread, so it composes with nested
+    // `with_threads` calls inside the kernels (small GEMMs below the
+    // per-shape work threshold stay serial regardless).
+    let budget = if config.core_budget == 0 {
+        logsynergy_nn::kernels::hardware_threads()
+    } else {
+        config.core_budget
+    };
+    let kernel_threads = (budget / config.partitions).max(1);
+    telemetry::global().set_tag("pipeline.scorer_tier", scorer.tier_label());
     let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
     let producer = buffer.producer();
     let consumers: Vec<_> = (0..config.partitions)
@@ -225,173 +249,183 @@ where
             let sink = sink.clone();
             let cfg = config.clone();
             thread::spawn(move || {
-                let mut detector = OnlineDetector::new(vectorizer, scorer)
-                    .with_cache_capacity(cfg.score_cache)
-                    .with_retry_policy(RetryPolicy {
-                        max_retries: cfg.max_retries,
-                        backoff: cfg.retry_backoff,
-                        deadline: cfg.score_deadline,
-                        ..RetryPolicy::default()
-                    });
-                // The batch cap counts completed windows; convert to the
-                // log burst that yields that many windows.
-                let (_, step) = detector.geometry();
-                let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
-                let mut seq_no = 0u64;
-                let mut reports_delivered = 0u64;
-                let mut restarts = 0u64;
-                let mut reports = Vec::new();
-                // Telemetry handles, resolved once before the hot loop.
-                let tele = telemetry::global().scoped("pipeline");
-                let c_logs = tele.counter("logs");
-                let c_windows = tele.counter("windows");
-                let c_reports = tele.counter("reports");
-                let c_pattern = tele.counter("tier.pattern");
-                let c_cache = tele.counter("tier.cache");
-                let c_model = tele.counter("tier.model");
-                let c_degraded = tele.counter("degraded");
-                let c_shed = tele.counter("shed");
-                let c_quarantined = tele.counter("quarantined");
-                let c_retries = tele.counter("retries");
-                let c_restarts = tele.counter("worker.restarts");
-                let h_batch_logs = tele.histogram("batch.logs");
-                let h_batch_windows = tele.histogram("batch.windows");
-                let h_queue_depth = tele.histogram("queue.depth");
-                let g_active = tele.gauge("workers.active");
-                g_active.add(1);
-                loop {
-                    let _batch_span = telemetry::span("pipeline.batch");
-                    let batch = {
-                        let _recv = telemetry::span("recv");
-                        // `batch.drain` may panic by injection before any
-                        // record leaves the queue; restart the drain after
-                        // backoff — nothing was lost.
-                        match catch_unwind(AssertUnwindSafe(|| {
-                            consumer.recv_batch(max_logs, cfg.batch_deadline)
-                        })) {
-                            Ok(batch) => batch,
-                            Err(_) => {
-                                restarts += 1;
-                                c_restarts.add(1);
-                                thread::sleep(restart_backoff(cfg.retry_backoff, restarts));
-                                continue;
-                            }
-                        }
-                    };
-                    let Some(batch) = batch else { break };
-                    if batch.is_empty() {
-                        continue;
-                    }
-                    let depth = consumer.depth();
-                    h_queue_depth.record(depth);
-                    h_batch_logs.record(batch.len() as u64);
-                    c_logs.add(batch.len() as u64);
-                    // Load-shedding decision, once per batch: while the
-                    // shard's queue is over the watermark, serve the
-                    // cheap tiers only until depth recovers.
-                    let mode = if cfg.shed_watermark > 0 && depth >= cfg.shed_watermark as u64 {
-                        ServeMode::Shed
-                    } else {
-                        ServeMode::Normal
-                    };
-                    let (p0, k0, m0) = (
-                        detector.pattern_hits,
-                        detector.cache_hits,
-                        detector.model_calls,
-                    );
-                    let (d0, s0, q0, r0) = (
-                        detector.degraded,
-                        detector.shed,
-                        detector.quarantined,
-                        detector.retries,
-                    );
-                    // Process the batch under panic isolation: a faulted
-                    // attempt rolls the detector back to its checkpoint
-                    // and replays the same raw logs with the same
-                    // sequence numbers; a batch that keeps faulting past
-                    // the retry budget is quarantined to the dead-letter
-                    // queue instead of wedging the worker.
-                    let base_seq = seq_no;
-                    let mut attempt = 0u32;
+                // The whole serving loop runs under this worker's share of
+                // the kernel-thread budget; every model-tier GEMM it issues
+                // inherits the cap through the per-thread override.
+                let serve = move || {
+                    let mut detector = OnlineDetector::new(vectorizer, scorer)
+                        .with_cache_capacity(cfg.score_cache)
+                        .with_library_capacity(cfg.library_capacity)
+                        .with_retry_policy(RetryPolicy {
+                            max_retries: cfg.max_retries,
+                            backoff: cfg.retry_backoff,
+                            deadline: cfg.score_deadline,
+                            ..RetryPolicy::default()
+                        });
+                    // The batch cap counts completed windows; convert to the
+                    // log burst that yields that many windows.
+                    let (_, step) = detector.geometry();
+                    let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
+                    let mut seq_no = 0u64;
+                    let mut reports_delivered = 0u64;
+                    let mut restarts = 0u64;
+                    let mut reports = Vec::new();
+                    // Telemetry handles, resolved once before the hot loop.
+                    let tele = telemetry::global().scoped("pipeline");
+                    let c_logs = tele.counter("logs");
+                    let c_windows = tele.counter("windows");
+                    let c_reports = tele.counter("reports");
+                    let c_pattern = tele.counter("tier.pattern");
+                    let c_cache = tele.counter("tier.cache");
+                    let c_model = tele.counter("tier.model");
+                    let c_degraded = tele.counter("degraded");
+                    let c_shed = tele.counter("shed");
+                    let c_quarantined = tele.counter("quarantined");
+                    let c_retries = tele.counter("retries");
+                    let c_restarts = tele.counter("worker.restarts");
+                    let h_batch_logs = tele.histogram("batch.logs");
+                    let h_batch_windows = tele.histogram("batch.windows");
+                    let h_queue_depth = tele.histogram("queue.depth");
+                    let g_active = tele.gauge("workers.active");
+                    g_active.add(1);
                     loop {
-                        let cp = detector.checkpoint();
-                        let reports_mark = reports.len();
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            let _detect = telemetry::span("detect");
-                            let structured = batch
-                                .iter()
-                                .enumerate()
-                                .map(|(k, raw)| format_log(raw, base_seq + k as u64));
-                            detector.ingest_batch_mode(structured, &mut reports, mode);
-                        }));
-                        match outcome {
-                            Ok(()) => break,
-                            Err(_) => {
-                                detector.restore(cp);
-                                reports.truncate(reports_mark);
-                                restarts += 1;
-                                c_restarts.add(1);
-                                if attempt >= cfg.max_retries {
-                                    let structured = batch
-                                        .iter()
-                                        .enumerate()
-                                        .map(|(k, raw)| format_log(raw, base_seq + k as u64));
-                                    detector.quarantine_batch(
-                                        structured,
-                                        "batch exhausted its panic-retry budget",
-                                    );
-                                    break;
+                        let _batch_span = telemetry::span("pipeline.batch");
+                        let batch = {
+                            let _recv = telemetry::span("recv");
+                            // `batch.drain` may panic by injection before any
+                            // record leaves the queue; restart the drain after
+                            // backoff — nothing was lost.
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                consumer.recv_batch(max_logs, cfg.batch_deadline)
+                            })) {
+                                Ok(batch) => batch,
+                                Err(_) => {
+                                    restarts += 1;
+                                    c_restarts.add(1);
+                                    thread::sleep(restart_backoff(cfg.retry_backoff, restarts));
+                                    continue;
                                 }
-                                attempt += 1;
-                                thread::sleep(restart_backoff(cfg.retry_backoff, attempt as u64));
+                            }
+                        };
+                        let Some(batch) = batch else { break };
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        let depth = consumer.depth();
+                        h_queue_depth.record(depth);
+                        h_batch_logs.record(batch.len() as u64);
+                        c_logs.add(batch.len() as u64);
+                        // Load-shedding decision, once per batch: while the
+                        // shard's queue is over the watermark, serve the
+                        // cheap tiers only until depth recovers.
+                        let mode = if cfg.shed_watermark > 0 && depth >= cfg.shed_watermark as u64 {
+                            ServeMode::Shed
+                        } else {
+                            ServeMode::Normal
+                        };
+                        let (p0, k0, m0) = (
+                            detector.pattern_hits,
+                            detector.cache_hits,
+                            detector.model_calls,
+                        );
+                        let (d0, s0, q0, r0) = (
+                            detector.degraded,
+                            detector.shed,
+                            detector.quarantined,
+                            detector.retries,
+                        );
+                        // Process the batch under panic isolation: a faulted
+                        // attempt rolls the detector back to its checkpoint
+                        // and replays the same raw logs with the same
+                        // sequence numbers; a batch that keeps faulting past
+                        // the retry budget is quarantined to the dead-letter
+                        // queue instead of wedging the worker.
+                        let base_seq = seq_no;
+                        let mut attempt = 0u32;
+                        loop {
+                            let cp = detector.checkpoint();
+                            let reports_mark = reports.len();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                let _detect = telemetry::span("detect");
+                                let structured = batch
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(k, raw)| format_log(raw, base_seq + k as u64));
+                                detector.ingest_batch_mode(structured, &mut reports, mode);
+                            }));
+                            match outcome {
+                                Ok(()) => break,
+                                Err(_) => {
+                                    detector.restore(cp);
+                                    reports.truncate(reports_mark);
+                                    restarts += 1;
+                                    c_restarts.add(1);
+                                    if attempt >= cfg.max_retries {
+                                        let structured = batch
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(k, raw)| format_log(raw, base_seq + k as u64));
+                                        detector.quarantine_batch(
+                                            structured,
+                                            "batch exhausted its panic-retry budget",
+                                        );
+                                        break;
+                                    }
+                                    attempt += 1;
+                                    thread::sleep(restart_backoff(
+                                        cfg.retry_backoff,
+                                        attempt as u64,
+                                    ));
+                                }
+                            }
+                        }
+                        seq_no += batch.len() as u64;
+                        let (dp, dk, dm) = (
+                            detector.pattern_hits - p0,
+                            detector.cache_hits - k0,
+                            detector.model_calls - m0,
+                        );
+                        let (dd, ds, dq) = (
+                            detector.degraded - d0,
+                            detector.shed - s0,
+                            detector.quarantined - q0,
+                        );
+                        c_pattern.add(dp);
+                        c_cache.add(dk);
+                        c_model.add(dm);
+                        c_degraded.add(dd);
+                        c_shed.add(ds);
+                        c_quarantined.add(dq);
+                        c_retries.add(detector.retries - r0);
+                        let dw = dp + dk + dm + dd + ds + dq;
+                        c_windows.add(dw);
+                        h_batch_windows.record(dw);
+                        {
+                            let _deliver = telemetry::span("deliver");
+                            for report in reports.drain(..) {
+                                sink.deliver(&report);
+                                reports_delivered += 1;
                             }
                         }
                     }
-                    seq_no += batch.len() as u64;
-                    let (dp, dk, dm) = (
-                        detector.pattern_hits - p0,
-                        detector.cache_hits - k0,
-                        detector.model_calls - m0,
-                    );
-                    let (dd, ds, dq) = (
-                        detector.degraded - d0,
-                        detector.shed - s0,
-                        detector.quarantined - q0,
-                    );
-                    c_pattern.add(dp);
-                    c_cache.add(dk);
-                    c_model.add(dm);
-                    c_degraded.add(dd);
-                    c_shed.add(ds);
-                    c_quarantined.add(dq);
-                    c_retries.add(detector.retries - r0);
-                    let dw = dp + dk + dm + dd + ds + dq;
-                    c_windows.add(dw);
-                    h_batch_windows.record(dw);
-                    {
-                        let _deliver = telemetry::span("deliver");
-                        for report in reports.drain(..) {
-                            sink.deliver(&report);
-                            reports_delivered += 1;
-                        }
+                    c_reports.add(reports_delivered);
+                    g_active.add(-1);
+                    WorkerStats {
+                        logs: seq_no,
+                        pattern_hits: detector.pattern_hits,
+                        cache_hits: detector.cache_hits,
+                        model_calls: detector.model_calls,
+                        degraded: detector.degraded,
+                        shed: detector.shed,
+                        quarantined: detector.quarantined,
+                        retries: detector.retries,
+                        restarts,
+                        dead_letters: detector.take_dead_letters(),
+                        reports: reports_delivered,
+                        new_templates: detector.vectorizer().new_templates(),
                     }
-                }
-                c_reports.add(reports_delivered);
-                g_active.add(-1);
-                WorkerStats {
-                    logs: seq_no,
-                    pattern_hits: detector.pattern_hits,
-                    cache_hits: detector.cache_hits,
-                    model_calls: detector.model_calls,
-                    degraded: detector.degraded,
-                    shed: detector.shed,
-                    quarantined: detector.quarantined,
-                    retries: detector.retries,
-                    restarts,
-                    dead_letters: detector.take_dead_letters(),
-                    reports: reports_delivered,
-                    new_templates: detector.vectorizer().new_templates(),
-                }
+                };
+                logsynergy_nn::kernels::with_threads(kernel_threads, serve)
             })
         })
         .collect();

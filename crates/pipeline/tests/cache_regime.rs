@@ -1,0 +1,153 @@
+//! When does the exact-window score cache actually get main-path hits?
+//!
+//! The Fig. 7 benchmark records `cache_hits = 0`, and that is structural,
+//! not a bug: with an *unbounded* pattern library, every exact window
+//! repeat is also a pattern repeat, and the library tier answers it
+//! before the cache is ever consulted. The cache earns main-path hits
+//! exactly when the library forgets a pattern between occurrences —
+//! i.e. when the library is bounded and churns. These tests pin both
+//! regimes (see docs/serving.md, "Cache-hit regimes").
+
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{
+    run_pipeline_with, EventVectorizer, MemorySink, OnlineDetector, PipelineConfig, RawLog,
+    SequenceScorer, StructuredLog,
+};
+
+#[derive(Clone)]
+struct StubScorer;
+impl SequenceScorer for StubScorer {
+    fn score(&self, events: &[u32], _table: &[Vec<f32>]) -> f32 {
+        // The three cycling normal messages take event ids 0..=2; anything
+        // beyond them is the injected anomaly template.
+        if events.iter().any(|&e| e >= 3) {
+            0.9
+        } else {
+            0.1
+        }
+    }
+}
+
+/// Structurally distinct templates (the miner collapses messages that
+/// differ only in a parameter token into one event).
+const KINDS: [&str; 3] = [
+    "session open remote peer",
+    "steady state heartbeat ping",
+    "disk write completed fine",
+];
+
+/// Blocks of 5 identical messages cycling through the three templates:
+/// with the 10/5 window geometry every window is a (block, block) pair,
+/// so the stream revisits the same three exact windows forever.
+fn block_cycle(n: u64) -> Vec<String> {
+    (0..n)
+        .map(|i| KINDS[(i / 5) as usize % KINDS.len()].to_string())
+        .collect()
+}
+
+fn slog(i: u64, msg: &str) -> StructuredLog {
+    StructuredLog {
+        system: "b".into(),
+        timestamp: i,
+        message: msg.into(),
+        seq_no: i,
+    }
+}
+
+#[test]
+fn unbounded_library_starves_the_cache() {
+    let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+    let mut det = OnlineDetector::new(v, StubScorer);
+    for (i, msg) in block_cycle(600).iter().enumerate() {
+        det.ingest(slog(i as u64, msg));
+    }
+    assert_eq!(
+        det.cache_hits, 0,
+        "an unbounded library answers every repeat before the cache"
+    );
+    assert!(det.pattern_hits > 0);
+    assert_eq!(det.model_calls, 3, "one model call per distinct pattern");
+}
+
+#[test]
+fn bounded_library_replays_duplicated_windows_from_the_cache() {
+    let v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+    // Capacity 1 with a 3-pattern cycle: every pattern is evicted before
+    // it recurs, so each repeat misses the library and the exact-window
+    // score cache must answer it.
+    let mut det = OnlineDetector::new(v, StubScorer).with_library_capacity(1);
+    for (i, msg) in block_cycle(600).iter().enumerate() {
+        det.ingest(slog(i as u64, msg));
+    }
+    assert!(
+        det.cache_hits > 0,
+        "evicted patterns must fall through to the score cache"
+    );
+    assert_eq!(
+        det.model_calls, 3,
+        "the cache absorbs the library's churn: the model still scores \
+         each distinct window once"
+    );
+}
+
+#[test]
+fn bounded_library_preserves_verdicts_end_to_end() {
+    // Same stream, unbounded vs tightly bounded library, through the full
+    // pipeline: tier accounting shifts from pattern hits to cache hits,
+    // but windows, reports, and report order are identical.
+    let source: Vec<RawLog> = block_cycle(400)
+        .into_iter()
+        .enumerate()
+        .map(|(i, msg)| {
+            let message = if (120..125).contains(&i) {
+                "drive volume dead offline spindle".to_string()
+            } else {
+                msg
+            };
+            RawLog {
+                system: "b".into(),
+                timestamp: i as u64,
+                message,
+            }
+        })
+        .collect();
+    let make_v = || EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+
+    let base_sink = MemorySink::new();
+    let base = run_pipeline_with(
+        source.clone(),
+        make_v(),
+        StubScorer,
+        base_sink.clone(),
+        PipelineConfig {
+            partitions: 1,
+            ..PipelineConfig::default()
+        },
+    );
+    let sink = MemorySink::new();
+    let bounded = run_pipeline_with(
+        source,
+        make_v(),
+        StubScorer,
+        sink.clone(),
+        PipelineConfig {
+            partitions: 1,
+            library_capacity: 1,
+            ..PipelineConfig::default()
+        },
+    );
+    assert_eq!(bounded.windows, base.windows);
+    assert_eq!(bounded.reports, base.reports);
+    assert_eq!(sink.reports(), base_sink.reports());
+    assert!(
+        bounded.cache_hits > 0,
+        "bounded run must exercise the cache"
+    );
+    assert_eq!(base.cache_hits, 0, "unbounded run never reaches the cache");
+    assert_eq!(
+        bounded.pattern_hits + bounded.cache_hits + bounded.model_calls,
+        base.pattern_hits + base.cache_hits + base.model_calls,
+        "tier totals shift between tiers, never in sum"
+    );
+}

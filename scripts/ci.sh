@@ -23,6 +23,14 @@ echo "==> fault-injection feature tests (chaos suite, fixed seeds)"
 timeout 60 cargo test -p logsynergy --features fault-injection -q
 timeout 60 cargo test -p logsynergy-pipeline --features fault-injection -q
 
+echo "==> quant feature tests (int8 kernels, fast primitives, agreement gate)"
+# The int8 path is opt-in; its kernel proptests, fused-primitive parity
+# tests, and the trained-model f32-agreement gate only exist with the
+# feature on.
+cargo test -p logsynergy-nn --features quant -q
+cargo test -p logsynergy --features quant -q
+cargo test -p logsynergy-pipeline --features quant -q
+
 echo "==> fault-injection compile-out gate"
 # Release build WITHOUT the feature must carry zero injected code: the
 # panic marker string is only referenced from injection sites, so its
@@ -35,6 +43,22 @@ if grep -aq "logsynergy-fault-injected" target/release/logsynergy; then
 fi
 echo "compile-out gate OK: no fault marker in the release binary"
 
+echo "==> quant compile-out gate"
+# Same proof for the int8 path: the qgemm marker string is pinned into
+# every binary that links the quantized scorer, so the default release
+# binary must not contain it — and a --features quant build must.
+if grep -aq "logsynergy-int8-qgemm" target/release/logsynergy; then
+  echo "FAIL: int8 qgemm code survives in the no-feature release binary" >&2
+  exit 1
+fi
+cargo build -q --release -p logsynergy-cli --features quant \
+  --target-dir target/quant-gate
+if ! grep -aq "logsynergy-int8-qgemm" target/quant-gate/release/logsynergy; then
+  echo "FAIL: quant build lost the int8 qgemm marker (gate is vacuous)" >&2
+  exit 1
+fi
+echo "compile-out gate OK: int8 marker absent by default, present with --features quant"
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -43,6 +67,12 @@ echo "==> serving-pipeline throughput smoke (quick mode)"
 # assertion that batched/sharded/cached serving reproduces the unbatched
 # baseline bit for bit.
 LOGSYNERGY_BENCH_QUICK=1 cargo bench --bench fig7_pipeline_throughput
+
+echo "==> quant accuracy + throughput smoke (quick mode)"
+# Quick quant_scoring run: asserts ≥ 99.5% verdict agreement with f32,
+# |ΔF1| ≤ 0.005, and int8 model-tier throughput ≥ 5× the recorded
+# Fig. 7 model-tier rate; refreshes results/quant.json.
+LOGSYNERGY_BENCH_QUICK=1 cargo bench -p logsynergy-bench --features quant --bench quant_scoring
 
 echo "==> telemetry overhead contract (quick mode)"
 # Paired on/off repetitions of the Fig. 7 serving run; asserts the
