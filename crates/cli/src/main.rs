@@ -67,6 +67,27 @@ commands:
                                     (requires a build with --features quant)
                 --metrics-out <p>   write a JSON telemetry snapshot when done
                 --metrics-listen <a> serve /metrics over HTTP while running
+  serve       run the multi-tenant TCP ingest daemon (see docs/ingest.md);
+              SIGTERM/SIGINT triggers a graceful drain and prints a final
+              accounting summary as JSON on stdout
+                --tenants-file <p>  required; tenant/token/quota config,
+                                    hot-reloaded while running
+                --listen <addr>     bind address (default 127.0.0.1:4517;
+                                    port 0 picks an ephemeral port)
+                --target <system>   system the quick-trained model serves
+                                    (default system-b)
+                --drain-timeout <s> in-flight flush budget on shutdown
+                                    (default 5)
+                --workers <n>       buffer partitions / detection workers
+                                    (default 4)
+                --batch <n>         micro-batch window cap (default 64)
+                --cache <n>         window-score LRU capacity (default 4096)
+                --shed-watermark <n> queue depth above which ingest answers
+                                    503 shed frames, 0 disables (default 0)
+                --addr-file <p>     write the bound addresses as JSON once
+                                    the daemon is ready
+                --metrics-out <p>   write a JSON telemetry snapshot when done
+                --metrics-listen <a> serve /metrics over HTTP while running
 ";
 
 /// Optional observability for a command: an HTTP exporter held open for the
@@ -383,6 +404,101 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
     metrics.finish()
 }
 
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let target = system_of(a.get_or("target", "system-b"))?;
+    let tenants_path = a.get("tenants-file").ok_or("--tenants-file is required")?;
+    let specs = logsynergy_serve::load_tenants(std::path::Path::new(tenants_path))?;
+    let metrics = Metrics::start(a)?;
+
+    // Same quick-trained model and warm-started vectorizer as the Fig. 7
+    // pipeline demo: the daemon serves real verdicts, just for a model
+    // trained on synthesized history rather than a persisted artifact.
+    let cfg = ExperimentConfig::quick();
+    let p = build_pipeline(&cfg);
+    let sources = sources_of(target);
+    eprintln!("training a model for {}…", target.name());
+    let src_data: Vec<_> = sources
+        .iter()
+        .map(|&s| p.prepare(&cfg.generate(s)))
+        .collect();
+    let history = cfg.generate(target);
+    let tgt_data = p.prepare(&history);
+    let src_refs: Vec<_> = src_data.iter().collect();
+    let (model, _) = p.fit(&src_refs, &tgt_data);
+    let mut vectorizer =
+        EventVectorizer::new(target, p.model_config.embed_dim, LeiConfig::default());
+    vectorizer.warm_start(history.records.iter().map(|r| r.message.as_str()));
+
+    let serve_config = logsynergy_serve::ServeConfig {
+        listen: a.get_or("listen", "127.0.0.1:4517").to_string(),
+        drain_timeout: std::time::Duration::from_secs(a.num("drain-timeout", 5u64)?),
+        pipeline: PipelineConfig {
+            partitions: a.num("workers", PipelineConfig::default().partitions)?,
+            batch_windows: a.num("batch", PipelineConfig::default().batch_windows)?,
+            score_cache: a.num("cache", PipelineConfig::default().score_cache)?,
+            shed_watermark: a.num("shed-watermark", PipelineConfig::default().shed_watermark)?,
+            ..PipelineConfig::default()
+        },
+        ..logsynergy_serve::ServeConfig::default()
+    };
+    let sink = MessagingSink::new();
+    let daemon = logsynergy_serve::start(
+        serve_config,
+        specs,
+        Some(std::path::PathBuf::from(tenants_path)),
+        vectorizer,
+        ModelScorer::new(model),
+        sink,
+    )
+    .map_err(|e| format!("cannot start ingest daemon: {e}"))?;
+    eprintln!(
+        "ingest daemon listening on {} ({} tenants); SIGTERM to drain",
+        daemon.addr(),
+        daemon.tenant_count()
+    );
+    if let Some(path) = a.get("addr-file") {
+        let metrics_addr = match &metrics.server {
+            Some(s) => format!("\"{}\"", s.addr()),
+            None => "null".to_string(),
+        };
+        let json = format!(
+            "{{\"listen\":\"{}\",\"metrics\":{metrics_addr}}}\n",
+            daemon.addr()
+        );
+        std::fs::write(path, json).map_err(|e| format!("--addr-file {path}: {e}"))?;
+    }
+
+    let term = logsynergy_serve::signals::termination_flag();
+    while !term.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("termination signal received; draining…");
+    let stats = daemon.ingest_stats();
+    let s = daemon.drain();
+    println!(
+        "{{\"ingest\":{{\"accepted\":{},\"rejected\":{},\"shed\":{},\"parse_errors\":{},\
+         \"abusive_disconnects\":{},\"connections\":{}}},\
+         \"pipeline\":{{\"logs\":{},\"windows\":{},\"pattern_hits\":{},\"cache_hits\":{},\
+         \"model_calls\":{},\"degraded\":{},\"shed\":{},\"quarantined\":{},\"reports\":{}}}}}",
+        stats.accepted,
+        stats.rejected,
+        stats.shed,
+        stats.parse_errors,
+        stats.abusive_disconnects,
+        stats.connections,
+        s.logs,
+        s.windows,
+        s.pattern_hits,
+        s.cache_hits,
+        s.model_calls,
+        s.degraded,
+        s.shed,
+        s.quarantined,
+        s.reports
+    );
+    metrics.finish()
+}
+
 fn run() -> Result<(), String> {
     let a = Args::parse(std::env::args().skip(1)).map_err(|e| format!("{e}\n\n{USAGE}"))?;
     match a.command.as_str() {
@@ -391,6 +507,7 @@ fn run() -> Result<(), String> {
         "detect" => cmd_detect(&a),
         "experiment" => cmd_experiment(&a),
         "pipeline" => cmd_pipeline(&a),
+        "serve" => cmd_serve(&a),
         "battery" => cmd_single(&a),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

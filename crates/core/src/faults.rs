@@ -43,6 +43,10 @@ pub mod points {
     pub const MODEL_SCORE: &str = "model.score";
     /// Model persistence I/O (`persist::save` / `persist::load`).
     pub const PERSIST_IO: &str = "persist.io";
+    /// Ingest daemon connection accept (`logsynergy-serve` accept loop).
+    pub const INGEST_ACCEPT: &str = "ingest.accept";
+    /// Ingest daemon line parsing (`logsynergy-serve` protocol decoder).
+    pub const INGEST_PARSE: &str = "ingest.parse";
 }
 
 /// A fault to inject at a point, decided by [`inject`].

@@ -1,6 +1,6 @@
 //! The Kafka-stage buffer: bounded, partitioned, backpressuring.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -9,6 +9,17 @@ use std::time::{Duration, Instant};
 use crate::error::PipelineError;
 use crate::faults::{self, points, Fault};
 use crate::record::RawLog;
+
+/// The FNV-1a hash behind keyed partition routing, shared by the buffer
+/// and every producer handle so routing decisions agree everywhere.
+fn system_hash(system: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in system.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 /// Buffer throughput counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -56,12 +67,7 @@ impl LogBuffer {
     }
 
     fn partition_of(&self, system: &str) -> usize {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in system.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        (h % self.senders.len() as u64) as usize
+        (system_hash(system) % self.senders.len() as u64) as usize
     }
 
     /// Producer handle (cheap to clone).
@@ -129,24 +135,95 @@ impl Producer {
             .expect("buffer closed while producing");
     }
 
+    /// Number of partitions behind this producer.
+    pub fn partitions(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The partition a system key routes to (ignoring any pin).
+    pub fn partition_for(&self, system: &str) -> usize {
+        (system_hash(system) % self.senders.len() as u64) as usize
+    }
+
+    /// A clone of this handle pinned to one partition: every send routes
+    /// there regardless of the record's system key. The ingest daemon uses
+    /// pinned handles for fair-share tenant routing (a tenant owns a
+    /// stable partition subset instead of hashing across all shards).
+    pub fn pinned(&self, partition: usize) -> Producer {
+        assert!(partition < self.senders.len());
+        Producer {
+            senders: self.senders.clone(),
+            stats: self.stats.clone(),
+            depths: self.depths.clone(),
+            router: Some(partition),
+        }
+    }
+
+    /// Logs currently queued in `partition` (telemetry-grade: relaxed
+    /// counters, clamped at 0; see [`Consumer::depth`]).
+    pub fn depth(&self, partition: usize) -> u64 {
+        self.depths[partition].load(Ordering::Relaxed).max(0) as u64
+    }
+
+    fn route(&self, system: &str) -> usize {
+        match self.router {
+            Some(p) => p,
+            None => (system_hash(system) % self.senders.len() as u64) as usize,
+        }
+    }
+
     /// Blocking send that reports a closed buffer as a typed error
     /// instead of panicking, handing the undeliverable record back so
-    /// the caller can retry, persist, or drop it deliberately.
+    /// the caller can retry, persist, or drop it deliberately. The error
+    /// names the partition whose channel rejected the record.
     pub fn try_send(&self, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
-        let p = match self.router {
-            Some(p) => p,
-            None => {
-                let mut h: u64 = 0xcbf29ce484222325;
-                for b in log.system.bytes() {
-                    h ^= b as u64;
-                    h = h.wrapping_mul(0x100000001b3);
-                }
-                (h % self.senders.len() as u64) as usize
-            }
-        };
+        let p = self.route(&log.system);
         match self.senders[p].send(log) {
             Ok(()) => {}
-            Err(e) => return Err((e.0, PipelineError::BufferClosed)),
+            Err(e) => return Err((e.0, PipelineError::BufferClosed { partition: p })),
+        }
+        self.depths[p].fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().enqueued += 1;
+        Ok(())
+    }
+
+    /// Blocking [`Producer::try_send`] with the partition chosen by the
+    /// caller; blocks while the shard is full (backpressure) and reports
+    /// a closed shard as a typed error. Panics if `partition` is out of
+    /// range.
+    pub fn send_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        match self.senders[partition].send(log) {
+            Ok(()) => {}
+            Err(e) => return Err((e.0, PipelineError::BufferClosed { partition })),
+        }
+        self.depths[partition].fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().enqueued += 1;
+        Ok(())
+    }
+
+    /// Non-blocking send: enqueues immediately or hands the record back
+    /// with the rejecting partition ([`PipelineError::BufferFull`] under
+    /// backpressure, [`PipelineError::BufferClosed`] when the consumer is
+    /// gone). Network front doors use this to turn a full shard into a
+    /// client-visible backpressure signal instead of a blocked thread.
+    pub fn offer(&self, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        self.offer_to(self.route(&log.system), log)
+    }
+
+    /// [`Producer::offer`] with the partition chosen by the caller —
+    /// the fair-share tenant router picks a shard from a tenant's subset
+    /// and offers straight to it without cloning a pinned handle per
+    /// record. Panics if `partition` is out of range.
+    pub fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        let p = partition;
+        match self.senders[p].try_send(log) {
+            Ok(()) => {}
+            Err(TrySendError::Full(log)) => {
+                return Err((log, PipelineError::BufferFull { partition: p }))
+            }
+            Err(TrySendError::Disconnected(log)) => {
+                return Err((log, PipelineError::BufferClosed { partition: p }))
+            }
         }
         self.depths[p].fetch_add(1, Ordering::Relaxed);
         self.stats.lock().enqueued += 1;
@@ -407,6 +484,43 @@ mod tests {
                 assert!(batch.is_none(), "foreign shards are empty and disconnected");
             }
         }
+    }
+
+    #[test]
+    fn offer_reports_the_rejecting_partition() {
+        let buf = LogBuffer::new(2, 1);
+        let p = buf.producer();
+        let pinned = p.pinned(1);
+        pinned.offer(raw("anything", 0)).unwrap();
+        // Partition 1 is at capacity: the non-blocking path hands the
+        // record back and names the shard that back-pressured.
+        let (log, err) = pinned.offer(raw("anything", 1)).unwrap_err();
+        assert_eq!(log.timestamp, 1);
+        assert_eq!(err, PipelineError::BufferFull { partition: 1 });
+        assert_eq!(pinned.depth(1), 1);
+        assert_eq!(pinned.depth(0), 0);
+        // Consumer gone: the same call reports the closed partition.
+        let mut c = buf.partition_consumer(1);
+        assert!(c.recv(Duration::from_millis(10)).is_some());
+        drop(c);
+        drop(buf);
+        let (_, err) = pinned.offer(raw("anything", 2)).unwrap_err();
+        assert_eq!(err, PipelineError::BufferClosed { partition: 1 });
+    }
+
+    #[test]
+    fn pinned_producer_overrides_keyed_routing() {
+        let buf = LogBuffer::new(4, 8);
+        let p = buf.producer();
+        let target = (buf.partition_for("alpha") + 1) % 4;
+        let pinned = p.pinned(target);
+        assert_eq!(p.partition_for("alpha"), buf.partition_for("alpha"));
+        pinned.send(raw("alpha", 0));
+        let mut c = buf.partition_consumer(target);
+        assert!(
+            c.recv(Duration::from_millis(10)).is_some(),
+            "pinned send must land in the pinned partition"
+        );
     }
 
     #[test]

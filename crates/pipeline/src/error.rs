@@ -12,7 +12,17 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
     /// Every consumer handle is gone; the buffer cannot accept records.
-    BufferClosed,
+    BufferClosed {
+        /// The partition whose channel rejected the record.
+        partition: usize,
+    },
+    /// A non-blocking enqueue found the partition at capacity
+    /// (backpressure); the record is handed back for the caller to
+    /// retry, shed, or block on.
+    BufferFull {
+        /// The partition that back-pressured.
+        partition: usize,
+    },
     /// The scorer returned fewer scores than windows submitted.
     ShortScoreBatch {
         /// Windows submitted.
@@ -31,7 +41,15 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::BufferClosed => write!(f, "log buffer closed: all consumers dropped"),
+            PipelineError::BufferClosed { partition } => {
+                write!(
+                    f,
+                    "log buffer partition {partition} closed: consumer dropped"
+                )
+            }
+            PipelineError::BufferFull { partition } => {
+                write!(f, "log buffer partition {partition} full: backpressure")
+            }
             PipelineError::ShortScoreBatch { expected, got } => {
                 write!(f, "scorer returned {got} scores for {expected} windows")
             }
@@ -54,6 +72,7 @@ impl PipelineError {
             PipelineError::ScorerUnavailable
                 | PipelineError::ShortScoreBatch { .. }
                 | PipelineError::CorruptScore(_)
+                | PipelineError::BufferFull { .. }
         )
     }
 }
@@ -87,7 +106,8 @@ mod tests {
             got: 2
         }
         .is_transient());
-        assert!(!PipelineError::BufferClosed.is_transient());
+        assert!(!PipelineError::BufferClosed { partition: 0 }.is_transient());
+        assert!(PipelineError::BufferFull { partition: 3 }.is_transient());
         assert!(!PipelineError::DeadlineExceeded.is_transient());
     }
 

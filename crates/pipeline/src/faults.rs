@@ -9,6 +9,8 @@
 //! | [`points::CACHE_LOOKUP`] | score-cache probe in [`crate::detect`] | `Panic` → worker restart path; `TransientError` → forced miss; `CorruptScore` → poisoned entry the validator drops to a miss |
 //! | [`points::MODEL_SCORE`] | model-tier call in [`crate::detect`] | `Panic` → worker restart path; `TransientError` → retried with jittered backoff; `CorruptScore` → non-finite score the validator rejects; `Latency` → slow model |
 //! | [`points::PERSIST_IO`] | `logsynergy::persist::{save, load}` | `TransientError` → retried interrupted I/O; `Panic` → caller's isolation |
+//! | [`points::INGEST_ACCEPT`] | accept loop of the `logsynergy-serve` daemon | `Panic` → caught in place, the connection is dropped, the daemon lives; `TransientError` → accept-path failure (connection dropped); `Latency` → slow accept |
+//! | [`points::INGEST_PARSE`] | per-line parse in a `logsynergy-serve` connection handler | `Panic` → escapes to the handler's isolation layer (one connection lost, handler restarts); `TransientError` → surfaced as a 400 parse-error frame; `Latency` → slow parse |
 //!
 //! Everything here compiles to inert no-ops unless the crate is built
 //! with `--features fault-injection`; see `docs/robustness.md` for how to

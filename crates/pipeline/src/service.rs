@@ -163,6 +163,122 @@ fn restart_backoff(base: Duration, attempt: u64) -> Duration {
         .min(Duration::from_millis(100))
 }
 
+/// A running set of per-partition detection workers draining a
+/// [`LogBuffer`] — the detection half of [`run_pipeline_with`], exposed
+/// so network front doors (the `logsynergy-serve` ingest daemon) can pair
+/// the same workers with their own producers instead of an in-process
+/// source vector.
+///
+/// Workers run until every producer handle (and the buffer itself, which
+/// holds one sender per partition) is dropped and the queues drain;
+/// [`DetectionPool::join`] then folds the per-worker stats into a
+/// [`PipelineSummary`] whose six-bucket accounting invariant holds.
+pub struct DetectionPool {
+    workers: Vec<thread::JoinHandle<WorkerStats>>,
+    start: Instant,
+}
+
+impl DetectionPool {
+    /// Spawns one detection worker per buffer partition. The vectorizer,
+    /// scorer, and sink are cloned once per worker; scorers like
+    /// [`crate::detect::ModelScorer`] share the trained weights across
+    /// clones and fork only their private inference session.
+    pub fn spawn<S, K>(
+        buffer: &LogBuffer,
+        vectorizer: EventVectorizer,
+        scorer: S,
+        sink: K,
+        config: &PipelineConfig,
+    ) -> DetectionPool
+    where
+        S: SequenceScorer + Clone + 'static,
+        K: ReportSink + Clone + 'static,
+    {
+        assert!(config.partitions > 0 && config.batch_windows > 0);
+        assert_eq!(buffer.partitions(), config.partitions);
+        // Composable parallelism: split the kernel-thread budget evenly over
+        // the detection workers, so N workers × M kernel threads never exceeds
+        // the budget. The override is per-thread, so it composes with nested
+        // `with_threads` calls inside the kernels (small GEMMs below the
+        // per-shape work threshold stay serial regardless).
+        let budget = if config.core_budget == 0 {
+            logsynergy_nn::kernels::hardware_threads()
+        } else {
+            config.core_budget
+        };
+        let kernel_threads = (budget / config.partitions).max(1);
+        telemetry::global().set_tag("pipeline.scorer_tier", scorer.tier_label());
+        let consumers: Vec<_> = (0..config.partitions)
+            .map(|p| buffer.partition_consumer(p))
+            .collect();
+        let start = Instant::now();
+        let workers = consumers
+            .into_iter()
+            .map(|consumer| {
+                spawn_worker(
+                    consumer,
+                    vectorizer.clone(),
+                    scorer.clone(),
+                    sink.clone(),
+                    config.clone(),
+                    kernel_threads,
+                )
+            })
+            .collect();
+        DetectionPool { workers, start }
+    }
+
+    /// Waits for every worker to hit end-of-stream and folds their stats
+    /// into a summary. Blocks until all producer handles are gone.
+    pub fn join(self) -> PipelineSummary {
+        let mut logs = 0u64;
+        let mut pattern_hits = 0u64;
+        let mut cache_hits = 0u64;
+        let mut model_calls = 0u64;
+        let mut degraded = 0u64;
+        let mut shed = 0u64;
+        let mut quarantined = 0u64;
+        let mut retries = 0u64;
+        let mut worker_restarts = 0u64;
+        let mut dead_letters = Vec::new();
+        let mut reports = 0u64;
+        let mut new_templates = 0usize;
+        for worker in self.workers {
+            let s = worker.join().expect("detection worker panicked");
+            logs += s.logs;
+            pattern_hits += s.pattern_hits;
+            cache_hits += s.cache_hits;
+            model_calls += s.model_calls;
+            degraded += s.degraded;
+            shed += s.shed;
+            quarantined += s.quarantined;
+            retries += s.retries;
+            worker_restarts += s.restarts;
+            dead_letters.extend(s.dead_letters);
+            reports += s.reports;
+            new_templates += s.new_templates;
+        }
+        let elapsed = self.start.elapsed();
+        PipelineSummary {
+            logs,
+            windows: pattern_hits + cache_hits + model_calls + degraded + shed + quarantined,
+            pattern_hits,
+            cache_hits,
+            model_calls,
+            degraded,
+            shed,
+            quarantined,
+            retries,
+            worker_restarts,
+            dead_letters,
+            reports,
+            new_templates,
+            elapsed,
+            throughput: logs as f64 / elapsed.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
 /// Runs the full pipeline over a finite log source with explicit serving
 /// knobs: a producer thread ships raw logs through the bounded partitioned
 /// buffer while one detection worker per partition formats, windows,
@@ -182,29 +298,13 @@ where
     S: SequenceScorer + Clone + 'static,
     K: ReportSink + Clone + 'static,
 {
-    assert!(config.partitions > 0 && config.batch_windows > 0);
-    // Composable parallelism: split the kernel-thread budget evenly over
-    // the detection workers, so N workers × M kernel threads never exceeds
-    // the budget. The override is per-thread, so it composes with nested
-    // `with_threads` calls inside the kernels (small GEMMs below the
-    // per-shape work threshold stay serial regardless).
-    let budget = if config.core_budget == 0 {
-        logsynergy_nn::kernels::hardware_threads()
-    } else {
-        config.core_budget
-    };
-    let kernel_threads = (budget / config.partitions).max(1);
-    telemetry::global().set_tag("pipeline.scorer_tier", scorer.tier_label());
     let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
     let producer = buffer.producer();
-    let consumers: Vec<_> = (0..config.partitions)
-        .map(|p| buffer.partition_consumer(p))
-        .collect();
+    let pool = DetectionPool::spawn(&buffer, vectorizer, scorer, sink, &config);
     // Drop the buffer's own sender handles: once the shipper finishes, the
     // channels disconnect and workers see a definitive end of stream.
     drop(buffer);
     let n = source.len() as u64;
-    let start = Instant::now();
 
     let shipper = thread::spawn(move || {
         'ship: for log in source {
@@ -241,241 +341,200 @@ where
         // Producer handle drops here, closing its side.
     });
 
-    let workers: Vec<_> = consumers
-        .into_iter()
-        .map(|mut consumer| {
-            let vectorizer = vectorizer.clone();
-            let scorer = scorer.clone();
-            let sink = sink.clone();
-            let cfg = config.clone();
-            thread::spawn(move || {
-                // The whole serving loop runs under this worker's share of
-                // the kernel-thread budget; every model-tier GEMM it issues
-                // inherits the cap through the per-thread override.
-                let serve = move || {
-                    let mut detector = OnlineDetector::new(vectorizer, scorer)
-                        .with_cache_capacity(cfg.score_cache)
-                        .with_library_capacity(cfg.library_capacity)
-                        .with_retry_policy(RetryPolicy {
-                            max_retries: cfg.max_retries,
-                            backoff: cfg.retry_backoff,
-                            deadline: cfg.score_deadline,
-                            ..RetryPolicy::default()
-                        });
-                    // The batch cap counts completed windows; convert to the
-                    // log burst that yields that many windows.
-                    let (_, step) = detector.geometry();
-                    let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
-                    let mut seq_no = 0u64;
-                    let mut reports_delivered = 0u64;
-                    let mut restarts = 0u64;
-                    let mut reports = Vec::new();
-                    // Telemetry handles, resolved once before the hot loop.
-                    let tele = telemetry::global().scoped("pipeline");
-                    let c_logs = tele.counter("logs");
-                    let c_windows = tele.counter("windows");
-                    let c_reports = tele.counter("reports");
-                    let c_pattern = tele.counter("tier.pattern");
-                    let c_cache = tele.counter("tier.cache");
-                    let c_model = tele.counter("tier.model");
-                    let c_degraded = tele.counter("degraded");
-                    let c_shed = tele.counter("shed");
-                    let c_quarantined = tele.counter("quarantined");
-                    let c_retries = tele.counter("retries");
-                    let c_restarts = tele.counter("worker.restarts");
-                    let h_batch_logs = tele.histogram("batch.logs");
-                    let h_batch_windows = tele.histogram("batch.windows");
-                    let h_queue_depth = tele.histogram("queue.depth");
-                    let g_active = tele.gauge("workers.active");
-                    g_active.add(1);
-                    loop {
-                        let _batch_span = telemetry::span("pipeline.batch");
-                        let batch = {
-                            let _recv = telemetry::span("recv");
-                            // `batch.drain` may panic by injection before any
-                            // record leaves the queue; restart the drain after
-                            // backoff — nothing was lost.
-                            match catch_unwind(AssertUnwindSafe(|| {
-                                consumer.recv_batch(max_logs, cfg.batch_deadline)
-                            })) {
-                                Ok(batch) => batch,
-                                Err(_) => {
-                                    restarts += 1;
-                                    c_restarts.add(1);
-                                    thread::sleep(restart_backoff(cfg.retry_backoff, restarts));
-                                    continue;
-                                }
-                            }
-                        };
-                        let Some(batch) = batch else { break };
-                        if batch.is_empty() {
+    shipper.join().expect("shipper thread panicked");
+    let mut summary = pool.join();
+    summary.logs = summary.logs.min(n);
+    summary
+}
+
+fn spawn_worker<S, K>(
+    mut consumer: crate::buffer::Consumer,
+    vectorizer: EventVectorizer,
+    scorer: S,
+    sink: K,
+    cfg: PipelineConfig,
+    kernel_threads: usize,
+) -> thread::JoinHandle<WorkerStats>
+where
+    S: SequenceScorer + 'static,
+    K: ReportSink + 'static,
+{
+    thread::spawn(move || {
+        // The whole serving loop runs under this worker's share of
+        // the kernel-thread budget; every model-tier GEMM it issues
+        // inherits the cap through the per-thread override.
+        let serve = move || {
+            let mut detector = OnlineDetector::new(vectorizer, scorer)
+                .with_cache_capacity(cfg.score_cache)
+                .with_library_capacity(cfg.library_capacity)
+                .with_retry_policy(RetryPolicy {
+                    max_retries: cfg.max_retries,
+                    backoff: cfg.retry_backoff,
+                    deadline: cfg.score_deadline,
+                    ..RetryPolicy::default()
+                });
+            // The batch cap counts completed windows; convert to the
+            // log burst that yields that many windows.
+            let (_, step) = detector.geometry();
+            let max_logs = cfg.batch_windows.saturating_mul(step).max(1);
+            let mut seq_no = 0u64;
+            let mut reports_delivered = 0u64;
+            let mut restarts = 0u64;
+            let mut reports = Vec::new();
+            // Telemetry handles, resolved once before the hot loop.
+            let tele = telemetry::global().scoped("pipeline");
+            let c_logs = tele.counter("logs");
+            let c_windows = tele.counter("windows");
+            let c_reports = tele.counter("reports");
+            let c_pattern = tele.counter("tier.pattern");
+            let c_cache = tele.counter("tier.cache");
+            let c_model = tele.counter("tier.model");
+            let c_degraded = tele.counter("degraded");
+            let c_shed = tele.counter("shed");
+            let c_quarantined = tele.counter("quarantined");
+            let c_retries = tele.counter("retries");
+            let c_restarts = tele.counter("worker.restarts");
+            let h_batch_logs = tele.histogram("batch.logs");
+            let h_batch_windows = tele.histogram("batch.windows");
+            let h_queue_depth = tele.histogram("queue.depth");
+            let g_active = tele.gauge("workers.active");
+            g_active.add(1);
+            loop {
+                let _batch_span = telemetry::span("pipeline.batch");
+                let batch = {
+                    let _recv = telemetry::span("recv");
+                    // `batch.drain` may panic by injection before any
+                    // record leaves the queue; restart the drain after
+                    // backoff — nothing was lost.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        consumer.recv_batch(max_logs, cfg.batch_deadline)
+                    })) {
+                        Ok(batch) => batch,
+                        Err(_) => {
+                            restarts += 1;
+                            c_restarts.add(1);
+                            thread::sleep(restart_backoff(cfg.retry_backoff, restarts));
                             continue;
                         }
-                        let depth = consumer.depth();
-                        h_queue_depth.record(depth);
-                        h_batch_logs.record(batch.len() as u64);
-                        c_logs.add(batch.len() as u64);
-                        // Load-shedding decision, once per batch: while the
-                        // shard's queue is over the watermark, serve the
-                        // cheap tiers only until depth recovers.
-                        let mode = if cfg.shed_watermark > 0 && depth >= cfg.shed_watermark as u64 {
-                            ServeMode::Shed
-                        } else {
-                            ServeMode::Normal
-                        };
-                        let (p0, k0, m0) = (
-                            detector.pattern_hits,
-                            detector.cache_hits,
-                            detector.model_calls,
-                        );
-                        let (d0, s0, q0, r0) = (
-                            detector.degraded,
-                            detector.shed,
-                            detector.quarantined,
-                            detector.retries,
-                        );
-                        // Process the batch under panic isolation: a faulted
-                        // attempt rolls the detector back to its checkpoint
-                        // and replays the same raw logs with the same
-                        // sequence numbers; a batch that keeps faulting past
-                        // the retry budget is quarantined to the dead-letter
-                        // queue instead of wedging the worker.
-                        let base_seq = seq_no;
-                        let mut attempt = 0u32;
-                        loop {
-                            let cp = detector.checkpoint();
-                            let reports_mark = reports.len();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                let _detect = telemetry::span("detect");
+                    }
+                };
+                let Some(batch) = batch else { break };
+                if batch.is_empty() {
+                    continue;
+                }
+                let depth = consumer.depth();
+                h_queue_depth.record(depth);
+                h_batch_logs.record(batch.len() as u64);
+                c_logs.add(batch.len() as u64);
+                // Load-shedding decision, once per batch: while the
+                // shard's queue is over the watermark, serve the
+                // cheap tiers only until depth recovers.
+                let mode = if cfg.shed_watermark > 0 && depth >= cfg.shed_watermark as u64 {
+                    ServeMode::Shed
+                } else {
+                    ServeMode::Normal
+                };
+                let (p0, k0, m0) = (
+                    detector.pattern_hits,
+                    detector.cache_hits,
+                    detector.model_calls,
+                );
+                let (d0, s0, q0, r0) = (
+                    detector.degraded,
+                    detector.shed,
+                    detector.quarantined,
+                    detector.retries,
+                );
+                // Process the batch under panic isolation: a faulted
+                // attempt rolls the detector back to its checkpoint
+                // and replays the same raw logs with the same
+                // sequence numbers; a batch that keeps faulting past
+                // the retry budget is quarantined to the dead-letter
+                // queue instead of wedging the worker.
+                let base_seq = seq_no;
+                let mut attempt = 0u32;
+                loop {
+                    let cp = detector.checkpoint();
+                    let reports_mark = reports.len();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let _detect = telemetry::span("detect");
+                        let structured = batch
+                            .iter()
+                            .enumerate()
+                            .map(|(k, raw)| format_log(raw, base_seq + k as u64));
+                        detector.ingest_batch_mode(structured, &mut reports, mode);
+                    }));
+                    match outcome {
+                        Ok(()) => break,
+                        Err(_) => {
+                            detector.restore(cp);
+                            reports.truncate(reports_mark);
+                            restarts += 1;
+                            c_restarts.add(1);
+                            if attempt >= cfg.max_retries {
                                 let structured = batch
                                     .iter()
                                     .enumerate()
                                     .map(|(k, raw)| format_log(raw, base_seq + k as u64));
-                                detector.ingest_batch_mode(structured, &mut reports, mode);
-                            }));
-                            match outcome {
-                                Ok(()) => break,
-                                Err(_) => {
-                                    detector.restore(cp);
-                                    reports.truncate(reports_mark);
-                                    restarts += 1;
-                                    c_restarts.add(1);
-                                    if attempt >= cfg.max_retries {
-                                        let structured = batch
-                                            .iter()
-                                            .enumerate()
-                                            .map(|(k, raw)| format_log(raw, base_seq + k as u64));
-                                        detector.quarantine_batch(
-                                            structured,
-                                            "batch exhausted its panic-retry budget",
-                                        );
-                                        break;
-                                    }
-                                    attempt += 1;
-                                    thread::sleep(restart_backoff(
-                                        cfg.retry_backoff,
-                                        attempt as u64,
-                                    ));
-                                }
+                                detector.quarantine_batch(
+                                    structured,
+                                    "batch exhausted its panic-retry budget",
+                                );
+                                break;
                             }
-                        }
-                        seq_no += batch.len() as u64;
-                        let (dp, dk, dm) = (
-                            detector.pattern_hits - p0,
-                            detector.cache_hits - k0,
-                            detector.model_calls - m0,
-                        );
-                        let (dd, ds, dq) = (
-                            detector.degraded - d0,
-                            detector.shed - s0,
-                            detector.quarantined - q0,
-                        );
-                        c_pattern.add(dp);
-                        c_cache.add(dk);
-                        c_model.add(dm);
-                        c_degraded.add(dd);
-                        c_shed.add(ds);
-                        c_quarantined.add(dq);
-                        c_retries.add(detector.retries - r0);
-                        let dw = dp + dk + dm + dd + ds + dq;
-                        c_windows.add(dw);
-                        h_batch_windows.record(dw);
-                        {
-                            let _deliver = telemetry::span("deliver");
-                            for report in reports.drain(..) {
-                                sink.deliver(&report);
-                                reports_delivered += 1;
-                            }
+                            attempt += 1;
+                            thread::sleep(restart_backoff(cfg.retry_backoff, attempt as u64));
                         }
                     }
-                    c_reports.add(reports_delivered);
-                    g_active.add(-1);
-                    WorkerStats {
-                        logs: seq_no,
-                        pattern_hits: detector.pattern_hits,
-                        cache_hits: detector.cache_hits,
-                        model_calls: detector.model_calls,
-                        degraded: detector.degraded,
-                        shed: detector.shed,
-                        quarantined: detector.quarantined,
-                        retries: detector.retries,
-                        restarts,
-                        dead_letters: detector.take_dead_letters(),
-                        reports: reports_delivered,
-                        new_templates: detector.vectorizer().new_templates(),
+                }
+                seq_no += batch.len() as u64;
+                let (dp, dk, dm) = (
+                    detector.pattern_hits - p0,
+                    detector.cache_hits - k0,
+                    detector.model_calls - m0,
+                );
+                let (dd, ds, dq) = (
+                    detector.degraded - d0,
+                    detector.shed - s0,
+                    detector.quarantined - q0,
+                );
+                c_pattern.add(dp);
+                c_cache.add(dk);
+                c_model.add(dm);
+                c_degraded.add(dd);
+                c_shed.add(ds);
+                c_quarantined.add(dq);
+                c_retries.add(detector.retries - r0);
+                let dw = dp + dk + dm + dd + ds + dq;
+                c_windows.add(dw);
+                h_batch_windows.record(dw);
+                {
+                    let _deliver = telemetry::span("deliver");
+                    for report in reports.drain(..) {
+                        sink.deliver(&report);
+                        reports_delivered += 1;
                     }
-                };
-                logsynergy_nn::kernels::with_threads(kernel_threads, serve)
-            })
-        })
-        .collect();
-
-    shipper.join().expect("shipper thread panicked");
-    let mut logs = 0u64;
-    let mut pattern_hits = 0u64;
-    let mut cache_hits = 0u64;
-    let mut model_calls = 0u64;
-    let mut degraded = 0u64;
-    let mut shed = 0u64;
-    let mut quarantined = 0u64;
-    let mut retries = 0u64;
-    let mut worker_restarts = 0u64;
-    let mut dead_letters = Vec::new();
-    let mut reports = 0u64;
-    let mut new_templates = 0usize;
-    for worker in workers {
-        let s = worker.join().expect("detection worker panicked");
-        logs += s.logs;
-        pattern_hits += s.pattern_hits;
-        cache_hits += s.cache_hits;
-        model_calls += s.model_calls;
-        degraded += s.degraded;
-        shed += s.shed;
-        quarantined += s.quarantined;
-        retries += s.retries;
-        worker_restarts += s.restarts;
-        dead_letters.extend(s.dead_letters);
-        reports += s.reports;
-        new_templates += s.new_templates;
-    }
-    let elapsed = start.elapsed();
-    PipelineSummary {
-        logs: logs.min(n),
-        windows: pattern_hits + cache_hits + model_calls + degraded + shed + quarantined,
-        pattern_hits,
-        cache_hits,
-        model_calls,
-        degraded,
-        shed,
-        quarantined,
-        retries,
-        worker_restarts,
-        dead_letters,
-        reports,
-        new_templates,
-        elapsed,
-        throughput: logs as f64 / elapsed.as_secs_f64().max(1e-9),
-    }
+                }
+            }
+            c_reports.add(reports_delivered);
+            g_active.add(-1);
+            WorkerStats {
+                logs: seq_no,
+                pattern_hits: detector.pattern_hits,
+                cache_hits: detector.cache_hits,
+                model_calls: detector.model_calls,
+                degraded: detector.degraded,
+                shed: detector.shed,
+                quarantined: detector.quarantined,
+                retries: detector.retries,
+                restarts,
+                dead_letters: detector.take_dead_letters(),
+                reports: reports_delivered,
+                new_templates: detector.vectorizer().new_templates(),
+            }
+        };
+        logsynergy_nn::kernels::with_threads(kernel_threads, serve)
+    })
 }
 
 /// Runs the full pipeline with the default serving configuration

@@ -131,7 +131,13 @@ fn send_after_shutdown_returns_typed_error_with_the_record() {
     let (returned, err) = producer
         .try_send(log)
         .expect_err("send into a closed buffer must fail");
-    assert!(matches!(err, PipelineError::BufferClosed));
+    let expected = producer.partition_for("b");
+    assert_eq!(
+        err,
+        PipelineError::BufferClosed {
+            partition: expected
+        }
+    );
     assert!(!err.is_transient(), "closed is terminal, not retryable");
     assert_eq!(returned.timestamp, 7, "the record comes back intact");
     assert_eq!(returned.message, "late arrival");

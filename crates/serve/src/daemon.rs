@@ -1,0 +1,706 @@
+//! The ingest daemon: a TCP front door feeding the partitioned log
+//! buffer and its detection workers.
+//!
+//! ```text
+//!             ┌───────────────┐   bounded    ┌────────────────────┐
+//!  clients ──▶│ accept thread │──────────────▶ handler thread pool │
+//!             └───────────────┘  conn queue  └─────────┬──────────┘
+//!                                   auth · quota · shed │ offer_to
+//!                                             ┌─────────▼─────────┐
+//!                                             │ LogBuffer (shards)│
+//!                                             └─────────┬─────────┘
+//!                                             ┌─────────▼─────────┐
+//!                                             │  DetectionPool    │
+//!                                             └───────────────────┘
+//! ```
+//!
+//! One accept thread hands sockets to a small fixed pool of connection
+//! handlers (a handler owns a connection for its lifetime, so the pool
+//! size bounds concurrent streaming clients; further connections queue).
+//! Handlers parse NDJSON / syslog lines (see [`crate::proto`]), enforce
+//! per-tenant token-bucket quotas and fair-share shard routing (see
+//! [`crate::tenants`]), apply the shed watermark, and push accepted
+//! records through [`Producer::offer_to`]. On drain the daemon stops
+//! accepting, lets in-flight connections flush (bounded by the drain
+//! timeout), drops every producer handle, and joins the detection pool
+//! into a final [`PipelineSummary`] whose six-bucket accounting is
+//! exact.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use logsynergy::faults::{self, points, Fault, PANIC_MARKER};
+use logsynergy_pipeline::buffer::{LogBuffer, Producer};
+use logsynergy_pipeline::detect::SequenceScorer;
+use logsynergy_pipeline::report::ReportSink;
+use logsynergy_pipeline::service::{DetectionPool, PipelineConfig, PipelineSummary};
+use logsynergy_pipeline::{EventVectorizer, PipelineError};
+use logsynergy_telemetry as telemetry;
+use parking_lot::Mutex;
+
+use crate::proto::{self, ClientLine};
+use crate::tenants::{TenantHandle, TenantSpec, TenantTable};
+
+/// Write an over-quota / shed frame on the first rejection of a run and
+/// then once per this many — a flooding client must not buy a response
+/// per offending line.
+const ERROR_FRAME_EVERY: u64 = 1024;
+
+/// Tuning knobs for the ingest daemon.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Connection-handler pool size — the bound on concurrently
+    /// *streaming* clients; excess accepted connections wait queued.
+    pub handler_threads: usize,
+    /// Accepted-but-unhandled connection queue depth; the accept thread
+    /// blocks (TCP backlog backpressure) when it is full.
+    pub pending_connections: usize,
+    /// Budget for in-flight connections to flush after drain starts;
+    /// past it handlers close connections mid-stream.
+    pub drain_timeout: Duration,
+    /// How often the tenants file is polled for changes (mtime-based
+    /// hot reload); also the shutdown-latency bound of that thread.
+    pub reload_poll: Duration,
+    /// Per-read socket timeout: the granularity at which an idle
+    /// connection's handler notices the stop flag.
+    pub idle_poll: Duration,
+    /// A connection must authenticate within this budget or be closed —
+    /// an unauthenticated socket may not camp on a handler slot.
+    pub auth_deadline: Duration,
+    /// Consecutive over-quota lines before the handler starts penalty
+    /// sleeps (slow-read: the client's TCP window fills and its flood
+    /// slows to the daemon's chosen pace).
+    pub quota_slow_after: u64,
+    /// The per-line penalty sleep once slow-read engages.
+    pub quota_penalty: Duration,
+    /// Consecutive over-quota lines before the connection is dropped
+    /// outright as abusive.
+    pub quota_disconnect_after: u64,
+    /// Detection-side configuration (partitions, capacity, shedding,
+    /// retries — see the pipeline crate).
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".into(),
+            handler_threads: 4,
+            pending_connections: 64,
+            drain_timeout: Duration::from_secs(5),
+            reload_poll: Duration::from_millis(500),
+            idle_poll: Duration::from_millis(50),
+            auth_deadline: Duration::from_secs(5),
+            quota_slow_after: 64,
+            quota_penalty: Duration::from_millis(2),
+            quota_disconnect_after: 100_000,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Monotone ingest-side totals, across all tenants and connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records enqueued into the buffer.
+    pub accepted: u64,
+    /// Records refused over quota (429).
+    pub rejected: u64,
+    /// Records shed at the watermark or a full shard (503).
+    pub shed: u64,
+    /// Lines that failed to parse (400).
+    pub parse_errors: u64,
+    /// Connections force-closed for sustained quota abuse.
+    pub abusive_disconnects: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+}
+
+#[derive(Default)]
+struct Totals {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    parse_errors: AtomicU64,
+    abusive_disconnects: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Everything a connection handler needs, shared across threads. The
+/// single [`Producer`] lives here: when the last `Arc<Shared>` drops
+/// (after every daemon thread is joined), the buffer disconnects and
+/// the detection workers run to end-of-stream.
+struct Shared {
+    stop: AtomicBool,
+    drain_deadline: Mutex<Option<Instant>>,
+    drain_timeout: Duration,
+    started: Instant,
+    producer: Producer,
+    tenants: TenantTable,
+    shed_watermark: usize,
+    idle_poll: Duration,
+    auth_deadline: Duration,
+    quota_slow_after: u64,
+    quota_penalty: Duration,
+    quota_disconnect_after: u64,
+    totals: Totals,
+    m_accepted: Arc<telemetry::Counter>,
+    m_rejected: Arc<telemetry::Counter>,
+    m_shed: Arc<telemetry::Counter>,
+    m_parse_errors: Arc<telemetry::Counter>,
+    m_abusive: Arc<telemetry::Counter>,
+    m_connections: Arc<telemetry::Counter>,
+    m_active: Arc<telemetry::Gauge>,
+    m_accept_faults: Arc<telemetry::Counter>,
+    m_handler_restarts: Arc<telemetry::Counter>,
+    m_reload_errors: Arc<telemetry::Counter>,
+    m_latency: Arc<telemetry::Histogram>,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn past_drain_deadline(&self) -> bool {
+        match *self.drain_deadline.lock() {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// A running ingest daemon. Must be shut down with [`Daemon::drain`],
+/// which yields the final detection summary; there is no implicit
+/// drain-on-drop (dropping a live daemon leaks its threads).
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: thread::JoinHandle<()>,
+    handlers: Vec<thread::JoinHandle<()>>,
+    reloader: Option<thread::JoinHandle<()>>,
+    pool: DetectionPool,
+}
+
+/// Builds the buffer + detection pool and starts listening.
+///
+/// `tenants_path`, when given, is polled every
+/// [`ServeConfig::reload_poll`] and hot-reloaded on mtime change (see
+/// [`TenantTable::reload`]); `specs` is the initial tenant set (callers
+/// normally pass `load_tenants(&path)?` output).
+pub fn start<S, K>(
+    config: ServeConfig,
+    specs: Vec<TenantSpec>,
+    tenants_path: Option<PathBuf>,
+    vectorizer: EventVectorizer,
+    scorer: S,
+    sink: K,
+) -> io::Result<Daemon>
+where
+    S: SequenceScorer + Clone + 'static,
+    K: ReportSink + Clone + 'static,
+{
+    assert!(config.handler_threads > 0 && config.pending_connections > 0);
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+
+    let buffer = LogBuffer::new(
+        config.pipeline.partitions,
+        config.pipeline.partition_capacity,
+    );
+    let pool = DetectionPool::spawn(&buffer, vectorizer, scorer, sink, &config.pipeline);
+    let producer = buffer.producer();
+    drop(buffer); // the producer handle is now the only sender
+
+    let scope = telemetry::global().scoped("ingest");
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        drain_deadline: Mutex::new(None),
+        drain_timeout: config.drain_timeout,
+        started: Instant::now(),
+        tenants: TenantTable::new(specs, config.pipeline.partitions),
+        shed_watermark: config.pipeline.shed_watermark,
+        idle_poll: config.idle_poll,
+        auth_deadline: config.auth_deadline,
+        quota_slow_after: config.quota_slow_after.max(1),
+        quota_penalty: config.quota_penalty,
+        quota_disconnect_after: config.quota_disconnect_after.max(1),
+        totals: Totals::default(),
+        m_accepted: scope.counter("accepted"),
+        m_rejected: scope.counter("rejected"),
+        m_shed: scope.counter("shed"),
+        m_parse_errors: scope.counter("parse_errors"),
+        m_abusive: scope.counter("abusive_disconnects"),
+        m_connections: scope.counter("connections"),
+        m_active: scope.gauge("connections.active"),
+        m_accept_faults: scope.counter("accept.faults"),
+        m_handler_restarts: scope.counter("handler.restarts"),
+        m_reload_errors: scope.counter("config.reload_errors"),
+        m_latency: scope.histogram("latency_us"),
+        producer,
+    });
+
+    let (conn_tx, conn_rx) = bounded::<TcpStream>(config.pending_connections);
+    let accept = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("logsynergy-ingest-accept".into())
+            .spawn(move || accept_loop(listener, conn_tx, shared))?
+    };
+    let handlers = (0..config.handler_threads)
+        .map(|i| {
+            let shared = shared.clone();
+            let rx = conn_rx.clone();
+            thread::Builder::new()
+                .name(format!("logsynergy-ingest-{i}"))
+                .spawn(move || handler_loop(rx, shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    drop(conn_rx);
+    let reloader = match tenants_path {
+        Some(path) => Some({
+            let shared = shared.clone();
+            let poll = config.reload_poll.max(Duration::from_millis(10));
+            thread::Builder::new()
+                .name("logsynergy-ingest-reload".into())
+                .spawn(move || reload_loop(path, poll, shared))?
+        }),
+        None => None,
+    };
+
+    Ok(Daemon {
+        addr,
+        shared,
+        accept,
+        handlers,
+        reloader,
+        pool,
+    })
+}
+
+impl Daemon {
+    /// The bound address (useful with a `:0` listen request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the ingest-side totals.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let t = &self.shared.totals;
+        IngestStats {
+            accepted: t.accepted.load(Ordering::Relaxed),
+            rejected: t.rejected.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            parse_errors: t.parse_errors.load(Ordering::Relaxed),
+            abusive_disconnects: t.abusive_disconnects.load(Ordering::Relaxed),
+            connections: t.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live (non-revoked) tenant count — observes hot reloads.
+    pub fn tenant_count(&self) -> usize {
+        self.shared.tenants.len()
+    }
+
+    /// Asks the daemon to stop accepting and begin flushing; returns
+    /// immediately. [`Daemon::drain`] calls this itself — use it only
+    /// to begin shutdown early (e.g. from a signal-watcher thread).
+    pub fn initiate_drain(&self) {
+        {
+            let mut deadline = self.shared.drain_deadline.lock();
+            deadline.get_or_insert(Instant::now() + self.shared.drain_timeout);
+        }
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Graceful drain: stop accepting, give in-flight connections up to
+    /// the configured drain timeout to flush, drop every producer, and
+    /// join the detection workers. The returned summary's six-bucket
+    /// accounting (`pattern + cache + model + degraded + shed +
+    /// quarantined == windows`) covers exactly the records that were
+    /// acknowledged as accepted.
+    pub fn drain(self) -> PipelineSummary {
+        self.initiate_drain();
+        let Daemon {
+            shared,
+            accept,
+            handlers,
+            reloader,
+            pool,
+            ..
+        } = self;
+        let _ = accept.join(); // drops the connection queue sender
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(r) = reloader {
+            let _ = r.join();
+        }
+        // Every thread holding an Arc<Shared> is joined: this drop is the
+        // last one, the producer disconnects, and the workers run to
+        // end-of-stream.
+        drop(shared);
+        pool.join()
+    }
+}
+
+fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        // Snapshot the stop flag *before* dispatching: a connection that
+        // raced drain initiation was in the backlog before "stop
+        // accepting" took effect, so it is still served. (The drain's
+        // own wake-up connection is indistinguishable and harmless — its
+        // handler sees immediate EOF.) Dropping it here instead would
+        // RST a legitimate client mid-stream.
+        let stopping = shared.stopping();
+        if let Ok(stream) = conn {
+            // `ingest.accept` fault point: an injected panic exercises
+            // the isolation seam (the connection is lost, the daemon is
+            // not), a transient error models an accept-path failure.
+            let admitted = catch_unwind(AssertUnwindSafe(|| {
+                match faults::inject(points::INGEST_ACCEPT) {
+                    Some(Fault::Panic) => panic!("{PANIC_MARKER}: ingest.accept"),
+                    Some(Fault::TransientError) => false,
+                    Some(Fault::Latency(d)) => {
+                        thread::sleep(d);
+                        true
+                    }
+                    Some(Fault::CorruptScore) | None => true,
+                }
+            }));
+            match admitted {
+                Ok(true) => {
+                    shared.totals.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.m_connections.inc();
+                    // Blocking send: a full queue backpressures onto the
+                    // TCP backlog rather than accepting unboundedly.
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Ok(false) | Err(_) => shared.m_accept_faults.inc(),
+            }
+        }
+        if stopping {
+            break;
+        }
+    }
+}
+
+fn handler_loop(conn_rx: Receiver<TcpStream>, shared: Arc<Shared>) {
+    while let Ok(stream) = conn_rx.recv() {
+        shared.m_active.add(1);
+        // Panic isolation: a handler panic (e.g. an armed `ingest.parse`
+        // fault) costs one connection, never the daemon.
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &shared)));
+        shared.m_active.add(-1);
+        if outcome.is_err() {
+            shared.m_handler_restarts.inc();
+        }
+    }
+}
+
+/// Per-connection accounting, echoed back in the summary frame.
+#[derive(Default)]
+struct ConnCounts {
+    accepted: u64,
+    rejected: u64,
+    shed: u64,
+    parse_errors: u64,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let _ = stream.set_read_timeout(Some(shared.idle_poll));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let opened = Instant::now();
+
+    let mut tenant: Option<Arc<TenantHandle>> = None;
+    let mut default_system = String::new();
+    let mut conn = ConnCounts::default();
+    let mut consecutive_rejected = 0u64;
+    let mut consecutive_shed = 0u64;
+    let mut error_frames = 0u64;
+    let mut draining = false;
+    let mut line = String::new();
+
+    'conn: loop {
+        if shared.stopping() && shared.past_drain_deadline() {
+            draining = true;
+            break;
+        }
+        // On a read timeout the partial line (if any) stays in `line`
+        // and the next pass keeps appending — no torn records.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client is done, summarize and close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // While draining, an idle connection is left open until
+                // the drain deadline (checked at the top of the loop):
+                // records still in flight from the client must land.
+                if tenant.is_none() && opened.elapsed() >= shared.auth_deadline {
+                    let _ = writer.write_all(
+                        proto::frame_error(401, "unauthorized", "auth deadline").as_bytes(),
+                    );
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+
+        // `ingest.parse` fault point: panics escape to the handler's
+        // isolation layer; transient errors surface as parse failures.
+        let injected_parse_error = match faults::inject(points::INGEST_PARSE) {
+            Some(Fault::Panic) => panic!("{PANIC_MARKER}: ingest.parse"),
+            Some(Fault::TransientError) => true,
+            Some(Fault::Latency(d)) => {
+                thread::sleep(d);
+                false
+            }
+            Some(Fault::CorruptScore) | None => false,
+        };
+        let parsed = if injected_parse_error {
+            Err("injected parse fault".to_string())
+        } else {
+            proto::parse_line(&line, &default_system)
+        };
+        line.clear();
+
+        match parsed {
+            Err(_) if tenant.is_none() => {
+                // Unauthenticated garbage is an auth failure, not a
+                // parse statistic: close without letting anonymous input
+                // inflate the counters.
+                let _ = writer
+                    .write_all(proto::frame_error(401, "unauthorized", "HELLO first").as_bytes());
+                return Ok(());
+            }
+            Err(detail) => {
+                conn.parse_errors += 1;
+                shared.totals.parse_errors.fetch_add(1, Ordering::Relaxed);
+                shared.m_parse_errors.inc();
+                if let Some(t) = &tenant {
+                    t.parse_errors.inc();
+                }
+                if error_frames < ERROR_FRAME_EVERY {
+                    error_frames += 1;
+                    let _ =
+                        writer.write_all(proto::frame_error(400, "malformed", &detail).as_bytes());
+                }
+            }
+            Ok(ClientLine::Empty) => {}
+            Ok(ClientLine::Hello { token }) => match shared.tenants.authenticate(&token) {
+                Some(handle) => {
+                    default_system = handle.name();
+                    let _ = writer.write_all(proto::frame_hello_ok(&default_system).as_bytes());
+                    tenant = Some(handle);
+                }
+                None => {
+                    let _ = writer.write_all(
+                        proto::frame_error(401, "unauthorized", "unknown token").as_bytes(),
+                    );
+                    return Ok(());
+                }
+            },
+            Ok(ClientLine::Quit) => break,
+            Ok(ClientLine::Record(record)) => {
+                let Some(t) = &tenant else {
+                    let _ = writer.write_all(
+                        proto::frame_error(401, "unauthorized", "HELLO first").as_bytes(),
+                    );
+                    return Ok(());
+                };
+                if t.is_revoked() {
+                    let _ = writer
+                        .write_all(proto::frame_error(401, "revoked", "tenant removed").as_bytes());
+                    return Ok(());
+                }
+                let t0 = Instant::now();
+                let now = shared.started.elapsed();
+                if !t.admit(now) {
+                    conn.rejected += 1;
+                    consecutive_rejected += 1;
+                    shared.totals.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.m_rejected.inc();
+                    t.rejected.inc();
+                    if consecutive_rejected == 1
+                        || consecutive_rejected.is_multiple_of(ERROR_FRAME_EVERY)
+                    {
+                        let retry = t.retry_after(now).as_millis() as u64;
+                        let _ = writer.write_all(proto::frame_over_quota(retry).as_bytes());
+                    }
+                    if consecutive_rejected >= shared.quota_disconnect_after {
+                        shared
+                            .totals
+                            .abusive_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.m_abusive.inc();
+                        let _ = writer.write_all(
+                            proto::frame_error(429, "quota abuse", "disconnecting").as_bytes(),
+                        );
+                        return Ok(());
+                    }
+                    if consecutive_rejected >= shared.quota_slow_after {
+                        // Slow-read: stop draining the flood at line rate;
+                        // the client's send window fills and it is paced
+                        // down to the daemon's terms.
+                        thread::sleep(shared.quota_penalty);
+                    }
+                    continue;
+                }
+                consecutive_rejected = 0;
+
+                let partition = t.route(&record.system);
+                if shared.shed_watermark > 0
+                    && shared.producer.depth(partition) >= shared.shed_watermark as u64
+                {
+                    shed(
+                        &mut conn,
+                        &mut consecutive_shed,
+                        t,
+                        shared,
+                        partition,
+                        &mut writer,
+                    );
+                    continue;
+                }
+                match shared.producer.offer_to(partition, record) {
+                    Ok(()) => {
+                        accepted(&mut conn, t, shared, t0);
+                        consecutive_shed = 0;
+                    }
+                    Err((record, PipelineError::BufferFull { .. })) => {
+                        if shared.shed_watermark > 0 {
+                            shed(
+                                &mut conn,
+                                &mut consecutive_shed,
+                                t,
+                                shared,
+                                partition,
+                                &mut writer,
+                            );
+                        } else {
+                            // Shedding disabled: exert backpressure by
+                            // blocking — the client's stream stalls
+                            // instead of losing the record.
+                            match shared.producer.send_to(partition, record) {
+                                Ok(()) => {
+                                    accepted(&mut conn, t, shared, t0);
+                                    consecutive_shed = 0;
+                                }
+                                Err(_) => {
+                                    let _ = writer.write_all(
+                                        proto::frame_error(503, "closed", "pipeline gone")
+                                            .as_bytes(),
+                                    );
+                                    break 'conn;
+                                }
+                            }
+                        }
+                    }
+                    Err((_, _)) => {
+                        let _ = writer.write_all(
+                            proto::frame_error(503, "closed", "pipeline gone").as_bytes(),
+                        );
+                        break 'conn;
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = writer.write_all(
+        proto::frame_summary(
+            conn.accepted,
+            conn.rejected,
+            conn.shed,
+            conn.parse_errors,
+            draining || shared.stopping(),
+        )
+        .as_bytes(),
+    );
+    let _ = writer.flush();
+    Ok(())
+}
+
+fn accepted(conn: &mut ConnCounts, t: &TenantHandle, shared: &Shared, t0: Instant) {
+    conn.accepted += 1;
+    shared.totals.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.m_accepted.inc();
+    t.accepted.inc();
+    let us = t0.elapsed().as_micros() as u64;
+    shared.m_latency.record(us);
+    t.latency_us.record(us);
+}
+
+fn shed(
+    conn: &mut ConnCounts,
+    consecutive: &mut u64,
+    t: &TenantHandle,
+    shared: &Shared,
+    partition: usize,
+    writer: &mut TcpStream,
+) {
+    conn.shed += 1;
+    *consecutive += 1;
+    shared.totals.shed.fetch_add(1, Ordering::Relaxed);
+    shared.m_shed.inc();
+    t.shed.inc();
+    if *consecutive == 1 || consecutive.is_multiple_of(ERROR_FRAME_EVERY) {
+        let _ = writer.write_all(proto::frame_shed(partition).as_bytes());
+    }
+}
+
+fn reload_loop(path: PathBuf, poll: Duration, shared: Arc<Shared>) {
+    // Content-compare polling rather than bare mtime: filesystems with
+    // second-granularity timestamps would miss a rewrite that lands in
+    // the same tick as the original. The file is operator-sized (a few
+    // KB); re-reading it every poll is noise. The baseline starts empty
+    // — not a snapshot taken here — because the file may legitimately
+    // change between `start()` parsing it and this thread's first read;
+    // the resulting first-poll reload is a no-op when nothing changed
+    // (reload preserves bucket fill and revokes nothing that survived).
+    let mut last_text: Option<String> = None;
+    while !shared.stopping() {
+        thread::sleep(poll);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            // A transiently missing file (atomic-rename writers) keeps
+            // the previous tenant set.
+            Err(_) => continue,
+        };
+        if last_text.as_ref() == Some(&text) {
+            continue;
+        }
+        match crate::tenants::parse_tenants(&text) {
+            Ok(specs) => {
+                shared.tenants.reload(specs);
+            }
+            Err(_) => {
+                // A torn or invalid file keeps the previous tenant set;
+                // the error is counted (once per distinct bad content),
+                // not fatal.
+                shared.m_reload_errors.inc();
+            }
+        }
+        last_text = Some(text);
+    }
+}

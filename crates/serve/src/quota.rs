@@ -1,0 +1,189 @@
+//! Token-bucket rate limiting for tenant ingest quotas.
+//!
+//! Classic leaky-bucket-as-meter: a bucket refills continuously at
+//! `rate` tokens per second up to `burst` capacity, and each accepted
+//! log line costs one token. Time is passed in explicitly as a
+//! [`Duration`] since an arbitrary epoch (the daemon uses its start
+//! instant), which keeps the arithmetic testable without sleeping.
+
+use std::time::Duration;
+
+/// A continuously-refilling token bucket. `rate == 0` means unmetered:
+/// [`TokenBucket::try_take`] always succeeds.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    /// Tokens added per second; `0.0` disables metering.
+    rate: f64,
+    /// Bucket capacity (maximum burst above the steady rate).
+    burst: f64,
+    /// Tokens currently available.
+    tokens: f64,
+    /// Epoch offset of the last refill.
+    at: Duration,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full. `burst` is clamped to at least one
+    /// token so a positive rate can ever admit anything.
+    pub fn new(rate: f64, burst: u64) -> Self {
+        let burst = (burst.max(1)) as f64;
+        TokenBucket {
+            rate: rate.max(0.0),
+            burst,
+            tokens: burst,
+            at: Duration::ZERO,
+        }
+    }
+
+    /// An unmetered bucket (every take succeeds).
+    pub fn unmetered() -> Self {
+        TokenBucket::new(0.0, 1)
+    }
+
+    /// True when this bucket never rejects.
+    pub fn is_unmetered(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// The configured refill rate (tokens per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The configured burst capacity.
+    pub fn burst(&self) -> u64 {
+        self.burst as u64
+    }
+
+    fn refill(&mut self, now: Duration) {
+        if now > self.at {
+            let dt = (now - self.at).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        }
+        // A non-monotone `now` (caller bug) just skips the refill; the
+        // clock offset is still advanced so the bucket cannot wedge.
+        self.at = self.at.max(now);
+    }
+
+    /// Takes one token if available. `now` is the elapsed time since the
+    /// caller's epoch and must be (weakly) monotone across calls.
+    pub fn try_take(&mut self, now: Duration) -> bool {
+        if self.is_unmetered() {
+            return true;
+        }
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long after `now` the next single token becomes available —
+    /// the `retry_after` hint in over-quota error frames. Zero when a
+    /// token is already available (or the bucket is unmetered).
+    pub fn retry_after(&self, now: Duration) -> Duration {
+        if self.is_unmetered() {
+            return Duration::ZERO;
+        }
+        let mut tokens = self.tokens;
+        if now > self.at {
+            tokens = (tokens + (now - self.at).as_secs_f64() * self.rate).min(self.burst);
+        }
+        if tokens >= 1.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64((1.0 - tokens) / self.rate)
+    }
+
+    /// Replaces rate/burst in place, keeping the current fill level
+    /// (clamped to the new capacity) — hot config reload must not grant
+    /// a refill-by-reload loophole or zero out earned tokens.
+    pub fn reconfigure(&mut self, rate: f64, burst: u64) {
+        self.rate = rate.max(0.0);
+        self.burst = (burst.max(1)) as f64;
+        self.tokens = self.tokens.min(self.burst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> Duration {
+        Duration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn burst_then_steady_rate() {
+        let mut b = TokenBucket::new(10.0, 5);
+        // The full burst is available immediately...
+        for _ in 0..5 {
+            assert!(b.try_take(Duration::ZERO));
+        }
+        // ...then the bucket is dry until the rate refills it.
+        assert!(!b.try_take(Duration::ZERO));
+        assert!(!b.try_take(secs(0.05)));
+        assert!(b.try_take(secs(0.11)), "10/s refills one token in 100ms");
+        assert!(!b.try_take(secs(0.11)));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(100.0, 3);
+        for _ in 0..3 {
+            assert!(b.try_take(Duration::ZERO));
+        }
+        // A long idle period earns at most `burst` tokens.
+        for _ in 0..3 {
+            assert!(b.try_take(secs(60.0)));
+        }
+        assert!(!b.try_take(secs(60.0)));
+    }
+
+    #[test]
+    fn retry_after_names_the_refill_gap() {
+        let mut b = TokenBucket::new(2.0, 1);
+        assert!(b.try_take(Duration::ZERO));
+        let wait = b.retry_after(Duration::ZERO);
+        assert!((wait.as_secs_f64() - 0.5).abs() < 1e-9, "2/s → 500ms/token");
+        assert_eq!(b.retry_after(secs(1.0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn unmetered_always_admits() {
+        let mut b = TokenBucket::unmetered();
+        for _ in 0..10_000 {
+            assert!(b.try_take(Duration::ZERO));
+        }
+        assert_eq!(b.retry_after(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn reconfigure_preserves_fill_level() {
+        let mut b = TokenBucket::new(1.0, 10);
+        for _ in 0..10 {
+            assert!(b.try_take(Duration::ZERO));
+        }
+        // Reload with a bigger burst: the drained bucket stays drained
+        // (no refill-by-reload), but the new rate applies.
+        b.reconfigure(100.0, 20);
+        assert!(!b.try_take(Duration::ZERO));
+        assert!(b.try_take(secs(0.02)));
+        // Reload with a smaller burst clamps stored tokens.
+        let mut c = TokenBucket::new(1.0, 100);
+        c.reconfigure(1.0, 2);
+        assert!(c.try_take(secs(0.0)));
+        assert!(c.try_take(secs(0.0)));
+        assert!(!c.try_take(secs(0.0)));
+    }
+
+    #[test]
+    fn non_monotone_clock_does_not_mint_tokens() {
+        let mut b = TokenBucket::new(10.0, 1);
+        assert!(b.try_take(secs(5.0)));
+        // Going backwards earns nothing and does not panic.
+        assert!(!b.try_take(secs(1.0)));
+    }
+}

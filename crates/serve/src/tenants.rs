@@ -1,0 +1,472 @@
+//! Tenant configuration: a hand-rolled line format on disk, a
+//! hot-reloadable authentication/quota table at runtime.
+//!
+//! ## File format
+//!
+//! One tenant per line; `#` starts a comment; blank lines ignored:
+//!
+//! ```text
+//! # name        auth token          quota (lines/s, burst)  shards
+//! tenant acme   token=acme-secret   rate=5000 burst=500     shards=2
+//! tenant lab    token=lab-secret
+//! ```
+//!
+//! Defaults: `rate=0` (unmetered), `burst=rate` (min 1), `shards=0`
+//! (hash across every partition, exactly like the in-process shipper).
+//! Tenant names are restricted to `[A-Za-z0-9_-]` so they can be
+//! embedded in JSON frames and metric names without escaping.
+//!
+//! ## Reload semantics
+//!
+//! [`TenantTable::reload`] swaps the spec set without dropping live
+//! connections: surviving tenants keep their token-bucket fill level
+//! (no refill-by-reload), removed tokens are revoked — their open
+//! connections observe [`TenantHandle::is_revoked`] on the next line
+//! and are closed with a 401 frame.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use logsynergy_telemetry::{global, Counter, Histogram};
+use parking_lot::{Mutex, RwLock};
+
+use crate::quota::TokenBucket;
+
+/// One parsed `tenant` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (`[A-Za-z0-9_-]+`), used in frames and metric names.
+    pub name: String,
+    /// Shared-secret auth token presented in the HELLO line.
+    pub token: String,
+    /// Quota in accepted lines per second; `0` = unmetered.
+    pub rate: f64,
+    /// Burst capacity of the token bucket.
+    pub burst: u64,
+    /// Size of the tenant's partition subset; `0` = all partitions.
+    pub shards: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses the tenants file format. Duplicate names or tokens are errors
+/// (a token must identify exactly one tenant).
+pub fn parse_tenants(text: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut specs: Vec<TenantSpec> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut words = line.split_whitespace();
+        if words.next() != Some("tenant") {
+            return Err(format!("line {lineno}: expected `tenant <name> ...`"));
+        }
+        let name = words
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing tenant name"))?;
+        if !valid_name(name) {
+            return Err(format!(
+                "line {lineno}: tenant name {name:?} must match [A-Za-z0-9_-]+"
+            ));
+        }
+        let mut token = None;
+        let mut rate = 0.0f64;
+        let mut burst = None;
+        let mut shards = 0usize;
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected key=value, got {word:?}"))?;
+            match key {
+                "token" => token = Some(value.to_string()),
+                "rate" => {
+                    rate = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| r.is_finite() && *r >= 0.0)
+                        .ok_or_else(|| format!("line {lineno}: bad rate {value:?}"))?
+                }
+                "burst" => {
+                    burst = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("line {lineno}: bad burst {value:?}"))?,
+                    )
+                }
+                "shards" => {
+                    shards = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("line {lineno}: bad shards {value:?}"))?
+                }
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
+            }
+        }
+        let token = token.ok_or_else(|| format!("line {lineno}: tenant {name} needs token="))?;
+        if token.is_empty() {
+            return Err(format!("line {lineno}: empty token"));
+        }
+        if specs.iter().any(|s| s.name == name) {
+            return Err(format!("line {lineno}: duplicate tenant {name:?}"));
+        }
+        if specs.iter().any(|s| s.token == token) {
+            return Err(format!("line {lineno}: token reused across tenants"));
+        }
+        let burst = burst.unwrap_or_else(|| (rate.ceil() as u64).max(1));
+        specs.push(TenantSpec {
+            name: name.to_string(),
+            token,
+            rate,
+            burst,
+            shards,
+        });
+    }
+    if specs.is_empty() {
+        return Err("no tenants defined".into());
+    }
+    Ok(specs)
+}
+
+/// Reads and parses a tenants file.
+pub fn load_tenants(path: &Path) -> Result<Vec<TenantSpec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_tenants(&text)
+}
+
+/// Same FNV-1a the buffer uses for keyed routing, reused here so a
+/// tenant's shard subset is stable across restarts.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The fair-share partition subset for a tenant: a contiguous (mod n)
+/// run of `shards` partitions starting at the tenant's hash. `shards`
+/// of 0 (or ≥ the partition count) means every partition.
+pub fn shard_subset(name: &str, shards: usize, partitions: usize) -> Vec<usize> {
+    assert!(partitions > 0);
+    if shards == 0 || shards >= partitions {
+        return (0..partitions).collect();
+    }
+    let start = (fnv(name) % partitions as u64) as usize;
+    (0..shards).map(|i| (start + i) % partitions).collect()
+}
+
+/// Per-tenant runtime state: quota bucket, shard subset, counters.
+pub struct TenantHandle {
+    spec: Mutex<TenantSpec>,
+    bucket: Mutex<TokenBucket>,
+    subset: Mutex<Vec<usize>>,
+    revoked: AtomicBool,
+    /// `ingest.tenant.<name>.accepted`
+    pub accepted: Arc<Counter>,
+    /// `ingest.tenant.<name>.rejected` (over quota)
+    pub rejected: Arc<Counter>,
+    /// `ingest.tenant.<name>.shed` (watermark / full shard)
+    pub shed: Arc<Counter>,
+    /// `ingest.tenant.<name>.parse_errors`
+    pub parse_errors: Arc<Counter>,
+    /// `ingest.tenant.<name>.latency_us` — per-line ingest latency
+    /// (parse + route + enqueue), microseconds.
+    pub latency_us: Arc<Histogram>,
+}
+
+impl TenantHandle {
+    fn new(spec: TenantSpec, partitions: usize) -> Arc<Self> {
+        let scope = global().scoped("ingest");
+        let prefix = format!("tenant.{}", spec.name);
+        let subset = shard_subset(&spec.name, spec.shards, partitions);
+        Arc::new(TenantHandle {
+            bucket: Mutex::new(TokenBucket::new(spec.rate, spec.burst)),
+            subset: Mutex::new(subset),
+            revoked: AtomicBool::new(false),
+            accepted: scope.counter(&format!("{prefix}.accepted")),
+            rejected: scope.counter(&format!("{prefix}.rejected")),
+            shed: scope.counter(&format!("{prefix}.shed")),
+            parse_errors: scope.counter(&format!("{prefix}.parse_errors")),
+            latency_us: scope.histogram(&format!("{prefix}.latency_us")),
+            spec: Mutex::new(spec),
+        })
+    }
+
+    /// Tenant name (stable across reloads).
+    pub fn name(&self) -> String {
+        self.spec.lock().name.clone()
+    }
+
+    /// True once a reload removed this tenant's token; open connections
+    /// must close with a 401 frame.
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::Relaxed)
+    }
+
+    /// Takes one quota token; `now` is elapsed time since daemon start.
+    pub fn admit(&self, now: Duration) -> bool {
+        self.bucket.lock().try_take(now)
+    }
+
+    /// Refill hint for the 429 frame.
+    pub fn retry_after(&self, now: Duration) -> Duration {
+        self.bucket.lock().retry_after(now)
+    }
+
+    /// The partition this tenant's record routes to: its shard subset
+    /// indexed by the record's system hash, so per-system ordering holds
+    /// while the tenant stays inside its fair share.
+    pub fn route(&self, system: &str) -> usize {
+        let subset = self.subset.lock();
+        subset[(fnv(system) % subset.len() as u64) as usize]
+    }
+
+    fn apply(&self, new: TenantSpec, partitions: usize) {
+        let mut spec = self.spec.lock();
+        if (new.rate, new.burst) != (spec.rate, spec.burst) {
+            self.bucket.lock().reconfigure(new.rate, new.burst);
+        }
+        if new.shards != spec.shards {
+            *self.subset.lock() = shard_subset(&new.name, new.shards, partitions);
+        }
+        *spec = new;
+    }
+}
+
+/// What a [`TenantTable::reload`] did — logged and counted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReloadStats {
+    /// Tenants added.
+    pub added: usize,
+    /// Tenants whose quota/shard config changed.
+    pub updated: usize,
+    /// Tenants revoked (token no longer present).
+    pub revoked: usize,
+}
+
+/// The live token → tenant map. Shared by every connection handler and
+/// the config-reload thread.
+pub struct TenantTable {
+    by_token: RwLock<HashMap<String, Arc<TenantHandle>>>,
+    partitions: usize,
+    reloads: Arc<Counter>,
+}
+
+impl TenantTable {
+    /// Builds the table for a buffer with `partitions` shards.
+    pub fn new(specs: Vec<TenantSpec>, partitions: usize) -> Self {
+        let table = TenantTable {
+            by_token: RwLock::new(HashMap::new()),
+            partitions,
+            reloads: global().scoped("ingest").counter("config.reloads"),
+        };
+        {
+            let mut map = table.by_token.write();
+            for spec in specs {
+                map.insert(spec.token.clone(), TenantHandle::new(spec, partitions));
+            }
+        }
+        table
+    }
+
+    /// Resolves a HELLO token.
+    pub fn authenticate(&self, token: &str) -> Option<Arc<TenantHandle>> {
+        let map = self.by_token.read();
+        let handle = map.get(token)?;
+        if handle.is_revoked() {
+            return None;
+        }
+        Some(handle.clone())
+    }
+
+    /// Number of live (non-revoked) tenants.
+    pub fn len(&self) -> usize {
+        self.by_token
+            .read()
+            .values()
+            .filter(|h| !h.is_revoked())
+            .count()
+    }
+
+    /// True when no live tenant remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Swaps in a new spec set without disturbing live connections:
+    /// kept tenants update in place (bucket fill preserved), new ones
+    /// appear, missing tokens are revoked.
+    pub fn reload(&self, specs: Vec<TenantSpec>) -> ReloadStats {
+        let mut stats = ReloadStats::default();
+        let mut map = self.by_token.write();
+        // Match existing tenants by *name* so a token rotation revokes
+        // the old credential but keeps the tenant's quota state.
+        let mut by_name: HashMap<String, (String, Arc<TenantHandle>)> = map
+            .iter()
+            .map(|(tok, h)| (h.name(), (tok.clone(), h.clone())))
+            .collect();
+        let mut next: HashMap<String, Arc<TenantHandle>> = HashMap::new();
+        for spec in specs {
+            match by_name.remove(&spec.name) {
+                Some((old_token, handle)) if !handle.is_revoked() => {
+                    let changed = {
+                        let cur = handle.spec.lock();
+                        (cur.rate, cur.burst, cur.shards, cur.token.as_str())
+                            != (spec.rate, spec.burst, spec.shards, spec.token.as_str())
+                    };
+                    if spec.token != old_token {
+                        // Token rotated: the old token stops resolving
+                        // immediately (it is simply not carried over).
+                        stats.updated += 1;
+                    } else if changed {
+                        stats.updated += 1;
+                    }
+                    let token = spec.token.clone();
+                    handle.apply(spec, self.partitions);
+                    next.insert(token, handle);
+                }
+                _ => {
+                    stats.added += 1;
+                    next.insert(spec.token.clone(), TenantHandle::new(spec, self.partitions));
+                }
+            }
+        }
+        // Anything left in `by_name` vanished from the file: revoke so
+        // its open connections are told to go away.
+        for (_, (_, handle)) in by_name {
+            if !handle.is_revoked() {
+                handle.revoked.store(true, Ordering::Relaxed);
+                stats.revoked += 1;
+            }
+        }
+        *map = next;
+        self.reloads.inc();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "\
+# comment line
+tenant acme  token=acme-secret rate=100 burst=10 shards=2
+
+tenant lab   token=lab-secret   # trailing comment
+";
+
+    #[test]
+    fn parses_defaults_and_comments() {
+        let specs = parse_tenants(FILE).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "acme");
+        assert_eq!(
+            (specs[0].rate, specs[0].burst, specs[0].shards),
+            (100.0, 10, 2)
+        );
+        assert_eq!(specs[1].token, "lab-secret");
+        assert_eq!(
+            (specs[1].rate, specs[1].burst, specs[1].shards),
+            (0.0, 1, 0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_tenants("").is_err(), "empty file");
+        assert!(parse_tenants("tenant x").is_err(), "missing token");
+        assert!(parse_tenants("tenant bad name token=t").is_err());
+        assert!(parse_tenants("tenant a token=t\ntenant a token=u").is_err());
+        assert!(parse_tenants("tenant a token=t\ntenant b token=t").is_err());
+        assert!(parse_tenants("tenant a token=t rate=-3").is_err());
+        assert!(parse_tenants("tenant a token=t rate=nan").is_err());
+        assert!(parse_tenants("tenant a token=t color=red").is_err());
+        assert!(parse_tenants("user a token=t").is_err());
+    }
+
+    #[test]
+    fn shard_subsets_are_stable_and_fair() {
+        let s = shard_subset("acme", 2, 8);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s, shard_subset("acme", 2, 8), "stable across calls");
+        assert_eq!(shard_subset("acme", 0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(shard_subset("acme", 9, 4).len(), 4, "clamped to all");
+        for p in shard_subset("other", 3, 8) {
+            assert!(p < 8);
+        }
+    }
+
+    #[test]
+    fn authenticate_and_route() {
+        let table = TenantTable::new(
+            parse_tenants("tenant acme token=s rate=5 burst=5 shards=2").unwrap(),
+            8,
+        );
+        assert!(table.authenticate("nope").is_none());
+        let h = table.authenticate("s").unwrap();
+        assert_eq!(h.name(), "acme");
+        let subset = shard_subset("acme", 2, 8);
+        let p = h.route("web-1");
+        assert!(subset.contains(&p), "routes stay inside the fair share");
+        assert_eq!(p, h.route("web-1"), "same system, same shard");
+    }
+
+    #[test]
+    fn reload_preserves_bucket_and_revokes_missing() {
+        let table = TenantTable::new(
+            parse_tenants("tenant a token=ta rate=1 burst=2\ntenant b token=tb").unwrap(),
+            4,
+        );
+        let a = table.authenticate("ta").unwrap();
+        // Drain a's bucket.
+        assert!(a.admit(Duration::ZERO));
+        assert!(a.admit(Duration::ZERO));
+        assert!(!a.admit(Duration::ZERO));
+
+        let stats = table
+            .reload(parse_tenants("tenant a token=ta rate=1 burst=50\ntenant c token=tc").unwrap());
+        assert_eq!(
+            stats,
+            ReloadStats {
+                added: 1,
+                updated: 1,
+                revoked: 1
+            }
+        );
+        // The live handle kept its (empty) fill level — reload is not a
+        // quota refill — but the new burst applies as tokens accrue.
+        assert!(!a.admit(Duration::ZERO));
+        assert!(a.admit(Duration::from_secs(1)));
+        // b's connections see the revocation; its token is gone.
+        assert!(table.authenticate("tb").is_none());
+        assert!(table.authenticate("tc").is_some());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn reload_rotates_tokens_without_resetting_state() {
+        let table = TenantTable::new(
+            parse_tenants("tenant a token=old rate=1 burst=1").unwrap(),
+            2,
+        );
+        let before = table.authenticate("old").unwrap();
+        assert!(before.admit(Duration::ZERO));
+        table.reload(parse_tenants("tenant a token=new rate=1 burst=1").unwrap());
+        assert!(table.authenticate("old").is_none(), "old token revoked");
+        let after = table.authenticate("new").unwrap();
+        assert!(!after.admit(Duration::ZERO), "bucket fill carried over");
+        assert!(!before.is_revoked(), "live connection keeps streaming");
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic chaos tests for the ingest daemon's isolation seams.
+//!
+//! Two fault points guard the network front door (see the table in
+//! `logsynergy_pipeline::faults`): `ingest.accept` in the accept loop
+//! and `ingest.parse` in the per-line path of a connection handler. The
+//! recovery contract is the same shape as the pipeline's: a fault costs
+//! at most one connection, never the daemon, and the drain summary's
+//! six-bucket accounting stays exact over whatever was actually
+//! accepted.
+//!
+//! Fault plans are process-global, so every test serializes on
+//! `faults::test_lock()`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::faults::{points, test_lock, FaultPlan, FaultSpec};
+use logsynergy_pipeline::{EventVectorizer, MemorySink, SequenceScorer};
+use logsynergy_serve::{parse_tenants, start, Daemon, ServeConfig};
+use logsynergy_telemetry as telemetry;
+
+const EMBED_DIM: usize = 8;
+
+const VOCAB: [&str; 4] = [
+    "session opened for user root",
+    "connection from remote peer closed abruptly after handshake timeout",
+    "disk write latency elevated beyond configured threshold on volume data1",
+    "packet responder terminating early",
+];
+
+#[derive(Clone)]
+struct TableScorer;
+impl SequenceScorer for TableScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        let mut acc = 0.0f32;
+        for &e in events {
+            for v in &table[e as usize] {
+                acc += v.abs();
+            }
+        }
+        (acc - acc.floor()).clamp(0.0, 1.0)
+    }
+}
+
+fn spawn() -> Daemon {
+    let mut v = EventVectorizer::new(SystemId::SystemB, EMBED_DIM, LeiConfig::default());
+    v.warm_start(VOCAB.iter().copied());
+    start(
+        ServeConfig::default(),
+        parse_tenants("tenant acme token=s3").unwrap(),
+        None,
+        v,
+        TableScorer,
+        MemorySink::new(),
+    )
+    .expect("daemon starts")
+}
+
+/// HELLO + `n` records over one connection, half-close, read everything
+/// the server says (which may end in an error if the server dropped the
+/// connection mid-stream — that is the point of these tests).
+fn stream(addr: SocketAddr, n: usize) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    if s.write_all(b"HELLO s3\n").is_err() {
+        // The server dropped us at accept (an armed fault) — nothing
+        // more will be said on this connection.
+        return String::new();
+    }
+    for i in 0..n {
+        let line = format!(
+            "{{\"system\":\"sys\",\"timestamp\":{i},\"message\":\"{}\"}}\n",
+            VOCAB[i % VOCAB.len()]
+        );
+        if s.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+    }
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut resp = String::new();
+    let _ = s.read_to_string(&mut resp);
+    resp
+}
+
+/// Injected panics are expected noise; keep stderr clean while they fly.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn parse_panic_costs_one_connection_never_the_daemon() {
+    let _l = test_lock();
+    let tele_before = telemetry::global().snapshot();
+
+    let daemon = spawn();
+    let addr = daemon.addr();
+
+    // The 6th line at the parse point panics: for the first connection
+    // that is HELLO + 4 accepted records, then the 5th record takes the
+    // handler's unwind path and the connection dies without a summary.
+    let guard = FaultPlan::seeded(21)
+        .arm(
+            points::INGEST_PARSE,
+            FaultSpec::panic().after(5).max_fires(1),
+        )
+        .install();
+    let doomed = with_quiet_panics(|| stream(addr, 10));
+    assert_eq!(guard.fires(points::INGEST_PARSE), 1, "panic budget spent");
+    assert!(
+        !doomed.contains("\"accepted\""),
+        "a killed connection must not receive a summary frame: {doomed}"
+    );
+
+    // The daemon is still serving: a fresh connection streams clean.
+    let resp = stream(addr, 10);
+    assert!(
+        resp.lines().last().unwrap().contains("\"accepted\":10"),
+        "{resp}"
+    );
+    drop(guard);
+
+    let stats = daemon.ingest_stats();
+    assert_eq!(stats.accepted, 14, "4 before the panic + 10 after");
+    let summary = daemon.drain();
+    assert_eq!(summary.logs, 14);
+    assert_eq!(
+        summary.pattern_hits
+            + summary.cache_hits
+            + summary.model_calls
+            + summary.degraded
+            + summary.shed
+            + summary.quarantined,
+        summary.windows,
+        "six-bucket accounting must survive an injected panic"
+    );
+
+    let tele_after = telemetry::global().snapshot();
+    assert_eq!(
+        tele_after.counter_delta(&tele_before, "ingest.handler.restarts"),
+        1,
+        "one isolated handler restart per injected panic"
+    );
+}
+
+#[test]
+fn accept_faults_drop_the_connection_not_the_listener() {
+    let _l = test_lock();
+    let tele_before = telemetry::global().snapshot();
+
+    let daemon = spawn();
+    let addr = daemon.addr();
+
+    // First accepted connection hits a transient accept fault, the
+    // second an injected panic (caught in place); both are dropped
+    // before reaching a handler. The third connection is served.
+    let guard = FaultPlan::seeded(22)
+        .arm(points::INGEST_ACCEPT, FaultSpec::transient().max_fires(1))
+        .install();
+    let dropped = stream(addr, 3);
+    assert!(
+        !dropped.contains("\"ok\""),
+        "a connection dropped at accept must never be greeted: {dropped}"
+    );
+    drop(guard);
+    let guard = FaultPlan::seeded(23)
+        .arm(points::INGEST_ACCEPT, FaultSpec::panic().max_fires(1))
+        .install();
+    let dropped = with_quiet_panics(|| stream(addr, 3));
+    assert!(!dropped.contains("\"ok\""), "{dropped}");
+    assert_eq!(guard.fires(points::INGEST_ACCEPT), 1);
+    drop(guard);
+
+    let resp = stream(addr, 5);
+    assert!(
+        resp.lines().last().unwrap().contains("\"accepted\":5"),
+        "{resp}"
+    );
+
+    let stats = daemon.ingest_stats();
+    assert_eq!(
+        stats.accepted, 5,
+        "only the clean connection's records land"
+    );
+    assert_eq!(stats.connections, 1, "faulted accepts are not admitted");
+    let summary = daemon.drain();
+    assert_eq!(summary.logs, 5);
+
+    let tele_after = telemetry::global().snapshot();
+    assert_eq!(
+        tele_after.counter_delta(&tele_before, "ingest.accept.faults"),
+        2,
+        "both accept faults are counted"
+    );
+}

@@ -1,0 +1,246 @@
+//! Multi-tenant isolation under abuse, measured over real sockets.
+//!
+//! An abusive tenant floods far past its token-bucket quota while a
+//! well-behaved victim streams normally. Isolation holds when (a) the
+//! abuser is quota-limited, slow-read paced, and finally disconnected,
+//! (b) the victim loses nothing — zero rejected, zero shed — and its
+//! p99 ingest latency (from the per-tenant telemetry histogram) stays
+//! within 2× its solo baseline (with a small absolute floor so µs-scale
+//! baselines don't turn scheduler jitter into flakes), and (c) the
+//! drain summary's six-bucket accounting is still exact.
+//!
+//! The two tenants are pinned to *disjoint* shard subsets (asserted as
+//! a precondition), so the only interference channel left is the one
+//! this test is about: shared handler threads and CPU.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::SystemId;
+use logsynergy_pipeline::{EventVectorizer, MemorySink, PipelineConfig, SequenceScorer};
+use logsynergy_serve::{parse_tenants, shard_subset, start, Daemon, ServeConfig};
+use logsynergy_telemetry as telemetry;
+
+const EMBED_DIM: usize = 8;
+
+const VOCAB: [&str; 8] = [
+    "session opened for user root",
+    "connection from remote peer closed abruptly after handshake timeout",
+    "disk write latency elevated beyond configured threshold on volume data1",
+    "packet responder terminating early",
+    "cache eviction pass completed",
+    "replica placement policy satisfied for block",
+    "authentication failure reported by gateway node",
+    "heartbeat missed twice across consecutive intervals",
+];
+
+#[derive(Clone)]
+struct TableScorer;
+impl SequenceScorer for TableScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        let mut acc = 0.0f32;
+        for &e in events {
+            for v in &table[e as usize] {
+                acc += v.abs();
+            }
+        }
+        (acc - acc.floor()).clamp(0.0, 1.0)
+    }
+}
+
+fn vectorizer() -> EventVectorizer {
+    let mut v = EventVectorizer::new(SystemId::SystemB, EMBED_DIM, LeiConfig::default());
+    v.warm_start(VOCAB.iter().copied());
+    v
+}
+
+fn ndjson_line(system: &str, i: usize) -> String {
+    format!(
+        "{{\"system\":\"{system}\",\"timestamp\":{i},\"message\":\"{}\"}}",
+        VOCAB[i % VOCAB.len()]
+    )
+}
+
+/// Streams `n` NDJSON records for one system over an authenticated
+/// connection and returns the server's summary frame.
+fn stream_records(addr: SocketAddr, token: &str, system: &str, n: usize) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("HELLO {token}\n").as_bytes())
+        .unwrap();
+    let mut payload = String::new();
+    for i in 0..n {
+        payload.push_str(&ndjson_line(system, i));
+        payload.push('\n');
+        if payload.len() > 1 << 16 {
+            stream.write_all(payload.as_bytes()).unwrap();
+            payload.clear();
+        }
+    }
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut responses = String::new();
+    stream
+        .read_to_string(&mut responses)
+        .expect("read responses");
+    responses.lines().last().expect("summary frame").to_string()
+}
+
+/// Floods records until the daemon drops the connection for quota
+/// abuse; write errors are the expected outcome, not failures.
+fn flood_records(addr: SocketAddr, token: &str, system: &str, n: usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    if stream
+        .write_all(format!("HELLO {token}\n").as_bytes())
+        .is_err()
+    {
+        return;
+    }
+    for i in 0..n {
+        let line = ndjson_line(system, i) + "\n";
+        if stream.write_all(line.as_bytes()).is_err() {
+            break; // disconnected as abusive — mission accomplished
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = String::new();
+    let _ = stream.read_to_string(&mut sink);
+}
+
+fn summary_field(frame: &str, field: &str) -> u64 {
+    let value = serde_json::parse_value(frame).expect("summary frame is JSON");
+    let entries = value.as_object().expect("summary frame is an object");
+    serde::field(entries, field)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("summary frame missing {field}: {frame}"))
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        // Large shards: the victim must never block on capacity, so any
+        // latency inflation it sees comes from contention alone.
+        pipeline: PipelineConfig {
+            partitions: 4,
+            partition_capacity: 32_768,
+            ..PipelineConfig::default()
+        },
+        quota_slow_after: 32,
+        quota_penalty: Duration::from_micros(100),
+        quota_disconnect_after: 1_000,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(tenants: &str) -> Daemon {
+    let specs = parse_tenants(tenants).unwrap();
+    start(
+        serve_config(),
+        specs,
+        None,
+        vectorizer(),
+        TableScorer,
+        MemorySink::new(),
+    )
+    .expect("daemon starts")
+}
+
+fn p99_us(tenant: &str) -> u64 {
+    telemetry::global()
+        .scoped("ingest")
+        .histogram(&format!("tenant.{tenant}.latency_us"))
+        .quantile(0.99)
+}
+
+#[test]
+fn abusive_tenant_cannot_degrade_a_victims_ingest_latency() {
+    const VICTIM_LINES: usize = 20_000;
+
+    // Distinct tenant names per phase: the telemetry registry is
+    // process-global, so reusing a name would mix both phases' samples
+    // into one histogram.
+    let victim_subset = shard_subset("victim-mixed", 2, 4);
+    let abuser_subset = shard_subset("abuser", 2, 4);
+    assert!(
+        victim_subset.iter().all(|p| !abuser_subset.contains(p)),
+        "precondition: disjoint fair shares ({victim_subset:?} vs {abuser_subset:?})"
+    );
+
+    // ── Phase 1: solo baseline ─────────────────────────────────────
+    let daemon = spawn("tenant victim-solo token=vs shards=2");
+    let frame = stream_records(daemon.addr(), "vs", "sys-a", VICTIM_LINES);
+    assert_eq!(summary_field(&frame, "accepted"), VICTIM_LINES as u64);
+    let solo = daemon.drain();
+    assert_eq!(solo.logs, VICTIM_LINES as u64);
+    let p99_solo = p99_us("victim-solo");
+
+    // ── Phase 2: same stream while an abuser floods ────────────────
+    // rate=0.5 means one fresh token every 2 s — the abuser's
+    // consecutive-reject run (32 fast + ~970 paced at 100 µs ≈ 100 ms)
+    // cannot be reset by a refill, so the abusive disconnect at 1 000
+    // consecutive rejects fires deterministically.
+    let daemon = spawn(
+        "tenant victim-mixed token=vm shards=2\n\
+         tenant abuser token=ab rate=0.5 burst=4 shards=2",
+    );
+    let addr = daemon.addr();
+    let abuser = std::thread::spawn(move || flood_records(addr, "ab", "flood-src", 15_000));
+    let victim = std::thread::spawn(move || stream_records(addr, "vm", "sys-a", VICTIM_LINES));
+    let frame = victim.join().unwrap();
+    abuser.join().unwrap();
+
+    // The victim lost nothing and was never throttled for the abuser's
+    // sins.
+    assert_eq!(
+        summary_field(&frame, "accepted"),
+        VICTIM_LINES as u64,
+        "{frame}"
+    );
+    assert_eq!(summary_field(&frame, "rejected"), 0, "{frame}");
+    assert_eq!(summary_field(&frame, "shed"), 0, "{frame}");
+
+    // The abuser was quota-limited and ultimately disconnected.
+    let stats = daemon.ingest_stats();
+    assert!(stats.abusive_disconnects >= 1, "{stats:?}");
+    assert!(stats.rejected > 0, "{stats:?}");
+    let abuser_accepted = telemetry::global()
+        .scoped("ingest")
+        .counter("tenant.abuser.accepted")
+        .get();
+    assert!(
+        abuser_accepted <= 16,
+        "abuser got {abuser_accepted} lines past a burst-4 bucket"
+    );
+    assert_eq!(
+        telemetry::global()
+            .scoped("ingest")
+            .counter("tenant.victim-mixed.rejected")
+            .get(),
+        0
+    );
+
+    // Drain still accounts for every accepted record exactly once.
+    let mixed = daemon.drain();
+    assert_eq!(mixed.logs, stats.accepted, "drain lost records");
+    assert_eq!(
+        mixed.pattern_hits
+            + mixed.cache_hits
+            + mixed.model_calls
+            + mixed.degraded
+            + mixed.shed
+            + mixed.quarantined,
+        mixed.windows,
+        "six-bucket accounting must be exact"
+    );
+
+    // The isolation bound: mixed p99 within 2× the solo baseline, with
+    // a 2 ms absolute floor so a µs-scale baseline doesn't turn OS
+    // scheduling jitter into a flake.
+    let p99_mixed = p99_us("victim-mixed");
+    let bound = (2 * p99_solo).max(2_000);
+    assert!(
+        p99_mixed <= bound,
+        "victim p99 degraded: solo {p99_solo} µs, under abuse {p99_mixed} µs (bound {bound} µs)"
+    );
+}

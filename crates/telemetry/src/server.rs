@@ -5,6 +5,13 @@
 //! snapshot. Connections are HTTP/1.0-style one-shot (read the request
 //! head, write the full response, close), which every Prometheus scraper
 //! and `curl` handles — no keep-alive state machine, no dependencies.
+//!
+//! Each accepted connection is answered on its own short-lived thread
+//! under a hard per-connection deadline, so a slow-loris client (connects
+//! and stalls, or dribbles header bytes) cannot pin the accept loop and
+//! starve concurrent scrapes — the regression tests below hold a stalled
+//! and a dribbling client open while asserting a scrape still answers
+//! promptly.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,10 +73,17 @@ pub fn serve(addr: &str) -> io::Result<MetricsServer> {
                     break;
                 }
                 if let Ok(stream) = conn {
-                    // A misbehaving client must not wedge the endpoint.
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    // A misbehaving client must not wedge the endpoint:
+                    // bound every socket operation, and answer off the
+                    // accept thread so a stalled connection only ever
+                    // costs its own short-lived handler.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                    let _ = answer(stream);
+                    let _ = std::thread::Builder::new()
+                        .name("logsynergy-metrics-conn".to_string())
+                        .spawn(move || {
+                            let _ = answer(stream);
+                        });
                 }
             }
         })?;
@@ -80,9 +94,35 @@ pub fn serve(addr: &str) -> io::Result<MetricsServer> {
     })
 }
 
+/// Hard wall-clock budget for reading one request head. A dribbling
+/// client (one byte per read-timeout window) would otherwise extend the
+/// read indefinitely; past this deadline the connection is dropped.
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Reads until the end of the HTTP request head (`\r\n\r\n`), the buffer
+/// fills, the per-read timeout fires, or the cumulative deadline elapses.
+/// Returns however much arrived — the request line is all that's needed.
+fn read_head(stream: &mut TcpStream, buf: &mut [u8]) -> usize {
+    let deadline = std::time::Instant::now() + HEAD_DEADLINE;
+    let mut filled = 0usize;
+    while filled < buf.len() && std::time::Instant::now() < deadline {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    filled
+}
+
 fn answer(mut stream: TcpStream) -> io::Result<()> {
     let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
+    let n = read_head(&mut stream, &mut buf);
     let head = String::from_utf8_lossy(&buf[..n]);
     let path = head
         .lines()
@@ -170,6 +210,62 @@ mod tests {
             },
             "no thread may keep serving after shutdown"
         );
+    }
+
+    #[test]
+    fn stalled_client_cannot_starve_a_concurrent_scrape() {
+        // Slow-loris regression: a client that connects and never sends a
+        // byte must not pin the endpoint. The scrape racing it has to be
+        // answered long before the staller's own read deadline expires.
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        let _stallers: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(addr).expect("staller connects"))
+            .collect();
+        // Give the accept loop a beat to take the stalled connections.
+        std::thread::sleep(Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        let prom = get(addr, "/metrics");
+        assert!(
+            prom.starts_with("HTTP/1.0 200 OK"),
+            "scrape must succeed while stallers hold connections open"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "scrape took {:?} behind 4 stalled connections",
+            start.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn dribbling_client_is_cut_off_at_the_head_deadline() {
+        // A client feeding one header byte at a time must be dropped at
+        // the cumulative deadline instead of holding its handler forever,
+        // and must not block other scrapes meanwhile.
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        let dribbler = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            for b in b"GET /metrics HTTP/1.0\r\n" {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            // Never sends the terminating blank line; just waits for the
+            // server to give up.
+            let mut out = Vec::new();
+            let _ = s.read_to_end(&mut out);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            get(addr, "/metrics").starts_with("HTTP/1.0 200 OK"),
+            "scrapes must keep working while a dribbler is mid-request"
+        );
+        dribbler.join().unwrap();
+        server.shutdown();
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the message is handed back.
+        Full(T),
+        /// All receivers are gone; the message is handed back.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -118,6 +127,22 @@ pub mod channel {
                 }
                 st = self.shared.not_full.wait(st).unwrap();
             }
+        }
+
+        /// Non-blocking send: enqueues immediately or hands the message
+        /// back with the reason (`Full` under backpressure, `Disconnected`
+        /// when every receiver is gone).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.cap.is_some_and(|c| st.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -255,6 +280,17 @@ pub mod channel {
                 r.recv_timeout(Duration::from_millis(5)),
                 Err(RecvTimeoutError::Timeout)
             );
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (s, r) = bounded(1);
+            assert!(s.try_send(1u8).is_ok());
+            assert_eq!(s.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(r.recv(), Ok(1));
+            assert!(s.try_send(3).is_ok());
+            drop(r);
+            assert_eq!(s.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
