@@ -473,8 +473,10 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     eprintln!("termination signal received; draining…");
-    let stats = daemon.ingest_stats();
-    let s = daemon.drain();
+    // Ingest totals are snapshotted after the drain flushes in-flight
+    // connections, so `ingest.accepted` covers every record the
+    // pipeline summary counts.
+    let (stats, s) = daemon.drain_with_stats();
     println!(
         "{{\"ingest\":{{\"accepted\":{},\"rejected\":{},\"shed\":{},\"parse_errors\":{},\
          \"abusive_disconnects\":{},\"connections\":{}}},\

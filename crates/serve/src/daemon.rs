@@ -26,7 +26,7 @@
 //! into a final [`PipelineSummary`] whose six-bucket accounting is
 //! exact.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -48,10 +48,16 @@ use parking_lot::Mutex;
 use crate::proto::{self, ClientLine};
 use crate::tenants::{TenantHandle, TenantSpec, TenantTable};
 
-/// Write an over-quota / shed frame on the first rejection of a run and
-/// then once per this many — a flooding client must not buy a response
-/// per offending line.
+/// Write an over-quota / shed / malformed frame on the first rejection
+/// and then once per this many — a flooding client must not buy a
+/// response per offending line.
 const ERROR_FRAME_EVERY: u64 = 1024;
+
+/// Longest client line the daemon will buffer while waiting for the
+/// terminating newline. A newline-free byte stream would otherwise grow
+/// the line buffer without bound; past this the connection is answered
+/// with a 400 frame and closed.
+const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Tuning knobs for the ingest daemon.
 #[derive(Clone, Debug)]
@@ -171,6 +177,18 @@ impl Shared {
         self.stop.load(Ordering::Relaxed)
     }
 
+    fn ingest_stats(&self) -> IngestStats {
+        let t = &self.totals;
+        IngestStats {
+            accepted: t.accepted.load(Ordering::Relaxed),
+            rejected: t.rejected.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            parse_errors: t.parse_errors.load(Ordering::Relaxed),
+            abusive_disconnects: t.abusive_disconnects.load(Ordering::Relaxed),
+            connections: t.connections.load(Ordering::Relaxed),
+        }
+    }
+
     fn past_drain_deadline(&self) -> bool {
         match *self.drain_deadline.lock() {
             Some(deadline) => Instant::now() >= deadline,
@@ -211,6 +229,11 @@ where
 {
     assert!(config.handler_threads > 0 && config.pending_connections > 0);
     let listener = TcpListener::bind(&config.listen)?;
+    // Non-blocking accept, polled against the stop flag: shutdown must
+    // never depend on a wake-up connection reaching the socket (which
+    // can fail on an unroutable bind address or a flooded backlog and
+    // would leave `drain()` joining a forever-blocked accept thread).
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let buffer = LogBuffer::new(
@@ -252,9 +275,10 @@ where
     let (conn_tx, conn_rx) = bounded::<TcpStream>(config.pending_connections);
     let accept = {
         let shared = shared.clone();
+        let drain_sweep = config.pending_connections;
         thread::Builder::new()
             .name("logsynergy-ingest-accept".into())
-            .spawn(move || accept_loop(listener, conn_tx, shared))?
+            .spawn(move || accept_loop(listener, conn_tx, shared, drain_sweep))?
     };
     let handlers = (0..config.handler_threads)
         .map(|i| {
@@ -293,17 +317,11 @@ impl Daemon {
         self.addr
     }
 
-    /// Snapshot of the ingest-side totals.
+    /// Snapshot of the ingest-side totals. A snapshot taken on a live
+    /// daemon can lag in-flight connections; for final accounting use
+    /// [`Daemon::drain_with_stats`], whose snapshot is post-flush.
     pub fn ingest_stats(&self) -> IngestStats {
-        let t = &self.shared.totals;
-        IngestStats {
-            accepted: t.accepted.load(Ordering::Relaxed),
-            rejected: t.rejected.load(Ordering::Relaxed),
-            shed: t.shed.load(Ordering::Relaxed),
-            parse_errors: t.parse_errors.load(Ordering::Relaxed),
-            abusive_disconnects: t.abusive_disconnects.load(Ordering::Relaxed),
-            connections: t.connections.load(Ordering::Relaxed),
-        }
+        self.shared.ingest_stats()
     }
 
     /// Live (non-revoked) tenant count — observes hot reloads.
@@ -320,8 +338,8 @@ impl Daemon {
             deadline.get_or_insert(Instant::now() + self.shared.drain_timeout);
         }
         self.shared.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // The accept thread polls a non-blocking listener and notices
+        // the flag within one idle_poll — no wake-up connection needed.
     }
 
     /// Graceful drain: stop accepting, give in-flight connections up to
@@ -331,6 +349,15 @@ impl Daemon {
     /// quarantined == windows`) covers exactly the records that were
     /// acknowledged as accepted.
     pub fn drain(self) -> PipelineSummary {
+        self.drain_with_stats().1
+    }
+
+    /// [`Daemon::drain`], plus the final ingest totals. The snapshot is
+    /// taken *after* every handler thread is joined, so records that
+    /// in-flight connections flushed during the drain window are
+    /// counted — a pre-drain [`Daemon::ingest_stats`] snapshot can show
+    /// `accepted` short of the summary's `logs`.
+    pub fn drain_with_stats(self) -> (IngestStats, PipelineSummary) {
         self.initiate_drain();
         let Daemon {
             shared,
@@ -347,53 +374,97 @@ impl Daemon {
         if let Some(r) = reloader {
             let _ = r.join();
         }
+        let stats = shared.ingest_stats();
         // Every thread holding an Arc<Shared> is joined: this drop is the
         // last one, the producer disconnects, and the workers run to
         // end-of-stream.
         drop(shared);
-        pool.join()
+        (stats, pool.join())
     }
 }
 
-fn accept_loop(listener: TcpListener, conn_tx: Sender<TcpStream>, shared: Arc<Shared>) {
-    for conn in listener.incoming() {
-        // Snapshot the stop flag *before* dispatching: a connection that
-        // raced drain initiation was in the backlog before "stop
-        // accepting" took effect, so it is still served. (The drain's
-        // own wake-up connection is indistinguishable and harmless — its
-        // handler sees immediate EOF.) Dropping it here instead would
-        // RST a legitimate client mid-stream.
-        let stopping = shared.stopping();
-        if let Ok(stream) = conn {
-            // `ingest.accept` fault point: an injected panic exercises
-            // the isolation seam (the connection is lost, the daemon is
-            // not), a transient error models an accept-path failure.
-            let admitted = catch_unwind(AssertUnwindSafe(|| {
-                match faults::inject(points::INGEST_ACCEPT) {
-                    Some(Fault::Panic) => panic!("{PANIC_MARKER}: ingest.accept"),
-                    Some(Fault::TransientError) => false,
-                    Some(Fault::Latency(d)) => {
-                        thread::sleep(d);
-                        true
-                    }
-                    Some(Fault::CorruptScore) | None => true,
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: Sender<TcpStream>,
+    shared: Arc<Shared>,
+    drain_sweep: usize,
+) {
+    // The listener is non-blocking (see `start`): every WouldBlock pass
+    // re-checks the stop flag, so drain never depends on a wake-up
+    // connection reaching the socket.
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !dispatch(stream, &conn_tx, &shared) {
+                    return;
                 }
-            }));
-            match admitted {
-                Ok(true) => {
-                    shared.totals.connections.fetch_add(1, Ordering::Relaxed);
-                    shared.m_connections.inc();
-                    // Blocking send: a full queue backpressures onto the
-                    // TCP backlog rather than accepting unboundedly.
-                    if conn_tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Ok(false) | Err(_) => shared.m_accept_faults.inc(),
             }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                thread::sleep(shared.idle_poll);
+            }
+            // Transient accept failure (EMFILE, a reset mid-handshake):
+            // back off a beat instead of spinning hot.
+            Err(_) => thread::sleep(shared.idle_poll),
         }
-        if stopping {
-            break;
+    }
+    // Sweep what raced drain initiation: a connection already in the
+    // backlog when the flag flipped was sent before "stop accepting"
+    // took effect, so it is still served — dropping it here would RST a
+    // legitimate client mid-stream. The sweep is bounded so a flood
+    // cannot extend the drain; anything past it gets the RST when the
+    // listener drops.
+    for _ in 0..drain_sweep {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !dispatch(stream, &conn_tx, &shared) {
+                    return;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Admits one accepted connection into the handler queue. Returns
+/// `false` only when the queue is gone (handlers exited) and the accept
+/// loop should too.
+fn dispatch(stream: TcpStream, conn_tx: &Sender<TcpStream>, shared: &Shared) -> bool {
+    // Handlers rely on read timeouts, which need a blocking socket;
+    // whether an accepted stream inherits the listener's non-blocking
+    // mode is platform-dependent, so set it explicitly.
+    if stream.set_nonblocking(false).is_err() {
+        return true;
+    }
+    // `ingest.accept` fault point: an injected panic exercises the
+    // isolation seam (the connection is lost, the daemon is not), a
+    // transient error models an accept-path failure.
+    let admitted = catch_unwind(AssertUnwindSafe(|| {
+        match faults::inject(points::INGEST_ACCEPT) {
+            Some(Fault::Panic) => panic!("{PANIC_MARKER}: ingest.accept"),
+            Some(Fault::TransientError) => false,
+            Some(Fault::Latency(d)) => {
+                thread::sleep(d);
+                true
+            }
+            Some(Fault::CorruptScore) | None => true,
+        }
+    }));
+    match admitted {
+        Ok(true) => {
+            shared.totals.connections.fetch_add(1, Ordering::Relaxed);
+            shared.m_connections.inc();
+            // Blocking send: a full queue backpressures onto the TCP
+            // backlog rather than accepting unboundedly.
+            conn_tx.send(stream).is_ok()
+        }
+        Ok(false) | Err(_) => {
+            shared.m_accept_faults.inc();
+            true
         }
     }
 }
@@ -432,7 +503,6 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut conn = ConnCounts::default();
     let mut consecutive_rejected = 0u64;
     let mut consecutive_shed = 0u64;
-    let mut error_frames = 0u64;
     let mut draining = false;
     let mut line = String::new();
 
@@ -441,11 +511,31 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             draining = true;
             break;
         }
+        // Checked on every pass — not only on idle timeouts — so a
+        // client that keeps bytes flowing (blank-line keep-alives, a
+        // steady drip) cannot dodge the deadline and camp on a handler
+        // slot without ever authenticating.
+        if tenant.is_none() && opened.elapsed() >= shared.auth_deadline {
+            let _ = writer
+                .write_all(proto::frame_error(401, "unauthorized", "auth deadline").as_bytes());
+            return Ok(());
+        }
         // On a read timeout the partial line (if any) stays in `line`
-        // and the next pass keeps appending — no torn records.
-        match reader.read_line(&mut line) {
+        // and the next pass keeps appending — no torn records. The
+        // `take` bounds what a newline-free stream can accumulate:
+        // past MAX_LINE_BYTES the line is rejected and the connection
+        // closed instead of buffering without bound.
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+        match (&mut reader).take(budget).read_line(&mut line) {
             Ok(0) => break, // EOF: client is done, summarize and close
-            Ok(_) => {}
+            Ok(_) => {
+                if line.len() > MAX_LINE_BYTES && !line.ends_with('\n') {
+                    let _ = writer.write_all(
+                        proto::frame_error(400, "overlong", "line exceeds 64 KiB").as_bytes(),
+                    );
+                    return Ok(());
+                }
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -455,12 +545,6 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 // While draining, an idle connection is left open until
                 // the drain deadline (checked at the top of the loop):
                 // records still in flight from the client must land.
-                if tenant.is_none() && opened.elapsed() >= shared.auth_deadline {
-                    let _ = writer.write_all(
-                        proto::frame_error(401, "unauthorized", "auth deadline").as_bytes(),
-                    );
-                    return Ok(());
-                }
                 continue;
             }
             Err(_) => break,
@@ -500,8 +584,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 if let Some(t) = &tenant {
                     t.parse_errors.inc();
                 }
-                if error_frames < ERROR_FRAME_EVERY {
-                    error_frames += 1;
+                // Same cadence as the quota/shed paths: the first
+                // malformed line is answered, then one frame per
+                // ERROR_FRAME_EVERY — a garbage flood neither buys a
+                // response per line nor goes permanently unanswered.
+                if conn.parse_errors == 1 || conn.parse_errors.is_multiple_of(ERROR_FRAME_EVERY) {
                     let _ =
                         writer.write_all(proto::frame_error(400, "malformed", &detail).as_bytes());
                 }

@@ -390,6 +390,130 @@ fn auth_is_required_and_bad_tokens_are_rejected() {
 }
 
 #[test]
+fn blank_line_keepalives_cannot_dodge_the_auth_deadline() {
+    // Regression: the deadline used to be checked only on idle read
+    // timeouts, so a client that kept bytes flowing without ever
+    // authenticating camped on a handler slot forever. Now it is
+    // enforced on every pass.
+    let config = ServeConfig {
+        auth_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let specs = parse_tenants("tenant acme token=t").unwrap();
+    let daemon = start(
+        config,
+        specs,
+        None,
+        vectorizer(),
+        TableScorer,
+        MemorySink::new(),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(daemon.addr()).unwrap();
+    let start_t = Instant::now();
+    let mut closed = false;
+    while start_t.elapsed() < Duration::from_secs(5) {
+        if s.write_all(b"\n").is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        closed,
+        "a never-authenticating connection streaming blank lines must be closed"
+    );
+    assert!(
+        start_t.elapsed() >= Duration::from_millis(300),
+        "closed before the auth deadline: {:?}",
+        start_t.elapsed()
+    );
+    // The handler slot is free again: a well-behaved client still works.
+    let mut ok = TcpStream::connect(daemon.addr()).unwrap();
+    ok.write_all(b"HELLO t\n{\"message\":\"fine\"}\nQUIT\n")
+        .unwrap();
+    let mut resp = String::new();
+    ok.read_to_string(&mut resp).unwrap();
+    assert_eq!(summary_field(resp.lines().last().unwrap(), "accepted"), 1);
+    let summary = daemon.drain();
+    assert_eq!(summary.logs, 1);
+}
+
+#[test]
+fn a_newline_free_flood_is_cut_off_at_the_line_cap() {
+    // Regression: `read_line` used to append into an uncapped buffer, so
+    // a single socket streaming bytes with no newline could grow memory
+    // without bound. The daemon now rejects the line at 64 KiB and
+    // disconnects.
+    let specs = parse_tenants("tenant acme token=t").unwrap();
+    let daemon = start(
+        ServeConfig::default(),
+        specs,
+        None,
+        vectorizer(),
+        TableScorer,
+        MemorySink::new(),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(b"HELLO t\n").unwrap();
+    let chunk = [b'a'; 8192];
+    let mut sent = 0usize;
+    let mut cut_off = false;
+    while sent < 64 << 20 {
+        match s.write_all(&chunk) {
+            Ok(()) => sent += chunk.len(),
+            Err(_) => {
+                cut_off = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        cut_off,
+        "server swallowed {sent} newline-free bytes without disconnecting"
+    );
+    drop(s);
+    let (stats, summary) = daemon.drain_with_stats();
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(summary.logs, 0, "no complete record was ever framed");
+}
+
+#[test]
+fn parse_error_frames_are_sampled_not_per_line() {
+    // Same cadence as the quota/shed paths: the first malformed line is
+    // answered, then one frame per 1024 — never a frame per line, never
+    // permanent silence.
+    let specs = parse_tenants("tenant acme token=t").unwrap();
+    let daemon = start(
+        ServeConfig::default(),
+        specs,
+        None,
+        vectorizer(),
+        TableScorer,
+        MemorySink::new(),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(b"HELLO t\n").unwrap();
+    for _ in 0..5 {
+        s.write_all(b"definitely not parseable\n").unwrap();
+    }
+    s.write_all(b"QUIT\n").unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    let malformed_frames = resp.lines().filter(|l| l.contains("\"code\":400")).count();
+    assert_eq!(
+        malformed_frames, 1,
+        "five malformed lines must buy exactly one 400 frame: {resp}"
+    );
+    let last = resp.lines().last().unwrap();
+    assert_eq!(summary_field(last, "parse_errors"), 5, "{last}");
+    daemon.drain();
+}
+
+#[test]
 fn tenants_file_hot_reloads_without_dropping_connections() {
     let dir = std::env::temp_dir().join(format!("logsynergy-serve-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

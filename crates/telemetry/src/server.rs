@@ -15,7 +15,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,6 +58,12 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Ceiling on concurrently-live connection-handler threads. A stalled
+/// handler lives at most [`HEAD_DEADLINE`]; past the cap new
+/// connections are dropped on accept, so a connection flood costs a
+/// bounded number of threads instead of one per SYN.
+const MAX_CONN_HANDLERS: usize = 64;
+
 /// Binds `addr` (e.g. `127.0.0.1:9187`, port 0 for ephemeral) and serves
 /// the global registry until the returned handle is dropped.
 pub fn serve(addr: &str) -> io::Result<MetricsServer> {
@@ -68,22 +74,36 @@ pub fn serve(addr: &str) -> io::Result<MetricsServer> {
     let handle = std::thread::Builder::new()
         .name("logsynergy-metrics".to_string())
         .spawn(move || {
+            // Only the accept loop increments, so the admission check is
+            // exact; handlers decrement as they finish.
+            let active = Arc::new(AtomicUsize::new(0));
             for conn in listener.incoming() {
                 if stop_flag.load(Ordering::Relaxed) {
                     break;
                 }
                 if let Ok(stream) = conn {
                     // A misbehaving client must not wedge the endpoint:
-                    // bound every socket operation, and answer off the
+                    // bound every socket operation, answer off the
                     // accept thread so a stalled connection only ever
-                    // costs its own short-lived handler.
+                    // costs its own short-lived handler, and shed
+                    // connections past the handler cap outright.
+                    if active.load(Ordering::Relaxed) >= MAX_CONN_HANDLERS {
+                        drop(stream);
+                        continue;
+                    }
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                    let _ = std::thread::Builder::new()
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let slot = active.clone();
+                    let spawned = std::thread::Builder::new()
                         .name("logsynergy-metrics-conn".to_string())
                         .spawn(move || {
                             let _ = answer(stream);
+                            slot.fetch_sub(1, Ordering::Relaxed);
                         });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
             }
         })?;
@@ -265,6 +285,48 @@ mod tests {
             "scrapes must keep working while a dribbler is mid-request"
         );
         dribbler.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_flood_is_shed_at_the_handler_cap_and_recovers() {
+        // A flood of stalled connections far past the handler cap must
+        // not spawn a thread per connection: overflow is dropped on
+        // accept, and once the capped handlers hit their read timeouts
+        // the endpoint answers scrapes again.
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        let stallers: Vec<TcpStream> = (0..3 * MAX_CONN_HANDLERS)
+            .filter_map(|_| TcpStream::connect(addr).ok())
+            .collect();
+        assert!(
+            stallers.len() > MAX_CONN_HANDLERS,
+            "flood precondition: more connections than handler slots"
+        );
+        let try_get = |path: &str| -> Option<String> {
+            let mut s = TcpStream::connect(addr).ok()?;
+            s.set_read_timeout(Some(Duration::from_secs(3))).ok()?;
+            s.write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+                .ok()?;
+            let mut out = String::new();
+            s.read_to_string(&mut out).ok()?;
+            Some(out)
+        };
+        // Scrapes may be shed while every slot is held; the endpoint
+        // must come back within the stalled handlers' read budget.
+        let deadline = std::time::Instant::now() + HEAD_DEADLINE + Duration::from_secs(8);
+        loop {
+            if let Some(resp) = try_get("/metrics") {
+                if resp.starts_with("HTTP/1.0 200 OK") {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "endpoint never recovered from the connection flood"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
         server.shutdown();
     }
 
