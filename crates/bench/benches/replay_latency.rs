@@ -1,0 +1,184 @@
+//! Replay-latency harness for the durable (`--wal-dir`) ingest path:
+//! replays a recorded stream through the write-ahead-logged pipeline on
+//! a deterministic schedule (`logsynergy_loggen::replay`) at several
+//! speed multipliers, and publishes the producer-side ingest latency
+//! (append + flush + enqueue, i.e. the cost of the durability
+//! acknowledgement) as p50/p95/p99 against the offered load.
+//!
+//! Results land in `results/replay_latency.json`.
+
+use std::time::{Duration, Instant};
+
+use logsynergy_bench::{quick_mode, write_result};
+use logsynergy_lei::LeiConfig;
+use logsynergy_loggen::{ReplaySchedule, ReplayShape, SystemId};
+use logsynergy_pipeline::{
+    start_durable, DurablePipeline, EventVectorizer, MemorySink, PipelineConfig, RawLog,
+    SequenceScorer, WalOptions,
+};
+use serde::Serialize;
+
+const VOCAB: [&str; 8] = [
+    "session opened for user root",
+    "connection from remote peer closed abruptly after handshake timeout",
+    "disk write latency elevated beyond configured threshold on volume data1",
+    "packet responder terminating early",
+    "cache eviction pass completed",
+    "replica placement policy satisfied for block",
+    "authentication failure reported by gateway node",
+    "heartbeat missed twice across consecutive intervals",
+];
+
+/// Cheap deterministic scorer — the measurement is the ingest path, not
+/// the model tier; the workers only need to keep the queue draining.
+#[derive(Clone)]
+struct TableScorer;
+impl SequenceScorer for TableScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        let mut acc = 0.0f32;
+        for &e in events {
+            for v in &table[e as usize] {
+                acc += v.abs();
+            }
+        }
+        (acc - acc.floor()).clamp(0.0, 1.0)
+    }
+}
+
+fn vectorizer() -> EventVectorizer {
+    let mut v = EventVectorizer::new(SystemId::SystemB, 8, LeiConfig::default());
+    v.warm_start(VOCAB.iter().copied());
+    v
+}
+
+fn stream(n: usize) -> Vec<RawLog> {
+    (0..n)
+        .map(|i| RawLog {
+            system: "replay".into(),
+            timestamp: i as u64,
+            message: VOCAB[(i * 7 + i / 4) % VOCAB.len()].to_string(),
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct ReplayPoint {
+    shape: String,
+    speed: u32,
+    offered_logs_per_sec: f64,
+    logs: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    drain_ms: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run(source: &[RawLog], schedule: ReplaySchedule, speed: u32) -> ReplayPoint {
+    let dir = std::env::temp_dir().join(format!(
+        "lswal-replay-{}-{}-{speed}",
+        schedule.shape.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = PipelineConfig {
+        partitions: 1,
+        wal: Some(WalOptions {
+            // Small segments so every replay run crosses roll boundaries.
+            segment_max_bytes: 256 * 1024,
+            ..WalOptions::at(dir.clone())
+        }),
+        ..PipelineConfig::default()
+    };
+    let durable = start_durable(vectorizer(), TableScorer, MemorySink::new(), &config)
+        .expect("fresh log directory must open");
+
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(source.len());
+    let started = Instant::now();
+    for (i, log) in source.iter().enumerate() {
+        let due = schedule.offset(i, speed);
+        loop {
+            let elapsed = started.elapsed();
+            if elapsed >= due {
+                break;
+            }
+            // Sleep the bulk, spin the last stretch for offset fidelity.
+            let left = due - elapsed;
+            if left > Duration::from_micros(200) {
+                std::thread::sleep(left - Duration::from_micros(100));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let t0 = Instant::now();
+        durable
+            .producer
+            .send(log.clone())
+            .expect("unfaulted send must land");
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+    }
+    let fed = started.elapsed();
+    let DurablePipeline { pool, producer, .. } = durable;
+    drop(producer);
+    let summary = pool.join();
+    let drained = started.elapsed() - fed;
+    assert_eq!(summary.logs, source.len() as u64, "replay lost records");
+
+    latencies_us.sort_unstable();
+    let point = ReplayPoint {
+        shape: schedule.shape.name().into(),
+        speed,
+        offered_logs_per_sec: schedule.offered_per_sec(speed),
+        logs: summary.logs,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: *latencies_us.last().unwrap_or(&0),
+        drain_ms: drained.as_millis() as u64,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn main() {
+    let n = if quick_mode() { 2_000 } else { 8_000 };
+    let mean = Duration::from_micros(150);
+    let source = stream(n);
+
+    let shapes = [
+        ReplayShape::Steady,
+        ReplayShape::Bursty { burst: 32 },
+        ReplayShape::Diurnal { period: 400 },
+    ];
+    let speeds = [1u32, 4, 16];
+
+    println!("== durable ingest latency vs offered replay load ==");
+    println!(
+        "{:<8} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "shape", "speed", "offered/s", "p50 µs", "p95 µs", "p99 µs", "max µs"
+    );
+    let mut points = Vec::new();
+    for shape in shapes {
+        let schedule = ReplaySchedule {
+            shape,
+            mean_interarrival: mean,
+        };
+        for speed in speeds {
+            let p = run(&source, schedule, speed);
+            println!(
+                "{:<8} {:>5}x {:>12.0} {:>9} {:>9} {:>9} {:>9}",
+                p.shape, p.speed, p.offered_logs_per_sec, p.p50_us, p.p95_us, p.p99_us, p.max_us
+            );
+            points.push(p);
+        }
+    }
+    write_result("replay_latency", &points);
+}

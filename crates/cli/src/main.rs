@@ -65,6 +65,9 @@ commands:
                                     LOGSYNERGY_NN_THREADS and --workers
                 --quant             serve with the calibrated int8 scorer
                                     (requires a build with --features quant)
+                --wal-dir <p>       durable mode: write-ahead-log every record
+                                    before detection and resume from the
+                                    per-partition cursors (see docs/wal.md)
                 --metrics-out <p>   write a JSON telemetry snapshot when done
                 --metrics-listen <a> serve /metrics over HTTP while running
   serve       run the multi-tenant TCP ingest daemon (see docs/ingest.md);
@@ -84,6 +87,9 @@ commands:
                 --cache <n>         window-score LRU capacity (default 4096)
                 --shed-watermark <n> queue depth above which ingest answers
                                     503 shed frames, 0 disables (default 0)
+                --wal-dir <p>       durable mode: log every accepted record
+                                    before acknowledging it and replay
+                                    unacked records on restart (docs/wal.md)
                 --addr-file <p>     write the bound addresses as JSON once
                                     the daemon is ready
                 --metrics-out <p>   write a JSON telemetry snapshot when done
@@ -346,6 +352,9 @@ fn cmd_pipeline(a: &Args) -> Result<(), String> {
             PipelineConfig::default().library_capacity,
         )?,
         core_budget: a.num("core-budget", PipelineConfig::default().core_budget)?,
+        wal: a
+            .get("wal-dir")
+            .map(|d| logsynergy_pipeline::WalOptions::at(std::path::PathBuf::from(d))),
         ..PipelineConfig::default()
     };
     let sink = MessagingSink::new();
@@ -437,6 +446,9 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
             batch_windows: a.num("batch", PipelineConfig::default().batch_windows)?,
             score_cache: a.num("cache", PipelineConfig::default().score_cache)?,
             shed_watermark: a.num("shed-watermark", PipelineConfig::default().shed_watermark)?,
+            wal: a
+                .get("wal-dir")
+                .map(|d| logsynergy_pipeline::WalOptions::at(std::path::PathBuf::from(d))),
             ..PipelineConfig::default()
         },
         ..logsynergy_serve::ServeConfig::default()

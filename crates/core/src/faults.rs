@@ -47,6 +47,12 @@ pub mod points {
     pub const INGEST_ACCEPT: &str = "ingest.accept";
     /// Ingest daemon line parsing (`logsynergy-serve` protocol decoder).
     pub const INGEST_PARSE: &str = "ingest.parse";
+    /// WAL record append (segment write + flush in [`crate::wal`]).
+    pub const WAL_APPEND: &str = "wal.append";
+    /// WAL segment roll (close/open/retention in [`crate::wal`]).
+    pub const WAL_ROLL: &str = "wal.roll";
+    /// WAL recovery scan (cursor + segment replay in [`crate::wal`]).
+    pub const WAL_RECOVER: &str = "wal.recover";
 }
 
 /// A fault to inject at a point, decided by [`inject`].

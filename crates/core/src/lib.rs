@@ -59,6 +59,7 @@ pub mod persist;
 #[cfg(feature = "quant")]
 pub mod quant;
 pub mod trainer;
+pub mod wal;
 
 pub use api::Pipeline;
 pub use config::{ModelConfig, TrainConfig};

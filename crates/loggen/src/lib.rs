@@ -15,7 +15,9 @@ pub mod datasets;
 pub mod ontology;
 pub mod params;
 pub mod profile;
+pub mod replay;
 
 pub use corpus::{concept, concept_partition, DatasetSpec, LogDataset, LogRecord};
 pub use ontology::{by_name, ontology, Category, Concept, ConceptId};
 pub use profile::{SyntaxProfile, SystemId};
+pub use replay::{ReplaySchedule, ReplayShape};

@@ -838,6 +838,35 @@ impl<S: SequenceScorer> OnlineDetector<S> {
     pub fn geometry(&self) -> (usize, usize) {
         (self.window_len, self.step)
     }
+
+    /// Window-assembler state as `(window_fill, since_last_window)` —
+    /// exactly what a durable cursor commit must persist for recovery to
+    /// resume window emission at the committed boundary.
+    pub fn assembler_state(&self) -> (usize, usize) {
+        (self.window.len(), self.since_last_window)
+    }
+
+    /// Re-primes the sliding-window assembler from recovered WAL context:
+    /// pushes `logs` through the vectorizer into the window deque without
+    /// emitting windows or touching any tier counter, then pins the
+    /// since-last-window counter to its committed value. Durable recovery
+    /// calls this before replaying unacked records, so the first window
+    /// after a restart completes at exactly the same record it would have
+    /// without the crash.
+    pub fn prime_context(
+        &mut self,
+        logs: impl IntoIterator<Item = StructuredLog>,
+        since_last_window: usize,
+    ) {
+        for log in logs {
+            let event = self.vectorizer.ingest(&log.message);
+            self.window.push_back((event, log));
+            if self.window.len() > self.window_len {
+                self.window.pop_front();
+            }
+        }
+        self.since_last_window = since_last_window;
+    }
 }
 
 #[cfg(test)]

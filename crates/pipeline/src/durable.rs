@@ -1,0 +1,376 @@
+//! Durable log transport: a segmented write-ahead log between ingest and
+//! the partitioned buffer, with exactly-once crash recovery.
+//!
+//! In the default (in-memory) pipeline, a record acknowledged to the
+//! producer lives only in a channel; a process kill loses everything
+//! queued and every half-filled window. Durable mode interposes one
+//! [`PartitionWal`] per buffer partition:
+//!
+//! ```text
+//!   producer ──▶ WAL append + flush ──▶ buffer partition ──▶ worker
+//!                      │                                       │
+//!                      └── seg-XXXX.wal          cursor.log ◀──┘ commit
+//! ```
+//!
+//! - **Append before ack**: [`DurableProducer`] appends and flushes the
+//!   record to the partition's segment file *before* enqueuing it, under
+//!   one per-partition lock — so WAL order is exactly buffer order, and
+//!   an acknowledged record survives a process kill.
+//! - **Commit after account**: each detection worker commits a
+//!   [`CursorState`] to its partition's cursor log after every batch —
+//!   the next sequence number, the window assembler's fill, the six-tier
+//!   verdict counters, and the reports delivered so far.
+//! - **Replay on restart**: [`start_durable`] recovers each partition,
+//!   re-primes the window assembler with the records the cursor says
+//!   were buffered (context — *not* re-counted), and replays every
+//!   unacked record through the buffer before any live traffic, with the
+//!   counters restored from the cursor. The six-bucket accounting
+//!   invariant (`pattern + cache + model + degraded + shed + quarantined
+//!   == windows`) therefore holds *across* the crash, and re-delivered
+//!   reports are exactly the suffix after the last committed cursor —
+//!   deduplicating on `(system, first_seq_no)` yields exactly-once
+//!   delivery end to end.
+//!
+//! Durability is against process death (`SIGKILL` mid-stream): appends
+//! are flushed to the OS before the ack, not `fsync`ed per record — an
+//! OS crash can lose the tail the page cache still held. See
+//! `docs/wal.md` for the format, the recovery state machine, and the
+//! retention knobs.
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+use logsynergy::wal::{CursorFile, CursorState, PartitionWal, WalConfig, WalError};
+use logsynergy_telemetry as telemetry;
+use parking_lot::Mutex;
+
+use crate::buffer::{LogBuffer, Producer};
+use crate::detect::SequenceScorer;
+use crate::error::PipelineError;
+use crate::record::{format_log, RawLog, StructuredLog};
+use crate::report::ReportSink;
+use crate::service::{DetectionPool, PipelineConfig};
+use crate::vectorizer::EventVectorizer;
+
+/// Where and how the pipeline keeps its write-ahead log. Stored in
+/// [`PipelineConfig::wal`]; `None` keeps the classic in-memory path.
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Root directory; each partition owns the subdirectory `p{index}`.
+    pub dir: PathBuf,
+    /// Roll to a new segment file past this size.
+    pub segment_max_bytes: u64,
+    /// Roll to a new segment file past this age (checked on append).
+    pub segment_max_age: Duration,
+    /// Fully-acked segments kept behind the commit horizon before
+    /// retirement (history for replay tooling).
+    pub retain_segments: usize,
+}
+
+impl WalOptions {
+    /// Durable mode rooted at `dir`, with the default segment knobs.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        let defaults = WalConfig::default();
+        WalOptions {
+            dir: dir.into(),
+            segment_max_bytes: defaults.segment_max_bytes,
+            segment_max_age: defaults.segment_max_age,
+            retain_segments: defaults.retain_segments,
+        }
+    }
+
+    /// The per-partition appender configuration these options describe.
+    pub fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            segment_max_bytes: self.segment_max_bytes,
+            segment_max_age: self.segment_max_age,
+            retain_segments: self.retain_segments,
+        }
+    }
+
+    /// The directory holding partition `p`'s segments and cursor log.
+    pub fn partition_dir(&self, partition: usize) -> PathBuf {
+        self.dir.join(format!("p{partition}"))
+    }
+}
+
+/// Everything a detection worker needs to run durably: the recovered
+/// cursor, the window-assembler context to re-prime, the cursor-log
+/// committer, and the shared ack horizon retention reads.
+pub(crate) struct DurableWorkerInit {
+    pub(crate) cursor: CursorState,
+    pub(crate) context: Vec<StructuredLog>,
+    pub(crate) committer: CursorFile,
+    pub(crate) ack_horizon: Arc<AtomicU64>,
+}
+
+/// The producing side of durable mode: appends to the partition's WAL
+/// (flushing before the ack), then enqueues into the buffer — both under
+/// one per-partition lock, so WAL order is exactly buffer order and the
+/// sequence numbers workers assign by arrival match the WAL's.
+pub struct DurableProducer {
+    inner: Producer,
+    parts: Arc<Vec<Mutex<PartitionWal>>>,
+    capacity: usize,
+}
+
+impl DurableProducer {
+    /// Number of partitions behind this producer.
+    pub fn partitions(&self) -> usize {
+        self.inner.partitions()
+    }
+
+    /// The partition a system key routes to.
+    pub fn partition_for(&self, system: &str) -> usize {
+        self.inner.partition_for(system)
+    }
+
+    /// Logs currently queued in `partition` (telemetry-grade).
+    pub fn depth(&self, partition: usize) -> u64 {
+        self.inner.depth(partition)
+    }
+
+    /// Durable blocking send, partition chosen by the system key.
+    pub fn send(&self, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        let p = self.inner.partition_for(&log.system);
+        self.send_to(p, log)
+    }
+
+    /// Durable blocking send to a caller-chosen partition: the record is
+    /// appended and flushed to the partition's WAL, then enqueued. An
+    /// append failure hands the record back as a transient
+    /// [`PipelineError::WalAppend`] — nothing was made durable. A closed
+    /// buffer after a successful append returns `Ok`: the record is
+    /// parked in the log and will be replayed on the next start.
+    pub fn send_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        let mut wal = self.parts[partition].lock();
+        if wal
+            .append(&log.system, log.timestamp, &log.message)
+            .is_err()
+        {
+            return Err((log, PipelineError::WalAppend { partition }));
+        }
+        // Appended and flushed: the record is durable and *must* reach
+        // the buffer in append order (worker sequence numbers follow
+        // arrival). The send stays under the partition lock; a closed
+        // buffer parks the record for replay instead of failing the ack.
+        let _ = self.inner.send_to(partition, log);
+        Ok(())
+    }
+
+    /// Durable send with a backpressure check *before* the append: a
+    /// partition already holding `partition_capacity` queued records
+    /// refuses with [`PipelineError::BufferFull`] (the record untouched,
+    /// free to shed), because once appended a record is acked-durable
+    /// and can no longer be refused.
+    pub fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        if self.inner.depth(partition) >= self.capacity as u64 {
+            return Err((log, PipelineError::BufferFull { partition }));
+        }
+        self.send_to(partition, log)
+    }
+}
+
+/// A durable pipeline, started: the detection pool (join it for the
+/// summary), the producing handle, and how many unacked records the
+/// start replayed from the log before accepting live traffic.
+pub struct DurablePipeline {
+    /// The per-partition detection workers, committing cursors as they
+    /// account batches.
+    pub pool: DetectionPool,
+    /// The WAL-backed producer handle. Dropping it (and any clones of
+    /// the replay path's internal handle) ends the stream.
+    pub producer: DurableProducer,
+    /// Unacked records replayed from the log at start.
+    pub replayed: u64,
+}
+
+/// Opens (or recovers) the write-ahead log under
+/// [`PipelineConfig::wal`], spawns the detection pool with durable
+/// cursor commits, replays every unacked record in order, and returns
+/// the producing handle. Requires `config.wal` to be set.
+///
+/// Recovery is exactly-once with respect to window accounting: records
+/// the last committed cursor covered are either skipped (fully
+/// accounted) or re-primed as assembler context (buffered, not yet
+/// windowed — not re-counted); records past the cursor are re-processed
+/// with their original sequence numbers.
+pub fn start_durable<S, K>(
+    vectorizer: EventVectorizer,
+    scorer: S,
+    sink: K,
+    config: &PipelineConfig,
+) -> Result<DurablePipeline, WalError>
+where
+    S: SequenceScorer + Clone + 'static,
+    K: ReportSink + Clone + 'static,
+{
+    let opts = config
+        .wal
+        .as_ref()
+        .expect("start_durable requires PipelineConfig::wal");
+    let tele = telemetry::global().scoped("wal");
+    let c_replayed = tele.counter("replayed");
+
+    let mut parts = Vec::with_capacity(config.partitions);
+    let mut inits = Vec::with_capacity(config.partitions);
+    let mut replays = Vec::with_capacity(config.partitions);
+    for p in 0..config.partitions {
+        let dir = opts.partition_dir(p);
+        std::fs::create_dir_all(&dir).map_err(WalError::from)?;
+        let (wal, recovered) = PartitionWal::open(&dir, opts.wal_config())?;
+        let committer = CursorFile::open(&dir)?;
+        let context = recovered
+            .context
+            .iter()
+            .map(|rec| structured(&rec.system, rec.timestamp, &rec.message, rec.seq))
+            .collect();
+        inits.push(DurableWorkerInit {
+            cursor: recovered.cursor,
+            context,
+            committer,
+            ack_horizon: wal.ack_horizon(),
+        });
+        replays.push(recovered.replay);
+        parts.push(Mutex::new(wal));
+    }
+
+    let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
+    let pool = DetectionPool::spawn_durable(&buffer, vectorizer, scorer, sink, config, inits);
+    let inner = buffer.producer();
+    drop(buffer); // `inner` is now the only sender
+
+    // Replay unacked records into the buffer *before* handing out the
+    // producer: the workers are live and draining, so blocking sends
+    // make progress even past the partition capacity, and every replayed
+    // record precedes any live one — preserving WAL order end to end.
+    let mut replayed = 0u64;
+    for (p, records) in replays.into_iter().enumerate() {
+        for rec in records {
+            let raw = RawLog {
+                system: rec.system,
+                timestamp: rec.timestamp,
+                message: rec.message,
+            };
+            // A worker that dies mid-replay closes the shard; the rest
+            // of the records stay parked in the log for the next start.
+            if inner.send_to(p, raw).is_err() {
+                break;
+            }
+            replayed += 1;
+        }
+    }
+    c_replayed.add(replayed);
+
+    Ok(DurablePipeline {
+        pool,
+        producer: DurableProducer {
+            inner,
+            parts: Arc::new(parts),
+            capacity: config.partition_capacity,
+        },
+        replayed,
+    })
+}
+
+/// Rebuilds the [`StructuredLog`] a WAL record was (or will be) assigned
+/// by its worker: same normalization, same sequence number.
+fn structured(system: &str, timestamp: u64, message: &str, seq: u64) -> StructuredLog {
+    let raw = RawLog {
+        system: system.to_string(),
+        timestamp,
+        message: message.to_string(),
+    };
+    format_log(&raw, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynergy::wal::recover_partition;
+    use std::path::Path;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lswal-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn options_round_trip_the_wal_config() {
+        let opts = WalOptions {
+            segment_max_bytes: 512,
+            segment_max_age: Duration::from_secs(7),
+            retain_segments: 5,
+            ..WalOptions::at("/tmp/x")
+        };
+        let cfg = opts.wal_config();
+        assert_eq!(cfg.segment_max_bytes, 512);
+        assert_eq!(cfg.segment_max_age, Duration::from_secs(7));
+        assert_eq!(cfg.retain_segments, 5);
+        assert_eq!(opts.partition_dir(3), Path::new("/tmp/x/p3"));
+    }
+
+    #[test]
+    fn producer_appends_before_enqueue_and_parks_on_closed_buffer() {
+        let dir = scratch("park");
+        std::fs::create_dir_all(dir.join("p0")).unwrap();
+        let (wal, _) = PartitionWal::open(&dir.join("p0"), WalConfig::default()).unwrap();
+        let buffer = LogBuffer::new(1, 4);
+        let producer = DurableProducer {
+            inner: buffer.producer(),
+            parts: Arc::new(vec![Mutex::new(wal)]),
+            capacity: 4,
+        };
+        let mut consumer = buffer.partition_consumer(0);
+        drop(buffer);
+        let log = RawLog {
+            system: "web".into(),
+            timestamp: 1,
+            message: "hello".into(),
+        };
+        producer.send(log.clone()).unwrap();
+        let got = consumer
+            .recv_batch(8, Duration::from_millis(50))
+            .expect("record must be enqueued");
+        assert_eq!(got.len(), 1);
+        // Close the buffer: the append still succeeds (the ack is the
+        // WAL), and the record is parked for replay.
+        drop(consumer);
+        producer.send(log).unwrap();
+        drop(producer);
+        let r = recover_partition(&dir.join("p0")).unwrap();
+        assert_eq!(r.replay.len(), 2, "both records are durable");
+        assert_eq!(r.replay[1].seq, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offer_refuses_before_appending_when_the_shard_is_full() {
+        let dir = scratch("offer");
+        std::fs::create_dir_all(dir.join("p0")).unwrap();
+        let (wal, _) = PartitionWal::open(&dir.join("p0"), WalConfig::default()).unwrap();
+        let buffer = LogBuffer::new(1, 2);
+        let producer = DurableProducer {
+            inner: buffer.producer(),
+            parts: Arc::new(vec![Mutex::new(wal)]),
+            capacity: 2,
+        };
+        let log = |i: u64| RawLog {
+            system: "web".into(),
+            timestamp: i,
+            message: format!("m{i}"),
+        };
+        producer.offer_to(0, log(0)).unwrap();
+        producer.offer_to(0, log(1)).unwrap();
+        let (rejected, err) = producer.offer_to(0, log(2)).unwrap_err();
+        assert_eq!(err, PipelineError::BufferFull { partition: 0 });
+        assert_eq!(rejected.timestamp, 2);
+        drop(producer);
+        let r = recover_partition(&dir.join("p0")).unwrap();
+        assert_eq!(r.replay.len(), 2, "the refused record was never appended");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

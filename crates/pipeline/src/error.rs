@@ -36,6 +36,13 @@ pub enum PipelineError {
     ScorerUnavailable,
     /// The model-tier deadline elapsed before a valid score batch.
     DeadlineExceeded,
+    /// The durable transport could not append the record to its
+    /// write-ahead log (I/O failure or an injected transient); the
+    /// record was *not* made durable and is handed back for retry.
+    WalAppend {
+        /// The partition whose log refused the append.
+        partition: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -58,6 +65,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::ScorerUnavailable => write!(f, "scorer transiently unavailable"),
             PipelineError::DeadlineExceeded => write!(f, "model-tier deadline exceeded"),
+            PipelineError::WalAppend { partition } => {
+                write!(f, "write-ahead log append failed for partition {partition}")
+            }
         }
     }
 }
@@ -73,6 +83,7 @@ impl PipelineError {
                 | PipelineError::ShortScoreBatch { .. }
                 | PipelineError::CorruptScore(_)
                 | PipelineError::BufferFull { .. }
+                | PipelineError::WalAppend { .. }
         )
     }
 }
@@ -108,6 +119,7 @@ mod tests {
         .is_transient());
         assert!(!PipelineError::BufferClosed { partition: 0 }.is_transient());
         assert!(PipelineError::BufferFull { partition: 3 }.is_transient());
+        assert!(PipelineError::WalAppend { partition: 1 }.is_transient());
         assert!(!PipelineError::DeadlineExceeded.is_transient());
     }
 

@@ -11,6 +11,9 @@
 //! | [`points::PERSIST_IO`] | `logsynergy::persist::{save, load}` | `TransientError` → retried interrupted I/O; `Panic` → caller's isolation |
 //! | [`points::INGEST_ACCEPT`] | accept loop of the `logsynergy-serve` daemon | `Panic` → caught in place, the connection is dropped, the daemon lives; `TransientError` → accept-path failure (connection dropped); `Latency` → slow accept |
 //! | [`points::INGEST_PARSE`] | per-line parse in a `logsynergy-serve` connection handler | `Panic` → escapes to the handler's isolation layer (one connection lost, handler restarts); `TransientError` → surfaced as a 400 parse-error frame; `Latency` → slow parse |
+//! | [`points::WAL_APPEND`] | record append and cursor commit in `logsynergy::wal` | `Panic` → a simulated crash before anything is written (producer death or worker death, by call site); `TransientError` → the append fails typed and is retried ([`crate::error::PipelineError::WalAppend`]) |
+//! | [`points::WAL_ROLL`] | segment roll in `logsynergy::wal` | `Panic` → crash between closing one segment and opening the next; `TransientError` → the roll (and its append) fails typed |
+//! | [`points::WAL_RECOVER`] | recovery scan in `logsynergy::wal` | `Panic` → crash mid-recovery (recovery is read-only, so the retry re-runs it); `TransientError` → the scan fails typed and may be retried |
 //!
 //! Everything here compiles to inert no-ops unless the crate is built
 //! with `--features fault-injection`; see `docs/robustness.md` for how to

@@ -24,6 +24,7 @@
 pub mod buffer;
 pub mod cache;
 pub mod detect;
+pub mod durable;
 pub mod error;
 pub mod faults;
 pub mod patterns;
@@ -39,6 +40,7 @@ pub use detect::QuantScorer;
 pub use detect::{
     ModelScorer, OnlineDetector, RetryPolicy, SequenceScorer, ServeMode, DEFAULT_SCORE_CACHE,
 };
+pub use durable::{start_durable, DurablePipeline, DurableProducer, WalOptions};
 pub use error::{DeadLetter, PipelineError};
 pub use patterns::{pattern_key, PatternLibrary, Verdict};
 pub use record::{format_log, RawLog, StructuredLog};

@@ -24,8 +24,11 @@ use std::time::{Duration, Instant};
 
 use logsynergy_telemetry as telemetry;
 
+use logsynergy::wal::CursorState;
+
 use crate::buffer::LogBuffer;
 use crate::detect::{OnlineDetector, RetryPolicy, SequenceScorer, ServeMode};
+use crate::durable::{DurableWorkerInit, WalOptions};
 use crate::error::DeadLetter;
 use crate::faults::{self, points, Fault};
 use crate::record::{format_log, RawLog};
@@ -69,6 +72,11 @@ pub struct PipelineConfig {
     /// Per-worker pattern-library capacity with LRU eviction
     /// (0 = unbounded, the paper's formulation).
     pub library_capacity: usize,
+    /// Durable transport: when set, every record is appended and flushed
+    /// to a per-partition write-ahead log before it is acknowledged, and
+    /// workers commit recovery cursors as they account batches (see
+    /// [`crate::durable`]). `None` keeps the classic in-memory path.
+    pub wal: Option<WalOptions>,
 }
 
 impl Default for PipelineConfig {
@@ -85,6 +93,7 @@ impl Default for PipelineConfig {
             shed_watermark: 0,
             core_budget: 0,
             library_capacity: 0,
+            wal: None,
         }
     }
 }
@@ -128,6 +137,11 @@ pub struct PipelineSummary {
     pub retries: u64,
     /// Worker batch attempts that panicked and were restarted.
     pub worker_restarts: u64,
+    /// Workers that died outright (a panic outside every isolation
+    /// layer, e.g. an injected cursor-commit crash). Their partition's
+    /// accounting is whatever they last committed; in durable mode the
+    /// write-ahead log replays the rest on the next start.
+    pub crashed_workers: u64,
     /// The dead-letter queue: one record per quarantined window.
     pub dead_letters: Vec<DeadLetter>,
     /// Reports delivered.
@@ -194,6 +208,49 @@ impl DetectionPool {
         S: SequenceScorer + Clone + 'static,
         K: ReportSink + Clone + 'static,
     {
+        let inits = (0..config.partitions).map(|_| None).collect();
+        Self::spawn_inner(buffer, vectorizer, scorer, sink, config, inits)
+    }
+
+    /// [`DetectionPool::spawn`] with one durable-worker init per
+    /// partition: workers resume from their recovered cursors and commit
+    /// a new cursor after every accounted batch. Used by
+    /// [`crate::durable::start_durable`].
+    pub(crate) fn spawn_durable<S, K>(
+        buffer: &LogBuffer,
+        vectorizer: EventVectorizer,
+        scorer: S,
+        sink: K,
+        config: &PipelineConfig,
+        inits: Vec<DurableWorkerInit>,
+    ) -> DetectionPool
+    where
+        S: SequenceScorer + Clone + 'static,
+        K: ReportSink + Clone + 'static,
+    {
+        assert_eq!(inits.len(), config.partitions);
+        Self::spawn_inner(
+            buffer,
+            vectorizer,
+            scorer,
+            sink,
+            config,
+            inits.into_iter().map(Some).collect(),
+        )
+    }
+
+    fn spawn_inner<S, K>(
+        buffer: &LogBuffer,
+        vectorizer: EventVectorizer,
+        scorer: S,
+        sink: K,
+        config: &PipelineConfig,
+        inits: Vec<Option<DurableWorkerInit>>,
+    ) -> DetectionPool
+    where
+        S: SequenceScorer + Clone + 'static,
+        K: ReportSink + Clone + 'static,
+    {
         assert!(config.partitions > 0 && config.batch_windows > 0);
         assert_eq!(buffer.partitions(), config.partitions);
         // Composable parallelism: split the kernel-thread budget evenly over
@@ -214,7 +271,8 @@ impl DetectionPool {
         let start = Instant::now();
         let workers = consumers
             .into_iter()
-            .map(|consumer| {
+            .zip(inits)
+            .map(|(consumer, init)| {
                 spawn_worker(
                     consumer,
                     vectorizer.clone(),
@@ -222,6 +280,7 @@ impl DetectionPool {
                     sink.clone(),
                     config.clone(),
                     kernel_threads,
+                    init,
                 )
             })
             .collect();
@@ -240,11 +299,22 @@ impl DetectionPool {
         let mut quarantined = 0u64;
         let mut retries = 0u64;
         let mut worker_restarts = 0u64;
+        let mut crashed_workers = 0u64;
         let mut dead_letters = Vec::new();
         let mut reports = 0u64;
         let mut new_templates = 0usize;
         for worker in self.workers {
-            let s = worker.join().expect("detection worker panicked");
+            // A worker that dies outside every isolation layer (an
+            // injected cursor-commit crash, a kill test) folds in as
+            // zero: its partition's truth is whatever it last committed,
+            // and in durable mode the next start replays the rest.
+            let s = match worker.join() {
+                Ok(s) => s,
+                Err(_) => {
+                    crashed_workers += 1;
+                    continue;
+                }
+            };
             logs += s.logs;
             pattern_hits += s.pattern_hits;
             cache_hits += s.cache_hits;
@@ -270,6 +340,7 @@ impl DetectionPool {
             quarantined,
             retries,
             worker_restarts,
+            crashed_workers,
             dead_letters,
             reports,
             new_templates,
@@ -298,6 +369,9 @@ where
     S: SequenceScorer + Clone + 'static,
     K: ReportSink + Clone + 'static,
 {
+    if config.wal.is_some() {
+        return run_pipeline_durable(source, vectorizer, scorer, sink, config);
+    }
     let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
     let producer = buffer.producer();
     let pool = DetectionPool::spawn(&buffer, vectorizer, scorer, sink, &config);
@@ -347,6 +421,53 @@ where
     summary
 }
 
+/// The durable-mode body of [`run_pipeline_with`]: the source ships
+/// through a [`crate::durable::DurableProducer`] (append + flush before
+/// the ack), and the summary's accounting is *cumulative* — it resumes
+/// from whatever cursors a previous run of the same WAL directory
+/// committed, replaying unacked records first. `summary.logs` is
+/// therefore the all-time record count for the directory, not this
+/// call's `source.len()`.
+fn run_pipeline_durable<S, K>(
+    source: Vec<RawLog>,
+    vectorizer: EventVectorizer,
+    scorer: S,
+    sink: K,
+    config: PipelineConfig,
+) -> PipelineSummary
+where
+    S: SequenceScorer + Clone + 'static,
+    K: ReportSink + Clone + 'static,
+{
+    let durable = crate::durable::start_durable(vectorizer, scorer, sink, &config)
+        .expect("write-ahead log unavailable");
+    let producer = durable.producer;
+    let shipper = thread::spawn(move || {
+        'ship: for log in source {
+            let mut slot = Some(log);
+            let mut attempt = 0u64;
+            while let Some(log) = slot.take() {
+                // A panic out of the append (an injected producer crash)
+                // kills the shipper like a dead ingest process: records
+                // not yet appended are simply never sent — nothing was
+                // acked — and the caller's retry layer re-ships them.
+                match catch_unwind(AssertUnwindSafe(|| producer.send(log))) {
+                    Ok(Ok(())) => {}
+                    Ok(Err((log, e))) if e.is_transient() => {
+                        attempt += 1;
+                        slot = Some(log);
+                        thread::sleep(restart_backoff(Duration::from_micros(200), attempt));
+                    }
+                    Ok(Err(_)) | Err(_) => break 'ship,
+                }
+            }
+        }
+        // Producer handle drops here, closing its side.
+    });
+    shipper.join().expect("shipper thread panicked");
+    durable.pool.join()
+}
+
 fn spawn_worker<S, K>(
     mut consumer: crate::buffer::Consumer,
     vectorizer: EventVectorizer,
@@ -354,6 +475,7 @@ fn spawn_worker<S, K>(
     sink: K,
     cfg: PipelineConfig,
     kernel_threads: usize,
+    durable: Option<DurableWorkerInit>,
 ) -> thread::JoinHandle<WorkerStats>
 where
     S: SequenceScorer + 'static,
@@ -381,6 +503,26 @@ where
             let mut reports_delivered = 0u64;
             let mut restarts = 0u64;
             let mut reports = Vec::new();
+            // Durable mode: resume from the recovered cursor — restore
+            // the six-tier counters, re-prime the window assembler with
+            // the records it had buffered at the commit point (context,
+            // *not* re-counted), and continue the sequence where the
+            // cursor left off. Records past the cursor arrive again
+            // through the buffer (the replay) and are re-processed with
+            // their original sequence numbers.
+            let mut committer = durable.map(|init| {
+                detector.pattern_hits = init.cursor.pattern_hits;
+                detector.cache_hits = init.cursor.cache_hits;
+                detector.model_calls = init.cursor.model_calls;
+                detector.degraded = init.cursor.degraded;
+                detector.shed = init.cursor.shed;
+                detector.quarantined = init.cursor.quarantined;
+                detector.retries = init.cursor.retries;
+                detector.prime_context(init.context, init.cursor.since_last_window as usize);
+                seq_no = init.cursor.next_seq;
+                reports_delivered = init.cursor.reports;
+                (init.committer, init.ack_horizon)
+            });
             // Telemetry handles, resolved once before the hot loop.
             let tele = telemetry::global().scoped("pipeline");
             let c_logs = tele.counter("logs");
@@ -397,6 +539,8 @@ where
             let h_batch_logs = tele.histogram("batch.logs");
             let h_batch_windows = tele.histogram("batch.windows");
             let h_queue_depth = tele.histogram("queue.depth");
+            let c_commits = tele.counter("wal_commits");
+            let c_commit_errors = tele.counter("wal_commit_errors");
             let g_active = tele.gauge("workers.active");
             g_active.add(1);
             loop {
@@ -513,6 +657,39 @@ where
                     for report in reports.drain(..) {
                         sink.deliver(&report);
                         reports_delivered += 1;
+                    }
+                }
+                // Durable commit: accounting and delivery for this batch
+                // are done, so the cursor may advance. Deliberately
+                // *outside* the panic-isolation layer — a crash here
+                // (e.g. an injected cursor-commit fault) must kill the
+                // worker, not replay the batch inside the same process,
+                // because delivery already happened; the next start
+                // re-derives everything from the last durable cursor. A
+                // transient commit failure is only counted: the next
+                // commit is cumulative and covers this one.
+                if let Some((cf, horizon)) = committer.as_mut() {
+                    let (fill, since) = detector.assembler_state();
+                    let state = CursorState {
+                        next_seq: seq_no,
+                        window_fill: fill as u32,
+                        since_last_window: since as u32,
+                        pattern_hits: detector.pattern_hits,
+                        cache_hits: detector.cache_hits,
+                        model_calls: detector.model_calls,
+                        degraded: detector.degraded,
+                        shed: detector.shed,
+                        quarantined: detector.quarantined,
+                        retries: detector.retries,
+                        reports: reports_delivered,
+                    };
+                    match cf.commit(&state) {
+                        Ok(()) => {
+                            c_commits.add(1);
+                            horizon
+                                .store(seq_no - fill as u64, std::sync::atomic::Ordering::Release);
+                        }
+                        Err(_) => c_commit_errors.add(1),
                     }
                 }
             }

@@ -41,7 +41,7 @@ use logsynergy_pipeline::buffer::{LogBuffer, Producer};
 use logsynergy_pipeline::detect::SequenceScorer;
 use logsynergy_pipeline::report::ReportSink;
 use logsynergy_pipeline::service::{DetectionPool, PipelineConfig, PipelineSummary};
-use logsynergy_pipeline::{EventVectorizer, PipelineError};
+use logsynergy_pipeline::{start_durable, DurableProducer, EventVectorizer, PipelineError, RawLog};
 use logsynergy_telemetry as telemetry;
 use parking_lot::Mutex;
 
@@ -141,16 +141,49 @@ struct Totals {
     connections: AtomicU64,
 }
 
+/// The daemon's front-door producer: plain in-memory, or routed
+/// through the per-partition write-ahead log when the pipeline config
+/// carries a WAL directory (`--wal-dir`). In durable mode a record is
+/// appended and flushed to the log *before* it is enqueued, so an
+/// accept acknowledgement means the record survives a daemon crash.
+enum IngestProducer {
+    Plain(Producer),
+    Durable(DurableProducer),
+}
+
+impl IngestProducer {
+    fn depth(&self, partition: usize) -> u64 {
+        match self {
+            IngestProducer::Plain(p) => p.depth(partition),
+            IngestProducer::Durable(p) => p.depth(partition),
+        }
+    }
+
+    fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        match self {
+            IngestProducer::Plain(p) => p.offer_to(partition, log),
+            IngestProducer::Durable(p) => p.offer_to(partition, log),
+        }
+    }
+
+    fn send_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        match self {
+            IngestProducer::Plain(p) => p.send_to(partition, log),
+            IngestProducer::Durable(p) => p.send_to(partition, log),
+        }
+    }
+}
+
 /// Everything a connection handler needs, shared across threads. The
-/// single [`Producer`] lives here: when the last `Arc<Shared>` drops
-/// (after every daemon thread is joined), the buffer disconnects and
-/// the detection workers run to end-of-stream.
+/// single [`IngestProducer`] lives here: when the last `Arc<Shared>`
+/// drops (after every daemon thread is joined), the buffer disconnects
+/// and the detection workers run to end-of-stream.
 struct Shared {
     stop: AtomicBool,
     drain_deadline: Mutex<Option<Instant>>,
     drain_timeout: Duration,
     started: Instant,
-    producer: Producer,
+    producer: IngestProducer,
     tenants: TenantTable,
     shed_watermark: usize,
     idle_poll: Duration,
@@ -236,13 +269,24 @@ where
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let buffer = LogBuffer::new(
-        config.pipeline.partitions,
-        config.pipeline.partition_capacity,
-    );
-    let pool = DetectionPool::spawn(&buffer, vectorizer, scorer, sink, &config.pipeline);
-    let producer = buffer.producer();
-    drop(buffer); // the producer handle is now the only sender
+    // Durable mode (`--wal-dir`): the detection pool resumes from the
+    // per-partition cursors, parked unacked records are replayed into
+    // the buffer before the first client connects, and every accepted
+    // record is logged before it is acknowledged.
+    let (pool, producer) = if config.pipeline.wal.is_some() {
+        let durable = start_durable(vectorizer, scorer, sink, &config.pipeline)
+            .map_err(|e| io::Error::other(format!("write-ahead log unavailable: {e}")))?;
+        (durable.pool, IngestProducer::Durable(durable.producer))
+    } else {
+        let buffer = LogBuffer::new(
+            config.pipeline.partitions,
+            config.pipeline.partition_capacity,
+        );
+        let pool = DetectionPool::spawn(&buffer, vectorizer, scorer, sink, &config.pipeline);
+        let producer = buffer.producer();
+        drop(buffer); // the producer handle is now the only sender
+        (pool, IngestProducer::Plain(producer))
+    };
 
     let scope = telemetry::global().scoped("ingest");
     let shared = Arc::new(Shared {
@@ -693,20 +737,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                                     accepted(&mut conn, t, shared, t0);
                                     consecutive_shed = 0;
                                 }
+                                Err((_, PipelineError::WalAppend { partition })) => {
+                                    wal_refused(&mut conn, t, shared, partition, &mut writer);
+                                }
                                 Err(_) => {
-                                    let _ = writer.write_all(
-                                        proto::frame_error(503, "closed", "pipeline gone")
-                                            .as_bytes(),
-                                    );
+                                    let _ =
+                                        writer.write_all(proto::frame_closed(partition).as_bytes());
                                     break 'conn;
                                 }
                             }
                         }
                     }
+                    Err((_, PipelineError::WalAppend { partition })) => {
+                        // Transient durable-append failure: the record
+                        // was refused *before* anything was logged, so
+                        // the client may simply retry it — the
+                        // connection survives.
+                        wal_refused(&mut conn, t, shared, partition, &mut writer);
+                    }
                     Err((_, _)) => {
-                        let _ = writer.write_all(
-                            proto::frame_error(503, "closed", "pipeline gone").as_bytes(),
-                        );
+                        let _ = writer.write_all(proto::frame_closed(partition).as_bytes());
                         break 'conn;
                     }
                 }
@@ -736,6 +786,24 @@ fn accepted(conn: &mut ConnCounts, t: &TenantHandle, shared: &Shared, t0: Instan
     let us = t0.elapsed().as_micros() as u64;
     shared.m_latency.record(us);
     t.latency_us.record(us);
+}
+
+/// A transient write-ahead-log append failure: the record was not made
+/// durable and is refused with a retryable 503 naming the shard.
+/// Counted with the shed bucket — like a shed record, it was
+/// acknowledged as *not* ingested and the client owns the retry.
+fn wal_refused(
+    conn: &mut ConnCounts,
+    t: &TenantHandle,
+    shared: &Shared,
+    partition: usize,
+    writer: &mut TcpStream,
+) {
+    conn.shed += 1;
+    shared.totals.shed.fetch_add(1, Ordering::Relaxed);
+    shared.m_shed.inc();
+    t.shed.inc();
+    let _ = writer.write_all(proto::frame_log_append(partition).as_bytes());
 }
 
 fn shed(

@@ -196,6 +196,22 @@ pub fn frame_shed(partition: usize) -> String {
     format!("{{\"ok\":false,\"code\":503,\"error\":\"shedding\",\"partition\":{partition}}}\n")
 }
 
+/// Terminal 503 frame for a closed pipeline: the shard's workers are
+/// gone and the connection will be dropped. Names the rejecting
+/// partition so a multi-shard client can tell which route died.
+pub fn frame_closed(partition: usize) -> String {
+    format!(
+        "{{\"ok\":false,\"code\":503,\"error\":\"closed\",\"detail\":\"pipeline gone\",\"partition\":{partition}}}\n"
+    )
+}
+
+/// 503 frame for a transient durable-log append failure on a shard: the
+/// record was **not** made durable (not ingested) and may be retried;
+/// the connection stays open.
+pub fn frame_log_append(partition: usize) -> String {
+    format!("{{\"ok\":false,\"code\":503,\"error\":\"log append\",\"partition\":{partition}}}\n")
+}
+
 /// The end-of-connection accounting frame (also sent when the daemon
 /// drains under SIGTERM, with `"draining":true`).
 pub fn frame_summary(
@@ -295,6 +311,8 @@ mod tests {
             frame_error(401, "unauthorized", "bad \"token\""),
             frame_over_quota(120),
             frame_shed(3),
+            frame_closed(1),
+            frame_log_append(2),
             frame_summary(10, 2, 1, 0, true),
         ] {
             assert!(frame.ends_with('\n'));
@@ -303,5 +321,10 @@ mod tests {
             serde_json::parse_value(body).expect("frame must be valid JSON");
         }
         assert!(frame_summary(1, 0, 0, 0, false).contains("\"draining\":false"));
+        // Every 503 names the rejecting partition so clients can tell
+        // which shard refused the record.
+        assert!(frame_shed(3).contains("\"partition\":3"));
+        assert!(frame_closed(1).contains("\"partition\":1"));
+        assert!(frame_log_append(2).contains("\"partition\":2"));
     }
 }

@@ -18,6 +18,7 @@ use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::SystemId;
 use logsynergy_pipeline::{
     run_pipeline_with, EventVectorizer, MemorySink, PipelineConfig, RawLog, Report, SequenceScorer,
+    WalOptions,
 };
 use logsynergy_serve::{parse_tenants, start, ServeConfig};
 
@@ -593,6 +594,252 @@ fn tenants_file_hot_reloads_without_dropping_connections() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Key-pure scorer: the verdict depends only on the window's *distinct*
+/// event set — the pattern library's key granularity. The library is an
+/// in-memory tier that starts empty after a daemon restart (exactly like
+/// an LRU eviction), so cross-restart bitwise verdict parity requires
+/// the model score to agree with any library-stored verdict, i.e. to be
+/// a function of the pattern key (see `crates/pipeline/tests/durable.rs`).
+#[derive(Clone)]
+struct KeyScorer;
+impl SequenceScorer for KeyScorer {
+    fn score(&self, events: &[u32], table: &[Vec<f32>]) -> f32 {
+        let mut distinct = events.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut acc = 0.0f32;
+        for &e in &distinct {
+            for v in &table[e as usize] {
+                acc += v.abs();
+            }
+        }
+        (acc - acc.floor()).clamp(0.0, 1.0)
+    }
+}
+
+/// Aperiodic per-system source (enough distinct window event-sets that
+/// the key-pure scorer reports on some of them).
+fn wal_source(system: &str, phase: usize, n: usize) -> Vec<RawLog> {
+    (0..n)
+        .map(|i| RawLog {
+            system: system.to_string(),
+            timestamp: i as u64,
+            message: VOCAB[(i * 7 + i / 4 + phase) % VOCAB.len()].to_string(),
+        })
+        .collect()
+}
+
+/// Writes `logs` (alternating framings) onto an open connection.
+fn write_lines(conn: &mut TcpStream, logs: &[RawLog]) {
+    let mut payload = String::new();
+    for (i, log) in logs.iter().enumerate() {
+        if i % 2 == 0 {
+            payload.push_str(&ndjson_line(log));
+        } else {
+            payload.push_str(&syslog_line(log));
+        }
+        payload.push('\n');
+        if payload.len() > 1 << 16 {
+            conn.write_all(payload.as_bytes()).unwrap();
+            payload.clear();
+        }
+    }
+    conn.write_all(payload.as_bytes()).unwrap();
+}
+
+/// Wire-to-disk parity: the PR 8 two-tenant socket workload rerun in
+/// `--wal-dir` mode, with a SIGTERM-equivalent drain landing mid-stream
+/// and a second daemon restarted over the same log directory to finish
+/// the job. Cumulative accounting and per-system verdicts must be
+/// bitwise identical to one uninterrupted in-process run.
+#[test]
+fn wal_mode_matches_the_in_process_run_bitwise_across_a_restart() {
+    let systems = ["web-0", "web-3", "web-2", "web-1"];
+    let per_system = 2_000usize;
+    // Mid-window, mid-step: the restart boundary must be re-primed from
+    // the recovered cursor context, not rounded to a window edge.
+    let split = 1_013usize;
+    let sources: Vec<Vec<RawLog>> = systems
+        .iter()
+        .enumerate()
+        .map(|(phase, s)| wal_source(s, phase, per_system))
+        .collect();
+    for (i, s) in systems.iter().enumerate() {
+        assert_eq!(LogsProbe::partition_of(s), i, "one system per partition");
+    }
+
+    let dir = std::env::temp_dir().join(format!("lswal-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        drain_timeout: Duration::from_secs(10),
+        pipeline: PipelineConfig {
+            partitions: 4,
+            partition_capacity: 4096,
+            wal: Some(WalOptions {
+                // Small segments so both daemon lifetimes roll segments.
+                segment_max_bytes: 4096,
+                ..WalOptions::at(dir.clone())
+            }),
+            ..PipelineConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let tenants = || parse_tenants("tenant tenant-a token=ta\ntenant tenant-b token=tb").unwrap();
+    let interleave = |x: &[RawLog], y: &[RawLog]| -> Vec<RawLog> {
+        x.iter()
+            .cloned()
+            .zip(y.iter().cloned())
+            .flat_map(|(a, b)| [a, b])
+            .collect()
+    };
+
+    // First daemon lifetime: each system's prefix, with the drain
+    // (SIGTERM) initiated while both tenants are still mid-stream.
+    let sink1 = MemorySink::new();
+    let daemon = start(
+        config.clone(),
+        tenants(),
+        None,
+        vectorizer(),
+        KeyScorer,
+        sink1.clone(),
+    )
+    .expect("daemon starts in wal mode");
+    let addr = daemon.addr();
+
+    let logs_a = interleave(&sources[0][..split], &sources[2][..split]);
+    let logs_b = interleave(&sources[1][..split], &sources[3][..split]);
+    let mut conn_a = TcpStream::connect(addr).unwrap();
+    let mut conn_b = TcpStream::connect(addr).unwrap();
+    conn_a.write_all(b"HELLO ta\n").unwrap();
+    conn_b.write_all(b"HELLO tb\n").unwrap();
+    let head = 200usize;
+    write_lines(&mut conn_a, &logs_a[..head]);
+    write_lines(&mut conn_b, &logs_b[..head]);
+    // SIGTERM arrives mid-stream; everything already in flight (and
+    // everything both clients flush within the drain budget) must land.
+    daemon.initiate_drain();
+    write_lines(&mut conn_a, &logs_a[head..]);
+    write_lines(&mut conn_b, &logs_b[head..]);
+    for (tenant, mut conn) in [("a", conn_a), ("b", conn_b)] {
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        let last = resp.lines().last().expect("summary frame");
+        assert_eq!(
+            summary_field(last, "accepted"),
+            (2 * split) as u64,
+            "tenant {tenant}: {last}"
+        );
+        assert_eq!(summary_field(last, "shed"), 0, "tenant {tenant}: {last}");
+        assert!(
+            last.contains("\"draining\":true"),
+            "tenant {tenant}: {last}"
+        );
+    }
+    let first = daemon.drain();
+    assert_eq!(first.logs, (4 * split) as u64, "drain lost records");
+    assert_eq!(first.crashed_workers, 0);
+
+    // Second daemon lifetime over the same directory: the detection
+    // workers resume from the per-partition cursors and the tenants
+    // finish their streams.
+    let sink2 = MemorySink::new();
+    let daemon = start(
+        config.clone(),
+        tenants(),
+        None,
+        vectorizer(),
+        KeyScorer,
+        sink2.clone(),
+    )
+    .expect("daemon restarts over the log directory");
+    let addr = daemon.addr();
+    let rest = per_system - split;
+    let tail_a = interleave(&sources[0][split..], &sources[2][split..]);
+    let tail_b = interleave(&sources[1][split..], &sources[3][split..]);
+    for (tenant, token, tail) in [("a", "ta", tail_a), ("b", "tb", tail_b)] {
+        let last = stream_tenant(addr, token, &tail);
+        assert_eq!(
+            summary_field(&last, "accepted"),
+            (2 * rest) as u64,
+            "tenant {tenant}: {last}"
+        );
+    }
+    let second = daemon.drain();
+
+    // Cumulative exactly-once accounting across the restart.
+    assert_eq!(second.logs, (4 * per_system) as u64, "cumulative log count");
+    assert_eq!(second.crashed_workers, 0);
+    assert_eq!(
+        second.pattern_hits
+            + second.cache_hits
+            + second.model_calls
+            + second.degraded
+            + second.shed
+            + second.quarantined,
+        second.windows,
+        "six-bucket accounting must be exact: {second:?}"
+    );
+
+    // One uninterrupted in-process run is the reference.
+    let source: Vec<RawLog> = {
+        let mut merged = Vec::with_capacity(4 * per_system);
+        for i in 0..per_system {
+            for s in &sources {
+                merged.push(s[i].clone());
+            }
+        }
+        merged
+    };
+    let local_sink = MemorySink::new();
+    let local = run_pipeline_with(
+        source,
+        vectorizer(),
+        KeyScorer,
+        local_sink.clone(),
+        PipelineConfig {
+            partitions: 4,
+            partition_capacity: 4096,
+            ..PipelineConfig::default()
+        },
+    );
+    assert!(local.reports > 0, "workload must report: {local:?}");
+    assert_eq!(second.windows, local.windows, "no window lost or doubled");
+    assert_eq!(second.reports, local.reports, "cumulative report count");
+    assert_eq!(
+        second.pattern_hits + second.cache_hits + second.model_calls,
+        local.pattern_hits + local.cache_hits + local.model_calls,
+        "every window verdicts through some tier"
+    );
+
+    // Per-system verdict streams stitch bitwise across the restart.
+    let mut stitched = sink1.reports();
+    stitched.extend(sink2.reports());
+    for system in systems {
+        let got = by_system(stitched.clone(), system);
+        let want = by_system(local_sink.reports(), system);
+        assert_eq!(got.len(), want.len(), "{system}: report count");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g, w, "{system}: wire-to-disk verdict differs");
+            assert_eq!(
+                g.probability.to_bits(),
+                w.probability.to_bits(),
+                "{system}: probability must be bitwise identical"
+            );
+        }
+    }
+
+    // Both lifetimes drained clean: every partition's cursor covers its
+    // whole stream and nothing waits for replay.
+    for p in 0..4usize {
+        let r = logsynergy::wal::recover_partition(&dir.join(format!("p{p}"))).unwrap();
+        assert_eq!(r.cursor.next_seq, per_system as u64, "partition {p}");
+        assert!(r.replay.is_empty(), "partition {p} left unacked records");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A scorer slow enough to build queue depth, for shed-path coverage.
 #[derive(Clone)]
 struct SlowScorer;
@@ -638,6 +885,14 @@ fn watermark_sheds_with_429_style_frames_and_exact_accounting() {
     assert!(
         responses.contains("\"code\":503"),
         "over-watermark records must be answered with shed frames: {}",
+        &responses[..responses.len().min(400)]
+    );
+    // Regression: every 503 backpressure frame names the rejecting
+    // partition (here the only one, 0) so multi-shard clients can tell
+    // which route is saturated.
+    assert!(
+        responses.contains("\"partition\":0"),
+        "503 frames must carry the rejecting partition: {}",
         &responses[..responses.len().min(400)]
     );
     let last = responses.lines().last().unwrap();

@@ -44,6 +44,29 @@ if grep -aq "logsynergy-fault-injected" target/release/logsynergy; then
 fi
 echo "compile-out gate OK: no fault marker in the release binary"
 
+echo "==> WAL fault-point compile-out gate"
+# The durable-transport fault points are named by string constants only
+# referenced from injection sites, so the no-feature release binary must
+# not contain them — and a fault-injection build must (else the gate is
+# vacuous). This proves the WAL hot path carries zero injected code in
+# the binary the throughput numbers are measured on.
+for marker in "wal.append" "wal.roll" "wal.recover"; do
+  if grep -aq "$marker" target/release/logsynergy; then
+    echo "FAIL: WAL fault point '$marker' survives in the no-feature release binary" >&2
+    exit 1
+  fi
+done
+cargo build -q --release -p logsynergy-cli \
+  --features logsynergy/fault-injection,logsynergy-pipeline/fault-injection \
+  --target-dir target/fault-gate
+for marker in "wal.append" "wal.roll" "wal.recover"; do
+  if ! grep -aq "$marker" target/fault-gate/release/logsynergy; then
+    echo "FAIL: fault-injection build lost the '$marker' point (gate is vacuous)" >&2
+    exit 1
+  fi
+done
+echo "compile-out gate OK: wal.append/wal.roll/wal.recover absent by default, present with fault-injection"
+
 echo "==> quant compile-out gate"
 # Same proof for the int8 path: the qgemm marker string is pinned into
 # every binary that links the quantized scorer, so the default release
@@ -175,5 +198,75 @@ assert buckets == pipe["windows"] > 0, out
 print(f"drain summary OK: {pipe['logs']} logs, {pipe['windows']} windows, exact accounting")
 PY
 rm -rf "$smoke_dir"
+
+echo "==> WAL kill-and-recover smoke (serve --wal-dir, SIGKILL, restart)"
+# Durable-transport contract over a real process kill: stream N records
+# into a --wal-dir daemon, SIGKILL it the moment the client has its
+# summary (every accepted record is flush-before-ack durable), restart
+# on the same WAL directory, stream M more, and SIGTERM-drain. The final
+# summary must account for all N+M records exactly once — the cursor
+# counters carry across the crash and the unprocessed suffix replays.
+wal_dir="$(mktemp -d)"
+cat > "$wal_dir/tenants.conf" <<'EOF'
+tenant edge token=edge-secret
+EOF
+stream_wal_lines() { # <addr-file> <start-index> <count>
+  python3 - "$1" "$2" "$3" <<'PY'
+import json, socket, sys
+addr = json.load(open(sys.argv[1]))
+host, port = addr["listen"].rsplit(":", 1)
+start, n = int(sys.argv[2]), int(sys.argv[3])
+s = socket.create_connection((host, int(port)))
+s.sendall(b"HELLO edge-secret\n")
+lines = ['{"system":"wal-sys","timestamp":%d,"message":"wal smoke line %d ok"}'
+         % (i, i) for i in range(start, start + n)]
+s.sendall(("\n".join(lines) + "\n").encode())
+s.shutdown(socket.SHUT_WR)
+resp = b""
+while chunk := s.recv(65536):
+    resp += chunk
+s.close()
+summary = json.loads(resp.decode().strip().splitlines()[-1])
+assert summary["accepted"] == n, summary
+assert summary["rejected"] == summary["shed"] == summary["parse_errors"] == 0, summary
+print(f"streamed [{start}, {start + n}): accepted {n}")
+PY
+}
+start_wal_daemon() { # <addr-file> <summary-file>
+  target/release/logsynergy serve \
+    --tenants-file "$wal_dir/tenants.conf" --listen 127.0.0.1:0 \
+    --wal-dir "$wal_dir/wal" --addr-file "$1" \
+    > "$2" 2> "$wal_dir/serve.log" &
+  serve_pid=$!
+  for _ in $(seq 1 600); do
+    [ -s "$1" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.5
+  done
+  [ -s "$1" ] || { cat "$wal_dir/serve.log" >&2; exit 1; }
+}
+start_wal_daemon "$wal_dir/addr1.json" "$wal_dir/summary1.json"
+stream_wal_lines "$wal_dir/addr1.json" 0 300
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+start_wal_daemon "$wal_dir/addr2.json" "$wal_dir/summary2.json"
+stream_wal_lines "$wal_dir/addr2.json" 300 200
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+python3 - "$wal_dir/summary2.json" <<'PY'
+import json, sys
+out = json.load(open(sys.argv[1]))
+ing, pipe = out["ingest"], out["pipeline"]
+# Ingest counters are per-process (200 this run); pipeline counters are
+# cursor-durable and cumulative across the SIGKILL (all 500 records).
+assert ing["accepted"] == 200, out
+assert pipe["logs"] == 500, out
+buckets = (pipe["pattern_hits"] + pipe["cache_hits"] + pipe["model_calls"]
+           + pipe["degraded"] + pipe["shed"] + pipe["quarantined"])
+assert buckets == pipe["windows"] > 0, out
+assert pipe.get("crashed_workers", 0) == 0, out
+print(f"kill-and-recover OK: 500 logs across a SIGKILL, {pipe['windows']} windows, exact accounting")
+PY
+rm -rf "$wal_dir"
 
 echo "CI OK"
