@@ -695,6 +695,10 @@ pub struct PartitionWal {
     dir: PathBuf,
     config: WalConfig,
     writer: BufWriter<File>,
+    /// True after a failed write/flush: the segment may hold a partial
+    /// frame past `seg_bytes` (or the `BufWriter` retained bytes), so
+    /// the writer must be reseated before the next append.
+    writer_torn: bool,
     seg_bytes: u64,
     seg_records: u64,
     seg_opened: Instant,
@@ -801,6 +805,7 @@ impl PartitionWal {
                 dir: dir.to_path_buf(),
                 config,
                 writer,
+                writer_torn: false,
                 seg_bytes,
                 seg_records,
                 seg_opened: Instant::now(),
@@ -827,8 +832,17 @@ impl PartitionWal {
 
     /// Appends one record, flushing before return. The returned sequence
     /// number is durably on disk when this returns `Ok`.
+    ///
+    /// A failed append (I/O error from the write or flush, e.g. ENOSPC)
+    /// is retryable: the segment is reseated — reopened and truncated to
+    /// the last known-good offset — before the error returns (or, if
+    /// that too fails, on the next append), so a retried append with the
+    /// same sequence number can never land behind a torn partial frame.
     pub fn append(&mut self, system: &str, timestamp: u64, message: &str) -> Result<u64, WalError> {
         wal_fault(points::WAL_APPEND, "WAL append")?;
+        if self.writer_torn {
+            self.reseat_writer()?;
+        }
         let rec = WalRecord {
             seq: self.next_seq,
             system: system.to_string(),
@@ -837,14 +851,58 @@ impl PartitionWal {
         };
         let frame = encode_record(&rec);
         self.maybe_roll(frame.len() as u64)?;
-        self.writer.write_all(&frame)?;
-        self.writer.flush()?;
+        if let Err(e) = self.write_frame(&frame) {
+            self.fail_writer();
+            return Err(e.into());
+        }
         self.seg_bytes += frame.len() as u64;
         self.seg_records += 1;
         self.next_seq += 1;
         self.stats.records.inc();
         self.stats.bytes.add(frame.len() as u64);
         Ok(rec.seq)
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.writer.write_all(frame)?;
+        self.writer.flush()
+    }
+
+    /// Marks the writer torn and tries to reseat it immediately; if the
+    /// reseat itself fails the flag stays set and the next append
+    /// retries it before writing anything.
+    fn fail_writer(&mut self) {
+        self.writer_torn = true;
+        let _ = self.reseat_writer();
+    }
+
+    /// Reopens the live segment and truncates it to the last known-good
+    /// offset (`seg_bytes`), discarding any partial frame a failed
+    /// append left on disk and any bytes the old `BufWriter` retained.
+    fn reseat_writer(&mut self) -> Result<(), WalError> {
+        let base = *self.segments.last().expect("an open segment always exists");
+        let mut f = OpenOptions::new()
+            .write(true)
+            .open(segment_path(&self.dir, base))?;
+        f.set_len(self.seg_bytes)?;
+        f.seek(SeekFrom::Start(self.seg_bytes))?;
+        // `into_parts` discards the old writer's retained bytes without
+        // the flush-on-drop a plain replacement would trigger — that
+        // flush could re-write the torn bytes behind the truncation.
+        let old = std::mem::replace(&mut self.writer, BufWriter::new(f));
+        let _ = old.into_parts();
+        self.writer_torn = false;
+        Ok(())
+    }
+
+    /// Test-only: a failed append's aftermath — junk bytes past the
+    /// last good frame and a torn writer, as a short write under
+    /// ENOSPC/EIO would leave them.
+    #[cfg(test)]
+    fn simulate_torn_append(&mut self, junk: &[u8]) {
+        self.writer.write_all(junk).unwrap();
+        self.writer.flush().unwrap();
+        self.writer_torn = true;
     }
 
     fn maybe_roll(&mut self, incoming: u64) -> Result<(), WalError> {
@@ -863,7 +921,10 @@ impl PartitionWal {
     /// next sequence number, then retires fully-acked history.
     fn roll(&mut self) -> Result<(), WalError> {
         wal_fault(points::WAL_ROLL, "WAL segment roll")?;
-        self.writer.flush()?;
+        if let Err(e) = self.writer.flush() {
+            self.fail_writer();
+            return Err(e.into());
+        }
         let base = self.next_seq;
         let path = segment_path(&self.dir, base);
         let mut f = File::create(&path)?;
@@ -924,18 +985,29 @@ pub struct CursorFile {
 
 impl CursorFile {
     /// Opens (creating if absent) the cursor log in `dir`, truncating
-    /// any torn tail so appends extend a valid prefix.
+    /// any torn tail so appends extend a valid prefix. A file whose
+    /// header never made it to disk intact is recreated from scratch.
     pub fn open(dir: &Path) -> Result<Self, WalError> {
         fs::create_dir_all(dir)?;
         let path = cursor_path(dir);
         let valid_len = match fs::read(&path) {
             Ok(bytes) => {
                 let scan = scan_file(&bytes, CURSOR_MAGIC, KIND_CURSOR);
-                if scan.tail_error.is_some() && scan.valid_len < bytes.len() as u64 {
-                    let f = OpenOptions::new().write(true).open(&path)?;
-                    f.set_len(scan.valid_len.max(8))?;
+                if scan.valid_len < 8 {
+                    // Empty, short, or garbage header (a kill between
+                    // `File::create` and the magic write, or corrupted
+                    // first bytes): recreate the file with a fresh magic.
+                    // Appending behind invalid header bytes would make
+                    // every future recovery see `BadMagic` and ignore
+                    // all committed cursors forever.
+                    None
+                } else {
+                    if scan.tail_error.is_some() && scan.valid_len < bytes.len() as u64 {
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(scan.valid_len)?;
+                    }
+                    Some(scan.valid_len)
                 }
-                Some(scan.valid_len.max(8))
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
@@ -1184,6 +1256,81 @@ mod tests {
         assert!(r.tail_error.is_none());
         assert_eq!(r.replay.len(), 10);
         assert_eq!(r.replay[9].message, "after recovery");
+    }
+
+    #[test]
+    fn failed_append_reseats_the_segment_before_retry() {
+        let dir = tmp_dir("reseat");
+        let (mut wal, _) = PartitionWal::open(&dir, WalConfig::default()).unwrap();
+        for i in 0..3 {
+            wal.append("s", i, &format!("m{i}")).unwrap();
+        }
+        // A failed append leaves half a frame on disk and the writer
+        // torn; the retried append (same seq) must land behind the last
+        // good frame, not behind the junk.
+        wal.simulate_torn_append(&[7, 0, 0, 0, 0xde, 0xad]);
+        let seq = wal.append("s", 3, "after failure").unwrap();
+        assert_eq!(seq, 3);
+        drop(wal);
+        let r = recover_partition(&dir).unwrap();
+        assert!(
+            r.tail_error.is_none(),
+            "torn bytes must not survive the reseat: {:?}",
+            r.tail_error
+        );
+        assert_eq!(r.replay.len(), 4);
+        assert_eq!(r.replay[3].seq, 3);
+        assert_eq!(r.replay[3].message, "after failure");
+    }
+
+    #[test]
+    fn cursor_open_recreates_empty_short_or_garbage_header() {
+        // SIGKILL between File::create and the magic write: empty file.
+        let dir = tmp_dir("cursor-empty");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(cursor_path(&dir), b"").unwrap();
+        let mut cf = CursorFile::open(&dir).unwrap();
+        cf.commit(&CursorState {
+            next_seq: 3,
+            ..CursorState::default()
+        })
+        .unwrap();
+        let r = recover_partition(&dir).unwrap();
+        assert_eq!(r.cursor.next_seq, 3, "commit readable behind fresh magic");
+
+        // Short header: fewer than 8 bytes ever hit disk.
+        let dir = tmp_dir("cursor-short");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(cursor_path(&dir), b"LSW").unwrap();
+        let mut cf = CursorFile::open(&dir).unwrap();
+        cf.commit(&CursorState {
+            next_seq: 5,
+            ..CursorState::default()
+        })
+        .unwrap();
+        assert_eq!(recover_partition(&dir).unwrap().cursor.next_seq, 5);
+
+        // Corrupted magic with well-formed frames behind it: nothing
+        // after a bad header is trustworthy — recreate, don't append.
+        let dir = tmp_dir("cursor-badmagic");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = b"XXXXXXXX".to_vec();
+        bytes.extend_from_slice(&encode_cursor(&CursorState {
+            next_seq: 9,
+            ..CursorState::default()
+        }));
+        fs::write(cursor_path(&dir), &bytes).unwrap();
+        let mut cf = CursorFile::open(&dir).unwrap();
+        cf.commit(&CursorState {
+            next_seq: 4,
+            ..CursorState::default()
+        })
+        .unwrap();
+        let r = recover_partition(&dir).unwrap();
+        assert_eq!(
+            r.cursor.next_seq, 4,
+            "stale frames behind bad magic dropped"
+        );
     }
 
     #[test]

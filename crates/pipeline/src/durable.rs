@@ -146,6 +146,33 @@ impl DurableProducer {
     /// parked in the log and will be replayed on the next start.
     pub fn send_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
         let mut wal = self.parts[partition].lock();
+        self.append_and_enqueue(&mut wal, partition, log)
+    }
+
+    /// Durable send with a backpressure check *before* the append: a
+    /// partition already holding `partition_capacity` queued records
+    /// refuses with [`PipelineError::BufferFull`] (the record untouched,
+    /// free to shed), because once appended a record is acked-durable
+    /// and can no longer be refused.
+    ///
+    /// The depth check happens under the partition lock — every durable
+    /// enqueue holds it, so concurrent offers serialize on the check and
+    /// cannot all pass the watermark and then stack up blocking on a
+    /// full shard (workers draining concurrently only free space).
+    pub fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+        let mut wal = self.parts[partition].lock();
+        if self.inner.depth(partition) >= self.capacity as u64 {
+            return Err((log, PipelineError::BufferFull { partition }));
+        }
+        self.append_and_enqueue(&mut wal, partition, log)
+    }
+
+    fn append_and_enqueue(
+        &self,
+        wal: &mut PartitionWal,
+        partition: usize,
+        log: RawLog,
+    ) -> Result<(), (RawLog, PipelineError)> {
         if wal
             .append(&log.system, log.timestamp, &log.message)
             .is_err()
@@ -158,18 +185,6 @@ impl DurableProducer {
         // buffer parks the record for replay instead of failing the ack.
         let _ = self.inner.send_to(partition, log);
         Ok(())
-    }
-
-    /// Durable send with a backpressure check *before* the append: a
-    /// partition already holding `partition_capacity` queued records
-    /// refuses with [`PipelineError::BufferFull`] (the record untouched,
-    /// free to shed), because once appended a record is acked-durable
-    /// and can no longer be refused.
-    pub fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
-        if self.inner.depth(partition) >= self.capacity as u64 {
-            return Err((log, PipelineError::BufferFull { partition }));
-        }
-        self.send_to(partition, log)
     }
 }
 

@@ -137,10 +137,13 @@ pub struct PipelineSummary {
     pub retries: u64,
     /// Worker batch attempts that panicked and were restarted.
     pub worker_restarts: u64,
-    /// Workers that died outright (a panic outside every isolation
-    /// layer, e.g. an injected cursor-commit crash). Their partition's
-    /// accounting is whatever they last committed; in durable mode the
-    /// write-ahead log replays the rest on the next start.
+    /// Durable-mode workers that died outright (a panic outside every
+    /// isolation layer, e.g. an injected cursor-commit crash). Their
+    /// partition's accounting is whatever they last committed; the
+    /// write-ahead log replays the rest on the next start. In-memory
+    /// pools have no log to replay from, so a worker death there
+    /// propagates out of [`DetectionPool::join`] instead of being
+    /// counted here.
     pub crashed_workers: u64,
     /// The dead-letter queue: one record per quarantined window.
     pub dead_letters: Vec<DeadLetter>,
@@ -190,6 +193,10 @@ fn restart_backoff(base: Duration, attempt: u64) -> Duration {
 pub struct DetectionPool {
     workers: Vec<thread::JoinHandle<WorkerStats>>,
     start: Instant,
+    /// Whether the pool was spawned with a write-ahead log behind it. A
+    /// dead durable worker's partition is parked in the log and replayed
+    /// on the next start; a dead in-memory worker's partition is gone.
+    durable: bool,
 }
 
 impl DetectionPool {
@@ -253,6 +260,7 @@ impl DetectionPool {
     {
         assert!(config.partitions > 0 && config.batch_windows > 0);
         assert_eq!(buffer.partitions(), config.partitions);
+        let durable = inits.iter().any(|i| i.is_some());
         // Composable parallelism: split the kernel-thread budget evenly over
         // the detection workers, so N workers × M kernel threads never exceeds
         // the budget. The override is per-thread, so it composes with nested
@@ -284,7 +292,11 @@ impl DetectionPool {
                 )
             })
             .collect();
-        DetectionPool { workers, start }
+        DetectionPool {
+            workers,
+            start,
+            durable,
+        }
     }
 
     /// Waits for every worker to hit end-of-stream and folds their stats
@@ -304,16 +316,19 @@ impl DetectionPool {
         let mut reports = 0u64;
         let mut new_templates = 0usize;
         for worker in self.workers {
-            // A worker that dies outside every isolation layer (an
-            // injected cursor-commit crash, a kill test) folds in as
+            // A durable worker that dies outside every isolation layer
+            // (an injected cursor-commit crash, a kill test) folds in as
             // zero: its partition's truth is whatever it last committed,
-            // and in durable mode the next start replays the rest.
+            // and the next start replays the rest from the log. An
+            // in-memory worker has no log to replay from — a death there
+            // is silent data loss, so it stays a loud panic.
             let s = match worker.join() {
                 Ok(s) => s,
-                Err(_) => {
+                Err(_) if self.durable => {
                     crashed_workers += 1;
                     continue;
                 }
+                Err(e) => std::panic::resume_unwind(e),
             };
             logs += s.logs;
             pattern_hits += s.pattern_hits;
