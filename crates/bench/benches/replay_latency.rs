@@ -1,9 +1,18 @@
-//! Replay-latency harness for the durable (`--wal-dir`) ingest path:
-//! replays a recorded stream through the write-ahead-logged pipeline on
-//! a deterministic schedule (`logsynergy_loggen::replay`) at several
-//! speed multipliers, and publishes the producer-side ingest latency
-//! (append + flush + enqueue, i.e. the cost of the durability
-//! acknowledgement) as p50/p95/p99 against the offered load.
+//! Replay-latency harness for the ingest path: replays a recorded
+//! stream through the pipeline on a deterministic schedule
+//! (`logsynergy_loggen::replay`) at several speed multipliers, and
+//! publishes the producer-side ingest latency as p50/p95/p99 against
+//! the offered load.
+//!
+//! Three modes per (shape, speed) point:
+//!
+//! - `in_memory` — plain buffer sends, no durability ack to pay.
+//! - `durable` batch 1 — the write-ahead-logged path with one
+//!   `write(2)`+flush per record (append + flush + enqueue: the cost of
+//!   the per-record durability acknowledgement).
+//! - `durable` batch 64 — the group-commit path: records accumulate
+//!   into micro-batches and the whole batch is acknowledged by one
+//!   flush, so a record's ack latency is its batch's flush time.
 //!
 //! Results land in `results/replay_latency.json`.
 
@@ -12,6 +21,8 @@ use std::time::{Duration, Instant};
 use logsynergy_bench::{quick_mode, write_result};
 use logsynergy_lei::LeiConfig;
 use logsynergy_loggen::{ReplaySchedule, ReplayShape, SystemId};
+use logsynergy_pipeline::buffer::LogBuffer;
+use logsynergy_pipeline::service::DetectionPool;
 use logsynergy_pipeline::{
     start_durable, DurablePipeline, EventVectorizer, MemorySink, PipelineConfig, RawLog,
     SequenceScorer, WalOptions,
@@ -64,6 +75,8 @@ fn stream(n: usize) -> Vec<RawLog> {
 #[derive(Serialize)]
 struct ReplayPoint {
     shape: String,
+    mode: String,
+    batch: usize,
     speed: u32,
     offered_logs_per_sec: f64,
     logs: u64,
@@ -82,9 +95,95 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
-fn run(source: &[RawLog], schedule: ReplaySchedule, speed: u32) -> ReplayPoint {
+/// Spin-sleeps until `due` past `started`: sleep the bulk, spin the
+/// last stretch for offset fidelity.
+fn pace(started: Instant, due: Duration) {
+    loop {
+        let elapsed = started.elapsed();
+        if elapsed >= due {
+            return;
+        }
+        let left = due - elapsed;
+        if left > Duration::from_micros(200) {
+            std::thread::sleep(left - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn point(
+    schedule: ReplaySchedule,
+    speed: u32,
+    mode: &str,
+    batch: usize,
+    logs: u64,
+    mut lat: Vec<u64>,
+    drained: Duration,
+) -> ReplayPoint {
+    lat.sort_unstable();
+    ReplayPoint {
+        shape: schedule.shape.name().into(),
+        mode: mode.into(),
+        batch,
+        speed,
+        offered_logs_per_sec: schedule.offered_per_sec(speed),
+        logs,
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+        max_us: *lat.last().unwrap_or(&0),
+        drain_ms: drained.as_millis() as u64,
+    }
+}
+
+/// The in-memory comparison run: the same schedule through a plain
+/// buffer, measuring the enqueue-only ack.
+fn run_in_memory(source: &[RawLog], schedule: ReplaySchedule, speed: u32) -> ReplayPoint {
+    let config = PipelineConfig {
+        partitions: 1,
+        ..PipelineConfig::default()
+    };
+    let buffer = LogBuffer::new(config.partitions, config.partition_capacity);
+    let pool = DetectionPool::spawn(
+        &buffer,
+        vectorizer(),
+        TableScorer,
+        MemorySink::new(),
+        &config,
+    );
+    let producer = buffer.producer();
+    drop(buffer);
+
+    let feed: Vec<RawLog> = source.to_vec();
+    let mut lat: Vec<u64> = Vec::with_capacity(source.len());
+    let started = Instant::now();
+    for (i, log) in feed.into_iter().enumerate() {
+        pace(started, schedule.offset(i, speed));
+        let t0 = Instant::now();
+        producer.send_to(0, log).expect("in-memory send must land");
+        lat.push(t0.elapsed().as_micros() as u64);
+    }
+    let fed = started.elapsed();
+    drop(producer);
+    let summary = pool.join();
+    let drained = started.elapsed() - fed;
+    assert_eq!(summary.logs, source.len() as u64, "replay lost records");
+    point(schedule, speed, "in_memory", 1, summary.logs, lat, drained)
+}
+
+/// The durable (`--wal-dir`) run at a given group-commit size. Batch 1
+/// is the per-record-flush path; larger batches accumulate chunks and
+/// acknowledge each record at its batch's flush (a batch can flush once
+/// its last record has arrived, so pacing targets the chunk tail).
+fn run_durable(
+    source: &[RawLog],
+    schedule: ReplaySchedule,
+    speed: u32,
+    batch: usize,
+) -> ReplayPoint {
     let dir = std::env::temp_dir().join(format!(
-        "lswal-replay-{}-{}-{speed}",
+        "lswal-replay-{}-{speed}-{batch}-{}",
         schedule.shape.name(),
         std::process::id()
     ));
@@ -101,29 +200,35 @@ fn run(source: &[RawLog], schedule: ReplaySchedule, speed: u32) -> ReplayPoint {
     let durable = start_durable(vectorizer(), TableScorer, MemorySink::new(), &config)
         .expect("fresh log directory must open");
 
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(source.len());
+    // The feed (and its chunking) is built before the clock starts —
+    // the measurement is the ack path, not the allocator.
+    let chunks: Vec<Vec<RawLog>> = source.chunks(batch).map(|c| c.to_vec()).collect();
+    let mut lat: Vec<u64> = Vec::with_capacity(source.len());
+    let mut arrived = 0usize;
     let started = Instant::now();
-    for (i, log) in source.iter().enumerate() {
-        let due = schedule.offset(i, speed);
-        loop {
-            let elapsed = started.elapsed();
-            if elapsed >= due {
-                break;
-            }
-            // Sleep the bulk, spin the last stretch for offset fidelity.
-            let left = due - elapsed;
-            if left > Duration::from_micros(200) {
-                std::thread::sleep(left - Duration::from_micros(100));
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+    for chunk in chunks {
+        arrived += chunk.len();
+        // A batch can flush once its last record has arrived.
+        pace(started, schedule.offset(arrived - 1, speed));
+        let n = chunk.len();
         let t0 = Instant::now();
-        durable
-            .producer
-            .send(log.clone())
-            .expect("unfaulted send must land");
-        latencies_us.push(t0.elapsed().as_micros() as u64);
+        if batch == 1 {
+            let log = chunk.into_iter().next().expect("non-empty chunk");
+            durable
+                .producer
+                .send(log)
+                .expect("unfaulted send must land");
+        } else {
+            let sent = durable
+                .producer
+                .send_batch(0, chunk)
+                .expect("unfaulted batch must land");
+            assert_eq!(sent, n);
+        }
+        let us = t0.elapsed().as_micros() as u64;
+        for _ in 0..n {
+            lat.push(us);
+        }
     }
     let fed = started.elapsed();
     let DurablePipeline { pool, producer, .. } = durable;
@@ -131,21 +236,16 @@ fn run(source: &[RawLog], schedule: ReplaySchedule, speed: u32) -> ReplayPoint {
     let summary = pool.join();
     let drained = started.elapsed() - fed;
     assert_eq!(summary.logs, source.len() as u64, "replay lost records");
-
-    latencies_us.sort_unstable();
-    let point = ReplayPoint {
-        shape: schedule.shape.name().into(),
-        speed,
-        offered_logs_per_sec: schedule.offered_per_sec(speed),
-        logs: summary.logs,
-        p50_us: percentile(&latencies_us, 0.50),
-        p95_us: percentile(&latencies_us, 0.95),
-        p99_us: percentile(&latencies_us, 0.99),
-        max_us: *latencies_us.last().unwrap_or(&0),
-        drain_ms: drained.as_millis() as u64,
-    };
     let _ = std::fs::remove_dir_all(&dir);
-    point
+    point(
+        schedule,
+        speed,
+        "durable",
+        batch,
+        summary.logs,
+        lat,
+        drained,
+    )
 }
 
 fn main() {
@@ -160,10 +260,10 @@ fn main() {
     ];
     let speeds = [1u32, 4, 16];
 
-    println!("== durable ingest latency vs offered replay load ==");
+    println!("== ingest latency vs offered replay load ==");
     println!(
-        "{:<8} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9}",
-        "shape", "speed", "offered/s", "p50 µs", "p95 µs", "p99 µs", "max µs"
+        "{:<8} {:<10} {:>5} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "shape", "mode", "batch", "speed", "offered/s", "p50 µs", "p95 µs", "p99 µs", "max µs"
     );
     let mut points = Vec::new();
     for shape in shapes {
@@ -172,12 +272,25 @@ fn main() {
             mean_interarrival: mean,
         };
         for speed in speeds {
-            let p = run(&source, schedule, speed);
-            println!(
-                "{:<8} {:>5}x {:>12.0} {:>9} {:>9} {:>9} {:>9}",
-                p.shape, p.speed, p.offered_logs_per_sec, p.p50_us, p.p95_us, p.p99_us, p.max_us
-            );
-            points.push(p);
+            for (mode, batch) in [("in_memory", 1usize), ("durable", 1), ("durable", 64)] {
+                let p = match mode {
+                    "in_memory" => run_in_memory(&source, schedule, speed),
+                    _ => run_durable(&source, schedule, speed, batch),
+                };
+                println!(
+                    "{:<8} {:<10} {:>5} {:>5}x {:>12.0} {:>9} {:>9} {:>9} {:>9}",
+                    p.shape,
+                    p.mode,
+                    p.batch,
+                    p.speed,
+                    p.offered_logs_per_sec,
+                    p.p50_us,
+                    p.p95_us,
+                    p.p99_us,
+                    p.max_us
+                );
+                points.push(p);
+            }
         }
     }
     write_result("replay_latency", &points);

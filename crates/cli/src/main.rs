@@ -90,6 +90,12 @@ commands:
                 --wal-dir <p>       durable mode: log every accepted record
                                     before acknowledging it and replay
                                     unacked records on restart (docs/wal.md)
+                --ingest-batch <n>  records a handler group-commits per
+                                    partition flush; 1 = per-record
+                                    (default 64)
+                --ingest-batch-deadline-ms <n> longest a record waits in a
+                                    handler micro-batch before a forced
+                                    flush (default 2)
                 --addr-file <p>     write the bound addresses as JSON once
                                     the daemon is ready
                 --metrics-out <p>   write a JSON telemetry snapshot when done
@@ -438,9 +444,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         EventVectorizer::new(target, p.model_config.embed_dim, LeiConfig::default());
     vectorizer.warm_start(history.records.iter().map(|r| r.message.as_str()));
 
+    let defaults = logsynergy_serve::ServeConfig::default();
     let serve_config = logsynergy_serve::ServeConfig {
         listen: a.get_or("listen", "127.0.0.1:4517").to_string(),
         drain_timeout: std::time::Duration::from_secs(a.num("drain-timeout", 5u64)?),
+        ingest_batch: a.num("ingest-batch", defaults.ingest_batch)?,
+        ingest_batch_deadline: std::time::Duration::from_millis(a.num(
+            "ingest-batch-deadline-ms",
+            defaults.ingest_batch_deadline.as_millis() as u64,
+        )?),
         pipeline: PipelineConfig {
             partitions: a.num("workers", PipelineConfig::default().partitions)?,
             batch_windows: a.num("batch", PipelineConfig::default().batch_windows)?,

@@ -188,6 +188,154 @@ proptest! {
         }
     }
 
+    /// Group commit is an I/O optimisation, not a format change: the
+    /// same records pushed through `append_batch` in arbitrary chunks
+    /// leave byte-identical segments (and rolls at identical points) to
+    /// N single `append` calls.
+    #[test]
+    fn append_batch_is_frame_for_frame_identical_to_single_appends(
+        records in proptest::collection::vec(record_strategy(), 1..40),
+        splits in proptest::collection::vec(1usize..9, 1..12),
+        seg_bytes in prop_oneof![Just(256u64), Just(300), Just(1024), Just(64 * 1024)],
+    ) {
+        let dir_single = write_corpus(&records, seg_bytes);
+
+        let dir_batch = scratch();
+        let cfg = WalConfig { segment_max_bytes: seg_bytes, ..WalConfig::default() };
+        let (mut wal, _) = PartitionWal::open(&dir_batch, cfg).unwrap();
+        let entries: Vec<(&str, u64, &str)> = records
+            .iter()
+            .map(|(s, t, m)| (s.as_str(), *t, m.as_str()))
+            .collect();
+        let mut off = 0usize;
+        let mut si = 0usize;
+        while off < entries.len() {
+            let take = splits[si % splits.len()].min(entries.len() - off);
+            si += 1;
+            let range = wal.append_batch(&entries[off..off + take]).unwrap();
+            prop_assert_eq!(range, off as u64..(off + take) as u64);
+            off += take;
+        }
+        drop(wal);
+
+        let listing = |d: &PathBuf| -> Vec<(String, Vec<u8>)> {
+            let mut v: Vec<_> = fs::read_dir(d)
+                .unwrap()
+                .map(|e| {
+                    let p = e.unwrap().path();
+                    let name = p.file_name().unwrap().to_str().unwrap().to_string();
+                    (name, fs::read(&p).unwrap())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let single = listing(&dir_single);
+        let batched = listing(&dir_batch);
+        prop_assert_eq!(single.len(), batched.len(), "same segment roll points");
+        for ((sn, sb), (bn, bb)) in single.iter().zip(batched.iter()) {
+            prop_assert_eq!(sn, bn, "same file names");
+            prop_assert_eq!(sb, bb, "file {} must be byte-identical", sn);
+        }
+        cleanup(&dir_single);
+        cleanup(&dir_batch);
+    }
+
+    /// A crash landing mid-batch-append leaves an arbitrary byte prefix
+    /// of the batch on disk (the acked history before it is durable and
+    /// committed). Recovery truncates to the last whole frame, replays
+    /// exactly the unacked suffix that survived, and the retried
+    /// remainder lands contiguously after it.
+    #[test]
+    fn mid_batch_tear_recovers_prefix_and_replays_unacked_suffix(
+        acked in proptest::collection::vec(record_strategy(), 1..12),
+        batch in proptest::collection::vec(record_strategy(), 2..20),
+        cut in any::<usize>(),
+    ) {
+        let dir = scratch();
+        let cfg = WalConfig { segment_max_bytes: 64 * 1024, ..WalConfig::default() };
+        let (mut wal, _) = PartitionWal::open(&dir, cfg.clone()).unwrap();
+
+        // Durable, acknowledged history: fully flushed and committed.
+        let head: Vec<(&str, u64, &str)> = acked
+            .iter()
+            .map(|(s, t, m)| (s.as_str(), *t, m.as_str()))
+            .collect();
+        wal.append_batch(&head).unwrap();
+        drop(wal);
+        let committed = acked.len() as u64;
+        {
+            let mut cf = CursorFile::open(&dir).unwrap();
+            cf.commit(&CursorState { next_seq: committed, ..CursorState::default() }).unwrap();
+        }
+        let seg = {
+            let mut segs: Vec<_> = fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| {
+                    let p = e.unwrap().path();
+                    p.file_name()?.to_str()?.starts_with("seg-").then_some(p)
+                })
+                .collect();
+            segs.sort();
+            prop_assert_eq!(segs.len(), 1, "64 KiB segments must not roll here");
+            segs.pop().unwrap()
+        };
+        let acked_bytes = fs::read(&seg).unwrap().len();
+
+        // The doomed batch: appended, then torn at an arbitrary point
+        // inside its byte range — as a kill mid-group-commit leaves it.
+        let (mut wal, _) = PartitionWal::open(&dir, cfg.clone()).unwrap();
+        let tail: Vec<(&str, u64, &str)> = batch
+            .iter()
+            .map(|(s, t, m)| (s.as_str(), *t, m.as_str()))
+            .collect();
+        let range = wal.append_batch(&tail).unwrap();
+        prop_assert_eq!(range, committed..committed + batch.len() as u64);
+        drop(wal);
+        let full_bytes = fs::read(&seg).unwrap().len();
+        let keep = acked_bytes + cut % (full_bytes - acked_bytes + 1);
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(keep as u64).unwrap();
+        drop(f);
+
+        // Recovery: the acked history is intact context, the replay is
+        // exactly the surviving whole-frame prefix of the unacked batch.
+        let r = recover_partition(&dir).unwrap();
+        prop_assert_eq!(r.cursor.next_seq, committed);
+        let survived = r.replay.len();
+        prop_assert!(survived <= batch.len());
+        for (i, rec) in r.replay.iter().enumerate() {
+            prop_assert_eq!(rec.seq, committed + i as u64, "contiguous replay");
+            prop_assert_eq!(&rec.system, &batch[i].0);
+            prop_assert_eq!(rec.timestamp, batch[i].1);
+            prop_assert_eq!(&rec.message, &batch[i].2);
+        }
+        if keep == full_bytes {
+            prop_assert_eq!(survived, batch.len(), "untorn batch must fully replay");
+        }
+
+        // Reseat + retry: the lost suffix re-appends with the sequence
+        // numbers it is re-assigned, directly after the surviving frames.
+        let (mut wal, r1) = PartitionWal::open(&dir, cfg).unwrap();
+        prop_assert_eq!(r1.next_seq, committed + survived as u64);
+        let retry: Vec<(&str, u64, &str)> = batch[survived..]
+            .iter()
+            .map(|(s, t, m)| (s.as_str(), *t, m.as_str()))
+            .collect();
+        let range = wal.append_batch(&retry).unwrap();
+        prop_assert_eq!(range, committed + survived as u64..committed + batch.len() as u64);
+        drop(wal);
+
+        let r2 = recover_partition(&dir).unwrap();
+        prop_assert!(r2.tail_error.is_none(), "retry must heal the log: {:?}", r2.tail_error);
+        prop_assert_eq!(r2.replay.len(), batch.len(), "exactly the unacked records replay");
+        for (i, rec) in r2.replay.iter().enumerate() {
+            prop_assert_eq!(rec.seq, committed + i as u64);
+            prop_assert_eq!(&rec.message, &batch[i].2);
+        }
+        cleanup(&dir);
+    }
+
     /// Reopening after arbitrary truncation keeps the WAL appendable:
     /// new records land contiguously after the surviving prefix, and the
     /// committed cursor still splits context/replay correctly.

@@ -201,6 +201,41 @@ impl Producer {
         Ok(())
     }
 
+    /// Blocking [`Producer::send_to`] for a whole batch — the
+    /// group-commit enqueue path. The channel still takes one send per
+    /// record, but the depth counter and the stats lock are touched
+    /// once per batch instead of once per record. On a closed shard the
+    /// unsent suffix is handed back (records already enqueued are
+    /// accounted).
+    pub fn send_many_to(
+        &self,
+        partition: usize,
+        logs: Vec<RawLog>,
+    ) -> Result<(), (Vec<RawLog>, PipelineError)> {
+        let mut sent = 0i64;
+        let mut it = logs.into_iter();
+        let mut closed = None;
+        for log in it.by_ref() {
+            match self.senders[partition].send(log) {
+                Ok(()) => sent += 1,
+                Err(e) => {
+                    let mut rest = vec![e.0];
+                    rest.extend(it);
+                    closed = Some(rest);
+                    break;
+                }
+            }
+        }
+        if sent > 0 {
+            self.depths[partition].fetch_add(sent, Ordering::Relaxed);
+            self.stats.lock().enqueued += sent as u64;
+        }
+        match closed {
+            Some(rest) => Err((rest, PipelineError::BufferClosed { partition })),
+            None => Ok(()),
+        }
+    }
+
     /// Non-blocking send: enqueues immediately or hands the record back
     /// with the rejecting partition ([`PipelineError::BufferFull`] under
     /// backpressure, [`PipelineError::BufferClosed`] when the consumer is

@@ -167,6 +167,98 @@ impl DurableProducer {
         self.append_and_enqueue(&mut wal, partition, log)
     }
 
+    /// Durable blocking group commit: the whole batch is appended with
+    /// one [`PartitionWal::append_batch`] (one write+flush per segment
+    /// touched, not one per record) and enqueued, all under a single
+    /// partition-lock acquisition. Returns the number of records made
+    /// durable — the full batch on `Ok`.
+    ///
+    /// On a mid-batch append failure the durably-flushed prefix is
+    /// *still enqueued* (WAL order must equal buffer order — workers
+    /// assign sequence numbers by arrival, so skipping a durable record
+    /// would desynchronize every seq after it) and the unwritten suffix
+    /// is handed back with a retryable
+    /// [`PipelineError::WalAppend`] — retrying it re-assigns the same
+    /// sequence numbers. As with [`DurableProducer::send_to`], a closed
+    /// buffer after a successful append is `Ok`: the records are parked
+    /// in the log and replayed on the next start.
+    pub fn send_batch(
+        &self,
+        partition: usize,
+        logs: Vec<RawLog>,
+    ) -> Result<usize, (Vec<RawLog>, PipelineError)> {
+        if logs.is_empty() {
+            return Ok(0);
+        }
+        let mut wal = self.parts[partition].lock();
+        self.append_and_enqueue_batch(&mut wal, partition, logs)
+    }
+
+    /// [`DurableProducer::send_batch`] with the backpressure check of
+    /// [`DurableProducer::offer_to`], still under one lock acquisition:
+    /// the queue depth is read while holding the partition lock (every
+    /// durable enqueue holds it, so concurrent offers serialize on the
+    /// check), and only the records that fit under
+    /// `partition_capacity` are appended — a refused record was never
+    /// made durable and is free to shed. `Err` hands back the untouched
+    /// suffix: on [`PipelineError::BufferFull`] the accepted prefix
+    /// (`batch_len - suffix_len`) is durable and enqueued; on
+    /// [`PipelineError::WalAppend`] likewise, with the suffix free to
+    /// retry.
+    pub fn offer_batch(
+        &self,
+        partition: usize,
+        mut logs: Vec<RawLog>,
+    ) -> Result<usize, (Vec<RawLog>, PipelineError)> {
+        if logs.is_empty() {
+            return Ok(0);
+        }
+        let mut wal = self.parts[partition].lock();
+        let depth = self.inner.depth(partition);
+        let room = (self.capacity as u64).saturating_sub(depth) as usize;
+        if room == 0 {
+            return Err((logs, PipelineError::BufferFull { partition }));
+        }
+        if room >= logs.len() {
+            return self.append_and_enqueue_batch(&mut wal, partition, logs);
+        }
+        let overflow = logs.split_off(room);
+        match self.append_and_enqueue_batch(&mut wal, partition, logs) {
+            Ok(_) => Err((overflow, PipelineError::BufferFull { partition })),
+            Err((mut unappended, e)) => {
+                unappended.extend(overflow);
+                Err((unappended, e))
+            }
+        }
+    }
+
+    fn append_and_enqueue_batch(
+        &self,
+        wal: &mut PartitionWal,
+        partition: usize,
+        mut logs: Vec<RawLog>,
+    ) -> Result<usize, (Vec<RawLog>, PipelineError)> {
+        let entries: Vec<(&str, u64, &str)> = logs
+            .iter()
+            .map(|l| (l.system.as_str(), l.timestamp, l.message.as_str()))
+            .collect();
+        let start = wal.next_seq();
+        let failed = wal.append_batch(&entries).is_err();
+        // On failure the WAL advanced `next_seq` only past the chunks it
+        // durably flushed; that prefix must be enqueued regardless.
+        let landed = (wal.next_seq() - start) as usize;
+        drop(entries);
+        let suffix = logs.split_off(landed);
+        // A closed buffer is fine: the records are durable — parked in
+        // the log for replay on the next start — and the ack is the WAL.
+        let _ = self.inner.send_many_to(partition, logs);
+        if failed {
+            Err((suffix, PipelineError::WalAppend { partition }))
+        } else {
+            Ok(landed)
+        }
+    }
+
     fn append_and_enqueue(
         &self,
         wal: &mut PartitionWal,
@@ -386,6 +478,83 @@ mod tests {
         drop(producer);
         let r = recover_partition(&dir.join("p0")).unwrap();
         assert_eq!(r.replay.len(), 2, "the refused record was never appended");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn send_batch_preserves_buffer_order_and_durability() {
+        let dir = scratch("sendbatch");
+        std::fs::create_dir_all(dir.join("p0")).unwrap();
+        let (wal, _) = PartitionWal::open(&dir.join("p0"), WalConfig::default()).unwrap();
+        let buffer = LogBuffer::new(1, 64);
+        let producer = DurableProducer {
+            inner: buffer.producer(),
+            parts: Arc::new(vec![Mutex::new(wal)]),
+            capacity: 64,
+        };
+        let mut consumer = buffer.partition_consumer(0);
+        drop(buffer);
+        let logs: Vec<RawLog> = (0..10)
+            .map(|i| RawLog {
+                system: "web".into(),
+                timestamp: i,
+                message: format!("m{i}"),
+            })
+            .collect();
+        assert_eq!(producer.send_batch(0, logs).unwrap(), 10);
+        let got = consumer
+            .recv_batch(32, Duration::from_millis(50))
+            .expect("batch must be enqueued");
+        assert_eq!(got.len(), 10);
+        for (i, log) in got.iter().enumerate() {
+            assert_eq!(log.timestamp, i as u64, "buffer order == batch order");
+        }
+        drop(consumer);
+        drop(producer);
+        let r = recover_partition(&dir.join("p0")).unwrap();
+        assert_eq!(r.replay.len(), 10, "every record in the batch is durable");
+        for (i, rec) in r.replay.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64, "WAL order == batch order");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offer_batch_accepts_the_fitting_prefix_and_returns_the_rest() {
+        let dir = scratch("offerbatch");
+        std::fs::create_dir_all(dir.join("p0")).unwrap();
+        let (wal, _) = PartitionWal::open(&dir.join("p0"), WalConfig::default()).unwrap();
+        let buffer = LogBuffer::new(1, 4);
+        let producer = DurableProducer {
+            inner: buffer.producer(),
+            parts: Arc::new(vec![Mutex::new(wal)]),
+            capacity: 4,
+        };
+        let _consumer = buffer.partition_consumer(0);
+        drop(buffer);
+        let logs = |range: std::ops::Range<u64>| -> Vec<RawLog> {
+            range
+                .map(|i| RawLog {
+                    system: "web".into(),
+                    timestamp: i,
+                    message: format!("m{i}"),
+                })
+                .collect()
+        };
+        // 6 offered into a 4-deep shard: 4 land, 2 come back untouched.
+        let (rest, err) = producer.offer_batch(0, logs(0..6)).unwrap_err();
+        assert_eq!(err, PipelineError::BufferFull { partition: 0 });
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].timestamp, 4, "the suffix is handed back in order");
+        assert_eq!(rest[1].timestamp, 5);
+        // Shard now full: the whole batch bounces, nothing is appended.
+        let (rest, err) = producer.offer_batch(0, logs(6..8)).unwrap_err();
+        assert_eq!(err, PipelineError::BufferFull { partition: 0 });
+        assert_eq!(rest.len(), 2);
+        drop(producer);
+        let r = recover_partition(&dir.join("p0")).unwrap();
+        assert_eq!(r.replay.len(), 4, "only the accepted prefix is durable");
+        assert_eq!(r.replay.last().unwrap().seq, 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

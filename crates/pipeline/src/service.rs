@@ -457,24 +457,44 @@ where
     let durable = crate::durable::start_durable(vectorizer, scorer, sink, &config)
         .expect("write-ahead log unavailable");
     let producer = durable.producer;
+    let partitions = config.partitions.max(1);
     let shipper = thread::spawn(move || {
-        'ship: for log in source {
-            let mut slot = Some(log);
+        // Group commit: accumulate per-partition micro-batches so each
+        // flush pays one partition-lock acquisition and one WAL
+        // write+flush for up to SHIP_BATCH records instead of one per
+        // record. A panic out of the append (an injected producer
+        // crash) kills the shipper like a dead ingest process: records
+        // not yet appended are simply never sent — nothing was acked —
+        // and the caller's retry layer re-ships them.
+        const SHIP_BATCH: usize = 64;
+        let mut pending: Vec<Vec<RawLog>> = (0..partitions).map(|_| Vec::new()).collect();
+        let flush = |partition: usize, batch: Vec<RawLog>| -> bool {
+            let mut slot = Some(batch);
             let mut attempt = 0u64;
-            while let Some(log) = slot.take() {
-                // A panic out of the append (an injected producer crash)
-                // kills the shipper like a dead ingest process: records
-                // not yet appended are simply never sent — nothing was
-                // acked — and the caller's retry layer re-ships them.
-                match catch_unwind(AssertUnwindSafe(|| producer.send(log))) {
-                    Ok(Ok(())) => {}
-                    Ok(Err((log, e))) if e.is_transient() => {
+            while let Some(batch) = slot.take() {
+                match catch_unwind(AssertUnwindSafe(|| producer.send_batch(partition, batch))) {
+                    Ok(Ok(_)) => {}
+                    Ok(Err((rest, e))) if e.is_transient() => {
                         attempt += 1;
-                        slot = Some(log);
+                        slot = Some(rest);
                         thread::sleep(restart_backoff(Duration::from_micros(200), attempt));
                     }
-                    Ok(Err(_)) | Err(_) => break 'ship,
+                    Ok(Err(_)) | Err(_) => return false,
                 }
+            }
+            true
+        };
+        'ship: for log in source {
+            let partition = producer.partition_for(&log.system);
+            let batch = &mut pending[partition];
+            batch.push(log);
+            if batch.len() >= SHIP_BATCH && !flush(partition, std::mem::take(batch)) {
+                break 'ship;
+            }
+        }
+        for (partition, batch) in pending.into_iter().enumerate() {
+            if !batch.is_empty() && !flush(partition, batch) {
+                break;
             }
         }
         // Producer handle drops here, closing its side.

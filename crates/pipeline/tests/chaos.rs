@@ -495,6 +495,196 @@ fn wal_kill_and_recover_storm_preserves_exactly_once_accounting() {
     }
 }
 
+/// Group-commit failure semantics at the pipeline layer, both flavors
+/// of a fault landing mid-`send_batch`:
+///
+/// - a *transient append error* hands back exactly the unwritten
+///   suffix (the durable prefix is already enqueued — WAL order ==
+///   buffer order), and retrying that suffix yields the unfaulted
+///   run's verdicts bit for bit;
+/// - a *crash* (panic) mid-batch kills the producer with the batch
+///   unacked; a restart over the same directory replays the durable
+///   records and re-feeding the unacked tail reproduces the baseline
+///   accounting and reports exactly once.
+#[test]
+fn mid_batch_append_faults_keep_exactly_once_accounting() {
+    let _l = test_lock();
+    const BATCH: usize = 16;
+    let n = 200usize;
+    let stream: Vec<RawLog> = (0..n)
+        .map(|i| RawLog {
+            system: "b".into(),
+            timestamp: i as u64,
+            message: WAL_VOCAB[(i * 7 + i / 4) % WAL_VOCAB.len()].to_string(),
+        })
+        .collect();
+
+    let baseline_sink = MemorySink::new();
+    let baseline = run_pipeline_with(
+        stream.clone(),
+        warm_vectorizer(),
+        KeyScorer,
+        baseline_sink.clone(),
+        PipelineConfig {
+            partitions: 1,
+            batch_windows: 4,
+            batch_deadline: Duration::from_millis(2),
+            ..PipelineConfig::default()
+        },
+    );
+    let baseline_reports = baseline_sink.reports();
+
+    // Worker cursor commits consult the same WAL_APPEND point as the
+    // producer's appends; a lazy drain cadence (huge window batch, long
+    // deadline) keeps any commit far behind the sub-millisecond feed, so
+    // the armed fire deterministically lands in `send_batch`. Verdicts
+    // are batching-invariant, so the baseline still compares bitwise.
+    let wal_config = |dir: &std::path::Path, segment_max_bytes: u64| PipelineConfig {
+        partitions: 1,
+        batch_windows: 1024,
+        batch_deadline: Duration::from_millis(300),
+        wal: Some(WalOptions {
+            segment_max_bytes,
+            ..WalOptions::at(dir.to_path_buf())
+        }),
+        ..PipelineConfig::default()
+    };
+
+    // Flavor 1: transient append error mid-batch. Tiny segments so the
+    // failing batch can straddle a roll — the durably-flushed prefix
+    // ahead of the fault must be enqueued, the suffix handed back.
+    {
+        let dir = std::env::temp_dir().join(format!("lswal-midbatch-err-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = MemorySink::new();
+        let durable = start_durable(
+            warm_vectorizer(),
+            KeyScorer,
+            sink.clone(),
+            &wal_config(&dir, 2048),
+        )
+        .expect("a fresh log directory must open");
+        let guard = FaultPlan::seeded(21)
+            .arm(
+                points::WAL_APPEND,
+                // Land inside the sixth batch (after 5*BATCH + 7 append
+                // consults), once.
+                FaultSpec::transient()
+                    .after(5 * BATCH as u64 + 7)
+                    .max_fires(1),
+            )
+            .install();
+        let mut retried = 0usize;
+        for chunk in stream.chunks(BATCH) {
+            let mut batch = chunk.to_vec();
+            loop {
+                match durable.producer.send_batch(0, batch) {
+                    Ok(sent) => {
+                        assert!(sent <= BATCH);
+                        break;
+                    }
+                    Err((rest, e)) => {
+                        assert!(e.is_transient(), "append failure must be retryable: {e}");
+                        assert!(
+                            !rest.is_empty() && rest.len() <= BATCH,
+                            "exactly the unwritten suffix comes back, got {}",
+                            rest.len()
+                        );
+                        retried += rest.len();
+                        batch = rest;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            guard.fires(points::WAL_APPEND),
+            1,
+            "the armed fault must fire"
+        );
+        drop(guard);
+        assert!(retried > 0, "the fault must hand back a suffix to retry");
+        let DurablePipeline { pool, producer, .. } = durable;
+        drop(producer);
+        let summary = pool.join();
+        assert_eq!(summary.logs, n as u64, "retried suffix lands exactly once");
+        assert_conserved(&summary, baseline.windows, "mid-batch transient");
+        assert_reports_bitwise_equal(&sink.reports(), &baseline_reports, "mid-batch transient");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Flavor 2: crash (panic) mid-batch, then restart. Large segments
+    // so no roll flushes a partial chunk of the dying batch — every
+    // record of a completed `send_batch` is durable, nothing of the
+    // killed one is, and the restart feed is exactly `stream[sent..]`.
+    // (Mid-batch tears across roll boundaries are pinned at the WAL
+    // layer by the torn-tail proptests.)
+    {
+        let dir = std::env::temp_dir().join(format!("lswal-midbatch-kill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = wal_config(&dir, 1 << 20);
+
+        let sink1 = MemorySink::new();
+        let sent = with_quiet_panics(|| {
+            let durable = start_durable(warm_vectorizer(), KeyScorer, sink1.clone(), &cfg)
+                .expect("a fresh log directory must open");
+            let guard = FaultPlan::seeded(23)
+                .arm(
+                    points::WAL_APPEND,
+                    FaultSpec::panic().after(4 * BATCH as u64 + 11).max_fires(1),
+                )
+                .install();
+            let mut sent = 0usize;
+            for chunk in stream.chunks(BATCH) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    durable.producer.send_batch(0, chunk.to_vec())
+                })) {
+                    Ok(Ok(k)) => sent += k,
+                    Ok(Err(_)) | Err(_) => break,
+                }
+            }
+            assert_eq!(
+                guard.fires(points::WAL_APPEND),
+                1,
+                "the armed crash must fire"
+            );
+            drop(guard);
+            let DurablePipeline { pool, producer, .. } = durable;
+            drop(producer);
+            let _ = pool.join();
+            sent
+        });
+        assert_eq!(sent % BATCH, 0, "only whole batches ack before the crash");
+        assert!(sent > 0 && sent < n, "the crash must land mid-stream");
+
+        let sink2 = MemorySink::new();
+        let durable = start_durable(warm_vectorizer(), KeyScorer, sink2.clone(), &cfg)
+            .expect("restart over the crashed directory must recover");
+        for chunk in stream[sent..].chunks(BATCH) {
+            durable
+                .producer
+                .send_batch(0, chunk.to_vec())
+                .expect("unfaulted batch must land");
+        }
+        let DurablePipeline { pool, producer, .. } = durable;
+        drop(producer);
+        let second = pool.join();
+
+        assert_eq!(second.logs, n as u64, "cumulative log count");
+        assert_conserved(&second, baseline.windows, "mid-batch crash");
+        // Delivery is at-least-once across the crash; counting is
+        // exactly-once after dedupe by window identity.
+        let mut seen = HashSet::new();
+        let mut deduped: Vec<Report> = Vec::new();
+        for r in sink1.reports().into_iter().chain(sink2.reports()) {
+            if seen.insert((r.system.clone(), r.first_seq_no)) {
+                deduped.push(r);
+            }
+        }
+        assert_reports_bitwise_equal(&deduped, &baseline_reports, "mid-batch crash");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn slow_consumer_backpressure_sheds_to_cheap_tiers() {
     let _l = test_lock();

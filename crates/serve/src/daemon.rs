@@ -91,6 +91,17 @@ pub struct ServeConfig {
     /// Consecutive over-quota lines before the connection is dropped
     /// outright as abusive.
     pub quota_disconnect_after: u64,
+    /// Records a handler accumulates per partition before flushing them
+    /// through the producer as one group commit (one partition-lock
+    /// acquisition and, in durable mode, one WAL write+flush for the
+    /// whole batch). `1` flushes every record immediately — the
+    /// pre-batching behavior.
+    pub ingest_batch: usize,
+    /// Oldest a buffered record may grow before its connection's
+    /// pending batches are force-flushed, so a trickling client is
+    /// never more than roughly this far (plus one `idle_poll`) from
+    /// its durability ack.
+    pub ingest_batch_deadline: Duration,
     /// Detection-side configuration (partitions, capacity, shedding,
     /// retries — see the pipeline crate).
     pub pipeline: PipelineConfig,
@@ -109,6 +120,8 @@ impl Default for ServeConfig {
             quota_slow_after: 64,
             quota_penalty: Duration::from_millis(2),
             quota_disconnect_after: 100_000,
+            ingest_batch: 64,
+            ingest_batch_deadline: Duration::from_millis(2),
             pipeline: PipelineConfig::default(),
         }
     }
@@ -159,17 +172,62 @@ impl IngestProducer {
         }
     }
 
-    fn offer_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+    /// Group commit of a handler micro-batch. The durable producer
+    /// appends and flushes the whole batch under one partition-lock
+    /// acquisition ([`DurableProducer::offer_batch`]); the plain
+    /// producer has no batch primitive, so it degrades to per-record
+    /// offers with the same return shape. `Err` hands back the records
+    /// that did not land — the accepted prefix is `batch_len -
+    /// suffix_len`.
+    fn offer_batch(
+        &self,
+        partition: usize,
+        logs: Vec<RawLog>,
+    ) -> Result<usize, (Vec<RawLog>, PipelineError)> {
         match self {
-            IngestProducer::Plain(p) => p.offer_to(partition, log),
-            IngestProducer::Durable(p) => p.offer_to(partition, log),
+            IngestProducer::Plain(p) => {
+                let mut it = logs.into_iter();
+                let mut sent = 0usize;
+                for log in it.by_ref() {
+                    match p.offer_to(partition, log) {
+                        Ok(()) => sent += 1,
+                        Err((log, e)) => {
+                            let mut rest = vec![log];
+                            rest.extend(it);
+                            return Err((rest, e));
+                        }
+                    }
+                }
+                Ok(sent)
+            }
+            IngestProducer::Durable(p) => p.offer_batch(partition, logs),
         }
     }
 
-    fn send_to(&self, partition: usize, log: RawLog) -> Result<(), (RawLog, PipelineError)> {
+    /// Blocking [`IngestProducer::offer_batch`]: exerts backpressure
+    /// instead of refusing on a full shard.
+    fn send_batch(
+        &self,
+        partition: usize,
+        logs: Vec<RawLog>,
+    ) -> Result<usize, (Vec<RawLog>, PipelineError)> {
         match self {
-            IngestProducer::Plain(p) => p.send_to(partition, log),
-            IngestProducer::Durable(p) => p.send_to(partition, log),
+            IngestProducer::Plain(p) => {
+                let mut it = logs.into_iter();
+                let mut sent = 0usize;
+                for log in it.by_ref() {
+                    match p.send_to(partition, log) {
+                        Ok(()) => sent += 1,
+                        Err((log, e)) => {
+                            let mut rest = vec![log];
+                            rest.extend(it);
+                            return Err((rest, e));
+                        }
+                    }
+                }
+                Ok(sent)
+            }
+            IngestProducer::Durable(p) => p.send_batch(partition, logs),
         }
     }
 }
@@ -186,6 +244,9 @@ struct Shared {
     producer: IngestProducer,
     tenants: TenantTable,
     shed_watermark: usize,
+    partitions: usize,
+    ingest_batch: usize,
+    ingest_batch_deadline: Duration,
     idle_poll: Duration,
     auth_deadline: Duration,
     quota_slow_after: u64,
@@ -296,6 +357,9 @@ where
         started: Instant::now(),
         tenants: TenantTable::new(specs, config.pipeline.partitions),
         shed_watermark: config.pipeline.shed_watermark,
+        partitions: config.pipeline.partitions.max(1),
+        ingest_batch: config.ingest_batch.max(1),
+        ingest_batch_deadline: config.ingest_batch_deadline,
         idle_poll: config.idle_poll,
         auth_deadline: config.auth_deadline,
         quota_slow_after: config.quota_slow_after.max(1),
@@ -535,6 +599,48 @@ struct ConnCounts {
     parse_errors: u64,
 }
 
+/// Per-connection, per-partition micro-batches awaiting group commit
+/// (same shape as `Consumer::recv_batch` on the worker side: size- and
+/// deadline-bounded). A record sits here *un-acknowledged* — nothing is
+/// counted accepted, shed, or refused until its batch flushes — so
+/// flush-before-ack durability is unchanged; the batch just amortizes
+/// the partition lock and the WAL write+flush across up to
+/// `ingest_batch` records.
+struct Pending {
+    parts: Vec<Vec<RawLog>>,
+    total: usize,
+    oldest: Option<Instant>,
+}
+
+impl Pending {
+    fn new(partitions: usize) -> Self {
+        Pending {
+            parts: (0..partitions).map(|_| Vec::new()).collect(),
+            total: 0,
+            oldest: None,
+        }
+    }
+
+    fn push(&mut self, partition: usize, log: RawLog) {
+        self.parts[partition].push(log);
+        self.total += 1;
+        self.oldest.get_or_insert_with(Instant::now);
+    }
+
+    fn take(&mut self, partition: usize) -> Vec<RawLog> {
+        let batch = std::mem::take(&mut self.parts[partition]);
+        self.total -= batch.len();
+        if self.total == 0 {
+            self.oldest = None;
+        }
+        batch
+    }
+
+    fn stale(&self, deadline: Duration) -> bool {
+        self.oldest.is_some_and(|t| t.elapsed() >= deadline)
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let _ = stream.set_read_timeout(Some(shared.idle_poll));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
@@ -548,12 +654,35 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut consecutive_rejected = 0u64;
     let mut consecutive_shed = 0u64;
     let mut draining = false;
-    let mut line = String::new();
+    let mut pending = Pending::new(shared.partitions);
+    // One line buffer for the whole connection, pre-sized to the line
+    // budget: `read_line` appends into it and `clear()` keeps the
+    // allocation, so a streaming client costs zero per-line allocations
+    // here.
+    let mut line = String::with_capacity(MAX_LINE_BYTES + 1);
 
     'conn: loop {
         if shared.stopping() && shared.past_drain_deadline() {
             draining = true;
             break;
+        }
+        // Deadline-bound the micro-batches: a trickling client's
+        // records must not sit unacknowledged behind a batch that never
+        // fills. (The read below blocks for at most `idle_poll`, which
+        // bounds how stale this check can go.)
+        if pending.total > 0 && pending.stale(shared.ingest_batch_deadline) {
+            if let Some(t) = &tenant {
+                if !flush_all(
+                    &mut pending,
+                    &mut conn,
+                    &mut consecutive_shed,
+                    t,
+                    shared,
+                    &mut writer,
+                ) {
+                    break 'conn;
+                }
+            }
         }
         // Checked on every pass — not only on idle timeouts — so a
         // client that keeps bytes flowing (blank-line keep-alives, a
@@ -574,6 +703,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             Ok(0) => break, // EOF: client is done, summarize and close
             Ok(_) => {
                 if line.len() > MAX_LINE_BYTES && !line.ends_with('\n') {
+                    if let Some(t) = &tenant {
+                        flush_all(
+                            &mut pending,
+                            &mut conn,
+                            &mut consecutive_shed,
+                            t,
+                            shared,
+                            &mut writer,
+                        );
+                    }
                     let _ = writer.write_all(
                         proto::frame_error(400, "overlong", "line exceeds 64 KiB").as_bytes(),
                     );
@@ -586,9 +725,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                // While draining, an idle connection is left open until
-                // the drain deadline (checked at the top of the loop):
-                // records still in flight from the client must land.
+                // The client went idle: flush whatever it has pending
+                // rather than holding its acks for a batch that may
+                // never fill. While draining, the connection itself is
+                // left open until the drain deadline (checked at the
+                // top of the loop): records still in flight from the
+                // client must land.
+                if pending.total > 0 {
+                    if let Some(t) = &tenant {
+                        if !flush_all(
+                            &mut pending,
+                            &mut conn,
+                            &mut consecutive_shed,
+                            t,
+                            shared,
+                            &mut writer,
+                        ) {
+                            break 'conn;
+                        }
+                    }
+                }
                 continue;
             }
             Err(_) => break,
@@ -638,19 +794,36 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 }
             }
             Ok(ClientLine::Empty) => {}
-            Ok(ClientLine::Hello { token }) => match shared.tenants.authenticate(&token) {
-                Some(handle) => {
-                    default_system = handle.name();
-                    let _ = writer.write_all(proto::frame_hello_ok(&default_system).as_bytes());
-                    tenant = Some(handle);
+            Ok(ClientLine::Hello { token }) => {
+                // Pending records belong to the tenant that admitted
+                // them: land them before the handle can change (or the
+                // connection closes on a bad re-HELLO).
+                if let Some(t) = &tenant {
+                    if !flush_all(
+                        &mut pending,
+                        &mut conn,
+                        &mut consecutive_shed,
+                        t,
+                        shared,
+                        &mut writer,
+                    ) {
+                        break 'conn;
+                    }
                 }
-                None => {
-                    let _ = writer.write_all(
-                        proto::frame_error(401, "unauthorized", "unknown token").as_bytes(),
-                    );
-                    return Ok(());
+                match shared.tenants.authenticate(&token) {
+                    Some(handle) => {
+                        default_system = handle.name();
+                        let _ = writer.write_all(proto::frame_hello_ok(&default_system).as_bytes());
+                        tenant = Some(handle);
+                    }
+                    None => {
+                        let _ = writer.write_all(
+                            proto::frame_error(401, "unauthorized", "unknown token").as_bytes(),
+                        );
+                        return Ok(());
+                    }
                 }
-            },
+            }
             Ok(ClientLine::Quit) => break,
             Ok(ClientLine::Record(record)) => {
                 let Some(t) = &tenant else {
@@ -660,11 +833,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     return Ok(());
                 };
                 if t.is_revoked() {
+                    flush_all(
+                        &mut pending,
+                        &mut conn,
+                        &mut consecutive_shed,
+                        t,
+                        shared,
+                        &mut writer,
+                    );
                     let _ = writer
                         .write_all(proto::frame_error(401, "revoked", "tenant removed").as_bytes());
                     return Ok(());
                 }
-                let t0 = Instant::now();
                 let now = shared.started.elapsed();
                 if !t.admit(now) {
                     conn.rejected += 1;
@@ -684,6 +864,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                             .abusive_disconnects
                             .fetch_add(1, Ordering::Relaxed);
                         shared.m_abusive.inc();
+                        flush_all(
+                            &mut pending,
+                            &mut conn,
+                            &mut consecutive_shed,
+                            t,
+                            shared,
+                            &mut writer,
+                        );
                         let _ = writer.write_all(
                             proto::frame_error(429, "quota abuse", "disconnecting").as_bytes(),
                         );
@@ -699,68 +887,43 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 }
                 consecutive_rejected = 0;
 
+                // Admitted: park the record in its partition's
+                // micro-batch. Nothing is acknowledged yet — the
+                // accept/shed/refuse verdict lands when the batch
+                // flushes (size cap here, deadline / idle / connection
+                // exit elsewhere).
                 let partition = t.route(&record.system);
-                if shared.shed_watermark > 0
-                    && shared.producer.depth(partition) >= shared.shed_watermark as u64
-                {
-                    shed(
+                pending.push(partition, record);
+                if pending.parts[partition].len() >= shared.ingest_batch
+                    && !flush_partition(
+                        partition,
+                        &mut pending,
                         &mut conn,
                         &mut consecutive_shed,
                         t,
                         shared,
-                        partition,
                         &mut writer,
-                    );
-                    continue;
-                }
-                match shared.producer.offer_to(partition, record) {
-                    Ok(()) => {
-                        accepted(&mut conn, t, shared, t0);
-                        consecutive_shed = 0;
-                    }
-                    Err((record, PipelineError::BufferFull { .. })) => {
-                        if shared.shed_watermark > 0 {
-                            shed(
-                                &mut conn,
-                                &mut consecutive_shed,
-                                t,
-                                shared,
-                                partition,
-                                &mut writer,
-                            );
-                        } else {
-                            // Shedding disabled: exert backpressure by
-                            // blocking — the client's stream stalls
-                            // instead of losing the record.
-                            match shared.producer.send_to(partition, record) {
-                                Ok(()) => {
-                                    accepted(&mut conn, t, shared, t0);
-                                    consecutive_shed = 0;
-                                }
-                                Err((_, PipelineError::WalAppend { partition })) => {
-                                    wal_refused(&mut conn, t, shared, partition, &mut writer);
-                                }
-                                Err(_) => {
-                                    let _ =
-                                        writer.write_all(proto::frame_closed(partition).as_bytes());
-                                    break 'conn;
-                                }
-                            }
-                        }
-                    }
-                    Err((_, PipelineError::WalAppend { partition })) => {
-                        // Transient durable-append failure: the record
-                        // was refused *before* anything was logged, so
-                        // the client may simply retry it — the
-                        // connection survives.
-                        wal_refused(&mut conn, t, shared, partition, &mut writer);
-                    }
-                    Err((_, _)) => {
-                        let _ = writer.write_all(proto::frame_closed(partition).as_bytes());
-                        break 'conn;
-                    }
+                    )
+                {
+                    break 'conn;
                 }
             }
+        }
+    }
+
+    // EOF, QUIT, a read error, or the drain deadline: land whatever is
+    // still pending so the summary frame counts every line the client
+    // sent (best-effort when the buffer is already closed).
+    if pending.total > 0 {
+        if let Some(t) = &tenant {
+            flush_all(
+                &mut pending,
+                &mut conn,
+                &mut consecutive_shed,
+                t,
+                shared,
+                &mut writer,
+            );
         }
     }
 
@@ -778,35 +941,188 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     Ok(())
 }
 
-fn accepted(conn: &mut ConnCounts, t: &TenantHandle, shared: &Shared, t0: Instant) {
-    conn.accepted += 1;
-    shared.totals.accepted.fetch_add(1, Ordering::Relaxed);
-    shared.m_accepted.inc();
-    t.accepted.inc();
-    let us = t0.elapsed().as_micros() as u64;
-    shared.m_latency.record(us);
-    t.latency_us.record(us);
+/// Flushes every non-empty partition batch of the connection. Returns
+/// `false` when the buffer is gone and the connection must close.
+fn flush_all(
+    pending: &mut Pending,
+    conn: &mut ConnCounts,
+    consecutive_shed: &mut u64,
+    t: &TenantHandle,
+    shared: &Shared,
+    writer: &mut TcpStream,
+) -> bool {
+    for partition in 0..pending.parts.len() {
+        if !pending.parts[partition].is_empty()
+            && !flush_partition(
+                partition,
+                pending,
+                conn,
+                consecutive_shed,
+                t,
+                shared,
+                writer,
+            )
+        {
+            return false;
+        }
+    }
+    true
 }
 
-/// A transient write-ahead-log append failure: the record was not made
-/// durable and is refused with a retryable 503 naming the shard.
-/// Counted with the shed bucket — like a shed record, it was
+/// Group-commits one partition's pending micro-batch through the
+/// producer and settles every record's verdict: accepted (durable and
+/// enqueued), shed (watermark or full shard), or WAL-refused
+/// (retryable 503). The ingest-ack latency recorded per record is the
+/// flush's own elapsed time — the cost of the durability ack, which is
+/// what the batch amortizes. Returns `false` when the buffer is closed
+/// and the connection must end.
+fn flush_partition(
+    partition: usize,
+    pending: &mut Pending,
+    conn: &mut ConnCounts,
+    consecutive_shed: &mut u64,
+    t: &TenantHandle,
+    shared: &Shared,
+    writer: &mut TcpStream,
+) -> bool {
+    let batch = pending.take(partition);
+    if batch.is_empty() {
+        return true;
+    }
+    let total = batch.len();
+    let t0 = Instant::now();
+    // The shed watermark is re-checked at flush time — the depth read
+    // at parse time would be stale by now, and shedding must still be
+    // decided *before* any append so a shed record is never persisted.
+    if shared.shed_watermark > 0 && shared.producer.depth(partition) >= shared.shed_watermark as u64
+    {
+        shed_n(
+            total as u64,
+            conn,
+            consecutive_shed,
+            t,
+            shared,
+            partition,
+            writer,
+        );
+        return true;
+    }
+    match shared.producer.offer_batch(partition, batch) {
+        Ok(n) => {
+            accepted_n(n as u64, conn, t, shared, t0);
+            *consecutive_shed = 0;
+            true
+        }
+        Err((rest, PipelineError::BufferFull { .. })) => {
+            let head = (total - rest.len()) as u64;
+            if head > 0 {
+                accepted_n(head, conn, t, shared, t0);
+                *consecutive_shed = 0;
+            }
+            if shared.shed_watermark > 0 {
+                shed_n(
+                    rest.len() as u64,
+                    conn,
+                    consecutive_shed,
+                    t,
+                    shared,
+                    partition,
+                    writer,
+                );
+                true
+            } else {
+                // Shedding disabled: exert backpressure by blocking —
+                // the client's stream stalls instead of losing records.
+                let rest_total = rest.len();
+                match shared.producer.send_batch(partition, rest) {
+                    Ok(n) => {
+                        accepted_n(n as u64, conn, t, shared, t0);
+                        *consecutive_shed = 0;
+                        true
+                    }
+                    Err((rest, PipelineError::WalAppend { partition })) => {
+                        let head = (rest_total - rest.len()) as u64;
+                        if head > 0 {
+                            accepted_n(head, conn, t, shared, t0);
+                            *consecutive_shed = 0;
+                        }
+                        wal_refused_n(rest.len() as u64, conn, t, shared, partition, writer);
+                        true
+                    }
+                    Err((rest, _)) => {
+                        let head = (rest_total - rest.len()) as u64;
+                        if head > 0 {
+                            accepted_n(head, conn, t, shared, t0);
+                        }
+                        let _ = writer.write_all(proto::frame_closed(partition).as_bytes());
+                        false
+                    }
+                }
+            }
+        }
+        Err((rest, PipelineError::WalAppend { partition })) => {
+            // Transient durable-append failure: the durable prefix is
+            // accepted, the unwritten suffix was refused *before*
+            // anything was logged — the client may simply retry it and
+            // the connection survives.
+            let head = (total - rest.len()) as u64;
+            if head > 0 {
+                accepted_n(head, conn, t, shared, t0);
+                *consecutive_shed = 0;
+            }
+            wal_refused_n(rest.len() as u64, conn, t, shared, partition, writer);
+            true
+        }
+        Err((rest, _)) => {
+            let head = (total - rest.len()) as u64;
+            if head > 0 {
+                accepted_n(head, conn, t, shared, t0);
+            }
+            let _ = writer.write_all(proto::frame_closed(partition).as_bytes());
+            false
+        }
+    }
+}
+
+fn accepted_n(n: u64, conn: &mut ConnCounts, t: &TenantHandle, shared: &Shared, t0: Instant) {
+    if n == 0 {
+        return;
+    }
+    conn.accepted += n;
+    shared.totals.accepted.fetch_add(n, Ordering::Relaxed);
+    shared.m_accepted.add(n);
+    t.accepted.add(n);
+    let us = t0.elapsed().as_micros() as u64;
+    for _ in 0..n {
+        shared.m_latency.record(us);
+        t.latency_us.record(us);
+    }
+}
+
+/// A transient write-ahead-log append failure: these records were not
+/// made durable and are refused with one retryable 503 naming the
+/// shard. Counted with the shed bucket — like a shed record, they were
 /// acknowledged as *not* ingested and the client owns the retry.
-fn wal_refused(
+fn wal_refused_n(
+    n: u64,
     conn: &mut ConnCounts,
     t: &TenantHandle,
     shared: &Shared,
     partition: usize,
     writer: &mut TcpStream,
 ) {
-    conn.shed += 1;
-    shared.totals.shed.fetch_add(1, Ordering::Relaxed);
-    shared.m_shed.inc();
-    t.shed.inc();
+    if n == 0 {
+        return;
+    }
+    conn.shed += n;
+    shared.totals.shed.fetch_add(n, Ordering::Relaxed);
+    shared.m_shed.add(n);
+    t.shed.add(n);
     let _ = writer.write_all(proto::frame_log_append(partition).as_bytes());
 }
 
-fn shed(
+fn shed_n(
+    n: u64,
     conn: &mut ConnCounts,
     consecutive: &mut u64,
     t: &TenantHandle,
@@ -814,12 +1130,19 @@ fn shed(
     partition: usize,
     writer: &mut TcpStream,
 ) {
-    conn.shed += 1;
-    *consecutive += 1;
-    shared.totals.shed.fetch_add(1, Ordering::Relaxed);
-    shared.m_shed.inc();
-    t.shed.inc();
-    if *consecutive == 1 || consecutive.is_multiple_of(ERROR_FRAME_EVERY) {
+    if n == 0 {
+        return;
+    }
+    let before = *consecutive;
+    conn.shed += n;
+    *consecutive += n;
+    shared.totals.shed.fetch_add(n, Ordering::Relaxed);
+    shared.m_shed.add(n);
+    t.shed.add(n);
+    // Same cadence as before batching: the first shed in a run is
+    // answered, then one frame per ERROR_FRAME_EVERY — a batch emits at
+    // most one frame per flush either way.
+    if before == 0 || (*consecutive / ERROR_FRAME_EVERY) > (before / ERROR_FRAME_EVERY) {
         let _ = writer.write_all(proto::frame_shed(partition).as_bytes());
     }
 }

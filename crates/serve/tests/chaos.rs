@@ -50,7 +50,15 @@ fn spawn() -> Daemon {
     let mut v = EventVectorizer::new(SystemId::SystemB, EMBED_DIM, LeiConfig::default());
     v.warm_start(VOCAB.iter().copied());
     start(
-        ServeConfig::default(),
+        ServeConfig {
+            // Per-record flushing: these tests pin down exactly which
+            // records around an injected panic were acknowledged, and a
+            // handler micro-batch dying with the handler would make
+            // that count racy (flushed iff the deadline happened to
+            // fire first).
+            ingest_batch: 1,
+            ..ServeConfig::default()
+        },
         parse_tenants("tenant acme token=s3").unwrap(),
         None,
         v,

@@ -23,6 +23,10 @@ echo "==> fault-injection feature tests (chaos suite, fixed seeds)"
 timeout 60 cargo test -p logsynergy --features fault-injection -q
 timeout 60 cargo test -p logsynergy-pipeline --features fault-injection -q
 timeout 60 cargo test -p logsynergy-serve --features fault-injection -q
+# The WAL codec/recovery proptests (incl. the group-commit byte-parity
+# and mid-batch torn-tail properties) must also hold with the fault
+# plumbing compiled in — the wal_fault consults sit on the append path.
+timeout 120 cargo test -p logsynergy --features fault-injection --test wal_proptests -q
 
 echo "==> quant feature tests (int8 kernels, fast primitives, agreement gate)"
 # The int8 path is opt-in; its kernel proptests, fused-primitive parity
@@ -103,6 +107,14 @@ echo "==> telemetry overhead contract (quick mode)"
 # instrumented median stays within the 2% overhead contract and refreshes
 # results/telemetry_overhead.json.
 LOGSYNERGY_BENCH_QUICK=1 cargo bench --bench telemetry_overhead
+
+echo "==> group-commit WAL throughput smoke (quick mode)"
+# Quick durable-vs-in-memory run: asserts group commit buys ≥ 3× over
+# per-record flush on the isolated WAL ack path, durable stays within
+# 1.5× of in-memory at the Fig. 7 operating point, and (quick-mode
+# smoke gate) durable throughput ≥ 0.5× in-memory there; refreshes
+# results/wal_group_commit.json.
+LOGSYNERGY_BENCH_QUICK=1 cargo bench -p logsynergy-bench --bench wal_group_commit
 
 echo "==> metrics snapshot smoke"
 # A real CLI run must produce a parseable JSON snapshot whose verdict-tier
